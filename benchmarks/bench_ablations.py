@@ -1,0 +1,40 @@
+"""Ablations beyond the paper's figures.
+
+* matching-criteria order — quantifies how much of the Fig. 13/14
+  coarse-policy penalization stems from the grain-first ranking;
+* over-provisioning safety margin — the Sec. V-C mitigation for games
+  that cannot tolerate any significant events.
+"""
+
+from repro.experiments import ablation_matching_order as order_exp
+from repro.experiments import ablation_safety_margin as margin_exp
+
+
+def test_ablation_matching_order(once):
+    result = once(order_exp.run)
+    print()
+    print(order_exp.format_result(result))
+
+    # Grain-first (the paper's ranking) idles the coarse East centers;
+    # distance-first keeps the load local and the East busy.
+    assert (
+        result.east_free["grain-first (paper)"]
+        > result.east_free["distance-first"] * 1.5
+    )
+    # Distance-first pays for it with the coarse bulks: more over-allocation.
+    assert result.over["distance-first"] > result.over["grain-first (paper)"]
+
+
+def test_ablation_safety_margin(once):
+    result = once(margin_exp.run)
+    print()
+    print(margin_exp.format_result(result))
+
+    margins = list(result.margins)
+    # Padding buys over-allocation...
+    overs = [result.over[m] for m in margins]
+    assert overs == sorted(overs)
+    # ...and reduces (or at least never worsens) both the residual
+    # events and the average under-allocation.
+    assert result.events[margins[-1]] <= result.events[margins[0]]
+    assert result.under[margins[-1]] >= result.under[margins[0]]

@@ -1,0 +1,74 @@
+"""Extension benchmarks beyond the paper's tables and figures.
+
+* interaction evidence — the premise behind the update models, measured
+  directly in the emulator (Secs. III-D, IV-D1);
+* request prioritization — the Sec. V-F future-work mechanism,
+  implemented and evaluated on a contended platform.
+"""
+
+from repro.experiments import ablation_priority as priority_exp
+from repro.experiments import interaction_evidence as evidence_exp
+
+
+def test_interaction_evidence(once):
+    result = once(evidence_exp.run)
+    print()
+    print(evidence_exp.format_result(result))
+
+    for name, corr in result.correlation.items():
+        # Interactions track population strongly...
+        assert corr > 0.6, name
+        # ...but pairs scale superlinearly with the entity count —
+        # the justification for the O(n^2)-family update models.
+        assert result.scaling_exponent[name] > 1.2, name
+
+
+def test_ablation_priority(once):
+    result = once(priority_exp.run)
+    print()
+    print(priority_exp.format_result(result))
+
+    # Prioritizing the heavy game never hurts it compared to being
+    # deprioritized; symmetrically for the light game.
+    assert (
+        result.events["heavy-first"]["heavy"]
+        <= result.events["light-first"]["heavy"]
+    )
+    assert (
+        result.events["light-first"]["light"]
+        <= result.events["heavy-first"]["light"]
+    )
+
+
+def test_cost_comparison(once):
+    from repro.experiments import cost_comparison as cost_exp
+
+    result = once(cost_exp.run)
+    print()
+    print(cost_exp.format_result(result))
+
+    for row in result.rows:
+        # Dynamic is always the cheaper strategy...
+        assert row.dynamic_cost < row.static_cost
+        # ...with substantial savings (paper: "reduces considerably").
+        assert row.savings_fraction > 0.2, row.update
+    # Savings grow with the interaction complexity of the game.
+    savings = [r.savings_fraction for r in result.rows]
+    assert savings[-1] > savings[0]
+
+
+def test_ablation_advance_booking(once):
+    from repro.experiments import ablation_advance_booking as adv_exp
+
+    result = once(adv_exp.run)
+    print()
+    print(adv_exp.format_result(result))
+
+    leads = list(result.leads)
+    # Booking further ahead never reduces the significant events, and
+    # the longest lead is strictly worse than on demand.
+    events = [result.events[lead] for lead in leads]
+    assert events[-1] > events[0]
+    assert all(a <= b + max(3, 0.3 * max(b, 1)) for a, b in zip(events, events[1:]))
+    # Under-allocation deteriorates with the lead.
+    assert result.under[leads[-1]] < result.under[leads[0]]

@@ -1,0 +1,24 @@
+"""Fig. 1 — MMORPG market growth 1997-2008.
+
+Regenerates the subscription curves and checks the paper's claims: at
+least six titles above 500k players, and a same-growth projection of
+tens of millions by 2011.
+"""
+
+from repro.experiments import fig01_market_growth as exp
+
+
+def test_fig01_market_growth(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # Paper: "there are six games which currently have more than 500k
+    # players each".
+    assert len(result.titles_over_500k) >= 6
+    for title in ("World of Warcraft", "RuneScape"):
+        assert title in result.titles_over_500k
+    # Paper: "over 60 million players by 2011" at the same growth rate.
+    assert result.projection_2011 > 45e6
+    # The aggregate grows strongly over the decade.
+    assert result.series["All"][-1] > 20e6

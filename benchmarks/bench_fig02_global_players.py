@@ -1,0 +1,25 @@
+"""Fig. 2 — Global concurrent players with population shocks.
+
+Checks the three annotated shocks: a ~quarter drop within a day after
+the unpopular decision, recovery to ~95 % after the amendment, and a
+~50 % surge after each content release.
+"""
+
+from repro.experiments import fig02_global_players as exp
+
+
+def test_fig02_global_players(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # "the number of active concurrent players drops by over 30,000
+    # units (a quarter of its value) in less than one day"
+    assert 0.15 <= result.crash_drop_fraction <= 0.35
+    assert result.crash_duration_days < 1.0
+    # "raises again, but to only 95% of the previous value"
+    assert 0.88 <= result.recovery_level_fraction <= 1.02
+    # "an over 50% surge" after the releases
+    assert result.surge_gain_fraction > 0.35
+    # Peak concurrency calibrated to the documented ~250k.
+    assert 200_000 <= result.players.max() <= 300_000

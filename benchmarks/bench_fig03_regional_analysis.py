@@ -1,0 +1,24 @@
+"""Fig. 3 — Regional workload analysis (region 0, two weeks).
+
+Checks the documented statistics: 24 h autocorrelation peak (~lag 720),
+negative 12 h dip (~lag 360), peak-hour median ~1.5x the minimum, and
+2-5 % always-full server groups.
+"""
+
+from repro.experiments import fig03_regional_analysis as exp
+
+
+def test_fig03_regional_analysis(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # "a very significant peak around 720 ... i.e., 24 hours"
+    assert 680 <= result.dominant_period <= 760
+    assert result.acf_at_720 > 0.3
+    # "a strong negative peak around 360 (12 hours)"
+    assert result.acf_at_360 < -0.2
+    # "the median is about 50% higher than the minimum"
+    assert 1.2 <= result.median_over_min_at_peak <= 2.2
+    # "the load of 2-5% of the servers is always 95%"
+    assert 0.0 < result.always_full_fraction <= 0.08

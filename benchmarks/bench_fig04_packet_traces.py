@@ -1,0 +1,39 @@
+"""Fig. 4 — Packet-level evidence that interaction drives load.
+
+Checks the CDF relations the paper derives from the eight session
+captures.
+"""
+
+from repro.experiments import fig04_packet_traces as exp
+from repro.nettrace import SessionScenario, summarize_trace
+
+
+def test_fig04_packet_traces(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    s = {scen: result.summaries[scen] for scen in result.summaries}
+
+    # Fast-paced sessions: small IAT regardless of crowding.
+    assert abs(s[SessionScenario.T1].iat_mean_ms - s[SessionScenario.T6].iat_mean_ms) < 15
+    others = [v.iat_mean_ms for k, v in s.items()
+              if k not in (SessionScenario.T1, SessionScenario.T6)]
+    assert max(s[SessionScenario.T1].iat_mean_ms,
+               s[SessionScenario.T6].iat_mean_ms) < min(others)
+
+    # Market vs combat p2p: similar sizes, very different IAT.
+    assert result.ks_t2_vs_t3_length < 0.1
+    assert result.ks_t2_vs_t3_iat > 0.25
+
+    # T7's IAT moments statistically lower than T2's.
+    assert s[SessionScenario.T7].iat_mean_ms < s[SessionScenario.T2].iat_mean_ms
+
+    # Group interaction: largest packets.
+    assert s[SessionScenario.T4].length_median == max(
+        v.length_median for v in s.values()
+    )
+
+    # Validation pair indistinguishable.
+    assert result.ks_t5_pair_iat < 0.05
+    assert result.ks_t5_pair_length < 0.05

@@ -1,0 +1,35 @@
+"""Fig. 5 — Prediction accuracy of the seven algorithms.
+
+Checks the paper's claims: the Neural predictor has the lowest (or
+tied-lowest) error on nearly every data set and the best average rank;
+the Average predictor collapses on Type II/III signals.
+"""
+
+import numpy as np
+
+from repro.experiments import fig05_prediction_accuracy as exp
+
+
+def test_fig05_prediction_accuracy(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    neural_wins = result.wins_by_predictor.get("Neural", 0)
+    # "our neural network predictor ... performs best from these
+    # alternatives": best on at least 6 of the 8 sets here.
+    assert neural_wins >= 6
+
+    # Neural is never far from the per-set best (adaptivity claim).
+    for ds, row in result.errors.items():
+        best = min(row.values())
+        assert row["Neural"] <= best * 1.1 + 0.2, ds
+
+    # The Average predictor performs poorly across the board.
+    for ds, row in result.errors.items():
+        assert row["Average"] > 3 * row["Neural"], ds
+
+    # Errors are meaningful percentages.
+    all_errors = [v for row in result.errors.values() for v in row.values()]
+    assert min(all_errors) > 0
+    assert max(all_errors) < 200

@@ -1,0 +1,28 @@
+"""Fig. 6 — Time per prediction.
+
+Checks that the Neural predictor is the slowest of the four timed
+methods yet still fast (well under a millisecond per batched call,
+i.e. microseconds per sub-zone) — "it nevertheless fits into the fast
+prediction methods category".
+"""
+
+from repro.experiments import fig06_prediction_speed as exp
+
+
+def test_fig06_prediction_speed(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    medians = {name: t.median for name, t in result.timings.items()}
+
+    # Neural is the slowest of the timed methods.
+    assert medians["Neural"] == max(medians.values())
+
+    # ... but still microsecond-scale per sub-zone: one batched call
+    # covers 16 sub-zones and stays well under a millisecond.
+    assert medians["Neural"] < 1000.0
+
+    # Distributions are well-formed.
+    for t in result.timings.values():
+        assert t.minimum <= t.median <= t.maximum

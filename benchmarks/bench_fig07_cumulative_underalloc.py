@@ -1,0 +1,29 @@
+"""Fig. 7 — Cumulative significant under-allocation events.
+
+Checks that the Neural curve ends lowest and that every curve is
+monotone (cumulative); reuses the Table V simulations.
+"""
+
+import numpy as np
+
+from repro.experiments import fig07_cumulative_underalloc as exp
+
+
+def test_fig07_cumulative_underalloc(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # Cumulative curves are monotone non-decreasing.
+    for series in result.cumulative.values():
+        assert np.all(np.diff(series) >= 0)
+
+    # Neural ends lowest (paper: "almost half the value of the Last
+    # value predictor", lowest of all five).
+    counts = result.final_counts
+    assert counts["Neural"] == min(counts.values())
+    assert counts["Neural"] <= counts["Last value"]
+
+    # The window methods accumulate substantially more events.
+    assert counts["Moving average"] > counts["Last value"]
+    assert counts["Sliding window"] > counts["Last value"]

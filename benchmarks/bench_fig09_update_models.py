@@ -1,0 +1,28 @@
+"""Fig. 9 — Ω/Υ over time for O(n), O(n^2), O(n^3).
+
+Checks that over-allocation fluctuations grow with the update-model
+complexity and that under-allocation events become more frequent.
+"""
+
+import numpy as np
+
+from repro.experiments import fig09_update_models as exp
+
+
+def test_fig09_update_models(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # "The higher the complexity of the update model, the greater the
+    # fluctuations in resource over-allocation."
+    assert result.over_std["O(n)"] < result.over_std["O(n^2)"] < result.over_std["O(n^3)"]
+
+    # "the significant under-allocation events become more frequent as
+    # the complexity of the update model increases"
+    assert result.events["O(n)"] <= result.events["O(n^2)"] <= result.events["O(n^3)"]
+
+    # Υ(t) is never positive, Ω(t) stays finite.
+    for model in result.under:
+        assert result.under[model].max() <= 1e-9
+        assert np.all(np.isfinite(result.over[model]))

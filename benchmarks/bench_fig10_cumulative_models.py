@@ -1,0 +1,27 @@
+"""Fig. 10 — Cumulative significant events for five update models.
+
+Checks that the final event counts are ordered by model complexity and
+that each curve is monotone.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_cumulative_models as exp
+
+
+def test_fig10_cumulative_models(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    for series in result.cumulative.values():
+        assert np.all(np.diff(series) >= 0)
+
+    c = result.final_counts
+    # "at the end of the two simulated weeks, this number is
+    # significantly higher for O(n^3) than for O(n)".
+    assert c["O(n^3)"] > c["O(n)"]
+    # Counts non-decreasing with complexity across the five models.
+    ordered = [c["O(n)"], c["O(n log n)"], c["O(n^2)"], c["O(n^2 log n)"], c["O(n^3)"]]
+    assert all(a <= b + max(2, 0.2 * b) for a, b in zip(ordered, ordered[1:]))
+    assert ordered[-1] >= ordered[0]

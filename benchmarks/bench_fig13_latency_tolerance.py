@@ -1,0 +1,46 @@
+"""Fig. 13 — Allocation distribution vs. latency tolerance (Sec. V-E).
+
+Checks that growing latency tolerance shifts allocations from each
+region's local (coarse-policy East) centers toward the finest-policy
+West-coast centers.
+"""
+
+import pytest
+
+from repro.experiments import fig13_latency_tolerance as exp
+
+
+def test_fig13_latency_tolerance(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # Shares are distributions.
+    for share in result.shares.values():
+        assert sum(share.values()) == pytest.approx(1.0, abs=1e-6)
+
+    east = result.east_share
+    west = result.west_share
+
+    # Under tight tolerance, East players are served in the East.
+    assert east["same location"] > west["same location"] * 0.9
+
+    # Under Very far, the fine-grained West absorbs the load and the
+    # coarse East is bypassed ("resources of the data centers with
+    # unsuitable hosting policies being unused").
+    assert west["very far"] > east["very far"] * 1.4
+
+    # The *US East* centers specifically — the coarsest policies of the
+    # gradient — lose most of their share once tolerance admits remote
+    # placement.
+    def us_east_share(cls: str) -> float:
+        return sum(
+            result.shares[cls].get(n, 0.0) for n in ("US East (1)", "US East (2)")
+        )
+
+    assert us_east_share("very far") < us_east_share("same location") * 0.7
+
+    # Monotone-ish westward drift with tolerance.
+    order = ["same location", "very close", "close", "far", "very far"]
+    west_series = [west[c] for c in order]
+    assert west_series[-1] >= max(west_series[:2])

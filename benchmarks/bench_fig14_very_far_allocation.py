@@ -1,0 +1,35 @@
+"""Fig. 14 — Per-center allocation under Very-far tolerance (Sec. V-E).
+
+Checks that the coarse-policy US East centers are the ones left with
+free resources, and that US East requests are served from the
+finer-grained Central/West centers.
+"""
+
+from repro.experiments import fig14_very_far_allocation as exp
+
+_EAST = ("US East (1)", "US East (2)")
+_WEST = ("US West (1)", "US West (2)")
+
+
+def test_fig14_very_far_allocation(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    # "the US East Coast data centers are the only ones to have free
+    # resources" — relaxed: they have by far the largest free share.
+    east_free_frac = sum(result.free_fraction(n) for n in _EAST) / len(_EAST)
+    west_free_frac = sum(result.free_fraction(n) for n in _WEST) / len(_WEST)
+    assert east_free_frac > west_free_frac * 2
+
+    # "the US East Coast requests are served under the best policies":
+    # most East-request CPU sits outside the East-coast centers.
+    east_at_home = sum(result.east_handled.get(n, 0.0) for n in _EAST)
+    east_total = sum(result.east_handled.values())
+    assert east_total > 0
+    assert east_at_home < 0.4 * east_total
+
+    # Decomposition is consistent with capacity.
+    for name, cap in result.capacity.items():
+        used = result.east_handled.get(name, 0.0) + result.other_handled.get(name, 0.0)
+        assert used + result.free[name] <= cap + 1e-6

@@ -1,0 +1,35 @@
+"""Table I — The eight emulator data sets.
+
+Runs the full one-simulated-day emulations and checks that the measured
+dynamics realize the configured taxonomy (Type I > Type III > Type II in
+instantaneous dynamics; peak-hours sets have larger overall swings).
+"""
+
+import numpy as np
+
+from repro.emulator import SignalType, TABLE_I_SPECS
+from repro.experiments import table1_emulator_datasets as exp
+
+
+def test_table1_emulator_datasets(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    by_type: dict[SignalType, list[float]] = {t: [] for t in SignalType}
+    for spec in TABLE_I_SPECS:
+        by_type[spec.signal_type].append(result.measured_instantaneous[spec.name])
+
+    # Signal taxonomy: Type I (high) > Type III (medium) > Type II (low).
+    assert np.mean(by_type[SignalType.TYPE_I]) > np.mean(by_type[SignalType.TYPE_III])
+    assert np.mean(by_type[SignalType.TYPE_III]) > np.mean(by_type[SignalType.TYPE_II])
+
+    # Peak-hours sets (5-8) show the larger daily population swing.
+    overall_peak = [result.measured_overall[s.name] for s in TABLE_I_SPECS if s.peak_hours]
+    overall_flat = [
+        result.measured_overall[s.name] for s in TABLE_I_SPECS if not s.peak_hours
+    ]
+    assert np.mean(overall_peak) > np.mean(overall_flat)
+
+    # One simulated day sampled every two minutes = 720 samples.
+    assert all(tr.n_samples == 720 for tr in result.traces.values())

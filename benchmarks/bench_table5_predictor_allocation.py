@@ -1,0 +1,46 @@
+"""Table V — Dynamic allocation under six predictors (Sec. V-B).
+
+Full two-week simulations on the Table III platform under HP-1/HP-2.
+Checks the paper's claims: Neural has the fewest significant events and
+the best under-allocation, Last value is the runner-up, the window/
+smoothing predictors trail, and Average is catastrophically worse.
+ExtNet[in] over-allocation is enormous (the HP-1/HP-2 inbound bulks do
+not fit the workload).
+"""
+
+from repro.experiments import table5_predictor_allocation as exp
+
+
+def test_table5_predictor_allocation(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    rows = {r.predictor: r for r in result.rows}
+
+    # Neural: fewest events, least under-allocation.
+    others = [r for name, r in rows.items() if name != "Neural"]
+    assert all(rows["Neural"].events <= r.events for r in others)
+    assert all(rows["Neural"].cpu_under >= r.cpu_under - 1e-9 for r in others)
+
+    # Last value is the runner-up (paper: roughly double Neural's events).
+    non_neural = sorted(others, key=lambda r: r.events)
+    assert non_neural[0].predictor == "Last value"
+    assert rows["Last value"].events >= rows["Neural"].events
+
+    # Window/smoothing methods trail the top two.
+    for name in ("Moving average", "Sliding window", "Exp. smoothing"):
+        assert rows[name].events > rows["Last value"].events
+
+    # Average is in a class of its own (paper: 8,123 events, -12.8 % CPU).
+    assert rows["Average"].events > 10 * rows["Moving average"].events
+    assert rows["Average"].cpu_under < -1.0
+
+    # ExtNet[in] over-allocation is enormous under HP-1/HP-2
+    # (paper: ~1000 %), and identical across predictors' requests.
+    assert rows["Neural"].extnet_in_over > 300.0
+
+    # The good predictors' CPU over-allocation sits in a tight band
+    # dominated by the 0.25-unit per-world rounding (paper: 24.8-25.9 %).
+    good = [rows[n].cpu_over for n in ("Neural", "Last value", "Moving average")]
+    assert max(good) - min(good) < 0.2 * max(good)

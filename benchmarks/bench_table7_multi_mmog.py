@@ -1,0 +1,39 @@
+"""Table VII — Servicing multiple MMOG types concurrently (Sec. V-F).
+
+Checks the paper's claims: performance is stable while the heavier B/C
+games dominate the mix, the biggest consumer determines efficiency, and
+the pure-A workload is markedly cheaper than every other scenario.
+"""
+
+import numpy as np
+
+from repro.experiments import table7_multi_mmog as exp
+
+
+def test_table7_multi_mmog(once):
+    result = once(exp.run)
+    print()
+    print(exp.format_result(result))
+
+    by = {r.mix: r for r in result.rows}
+    pure_a = by[(100, 0, 0)]
+    pure_b = by[(0, 100, 0)]
+    pure_c = by[(0, 0, 100)]
+
+    # "the performance of the system is significantly better" under the
+    # light pure-A workload.
+    heavier = [r.over for r in result.rows if r.mix != (100, 0, 0)]
+    assert pure_a.over < min(heavier)
+
+    # "the performance of the system is stable" across the B/C-dominated
+    # mixes: their over-allocations sit in a narrow band.
+    bc_mixes = [by[m].over for m in ((0, 0, 100), (5, 5, 90), (10, 10, 80),
+                                     (25, 25, 50), (33, 33, 33), (0, 100, 0))]
+    assert max(bc_mixes) - min(bc_mixes) < 0.5 * max(bc_mixes)
+
+    # "the efficiency of the provisioning system is determined by its
+    # biggest consumer": pure C (heaviest model) >= pure B.
+    assert pure_c.over >= pure_b.over * 0.9
+
+    # Under-allocation stays small everywhere.
+    assert all(-1.0 < r.under <= 0.0 for r in result.rows)

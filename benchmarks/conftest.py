@@ -1,0 +1,29 @@
+"""Benchmark configuration.
+
+Benchmarks regenerate every paper table/figure at full scale: 14
+evaluation days (10,080 two-minute samples, the paper's "over 10,000
+metric samples") after a two-day warm-up.  Set ``REPRO_EVAL_DAYS`` /
+``REPRO_WARMUP_DAYS`` to shrink a run.
+
+Simulations are shared between benchmarks through the in-process cache
+in :mod:`repro.experiments.common` (e.g. Table V and Fig. 7 read the
+same six runs), so run the whole directory in one pytest invocation for
+the intended cost.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Capacity planning: should an MMOG operator go dynamic?
+
+The scenario the paper motivates: an operator currently owns a static
+infrastructure sized for its historical peak and wants to know what
+renting dynamically from data centers would save.  We synthesize a
+week of workload (including a content-release surge mid-week), run the
+same workload through static and dynamic provisioning, and report the
+machine-hours each strategy consumes per update model.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import (
+    CPU,
+    DemandModel,
+    EcosystemConfig,
+    EcosystemSimulator,
+    GameSpec,
+    NeuralPredictor,
+    build_paper_datacenters,
+    update_model,
+)
+from repro.reporting import render_series, render_table
+from repro.traces import ContentRelease, synthesize_runescape_like
+
+
+def simulate(trace, update: str, mode: str):
+    game = GameSpec(
+        name="ops-game",
+        trace=trace,
+        demand_model=DemandModel(update=update_model(update)),
+        predictor_factory=NeuralPredictor,
+    )
+    config = EcosystemConfig(
+        games=[game],
+        centers=build_paper_datacenters(),
+        mode=mode,
+        warmup_steps=720,
+    )
+    return EcosystemSimulator(config).run()
+
+
+def main() -> None:
+    print("Synthesizing one week of workload with a mid-week content release...")
+    trace = synthesize_runescape_like(
+        n_days=8,
+        seed=11,
+        events=[ContentRelease(day=4.0, surge_fraction=0.4, duration_days=3.0)],
+    )
+
+    rows = []
+    demand_series = None
+    for update in ("O(n)", "O(n^2)", "O(n^3)"):
+        dynamic = simulate(trace, update, "dynamic")
+        static = simulate(trace, update, "static")
+        # Machine-hours: mean machines in use x simulated hours.
+        hours = dynamic.eval_steps * dynamic.step_minutes / 60.0
+        dyn_hours = float(dynamic.combined.machines.mean()) * hours
+        sta_hours = float(static.combined.machines.mean()) * hours
+        rows.append(
+            (
+                update,
+                f"{sta_hours:,.0f}",
+                f"{dyn_hours:,.0f}",
+                f"{(1 - dyn_hours / sta_hours) * 100:.0f} %",
+                dynamic.combined.significant_events(CPU),
+            )
+        )
+        if update == "O(n^2)":
+            demand_series = dynamic.combined.load[:, 0]
+
+    print()
+    print(
+        render_table(
+            ["Update model", "Static machine-h", "Dynamic machine-h",
+             "Savings", "|Y|>1% events"],
+            rows,
+            title="One week of operation: static vs dynamic provisioning",
+        )
+    )
+    print()
+    print(render_series(demand_series, label="CPU demand (O(n^2))"))
+    print()
+    print(
+        "Savings grow with the interaction complexity of the game: convex\n"
+        "update models make peak hours disproportionately expensive, which\n"
+        "is exactly the capacity a static infrastructure keeps idle all day."
+    )
+
+
+if __name__ == "__main__":
+    main()

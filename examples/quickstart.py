@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: provision a RuneScape-like MMOG from data centers.
+
+Synthesizes three days of workload, runs dynamic provisioning with the
+paper's neural-network predictor on the Table III data-center platform,
+and prints the headline efficiency metrics (resource over-allocation,
+under-allocation, significant events).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CPU, EXTNET_IN, EXTNET_OUT, quick_simulation
+from repro.reporting import render_series, render_table
+
+
+def main() -> None:
+    print("Running a 3-day dynamic-provisioning simulation (Neural predictor)...")
+    result = quick_simulation(n_days=3, warmup_days=1)
+    timeline = result.combined
+
+    rows = []
+    for rtype in (CPU, EXTNET_IN, EXTNET_OUT):
+        rows.append(
+            (
+                rtype.label,
+                f"{timeline.average_over_allocation(rtype):.1f}",
+                f"{timeline.average_under_allocation(rtype):.3f}",
+                timeline.significant_events(rtype),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["Resource", "Over-alloc [%]", "Under-alloc [%]", "|Y|>1% events"],
+            rows,
+            title=f"Provisioning efficiency over {result.eval_steps} two-minute steps",
+        )
+    )
+    print()
+    print(render_series(timeline.load[:, 0], label="CPU demand [units]"))
+    print(render_series(timeline.allocated[:, 0], label="CPU allocated [units]"))
+    print()
+    print(
+        "The allocation tracks the diurnal demand curve; bulk rounding and\n"
+        "lease durations (the hosting policy's space-time bulks) are what\n"
+        "keeps it slightly above."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""repro — dynamic data-center resource provisioning for MMOGs.
+
+A full reproduction of Nae, Iosup, Podlipnig, Prodan, Epema, Fahringer,
+*Efficient Management of Data Center Resources for Massively Multiplayer
+Online Games* (SC 2008): the MMOG ecosystem model, workload analysis,
+the neural-network load predictor and its six baselines, and the
+trace-driven provisioning simulator behind every table and figure of
+the paper's evaluation.
+
+Packages
+--------
+``repro.core``
+    The paper's contribution: update models, demand estimation,
+    request-offer matching, dynamic/static provisioning, the Ω/Υ
+    metrics and the multi-MMOG multi-data-center simulator.
+``repro.datacenter``
+    Hosting substrate: resources, hosting policies (Table IV), machines,
+    data centers (Table III), geography and latency classes.
+``repro.predictors``
+    Load prediction: the (6,3,1) MLP with polynomial preprocessing and
+    the simple baselines of Sec. IV.
+``repro.emulator``
+    The game emulator generating the Table I data sets.
+``repro.traces``
+    RuneScape-like workload synthesis and the Sec. III analyses.
+``repro.nettrace``
+    Packet-level session traces (Fig. 4).
+``repro.market``
+    MMOG market growth (Fig. 1).
+``repro.experiments``
+    One module per paper table/figure plus ablations.
+
+Quickstart
+----------
+>>> from repro import quick_simulation
+>>> result = quick_simulation(n_days=2, warmup_days=0.5)
+>>> result.eval_steps
+1080
+"""
+
+from repro.core import (
+    DemandModel,
+    DynamicProvisioner,
+    EcosystemConfig,
+    EcosystemSimulator,
+    GameOperator,
+    GameSpec,
+    MatchingPolicy,
+    MetricsTimeline,
+    SimulationResult,
+    StaticProvisioner,
+    UpdateModel,
+    update_model,
+)
+from repro.datacenter import (
+    CPU,
+    EXTNET_IN,
+    EXTNET_OUT,
+    MEMORY,
+    DataCenter,
+    HostingPolicy,
+    LatencyClass,
+    ResourceType,
+    ResourceVector,
+    build_paper_datacenters,
+    policy,
+)
+from repro.predictors import (
+    AveragePredictor,
+    ExponentialSmoothingPredictor,
+    LastValuePredictor,
+    MovingAveragePredictor,
+    NeuralPredictor,
+    SlidingWindowMedianPredictor,
+)
+from repro.traces import GameTrace, RegionTrace, synthesize_runescape_like
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DemandModel",
+    "DynamicProvisioner",
+    "EcosystemConfig",
+    "EcosystemSimulator",
+    "GameOperator",
+    "GameSpec",
+    "MatchingPolicy",
+    "MetricsTimeline",
+    "SimulationResult",
+    "StaticProvisioner",
+    "UpdateModel",
+    "update_model",
+    "CPU",
+    "MEMORY",
+    "EXTNET_IN",
+    "EXTNET_OUT",
+    "DataCenter",
+    "HostingPolicy",
+    "LatencyClass",
+    "ResourceType",
+    "ResourceVector",
+    "build_paper_datacenters",
+    "policy",
+    "AveragePredictor",
+    "ExponentialSmoothingPredictor",
+    "LastValuePredictor",
+    "MovingAveragePredictor",
+    "NeuralPredictor",
+    "SlidingWindowMedianPredictor",
+    "GameTrace",
+    "RegionTrace",
+    "synthesize_runescape_like",
+    "quick_simulation",
+]
+
+
+def quick_simulation(
+    *,
+    n_days: float = 3.0,
+    warmup_days: float = 1.0,
+    predictor=NeuralPredictor,
+    update: str = "O(n^2)",
+    mode: str = "dynamic",
+    seed: int = 1,
+) -> SimulationResult:
+    """Run a small end-to-end provisioning simulation with defaults.
+
+    Synthesizes a RuneScape-like trace, builds the Table III platform
+    under the paper's HP-1/HP-2 policies, and simulates ``mode``
+    provisioning with the given predictor and update model.  Intended
+    for quickstarts and smoke tests; the full-scale experiments live in
+    :mod:`repro.experiments`.
+    """
+    trace = synthesize_runescape_like(n_days=n_days, seed=seed)
+    game = GameSpec(
+        name="quickstart",
+        trace=trace,
+        demand_model=DemandModel(update=update_model(update)),
+        predictor_factory=predictor,
+    )
+    config = EcosystemConfig(
+        games=[game],
+        centers=build_paper_datacenters(),
+        mode=mode,
+        warmup_steps=int(round(warmup_days * 720)),
+    )
+    return EcosystemSimulator(config).run()

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a downstream user needs without
+writing Python:
+
+* ``repro synthesize`` — generate a RuneScape-like workload trace and
+  save it (NPZ or CSV);
+* ``repro simulate`` — run one provisioning simulation and print the
+  efficiency metrics;
+* ``repro experiment`` — run a paper experiment by name (``fig05``,
+  ``table6``, ...) and print its table/series;
+* ``repro predictors`` — list the available predictors.
+
+Examples
+--------
+::
+
+    repro synthesize --days 14 --seed 1 --out trace.npz
+    repro simulate --days 3 --predictor Neural --update "O(n^2)"
+    repro experiment fig03
+    REPRO_EVAL_DAYS=2 repro experiment table5
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment name -> module path (all expose run()/format_result()).
+EXPERIMENTS: dict[str, str] = {
+    "fig01": "repro.experiments.fig01_market_growth",
+    "fig02": "repro.experiments.fig02_global_players",
+    "fig03": "repro.experiments.fig03_regional_analysis",
+    "fig04": "repro.experiments.fig04_packet_traces",
+    "table1": "repro.experiments.table1_emulator_datasets",
+    "fig05": "repro.experiments.fig05_prediction_accuracy",
+    "fig06": "repro.experiments.fig06_prediction_speed",
+    "table5": "repro.experiments.table5_predictor_allocation",
+    "fig07": "repro.experiments.fig07_cumulative_underalloc",
+    "fig08": "repro.experiments.fig08_static_vs_dynamic",
+    "table6": "repro.experiments.table6_interaction_types",
+    "fig09": "repro.experiments.fig09_update_models",
+    "fig10": "repro.experiments.fig10_cumulative_models",
+    "fig11": "repro.experiments.fig11_resource_bulk",
+    "fig12": "repro.experiments.fig12_time_bulk",
+    "fig13": "repro.experiments.fig13_latency_tolerance",
+    "fig14": "repro.experiments.fig14_very_far_allocation",
+    "table7": "repro.experiments.table7_multi_mmog",
+    "ablation-matching": "repro.experiments.ablation_matching_order",
+    "ablation-margin": "repro.experiments.ablation_safety_margin",
+    "ablation-priority": "repro.experiments.ablation_priority",
+    "interaction-evidence": "repro.experiments.interaction_evidence",
+    "cost-comparison": "repro.experiments.cost_comparison",
+    "ablation-advance": "repro.experiments.ablation_advance_booking",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Efficient Management of Data Center "
+        "Resources for MMOGs' (SC 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    syn = sub.add_parser("synthesize", help="generate a workload trace")
+    syn.add_argument("--days", type=float, default=14.0, help="trace length in days")
+    syn.add_argument("--seed", type=int, default=1, help="random seed")
+    syn.add_argument("--out", required=True, help="output path (.npz) or directory (--csv)")
+    syn.add_argument("--csv", action="store_true", help="write a CSV directory instead of NPZ")
+
+    sim = sub.add_parser("simulate", help="run one provisioning simulation")
+    sim.add_argument("--days", type=float, default=3.0, help="trace length in days")
+    sim.add_argument("--warmup-days", type=float, default=1.0, help="warm-up prefix")
+    sim.add_argument("--seed", type=int, default=1, help="random seed")
+    sim.add_argument("--predictor", default="Neural", help="predictor display name")
+    sim.add_argument("--update", default="O(n^2)", help="update model, e.g. 'O(n)'")
+    sim.add_argument(
+        "--mode", choices=("dynamic", "static"), default="dynamic",
+        help="provisioning mode",
+    )
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument(
+        "name", choices=sorted(EXPERIMENTS), help="experiment identifier"
+    )
+
+    sub.add_parser("predictors", help="list available predictors")
+    return parser
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.traces import synthesize_runescape_like
+    from repro.traces.io import save_csv_dir, save_npz
+
+    trace = synthesize_runescape_like(n_days=args.days, seed=args.seed)
+    if args.csv:
+        save_csv_dir(trace, args.out)
+    else:
+        save_npz(trace, args.out)
+    total = trace.global_players()
+    print(
+        f"wrote {args.out}: {len(trace.regions)} regions, "
+        f"{trace.n_steps} samples, peak concurrency {total.max():,}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import quick_simulation
+    from repro.datacenter.resources import CPU, EXTNET_IN, EXTNET_OUT
+    from repro.predictors.base import make_predictor
+    from repro.reporting import render_table
+
+    result = quick_simulation(
+        n_days=args.days,
+        warmup_days=args.warmup_days,
+        predictor=lambda: make_predictor(args.predictor),
+        update=args.update,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    tl = result.combined
+    rows = [
+        (
+            r.label,
+            f"{tl.average_over_allocation(r):.1f}",
+            f"{tl.average_under_allocation(r):.3f}",
+            tl.significant_events(r),
+        )
+        for r in (CPU, EXTNET_IN, EXTNET_OUT)
+    ]
+    print(
+        render_table(
+            ["Resource", "Over [%]", "Under [%]", "|Y|>1% events"],
+            rows,
+            title=f"{args.mode} provisioning, {args.predictor}, {args.update}, "
+            f"{result.eval_steps} steps",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(EXPERIMENTS[args.name])
+    result = module.run()
+    print(module.format_result(result))
+    return 0
+
+
+def _cmd_predictors(_args: argparse.Namespace) -> int:
+    from repro.predictors.base import PREDICTOR_REGISTRY
+
+    for name in sorted(PREDICTOR_REGISTRY):
+        print(name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "synthesize": _cmd_synthesize,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "predictors": _cmd_predictors,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's contribution: dynamic resource provisioning for MMOGs.
+
+This package ties the substrates together into the provisioning system
+of Secs. II and V:
+
+* :mod:`repro.core.loadmodel` — player-interaction *update models*
+  (``O(n)`` ... ``O(n^3)``) and the conversion from per-zone player
+  counts to a four-resource demand vector;
+* :mod:`repro.core.matching` — the request-offer matching mechanism
+  (latency filter, then finest-grain / shortest-lease / closest-first
+  ranking);
+* :mod:`repro.core.operator` — the game operator: per-zone load
+  prediction and demand estimation;
+* :mod:`repro.core.provisioner` — the dynamic provisioning engine
+  (lease reconciliation) and the static baseline;
+* :mod:`repro.core.metrics` — over-allocation, under-allocation, and
+  significant-event accounting (Eqs. 1-2);
+* :mod:`repro.core.ecosystem` — the multi-MMOG / multi-data-center
+  trace-driven simulator behind every Sec. V experiment.
+"""
+
+from repro.core.loadmodel import (
+    UpdateModel,
+    UPDATE_MODELS,
+    update_model,
+    DemandModel,
+)
+from repro.core.matching import MatchingPolicy, MatchPlan, match_request, distance_band
+from repro.core.metrics import (
+    over_allocation_percent,
+    under_allocation_percent,
+    MetricsTimeline,
+    SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
+)
+from repro.core.operator import GameOperator
+from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
+from repro.core.ecosystem import (
+    GameSpec,
+    EcosystemConfig,
+    EcosystemSimulator,
+    SimulationResult,
+)
+
+__all__ = [
+    "UpdateModel",
+    "UPDATE_MODELS",
+    "update_model",
+    "DemandModel",
+    "MatchingPolicy",
+    "MatchPlan",
+    "match_request",
+    "distance_band",
+    "over_allocation_percent",
+    "under_allocation_percent",
+    "MetricsTimeline",
+    "SIGNIFICANT_UNDER_ALLOCATION_PERCENT",
+    "GameOperator",
+    "DynamicProvisioner",
+    "StaticProvisioner",
+    "GameSpec",
+    "EcosystemConfig",
+    "EcosystemSimulator",
+    "SimulationResult",
+]

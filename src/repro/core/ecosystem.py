@@ -1,0 +1,394 @@
+"""The trace-driven ecosystem simulator (Sec. V).
+
+One :class:`EcosystemSimulator` run plays a workload trace through the
+multi-MMOG, multi-data-center ecosystem:
+
+* every two minutes each game operator predicts the next step's load
+  per server group, converts it to a resource demand per region, and
+  reconciles its leases (dynamic mode) — or sits on its pre-installed
+  peak allocation (static mode);
+* the simulator then scores the allocation that was in place against
+  the *actual* load of the step (Ω, Υ, significant events), before the
+  operators observe that load and move on.
+
+Resource allocation, provisioning and setup are charged zero overhead,
+as in the paper.  The first ``warmup_steps`` of the trace serve as the
+off-line data-collection/training phases (Sec. IV-C) and are excluded
+from the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.loadmodel import DemandModel
+from repro.core.matching import MatchingPolicy
+from repro.core.metrics import MetricsTimeline
+from repro.core.operator import GameOperator
+from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
+from repro.datacenter.center import DataCenter
+from repro.datacenter.geography import LatencyClass
+from repro.datacenter.resources import CPU, RESOURCE_TYPES, ResourceVector
+from repro.predictors.base import Predictor
+from repro.traces.model import GameTrace
+
+__all__ = ["GameSpec", "EcosystemConfig", "EcosystemSimulator", "SimulationResult"]
+
+
+@dataclass
+class GameSpec:
+    """One MMOG participating in the simulation.
+
+    Parameters
+    ----------
+    name:
+        Game identifier (doubles as operator id unless overridden).
+    trace:
+        The workload: per-region, per-server-group player counts.
+    demand_model:
+        Player-count → resource-demand conversion (fixes the game's
+        update model).
+    predictor_factory:
+        Builds one predictor per region.
+    latency_class:
+        The game's latency tolerance.
+    safety_margin:
+        Fractional padding on predicted demand.
+    operator_id:
+        Tenant id (defaults to ``name``).
+    cpu_quantum:
+        Per-server-group CPU allocation granularity.  ``None`` (the
+        default) derives it from the platform: the finest CPU bulk any
+        data center offers.  0 disables quantization.
+    priority:
+        Request priority (higher = served first each step).  The
+        paper's future work proposes "prioritizing the resource
+        requests according to the interaction type of the MMOG"
+        (Sec. V-F); this knob implements that mechanism.  Ties keep the
+        configuration order.
+    """
+
+    name: str
+    trace: GameTrace
+    demand_model: DemandModel
+    predictor_factory: Callable[[], Predictor]
+    latency_class: LatencyClass = LatencyClass.VERY_FAR
+    safety_margin: float = 0.0
+    operator_id: str | None = None
+    cpu_quantum: float | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.operator_id is None:
+            self.operator_id = self.name
+        if not self.trace.regions:
+            raise ValueError(f"game {self.name!r} has an empty trace")
+
+    def resolved_quantum(self, centers: Sequence[DataCenter]) -> float:
+        """The CPU quantum to use against a given platform."""
+        if self.cpu_quantum is not None:
+            return self.cpu_quantum
+        from repro.datacenter.resources import CPU as _CPU
+
+        bulks = [
+            c.policy.resource_bulk[_CPU]
+            for c in centers
+            if c.policy.resource_bulk[_CPU] > 0
+        ]
+        return min(bulks) if bulks else 0.0
+
+    def build_operator(self, centers: Sequence[DataCenter]) -> GameOperator:
+        """Instantiate the operator for this game."""
+        return GameOperator(
+            self.operator_id,
+            self.name,
+            self.demand_model,
+            self.predictor_factory,
+            latency_class=self.latency_class,
+            safety_margin=self.safety_margin,
+            cpu_quantum=self.resolved_quantum(centers),
+        )
+
+
+@dataclass
+class EcosystemConfig:
+    """Full configuration of one simulation run.
+
+    Parameters
+    ----------
+    games:
+        The MMOGs sharing the platform.
+    centers:
+        The hosting platform (mutated during the run: leases are
+        created on these objects; build fresh centers per run).
+    mode:
+        ``"dynamic"`` or ``"static"`` provisioning.
+    warmup_steps:
+        Steps of trace prefix used for the off-line phases (default one
+        simulated day at 2-minute sampling).
+    matching:
+        Offer-ranking policy.
+    advance_lead_steps:
+        When positive (dynamic mode only), operators use the *advance
+        reservation* service model (Sec. II-B): every step they book
+        capacity ``advance_lead_steps`` ahead from an iterated
+        multi-step forecast, instead of requesting on demand.  Bookings
+        hold their resources from booking time (reserved capacity is
+        unavailable to other tenants) until the lease ends.
+    """
+
+    games: list[GameSpec]
+    centers: list[DataCenter]
+    mode: str = "dynamic"
+    warmup_steps: int = 720
+    matching: MatchingPolicy = field(default_factory=MatchingPolicy)
+    advance_lead_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("dynamic", "static"):
+            raise ValueError("mode must be 'dynamic' or 'static'")
+        if self.advance_lead_steps < 0:
+            raise ValueError("advance_lead_steps must be non-negative")
+        if self.advance_lead_steps and self.mode != "dynamic":
+            raise ValueError("advance reservations require dynamic mode")
+        if not self.games:
+            raise ValueError("need at least one game")
+        if not self.centers:
+            raise ValueError("need at least one data center")
+        lengths = {g.trace.n_steps for g in self.games}
+        if len(lengths) > 1:
+            raise ValueError(f"game traces differ in length: {sorted(lengths)}")
+        n_steps = lengths.pop()
+        if self.warmup_steps < 0 or self.warmup_steps >= n_steps:
+            raise ValueError("warmup_steps must be in [0, trace length)")
+
+
+@dataclass
+class SimulationResult:
+    """Everything the Sec. V experiments read off one run.
+
+    Attributes
+    ----------
+    per_game:
+        One metric timeline per game (over the evaluation window).
+    combined:
+        The platform-wide timeline (totals across games).
+    center_cpu_mean:
+        Mean CPU units allocated per data center over the evaluation
+        window (Figs. 13-14).
+    center_region_cpu_mean:
+        Mean CPU units per (data center, requesting region) pair.
+    center_capacity_cpu:
+        CPU capacity per data center.
+    unmatched_steps:
+        Steps on which some demand could not be hosted anywhere.
+    eval_steps / step_minutes:
+        Evaluation-window geometry.
+    """
+
+    per_game: dict[str, MetricsTimeline]
+    combined: MetricsTimeline
+    center_cpu_mean: dict[str, float]
+    center_region_cpu_mean: dict[tuple[str, str], float]
+    center_capacity_cpu: dict[str, float]
+    unmatched_steps: int
+    eval_steps: int
+    step_minutes: float
+
+
+class EcosystemSimulator:
+    """Runs one configured simulation and collects the metrics."""
+
+    def __init__(self, config: EcosystemConfig) -> None:
+        self.config = config
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation over the trace's evaluation window."""
+        cfg = self.config
+        step_minutes = cfg.games[0].trace.step_minutes
+        n_steps = cfg.games[0].trace.n_steps
+        warmup = cfg.warmup_steps
+        eval_steps = n_steps - warmup
+
+        operators = {g.name: g.build_operator(cfg.centers) for g in cfg.games}
+        if cfg.mode == "dynamic":
+            provisioner: DynamicProvisioner | StaticProvisioner = DynamicProvisioner(
+                cfg.centers, matching=cfg.matching, step_minutes=step_minutes
+            )
+        else:
+            provisioner = StaticProvisioner(
+                cfg.centers, matching=cfg.matching, step_minutes=step_minutes
+            )
+
+        # Off-line phases: predictor training + state warm-up.
+        for game in cfg.games:
+            if warmup > 0:
+                operators[game.name].prepare(
+                    GameOperator.warmup_from_trace(game.trace, warmup)
+                )
+
+        # Static mode installs, up front, servers sized for every group's
+        # individual peak over the horizon (the worst case each world's
+        # own servers must carry — static infrastructure cannot shuffle
+        # capacity between worlds mid-flight).
+        static_assigned: dict[tuple[str, str], np.ndarray] = {}
+        if cfg.mode == "static":
+            from repro.datacenter.resources import ResourceVector as _RV
+
+            for game in cfg.games:
+                op = operators[game.name]
+                for region in game.trace.regions:
+                    peak_players = region.loads[warmup:].max(axis=0)
+                    assigned = game.demand_model.demand_per_group(
+                        peak_players, cpu_quantum=op.cpu_quantum
+                    )
+                    static_assigned[(game.name, region.name)] = assigned
+                    provisioner.install(
+                        op,
+                        region.name,
+                        region.location,
+                        _RV.from_array(assigned.sum(axis=0)),
+                    )
+
+        ordered_games = sorted(
+            cfg.games, key=lambda g: -g.priority
+        )  # stable: ties keep configuration order
+        per_game = {g.name: MetricsTimeline(eval_steps) for g in cfg.games}
+        combined = MetricsTimeline(eval_steps)
+        center_cpu_sum: dict[str, float] = {c.name: 0.0 for c in cfg.centers}
+        center_region_cpu_sum: dict[tuple[str, str], float] = {}
+        unmatched_steps = 0
+
+        n_res = len(RESOURCE_TYPES)
+        for t in range(warmup, n_steps):
+            # 1. Reconcile allocations for this step from predictions
+            #    made on data up to t-1 (dynamic mode only).  Games are
+            #    served in priority order (the Sec. V-F future-work
+            #    mechanism); equal priorities keep configuration order.
+            any_unmatched = False
+            if cfg.mode == "dynamic":
+                lead = cfg.advance_lead_steps
+                for game in ordered_games:
+                    op = operators[game.name]
+                    for region in game.trace.regions:
+                        if lead > 0:
+                            desired = op.desired_allocation_ahead(
+                                region.name, region.n_groups, lead, t + lead
+                            )
+                        else:
+                            desired = op.desired_allocation(
+                                region.name, region.n_groups
+                            )
+                        plan = provisioner.reconcile(
+                            op, region.name, region.location, desired, t
+                        )
+                        if not plan.fully_matched:
+                            any_unmatched = True
+            if any_unmatched:
+                unmatched_steps += 1
+
+            # 2. Score the in-place allocation against the actual load.
+            #    Under-allocation uses per-group granularity: each game
+            #    world runs on servers sized from the prediction behind
+            #    the last request, and a world's shortfall cannot be
+            #    absorbed by another world's idle surplus within the
+            #    step (Eq. 2's per-machine min; migration unsupported).
+            combined_alloc = np.zeros(n_res)
+            combined_load = np.zeros(n_res)
+            combined_deficit = np.zeros(n_res)
+            combined_machines = 0
+            for game in cfg.games:
+                op = operators[game.name]
+                game_alloc = np.zeros(n_res)
+                game_load = np.zeros(n_res)
+                game_deficit = np.zeros(n_res)
+                game_machines = 0
+                for region in game.trace.regions:
+                    players = game.trace.region(region.name).loads[t]
+                    lam = op.demand_model.demand_per_group(players)  # true load
+                    game_load += lam.sum(axis=0)
+                    alloc_vec = provisioner.allocation_array(op, region.name)
+                    game_alloc += alloc_vec
+                    game_machines += provisioner.machines(op, region.name)
+
+                    if cfg.mode == "static":
+                        assigned = static_assigned[(game.name, region.name)]
+                    else:
+                        if cfg.advance_lead_steps > 0:
+                            # Score against the booking that was sized
+                            # for this step; early steps (booked during
+                            # the on-demand cold start) fall back to the
+                            # latest prediction.
+                            pred = op.scheduled_players(region.name, t)
+                            if pred is None:
+                                pred = op.last_predicted_players(region.name)
+                        else:
+                            pred = op.last_predicted_players(region.name)
+                        if pred is None:
+                            pred = players.astype(np.float64)
+                        assigned = op.demand_model.demand_per_group(
+                            pred, cpu_quantum=op.cpu_quantum
+                        )
+                    # Scale assignments down where the platform could
+                    # not host the full request (contention).
+                    total_assigned = assigned.sum(axis=0)
+                    rho = np.ones(n_res)
+                    positive = total_assigned > 1e-12
+                    rho[positive] = np.minimum(
+                        1.0, alloc_vec[positive] / total_assigned[positive]
+                    )
+                    region_deficit = np.maximum(lam - assigned * rho, 0.0).sum(axis=0)
+                    # CPU is machine/world-bound (per-group accounting);
+                    # memory travels with the machines.  The external
+                    # network is a data-center-level pool (Sec. II-B),
+                    # so its shortfall is the pooled one.
+                    lam_total = lam.sum(axis=0)
+                    pooled = np.maximum(lam_total - alloc_vec, 0.0)
+                    region_deficit[2:] = pooled[2:]  # ExtNet[in], ExtNet[out]
+                    game_deficit += region_deficit
+                per_game[game.name].record(
+                    game_alloc, game_load, game_machines, deficit=game_deficit
+                )
+                combined_alloc += game_alloc
+                combined_load += game_load
+                combined_deficit += game_deficit
+                combined_machines += game_machines
+            combined.record(
+                combined_alloc, combined_load, combined_machines, deficit=combined_deficit
+            )
+
+            # Per-center accounting (CPU only, the contended resource).
+            for center in cfg.centers:
+                center_cpu_sum[center.name] += center.allocated[CPU]
+            cpu_i = int(CPU)
+            for k, vec in provisioner.allocation_by_center_and_region().items():
+                center_region_cpu_sum[k] = center_region_cpu_sum.get(k, 0.0) + float(
+                    vec[cpu_i]
+                )
+
+            # 3. Operators observe the actual load and move on.
+            for game in cfg.games:
+                op = operators[game.name]
+                for region in game.trace.regions:
+                    op.observe(region.name, game.trace.region(region.name).loads[t])
+
+        # Teardown so the caller's centers are reusable.
+        provisioner.release_everything(n_steps)
+
+        return SimulationResult(
+            per_game=per_game,
+            combined=combined,
+            center_cpu_mean={
+                name: total / eval_steps for name, total in center_cpu_sum.items()
+            },
+            center_region_cpu_mean={
+                key: total / eval_steps for key, total in center_region_cpu_sum.items()
+            },
+            center_capacity_cpu={c.name: c.capacity[CPU] for c in cfg.centers},
+            unmatched_steps=unmatched_steps,
+            eval_steps=eval_steps,
+            step_minutes=step_minutes,
+        )

@@ -1,0 +1,214 @@
+"""Update models and the load-to-resource-demand conversion.
+
+Section II-A: with ``n`` entities in a zone, the cost of computing one
+state update ranges from ``O(n)`` (mostly solitary players) through
+``O(n^2)`` (many individually interacting players) to ``O(n^3)``
+(interacting groups); area-of-interest filtering reduces the latter two
+to ``O(n log n)`` and ``O(n^2 log n)``.
+
+The demand conversion (Sec. V-A) is anchored at the *resource unit*: one
+unit of each resource is what a fully loaded game server (2,000
+simultaneous clients) consumes.  For a server group with ``n`` players
+under update model ``f``, the CPU demand is therefore ``f(n) / f(2000)``
+units — convex models make peak-hour demand disproportionately
+expensive, which is exactly the effect Sec. V-C measures.  Memory scales
+with the resident entities (``O(n)``); the outbound state stream scales
+with the connected clients (``O(n)``); the inbound command stream also
+scales with clients but is a small fraction of a unit per full server (client
+commands are tiny compared to the outbound state stream — see the
+Fig. 4 packet sizes; the ~1000 % ExtNet[in] over-allocations of Table V
+under the 4-6-unit inbound bulks of HP-1/HP-2 imply this calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datacenter.resources import ResourceVector
+
+__all__ = ["UpdateModel", "UPDATE_MODELS", "update_model", "DemandModel"]
+
+
+@dataclass(frozen=True)
+class UpdateModel:
+    """One interaction-complexity class.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"O(n^2)"``.
+    cost:
+        Vectorized cost function of the entity count (arbitrary units;
+        only ratios matter).
+    """
+
+    name: str
+    cost: Callable[[np.ndarray], np.ndarray]
+
+    def relative_load(self, players: np.ndarray, players_full: float) -> np.ndarray:
+        """Load in server units: ``cost(players) / cost(players_full)``.
+
+        A full server (``players == players_full``) costs exactly 1 unit
+        under every model; convexity shows up below and above that
+        anchor.
+        """
+        n = np.asarray(players, dtype=np.float64)
+        denom = float(self.cost(np.asarray(players_full, dtype=np.float64)))
+        if denom <= 0:
+            raise ValueError("cost at full load must be positive")
+        return self.cost(n) / denom
+
+    def __repr__(self) -> str:
+        return f"UpdateModel({self.name!r})"
+
+
+def _log_safe(n: np.ndarray) -> np.ndarray:
+    # log(n) clamped at 1 so the model is monotone down to tiny counts.
+    return np.log(np.maximum(np.asarray(n, dtype=np.float64), np.e))
+
+
+#: The five update models evaluated in Sec. V-C, keyed by display name.
+UPDATE_MODELS: dict[str, UpdateModel] = {
+    m.name: m
+    for m in [
+        UpdateModel("O(n)", lambda n: np.asarray(n, dtype=np.float64)),
+        UpdateModel("O(n log n)", lambda n: np.asarray(n, dtype=np.float64) * _log_safe(n)),
+        UpdateModel("O(n^2)", lambda n: np.asarray(n, dtype=np.float64) ** 2),
+        UpdateModel(
+            "O(n^2 log n)", lambda n: np.asarray(n, dtype=np.float64) ** 2 * _log_safe(n)
+        ),
+        UpdateModel("O(n^3)", lambda n: np.asarray(n, dtype=np.float64) ** 3),
+    ]
+}
+
+
+def update_model(name: str) -> UpdateModel:
+    """Look up an update model by display name (e.g. ``"O(n^2)"``)."""
+    try:
+        return UPDATE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown update model {name!r}; known: {list(UPDATE_MODELS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DemandModel:
+    """Converts per-server-group player counts into resource demand.
+
+    Parameters
+    ----------
+    update:
+        The game's interaction/update model (drives CPU).
+    players_full:
+        Clients on a fully loaded game server (the unit anchor; paper:
+        2,000).
+    memory_per_unit / extnet_in_per_unit / extnet_out_per_unit:
+        Resource units consumed per fully-loaded-server-equivalent of
+        players for the linear resources.
+    """
+
+    update: UpdateModel
+    players_full: float = 2000.0
+    memory_per_unit: float = 1.0
+    extnet_in_per_unit: float = 0.04
+    extnet_out_per_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.players_full <= 0:
+            raise ValueError("players_full must be positive")
+        for v in (self.memory_per_unit, self.extnet_in_per_unit, self.extnet_out_per_unit):
+            if v < 0:
+                raise ValueError("per-unit coefficients must be non-negative")
+
+    def cpu_units(self, players: np.ndarray) -> np.ndarray:
+        """CPU demand per server group, in units."""
+        return self.update.relative_load(players, self.players_full)
+
+    def demand(self, players: np.ndarray, *, cpu_quantum: float = 0.0) -> ResourceVector:
+        """Aggregate demand vector for a set of server groups.
+
+        Parameters
+        ----------
+        players:
+            1-D array of concurrent players per server group.
+        cpu_quantum:
+            When positive, each server group's CPU demand is rounded up
+            to a multiple of this quantum before summing: every group
+            is a separate game-server instance, so its allocation is
+            granular even when the regional total is not.  This is the
+            allocation-side granularity; metrics always compare against
+            the un-quantized true load.
+        """
+        n = np.asarray(players, dtype=np.float64)
+        cpu_per_group = self.cpu_units(n)
+        if cpu_quantum > 0:
+            cpu_per_group = np.ceil(cpu_per_group / cpu_quantum - 1e-9) * cpu_quantum
+        cpu = float(cpu_per_group.sum())
+        linear = float(n.sum()) / self.players_full
+        return ResourceVector(
+            cpu=cpu,
+            memory=linear * self.memory_per_unit,
+            extnet_in=linear * self.extnet_in_per_unit,
+            extnet_out=linear * self.extnet_out_per_unit,
+        )
+
+    def demand_per_group(
+        self, players: np.ndarray, *, cpu_quantum: float = 0.0
+    ) -> np.ndarray:
+        """Per-server-group demand matrix, shape ``(n_groups, 4)``.
+
+        Row ``g`` is the resource vector generated (or, with
+        ``cpu_quantum``, assigned) for server group ``g``; columns
+        follow :data:`repro.datacenter.resources.RESOURCE_TYPES` order.
+        Used by the per-group under-allocation accounting: a game world
+        runs on its own servers, so another world's surplus cannot
+        absorb its deficit within a step (migration is not supported).
+        """
+        n = np.asarray(players, dtype=np.float64)
+        if n.ndim != 1:
+            raise ValueError("players must be 1-D")
+        cpu = self.cpu_units(n)
+        if cpu_quantum > 0:
+            cpu = np.ceil(cpu / cpu_quantum - 1e-9) * cpu_quantum
+        linear = n / self.players_full
+        out = np.empty((n.size, 4))
+        out[:, 0] = cpu
+        out[:, 1] = linear * self.memory_per_unit
+        out[:, 2] = linear * self.extnet_in_per_unit
+        out[:, 3] = linear * self.extnet_out_per_unit
+        return out
+
+    def peak_demand(self, loads: np.ndarray, *, cpu_quantum: float = 0.0) -> ResourceVector:
+        """The per-step maximum demand over a load history.
+
+        Parameters
+        ----------
+        loads:
+            Shape ``(n_steps, n_groups)`` player counts.
+        cpu_quantum:
+            Per-group CPU granularity, as in :meth:`demand`.
+
+        Returns
+        -------
+        ResourceVector
+            Componentwise maximum over steps of the per-step demand —
+            what a static provisioner must install to never fall short.
+        """
+        arr = np.asarray(loads, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("loads must be 2-D: (n_steps, n_groups)")
+        cpu_per_group = self.cpu_units(arr)
+        if cpu_quantum > 0:
+            cpu_per_group = np.ceil(cpu_per_group / cpu_quantum - 1e-9) * cpu_quantum
+        cpu = cpu_per_group.sum(axis=1)
+        linear = arr.sum(axis=1) / self.players_full
+        return ResourceVector(
+            cpu=float(cpu.max()),
+            memory=float(linear.max()) * self.memory_per_unit,
+            extnet_in=float(linear.max()) * self.extnet_in_per_unit,
+            extnet_out=float(linear.max()) * self.extnet_out_per_unit,
+        )

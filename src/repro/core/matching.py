@@ -1,0 +1,164 @@
+"""The request-offer matching mechanism (Sec. II-C).
+
+Game operators submit resource requests; data centers respond with
+offers shaped by their hosting policies.  Matching applies three
+criteria favouring the operator:
+
+1. **amount** — the matched offers must cover at least the requested
+   quantities (bulk rounding guarantees "at least");
+2. **latency** — only centers within the game's latency tolerance
+   (distance class) of the requesting region are considered;
+3. **policy** — among admissible centers, the mechanism "selects first
+   the finer grained resources with the shorter period of reservation
+   time".
+
+The ranking order of the policy/distance criteria is configurable via
+:class:`MatchingPolicy` so the criteria-order ablation can quantify its
+effect; the default matches the paper's description (grain, then time
+bulk, then distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datacenter.center import DataCenter
+from repro.datacenter.geography import GeoLocation, LatencyClass
+from repro.datacenter.resources import CPU, ResourceVector
+
+__all__ = ["MatchingPolicy", "MatchPlan", "match_request", "distance_band", "DISTANCE_BANDS_KM"]
+
+#: Band edges (km) used to coarsen distances for ranking; they mirror the
+#: latency classes of Sec. V-E.
+DISTANCE_BANDS_KM: tuple[float, ...] = (50.0, 1000.0, 2000.0, 4000.0)
+
+
+def distance_band(distance_km: float) -> int:
+    """Coarse distance band of a player-server distance (0 = co-located)."""
+    for band, edge in enumerate(DISTANCE_BANDS_KM):
+        if distance_km <= edge:
+            return band
+    return len(DISTANCE_BANDS_KM)
+
+
+@dataclass(frozen=True)
+class MatchingPolicy:
+    """Configuration of the offer-ranking criteria.
+
+    ``criteria`` is the sort-key order; each entry is one of
+    ``"grain"`` (finer resource bulks first), ``"time_bulk"`` (shorter
+    leases first), ``"distance"`` (closer centers first, in bands) and
+    ``"free"`` (more free CPU first — the tie-breaker that spreads load).
+    """
+
+    criteria: tuple[str, ...] = ("grain", "time_bulk", "distance", "free")
+
+    _VALID = frozenset({"grain", "time_bulk", "distance", "free"})
+
+    def __post_init__(self) -> None:
+        unknown = set(self.criteria) - self._VALID
+        if unknown:
+            raise ValueError(f"unknown matching criteria: {sorted(unknown)}")
+        if not self.criteria:
+            raise ValueError("need at least one criterion")
+
+    def sort_key(self, center: DataCenter, distance_km: float):
+        """Build the sort key for one admissible center."""
+        parts = []
+        for criterion in self.criteria:
+            if criterion == "grain":
+                parts.append(center.policy.grain)
+            elif criterion == "time_bulk":
+                parts.append(center.policy.time_bulk_minutes)
+            elif criterion == "distance":
+                parts.append(distance_band(distance_km))
+            elif criterion == "free":
+                parts.append(-center.free[CPU])
+        # Exact distance and name as final deterministic tie-breakers.
+        parts.append(distance_km)
+        parts.append(center.name)
+        return tuple(parts)
+
+
+@dataclass
+class MatchPlan:
+    """The outcome of matching one request.
+
+    Attributes
+    ----------
+    placements:
+        ``(center, rounded_vector)`` pairs to allocate, in match order.
+    unmatched:
+        The demand left uncovered (zero vector when fully matched).
+    """
+
+    placements: list[tuple[DataCenter, ResourceVector]] = field(default_factory=list)
+    unmatched: ResourceVector = field(default_factory=ResourceVector.zeros)
+
+    @property
+    def fully_matched(self) -> bool:
+        """Whether the whole request was covered."""
+        return not self.unmatched.any_positive(tol=1e-9)
+
+    def total(self) -> ResourceVector:
+        """Sum of all planned allocations."""
+        out = ResourceVector.zeros()
+        for _, vec in self.placements:
+            out = out + vec
+        return out
+
+
+def match_request(
+    demand: ResourceVector,
+    origin: GeoLocation,
+    centers: Sequence[DataCenter],
+    *,
+    latency: LatencyClass = LatencyClass.VERY_FAR,
+    policy: MatchingPolicy | None = None,
+) -> MatchPlan:
+    """Match a demand vector against the data centers.
+
+    Walks the admissible centers in ranking order, taking from each the
+    largest bulk-rounded allocation that fits its free capacity, until
+    the demand is covered (or the centers are exhausted).  The returned
+    plan is *not* yet applied — callers allocate the placements.
+
+    Parameters
+    ----------
+    demand:
+        Resource amounts still needed (un-rounded; each placement is
+        rounded to its center's bulks, so the plan may exceed demand).
+    origin:
+        Where the requesting players are concentrated.
+    centers:
+        Candidate data centers.
+    latency:
+        The game's latency tolerance, as a distance class.
+    policy:
+        Offer-ranking configuration (default: the paper's).
+    """
+    if policy is None:
+        policy = MatchingPolicy()
+    plan = MatchPlan()
+    if not demand.any_positive():
+        return plan
+
+    admissible: list[tuple[tuple, DataCenter]] = []
+    for center in centers:
+        dist = origin.distance_km(center.location)
+        if latency.admits(dist):
+            admissible.append((policy.sort_key(center, dist), center))
+    admissible.sort(key=lambda pair: pair[0])
+
+    remaining = demand.copy()
+    for _, center in admissible:
+        if not remaining.any_positive():
+            break
+        offer = center.fit_to_capacity(remaining)
+        if not offer.any_positive():
+            continue
+        plan.placements.append((center, offer))
+        remaining = (remaining - offer).clamp_min(0.0)
+    plan.unmatched = remaining
+    return plan

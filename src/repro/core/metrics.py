@@ -1,0 +1,183 @@
+"""Provisioning metrics: over-allocation, under-allocation, events.
+
+The paper characterizes performance with three metrics (Sec. V):
+
+* **resource over-allocation** Ω(t) — Eq. 1 defines the ratio of
+  allocated to needed resources, ``sum(alpha_m) / sum(lambda_m) * 100``.
+  The *reported* numbers (e.g. "average over-allocation is around 25 %,
+  compared to 250 % for static") are the excess over a perfect fit, so
+  :func:`over_allocation_percent` returns ``(allocated/load - 1) * 100``;
+* **resource under-allocation** Υ(t) — Eq. 2:
+  ``sum(min(alpha_m - lambda_m, 0)) / M * 100``.  Missing resources on
+  one machine can be hidden by surplus on another (operators balance
+  their load), so the numerator reduces to the *session-wide deficit*
+  ``-max(load - allocated, 0)``; it is normalized by the number of
+  machines in the session, and is never positive.  Ω and Υ are computed
+  independently: surplus at one time step never offsets a deficit at
+  another;
+* **significant under-allocation events** — time steps with
+  ``|Υ(t)| > 1 %``; each such 2-minute step degrades game play long
+  enough to risk the mass-quit effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datacenter.resources import RESOURCE_TYPES, ResourceType
+
+__all__ = [
+    "over_allocation_percent",
+    "under_allocation_percent",
+    "MetricsTimeline",
+    "SIGNIFICANT_UNDER_ALLOCATION_PERCENT",
+]
+
+#: Threshold (in |Υ| percent) above which a step counts as a significant
+#: under-allocation event (Sec. V: "an under-allocation [is] disruptive
+#: if its absolute value is over 1 %").
+SIGNIFICANT_UNDER_ALLOCATION_PERCENT = 1.0
+
+
+def over_allocation_percent(allocated: float, load: float) -> float:
+    """Excess allocation over need, in percent (0 = perfect fit).
+
+    Undefined (returns 0) when there is no load and nothing allocated;
+    idle allocated capacity with zero load reports the allocated amount
+    relative to a one-unit baseline to stay finite.
+    """
+    if load > 1e-9:
+        return (allocated / load - 1.0) * 100.0
+    if allocated <= 1e-9:
+        return 0.0
+    return allocated * 100.0  # allocated units idling against ~zero load
+
+
+def under_allocation_percent(allocated: float, load: float, machines: int) -> float:
+    """Υ(t) for one resource type: non-positive, in percent.
+
+    ``machines`` is the number of machines participating in the game
+    session (M in Eq. 2); with no machines the full load is the deficit
+    against a single notional machine.
+    """
+    deficit = max(load - allocated, 0.0)
+    if deficit <= 0.0:
+        return 0.0
+    return -deficit / max(machines, 1) * 100.0
+
+
+@dataclass
+class MetricsTimeline:
+    """Per-step metric series for one simulation (one resource focus).
+
+    Records, per step and resource type, the totals needed to evaluate
+    Eqs. 1-2; exposes the paper's three metrics plus their cumulative
+    views (Figs. 7/10 plot cumulative significant events).
+    """
+
+    n_steps: int
+    allocated: np.ndarray = field(init=False)
+    load: np.ndarray = field(init=False)
+    deficit: np.ndarray = field(init=False)
+    machines: np.ndarray = field(init=False)
+    _cursor: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+        n_res = len(RESOURCE_TYPES)
+        self.allocated = np.zeros((self.n_steps, n_res))
+        self.load = np.zeros((self.n_steps, n_res))
+        self.deficit = np.zeros((self.n_steps, n_res))
+        self.machines = np.zeros(self.n_steps, dtype=np.int64)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(
+        self,
+        allocated: np.ndarray,
+        load: np.ndarray,
+        machines: int,
+        deficit: np.ndarray | None = None,
+    ) -> None:
+        """Append one step's totals (arrays over resource types).
+
+        ``deficit`` is the Eq. 2 numerator, ``-sum_m min(alpha_m -
+        lambda_m, 0)``, computed with per-server-group (per-machine)
+        granularity by the simulator.  When omitted it falls back to
+        the pooled session shortfall ``max(load - allocated, 0)`` — a
+        lower bound that assumes perfect instantaneous load balancing.
+        """
+        if self._cursor >= self.n_steps:
+            raise IndexError("metrics timeline is full")
+        self.allocated[self._cursor] = allocated
+        self.load[self._cursor] = load
+        if deficit is None:
+            deficit = np.maximum(np.asarray(load) - np.asarray(allocated), 0.0)
+        self.deficit[self._cursor] = deficit
+        self.machines[self._cursor] = machines
+        self._cursor += 1
+
+    @property
+    def recorded_steps(self) -> int:
+        """Number of steps recorded so far."""
+        return self._cursor
+
+    def _check_complete(self) -> None:
+        if self._cursor != self.n_steps:
+            raise RuntimeError(
+                f"timeline incomplete: {self._cursor}/{self.n_steps} steps recorded"
+            )
+
+    # -- metric series ------------------------------------------------------------
+
+    def over_allocation(self, rtype: ResourceType) -> np.ndarray:
+        """Ω(t) excess series for one resource type, in percent."""
+        self._check_complete()
+        i = int(rtype)
+        alloc = self.allocated[:, i]
+        load = self.load[:, i]
+        out = np.empty(self.n_steps)
+        busy = load > 1e-9
+        out[busy] = (alloc[busy] / load[busy] - 1.0) * 100.0
+        idle = ~busy
+        out[idle] = np.where(alloc[idle] <= 1e-9, 0.0, alloc[idle] * 100.0)
+        return out
+
+    def under_allocation(self, rtype: ResourceType) -> np.ndarray:
+        """Υ(t) series for one resource type, in percent (<= 0)."""
+        self._check_complete()
+        i = int(rtype)
+        m = np.maximum(self.machines, 1)
+        return -self.deficit[:, i] / m * 100.0
+
+    def significant_events(
+        self,
+        rtype: ResourceType,
+        *,
+        threshold: float = SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
+    ) -> int:
+        """Number of steps with |Υ| above the threshold."""
+        return int(np.sum(np.abs(self.under_allocation(rtype)) > threshold))
+
+    def cumulative_significant_events(
+        self,
+        rtype: ResourceType,
+        *,
+        threshold: float = SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
+    ) -> np.ndarray:
+        """Running count of significant events over time (Figs. 7, 10)."""
+        events = np.abs(self.under_allocation(rtype)) > threshold
+        return np.cumsum(events)
+
+    # -- summary ---------------------------------------------------------------
+
+    def average_over_allocation(self, rtype: ResourceType) -> float:
+        """Mean Ω excess over the simulation, in percent."""
+        return float(self.over_allocation(rtype).mean())
+
+    def average_under_allocation(self, rtype: ResourceType) -> float:
+        """Mean Υ over the simulation, in percent (<= 0)."""
+        return float(self.under_allocation(rtype).mean())

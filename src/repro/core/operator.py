@@ -1,0 +1,180 @@
+"""The game operator: load prediction and demand estimation.
+
+"The game operators perform a prediction of the game load (i.e., number
+of players and interactions per zone) every two minutes and, based on
+the results, request an appropriate amount of resources to the data
+centres" (Sec. V).  A :class:`GameOperator` holds one predictor per
+region (operating on all the region's server groups in a batch),
+converts predicted per-group player counts into a resource demand via
+its game's :class:`~repro.core.loadmodel.DemandModel`, and optionally
+pads the request with a safety margin (the Sec. V-C mitigation for games
+that cannot tolerate any under-allocation events).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.loadmodel import DemandModel
+from repro.datacenter.geography import LatencyClass
+from repro.datacenter.resources import ResourceVector
+from repro.predictors.base import Predictor
+from repro.traces.model import GameTrace
+
+__all__ = ["GameOperator"]
+
+
+class GameOperator:
+    """Operates one MMOG: predicts load, estimates demand per region.
+
+    Parameters
+    ----------
+    operator_id:
+        Unique tenant identifier.
+    game_id:
+        The game this operator instance runs.
+    demand_model:
+        Player-count → resource-demand conversion.
+    predictor_factory:
+        Zero-argument callable building a fresh predictor; one instance
+        is created per region.
+    latency_class:
+        The game's latency tolerance (drives the matching distance
+        filter).
+    safety_margin:
+        Fractional padding on the predicted demand (0 = request exactly
+        the prediction).
+    cpu_quantum:
+        Per-server-group CPU allocation granularity (each world is a
+        separate server instance); 0 disables.  Typically set to the
+        hosting platform's CPU bulk.
+    """
+
+    def __init__(
+        self,
+        operator_id: str,
+        game_id: str,
+        demand_model: DemandModel,
+        predictor_factory: Callable[[], Predictor],
+        *,
+        latency_class: LatencyClass = LatencyClass.VERY_FAR,
+        safety_margin: float = 0.0,
+        cpu_quantum: float = 0.0,
+    ) -> None:
+        if safety_margin < 0:
+            raise ValueError("safety_margin must be non-negative")
+        if cpu_quantum < 0:
+            raise ValueError("cpu_quantum must be non-negative")
+        self.operator_id = operator_id
+        self.game_id = game_id
+        self.demand_model = demand_model
+        self.predictor_factory = predictor_factory
+        self.latency_class = latency_class
+        self.safety_margin = float(safety_margin)
+        self.cpu_quantum = float(cpu_quantum)
+        self._predictors: dict[str, Predictor] = {}
+        self._last_predicted: dict[str, np.ndarray] = {}
+        self._scheduled: dict[str, dict[int, np.ndarray]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def prepare(self, warmup: Mapping[str, np.ndarray]) -> None:
+        """Run the off-line phases on warm-up history.
+
+        Parameters
+        ----------
+        warmup:
+            Per-region matrices of shape ``(n_steps, n_groups)`` — the
+            data-collection history preceding the simulated window.
+            Trainable predictors are fit on it; every predictor then
+            streams over it so its state is warm at step 0.
+        """
+        for region_name, history in warmup.items():
+            history = np.asarray(history, dtype=np.float64)
+            predictor = self.predictor_factory()
+            if hasattr(predictor, "fit"):
+                predictor.fit(history)
+            predictor.reset(history.shape[1])
+            for row in history:
+                predictor.observe(row)
+            self._predictors[region_name] = predictor
+
+    def _predictor(self, region_name: str, n_groups: int) -> Predictor:
+        if region_name not in self._predictors:
+            predictor = self.predictor_factory()
+            predictor.reset(n_groups)
+            self._predictors[region_name] = predictor
+        return self._predictors[region_name]
+
+    # -- the per-step protocol -----------------------------------------------------
+
+    def observe(self, region_name: str, players: np.ndarray) -> None:
+        """Feed the actual player counts of the just-finished step."""
+        players = np.asarray(players, dtype=np.float64)
+        self._predictor(region_name, players.size).observe(players)
+
+    def predict_players(self, region_name: str, n_groups: int) -> np.ndarray:
+        """Predicted per-group player counts for the next step (>= 0)."""
+        pred = self._predictor(region_name, n_groups).predict()
+        return np.maximum(pred, 0.0)
+
+    def desired_allocation(self, region_name: str, n_groups: int) -> ResourceVector:
+        """The resource vector to request for the next step.
+
+        Prediction → demand conversion → safety margin.
+        """
+        predicted = self.predict_players(region_name, n_groups)
+        self._last_predicted[region_name] = predicted
+        demand = self.demand_model.demand(predicted, cpu_quantum=self.cpu_quantum)
+        if self.safety_margin > 0:
+            demand = demand * (1.0 + self.safety_margin)
+        return demand
+
+    def last_predicted_players(self, region_name: str) -> np.ndarray | None:
+        """The prediction behind the most recent request for a region.
+
+        Drives the per-group server-assignment accounting: the servers
+        assigned to a world this step were sized from this prediction.
+        """
+        return self._last_predicted.get(region_name)
+
+    # -- advance reservations (Sec. II-B's second service model) -----------------
+
+    def desired_allocation_ahead(
+        self, region_name: str, n_groups: int, lead: int, target_step: int
+    ) -> ResourceVector:
+        """The resource vector to *book* for ``lead`` steps ahead.
+
+        Uses the predictor's iterated multi-step forecast; the per-group
+        prediction is stashed under ``target_step`` so the simulator can
+        score the booking against the load it was sized for.
+        """
+        if lead <= 0:
+            raise ValueError("lead must be positive for advance booking")
+        horizon = self._predictor(region_name, n_groups).predict_horizon(lead + 1)
+        predicted = np.maximum(horizon[-1], 0.0)
+        self._scheduled.setdefault(region_name, {})[target_step] = predicted
+        self._last_predicted[region_name] = predicted
+        demand = self.demand_model.demand(predicted, cpu_quantum=self.cpu_quantum)
+        if self.safety_margin > 0:
+            demand = demand * (1.0 + self.safety_margin)
+        return demand
+
+    def scheduled_players(self, region_name: str, step: int) -> np.ndarray | None:
+        """Pop the prediction that sized the booking for ``step``."""
+        return self._scheduled.get(region_name, {}).pop(step, None)
+
+    def actual_demand(self, players: np.ndarray) -> ResourceVector:
+        """The demand the *actual* load generates (for metrics)."""
+        return self.demand_model.demand(np.asarray(players, dtype=np.float64))
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def warmup_from_trace(trace: GameTrace, n_steps: int) -> dict[str, np.ndarray]:
+        """Extract the first ``n_steps`` of every region as warm-up data."""
+        if n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+        return {r.name: r.loads[:n_steps].astype(np.float64) for r in trace.regions}

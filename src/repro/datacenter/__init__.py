@@ -1,0 +1,62 @@
+"""Data-center substrate: the hosting platform of the MMOG ecosystem.
+
+This package models the hosting side of the paper's ecosystem (Sec. II-B):
+data centers scattered around the world, each a single cluster of machines
+owned by one *hoster*, renting four resource types (CPU, memory, external
+network in/out) under a *hosting policy* that fixes the minimal resource
+bulk and time bulk of any allocation.
+"""
+
+from repro.datacenter.resources import (
+    ResourceType,
+    ResourceVector,
+    CPU,
+    MEMORY,
+    EXTNET_IN,
+    EXTNET_OUT,
+    RESOURCE_TYPES,
+)
+from repro.datacenter.policy import HostingPolicy, STANDARD_POLICIES, policy
+from repro.datacenter.machine import Machine
+from repro.datacenter.center import DataCenter, Lease
+from repro.datacenter.geography import (
+    GeoLocation,
+    LatencyClass,
+    haversine_km,
+    LOCATIONS,
+    location,
+)
+from repro.datacenter.catalog import build_paper_datacenters, build_north_american_datacenters
+from repro.datacenter.latency import (
+    rtt_ms,
+    latency_class_for_tolerance,
+    GenreTolerance,
+    GENRE_TOLERANCES,
+)
+
+__all__ = [
+    "ResourceType",
+    "ResourceVector",
+    "CPU",
+    "MEMORY",
+    "EXTNET_IN",
+    "EXTNET_OUT",
+    "RESOURCE_TYPES",
+    "HostingPolicy",
+    "STANDARD_POLICIES",
+    "policy",
+    "Machine",
+    "DataCenter",
+    "Lease",
+    "GeoLocation",
+    "LatencyClass",
+    "haversine_km",
+    "LOCATIONS",
+    "location",
+    "build_paper_datacenters",
+    "build_north_american_datacenters",
+    "rtt_ms",
+    "latency_class_for_tolerance",
+    "GenreTolerance",
+    "GENRE_TOLERANCES",
+]

@@ -1,0 +1,153 @@
+"""The experimental data-center inventory of the paper (Table III).
+
+Table III lists 15 data centers on four continents with 166 machines in
+total.  :func:`build_paper_datacenters` reconstructs that inventory and
+applies hosting policies the way Sec. V-B describes: policies are handed
+out round-robin, and *"when two data centers have the same location,
+their hosting policies are set one as HP-1 and one as HP-2, and their
+number of machines is set to half the number of resources at that
+location"*.
+
+For the latency-tolerance experiments (Sec. V-E, Figs. 13-14) the paper
+uses only the North American centers, with *"coarse grained [policies]
+for the data centers located on the East Coast, ... gradually finer
+grained for ... Central and West Coast"*;
+:func:`build_north_american_datacenters` reconstructs that setup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.datacenter.center import DataCenter
+from repro.datacenter.geography import location
+from repro.datacenter.policy import HostingPolicy, policy
+
+__all__ = [
+    "TABLE_III_INVENTORY",
+    "build_paper_datacenters",
+    "build_north_american_datacenters",
+]
+
+#: Table III rows: (location name, number of centers, total machines).
+TABLE_III_INVENTORY: tuple[tuple[str, int, int], ...] = (
+    ("Finland", 2, 8),
+    ("Sweden", 2, 8),
+    ("U.K.", 2, 20),
+    ("Netherlands", 2, 15),
+    ("US West", 2, 35),
+    ("Canada West", 1, 15),
+    ("US Central", 1, 15),
+    ("US East", 2, 32),
+    ("Canada East", 1, 10),
+    ("Australia", 2, 8),
+)
+
+
+def _split_machines(total: int, n_centers: int) -> list[int]:
+    """Split a machine total across centers (larger remainders first)."""
+    base, extra = divmod(total, n_centers)
+    return [base + (1 if i < extra else 0) for i in range(n_centers)]
+
+
+def build_paper_datacenters(
+    policies: Sequence[HostingPolicy] | None = None,
+    *,
+    policy_for: Callable[[str, int], HostingPolicy] | None = None,
+) -> list[DataCenter]:
+    """Build the full Table III inventory.
+
+    Parameters
+    ----------
+    policies:
+        Policies to hand out round-robin across centers at each location
+        (the paper's Sec. V-B uses ``[HP-1, HP-2]``).  Defaults to that
+        pair.
+    policy_for:
+        Alternative fine-grained control: a callable
+        ``(location_name, index_at_location) -> HostingPolicy`` that
+        overrides ``policies`` when given.
+
+    Returns
+    -------
+    list[DataCenter]
+        15 data centers totalling 166 machines, named like
+        ``"US East (1)"``.
+    """
+    if policies is None:
+        policies = [policy("HP-1"), policy("HP-2")]
+    if not policies and policy_for is None:
+        raise ValueError("need at least one hosting policy")
+
+    centers: list[DataCenter] = []
+    for loc_name, n_centers, total_machines in TABLE_III_INVENTORY:
+        loc = location(loc_name)
+        for idx, machines in enumerate(_split_machines(total_machines, n_centers)):
+            if policy_for is not None:
+                pol = policy_for(loc_name, idx)
+            else:
+                pol = policies[idx % len(policies)]
+            suffix = f" ({idx + 1})" if n_centers > 1 else ""
+            centers.append(
+                DataCenter(
+                    name=f"{loc_name}{suffix}",
+                    location=loc,
+                    n_machines=machines,
+                    policy=pol,
+                )
+            )
+    return centers
+
+
+#: Policy gradient used for the Sec. V-E North-America experiments:
+#: coarse on the East Coast, gradually finer toward the West Coast.
+_NA_POLICY_GRADIENT: dict[str, str] = {
+    "US East": "HP-11",  # coarsest: large CPU bulk & 48h lease
+    "Canada East": "HP-10",
+    "US Central": "HP-8",
+    "Canada West": "HP-5",
+    "US West": "HP-3",  # finest
+}
+
+#: CPU-bulk gradient paired with the lease-length gradient above.
+_NA_CPU_BULKS: dict[str, float] = {
+    "US East": 1.11,
+    "Canada East": 0.56,
+    "US Central": 0.37,
+    "Canada West": 0.28,
+    "US West": 0.22,
+}
+
+
+def build_north_american_datacenters() -> list[DataCenter]:
+    """Build only the North American Table III centers with the Sec. V-E
+    East-coarse → West-fine policy gradient.
+
+    East Coast centers get large CPU bulks *and* long time bulks; West
+    Coast centers get the finest of both.  This is the setup under which
+    the paper shows the coarse-policy centers being penalized with unused
+    resources (Fig. 14).
+    """
+    from repro.datacenter.policy import custom_policy
+
+    centers: list[DataCenter] = []
+    na_rows = [row for row in TABLE_III_INVENTORY if location(row[0]).region == "North America"]
+    for loc_name, n_centers, total_machines in na_rows:
+        loc = location(loc_name)
+        base = policy(_NA_POLICY_GRADIENT[loc_name])
+        pol = custom_policy(
+            f"{_NA_POLICY_GRADIENT[loc_name]}*",
+            cpu_bulk=_NA_CPU_BULKS[loc_name],
+            time_bulk_minutes=base.time_bulk_minutes,
+        )
+        for idx, machines in enumerate(_split_machines(total_machines, n_centers)):
+            suffix = f" ({idx + 1})" if n_centers > 1 else ""
+            centers.append(
+                DataCenter(
+                    name=f"{loc_name}{suffix}",
+                    location=loc,
+                    n_machines=machines,
+                    policy=pol,
+                )
+            )
+    return centers

@@ -1,0 +1,338 @@
+"""Data centers: clusters of machines with a hosting policy and a location.
+
+A :class:`DataCenter` is the paper's *hoster* (Sec. II-B): a single
+cluster owned by one resource owner, renting resources to game operators
+under a space-time :class:`~repro.datacenter.policy.HostingPolicy`.
+
+Accounting model
+----------------
+CPU and memory are machine-bound; the external network (in/out) is a
+center-wide pool.  Allocations are tracked as :class:`Lease` objects: an
+aggregate resource vector spanning one or more machines, with a release
+time no earlier than the policy's time bulk ("the allocated resources are
+reserved ... for the whole duration of the game operator's request, i.e.,
+task preemption or migration are not supported").
+
+The ledger is aggregate (total allocated per resource type) rather than
+per-machine: the paper's metrics (Eq. 1-2) only need the totals and the
+number of machines participating in a session, and game operators balance
+their own load across the machines of a lease.  The number of machines a
+lease occupies is the number needed to supply its machine-bound
+resources.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.datacenter.geography import GeoLocation
+from repro.datacenter.machine import Machine
+from repro.datacenter.policy import HostingPolicy
+from repro.datacenter.resources import (
+    CPU,
+    EXTNET_IN,
+    EXTNET_OUT,
+    MEMORY,
+    ResourceType,
+    ResourceVector,
+)
+
+__all__ = ["Lease", "DataCenter"]
+
+_lease_ids = itertools.count(1)
+
+
+@dataclass
+class Lease:
+    """An active resource allocation inside one data center.
+
+    Attributes
+    ----------
+    lease_id:
+        Globally unique identifier.
+    operator_id:
+        The game operator (tenant) holding the lease.
+    game_id:
+        The MMOG the lease serves (an operator may run several games).
+    region:
+        The player region whose demand this lease covers (used by the
+        provisioner to reconcile allocations per region).
+    resources:
+        The allocated resource vector, already rounded up to the
+        policy's resource bulks.
+    machines:
+        Number of machines this lease occupies.
+    start_step / earliest_release_step:
+        Simulation step bounds: the requested duration ends at
+        ``earliest_release_step``, which is never earlier than the
+        policy's time bulk.  The lease can neither be released before
+        that step (minimum duration) nor kept past it without renewal
+        (the request was for a fixed duration).
+    """
+
+    lease_id: int
+    operator_id: str
+    game_id: str
+    resources: ResourceVector
+    machines: int
+    start_step: int
+    earliest_release_step: int
+    region: str = ""
+
+    @property
+    def end_step(self) -> int:
+        """The step at which the requested duration ends."""
+        return self.earliest_release_step
+
+    def releasable(self, step: int) -> bool:
+        """``True`` iff the time bulk has elapsed at ``step``."""
+        return step >= self.earliest_release_step
+
+    def expired(self, step: int) -> bool:
+        """``True`` iff the requested duration has ended at ``step``."""
+        return step >= self.end_step
+
+
+class DataCenter:
+    """A single-cluster hoster with a hosting policy and a location.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"US East (1)"``.
+    location:
+        Geographic site of the cluster.
+    n_machines:
+        Number of machines in the cluster.
+    policy:
+        The hosting policy governing allocation bulks.
+    machine:
+        Per-machine capacity specification.
+    extnet_in_per_machine, extnet_out_per_machine:
+        Size of the center-wide external network pool, expressed per
+        machine.  Defaults are generous enough that network is rarely the
+        binding constraint (as in the paper, where CPU is the contended
+        resource) while still being finite.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        location: GeoLocation,
+        n_machines: int,
+        policy: HostingPolicy,
+        *,
+        machine: Machine | None = None,
+        extnet_in_per_machine: float = 8.0,
+        extnet_out_per_machine: float = 2.0,
+    ) -> None:
+        if n_machines <= 0:
+            raise ValueError("a data center needs at least one machine")
+        self.name = name
+        self.location = location
+        self.n_machines = int(n_machines)
+        self.policy = policy
+        self.machine = machine or Machine()
+        self.capacity = ResourceVector(
+            cpu=self.machine.cpu_capacity * n_machines,
+            memory=self.machine.memory_capacity * n_machines,
+            extnet_in=extnet_in_per_machine * n_machines,
+            extnet_out=extnet_out_per_machine * n_machines,
+        )
+        self._allocated = ResourceVector.zeros()
+        self._leases: dict[int, Lease] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def allocated(self) -> ResourceVector:
+        """Total currently allocated resources (copy)."""
+        return self._allocated.copy()
+
+    @property
+    def free(self) -> ResourceVector:
+        """Remaining free capacity (never negative)."""
+        return (self.capacity - self._allocated).clamp_min(0.0)
+
+    @property
+    def machines_in_use(self) -> int:
+        """Machines needed to carry the current aggregate allocation.
+
+        Fractional allocations share machines (the paper's model allows
+        "a virtual machine running on a physical node"), so the machine
+        count derives from the aggregate, not from per-lease ceilings.
+        """
+        return self.machines_needed(self._allocated)
+
+    @property
+    def machines_free(self) -> int:
+        """Machines whose capacity is entirely unallocated."""
+        return self.n_machines - self.machines_in_use
+
+    def leases(self) -> Iterator[Lease]:
+        """Iterate over active leases (in insertion order)."""
+        return iter(list(self._leases.values()))
+
+    def leases_for(
+        self,
+        operator_id: str,
+        game_id: str | None = None,
+        region: str | None = None,
+    ) -> list[Lease]:
+        """Active leases held by an operator (optionally filtered by
+        game and/or region)."""
+        return [
+            lease
+            for lease in self._leases.values()
+            if lease.operator_id == operator_id
+            and (game_id is None or lease.game_id == game_id)
+            and (region is None or lease.region == region)
+        ]
+
+    def utilization(self, rtype: ResourceType = CPU) -> float:
+        """Fraction of capacity allocated for one resource type (0..1)."""
+        cap = self.capacity[rtype]
+        if cap <= 0:
+            return 0.0
+        return self._allocated[rtype] / cap
+
+    # -- machine accounting --------------------------------------------------
+
+    def machines_needed(self, resources: ResourceVector) -> int:
+        """Machines required to supply a vector's machine-bound resources."""
+        cpu_m = int(np.ceil(resources[CPU] / self.machine.cpu_capacity - 1e-9))
+        mem_m = int(np.ceil(resources[MEMORY] / self.machine.memory_capacity - 1e-9))
+        return max(cpu_m, mem_m, 1 if resources.any_positive() else 0)
+
+    # -- allocation lifecycle --------------------------------------------------
+
+    def round_to_bulk(self, demand: ResourceVector) -> ResourceVector:
+        """Round a demand up to this center's policy bulks."""
+        return self.policy.round_request(demand)
+
+    def can_allocate(self, rounded: ResourceVector) -> bool:
+        """Whether a bulk-rounded request fits the free capacity.
+
+        The machine-bound capacities (CPU, memory) are exactly the
+        machine count times per-machine capacity, so fitting the free
+        vector is also the machine-count constraint.
+        """
+        return self.free.covers(rounded)
+
+    def fit_to_capacity(self, demand: ResourceVector) -> ResourceVector:
+        """The largest bulk-rounded allocation <= free capacity that moves
+        toward satisfying ``demand``.
+
+        Rounds the demand up to bulks, then trims whole bulk multiples
+        from any component exceeding the free capacity.  Returns the zero
+        vector when nothing can be offered.
+        """
+        rounded = self.round_to_bulk(demand)
+        free = self.free
+        vals = rounded.as_array()
+        free_vals = free.values
+        bulk_vals = self.policy.resource_bulk.values
+        for i in range(len(vals)):
+            if vals[i] <= free_vals[i] + 1e-9:
+                continue
+            if bulk_vals[i] > 0:
+                # trim down to the largest multiple of the bulk that fits
+                vals[i] = np.floor(free_vals[i] / bulk_vals[i] + 1e-9) * bulk_vals[i]
+            else:
+                vals[i] = free_vals[i]
+        return ResourceVector.from_array(np.maximum(vals, 0.0))
+
+    def allocate(
+        self,
+        operator_id: str,
+        game_id: str,
+        rounded: ResourceVector,
+        step: int,
+        *,
+        region: str = "",
+        step_minutes: float = 2.0,
+        duration_steps: int | None = None,
+    ) -> Lease:
+        """Create a lease for an already bulk-rounded resource vector.
+
+        Operators request resources *for a duration* (Sec. II-B); the
+        policy's time bulk is the minimum.  ``duration_steps`` defaults
+        to exactly the time bulk — the shortest admissible lease, which
+        the matching mechanism favours.
+
+        Raises
+        ------
+        ValueError
+            If the request does not fit the free capacity, is not
+            aligned to the policy's bulks, or requests a duration below
+            the time bulk.
+        """
+        if not self._aligned_to_bulk(rounded):
+            raise ValueError(
+                f"request {rounded!r} is not aligned to policy bulks of {self.policy.name}"
+            )
+        if not self.can_allocate(rounded):
+            raise ValueError(f"request {rounded!r} exceeds free capacity of {self.name}")
+        min_steps = self.policy.time_bulk_steps(step_minutes)
+        if duration_steps is None:
+            duration_steps = min_steps
+        elif duration_steps < min_steps:
+            raise ValueError(
+                f"duration {duration_steps} steps is below the time bulk "
+                f"({min_steps} steps) of {self.policy.name}"
+            )
+        # Informational per-lease footprint; the center's machine count
+        # derives from the aggregate (fractions share machines).
+        machines = self.machines_needed(rounded)
+        lease = Lease(
+            lease_id=next(_lease_ids),
+            operator_id=operator_id,
+            game_id=game_id,
+            resources=rounded.copy(),
+            machines=machines,
+            start_step=step,
+            earliest_release_step=step + duration_steps,
+            region=region,
+        )
+        self._leases[lease.lease_id] = lease
+        self._allocated = self._allocated + rounded
+        return lease
+
+    def release(self, lease: Lease, step: int, *, force: bool = False) -> None:
+        """Release a lease.  Refuses (raises) before the time bulk unless
+        ``force`` is set (used for simulation teardown)."""
+        if lease.lease_id not in self._leases:
+            raise KeyError(f"lease {lease.lease_id} is not active in {self.name}")
+        if not force and not lease.releasable(step):
+            raise ValueError(
+                f"lease {lease.lease_id} cannot be released before step "
+                f"{lease.earliest_release_step} (now {step})"
+            )
+        del self._leases[lease.lease_id]
+        self._allocated = (self._allocated - lease.resources).clamp_min(0.0)
+
+    def release_all(self, *, step: int = 0) -> None:
+        """Forcibly release every lease (teardown helper)."""
+        for lease in list(self._leases.values()):
+            self.release(lease, step, force=True)
+
+    def _aligned_to_bulk(self, vec: ResourceVector) -> bool:
+        bulks = self.policy.resource_bulk.values
+        vals = vec.values
+        for b, v in zip(bulks, vals):
+            if b <= 0:
+                continue
+            ratio = v / b
+            if abs(ratio - round(ratio)) > 1e-6:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"DataCenter({self.name!r}, {self.location.name}, "
+            f"{self.n_machines} machines, {self.policy.name})"
+        )

@@ -1,0 +1,144 @@
+"""Geography: data-center locations, distances and latency classes.
+
+The paper's matching mechanism locates resources "closest to the request"
+subject to a game's latency tolerance (Sec. II-C, V-E).  With the paper's
+idealized network, latency is determined exclusively by physical distance,
+so the latency tolerance of a game maps to a *maximal allocation distance*
+between players and servers.  Section V-E defines five distance classes:
+
+========================  =======================================
+class                      maximal player-server distance
+========================  =======================================
+``SAME_LOCATION``          ~0 km (same site)
+``VERY_CLOSE``             < 1,000 km
+``CLOSE``                  < 2,000 km
+``FAR``                    < 4,000 km
+``VERY_FAR``               unbounded (any server serves any user)
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "GeoLocation",
+    "LatencyClass",
+    "haversine_km",
+    "LOCATIONS",
+    "location",
+    "EARTH_RADIUS_KM",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A named point on the globe.
+
+    Coordinates are decimal degrees; ``region`` is a coarse market label
+    used to partition workloads (e.g. ``"Europe"``, ``"North America"``).
+    """
+
+    name: str
+    latitude: float
+    longitude: float
+    region: str
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+    def distance_km(self, other: "GeoLocation") -> float:
+        """Great-circle distance to another location in kilometres."""
+        return haversine_km(self.latitude, self.longitude, other.latitude, other.longitude)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in kilometres.
+
+    Standard haversine formula on a spherical Earth of radius
+    :data:`EARTH_RADIUS_KM`.  Accurate to ~0.5% which is ample for the
+    coarse distance bands of the latency model.
+    """
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+class LatencyClass(enum.Enum):
+    """Maximal player-server distance classes of Sec. V-E."""
+
+    SAME_LOCATION = "same location"
+    VERY_CLOSE = "very close"
+    CLOSE = "close"
+    FAR = "far"
+    VERY_FAR = "very far"
+
+    @property
+    def max_distance_km(self) -> float:
+        """The maximal allocation distance, in km (``inf`` for VERY_FAR)."""
+        return _MAX_DISTANCE_KM[self]
+
+    def admits(self, distance_km: float) -> bool:
+        """``True`` iff a player-server pair at this distance is allowed."""
+        return distance_km <= self.max_distance_km
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_MAX_DISTANCE_KM = {
+    # "d ~ 0 km": we allow a small slack so a DC in the same metro counts.
+    LatencyClass.SAME_LOCATION: 50.0,
+    LatencyClass.VERY_CLOSE: 1000.0,
+    LatencyClass.CLOSE: 2000.0,
+    LatencyClass.FAR: 4000.0,
+    LatencyClass.VERY_FAR: math.inf,
+}
+
+
+def _loc(name: str, lat: float, lon: float, region: str) -> GeoLocation:
+    return GeoLocation(name=name, latitude=lat, longitude=lon, region=region)
+
+
+#: Named locations used by the Table III data-center inventory plus the
+#: player population centres that generate the workload.  Coordinates are
+#: representative metro areas for each Table III row.
+LOCATIONS: dict[str, GeoLocation] = {
+    loc.name: loc
+    for loc in [
+        # --- Table III data-center sites -------------------------------
+        _loc("Finland", 60.17, 24.94, "Europe"),  # Helsinki
+        _loc("Sweden", 59.33, 18.06, "Europe"),  # Stockholm
+        _loc("U.K.", 51.51, -0.13, "Europe"),  # London
+        _loc("Netherlands", 52.37, 4.90, "Europe"),  # Amsterdam
+        _loc("US West", 37.77, -122.42, "North America"),  # San Francisco
+        _loc("Canada West", 49.28, -123.12, "North America"),  # Vancouver
+        _loc("US Central", 41.88, -87.63, "North America"),  # Chicago
+        _loc("US East", 40.71, -74.01, "North America"),  # New York
+        _loc("Canada East", 43.65, -79.38, "North America"),  # Toronto
+        _loc("Australia", -33.87, 151.21, "Australia"),  # Sydney
+        # --- additional population centres -----------------------------
+        _loc("Germany", 52.52, 13.40, "Europe"),  # Berlin
+        _loc("France", 48.86, 2.35, "Europe"),  # Paris
+        _loc("US South", 29.76, -95.37, "North America"),  # Houston
+        _loc("Japan", 35.68, 139.69, "Asia"),  # Tokyo
+        _loc("Korea", 37.57, 126.98, "Asia"),  # Seoul
+    ]
+}
+
+
+def location(name: str) -> GeoLocation:
+    """Look up a named location (raises ``KeyError`` with suggestions)."""
+    try:
+        return LOCATIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown location {name!r}; known: {sorted(LOCATIONS)}") from None

@@ -1,0 +1,98 @@
+"""Network latency estimation and genre tolerances.
+
+The paper treats latency as "exclusively determined by physical
+distance" under an idealized network (Sec. V-E) and refers to prior
+work (Claypool et al.) for how much latency each game genre tolerates:
+roughly 100 ms for first-person shooters, 500 ms for role-playing
+games, and 1000 ms for real-time strategy.
+
+This module provides the bridge between those milliseconds and the
+paper's distance classes: a simple distance→RTT estimator (speed of
+light in fibre plus a fixed processing overhead) and a helper that
+picks the widest :class:`~repro.datacenter.geography.LatencyClass` whose
+worst-case RTT stays within a genre's tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datacenter.geography import LatencyClass
+
+__all__ = [
+    "rtt_ms",
+    "latency_class_for_tolerance",
+    "GenreTolerance",
+    "GENRE_TOLERANCES",
+]
+
+#: Effective one-way propagation speed in fibre, km per ms (about 2/3 c,
+#: derated further for routing indirection).
+FIBRE_KM_PER_MS = 150.0
+
+#: Fixed overhead per round trip (serialization, queueing, server tick).
+BASE_RTT_MS = 15.0
+
+
+def rtt_ms(distance_km: float) -> float:
+    """Estimated round-trip time for a player-server distance.
+
+    ``BASE_RTT_MS`` plus two propagation legs at :data:`FIBRE_KM_PER_MS`.
+    """
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return BASE_RTT_MS + 2.0 * distance_km / FIBRE_KM_PER_MS
+
+
+def latency_class_for_tolerance(tolerance_ms: float) -> LatencyClass:
+    """The widest distance class whose worst-case RTT fits the tolerance.
+
+    Walks the classes from widest to tightest and returns the first one
+    whose maximal admitted distance keeps :func:`rtt_ms` within
+    ``tolerance_ms``.  Falls back to ``SAME_LOCATION`` when even local
+    play exceeds the tolerance (sub-15 ms budgets).
+    """
+    if tolerance_ms <= 0:
+        raise ValueError("tolerance must be positive")
+    ordered = [
+        LatencyClass.VERY_FAR,
+        LatencyClass.FAR,
+        LatencyClass.CLOSE,
+        LatencyClass.VERY_CLOSE,
+        LatencyClass.SAME_LOCATION,
+    ]
+    for cls in ordered:
+        worst = cls.max_distance_km
+        if worst == float("inf"):
+            # "Very far" is only safe for effectively unbounded budgets;
+            # use half the planet's circumference as the worst case.
+            worst = 20_000.0
+        if rtt_ms(worst) <= tolerance_ms:
+            return cls
+    return LatencyClass.SAME_LOCATION
+
+
+@dataclass(frozen=True)
+class GenreTolerance:
+    """A game genre's latency budget (from the literature the paper cites)."""
+
+    genre: str
+    tolerance_ms: float
+
+    @property
+    def latency_class(self) -> LatencyClass:
+        """The distance class this genre can afford."""
+        return latency_class_for_tolerance(self.tolerance_ms)
+
+
+#: The classic genre budgets (Claypool & Claypool, CACM 2006).
+GENRE_TOLERANCES: dict[str, GenreTolerance] = {
+    t.genre: t
+    for t in [
+        GenreTolerance("first-person shooter", 100.0),
+        GenreTolerance("sports / racing", 150.0),
+        GenreTolerance("role-playing game", 500.0),
+        GenreTolerance("real-time strategy", 1000.0),
+        GenreTolerance("turn-based / puzzle", 5000.0),
+    ]
+}

@@ -1,0 +1,43 @@
+"""Machine specifications.
+
+The paper assumes "each machine ... is capable of handling at least one
+game server at full load" (Sec. V-A), i.e. at least one CPU resource unit
+per machine.  CPU and memory are machine-bound resources; the external
+network is a data-center-level pool (Sec. II-B: "input from the external
+network *of a data center*").  :class:`Machine` therefore carries the
+machine-bound capacities, while the network pool lives on
+:class:`repro.datacenter.center.DataCenter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Machine"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Capacity specification of one data-center machine.
+
+    Parameters
+    ----------
+    cpu_capacity:
+        CPU capacity in resource units.  One unit hosts one fully loaded
+        game server (~2,000 concurrent clients), so the paper's minimum
+        is 1.0.
+    memory_capacity:
+        Memory capacity in resource units.  Table IV rents memory in
+        bulks of 2 units, so machines provide at least 2 units each.
+    """
+
+    cpu_capacity: float = 1.0
+    memory_capacity: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_capacity < 1.0:
+            raise ValueError(
+                "machines must handle at least one full game server (cpu_capacity >= 1)"
+            )
+        if self.memory_capacity <= 0:
+            raise ValueError("memory_capacity must be positive")

@@ -1,0 +1,140 @@
+"""Hosting policies: the space-time granularity of resource rental.
+
+A *hosting policy* (paper Sec. II-B) is the data-center owner's rule for
+how coarsely resources are rented out:
+
+* the **resource bulk** — the minimum number of units of each resource
+  type that can be allocated in one request (requests are rounded *up* to
+  a multiple of the bulk), and
+* the **time bulk** — the minimum duration of an allocation, in minutes
+  (leases cannot be released earlier).
+
+Table IV of the paper defines eleven concrete policies HP-1..HP-11 used
+throughout the evaluation; :data:`STANDARD_POLICIES` reproduces them
+verbatim.  ``n/a`` entries in the table mean the policy places no
+granularity constraint on that resource; we encode them as a bulk of 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datacenter.resources import ResourceVector
+
+__all__ = ["HostingPolicy", "STANDARD_POLICIES", "policy"]
+
+
+@dataclass(frozen=True)
+class HostingPolicy:
+    """An immutable space-time rental policy.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"HP-5"``.
+    resource_bulk:
+        Minimal allocation quantum per resource type, in resource units.
+        A component of 0 means "no constraint" (``n/a`` in Table IV).
+    time_bulk_minutes:
+        Minimal allocation duration in minutes.
+    """
+
+    name: str
+    resource_bulk: ResourceVector
+    time_bulk_minutes: float
+
+    def __post_init__(self) -> None:
+        if self.time_bulk_minutes <= 0:
+            raise ValueError("time bulk must be positive")
+        if bool((self.resource_bulk.values < 0).any()):
+            raise ValueError("resource bulks must be non-negative")
+
+    def round_request(self, demand: ResourceVector) -> ResourceVector:
+        """Round a demand vector up to this policy's resource bulks."""
+        return demand.round_up_to_bulk(self.resource_bulk)
+
+    def time_bulk_steps(self, step_minutes: float) -> int:
+        """The time bulk expressed in simulation steps (rounded up, >= 1)."""
+        if step_minutes <= 0:
+            raise ValueError("step_minutes must be positive")
+        steps = int(-(-self.time_bulk_minutes // step_minutes))  # ceil division
+        return max(steps, 1)
+
+    @property
+    def grain(self) -> float:
+        """A scalar coarseness score used for ranking offers.
+
+        The matching mechanism (Sec. II-C) prefers *finer-grained*
+        resources; we summarize a policy's spatial coarseness as the sum
+        of its non-zero resource bulks.  Lower is finer.
+        """
+        vals = self.resource_bulk.values
+        return float(vals[vals > 0].sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"HostingPolicy({self.name!r}, bulk={self.resource_bulk!r}, "
+            f"time={self.time_bulk_minutes:g}min)"
+        )
+
+
+def _hp(
+    name: str,
+    cpu: float,
+    memory: float,
+    extnet_in: float,
+    extnet_out: float,
+    minutes: float,
+) -> HostingPolicy:
+    return HostingPolicy(
+        name=name,
+        resource_bulk=ResourceVector(
+            cpu=cpu, memory=memory, extnet_in=extnet_in, extnet_out=extnet_out
+        ),
+        time_bulk_minutes=minutes,
+    )
+
+
+#: The eleven hosting policies of Table IV.  ``n/a`` table cells are bulks
+#: of 0 (no granularity constraint on that resource).
+STANDARD_POLICIES: dict[str, HostingPolicy] = {
+    p.name: p
+    for p in [
+        # name     CPU   Mem ExtIn ExtOut  Time[min]
+        _hp("HP-1", 0.25, 0.0, 6.0, 0.33, 360),
+        _hp("HP-2", 0.25, 0.0, 4.0, 0.50, 360),
+        _hp("HP-3", 0.22, 2.0, 0.0, 0.00, 180),
+        _hp("HP-4", 0.28, 2.0, 0.0, 0.00, 180),
+        _hp("HP-5", 0.37, 2.0, 0.0, 0.00, 180),
+        _hp("HP-6", 0.56, 2.0, 0.0, 0.00, 180),
+        _hp("HP-7", 1.11, 2.0, 0.0, 0.00, 180),
+        _hp("HP-8", 0.37, 2.0, 0.0, 0.00, 360),
+        _hp("HP-9", 0.37, 2.0, 0.0, 0.00, 720),
+        _hp("HP-10", 0.37, 2.0, 0.0, 0.00, 1440),
+        _hp("HP-11", 0.37, 2.0, 0.0, 0.00, 2880),
+    ]
+}
+
+
+def policy(name: str) -> HostingPolicy:
+    """Look up one of the paper's standard policies by name (e.g. ``"HP-5"``)."""
+    try:
+        return STANDARD_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hosting policy {name!r}; known: {sorted(STANDARD_POLICIES)}"
+        ) from None
+
+
+# Convenience factory for custom sweep policies (Figs. 11-12 vary one knob).
+def custom_policy(
+    name: str,
+    *,
+    cpu_bulk: float = 0.37,
+    memory_bulk: float = 2.0,
+    extnet_in_bulk: float = 0.0,
+    extnet_out_bulk: float = 0.0,
+    time_bulk_minutes: float = 180,
+) -> HostingPolicy:
+    """Build a one-off policy, defaulting to HP-5's shape."""
+    return _hp(name, cpu_bulk, memory_bulk, extnet_in_bulk, extnet_out_bulk, time_bulk_minutes)

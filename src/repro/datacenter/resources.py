@@ -1,0 +1,253 @@
+"""Resource types and resource vectors.
+
+The paper's data-center model (Sec. II-B) rents four resource types:
+
+* ``CPU`` — CPU time on data-center machines,
+* ``MEMORY`` — memory on data-center machines,
+* ``EXTNET_IN`` — input bandwidth from the data center's external network,
+* ``EXTNET_OUT`` — output bandwidth to the data center's external network.
+
+All quantities are measured in abstract *resource units* (Sec. V-A): one
+unit of a resource is the amount consumed by one fully loaded RuneScape
+game server (about 2,000 simultaneous clients; one ExtNet[out] unit is
+roughly 3 MB/s of real bandwidth).
+
+:class:`ResourceVector` is a small fixed-length float vector keyed by
+resource type.  It is the currency of the whole simulator: game operators
+express demand as resource vectors, hosting policies express bulks as
+resource vectors, and machines track capacity/allocation as resource
+vectors.  It is deliberately backed by a plain ``numpy`` array so that the
+inner provisioning loop stays vectorizable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "ResourceType",
+    "CPU",
+    "MEMORY",
+    "EXTNET_IN",
+    "EXTNET_OUT",
+    "RESOURCE_TYPES",
+    "ResourceVector",
+]
+
+
+class ResourceType(enum.IntEnum):
+    """The four rentable resource types of the data-center model."""
+
+    CPU = 0
+    MEMORY = 1
+    EXTNET_IN = 2
+    EXTNET_OUT = 3
+
+    @property
+    def label(self) -> str:
+        """Human-readable label used in tables (matches the paper's headers)."""
+        return _LABELS[self]
+
+
+_LABELS = {
+    ResourceType.CPU: "CPU",
+    ResourceType.MEMORY: "Memory",
+    ResourceType.EXTNET_IN: "ExtNet[in]",
+    ResourceType.EXTNET_OUT: "ExtNet[out]",
+}
+
+CPU = ResourceType.CPU
+MEMORY = ResourceType.MEMORY
+EXTNET_IN = ResourceType.EXTNET_IN
+EXTNET_OUT = ResourceType.EXTNET_OUT
+
+#: All resource types in index order.
+RESOURCE_TYPES: tuple[ResourceType, ...] = tuple(ResourceType)
+
+N_RESOURCES = len(RESOURCE_TYPES)
+
+
+class ResourceVector:
+    """A fixed-length vector of resource quantities, one entry per type.
+
+    Supports elementwise arithmetic, comparison helpers, and bulk rounding.
+    Quantities are expressed in abstract resource units (see module doc).
+
+    Parameters
+    ----------
+    cpu, memory, extnet_in, extnet_out:
+        Per-resource quantities.  Negative values are permitted (they arise
+        naturally when computing shortfalls) but most call sites clamp.
+
+    Examples
+    --------
+    >>> demand = ResourceVector(cpu=1.5, extnet_out=2.0)
+    >>> demand[CPU]
+    1.5
+    >>> (demand + demand)[EXTNET_OUT]
+    4.0
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(
+        self,
+        cpu: float = 0.0,
+        memory: float = 0.0,
+        extnet_in: float = 0.0,
+        extnet_out: float = 0.0,
+    ) -> None:
+        self._values = np.array([cpu, memory, extnet_in, extnet_out], dtype=np.float64)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_array(cls, values: np.ndarray | Iterable[float]) -> "ResourceVector":
+        """Wrap a length-4 array (copied) as a resource vector."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.shape != (N_RESOURCES,):
+            raise ValueError(f"expected shape ({N_RESOURCES},), got {arr.shape}")
+        rv = cls.__new__(cls)
+        rv._values = arr.copy()
+        return rv
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[ResourceType, float]) -> "ResourceVector":
+        """Build a vector from a ``{ResourceType: quantity}`` mapping."""
+        arr = np.zeros(N_RESOURCES)
+        for rtype, qty in mapping.items():
+            arr[int(rtype)] = qty
+        return cls.from_array(arr)
+
+    @classmethod
+    def uniform(cls, value: float) -> "ResourceVector":
+        """A vector with every component equal to ``value``."""
+        return cls.from_array(np.full(N_RESOURCES, float(value)))
+
+    @classmethod
+    def zeros(cls) -> "ResourceVector":
+        """The all-zero vector."""
+        return cls.from_array(np.zeros(N_RESOURCES))
+
+    # -- array access ----------------------------------------------------
+
+    def as_array(self) -> np.ndarray:
+        """Return a *copy* of the underlying array."""
+        return self._values.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the underlying array (do not mutate)."""
+        return self._values
+
+    def __getitem__(self, rtype: ResourceType) -> float:
+        return float(self._values[int(rtype)])
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values.tolist())
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector.from_array(self._values + other._values)
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector.from_array(self._values - other._values)
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector.from_array(self._values * float(scalar))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector.from_array(self._values / float(scalar))
+
+    def __neg__(self) -> "ResourceVector":
+        return ResourceVector.from_array(-self._values)
+
+    # -- comparisons ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return bool(np.array_equal(self._values, other._values))
+
+    def __hash__(self) -> int:  # pragma: no cover - vectors are not dict keys in hot paths
+        return hash(self._values.tobytes())
+
+    def covers(self, other: "ResourceVector", *, tol: float = 1e-9) -> bool:
+        """``True`` iff every component is >= the other's (within ``tol``)."""
+        return bool(np.all(self._values + tol >= other._values))
+
+    def dominated_by(self, other: "ResourceVector", *, tol: float = 1e-9) -> bool:
+        """``True`` iff every component is <= the other's (within ``tol``)."""
+        return other.covers(self, tol=tol)
+
+    def is_zero(self, *, tol: float = 1e-12) -> bool:
+        """``True`` iff every component is (numerically) zero."""
+        return bool(np.all(np.abs(self._values) <= tol))
+
+    def any_positive(self, *, tol: float = 1e-12) -> bool:
+        """``True`` iff at least one component exceeds ``tol``."""
+        return bool(np.any(self._values > tol))
+
+    # -- elementwise helpers ----------------------------------------------
+
+    def clamp_min(self, floor: float = 0.0) -> "ResourceVector":
+        """Elementwise ``max(component, floor)``."""
+        return ResourceVector.from_array(np.maximum(self._values, floor))
+
+    def clamp_max(self, ceiling: "ResourceVector") -> "ResourceVector":
+        """Elementwise ``min(component, ceiling component)``."""
+        return ResourceVector.from_array(np.minimum(self._values, ceiling._values))
+
+    def maximum(self, other: "ResourceVector") -> "ResourceVector":
+        """Elementwise maximum of two vectors."""
+        return ResourceVector.from_array(np.maximum(self._values, other._values))
+
+    def minimum(self, other: "ResourceVector") -> "ResourceVector":
+        """Elementwise minimum of two vectors."""
+        return ResourceVector.from_array(np.minimum(self._values, other._values))
+
+    def round_up_to_bulk(self, bulk: "ResourceVector") -> "ResourceVector":
+        """Round each component up to the nearest multiple of its bulk.
+
+        This is the paper's resource-bulk mechanism: data centers only
+        allocate resources in integer multiples of the policy's bulk, so a
+        request for 0.3 CPU units under a 0.25-unit bulk yields 0.5 units.
+        Components whose bulk is zero (``n/a`` in Table IV) pass through
+        unchanged — the policy places no granularity constraint on them.
+
+        A tiny relative tolerance absorbs floating-point noise so that a
+        request of exactly ``k * bulk`` does not round to ``k + 1`` bulks.
+        """
+        b = bulk._values
+        v = self._values
+        out = v.copy()
+        mask = b > 0
+        ratio = v[mask] / b[mask]
+        out[mask] = np.ceil(ratio - 1e-9) * b[mask]
+        return ResourceVector.from_array(np.maximum(out, 0.0))
+
+    def total(self) -> float:
+        """Sum of all components (rarely meaningful; used for tie-breaking)."""
+        return float(self._values.sum())
+
+    # -- misc --------------------------------------------------------------
+
+    def copy(self) -> "ResourceVector":
+        """An independent copy."""
+        return ResourceVector.from_array(self._values)
+
+    def to_mapping(self) -> dict[ResourceType, float]:
+        """Export as a ``{ResourceType: quantity}`` dict."""
+        return {rtype: float(self._values[int(rtype)]) for rtype in RESOURCE_TYPES}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{rtype.label}={self._values[int(rtype)]:.4g}" for rtype in RESOURCE_TYPES
+        )
+        return f"ResourceVector({parts})"

@@ -1,0 +1,62 @@
+"""The MMOG game emulator (paper Sec. IV-D1).
+
+The paper's authors could not instrument RuneScape's servers, so they
+built a distributed game emulator that "realistically emulates the
+behavior of the game players" to generate load traces for predictor
+evaluation.  This package is that emulator:
+
+* a 2-D **game world** partitioned into sub-zones, with interaction
+  *hotspots* (:mod:`repro.emulator.world`),
+* an **entity population** driven by the paper's four AI profiles —
+  aggressive (the *killer*), scout (the *explorer*), team player (the
+  *socializer*) and camper (the *achiever* of Bartle's taxonomy) — with
+  dynamic profile switching (:mod:`repro.emulator.profiles`,
+  :mod:`repro.emulator.entities`),
+* the **emulation loop** producing per-sub-zone entity counts at the
+  2-minute sampling interval (:mod:`repro.emulator.emulator`), and
+* the **Table I data sets** — eight configurations spanning the three
+  signal types used in the Fig. 5 predictor comparison
+  (:mod:`repro.emulator.datasets`).
+"""
+
+from repro.emulator.profiles import AIProfile, ProfileParams, PROFILE_PARAMS, DynamicsLevel
+from repro.emulator.world import GameWorld, Hotspot
+from repro.emulator.entities import EntityPopulation
+from repro.emulator.emulator import EmulatorConfig, GameEmulator, EmulationTrace
+from repro.emulator.interactions import (
+    InteractionTrace,
+    count_interacting_pairs,
+    emulate_with_interactions,
+    interaction_counts_per_zone,
+    load_interaction_correlation,
+)
+from repro.emulator.datasets import (
+    DatasetSpec,
+    TABLE_I_SPECS,
+    SignalType,
+    generate_dataset,
+    generate_table1_datasets,
+)
+
+__all__ = [
+    "AIProfile",
+    "ProfileParams",
+    "PROFILE_PARAMS",
+    "DynamicsLevel",
+    "GameWorld",
+    "Hotspot",
+    "EntityPopulation",
+    "EmulatorConfig",
+    "GameEmulator",
+    "EmulationTrace",
+    "InteractionTrace",
+    "count_interacting_pairs",
+    "emulate_with_interactions",
+    "interaction_counts_per_zone",
+    "load_interaction_correlation",
+    "DatasetSpec",
+    "TABLE_I_SPECS",
+    "SignalType",
+    "generate_dataset",
+    "generate_table1_datasets",
+]

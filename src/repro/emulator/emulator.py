@@ -1,0 +1,235 @@
+"""The emulation loop: configuration, stepping, sampling.
+
+One :class:`GameEmulator` run simulates a configured day of play and
+samples the per-sub-zone entity counts every two minutes — "running one
+simulated day for each set and sampling the game state every two
+minutes" (Sec. IV-D1).  Four aspects besides the AI profile mix are
+modelled, exactly as the paper lists them:
+
+* **peak hours** — a late-afternoon population swell;
+* **peak load** — the maximum entity count (relative game popularity);
+* **overall dynamics** — variability of the interaction over the day
+  (population amplitude + hotspot strength drift);
+* **instantaneous dynamics** — variability over a two-minute window
+  (entity speed + hotspot churn).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.emulator.profiles import AIProfile, DynamicsLevel
+from repro.emulator.world import GameWorld
+from repro.emulator.entities import EntityPopulation
+
+__all__ = ["EmulatorConfig", "EmulationTrace", "GameEmulator"]
+
+_N_PROFILES = len(AIProfile)
+
+#: Entity speed multiplier per instantaneous-dynamics level.
+#: The scales are chosen so that crowd relocations span several samples
+#: (a hotspot-to-hotspot transit takes ~5-10 samples at HIGH): load
+#: changes then appear as traveling waves across zones — large but
+#: *structured* two-minute dynamics, as in fast-paced games where
+#: battles build up and disperse over minutes.
+_SPEED_SCALE = {
+    DynamicsLevel.LOW: 0.012,
+    DynamicsLevel.MEDIUM: 0.04,
+    DynamicsLevel.HIGH: 0.12,
+}
+#: Hotspot churn probability per tick, per instantaneous-dynamics level.
+#: Relocations are rare; the round schedule provides the dynamics.
+_CHURN_PROB = {
+    DynamicsLevel.LOW: 0.0002,
+    DynamicsLevel.MEDIUM: 0.0008,
+    DynamicsLevel.HIGH: 0.002,
+}
+#: Hotspot pulse amplitude (minigame-round oscillation) per
+#: instantaneous-dynamics level: fast-paced games cycle players through
+#: arena rounds every few minutes, calm games barely oscillate.
+_PULSE_AMPLITUDE = {
+    DynamicsLevel.LOW: 0.15,
+    DynamicsLevel.MEDIUM: 0.55,
+    DynamicsLevel.HIGH: 0.95,
+}
+#: Daily population amplitude per overall-dynamics level (fraction of peak).
+_DAILY_AMPLITUDE = {
+    DynamicsLevel.LOW: 0.12,
+    DynamicsLevel.MEDIUM: 0.30,
+    DynamicsLevel.HIGH: 0.55,
+}
+
+
+@dataclass(frozen=True)
+class EmulatorConfig:
+    """Configuration of one emulation run (one Table I row).
+
+    Parameters
+    ----------
+    profile_mix:
+        Preferred-profile fractions (aggressive, scout, team, camper);
+        must sum to 1.
+    peak_hours:
+        Whether the population follows a late-afternoon peak curve.
+    peak_load:
+        Maximum entity count.
+    overall_dynamics / instantaneous_dynamics:
+        Table I's two dynamics columns.
+    duration_days:
+        Simulated duration (the paper uses one day per set).
+    tick_seconds:
+        Integration step of the movement simulation.
+    sample_minutes:
+        Sampling interval of the output signal (paper: 2 minutes).
+    zones_x, zones_y:
+        Sub-zone grid.
+    seed:
+        Seed pinning the whole run.
+    """
+
+    profile_mix: tuple[float, float, float, float]
+    peak_hours: bool = False
+    peak_load: int = 1000
+    overall_dynamics: DynamicsLevel = DynamicsLevel.MEDIUM
+    instantaneous_dynamics: DynamicsLevel = DynamicsLevel.MEDIUM
+    duration_days: float = 1.0
+    tick_seconds: float = 20.0
+    sample_minutes: float = 2.0
+    zones_x: int = 8
+    zones_y: int = 8
+    n_hotspots: int = 4
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        mix = np.asarray(self.profile_mix, dtype=np.float64)
+        if mix.shape != (_N_PROFILES,) or mix.min() < 0 or not np.isclose(mix.sum(), 1.0):
+            raise ValueError("profile_mix must be 4 non-negative fractions summing to 1")
+        if self.peak_load <= 0:
+            raise ValueError("peak_load must be positive")
+        if self.duration_days <= 0 or self.tick_seconds <= 0 or self.sample_minutes <= 0:
+            raise ValueError("durations must be positive")
+        if self.sample_minutes * 60 < self.tick_seconds:
+            raise ValueError("sampling must not be finer than the tick")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of output samples."""
+        return int(round(self.duration_days * 24 * 60 / self.sample_minutes))
+
+    @property
+    def ticks_per_sample(self) -> int:
+        """Simulation ticks between consecutive samples."""
+        return max(int(round(self.sample_minutes * 60 / self.tick_seconds)), 1)
+
+
+@dataclass
+class EmulationTrace:
+    """Output of one emulation run.
+
+    Attributes
+    ----------
+    zone_counts:
+        Shape ``(n_samples, n_zones)``: entities per sub-zone per sample.
+    config:
+        The configuration that produced the trace.
+    """
+
+    zone_counts: np.ndarray
+    config: EmulatorConfig
+
+    @property
+    def totals(self) -> np.ndarray:
+        """Total entity count per sample."""
+        return self.zone_counts.sum(axis=1)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples."""
+        return int(self.zone_counts.shape[0])
+
+    @property
+    def n_zones(self) -> int:
+        """Number of sub-zones."""
+        return int(self.zone_counts.shape[1])
+
+    def instantaneous_variability(self) -> float:
+        """Mean absolute per-zone change between consecutive samples,
+        normalized by the mean zone count — the empirical measure of
+        Table I's *instantaneous dynamics*."""
+        diffs = np.abs(np.diff(self.zone_counts, axis=0)).mean()
+        level = max(self.zone_counts.mean(), 1e-9)
+        return float(diffs / level)
+
+    def overall_variability(self) -> float:
+        """Relative swing of the total population over the run — the
+        empirical measure of Table I's *overall dynamics*."""
+        totals = self.totals.astype(np.float64)
+        peak = totals.max()
+        if peak <= 0:
+            return 0.0
+        return float((peak - totals.min()) / peak)
+
+
+class GameEmulator:
+    """Runs one emulation and produces an :class:`EmulationTrace`."""
+
+    def __init__(self, config: EmulatorConfig) -> None:
+        self.config = config
+
+    def _population_curve(self, t_days: np.ndarray) -> np.ndarray:
+        """Target population per sample as a fraction of ``peak_load``."""
+        cfg = self.config
+        amp = _DAILY_AMPLITUDE[cfg.overall_dynamics]
+        if cfg.peak_hours:
+            # Raised cosine peaking at 19:00, like the trace synthesizer.
+            hour = (t_days * 24.0) % 24.0
+            delta = np.abs(hour - 19.0)
+            delta = np.minimum(delta, 24.0 - delta)
+            shape = np.where(delta < 9.0, 0.5 * (1 + np.cos(np.pi * delta / 9.0)), 0.0)
+            return (1.0 - amp) + amp * shape
+        # No peak hours: slow sinusoidal wander around a high plateau.
+        wander = 0.5 * (1 + np.sin(2 * np.pi * (t_days * 3.0)))
+        return (1.0 - amp) + amp * wander
+
+    def run(self) -> EmulationTrace:
+        """Execute the emulation (deterministic given the seed)."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        world = GameWorld(
+            zones_x=cfg.zones_x,
+            zones_y=cfg.zones_y,
+            n_hotspots=cfg.n_hotspots,
+            pulse_amplitude=_PULSE_AMPLITUDE[cfg.instantaneous_dynamics],
+            rng=rng,
+        )
+        population = EntityPopulation(
+            world,
+            np.asarray(cfg.profile_mix),
+            speed_scale=_SPEED_SCALE[cfg.instantaneous_dynamics],
+            rng=rng,
+        )
+        churn = _CHURN_PROB[cfg.instantaneous_dynamics]
+
+        n_samples = cfg.n_samples
+        sample_days = np.arange(n_samples) * (cfg.sample_minutes / (24.0 * 60.0))
+        targets = np.round(self._population_curve(sample_days) * cfg.peak_load).astype(int)
+
+        # Warm start at the initial target population.
+        population.spawn(int(targets[0]))
+        counts = np.empty((n_samples, world.n_zones), dtype=np.int64)
+
+        for s in range(n_samples):
+            # Track the target population with gradual join/leave churn.
+            deficit = int(targets[s]) - population.size
+            if deficit > 0:
+                population.spawn(deficit)
+            elif deficit < 0:
+                population.despawn(-deficit)
+            for _ in range(cfg.ticks_per_sample):
+                world.advance_time(cfg.tick_seconds)
+                world.churn_hotspots(churn)
+                population.step(cfg.tick_seconds)
+            counts[s] = population.zone_counts()
+        return EmulationTrace(zone_counts=counts, config=cfg)

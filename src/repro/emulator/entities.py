@@ -1,0 +1,245 @@
+"""The emulated entity population.
+
+A structure-of-arrays container for all live entities: positions,
+current and preferred AI profiles, movement targets and team
+assignments.  All per-tick updates are vectorized over the population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulator.profiles import AIProfile, PROFILE_PARAMS
+from repro.emulator.world import GameWorld
+
+__all__ = ["EntityPopulation"]
+
+_N_PROFILES = len(AIProfile)
+
+
+class EntityPopulation:
+    """All live entities of one emulation, stored as parallel arrays.
+
+    Parameters
+    ----------
+    world:
+        The game world entities inhabit.
+    profile_mix:
+        Preferred-profile probabilities, an array of length 4 summing
+        to 1 in :class:`~repro.emulator.profiles.AIProfile` order.
+    n_teams:
+        Number of teams the TEAM-profile entities organize into.
+    speed_scale:
+        Global multiplier on profile speeds (instantaneous-dynamics
+        lever).
+    switch_prob:
+        Per-tick probability that an entity deviates from / returns to
+        its preferred profile (the paper's dynamic profile switching).
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(
+        self,
+        world: GameWorld,
+        profile_mix: np.ndarray,
+        *,
+        n_teams: int = 8,
+        speed_scale: float = 1.0,
+        switch_prob: float = 0.002,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        mix = np.asarray(profile_mix, dtype=np.float64)
+        if mix.shape != (_N_PROFILES,):
+            raise ValueError(f"profile_mix must have shape ({_N_PROFILES},)")
+        if mix.min() < 0 or not np.isclose(mix.sum(), 1.0):
+            raise ValueError("profile_mix must be a probability vector")
+        if n_teams <= 0:
+            raise ValueError("n_teams must be positive")
+        self.world = world
+        self.profile_mix = mix
+        self.n_teams = int(n_teams)
+        self.speed_scale = float(speed_scale)
+        self.switch_prob = float(switch_prob)
+        self._rng = rng or np.random.default_rng()
+
+        self.positions = np.empty((0, 2))
+        self.preferred = np.empty(0, dtype=np.int64)
+        self.profile = np.empty(0, dtype=np.int64)
+        self.targets = np.empty((0, 2))
+        self.team = np.empty(0, dtype=np.int64)
+        # Index of the hotspot an entity is heading to (-1 = free target).
+        self.target_hotspot = np.empty(0, dtype=np.int64)
+
+        # Pre-extract per-profile parameter arrays for vectorized lookup.
+        self._speeds = np.array(
+            [PROFILE_PARAMS[AIProfile(i)].speed for i in range(_N_PROFILES)]
+        )
+        self._directedness = np.array(
+            [PROFILE_PARAMS[AIProfile(i)].directedness for i in range(_N_PROFILES)]
+        )
+        self._retarget = np.array(
+            [PROFILE_PARAMS[AIProfile(i)].retarget_prob for i in range(_N_PROFILES)]
+        )
+
+    # -- population management ----------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of live entities."""
+        return self.positions.shape[0]
+
+    def spawn(self, n: int) -> None:
+        """Add ``n`` entities with preferred profiles drawn from the mix.
+
+        New arrivals spawn either near a hotspot (players log in where
+        the action is) or at a random position, 50/50.
+        """
+        if n <= 0:
+            return
+        pos = self.world.random_positions(n)
+        near_hotspot = self._rng.random(n) < 0.5
+        k = int(near_hotspot.sum())
+        if k:
+            hpos = self.world.hotspot_positions()
+            weights = self.world.hotspot_weights()
+            chosen = self._rng.choice(len(hpos), size=k, p=weights)
+            jitter = self._rng.normal(0.0, self.world.width * 0.02, size=(k, 2))
+            pos[near_hotspot] = hpos[chosen] + jitter
+        self.world.clamp(pos)
+        preferred = self._rng.choice(_N_PROFILES, size=n, p=self.profile_mix)
+        targets, target_hotspot = self._new_targets(preferred, pos)
+        self.positions = np.vstack([self.positions, pos])
+        self.preferred = np.concatenate([self.preferred, preferred])
+        self.profile = np.concatenate([self.profile, preferred.copy()])
+        self.targets = np.vstack([self.targets, targets])
+        self.target_hotspot = np.concatenate([self.target_hotspot, target_hotspot])
+        self.team = np.concatenate(
+            [self.team, self._rng.integers(0, self.n_teams, size=n)]
+        )
+
+    def despawn(self, n: int) -> None:
+        """Remove ``n`` uniformly chosen entities (player logouts)."""
+        if n <= 0 or self.size == 0:
+            return
+        n = min(n, self.size)
+        keep = np.ones(self.size, dtype=bool)
+        gone = self._rng.choice(self.size, size=n, replace=False)
+        keep[gone] = False
+        self.positions = self.positions[keep]
+        self.preferred = self.preferred[keep]
+        self.profile = self.profile[keep]
+        self.targets = self.targets[keep]
+        self.target_hotspot = self.target_hotspot[keep]
+        self.team = self.team[keep]
+
+    # -- behaviour ------------------------------------------------------------
+
+    def _new_targets(
+        self, profiles: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pick a fresh movement target per entity based on its profile.
+
+        Returns ``(targets, target_hotspot)`` where ``target_hotspot``
+        holds the chosen hotspot index for hotspot-seeking entities and
+        -1 for free-roaming targets.
+        """
+        n = profiles.shape[0]
+        targets = self.world.random_positions(n)  # default: scout waypoints
+        target_hotspot = np.full(n, -1, dtype=np.int64)
+        # Aggressive entities target hotspots (weighted by current rounds).
+        agg = profiles == AIProfile.AGGRESSIVE
+        k = int(agg.sum())
+        if k:
+            hpos = self.world.hotspot_positions()
+            weights = self.world.hotspot_weights()
+            chosen = self._rng.choice(len(hpos), size=k, p=weights)
+            targets[agg] = hpos[chosen]
+            target_hotspot[agg] = chosen
+        # Campers hide near their current position.
+        camp = profiles == AIProfile.CAMPER
+        k = int(camp.sum())
+        if k:
+            targets[camp] = positions[camp] + self._rng.normal(
+                0.0, self.world.width * 0.01, size=(k, 2)
+            )
+        # Team players' target is maintained per tick (team centroid).
+        return targets, target_hotspot
+
+    def _team_centroids(self) -> np.ndarray:
+        """Centroid of each team (teams without members get the world centre)."""
+        centroids = np.full(
+            (self.n_teams, 2), [self.world.width / 2.0, self.world.height / 2.0]
+        )
+        counts = np.bincount(self.team, minlength=self.n_teams).astype(np.float64)
+        sums_x = np.bincount(self.team, weights=self.positions[:, 0], minlength=self.n_teams)
+        sums_y = np.bincount(self.team, weights=self.positions[:, 1], minlength=self.n_teams)
+        nonzero = counts > 0
+        centroids[nonzero, 0] = sums_x[nonzero] / counts[nonzero]
+        centroids[nonzero, 1] = sums_y[nonzero] / counts[nonzero]
+        return centroids
+
+    def step(self, dt_seconds: float) -> None:
+        """Advance all entities by one tick of ``dt_seconds``."""
+        n = self.size
+        if n == 0:
+            return
+        rng = self._rng
+
+        # Dynamic profile switching: deviate from or revert to preference.
+        switching = rng.random(n) < self.switch_prob
+        k = int(switching.sum())
+        if k:
+            reverts = rng.random(k) < 0.5
+            new_profiles = np.where(
+                reverts,
+                self.preferred[switching],
+                rng.integers(0, _N_PROFILES, size=k),
+            )
+            self.profile[switching] = new_profiles
+            t, th = self._new_targets(new_profiles, self.positions[switching])
+            self.targets[switching] = t
+            self.target_hotspot[switching] = th
+
+        # Retargeting: per-profile spontaneous rates.  Hotspot-seeking
+        # entities re-pick according to the *current* popularity
+        # weights, so crowds continuously rebalance toward the rising
+        # spots and drain from the fading ones — a first-order tracking
+        # of the popularity cycle.
+        retarget = rng.random(n) < self._retarget[self.profile]
+        k = int(retarget.sum())
+        if k:
+            t, th = self._new_targets(
+                self.profile[retarget], self.positions[retarget]
+            )
+            self.targets[retarget] = t
+            self.target_hotspot[retarget] = th
+
+        # Team players chase their team centroid every tick.
+        team_mask = self.profile == AIProfile.TEAM
+        if team_mask.any():
+            centroids = self._team_centroids()
+            self.targets[team_mask] = centroids[self.team[team_mask]]
+
+        # Move: directed component toward target + random jitter.
+        speeds = self._speeds[self.profile] * self.speed_scale * dt_seconds
+        direct = self._directedness[self.profile]
+        delta = self.targets - self.positions
+        dist = np.linalg.norm(delta, axis=1)
+        np.maximum(dist, 1e-9, out=dist)
+        unit = delta / dist[:, None]
+        jitter = rng.normal(0.0, 1.0, size=(n, 2))
+        jn = np.linalg.norm(jitter, axis=1)
+        np.maximum(jn, 1e-9, out=jn)
+        jitter /= jn[:, None]
+        step_len = np.minimum(speeds, dist)  # do not overshoot the target
+        motion = (
+            unit * (direct * step_len)[:, None]
+            + jitter * ((1.0 - direct) * speeds)[:, None]
+        )
+        self.positions += motion
+        self.world.clamp(self.positions)
+
+    def zone_counts(self) -> np.ndarray:
+        """Entity count per sub-zone (delegates to the world)."""
+        return self.world.zone_counts(self.positions)

@@ -1,0 +1,107 @@
+"""AI behaviour profiles of the emulated players.
+
+The four profiles (Sec. IV-D1) match the four behavioural archetypes
+most encountered in MMOGs (Bartle's taxonomy):
+
+=============  ==============  ===========================================
+profile        archetype       emulated behaviour
+=============  ==============  ===========================================
+``AGGRESSIVE`` the *killer*    seeks and interacts with opponents — moves
+                               fast toward the nearest combat hotspot
+``SCOUT``      the *explorer*  discovers uncharted zones — wanders toward
+                               random far-away waypoints
+``TEAM``       the *socializer* acts in a group — steers toward its
+                               team's centroid
+``CAMPER``     the *achiever*  hides and waits for opponents — nearly
+                               stationary, occasionally relocating
+=============  ==============  ===========================================
+
+Each entity has a *preferred* profile but "can change the profiles
+dynamically during the emulation"; switching is a sticky Markov process
+parameterized on :class:`repro.emulator.emulator.EmulatorConfig`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AIProfile", "ProfileParams", "PROFILE_PARAMS", "DynamicsLevel"]
+
+
+class AIProfile(enum.IntEnum):
+    """The four behavioural profiles (values index parameter arrays)."""
+
+    AGGRESSIVE = 0
+    SCOUT = 1
+    TEAM = 2
+    CAMPER = 3
+
+    @property
+    def archetype(self) -> str:
+        """The Bartle archetype this profile models."""
+        return _ARCHETYPES[self]
+
+
+_ARCHETYPES = {
+    AIProfile.AGGRESSIVE: "killer",
+    AIProfile.SCOUT: "explorer",
+    AIProfile.TEAM: "socializer",
+    AIProfile.CAMPER: "achiever",
+}
+
+
+class DynamicsLevel(enum.IntEnum):
+    """Coarse dynamics ratings, the ``+`` scale of Table I."""
+
+    LOW = 1
+    MEDIUM = 3
+    HIGH = 5
+
+    @property
+    def plusses(self) -> str:
+        """Table I-style rendering, e.g. ``'+++'``."""
+        return "+" * int(self)
+
+
+@dataclass(frozen=True)
+class ProfileParams:
+    """Movement parameters of one AI profile.
+
+    Parameters
+    ----------
+    speed:
+        Base movement speed in world units per second.
+    directedness:
+        Fraction of each step aimed at the profile's target (the rest is
+        random jitter); 0 = pure random walk, 1 = beeline.
+    retarget_prob:
+        Per-tick probability of picking a new target (waypoint, hotspot
+        or hiding place).
+    """
+
+    speed: float
+    directedness: float
+    retarget_prob: float
+
+    def __post_init__(self) -> None:
+        if self.speed < 0:
+            raise ValueError("speed must be non-negative")
+        if not 0.0 <= self.directedness <= 1.0:
+            raise ValueError("directedness must be in [0, 1]")
+        if not 0.0 <= self.retarget_prob <= 1.0:
+            raise ValueError("retarget_prob must be in [0, 1]")
+
+
+#: Baseline movement parameters per profile.  The emulator scales speeds
+#: by its instantaneous-dynamics knob.
+PROFILE_PARAMS: dict[AIProfile, ProfileParams] = {
+    # Killers sprint between fights and stay locked on their target.
+    AIProfile.AGGRESSIVE: ProfileParams(speed=6.0, directedness=0.95, retarget_prob=0.05),
+    # Explorers move steadily toward far-away waypoints.
+    AIProfile.SCOUT: ProfileParams(speed=3.5, directedness=0.7, retarget_prob=0.01),
+    # Socializers drift with their group.
+    AIProfile.TEAM: ProfileParams(speed=2.5, directedness=0.8, retarget_prob=0.005),
+    # Achievers camp: barely move, rarely relocate.
+    AIProfile.CAMPER: ProfileParams(speed=0.3, directedness=0.5, retarget_prob=0.002),
+}

@@ -1,0 +1,215 @@
+"""The emulated game world: a zoned 2-D map with interaction hotspots.
+
+Following Sec. IV-B, the world is partitioned into equal rectangular
+*sub-zones*; the emulator's output — and the predictor's input — is the
+entity count per sub-zone.  *Hotspots* are the attraction points where
+interaction concentrates (arena fights, markets, quest events); their
+churn rate is the lever behind the *instantaneous dynamics* of Table I:
+fast-moving hotspots drag crowds across zone boundaries within a couple
+of samples, producing the spiky Type I signals of fast-paced games.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Hotspot", "GameWorld"]
+
+
+@dataclass
+class Hotspot:
+    """One interaction hotspot.
+
+    Attributes
+    ----------
+    position:
+        World coordinates, shape ``(2,)``.
+    strength:
+        Baseline attractiveness; entities pick hotspots with
+        probability proportional to (effective) strength.
+    period_seconds / phase / pulse_amplitude:
+        Periodic attraction pulsing, modelling *minigame rounds*
+        (arena battles, market hours): the effective strength
+        oscillates as ``strength * (1 + A * sin(2*pi*t/T + phase))``.
+        ``pulse_amplitude = 0`` disables pulsing.
+    """
+
+    position: np.ndarray
+    strength: float = 1.0
+    period_seconds: float = 0.0
+    phase: float = 0.0
+    pulse_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=np.float64)
+        if self.position.shape != (2,):
+            raise ValueError("position must have shape (2,)")
+        if self.strength <= 0:
+            raise ValueError("strength must be positive")
+        if not 0.0 <= self.pulse_amplitude <= 1.0:
+            raise ValueError("pulse_amplitude must be in [0, 1]")
+        if self.pulse_amplitude > 0 and self.period_seconds <= 0:
+            raise ValueError("pulsing hotspots need a positive period")
+
+    def is_active(self, time_seconds: float) -> bool:
+        """Whether the spot is in the high half of its popularity cycle
+        (non-pulsing spots are always active)."""
+        if self.pulse_amplitude <= 0:
+            return True
+        return bool(
+            np.sin(2.0 * np.pi * time_seconds / self.period_seconds + self.phase) >= 0.0
+        )
+
+    def effective_strength(self, time_seconds: float) -> float:
+        """Attractiveness at a given time (>= a small positive floor).
+
+        The popularity oscillates smoothly — minigame arenas and event
+        areas fill and drain over tens of minutes as their rotation
+        comes up — so crowd sizes track a smooth, learnable cycle.
+        """
+        if self.pulse_amplitude <= 0:
+            return self.strength
+        osc = 1.0 + self.pulse_amplitude * np.sin(
+            2.0 * np.pi * time_seconds / self.period_seconds + self.phase
+        )
+        return max(self.strength * osc, 0.02 * self.strength)
+
+
+class GameWorld:
+    """A rectangular world split into a grid of sub-zones.
+
+    Parameters
+    ----------
+    width, height:
+        World extent in world units.
+    zones_x, zones_y:
+        Sub-zone grid resolution; ``n_zones = zones_x * zones_y``.
+    n_hotspots:
+        Number of concurrently active hotspots.
+    rng:
+        Random generator for hotspot placement/churn.
+    """
+
+    def __init__(
+        self,
+        width: float = 1000.0,
+        height: float = 1000.0,
+        zones_x: int = 8,
+        zones_y: int = 8,
+        *,
+        n_hotspots: int = 6,
+        pulse_amplitude: float = 0.0,
+        pulse_period_range: tuple[float, float] = (2400.0, 6000.0),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("world extent must be positive")
+        if zones_x <= 0 or zones_y <= 0:
+            raise ValueError("zone grid must be positive")
+        if n_hotspots <= 0:
+            raise ValueError("need at least one hotspot")
+        if not 0.0 <= pulse_amplitude <= 1.0:
+            raise ValueError("pulse_amplitude must be in [0, 1]")
+        if pulse_period_range[0] <= 0 or pulse_period_range[1] < pulse_period_range[0]:
+            raise ValueError("pulse_period_range must be a positive (lo, hi)")
+        self.width = float(width)
+        self.height = float(height)
+        self.zones_x = int(zones_x)
+        self.zones_y = int(zones_y)
+        self.pulse_amplitude = float(pulse_amplitude)
+        self.pulse_period_range = (float(pulse_period_range[0]), float(pulse_period_range[1]))
+        self.time_seconds = 0.0
+        self._rng = rng or np.random.default_rng()
+        self.hotspots: list[Hotspot] = [self._spawn_hotspot() for _ in range(n_hotspots)]
+
+    def advance_time(self, dt_seconds: float) -> None:
+        """Advance the world clock (drives hotspot pulsing)."""
+        self.time_seconds += float(dt_seconds)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_zones(self) -> int:
+        """Number of sub-zones."""
+        return self.zones_x * self.zones_y
+
+    def clamp(self, positions: np.ndarray) -> np.ndarray:
+        """Clamp positions into the world rectangle (in place; returned)."""
+        np.clip(positions[:, 0], 0.0, self.width, out=positions[:, 0])
+        np.clip(positions[:, 1], 0.0, self.height, out=positions[:, 1])
+        return positions
+
+    def zone_of(self, positions: np.ndarray) -> np.ndarray:
+        """Sub-zone index of each position; shape ``(n,)``.
+
+        Zones are numbered row-major: ``ix + iy * zones_x``.
+        """
+        pos = np.asarray(positions, dtype=np.float64)
+        if pos.ndim == 1:
+            pos = pos[None, :]
+        ix = np.minimum((pos[:, 0] / self.width * self.zones_x).astype(np.int64), self.zones_x - 1)
+        iy = np.minimum(
+            (pos[:, 1] / self.height * self.zones_y).astype(np.int64), self.zones_y - 1
+        )
+        ix = np.maximum(ix, 0)
+        iy = np.maximum(iy, 0)
+        return ix + iy * self.zones_x
+
+    def zone_counts(self, positions: np.ndarray) -> np.ndarray:
+        """Entity count per sub-zone; shape ``(n_zones,)``."""
+        if positions.shape[0] == 0:
+            return np.zeros(self.n_zones, dtype=np.int64)
+        return np.bincount(self.zone_of(positions), minlength=self.n_zones)
+
+    def random_positions(self, n: int) -> np.ndarray:
+        """``n`` uniform positions in the world; shape ``(n, 2)``."""
+        out = np.empty((n, 2))
+        out[:, 0] = self._rng.uniform(0.0, self.width, size=n)
+        out[:, 1] = self._rng.uniform(0.0, self.height, size=n)
+        return out
+
+    # -- hotspots -----------------------------------------------------------
+
+    def _spawn_hotspot(self) -> Hotspot:
+        pos = np.array(
+            [self._rng.uniform(0, self.width), self._rng.uniform(0, self.height)]
+        )
+        if self.pulse_amplitude > 0:
+            lo, hi = self.pulse_period_range
+            return Hotspot(
+                position=pos,
+                strength=float(self._rng.uniform(0.5, 1.5)),
+                period_seconds=float(self._rng.uniform(lo, hi)),
+                phase=float(self._rng.uniform(0, 2 * np.pi)),
+                pulse_amplitude=self.pulse_amplitude,
+            )
+        return Hotspot(position=pos, strength=float(self._rng.uniform(0.5, 1.5)))
+
+    def hotspot_positions(self) -> np.ndarray:
+        """Positions of all hotspots; shape ``(n_hotspots, 2)``."""
+        return np.array([h.position for h in self.hotspots])
+
+    def hotspot_weights(self) -> np.ndarray:
+        """Normalized hotspot selection probabilities at the current time."""
+        w = np.array([h.effective_strength(self.time_seconds) for h in self.hotspots])
+        return w / w.sum()
+
+    def hotspot_active(self) -> np.ndarray:
+        """Boolean round-in-progress flag per hotspot at the current time."""
+        return np.array([h.is_active(self.time_seconds) for h in self.hotspots])
+
+    def churn_hotspots(self, churn_prob: float) -> int:
+        """Respawn each hotspot with probability ``churn_prob``.
+
+        Returns the number of hotspots that moved.  This is the
+        instantaneous-dynamics lever: each respawn relocates a crowd
+        attractor, causing rapid zone-count shifts.
+        """
+        moved = 0
+        for i in range(len(self.hotspots)):
+            if self._rng.random() < churn_prob:
+                self.hotspots[i] = self._spawn_hotspot()
+                moved += 1
+        return moved

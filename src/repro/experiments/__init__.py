@@ -1,0 +1,18 @@
+"""One module per paper table/figure, plus shared setup and ablations.
+
+Every experiment module exposes
+
+* ``run(...)`` — executes the experiment and returns a result object;
+* ``format_result(result)`` — renders the paper's rows/series as text.
+
+Results are cached in-process (see :mod:`repro.experiments.common`), so
+experiments that share simulations (e.g. Table V and Fig. 7) pay for
+them once per session.  The evaluation length follows the paper (two
+weeks = 10,080 samples after a two-day warm-up) and can be shortened
+through the ``REPRO_EVAL_DAYS`` / ``REPRO_WARMUP_DAYS`` environment
+variables for smoke runs.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

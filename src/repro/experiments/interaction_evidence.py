@@ -1,0 +1,96 @@
+"""Interaction evidence — player interaction determines server load.
+
+Sections III-D and IV-D1 argue that MMOG load is driven by entity
+*interactions*, not just entity counts — the premise behind the
+``O(n^2)``-family update models.  This experiment measures it directly
+in the emulator: per sub-zone and sample, it counts interacting pairs
+(entities within interaction range) alongside entity counts, and checks
+
+* the counts correlate strongly (interaction load is predictable from
+  population, the basis of Sec. IV-B's prediction approach), and
+* pairs grow *superlinearly* with the entity count (the log-log slope
+  sits clearly above 1), which is why convex update models — and the
+  whole Sec. V-C analysis — matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.emulator import TABLE_I_SPECS, emulate_with_interactions
+from repro.emulator.interactions import InteractionTrace, load_interaction_correlation
+from repro.experiments import common
+from repro.reporting import render_table
+
+__all__ = ["run", "format_result", "InteractionEvidenceResult"]
+
+
+@dataclass
+class InteractionEvidenceResult:
+    """Per-data-set correlation and log-log scaling exponent."""
+
+    correlation: dict[str, float]
+    scaling_exponent: dict[str, float]
+    traces: dict[str, InteractionTrace]
+
+
+def _scaling_exponent(trace: InteractionTrace) -> float:
+    """Log-log slope of pairs vs entities over populated zone-cells."""
+    n = trace.zone_counts.reshape(-1).astype(np.float64)
+    pairs = trace.zone_interactions.reshape(-1).astype(np.float64)
+    mask = (n >= 5) & (pairs >= 1)
+    if mask.sum() < 10:
+        return float("nan")
+    slope, _ = np.polyfit(np.log(n[mask]), np.log(pairs[mask]), 1)
+    return float(slope)
+
+
+def run(
+    *, sets: tuple[str, ...] = ("Set 2", "Set 6"), duration_days: float = 0.25,
+    seed_offset: int = 0,
+) -> InteractionEvidenceResult:
+    """Measure interactions for a fast-paced and a calm data set."""
+
+    def build() -> InteractionEvidenceResult:
+        specs = {s.name: s for s in TABLE_I_SPECS}
+        correlation, exponent, traces = {}, {}, {}
+        for name in sets:
+            config = specs[name].to_config(duration_days=duration_days)
+            trace = emulate_with_interactions(config)
+            traces[name] = trace
+            correlation[name] = load_interaction_correlation(trace)
+            exponent[name] = _scaling_exponent(trace)
+        return InteractionEvidenceResult(
+            correlation=correlation, scaling_exponent=exponent, traces=traces
+        )
+
+    return common.cached(
+        ("interaction-evidence", sets, duration_days, seed_offset), build
+    )
+
+
+def format_result(result: InteractionEvidenceResult) -> str:
+    """Render per-set interaction statistics."""
+    rows = []
+    for name, corr in result.correlation.items():
+        trace = result.traces[name]
+        rows.append(
+            (
+                name,
+                f"{trace.zone_counts.mean():.1f}",
+                f"{trace.zone_interactions.mean():.1f}",
+                f"{corr:.3f}",
+                f"{result.scaling_exponent[name]:.2f}",
+            )
+        )
+    return render_table(
+        ["Data set", "mean entities/zone", "mean pairs/zone",
+         "corr(entities, pairs)", "log-log slope"],
+        rows,
+        title="Interaction evidence — interacting pairs vs entity counts",
+    ) + (
+        "\n\nPairs track population (high correlation) but grow superlinearly "
+        "(slope > 1): interaction, not raw population, sets the update cost."
+    )

@@ -1,0 +1,27 @@
+"""MMOG market model: subscription growth over time (paper Fig. 1).
+
+Figure 1 plots the number of MMORPG players per title from 1997 to 2008
+(source: the MMOGchart survey plus the authors' research), motivating
+the work: six titles above 500k subscribers, an aggregate market growing
+roughly exponentially, and a projection of over 60 million players by
+2011.  We reproduce the figure from a parametric per-title adoption
+model (logistic growth to a peak, optional post-peak churn decay) over
+the titles named in the figure.
+"""
+
+from repro.market.titles import TitleSpec, TITLE_CATALOGUE
+from repro.market.growth import (
+    subscriptions,
+    market_series,
+    titles_above,
+    project_total,
+)
+
+__all__ = [
+    "TitleSpec",
+    "TITLE_CATALOGUE",
+    "subscriptions",
+    "market_series",
+    "titles_above",
+    "project_total",
+]

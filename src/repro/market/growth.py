@@ -1,0 +1,77 @@
+"""Subscription growth curves and market aggregates (Fig. 1)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.market.titles import TitleSpec, TITLE_CATALOGUE
+
+__all__ = ["subscriptions", "market_series", "titles_above", "project_total"]
+
+
+def subscriptions(title: TitleSpec, years: np.ndarray) -> np.ndarray:
+    """Subscriber count of one title at the given (fractional) years.
+
+    Logistic adoption: the curve reaches half the peak one
+    ``ramp_years`` after launch and saturates at ``peak_subscribers``;
+    titles with a ``decline_rate`` then decay exponentially starting two
+    ramp times after launch.  Zero before launch.
+    """
+    t = np.asarray(years, dtype=np.float64)
+    since_launch = t - title.launch_year
+    # Logistic centred one ramp after launch, slope set by the ramp time.
+    curve = title.peak_subscribers / (
+        1.0 + np.exp(-(since_launch - title.ramp_years) / (title.ramp_years / 3.0))
+    )
+    if title.decline_rate > 0:
+        decline_start = 2.0 * title.ramp_years
+        age = np.maximum(since_launch - decline_start, 0.0)
+        curve = curve * np.power(1.0 - title.decline_rate, age)
+    return np.where(since_launch >= 0.0, curve, 0.0)
+
+
+def market_series(
+    years: np.ndarray,
+    titles: Sequence[TitleSpec] = TITLE_CATALOGUE,
+) -> dict[str, np.ndarray]:
+    """Per-title subscription series plus the ``"All"`` aggregate."""
+    t = np.asarray(years, dtype=np.float64)
+    out = {title.name: subscriptions(title, t) for title in titles}
+    out["All"] = np.sum(list(out.values()), axis=0)
+    return out
+
+
+def titles_above(
+    threshold: float,
+    year: float,
+    titles: Sequence[TitleSpec] = TITLE_CATALOGUE,
+) -> list[str]:
+    """Titles whose subscriber count at ``year`` exceeds ``threshold``."""
+    y = np.array([year])
+    return [t.name for t in titles if float(subscriptions(t, y)[0]) > threshold]
+
+
+def project_total(
+    from_year: float,
+    to_year: float,
+    titles: Sequence[TitleSpec] = TITLE_CATALOGUE,
+    *,
+    window_years: float = 3.0,
+) -> float:
+    """Extrapolate the total market to a future year.
+
+    Fits the recent exponential growth rate over the trailing
+    ``window_years`` before ``from_year`` and projects it forward —
+    the paper's "assuming the same rate of growth, there will be over
+    60 million players by 2011".
+    """
+    if to_year <= from_year:
+        raise ValueError("to_year must be after from_year")
+    years = np.array([from_year - window_years, from_year])
+    totals = market_series(years, titles)["All"]
+    if totals[0] <= 0:
+        raise ValueError("no market at the start of the fit window")
+    rate = np.log(totals[1] / totals[0]) / window_years
+    return float(totals[1] * np.exp(rate * (to_year - from_year)))

@@ -1,0 +1,51 @@
+"""Packet-level game-session traces (paper Sec. III-D, Fig. 4).
+
+The paper captures eight RuneScape sessions with ``tcpdump`` and shows,
+via the CDFs of packet length and packet inter-arrival time (IAT), that
+the server load depends on the number *and type* of player interactions.
+We reproduce the experiment with a session generator whose per-scenario
+distributions encode the documented findings:
+
+* **fast-paced** sessions (T1, T6) — the server sends packets as often
+  as possible with as much information as possible, regardless of how
+  crowded the area is;
+* **player-to-player interaction** (T2 market vs. T3 crowded combat,
+  T7) — similar packet sizes, very different IATs (market trades
+  involve thinking time; combat does not);
+* **group interaction** (T4-style play) — packets arrive more often
+  *and* carry more objects (larger packets);
+* **validation pairs** (T5a, T5b) — consecutive captures of the same
+  environment produce statistically indistinguishable distributions.
+"""
+
+from repro.nettrace.packets import (
+    PacketTrace,
+    SessionScenario,
+    ScenarioParams,
+    SCENARIOS,
+    scenario,
+)
+from repro.nettrace.generator import SessionGenerator, generate_session, generate_paper_traces
+from repro.nettrace.analysis import (
+    empirical_cdf,
+    cdf_at,
+    TraceSummary,
+    summarize_trace,
+    ks_distance,
+)
+
+__all__ = [
+    "PacketTrace",
+    "SessionScenario",
+    "ScenarioParams",
+    "SCENARIOS",
+    "scenario",
+    "SessionGenerator",
+    "generate_session",
+    "generate_paper_traces",
+    "empirical_cdf",
+    "cdf_at",
+    "TraceSummary",
+    "summarize_trace",
+    "ks_distance",
+]

@@ -1,0 +1,83 @@
+"""Packet-trace analysis: empirical CDFs and summary statistics (Fig. 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nettrace.packets import PacketTrace
+
+__all__ = ["empirical_cdf", "cdf_at", "TraceSummary", "summarize_trace", "ks_distance"]
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The empirical CDF of a sample.
+
+    Returns ``(x, F)`` with ``x`` the sorted unique sample values and
+    ``F`` the fraction of samples <= x (so ``F[-1] == 1``).
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    x, counts = np.unique(arr, return_counts=True)
+    F = np.cumsum(counts) / arr.size
+    return x, F
+
+
+def cdf_at(samples: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate the empirical CDF at given points (vectorized)."""
+    arr = np.sort(np.asarray(samples, dtype=np.float64))
+    pts = np.asarray(points, dtype=np.float64)
+    return np.searchsorted(arr, pts, side="right") / arr.size
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Summary statistics of one packet trace (the Fig. 4 discussion
+    compares exactly these moments across scenarios)."""
+
+    name: str
+    n_packets: int
+    duration_seconds: float
+    length_mean: float
+    length_median: float
+    length_p90: float
+    iat_mean_ms: float
+    iat_median_ms: float
+    iat_std_ms: float
+    throughput_bps: float
+
+
+def summarize_trace(trace: PacketTrace) -> TraceSummary:
+    """Compute the summary statistics of a packet trace."""
+    iats = trace.inter_arrival_ms()
+    if iats.size == 0:
+        raise ValueError(f"trace {trace.name!r} has fewer than 2 packets")
+    return TraceSummary(
+        name=trace.name,
+        n_packets=trace.n_packets,
+        duration_seconds=trace.duration_seconds,
+        length_mean=float(trace.lengths.mean()),
+        length_median=float(np.median(trace.lengths)),
+        length_p90=float(np.percentile(trace.lengths, 90)),
+        iat_mean_ms=float(iats.mean()),
+        iat_median_ms=float(np.median(iats)),
+        iat_std_ms=float(iats.std()),
+        throughput_bps=trace.throughput_bytes_per_second(),
+    )
+
+
+def ks_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov distance (sup |F_a - F_b|).
+
+    Used to verify the paper's validation claim: two captures of the
+    same environment (T5a, T5b) have close distributions, while
+    different scenarios are far apart.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("KS distance requires non-empty samples")
+    grid = np.concatenate([a, b])
+    return float(np.abs(cdf_at(a, grid) - cdf_at(b, grid)).max())

@@ -1,0 +1,100 @@
+"""Session generation: sampling packet streams from scenario parameters.
+
+Sessions follow the paper's capture protocol: "Each trace is collected
+from a game session of at least five minutes and at most one hour."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nettrace.packets import (
+    PacketTrace,
+    ScenarioParams,
+    SCENARIOS,
+    SessionScenario,
+)
+
+__all__ = ["SessionGenerator", "generate_session", "generate_paper_traces"]
+
+#: Ethernet MTU minus headers — packets are clipped here, which produces
+#: the truncation visible in the paper's length CDF at 500 B.
+MAX_PACKET_BYTES = 1460.0
+MIN_PACKET_BYTES = 40.0
+
+
+class SessionGenerator:
+    """Generates packet traces for one scenario.
+
+    Parameters
+    ----------
+    params:
+        Scenario distribution parameters.
+    rng:
+        Random generator (or a seed via :func:`generate_session`).
+    """
+
+    def __init__(self, params: ScenarioParams, rng: np.random.Generator) -> None:
+        self.params = params
+        self._rng = rng
+
+    def generate(self, duration_seconds: float) -> tuple[np.ndarray, np.ndarray]:
+        """Sample ``(timestamps, lengths)`` for one session.
+
+        IATs are gamma with the configured mean/shape; lengths are
+        lognormal around the configured median, clipped to
+        ``[MIN_PACKET_BYTES, MAX_PACKET_BYTES]``.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        p = self.params
+        # Expected packet count plus slack; trim to the duration after.
+        expected = int(duration_seconds * 1000.0 / p.iat_mean_ms)
+        n = max(int(expected * 1.25) + 16, 16)
+        scale_ms = p.iat_mean_ms / p.iat_shape
+        iats = self._rng.gamma(p.iat_shape, scale_ms, size=n) / 1000.0
+        timestamps = np.cumsum(iats)
+        timestamps = timestamps[timestamps <= duration_seconds]
+        while timestamps.size == 0 or timestamps[-1] < duration_seconds * 0.95:
+            extra = self._rng.gamma(p.iat_shape, scale_ms, size=n) / 1000.0
+            start = timestamps[-1] if timestamps.size else 0.0
+            more = start + np.cumsum(extra)
+            timestamps = np.concatenate([timestamps, more[more <= duration_seconds]])
+            if more[-1] > duration_seconds:
+                break
+        lengths = self._rng.lognormal(
+            mean=np.log(p.length_median), sigma=p.length_sigma, size=timestamps.size
+        )
+        lengths = np.clip(lengths, MIN_PACKET_BYTES, MAX_PACKET_BYTES)
+        return timestamps, lengths
+
+
+def generate_session(
+    scenario_id: SessionScenario,
+    *,
+    duration_seconds: float = 600.0,
+    seed: int | None = None,
+) -> PacketTrace:
+    """Generate one session trace for a scenario.
+
+    The default duration (10 minutes) sits inside the paper's 5-60
+    minute capture window.  Seeds default to a per-scenario constant so
+    the paper traces are reproducible; T5a and T5b intentionally share
+    parameters but differ in seed.
+    """
+    params = SCENARIOS[scenario_id]
+    if seed is None:
+        seed = 5000 + list(SCENARIOS).index(scenario_id)
+    rng = np.random.default_rng(seed)
+    timestamps, lengths = SessionGenerator(params, rng).generate(duration_seconds)
+    return PacketTrace(name=scenario_id.value, timestamps=timestamps, lengths=lengths)
+
+
+def generate_paper_traces(
+    *, duration_seconds: float = 600.0
+) -> dict[SessionScenario, PacketTrace]:
+    """Generate all eight Fig. 4 traces (nine captures, T5 twice)."""
+    return {
+        scen: generate_session(scen, duration_seconds=duration_seconds)
+        for scen in SessionScenario
+    }

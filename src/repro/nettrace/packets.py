@@ -1,0 +1,182 @@
+"""Packet-trace containers and the eight session scenarios of Fig. 4.
+
+Each scenario is parameterized by the moments of its packet-length and
+inter-arrival-time distributions.  The concrete values are calibrated so
+that the generated CDFs reproduce the qualitative relations the paper
+reports (see the package docstring); absolute byte/millisecond scales
+follow the plotted ranges (lengths ~40-500 B, IATs ~20-600 ms).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PacketTrace", "SessionScenario", "ScenarioParams", "SCENARIOS", "scenario"]
+
+
+@dataclass
+class PacketTrace:
+    """One captured (generated) game session.
+
+    Attributes
+    ----------
+    name:
+        Trace label, e.g. ``"Trace 2"``.
+    timestamps:
+        Packet arrival times in seconds, non-decreasing.
+    lengths:
+        Packet sizes in bytes, same length as ``timestamps``.
+    """
+
+    name: str
+    timestamps: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        self.lengths = np.asarray(self.lengths, dtype=np.float64)
+        if self.timestamps.shape != self.lengths.shape or self.timestamps.ndim != 1:
+            raise ValueError("timestamps and lengths must be equal-length 1-D arrays")
+        if self.timestamps.size >= 2 and np.any(np.diff(self.timestamps) < 0):
+            raise ValueError("timestamps must be non-decreasing")
+        if self.lengths.size and self.lengths.min() <= 0:
+            raise ValueError("packet lengths must be positive")
+
+    @property
+    def n_packets(self) -> int:
+        """Number of packets in the session."""
+        return int(self.timestamps.size)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Session duration (last minus first timestamp)."""
+        if self.n_packets < 2:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    def inter_arrival_ms(self) -> np.ndarray:
+        """Packet inter-arrival times in milliseconds."""
+        if self.n_packets < 2:
+            return np.zeros(0)
+        return np.diff(self.timestamps) * 1000.0
+
+    def throughput_bytes_per_second(self) -> float:
+        """Mean server-to-client throughput over the session."""
+        dur = self.duration_seconds
+        if dur <= 0:
+            return 0.0
+        return float(self.lengths.sum() / dur)
+
+
+class SessionScenario(enum.Enum):
+    """The eight captured environments of Fig. 4."""
+
+    T0 = "Trace 0"  # non-crowded + creating content
+    T1 = "Trace 1"  # non-crowded + fast paced
+    T2 = "Trace 2"  # semi-crowded + p2p interaction (market)
+    T3 = "Trace 3"  # crowded + p2p interaction
+    T4 = "Trace 4"  # new content + non-crowded (group interaction)
+    T5A = "Trace 5a"  # new content + crowded (validation capture 1)
+    T5B = "Trace 5b"  # new content + crowded (validation capture 2)
+    T6 = "Trace 6"  # crowded + fast paced
+    T7 = "Trace 7"  # new content + locks
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Distribution parameters of one scenario.
+
+    Packet lengths follow a lognormal distribution (clipped to the MTU);
+    IATs follow a gamma distribution.  Both choices are standard for
+    game traffic modelling and produce the long-tailed CDFs the paper
+    plots.
+
+    Parameters
+    ----------
+    description:
+        The Fig. 4 legend text.
+    length_median / length_sigma:
+        Median (bytes) and lognormal shape of the packet length.
+    iat_mean_ms / iat_shape:
+        Mean inter-arrival time (milliseconds) and gamma shape (larger
+        shape = more regular pacing, as in fast-paced streams).
+    """
+
+    description: str
+    length_median: float
+    length_sigma: float
+    iat_mean_ms: float
+    iat_shape: float
+
+    def __post_init__(self) -> None:
+        if self.length_median <= 0 or self.length_sigma <= 0:
+            raise ValueError("length parameters must be positive")
+        if self.iat_mean_ms <= 0 or self.iat_shape <= 0:
+            raise ValueError("IAT parameters must be positive")
+
+
+#: Scenario parameter catalogue.  Calibration notes:
+#: - T1/T6 (fast paced): tight, small IAT (~50 ms) with high regularity
+#:   and large packets — identical whether crowded (T6) or not (T1).
+#: - T2 (market p2p): packet sizes like T3/T7, but IAT much larger
+#:   (trading includes thinking time).
+#: - T3 (crowded p2p combat): T2-like sizes, much smaller IAT.
+#: - T4 (group interaction): smallest IAT outside the fast-paced pair
+#:   and the largest packets (updates describe many objects).
+#: - T5a/T5b: identical parameters, different seeds (validation pair).
+#: - T0 (creating content, solitary): sparse small packets.
+#: - T7 (new content + locks): T2-like sizes with lower IAT moments.
+SCENARIOS: dict[SessionScenario, ScenarioParams] = {
+    SessionScenario.T0: ScenarioParams(
+        "non-crowded + creating content", length_median=90, length_sigma=0.55,
+        iat_mean_ms=260, iat_shape=1.2,
+    ),
+    SessionScenario.T1: ScenarioParams(
+        "non-crowded + fast paced", length_median=220, length_sigma=0.45,
+        iat_mean_ms=55, iat_shape=6.0,
+    ),
+    SessionScenario.T2: ScenarioParams(
+        "semi-crowded + p2p interaction", length_median=150, length_sigma=0.50,
+        iat_mean_ms=330, iat_shape=1.1,
+    ),
+    SessionScenario.T3: ScenarioParams(
+        "crowded + p2p interaction", length_median=155, length_sigma=0.50,
+        iat_mean_ms=140, iat_shape=1.8,
+    ),
+    SessionScenario.T4: ScenarioParams(
+        "new content + non-crowded (group interaction)", length_median=280,
+        length_sigma=0.45, iat_mean_ms=90, iat_shape=2.5,
+    ),
+    SessionScenario.T5A: ScenarioParams(
+        "new content + crowded (capture a)", length_median=190, length_sigma=0.50,
+        iat_mean_ms=120, iat_shape=2.0,
+    ),
+    SessionScenario.T5B: ScenarioParams(
+        "new content + crowded (capture b)", length_median=190, length_sigma=0.50,
+        iat_mean_ms=120, iat_shape=2.0,
+    ),
+    SessionScenario.T6: ScenarioParams(
+        "crowded + fast paced", length_median=225, length_sigma=0.45,
+        iat_mean_ms=52, iat_shape=6.0,
+    ),
+    SessionScenario.T7: ScenarioParams(
+        "new content + locks", length_median=150, length_sigma=0.50,
+        iat_mean_ms=210, iat_shape=1.6,
+    ),
+}
+
+
+def scenario(name: str | SessionScenario) -> ScenarioParams:
+    """Look up scenario parameters by enum or label (e.g. ``"Trace 2"``)."""
+    if isinstance(name, SessionScenario):
+        return SCENARIOS[name]
+    for scen, params in SCENARIOS.items():
+        if scen.value == name or scen.name == name:
+            return params
+    raise KeyError(f"unknown scenario {name!r}")

@@ -1,0 +1,70 @@
+"""Load predictors for MMOG resource demand (paper Sec. IV).
+
+Seven predictors are evaluated in the paper; all are implemented here
+with a common streaming/batch interface:
+
+* :class:`~repro.predictors.neural.NeuralPredictor` — the paper's novel
+  multi-layer-perceptron predictor (6,3,1) with polynomial signal
+  preprocessing (Sec. IV-C);
+* :class:`~repro.predictors.simple.AveragePredictor`,
+  :class:`~repro.predictors.simple.MovingAveragePredictor`,
+  :class:`~repro.predictors.simple.LastValuePredictor`,
+  :class:`~repro.predictors.simple.SlidingWindowMedianPredictor`;
+* :class:`~repro.predictors.smoothing.ExponentialSmoothingPredictor`
+  with the paper's three smoothing factors (25 %, 50 %, 75 %).
+
+The AR family (:mod:`repro.predictors.arfamily`) implements the
+autoregressive models the paper cites as the "more elaborate" class of
+algorithms (Sec. IV-A) — provided for completeness and ablations even
+though the paper's evaluation excludes them for cost reasons.
+
+All predictors operate on *batches* of series simultaneously (one per
+game sub-zone / server group), which keeps the provisioning simulation
+vectorized; scalar helpers wrap the batch API.
+"""
+
+from repro.predictors.base import Predictor, PREDICTOR_REGISTRY, make_predictor
+from repro.predictors.simple import (
+    AveragePredictor,
+    MovingAveragePredictor,
+    LastValuePredictor,
+    SlidingWindowMedianPredictor,
+)
+from repro.predictors.smoothing import ExponentialSmoothingPredictor
+from repro.predictors.holt import HoltPredictor
+from repro.predictors.seasonal import SeasonalNaivePredictor
+from repro.predictors.arfamily import AutoRegressivePredictor
+from repro.predictors.neural import NeuralPredictor, NeuralTrainingReport
+from repro.predictors.preprocessing import polynomial_smoothing_matrix, PolynomialDenoiser
+from repro.predictors.evaluation import (
+    prediction_error_percent,
+    one_step_predictions,
+    evaluate_predictors,
+    PredictionTimingStats,
+    time_predictor,
+    paper_predictor_suite,
+)
+
+__all__ = [
+    "Predictor",
+    "PREDICTOR_REGISTRY",
+    "make_predictor",
+    "AveragePredictor",
+    "MovingAveragePredictor",
+    "LastValuePredictor",
+    "SlidingWindowMedianPredictor",
+    "ExponentialSmoothingPredictor",
+    "HoltPredictor",
+    "SeasonalNaivePredictor",
+    "AutoRegressivePredictor",
+    "NeuralPredictor",
+    "NeuralTrainingReport",
+    "polynomial_smoothing_matrix",
+    "PolynomialDenoiser",
+    "prediction_error_percent",
+    "one_step_predictions",
+    "evaluate_predictors",
+    "PredictionTimingStats",
+    "time_predictor",
+    "paper_predictor_suite",
+]

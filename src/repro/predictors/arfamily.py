@@ -1,0 +1,111 @@
+"""Autoregressive reference predictors.
+
+Section IV-A discusses the "more elaborated prediction algorithms" —
+AR / I / MA models and their combinations (ARMA, ARIMA) — and excludes
+them from the MMOG deployment for being "more time consuming and
+resource intensive".  We implement the AR(p) member of the family as a
+reference/ablation predictor: it is fit by ordinary least squares on a
+history matrix (pooled over series, like the neural predictor) and then
+produces one-step-ahead forecasts as a linear combination of the last
+``p`` samples.
+
+Like :class:`~repro.predictors.neural.NeuralPredictor` it supports
+streaming auto-fit after a warm-up period, so it can be dropped into the
+provisioning loop for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Predictor, register_predictor
+
+__all__ = ["AutoRegressivePredictor"]
+
+
+class AutoRegressivePredictor(Predictor):
+    """AR(p) with intercept, fit by least squares.
+
+    Parameters
+    ----------
+    order:
+        Number of lags ``p`` (default 6, matching the neural
+        predictor's input window for a fair comparison).
+    warmup_steps:
+        Auto-fit after this many streamed observations when
+        :meth:`fit` was not called explicitly.
+    ridge:
+        Small L2 regularization on the coefficients, for numerical
+        stability on nearly collinear lag matrices.
+    """
+
+    name = "AR"
+
+    def __init__(self, order: int = 6, *, warmup_steps: int = 720, ridge: float = 1e-6) -> None:
+        super().__init__()
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        self.order = int(order)
+        self.warmup_steps = int(warmup_steps)
+        self.ridge = float(ridge)
+        self._coef: np.ndarray | None = None  # (order + 1,): intercept first
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether coefficients have been estimated."""
+        return self._coef is not None
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted ``[intercept, w_lag1_oldest, ..., w_lag_newest]``."""
+        if self._coef is None:
+            raise RuntimeError("predictor is not fitted")
+        return self._coef.copy()
+
+    def fit(self, history: np.ndarray) -> None:
+        """Estimate AR coefficients from a history matrix (pooled)."""
+        arr = np.asarray(history, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.shape[0] <= self.order + 1:
+            raise ValueError(f"need more than {self.order + 1} steps of history")
+        windows = np.lib.stride_tricks.sliding_window_view(arr, self.order, axis=0)
+        X = windows[:-1].reshape(-1, self.order)
+        y = arr[self.order :].reshape(-1)
+        # Normal equations with intercept and a touch of ridge.
+        Xb = np.column_stack([np.ones(X.shape[0]), X])
+        gram = Xb.T @ Xb + self.ridge * np.eye(self.order + 1)
+        self._coef = np.linalg.solve(gram, Xb.T @ y)
+
+    def _reset_state(self) -> None:
+        self._buffer = np.zeros((self.order, self.n_series))
+        self._filled = 0
+        self._head = 0
+        self._history: list[np.ndarray] = []
+        self._last = np.zeros(self.n_series)
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the actual values of the current step."""
+        values = self._check_values(values)
+        self._buffer[self._head] = values
+        self._head = (self._head + 1) % self.order
+        self._filled = min(self._filled + 1, self.order)
+        self._last = values.copy()
+        if not self.is_fitted:
+            self._history.append(values.copy())
+            if len(self._history) >= self.warmup_steps:
+                self.fit(np.array(self._history))
+                self._history.clear()
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        if not self.is_fitted or self._filled < self.order:
+            return self._last.copy()
+        order_idx = (np.arange(self.order) + self._head) % self.order
+        window = self._buffer[order_idx].T  # (n_series, order), oldest first
+        pred = self._coef[0] + window @ self._coef[1:]
+        return np.maximum(pred, 0.0)
+
+
+register_predictor("AR", AutoRegressivePredictor)

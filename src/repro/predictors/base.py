@@ -1,0 +1,169 @@
+"""The predictor interface and registry.
+
+A predictor forecasts, for each of ``n_series`` parallel signals (one
+per game sub-zone / server group), the next sample from the samples
+observed so far.  The paper's provisioning loop re-predicts every two
+minutes for every zone, so the interface is batched: ``observe`` takes
+one value per series, ``predict`` returns one forecast per series.
+
+Lifecycle::
+
+    p = SomePredictor(...)
+    p.reset(n_series=40)          # fresh state for 40 parallel series
+    for t in range(T):
+        forecast = p.predict()    # forecast of the value at step t
+        p.observe(x[t])           # then reveal the actual value
+
+``predict`` before any ``observe`` returns the predictor's prior
+(zero by default) — callers typically discard the first few forecasts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Predictor", "PREDICTOR_REGISTRY", "register_predictor", "make_predictor"]
+
+
+class Predictor(abc.ABC):
+    """Abstract one-step-ahead forecaster over a batch of series."""
+
+    #: Human-readable name used in result tables (matches the paper).
+    name: str = "predictor"
+
+    def __init__(self) -> None:
+        self._n_series: int | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def n_series(self) -> int:
+        """Number of parallel series; raises if :meth:`reset` not called."""
+        if self._n_series is None:
+            raise RuntimeError(f"{self.name}: call reset(n_series) before use")
+        return self._n_series
+
+    def reset(self, n_series: int) -> None:
+        """Clear all state and size the predictor for ``n_series`` signals."""
+        if n_series <= 0:
+            raise ValueError("n_series must be positive")
+        self._n_series = int(n_series)
+        self._reset_state()
+
+    @abc.abstractmethod
+    def _reset_state(self) -> None:
+        """Subclass hook: (re)allocate internal state for ``self.n_series``."""
+
+    # -- core API ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def observe(self, values: np.ndarray) -> None:
+        """Reveal the actual values of the current step (shape ``(n_series,)``)."""
+
+    @abc.abstractmethod
+    def predict(self) -> np.ndarray:
+        """Forecast the next step's values (shape ``(n_series,)``)."""
+
+    # -- conveniences -------------------------------------------------------------
+
+    def _require_ready(self) -> None:
+        """Raise a clear error when used before :meth:`reset`."""
+        if self._n_series is None:
+            raise RuntimeError(f"{self.name}: call reset(n_series) before use")
+
+    def _check_values(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        if arr.shape != (self.n_series,):
+            raise ValueError(
+                f"{self.name}: expected values of shape ({self.n_series},), got {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValueError(f"{self.name}: observed values must be finite")
+        return arr
+
+    def predict_horizon(self, horizon: int) -> np.ndarray:
+        """Iterated multi-step-ahead forecasts, shape ``(horizon, n_series)``.
+
+        The generic scheme feeds each one-step forecast back as a
+        pseudo-observation and predicts again, then restores the
+        predictor's state.  Horizon forecasts drive *advance
+        reservations* (Sec. II-B's second service model), where an
+        operator books capacity for a future window instead of
+        requesting it on demand.
+
+        The default implementation snapshots state via :mod:`copy`
+        (deep), which is correct for every built-in predictor;
+        stateful subclasses with unpicklable state must override.
+        """
+        import copy
+
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self._require_ready()
+        snapshot = copy.deepcopy(self.__dict__)
+        try:
+            out = np.empty((horizon, self.n_series))
+            for h in range(horizon):
+                step = self.predict()
+                out[h] = step
+                # Feed the forecast back as if it had been observed.
+                self.observe(np.maximum(step, 0.0))
+        finally:
+            self.__dict__ = snapshot
+        return out
+
+    def predict_series(self, matrix: np.ndarray) -> np.ndarray:
+        """One-step-ahead forecasts over a whole history.
+
+        Parameters
+        ----------
+        matrix:
+            Shape ``(n_steps, n_series)`` (a 1-D array is treated as a
+            single series).
+
+        Returns
+        -------
+        numpy.ndarray
+            Same shape; row ``t`` is the forecast of ``matrix[t]`` made
+            after observing rows ``0..t-1``.  Row 0 is the predictor's
+            prior.
+        """
+        arr = np.asarray(matrix, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[:, None]
+        n_steps, n_series = arr.shape
+        self.reset(n_series)
+        out = np.empty_like(arr)
+        for t in range(n_steps):
+            out[t] = self.predict()
+            self.observe(arr[t])
+        return out[:, 0] if squeeze else out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Registry of predictor factories keyed by the paper's display names.
+PREDICTOR_REGISTRY: dict[str, Callable[[], "Predictor"]] = {}
+
+
+def register_predictor(name: str, factory: Callable[[], "Predictor"]) -> None:
+    """Register a predictor factory under a display name."""
+    PREDICTOR_REGISTRY[name] = factory
+
+
+def make_predictor(name: str) -> "Predictor":
+    """Instantiate a registered predictor by display name."""
+    try:
+        factory = PREDICTOR_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor {name!r}; known: {sorted(PREDICTOR_REGISTRY)}"
+        ) from None
+    return factory()

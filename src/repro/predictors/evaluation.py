@@ -1,0 +1,198 @@
+"""Predictor evaluation: the Fig. 5 accuracy metric and Fig. 6 timing.
+
+Accuracy (Sec. IV-D2): for a prediction algorithm and an input data set,
+the *prediction error* is
+
+    100 * sum_t |x_t - xhat_t| / sum_t x_t   [%],
+
+i.e. the sum of un-normalized absolute sample errors over the sum of the
+samples.  Timing (Fig. 6): the wall-clock distribution of a *single*
+prediction call (min, quartiles, median, max).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.predictors.base import Predictor
+from repro.predictors.neural import NeuralPredictor
+from repro.predictors.simple import (
+    AveragePredictor,
+    LastValuePredictor,
+    MovingAveragePredictor,
+    SlidingWindowMedianPredictor,
+)
+from repro.predictors.smoothing import ExponentialSmoothingPredictor
+
+__all__ = [
+    "prediction_error_percent",
+    "one_step_predictions",
+    "evaluate_predictors",
+    "PredictionTimingStats",
+    "time_predictor",
+    "paper_predictor_suite",
+]
+
+
+def prediction_error_percent(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """The paper's prediction-error metric, in percent.
+
+    ``sum |actual - predicted| / sum actual * 100``.  Raises when the
+    actual series sums to zero (the metric is undefined there).
+    """
+    a = np.asarray(actual, dtype=np.float64).reshape(-1)
+    p = np.asarray(predicted, dtype=np.float64).reshape(-1)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {p.shape}")
+    denom = float(a.sum())
+    if denom <= 0:
+        raise ValueError("prediction error undefined: actual series sums to zero")
+    return float(np.abs(a - p).sum() / denom * 100.0)
+
+
+def one_step_predictions(
+    predictor: Predictor,
+    data: np.ndarray,
+    *,
+    fit_fraction: float = 0.5,
+    skip: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Run a predictor over a data set, honouring its training protocol.
+
+    Trainable predictors (those exposing ``fit``) are fit on the first
+    ``fit_fraction`` of the data — the paper's off-line data-collection
+    and training phases — and then evaluated on the remainder.
+    Stateless predictors stream over the full data but are scored on the
+    same evaluation span so errors are comparable.
+
+    Parameters
+    ----------
+    predictor:
+        The predictor (will be ``reset``).
+    data:
+        Shape ``(n_steps, n_series)`` or 1-D.
+    fit_fraction:
+        Portion of the data used for the off-line phases.
+    skip:
+        Evaluation start index; defaults to the fit split (plus a small
+        warm-in so window predictors are filled).
+
+    Returns
+    -------
+    (actual, predicted, start):
+        Flattened aligned arrays over the evaluation span, and the start
+        step of that span.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    n_steps = arr.shape[0]
+    split = int(n_steps * fit_fraction)
+    if hasattr(predictor, "fit") and split > 10:
+        predictor.fit(arr[:split])
+    start = skip if skip is not None else max(split, 8)
+    if start >= n_steps:
+        raise ValueError("nothing left to evaluate; lower fit_fraction or skip")
+    predictions = predictor.predict_series(arr)
+    return arr[start:].reshape(-1), predictions[start:].reshape(-1), start
+
+
+def evaluate_predictors(
+    datasets: Mapping[str, np.ndarray],
+    predictors: Sequence[Predictor] | None = None,
+    *,
+    fit_fraction: float = 0.5,
+) -> dict[str, dict[str, float]]:
+    """Prediction error of each predictor on each data set (Fig. 5).
+
+    Returns ``{dataset_name: {predictor_name: error_percent}}``.
+    """
+    if predictors is None:
+        predictors = paper_predictor_suite()
+    results: dict[str, dict[str, float]] = {}
+    for ds_name, data in datasets.items():
+        row: dict[str, float] = {}
+        for predictor in predictors:
+            actual, predicted, _ = one_step_predictions(
+                predictor, data, fit_fraction=fit_fraction
+            )
+            row[predictor.name] = prediction_error_percent(actual, predicted)
+        results[ds_name] = row
+    return results
+
+
+@dataclass(frozen=True)
+class PredictionTimingStats:
+    """Distribution of single-prediction latency, in microseconds."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    n_samples: int
+
+    @classmethod
+    def from_samples(cls, seconds: np.ndarray) -> "PredictionTimingStats":
+        """Summarize raw per-call timings (seconds) into microseconds."""
+        us = np.asarray(seconds, dtype=np.float64) * 1e6
+        if us.size == 0:
+            raise ValueError("no timing samples")
+        q1, med, q3 = np.percentile(us, [25, 50, 75])
+        return cls(
+            minimum=float(us.min()),
+            q1=float(q1),
+            median=float(med),
+            q3=float(q3),
+            maximum=float(us.max()),
+            n_samples=int(us.size),
+        )
+
+
+def time_predictor(
+    predictor: Predictor,
+    data: np.ndarray,
+    *,
+    n_calls: int = 2000,
+    fit_fraction: float = 0.5,
+) -> PredictionTimingStats:
+    """Measure the latency of single ``predict`` calls (Fig. 6).
+
+    The predictor is prepared exactly as in accuracy evaluation (fit on
+    the first portion, streamed over the history), then ``predict`` is
+    invoked ``n_calls`` times with a hot state and each call is timed
+    individually with the highest-resolution clock available.
+    """
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    split = int(arr.shape[0] * fit_fraction)
+    if hasattr(predictor, "fit") and split > 10:
+        predictor.fit(arr[:split])
+    predictor.reset(arr.shape[1])
+    for t in range(min(split + 16, arr.shape[0])):
+        predictor.observe(arr[t])
+    timings = np.empty(n_calls)
+    for i in range(n_calls):
+        t0 = time.perf_counter()
+        predictor.predict()
+        timings[i] = time.perf_counter() - t0
+    return PredictionTimingStats.from_samples(timings)
+
+
+def paper_predictor_suite() -> list[Predictor]:
+    """The seven predictors of Fig. 5, in the paper's order."""
+    return [
+        NeuralPredictor(),
+        AveragePredictor(),
+        MovingAveragePredictor(),
+        LastValuePredictor(),
+        ExponentialSmoothingPredictor(0.25),
+        ExponentialSmoothingPredictor(0.50),
+        ExponentialSmoothingPredictor(0.75),
+        SlidingWindowMedianPredictor(),
+    ]

@@ -1,0 +1,86 @@
+"""Polynomial signal preprocessors for the neural predictor.
+
+Section IV-C: *"The signal preprocessors are based on several polynomial
+functions which have the purpose of removing the unwanted noise from the
+processed signal."*
+
+We implement the standard least-squares polynomial smoother: project the
+most recent ``window`` samples onto the space of degree-``degree``
+polynomials.  Because the projection is linear, it reduces to a single
+``window x window`` matrix applied to the input window — cheap enough
+for the paper's microsecond-scale prediction budget.  (For interior
+points this is exactly the Savitzky–Golay filter; here we smooth the
+whole window at once because all of it feeds the network.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["polynomial_smoothing_matrix", "PolynomialDenoiser"]
+
+
+def polynomial_smoothing_matrix(window: int, degree: int) -> np.ndarray:
+    """The projection matrix onto degree-``degree`` polynomials.
+
+    For a window of samples ``x`` (oldest first), ``S @ x`` is the
+    least-squares degree-``degree`` polynomial fit evaluated at the same
+    points.  ``S`` is idempotent (a projection) and reproduces any
+    polynomial of degree <= ``degree`` exactly.
+
+    Parameters
+    ----------
+    window:
+        Number of samples in the window (must exceed ``degree``).
+    degree:
+        Polynomial degree (0 = flat mean, 1 = linear trend, 2 = local
+        parabola, ...).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    if degree >= window:
+        raise ValueError("degree must be smaller than window")
+    # Centred, scaled abscissae keep the Vandermonde system well-conditioned.
+    t = np.linspace(-1.0, 1.0, window)
+    V = np.vander(t, degree + 1, increasing=True)  # (window, degree+1)
+    # S = V (V^T V)^{-1} V^T, computed via a solve for stability.
+    gram = V.T @ V
+    S = V @ np.linalg.solve(gram, V.T)
+    return S
+
+
+class PolynomialDenoiser:
+    """Applies polynomial smoothing to windows of samples.
+
+    Parameters
+    ----------
+    window:
+        Window length (the neural predictor uses its input length, 6).
+    degree:
+        Polynomial degree of the fit (default 2: level + slope +
+        curvature, enough to preserve the short-term dynamics the
+        network needs while suppressing sample noise).
+    """
+
+    def __init__(self, window: int = 6, degree: int = 2) -> None:
+        self.window = int(window)
+        self.degree = int(degree)
+        self._matrix = polynomial_smoothing_matrix(window, degree)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The smoothing matrix (copy)."""
+        return self._matrix.copy()
+
+    def smooth(self, windows: np.ndarray) -> np.ndarray:
+        """Smooth one window (shape ``(window,)``) or a batch
+        (shape ``(..., window)``); the window axis is last."""
+        arr = np.asarray(windows, dtype=np.float64)
+        if arr.shape[-1] != self.window:
+            raise ValueError(f"last axis must have length {self.window}, got {arr.shape}")
+        return arr @ self._matrix.T
+
+    def __repr__(self) -> str:
+        return f"PolynomialDenoiser(window={self.window}, degree={self.degree})"

@@ -1,0 +1,73 @@
+"""Seasonal-naive prediction: forecast from the same time yesterday.
+
+MMOG load is dominated by a diurnal cycle (Sec. III-C), so a natural
+baseline the paper does not evaluate is the *seasonal-naive* forecast:
+the value one season (day) ago, optionally blended with the current
+level to track day-to-day drift,
+
+    xhat_{t+1} = w * x_{t+1-S} + (1 - w) * x_t .
+
+Pure seasonal-naive (``w = 1``) is excellent on clean cycles but ignores
+today's shocks entirely (content releases, mass quits); the blend keeps
+the persistence anchor.  Included as an ablation baseline to check how
+much of the neural predictor's edge is just "knowing the cycle".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Predictor, register_predictor
+
+__all__ = ["SeasonalNaivePredictor"]
+
+
+class SeasonalNaivePredictor(Predictor):
+    """Blend of the value one season ago and the last value.
+
+    Parameters
+    ----------
+    season:
+        Season length in steps (default 720 = 24 h of 2-minute samples).
+    weight:
+        Weight ``w`` of the seasonal component; ``1 - w`` goes to the
+        last observed value.  Until a full season of history exists the
+        forecast falls back to persistence.
+    """
+
+    def __init__(self, season: int = 720, weight: float = 0.5) -> None:
+        super().__init__()
+        if season < 1:
+            raise ValueError("season must be at least 1 step")
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must be in [0, 1]")
+        self.season = int(season)
+        self.weight = float(weight)
+        self.name = f"Seasonal naive {int(round(weight * 100))}%"
+
+    def _reset_state(self) -> None:
+        self._ring = np.zeros((self.season, self.n_series))
+        self._head = 0
+        self._count = 0
+        self._last = np.zeros(self.n_series)
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the actual values of the current step."""
+        values = self._check_values(values)
+        self._ring[self._head] = values
+        self._head = (self._head + 1) % self.season
+        self._count += 1
+        self._last = values.copy()
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        if self._count < self.season:
+            return self._last.copy()
+        # With a full ring, the slot at _head holds the value exactly
+        # one season before the next step.
+        seasonal = self._ring[self._head]
+        return self.weight * seasonal + (1.0 - self.weight) * self._last
+
+
+register_predictor("Seasonal naive 50%", SeasonalNaivePredictor)

@@ -1,0 +1,145 @@
+"""The paper's simple predictors: average, moving average, last value,
+sliding-window median.
+
+These are the "computationally inexpensive" baselines of Sec. IV-A.
+Their strength is cost; their weakness, as the evaluation shows, is
+either lag (window methods) or nonstationarity blindness (the global
+average — the paper's worst performer on dynamic signals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Predictor, register_predictor
+
+__all__ = [
+    "AveragePredictor",
+    "MovingAveragePredictor",
+    "LastValuePredictor",
+    "SlidingWindowMedianPredictor",
+]
+
+
+class AveragePredictor(Predictor):
+    """Forecast = mean of *all* samples observed so far.
+
+    Maintains a running sum, so each prediction is O(1).  On
+    nonstationary MMOG signals this predictor systematically
+    under-forecasts rising load and over-forecasts falling load, which
+    is exactly the behaviour behind its poor Table V results.
+    """
+
+    name = "Average"
+
+    def _reset_state(self) -> None:
+        self._sum = np.zeros(self.n_series)
+        self._count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the actual values of the current step."""
+        values = self._check_values(values)
+        self._sum += values
+        self._count += 1
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        if self._count == 0:
+            return np.zeros(self.n_series)
+        return self._sum / self._count
+
+
+class _WindowedPredictor(Predictor):
+    """Shared ring-buffer machinery for fixed-window predictors."""
+
+    def __init__(self, window: int) -> None:
+        super().__init__()
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = int(window)
+
+    def _reset_state(self) -> None:
+        self._buffer = np.zeros((self.window, self.n_series))
+        self._filled = 0
+        self._head = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the actual values of the current step."""
+        values = self._check_values(values)
+        self._buffer[self._head] = values
+        self._head = (self._head + 1) % self.window
+        self._filled = min(self._filled + 1, self.window)
+
+    def _window_values(self) -> np.ndarray:
+        """The currently filled window, shape ``(filled, n_series)``."""
+        if self._filled < self.window:
+            return self._buffer[: self._filled]
+        return self._buffer
+
+
+class MovingAveragePredictor(_WindowedPredictor):
+    """Forecast = mean of the last ``window`` samples (paper default 5)."""
+
+    name = "Moving average"
+
+    def __init__(self, window: int = 5) -> None:
+        super().__init__(window)
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        if self._filled == 0:
+            return np.zeros(self.n_series)
+        return self._window_values().mean(axis=0)
+
+
+class LastValuePredictor(Predictor):
+    """Forecast = the most recent sample (the persistence forecast).
+
+    The paper singles this out as the only predictor with "no
+    computational requirements" and the runner-up to the neural
+    predictor in allocation quality.
+    """
+
+    name = "Last value"
+
+    def _reset_state(self) -> None:
+        self._last = np.zeros(self.n_series)
+        self._seen = False
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the actual values of the current step."""
+        self._last = self._check_values(values).copy()
+        self._seen = True
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        return self._last.copy()
+
+
+class SlidingWindowMedianPredictor(_WindowedPredictor):
+    """Forecast = median of the last ``window`` samples (paper default 5).
+
+    More robust to single-sample spikes than the moving average, at the
+    cost of reacting even more slowly to genuine level shifts.
+    """
+
+    name = "Sliding window median"
+
+    def __init__(self, window: int = 5) -> None:
+        super().__init__(window)
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        if self._filled == 0:
+            return np.zeros(self.n_series)
+        return np.median(self._window_values(), axis=0)
+
+
+register_predictor("Average", AveragePredictor)
+register_predictor("Moving average", MovingAveragePredictor)
+register_predictor("Last value", LastValuePredictor)
+register_predictor("Sliding window median", SlidingWindowMedianPredictor)

@@ -1,0 +1,57 @@
+"""Exponential smoothing predictors.
+
+Simple exponential smoothing maintains the state
+``s_t = alpha * x_t + (1 - alpha) * s_{t-1}`` and forecasts
+``x_{t+1} = s_t``.  The paper evaluates three smoothing factors —
+25 %, 50 % and 75 % — in Fig. 5, and one representative member in the
+provisioning experiments (Table V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import Predictor, register_predictor
+
+__all__ = ["ExponentialSmoothingPredictor"]
+
+
+class ExponentialSmoothingPredictor(Predictor):
+    """Simple exponential smoothing with factor ``alpha`` in (0, 1].
+
+    ``alpha`` close to 1 tracks the signal closely (approaching the
+    last-value predictor); ``alpha`` close to 0 produces a heavily
+    smoothed, slowly adapting forecast.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+        self.name = f"Exp. smoothing {int(round(alpha * 100))}%"
+
+    def _reset_state(self) -> None:
+        self._state = np.zeros(self.n_series)
+        self._seen = False
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the actual values of the current step."""
+        values = self._check_values(values)
+        if not self._seen:
+            # Initialize the state at the first observation, the textbook
+            # choice (an all-zero start would bias early forecasts).
+            self._state = values.copy()
+            self._seen = True
+        else:
+            self._state = self.alpha * values + (1.0 - self.alpha) * self._state
+
+    def predict(self) -> np.ndarray:
+        """Forecast the next step (shape ``(n_series,)``)."""
+        self._require_ready()
+        return self._state.copy()
+
+
+register_predictor("Exp. smoothing 25%", lambda: ExponentialSmoothingPredictor(0.25))
+register_predictor("Exp. smoothing 50%", lambda: ExponentialSmoothingPredictor(0.50))
+register_predictor("Exp. smoothing 75%", lambda: ExponentialSmoothingPredictor(0.75))

@@ -1,0 +1,6 @@
+"""Plain-text rendering of experiment tables and figure series."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.series import render_series, downsample
+
+__all__ = ["render_table", "render_series", "downsample"]

@@ -1,0 +1,45 @@
+"""Plain-text rendering of time series (the paper's figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["downsample", "render_series"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def downsample(series: np.ndarray, n_points: int) -> np.ndarray:
+    """Average-pool a series down to at most ``n_points`` values."""
+    arr = np.asarray(series, dtype=np.float64)
+    if n_points <= 0:
+        raise ValueError("n_points must be positive")
+    if arr.size <= n_points:
+        return arr.copy()
+    edges = np.linspace(0, arr.size, n_points + 1).astype(int)
+    return np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:])])
+
+
+def render_series(
+    series: np.ndarray,
+    *,
+    label: str = "",
+    width: int = 72,
+    show_range: bool = True,
+) -> str:
+    """Render a series as a one-line unicode sparkline.
+
+    A constant series renders as a flat mid-level line; the min/max of
+    the data annotate the right edge when ``show_range`` is set.
+    """
+    arr = downsample(np.asarray(series, dtype=np.float64), width)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo <= 1e-12:
+        ticks = _BLOCKS[3] * arr.size
+    else:
+        idx = np.round((arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)).astype(int)
+        ticks = "".join(_BLOCKS[i] for i in idx)
+    out = f"{label:<24s} {ticks}" if label else ticks
+    if show_range:
+        out += f"  [{lo:.3g} .. {hi:.3g}]"
+    return out

@@ -1,0 +1,65 @@
+"""Workload traces: RuneScape-like MMOG player-count time series.
+
+The paper's evaluation is driven by ten months of RuneScape traces
+(Sec. III): per-server-group player counts sampled every two minutes.
+Those traces are not publicly archived, so this package provides
+
+* a **trace data model** (:mod:`repro.traces.model`) matching the paper's
+  structure — a game has regions, a region has server groups, a server
+  group has a player-count series,
+* a **parametric synthesizer** (:mod:`repro.traces.synthesis`) calibrated
+  to the statistical properties the paper documents (diurnal cycles with
+  ~24 h autocorrelation peaks, ~50 % peak swings, partial weekend effects,
+  2-5 % always-full servers, short outages, mass-quit and content-release
+  population events), and
+* the **analysis toolkit** (:mod:`repro.traces.analysis`) that reproduces
+  the paper's Fig. 3 statistics: per-step median/min/max load bands,
+  interquartile ranges, and autocorrelation functions.
+"""
+
+from repro.traces.model import ServerGroupTrace, RegionTrace, GameTrace
+from repro.traces.events import (
+    PopulationEvent,
+    MassQuit,
+    ContentRelease,
+    Outage,
+)
+from repro.traces.synthesis import (
+    RegionSpec,
+    TraceSynthesisConfig,
+    TraceSynthesizer,
+    synthesize_game_trace,
+    synthesize_runescape_like,
+    synthesize_global_population,
+)
+from repro.traces.analysis import (
+    load_bands,
+    interquartile_range,
+    autocorrelation,
+    dominant_period_steps,
+    fraction_always_full,
+)
+from repro.traces.population import PopulationStats, concurrency_ratio
+
+__all__ = [
+    "ServerGroupTrace",
+    "RegionTrace",
+    "GameTrace",
+    "PopulationEvent",
+    "MassQuit",
+    "ContentRelease",
+    "Outage",
+    "RegionSpec",
+    "TraceSynthesisConfig",
+    "TraceSynthesizer",
+    "synthesize_game_trace",
+    "synthesize_runescape_like",
+    "synthesize_global_population",
+    "load_bands",
+    "interquartile_range",
+    "autocorrelation",
+    "dominant_period_steps",
+    "fraction_always_full",
+    "PopulationStats",
+    "concurrency_ratio",
+]

@@ -1,0 +1,184 @@
+"""Population events: the discrete shocks that drive MMOG demand.
+
+Section III-B documents three kinds of shocks in the RuneScape trace:
+
+* a **mass quit** after an unpopular game-design decision — the number
+  of active concurrent players dropped by a quarter *in less than one
+  day*, then recovered to only ~95 % of its previous value once the
+  change was amended;
+* **content releases** — about one week of ~50 % elevated concurrency
+  after each release;
+* **outages** — short-lived server-group failures that zero the load of
+  a group ("these outages are few and short-lived").
+
+Each event is a multiplicative modifier applied to the baseline
+population level; the synthesizer composes all active modifiers per step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PopulationEvent", "MassQuit", "ContentRelease", "Outage"]
+
+
+class PopulationEvent(abc.ABC):
+    """A time-localized multiplicative modifier of the player population."""
+
+    @abc.abstractmethod
+    def multiplier(self, step_days: np.ndarray) -> np.ndarray:
+        """Population multiplier per step.
+
+        Parameters
+        ----------
+        step_days:
+            Simulation time of each step, in (fractional) days since the
+            trace start.
+
+        Returns
+        -------
+        numpy.ndarray
+            A positive multiplier per step; ``1.0`` where the event has
+            no effect.
+        """
+
+
+@dataclass(frozen=True)
+class MassQuit(PopulationEvent):
+    """An unpopular decision: sharp drop, later partial recovery.
+
+    Parameters
+    ----------
+    start_day:
+        When the unpopular decision lands.
+    drop_fraction:
+        Fraction of concurrent players lost (the paper observed ~0.25).
+    drop_days:
+        How long the decline takes (paper: "less than one day").
+    amend_day:
+        When the operators amend the change and recovery starts.
+    recovery_days:
+        Duration of the recovery ramp.
+    recovery_level:
+        Final population relative to the pre-event level (paper: ~0.95).
+    """
+
+    start_day: float
+    drop_fraction: float = 0.25
+    drop_days: float = 0.75
+    amend_day: float | None = None
+    recovery_days: float = 5.0
+    recovery_level: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drop_fraction < 1.0:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        if not 0.0 < self.recovery_level <= 1.0:
+            raise ValueError("recovery_level must be in (0, 1]")
+
+    def multiplier(self, step_days: np.ndarray) -> np.ndarray:
+        """Population multiplier per step (see the ABC)."""
+        t = np.asarray(step_days, dtype=np.float64)
+        amend = self.amend_day if self.amend_day is not None else self.start_day + 3.0
+        low = 1.0 - self.drop_fraction
+        out = np.ones_like(t)
+        # Declining phase: linear crash over drop_days.
+        declining = (t >= self.start_day) & (t < self.start_day + self.drop_days)
+        frac = (t[declining] - self.start_day) / self.drop_days
+        out[declining] = 1.0 - self.drop_fraction * frac
+        # Trough: hold at the low level until the amendment.
+        trough = (t >= self.start_day + self.drop_days) & (t < amend)
+        out[trough] = low
+        # Recovery: ramp from the trough to recovery_level.
+        recovering = (t >= amend) & (t < amend + self.recovery_days)
+        frac = (t[recovering] - amend) / self.recovery_days
+        out[recovering] = low + (self.recovery_level - low) * frac
+        # Aftermath: permanently at recovery_level.
+        out[t >= amend + self.recovery_days] = self.recovery_level
+        return out
+
+
+@dataclass(frozen=True)
+class ContentRelease(PopulationEvent):
+    """A content release: a surge that decays over about a week.
+
+    Parameters
+    ----------
+    day:
+        Release date, in days since trace start.
+    surge_fraction:
+        Peak relative concurrency increase (paper: ~0.5).
+    ramp_days:
+        Time to reach the surge peak.
+    duration_days:
+        Length of the elevated period before decaying back (paper: about
+        one week).
+    """
+
+    day: float
+    surge_fraction: float = 0.5
+    ramp_days: float = 0.5
+    duration_days: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.surge_fraction <= 0:
+            raise ValueError("surge_fraction must be positive")
+
+    def multiplier(self, step_days: np.ndarray) -> np.ndarray:
+        """Population multiplier per step (see the ABC)."""
+        t = np.asarray(step_days, dtype=np.float64)
+        out = np.ones_like(t)
+        peak = 1.0 + self.surge_fraction
+        # Ramp up.
+        ramp = (t >= self.day) & (t < self.day + self.ramp_days)
+        frac = (t[ramp] - self.day) / self.ramp_days
+        out[ramp] = 1.0 + self.surge_fraction * frac
+        # Elevated plateau with linear decay back to baseline.
+        hot = (t >= self.day + self.ramp_days) & (t < self.day + self.duration_days)
+        frac = (t[hot] - self.day - self.ramp_days) / max(
+            self.duration_days - self.ramp_days, 1e-9
+        )
+        out[hot] = peak - self.surge_fraction * frac
+        return out
+
+
+@dataclass(frozen=True)
+class Outage(PopulationEvent):
+    """A short server outage: load drops to zero for a brief window.
+
+    Outages are applied per server group by the synthesizer (an outage
+    takes one group down, not the game); as a population event the
+    multiplier is 0 inside the window.
+    """
+
+    start_day: float
+    duration_minutes: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def end_day(self) -> float:
+        """The end of the outage window, in days."""
+        return self.start_day + self.duration_minutes / (24.0 * 60.0)
+
+    def multiplier(self, step_days: np.ndarray) -> np.ndarray:
+        """Population multiplier per step (see the ABC)."""
+        t = np.asarray(step_days, dtype=np.float64)
+        out = np.ones_like(t)
+        out[(t >= self.start_day) & (t < self.end_day)] = 0.0
+        return out
+
+
+def compose_multipliers(
+    events: list[PopulationEvent], step_days: np.ndarray
+) -> np.ndarray:
+    """Product of all event multipliers per step."""
+    out = np.ones_like(np.asarray(step_days, dtype=np.float64))
+    for event in events:
+        out *= event.multiplier(step_days)
+    return out

@@ -1,0 +1,127 @@
+"""Trace persistence: NPZ (exact) and CSV (interchange) round-trips.
+
+NPZ keeps full precision and metadata in one file; CSV writes one file
+per region in the same wide layout the RuneScape player-count page
+implies (one row per sample, one column per server group).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datacenter.geography import GeoLocation, LOCATIONS
+from repro.traces.model import GameTrace, RegionTrace
+
+__all__ = ["save_npz", "load_npz", "save_csv_dir", "load_csv_dir"]
+
+
+def save_npz(trace: GameTrace, path: str | Path) -> None:
+    """Save a game trace to a single ``.npz`` file."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta = {"name": trace.name, "regions": []}
+    for i, region in enumerate(trace.regions):
+        arrays[f"region_{i}_loads"] = region.loads
+        meta["regions"].append(
+            {
+                "name": region.name,
+                "location": {
+                    "name": region.location.name,
+                    "latitude": region.location.latitude,
+                    "longitude": region.location.longitude,
+                    "region": region.location.region,
+                },
+                "capacity": region.capacity,
+                "step_minutes": region.step_minutes,
+                "group_names": list(region.group_names),
+            }
+        )
+    arrays["meta_json"] = np.array(json.dumps(meta))
+    np.savez_compressed(path, **arrays)
+
+
+def load_npz(path: str | Path) -> GameTrace:
+    """Load a game trace saved by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["meta_json"]))
+        regions = []
+        for i, rmeta in enumerate(meta["regions"]):
+            loc_meta = rmeta["location"]
+            loc = GeoLocation(
+                name=loc_meta["name"],
+                latitude=loc_meta["latitude"],
+                longitude=loc_meta["longitude"],
+                region=loc_meta["region"],
+            )
+            regions.append(
+                RegionTrace(
+                    name=rmeta["name"],
+                    location=loc,
+                    loads=data[f"region_{i}_loads"],
+                    capacity=rmeta["capacity"],
+                    step_minutes=rmeta["step_minutes"],
+                    group_names=tuple(rmeta["group_names"]),
+                )
+            )
+    return GameTrace(name=meta["name"], regions=regions)
+
+
+def save_csv_dir(trace: GameTrace, directory: str | Path) -> None:
+    """Save a game trace as one CSV per region plus a manifest.
+
+    Each CSV has a ``step`` column followed by one column per server
+    group; the manifest records capacities, locations and sampling.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {"name": trace.name, "regions": []}
+    for region in trace.regions:
+        fname = f"{region.name.lower().replace(' ', '_')}.csv"
+        with open(directory / fname, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["step", *region.group_names])
+            for step in range(region.n_steps):
+                writer.writerow([step, *region.loads[step].tolist()])
+        manifest["regions"].append(
+            {
+                "name": region.name,
+                "file": fname,
+                "location": region.location.name,
+                "capacity": region.capacity,
+                "step_minutes": region.step_minutes,
+            }
+        )
+    with open(directory / "manifest.json", "w") as fh:
+        json.dump(manifest, fh, indent=2)
+
+
+def load_csv_dir(directory: str | Path) -> GameTrace:
+    """Load a game trace saved by :func:`save_csv_dir`."""
+    directory = Path(directory)
+    with open(directory / "manifest.json") as fh:
+        manifest = json.load(fh)
+    regions = []
+    for rmeta in manifest["regions"]:
+        with open(directory / rmeta["file"], newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            group_names = tuple(header[1:])
+            rows = [[int(v) for v in row[1:]] for row in reader]
+        loc = LOCATIONS.get(rmeta["location"])
+        if loc is None:
+            raise KeyError(f"manifest references unknown location {rmeta['location']!r}")
+        regions.append(
+            RegionTrace(
+                name=rmeta["name"],
+                location=loc,
+                loads=np.array(rows, dtype=np.int64),
+                capacity=rmeta["capacity"],
+                step_minutes=rmeta["step_minutes"],
+                group_names=group_names,
+            )
+        )
+    return GameTrace(name=manifest["name"], regions=regions)

@@ -1,0 +1,199 @@
+"""Trace containers: server groups, regions, whole games.
+
+The structure mirrors the RuneScape deployment the paper traced: a game
+is served by *server groups* ("worlds"), each group capped at about
+2,000 simultaneous clients, and groups are placed in geographic
+*regions* (Europe, US East Coast, ...).  The official player-count page
+reports, every two minutes, the number of players on each group; the
+paper's traces — and ours — are exactly that matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.datacenter.geography import GeoLocation
+
+__all__ = ["ServerGroupTrace", "RegionTrace", "GameTrace", "DEFAULT_SERVER_CAPACITY"]
+
+#: Default client capacity of one fully loaded game server (Sec. V-A).
+DEFAULT_SERVER_CAPACITY = 2000
+
+
+@dataclass
+class ServerGroupTrace:
+    """Player counts over time for one server group.
+
+    Attributes
+    ----------
+    name:
+        Server-group identifier, e.g. ``"eu-grp-07"``.
+    players:
+        1-D integer array of concurrent player counts, one entry per
+        sampling step.
+    capacity:
+        Maximum simultaneous clients of the group.
+    """
+
+    name: str
+    players: np.ndarray
+    capacity: int = DEFAULT_SERVER_CAPACITY
+
+    def __post_init__(self) -> None:
+        self.players = np.asarray(self.players)
+        if self.players.ndim != 1:
+            raise ValueError("players must be a 1-D series")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.players.size and (self.players.min() < 0 or self.players.max() > self.capacity):
+            raise ValueError("player counts must lie in [0, capacity]")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of samples in the trace."""
+        return int(self.players.size)
+
+    def utilization(self) -> np.ndarray:
+        """Load as a fraction of capacity, per step (float array)."""
+        return self.players / float(self.capacity)
+
+
+@dataclass
+class RegionTrace:
+    """All server groups of one geographic region.
+
+    Attributes
+    ----------
+    name:
+        Region label, e.g. ``"Europe"`` (the paper's "region 0").
+    location:
+        Representative population centre of the region's players, used
+        by the matching mechanism for distance computations.
+    loads:
+        2-D integer array of shape ``(n_steps, n_groups)``: concurrent
+        players per step and server group.
+    capacity:
+        Per-group client capacity.
+    step_minutes:
+        Sampling interval (the paper's traces use 2 minutes).
+    """
+
+    name: str
+    location: GeoLocation
+    loads: np.ndarray
+    capacity: int = DEFAULT_SERVER_CAPACITY
+    step_minutes: float = 2.0
+    group_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.loads = np.asarray(self.loads)
+        if self.loads.ndim != 2:
+            raise ValueError("loads must be 2-D: (n_steps, n_groups)")
+        if not self.group_names:
+            self.group_names = tuple(
+                f"{self.name.lower().replace(' ', '-')}-grp-{i:02d}"
+                for i in range(self.loads.shape[1])
+            )
+        if len(self.group_names) != self.loads.shape[1]:
+            raise ValueError("group_names length must match number of groups")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of samples."""
+        return int(self.loads.shape[0])
+
+    @property
+    def n_groups(self) -> int:
+        """Number of server groups."""
+        return int(self.loads.shape[1])
+
+    def group(self, index: int) -> ServerGroupTrace:
+        """Extract one server group as a standalone trace."""
+        return ServerGroupTrace(
+            name=self.group_names[index],
+            players=self.loads[:, index].copy(),
+            capacity=self.capacity,
+        )
+
+    def groups(self) -> Iterator[ServerGroupTrace]:
+        """Iterate over all server groups."""
+        for i in range(self.n_groups):
+            yield self.group(i)
+
+    def total_players(self) -> np.ndarray:
+        """Region-wide concurrent players per step."""
+        return self.loads.sum(axis=1)
+
+    def utilization(self) -> np.ndarray:
+        """Per-group load fraction, shape ``(n_steps, n_groups)``."""
+        return self.loads / float(self.capacity)
+
+    def slice_steps(self, start: int, stop: int) -> "RegionTrace":
+        """A new region trace restricted to ``[start, stop)`` steps."""
+        return RegionTrace(
+            name=self.name,
+            location=self.location,
+            loads=self.loads[start:stop].copy(),
+            capacity=self.capacity,
+            step_minutes=self.step_minutes,
+            group_names=self.group_names,
+        )
+
+
+@dataclass
+class GameTrace:
+    """A full game trace: one region trace per geographic region.
+
+    The paper's RuneScape traces cover five regions; experiments select
+    subsets (e.g. region 0 / Europe for Fig. 3, North America for
+    Figs. 13-14).
+    """
+
+    name: str
+    regions: list[RegionTrace] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        steps = {r.n_steps for r in self.regions}
+        if len(steps) > 1:
+            raise ValueError(f"regions have inconsistent lengths: {sorted(steps)}")
+        mins = {r.step_minutes for r in self.regions}
+        if len(mins) > 1:
+            raise ValueError("regions have inconsistent sampling intervals")
+
+    @property
+    def n_steps(self) -> int:
+        """Number of samples (0 for an empty trace)."""
+        return self.regions[0].n_steps if self.regions else 0
+
+    @property
+    def step_minutes(self) -> float:
+        """Sampling interval in minutes."""
+        return self.regions[0].step_minutes if self.regions else 2.0
+
+    def region(self, name: str) -> RegionTrace:
+        """Look up a region by name."""
+        for r in self.regions:
+            if r.name == name:
+                return r
+        raise KeyError(f"no region {name!r} in trace {self.name!r}")
+
+    def global_players(self) -> np.ndarray:
+        """Game-wide concurrent players per step."""
+        if not self.regions:
+            return np.zeros(0, dtype=np.int64)
+        return np.sum([r.total_players() for r in self.regions], axis=0)
+
+    def peak_global_players(self) -> int:
+        """Maximum game-wide concurrency over the whole trace."""
+        g = self.global_players()
+        return int(g.max()) if g.size else 0
+
+    def slice_steps(self, start: int, stop: int) -> "GameTrace":
+        """A new game trace restricted to ``[start, stop)`` steps."""
+        return GameTrace(
+            name=self.name,
+            regions=[r.slice_steps(start, stop) for r in self.regions],
+        )

@@ -1,0 +1,73 @@
+"""Population statistics: active vs. concurrent players.
+
+Section III-B relates three population measures for RuneScape:
+
+* **open accounts** (~8M in 2007),
+* **active players** — played at least once in the last month (~5M),
+* **active concurrent players** — online simultaneously (peak ~250k).
+
+It also estimates a 30-60 % conversion from starting to dedicated
+players.  These ratios let experiments translate a subscription level
+(as produced by :mod:`repro.market`) into the concurrency levels that
+drive resource demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PopulationStats", "concurrency_ratio", "RUNESCAPE_2007"]
+
+
+@dataclass(frozen=True)
+class PopulationStats:
+    """A consistent snapshot of the three population measures.
+
+    Parameters
+    ----------
+    open_accounts:
+        Total accounts ever created (and not purged).
+    active_players:
+        Players active within the last month.
+    peak_concurrent:
+        Maximum simultaneous players.
+    """
+
+    open_accounts: int
+    active_players: int
+    peak_concurrent: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.peak_concurrent <= self.active_players <= self.open_accounts:
+            raise ValueError(
+                "expected peak_concurrent <= active_players <= open_accounts, all positive"
+            )
+
+    @property
+    def activity_rate(self) -> float:
+        """Active players as a fraction of open accounts."""
+        return self.active_players / self.open_accounts
+
+    @property
+    def peak_concurrency_rate(self) -> float:
+        """Peak concurrent players as a fraction of active players."""
+        return self.peak_concurrent / self.active_players
+
+    def concurrent_from_active(self, active: np.ndarray | float) -> np.ndarray | float:
+        """Scale an active-player level to a peak-concurrency level."""
+        return np.asarray(active, dtype=np.float64) * self.peak_concurrency_rate
+
+
+#: The paper's RuneScape 2007 snapshot (Sec. III-B).
+RUNESCAPE_2007 = PopulationStats(
+    open_accounts=8_000_000,
+    active_players=5_000_000,
+    peak_concurrent=250_000,
+)
+
+
+def concurrency_ratio(stats: PopulationStats = RUNESCAPE_2007) -> float:
+    """Peak-concurrent / active ratio (RuneScape 2007: 250k / 5M = 5 %)."""
+    return stats.peak_concurrency_rate

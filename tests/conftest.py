@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately small: traces of hours rather than
+weeks, platforms of a few machines.  Full-scale runs live in the
+benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import DataCenter, Machine, policy
+from repro.datacenter.geography import location
+from repro.traces import RegionSpec, TraceSynthesisConfig, synthesize_game_trace
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_center():
+    """A 10-machine data center under HP-1."""
+    return DataCenter(
+        name="test-dc",
+        location=location("Netherlands"),
+        n_machines=10,
+        policy=policy("HP-1"),
+    )
+
+
+@pytest.fixture
+def tiny_trace():
+    """A half-day, two-region, few-group trace (fast to synthesize)."""
+    config = TraceSynthesisConfig(
+        name="tiny",
+        n_days=0.5,
+        seed=7,
+        regions=(
+            RegionSpec("Europe", "Netherlands", n_groups=4, utc_offset_hours=1.0),
+            RegionSpec("US East", "US East", n_groups=3, utc_offset_hours=-5.0),
+        ),
+        outage_rate_per_group_day=0.0,
+        spike_rate_per_region_day=0.0,
+    )
+    return synthesize_game_trace(config)

@@ -1,0 +1,173 @@
+"""Tests for the ecosystem simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DemandModel,
+    EcosystemConfig,
+    EcosystemSimulator,
+    GameSpec,
+    update_model,
+)
+from repro.datacenter import build_paper_datacenters
+from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import CPU
+from repro.predictors import AveragePredictor, LastValuePredictor
+
+
+def spec(trace, update="O(n)", predictor=LastValuePredictor, **kwargs):
+    return GameSpec(
+        name=kwargs.pop("name", "g"),
+        trace=trace,
+        demand_model=DemandModel(update=update_model(update)),
+        predictor_factory=predictor,
+        **kwargs,
+    )
+
+
+def run(trace, mode="dynamic", warmup=60, games=None, **kwargs):
+    config = EcosystemConfig(
+        games=games or [spec(trace)],
+        centers=build_paper_datacenters(),
+        mode=mode,
+        warmup_steps=warmup,
+        **kwargs,
+    )
+    return EcosystemSimulator(config).run()
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self, tiny_trace):
+        with pytest.raises(ValueError):
+            EcosystemConfig(
+                games=[spec(tiny_trace)],
+                centers=build_paper_datacenters(),
+                mode="magic",
+            )
+
+    def test_rejects_warmup_beyond_trace(self, tiny_trace):
+        with pytest.raises(ValueError):
+            EcosystemConfig(
+                games=[spec(tiny_trace)],
+                centers=build_paper_datacenters(),
+                warmup_steps=tiny_trace.n_steps,
+            )
+
+    def test_rejects_mismatched_trace_lengths(self, tiny_trace):
+        short = tiny_trace.slice_steps(0, 100)
+        with pytest.raises(ValueError):
+            EcosystemConfig(
+                games=[spec(tiny_trace), spec(short, name="g2")],
+                centers=build_paper_datacenters(),
+            )
+
+
+class TestSimulation:
+    def test_eval_steps(self, tiny_trace):
+        result = run(tiny_trace, warmup=60)
+        assert result.eval_steps == tiny_trace.n_steps - 60
+        assert result.combined.recorded_steps == result.eval_steps
+
+    def test_combined_equals_sum_of_games(self, tiny_trace):
+        g1 = spec(tiny_trace, name="g1")
+        g2 = spec(tiny_trace, name="g2", update="O(n^2)")
+        result = run(tiny_trace, games=[g1, g2])
+        total = result.per_game["g1"].load + result.per_game["g2"].load
+        assert np.allclose(result.combined.load, total)
+
+    def test_centers_clean_after_run(self, tiny_trace):
+        centers = build_paper_datacenters()
+        config = EcosystemConfig(
+            games=[spec(tiny_trace)], centers=centers, warmup_steps=60
+        )
+        EcosystemSimulator(config).run()
+        assert all(c.allocated.is_zero() for c in centers)
+
+    def test_dynamic_allocation_tracks_load(self, tiny_trace):
+        result = run(tiny_trace)
+        tl = result.combined
+        # Allocation covers the load the vast majority of the time.
+        covered = (tl.allocated[:, 0] >= tl.load[:, 0] - 1e-6).mean()
+        assert covered > 0.9
+
+    def test_static_never_under_allocates(self, tiny_trace):
+        result = run(tiny_trace, mode="static")
+        assert result.combined.significant_events(CPU) == 0
+        assert np.all(result.combined.under_allocation(CPU) == 0.0)
+
+    def test_static_over_allocates_more_than_dynamic(self, tiny_trace):
+        dyn = run(tiny_trace).combined.average_over_allocation(CPU)
+        sta = run(tiny_trace, mode="static").combined.average_over_allocation(CPU)
+        assert sta > dyn
+
+    def test_bad_predictor_causes_under_allocation(self, tiny_trace):
+        good = run(tiny_trace, games=[spec(tiny_trace, update="O(n^2)")])
+        bad = run(
+            tiny_trace,
+            games=[spec(tiny_trace, update="O(n^2)", predictor=AveragePredictor)],
+        )
+        assert (
+            bad.combined.average_under_allocation(CPU)
+            < good.combined.average_under_allocation(CPU)
+        )
+
+    def test_center_accounting_sums(self, tiny_trace):
+        result = run(tiny_trace)
+        total_by_center = sum(result.center_cpu_mean.values())
+        mean_alloc = result.combined.allocated[:, 0].mean()
+        assert total_by_center == pytest.approx(mean_alloc, rel=1e-6)
+
+    def test_center_region_breakdown_consistent(self, tiny_trace):
+        result = run(tiny_trace)
+        by_center: dict = {}
+        for (center, _), value in result.center_region_cpu_mean.items():
+            by_center[center] = by_center.get(center, 0.0) + value
+        for name, value in by_center.items():
+            assert value == pytest.approx(result.center_cpu_mean[name], rel=1e-6)
+
+    def test_quantum_derived_from_platform(self, tiny_trace):
+        fine = custom_policy("fine", cpu_bulk=0.125)
+        game = spec(tiny_trace)
+        assert game.resolved_quantum(build_paper_datacenters(policies=[fine])) == 0.125
+
+    def test_explicit_quantum_respected(self, tiny_trace):
+        game = spec(tiny_trace, cpu_quantum=0.0)
+        assert game.resolved_quantum(build_paper_datacenters()) == 0.0
+
+
+class TestAdvanceReservations:
+    def test_lead_requires_dynamic(self, tiny_trace):
+        with pytest.raises(ValueError, match="dynamic"):
+            EcosystemConfig(
+                games=[spec(tiny_trace)],
+                centers=build_paper_datacenters(),
+                mode="static",
+                warmup_steps=60,
+                advance_lead_steps=10,
+            )
+
+    def test_negative_lead_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            EcosystemConfig(
+                games=[spec(tiny_trace)],
+                centers=build_paper_datacenters(),
+                warmup_steps=60,
+                advance_lead_steps=-1,
+            )
+
+    def test_booking_ahead_costs_accuracy(self, tiny_trace):
+        on_demand = run(tiny_trace, games=[spec(tiny_trace, update="O(n^2)")])
+        booked = run(
+            tiny_trace,
+            games=[spec(tiny_trace, update="O(n^2)")],
+            advance_lead_steps=15,
+        )
+        assert (
+            booked.combined.average_under_allocation(CPU)
+            <= on_demand.combined.average_under_allocation(CPU)
+        )
+
+    def test_advance_mode_still_allocates(self, tiny_trace):
+        result = run(tiny_trace, advance_lead_steps=10)
+        assert result.combined.allocated[:, 0].mean() > 0

@@ -1,0 +1,114 @@
+"""Tests for update models and demand conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import DemandModel, UPDATE_MODELS, update_model
+from repro.datacenter.resources import CPU, EXTNET_IN, EXTNET_OUT, MEMORY
+
+players = st.floats(min_value=0, max_value=2000, allow_nan=False)
+
+
+class TestUpdateModels:
+    def test_five_models(self):
+        assert list(UPDATE_MODELS) == [
+            "O(n)", "O(n log n)", "O(n^2)", "O(n^2 log n)", "O(n^3)",
+        ]
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            update_model("O(n^4)")
+
+    def test_full_server_costs_one_unit_under_every_model(self):
+        for m in UPDATE_MODELS.values():
+            assert m.relative_load(np.array([2000.0]), 2000.0)[0] == pytest.approx(1.0)
+
+    def test_convexity_ordering_below_full(self):
+        # At half load, more complex models are cheaper relative to full.
+        n = np.array([1000.0])
+        loads = [m.relative_load(n, 2000.0)[0] for m in UPDATE_MODELS.values()]
+        assert loads == sorted(loads, reverse=True)
+        assert loads[0] == pytest.approx(0.5)  # O(n)
+        assert loads[2] == pytest.approx(0.25)  # O(n^2)
+        assert loads[4] == pytest.approx(0.125)  # O(n^3)
+
+    def test_monotone_in_players(self):
+        n = np.linspace(0, 3000, 50)
+        for m in UPDATE_MODELS.values():
+            out = m.relative_load(n, 2000.0)
+            assert np.all(np.diff(out) >= -1e-12)
+
+    @given(players)
+    def test_relative_load_non_negative(self, n):
+        for m in UPDATE_MODELS.values():
+            assert m.relative_load(np.array([n]), 2000.0)[0] >= 0
+
+
+class TestDemandModel:
+    def test_aggregates_groups(self):
+        dm = DemandModel(update=update_model("O(n)"))
+        d = dm.demand(np.array([1000.0, 1000.0]))
+        assert d[CPU] == pytest.approx(1.0)
+        assert d[MEMORY] == pytest.approx(1.0)
+        assert d[EXTNET_OUT] == pytest.approx(1.0)
+        assert d[EXTNET_IN] == pytest.approx(0.04)
+
+    def test_convex_model_discounts_partial_servers(self):
+        dm = DemandModel(update=update_model("O(n^2)"))
+        d = dm.demand(np.array([1000.0, 1000.0]))
+        assert d[CPU] == pytest.approx(0.5)
+        # Linear resources unaffected by the update model.
+        assert d[EXTNET_OUT] == pytest.approx(1.0)
+
+    def test_cpu_quantum_rounds_per_group(self):
+        dm = DemandModel(update=update_model("O(n)"))
+        d = dm.demand(np.array([100.0, 100.0]), cpu_quantum=0.25)
+        # Each group: 0.05 -> 0.25; total 0.5 (not ceil(0.1) = 0.25).
+        assert d[CPU] == pytest.approx(0.5)
+
+    def test_demand_per_group_matches_aggregate(self):
+        dm = DemandModel(update=update_model("O(n^2)"))
+        n = np.array([500.0, 1500.0, 2000.0])
+        per_group = dm.demand_per_group(n)
+        assert per_group.shape == (3, 4)
+        assert np.allclose(per_group.sum(axis=0), dm.demand(n).values)
+
+    def test_demand_per_group_rejects_2d(self):
+        dm = DemandModel(update=update_model("O(n)"))
+        with pytest.raises(ValueError):
+            dm.demand_per_group(np.zeros((2, 2)))
+
+    def test_peak_demand_componentwise_max(self):
+        dm = DemandModel(update=update_model("O(n)"))
+        loads = np.array([[2000, 0], [0, 1000], [500, 500]])
+        peak = dm.peak_demand(loads)
+        assert peak[CPU] == pytest.approx(1.0)  # step 0
+        assert peak[MEMORY] == pytest.approx(1.0)
+
+    def test_peak_demand_with_quantum_dominates_actual(self):
+        dm = DemandModel(update=update_model("O(n^2)"))
+        rng = np.random.default_rng(0)
+        loads = rng.integers(0, 2000, size=(50, 4)).astype(float)
+        peak = dm.peak_demand(loads, cpu_quantum=0.25)
+        for t in range(50):
+            assert peak[CPU] >= dm.demand(loads[t])[CPU] - 1e-9
+
+    def test_peak_demand_rejects_1d(self):
+        dm = DemandModel(update=update_model("O(n)"))
+        with pytest.raises(ValueError):
+            dm.peak_demand(np.zeros(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandModel(update=update_model("O(n)"), players_full=0)
+        with pytest.raises(ValueError):
+            DemandModel(update=update_model("O(n)"), extnet_out_per_unit=-1)
+
+    @given(st.lists(players, min_size=1, max_size=10))
+    def test_quantized_demand_covers_unquantized(self, ns):
+        dm = DemandModel(update=update_model("O(n^2)"))
+        n = np.array(ns)
+        quantized = dm.demand(n, cpu_quantum=0.25)
+        plain = dm.demand(n)
+        assert quantized[CPU] >= plain[CPU] - 1e-9

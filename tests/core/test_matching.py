@@ -1,0 +1,148 @@
+"""Tests for the request-offer matching mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatchingPolicy, match_request
+from repro.core.matching import distance_band
+from repro.datacenter import DataCenter, LatencyClass, ResourceVector, policy
+from repro.datacenter.geography import location
+from repro.datacenter.policy import custom_policy
+
+
+def center(name, loc, machines=10, pol="HP-1"):
+    return DataCenter(
+        name=name,
+        location=location(loc),
+        n_machines=machines,
+        policy=policy(pol) if isinstance(pol, str) else pol,
+    )
+
+
+class TestDistanceBand:
+    def test_bands(self):
+        assert distance_band(0) == 0
+        assert distance_band(40) == 0
+        assert distance_band(500) == 1
+        assert distance_band(1500) == 2
+        assert distance_band(3000) == 3
+        assert distance_band(9000) == 4
+
+
+class TestMatchingPolicy:
+    def test_rejects_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            MatchingPolicy(criteria=("speed",))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MatchingPolicy(criteria=())
+
+    def test_sort_key_shape(self):
+        c = center("a", "U.K.")
+        key = MatchingPolicy().sort_key(c, 100.0)
+        # 4 criteria + exact distance + name tie-breakers.
+        assert len(key) == 6
+
+
+class TestMatchRequest:
+    def test_empty_demand_matches_trivially(self):
+        plan = match_request(
+            ResourceVector.zeros(), location("U.K."), [center("a", "U.K.")]
+        )
+        assert plan.fully_matched
+        assert not plan.placements
+
+    def test_single_center_covers(self):
+        plan = match_request(
+            ResourceVector(cpu=2.0), location("U.K."), [center("a", "U.K.")]
+        )
+        assert plan.fully_matched
+        assert len(plan.placements) == 1
+        assert plan.total().covers(ResourceVector(cpu=2.0))
+
+    def test_placements_rounded_to_bulk(self):
+        plan = match_request(
+            ResourceVector(cpu=0.3), location("U.K."), [center("a", "U.K.")]
+        )
+        _, vec = plan.placements[0]
+        assert vec[0 if False else 0] == pytest.approx(0.5)  # HP-1 bulk 0.25
+
+    def test_spills_across_centers(self):
+        centers = [center("a", "U.K.", machines=2), center("b", "U.K.", machines=2)]
+        plan = match_request(ResourceVector(cpu=3.0), location("U.K."), centers)
+        assert plan.fully_matched
+        assert len(plan.placements) == 2
+
+    def test_unmatched_when_platform_full(self):
+        centers = [center("a", "U.K.", machines=1)]
+        plan = match_request(ResourceVector(cpu=5.0), location("U.K."), centers)
+        assert not plan.fully_matched
+        assert plan.unmatched.any_positive()
+
+    def test_latency_filter_excludes_far_centers(self):
+        centers = [center("远", "Australia", machines=50)]
+        plan = match_request(
+            ResourceVector(cpu=1.0),
+            location("U.K."),
+            centers,
+            latency=LatencyClass.CLOSE,
+        )
+        assert not plan.fully_matched
+        assert not plan.placements
+
+    def test_very_far_admits_everything(self):
+        centers = [center("au", "Australia", machines=50)]
+        plan = match_request(
+            ResourceVector(cpu=1.0),
+            location("U.K."),
+            centers,
+            latency=LatencyClass.VERY_FAR,
+        )
+        assert plan.fully_matched
+
+    def test_grain_first_prefers_finer_policy(self):
+        coarse = center("coarse", "U.K.", pol=custom_policy("c", cpu_bulk=1.0))
+        fine = center("fine", "Australia", pol=custom_policy("f", cpu_bulk=0.1))
+        plan = match_request(
+            ResourceVector(cpu=1.0), location("U.K."), [coarse, fine]
+        )
+        assert plan.placements[0][0].name == "fine"
+
+    def test_distance_breaks_policy_ties(self):
+        near = center("near", "Netherlands")
+        far = center("far", "US East")
+        plan = match_request(
+            ResourceVector(cpu=1.0), location("U.K."), [far, near]
+        )
+        assert plan.placements[0][0].name == "near"
+
+    def test_shorter_time_bulk_preferred_on_equal_grain(self):
+        short = center("short", "US East", pol=custom_policy("s", time_bulk_minutes=60))
+        long_ = center("long", "U.K.", pol=custom_policy("l", time_bulk_minutes=2880))
+        plan = match_request(
+            ResourceVector(cpu=1.0), location("U.K."), [long_, short]
+        )
+        assert plan.placements[0][0].name == "short"
+
+    def test_distance_first_order_overrides_grain(self):
+        coarse_near = center("cn", "U.K.", pol=custom_policy("c", cpu_bulk=1.0))
+        fine_far = center("ff", "US East", pol=custom_policy("f", cpu_bulk=0.1))
+        pol = MatchingPolicy(criteria=("distance", "grain", "time_bulk", "free"))
+        plan = match_request(
+            ResourceVector(cpu=1.0), location("U.K."), [fine_far, coarse_near],
+            policy=pol,
+        )
+        assert plan.placements[0][0].name == "cn"
+
+    def test_plan_total_covers_demand_when_matched(self):
+        centers = [center(f"c{i}", "U.K.", machines=3) for i in range(4)]
+        demand = ResourceVector(cpu=7.3, memory=8.0, extnet_in=2.0, extnet_out=3.0)
+        plan = match_request(demand, location("U.K."), centers)
+        assert plan.fully_matched
+        assert plan.total().covers(demand, tol=1e-6)
+
+    def test_plan_not_applied(self):
+        c = center("a", "U.K.")
+        match_request(ResourceVector(cpu=1.0), location("U.K."), [c])
+        assert c.allocated.is_zero()

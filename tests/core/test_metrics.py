@@ -1,0 +1,139 @@
+"""Tests for the Ω/Υ metrics and the timeline recorder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    MetricsTimeline,
+    SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
+    over_allocation_percent,
+    under_allocation_percent,
+)
+from repro.datacenter.resources import CPU, EXTNET_OUT
+
+nonneg = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestOverAllocation:
+    def test_perfect_fit_is_zero(self):
+        assert over_allocation_percent(10.0, 10.0) == pytest.approx(0.0)
+
+    def test_double_allocation_is_100(self):
+        assert over_allocation_percent(20.0, 10.0) == pytest.approx(100.0)
+
+    def test_under_allocation_is_negative(self):
+        assert over_allocation_percent(5.0, 10.0) == pytest.approx(-50.0)
+
+    def test_idle_with_no_allocation(self):
+        assert over_allocation_percent(0.0, 0.0) == 0.0
+
+    def test_idle_with_allocation_stays_finite(self):
+        assert np.isfinite(over_allocation_percent(5.0, 0.0))
+
+    @given(nonneg, st.floats(min_value=0.1, max_value=1e6, allow_nan=False))
+    def test_monotone_in_allocation(self, extra, load):
+        base = over_allocation_percent(load, load)
+        more = over_allocation_percent(load + extra, load)
+        assert more >= base
+
+
+class TestUnderAllocation:
+    def test_zero_when_covered(self):
+        assert under_allocation_percent(10.0, 8.0, machines=5) == 0.0
+
+    def test_deficit_normalized_by_machines(self):
+        # deficit 2 units over 10 machines = -20 %.
+        assert under_allocation_percent(8.0, 10.0, machines=10) == pytest.approx(-20.0)
+
+    def test_never_positive(self):
+        assert under_allocation_percent(100.0, 1.0, machines=3) == 0.0
+
+    def test_zero_machines_guarded(self):
+        out = under_allocation_percent(0.0, 5.0, machines=0)
+        assert np.isfinite(out) and out < 0
+
+
+class TestMetricsTimeline:
+    def make(self, n=3):
+        return MetricsTimeline(n)
+
+    def test_record_and_series(self):
+        tl = self.make(2)
+        tl.record(np.array([2.0, 0, 0, 0]), np.array([1.0, 0, 0, 0]), machines=2)
+        tl.record(np.array([1.0, 0, 0, 0]), np.array([2.0, 0, 0, 0]), machines=2)
+        over = tl.over_allocation(CPU)
+        under = tl.under_allocation(CPU)
+        assert over[0] == pytest.approx(100.0)
+        assert under[0] == 0.0
+        assert under[1] == pytest.approx(-50.0)
+
+    def test_default_deficit_is_pooled_shortfall(self):
+        tl = self.make(1)
+        tl.record(np.array([1.0, 0, 0, 0]), np.array([3.0, 0, 0, 0]), machines=4)
+        assert tl.under_allocation(CPU)[0] == pytest.approx(-50.0)
+
+    def test_explicit_deficit_used(self):
+        tl = self.make(1)
+        # Allocation covers the pooled load, but per-group deficits exist.
+        tl.record(
+            np.array([5.0, 0, 0, 0]),
+            np.array([3.0, 0, 0, 0]),
+            machines=10,
+            deficit=np.array([1.0, 0, 0, 0]),
+        )
+        assert tl.under_allocation(CPU)[0] == pytest.approx(-10.0)
+
+    def test_over_and_under_not_correlated(self):
+        # Paper: an over-allocation at one time never offsets an
+        # under-allocation at another.
+        tl = self.make(2)
+        tl.record(np.array([10.0, 0, 0, 0]), np.array([1.0, 0, 0, 0]), machines=1)
+        tl.record(np.array([1.0, 0, 0, 0]), np.array([10.0, 0, 0, 0]), machines=1)
+        assert tl.under_allocation(CPU)[1] < 0  # surplus at t=0 did not help
+
+    def test_significant_events_threshold(self):
+        tl = self.make(3)
+        tl.record(np.array([10.0, 0, 0, 0]), np.array([10.0, 0, 0, 0]), machines=100)
+        # deficit 0.5 over 100 machines = -0.5 %: not significant.
+        tl.record(np.array([9.5, 0, 0, 0]), np.array([10.0, 0, 0, 0]), machines=100)
+        # deficit 2 over 100 machines = -2 %: significant.
+        tl.record(np.array([8.0, 0, 0, 0]), np.array([10.0, 0, 0, 0]), machines=100)
+        assert tl.significant_events(CPU) == 1
+        assert SIGNIFICANT_UNDER_ALLOCATION_PERCENT == 1.0
+
+    def test_cumulative_events_monotone(self):
+        tl = self.make(3)
+        for _ in range(3):
+            tl.record(np.array([0.0, 0, 0, 0]), np.array([10.0, 0, 0, 0]), machines=1)
+        cum = tl.cumulative_significant_events(CPU)
+        assert np.array_equal(cum, [1, 2, 3])
+
+    def test_incomplete_timeline_raises(self):
+        tl = self.make(3)
+        tl.record(np.zeros(4), np.zeros(4), machines=0)
+        with pytest.raises(RuntimeError, match="incomplete"):
+            tl.over_allocation(CPU)
+
+    def test_overfull_timeline_raises(self):
+        tl = self.make(1)
+        tl.record(np.zeros(4), np.zeros(4), machines=0)
+        with pytest.raises(IndexError):
+            tl.record(np.zeros(4), np.zeros(4), machines=0)
+
+    def test_per_resource_independence(self):
+        tl = self.make(1)
+        tl.record(np.array([2.0, 0, 0, 1.0]), np.array([1.0, 0, 0, 2.0]), machines=1)
+        assert tl.over_allocation(CPU)[0] > 0
+        assert tl.under_allocation(EXTNET_OUT)[0] < 0
+
+    def test_averages(self):
+        tl = self.make(2)
+        tl.record(np.array([2.0, 0, 0, 0]), np.array([1.0, 0, 0, 0]), machines=1)
+        tl.record(np.array([3.0, 0, 0, 0]), np.array([1.0, 0, 0, 0]), machines=1)
+        assert tl.average_over_allocation(CPU) == pytest.approx(150.0)
+        assert tl.average_under_allocation(CPU) == 0.0
+
+    def test_rejects_nonpositive_steps(self):
+        with pytest.raises(ValueError):
+            MetricsTimeline(0)

@@ -1,0 +1,101 @@
+"""Tests for the game operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import DemandModel, GameOperator, update_model
+from repro.datacenter.resources import CPU
+from repro.predictors import LastValuePredictor, NeuralPredictor
+
+
+def make_operator(**kwargs):
+    params = dict(
+        operator_id="op",
+        game_id="game",
+        demand_model=DemandModel(update=update_model("O(n^2)")),
+        predictor_factory=LastValuePredictor,
+    )
+    params.update(kwargs)
+    return GameOperator(**params)
+
+
+class TestLifecycle:
+    def test_prepare_trains_and_warms(self):
+        op = make_operator(predictor_factory=lambda: NeuralPredictor(max_eras=20))
+        history = np.abs(np.random.default_rng(0).normal(500, 100, size=(100, 3)))
+        op.prepare({"EU": history})
+        pred = op.predict_players("EU", 3)
+        assert pred.shape == (3,)
+        assert np.all(pred >= 0)
+
+    def test_lazy_predictor_creation(self):
+        op = make_operator()
+        pred = op.predict_players("EU", 4)
+        assert pred.shape == (4,)
+
+    def test_observe_then_predict_persistence(self):
+        op = make_operator()
+        op.observe("EU", np.array([10.0, 20.0]))
+        assert np.allclose(op.predict_players("EU", 2), [10.0, 20.0])
+
+    def test_regions_independent(self):
+        op = make_operator()
+        op.observe("EU", np.array([10.0]))
+        op.observe("US", np.array([99.0]))
+        assert op.predict_players("EU", 1)[0] == 10.0
+        assert op.predict_players("US", 1)[0] == 99.0
+
+
+class TestDemand:
+    def test_desired_allocation_converts_prediction(self):
+        op = make_operator()
+        op.observe("EU", np.array([1000.0, 1000.0]))
+        desired = op.desired_allocation("EU", 2)
+        assert desired[CPU] == pytest.approx(0.5)  # 2 x (0.5)^2
+
+    def test_cpu_quantum_applied(self):
+        op = make_operator(cpu_quantum=0.25)
+        op.observe("EU", np.array([1000.0, 1000.0]))
+        desired = op.desired_allocation("EU", 2)
+        assert desired[CPU] == pytest.approx(0.5)  # 0.25 rounds to itself
+        op.observe("EU", np.array([100.0, 100.0]))
+        desired = op.desired_allocation("EU", 2)
+        assert desired[CPU] == pytest.approx(0.5)  # tiny demand rounds up
+
+    def test_safety_margin_pads(self):
+        plain = make_operator()
+        padded = make_operator(safety_margin=0.10)
+        for op in (plain, padded):
+            op.observe("EU", np.array([2000.0]))
+        assert padded.desired_allocation("EU", 1)[CPU] == pytest.approx(
+            plain.desired_allocation("EU", 1)[CPU] * 1.10
+        )
+
+    def test_last_predicted_players_stashed(self):
+        op = make_operator()
+        op.observe("EU", np.array([123.0]))
+        assert op.last_predicted_players("EU") is None
+        op.desired_allocation("EU", 1)
+        assert op.last_predicted_players("EU")[0] == pytest.approx(123.0)
+
+    def test_actual_demand_unquantized(self):
+        op = make_operator(cpu_quantum=0.25)
+        d = op.actual_demand(np.array([1000.0]))
+        assert d[CPU] == pytest.approx(0.25)  # (0.5)^2, no quantum
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_operator(safety_margin=-0.1)
+        with pytest.raises(ValueError):
+            make_operator(cpu_quantum=-1)
+
+
+class TestWarmupHelper:
+    def test_warmup_from_trace(self, tiny_trace):
+        warm = GameOperator.warmup_from_trace(tiny_trace, 100)
+        assert set(warm) == {"Europe", "US East"}
+        assert warm["Europe"].shape == (100, 4)
+
+    def test_warmup_rejects_zero_steps(self, tiny_trace):
+        with pytest.raises(ValueError):
+            GameOperator.warmup_from_trace(tiny_trace, 0)

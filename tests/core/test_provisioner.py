@@ -1,0 +1,146 @@
+"""Tests for the provisioning engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import DemandModel, DynamicProvisioner, GameOperator, StaticProvisioner, update_model
+from repro.datacenter import DataCenter, ResourceVector, policy
+from repro.datacenter.geography import location
+from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import CPU
+from repro.predictors import LastValuePredictor
+
+EU = location("Netherlands")
+
+
+def make_operator():
+    return GameOperator(
+        "op", "game",
+        DemandModel(update=update_model("O(n)")),
+        LastValuePredictor,
+    )
+
+
+def centers(n=2, machines=10, pol=None):
+    pol = pol or custom_policy("T", cpu_bulk=0.25, memory_bulk=1.0, time_bulk_minutes=10)
+    return [
+        DataCenter(name=f"dc{i}", location=EU, n_machines=machines, policy=pol)
+        for i in range(n)
+    ]
+
+
+class TestDynamicProvisioner:
+    def test_covers_desired(self):
+        prov = DynamicProvisioner(centers())
+        op = make_operator()
+        plan = prov.reconcile(op, "EU", EU, ResourceVector(cpu=3.3, memory=3.3), step=0)
+        assert plan.fully_matched
+        assert prov.allocation(op, "EU").covers(ResourceVector(cpu=3.3, memory=3.3))
+
+    def test_no_churn_when_covered(self):
+        prov = DynamicProvisioner(centers())
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=2.0), step=0)
+        before = prov.allocation(op, "EU")
+        plan = prov.reconcile(op, "EU", EU, ResourceVector(cpu=1.5), step=1)
+        assert not plan.placements
+        assert prov.allocation(op, "EU") == before
+
+    def test_growth_adds_deficit_only(self):
+        prov = DynamicProvisioner(centers())
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=2.0), step=0)
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=3.0), step=1)
+        total = prov.allocation(op, "EU")[CPU]
+        assert 3.0 <= total < 3.5  # one extra ~1.0 lease, bulk-rounded
+
+    def test_leases_expire_and_renew(self):
+        # Time bulk 10 minutes = 5 steps of 2 minutes.
+        prov = DynamicProvisioner(centers(), step_minutes=2.0)
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=4.0), step=0)
+        # After expiry, a smaller demand yields a right-sized allocation.
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=1.0), step=5)
+        assert prov.allocation(op, "EU")[CPU] == pytest.approx(1.0)
+
+    def test_surplus_held_until_expiry(self):
+        prov = DynamicProvisioner(centers(), step_minutes=2.0)
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=4.0), step=0)
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=1.0), step=2)
+        # The 4-unit lease cannot be returned before step 5.
+        assert prov.allocation(op, "EU")[CPU] == pytest.approx(4.0)
+
+    def test_unmatched_reported(self):
+        prov = DynamicProvisioner(centers(n=1, machines=2))
+        op = make_operator()
+        plan = prov.reconcile(op, "EU", EU, ResourceVector(cpu=10.0), step=0)
+        assert not plan.fully_matched
+        assert plan.unmatched[CPU] > 0
+
+    def test_keys_isolated(self):
+        prov = DynamicProvisioner(centers())
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=2.0), step=0)
+        prov.reconcile(op, "US", EU, ResourceVector(cpu=1.0), step=0)
+        assert prov.allocation(op, "EU")[CPU] == pytest.approx(2.0)
+        assert prov.allocation(op, "US")[CPU] == pytest.approx(1.0)
+        assert prov.total_allocation()[CPU] == pytest.approx(3.0)
+
+    def test_machines_aggregate_sharing(self):
+        prov = DynamicProvisioner(centers(n=1))
+        op = make_operator()
+        for step in range(4):
+            prov.reconcile(
+                op, "EU", EU, ResourceVector(cpu=0.25 * (step + 1)), step=step
+            )
+        # 1.0 CPU total on one center -> 1 machine, not 4.
+        assert prov.machines(op, "EU") == 1
+
+    def test_release_everything(self):
+        cs = centers()
+        prov = DynamicProvisioner(cs)
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=5.0), step=0)
+        prov.release_everything(step=100)
+        assert prov.total_allocation().is_zero()
+        assert all(c.allocated.is_zero() for c in cs)
+
+    def test_allocation_by_center_and_region(self):
+        prov = DynamicProvisioner(centers())
+        op = make_operator()
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=1.0), step=0)
+        by = prov.allocation_by_center_and_region()
+        assert sum(v[0] for v in by.values()) == pytest.approx(1.0)
+        assert all(region == "EU" for _, region in by)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicProvisioner([])
+        with pytest.raises(ValueError):
+            DynamicProvisioner(centers(), step_minutes=0)
+
+
+class TestStaticProvisioner:
+    def test_install_allocates_peak(self):
+        prov = StaticProvisioner(centers())
+        op = make_operator()
+        plan = prov.install(op, "EU", EU, ResourceVector(cpu=5.0, memory=5.0))
+        assert plan.fully_matched
+        assert prov.allocation(op, "EU").covers(ResourceVector(cpu=5.0))
+
+    def test_reconcile_is_noop(self):
+        prov = StaticProvisioner(centers())
+        op = make_operator()
+        prov.install(op, "EU", EU, ResourceVector(cpu=5.0))
+        before = prov.allocation(op, "EU")
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=1.0), step=10)
+        assert prov.allocation(op, "EU") == before
+
+    def test_static_leases_do_not_expire(self):
+        prov = StaticProvisioner(centers(), step_minutes=2.0)
+        op = make_operator()
+        prov.install(op, "EU", EU, ResourceVector(cpu=2.0))
+        # Far beyond the policy time bulk, the allocation persists.
+        prov.reconcile(op, "EU", EU, ResourceVector(cpu=0.5), step=10_000)
+        assert prov.allocation(op, "EU")[CPU] >= 2.0

@@ -1,0 +1,71 @@
+"""Tests for the Table III data-center inventory."""
+
+import pytest
+
+from repro.datacenter import build_north_american_datacenters, build_paper_datacenters, policy
+from repro.datacenter.catalog import TABLE_III_INVENTORY
+from repro.datacenter.resources import CPU
+
+
+class TestTableIII:
+    def test_seventeen_centers(self):
+        # Table III: 10 location rows, 17 data centers in total.
+        assert len(build_paper_datacenters()) == 17
+
+    def test_total_machines_166(self):
+        centers = build_paper_datacenters()
+        assert sum(c.n_machines for c in centers) == 166
+
+    def test_inventory_rows_match_paper(self):
+        rows = dict((name, (n, m)) for name, n, m in TABLE_III_INVENTORY)
+        assert rows["U.K."] == (2, 20)
+        assert rows["US West"] == (2, 35)
+        assert rows["US East"] == (2, 32)
+        assert rows["Canada East"] == (1, 10)
+        assert rows["Australia"] == (2, 8)
+
+    def test_round_robin_policies_at_shared_locations(self):
+        centers = {c.name: c for c in build_paper_datacenters()}
+        assert centers["U.K. (1)"].policy.name == "HP-1"
+        assert centers["U.K. (2)"].policy.name == "HP-2"
+
+    def test_machines_split_between_co_located_centers(self):
+        centers = {c.name: c for c in build_paper_datacenters()}
+        # US West: 35 machines over 2 centers -> 18 + 17.
+        assert centers["US West (1)"].n_machines + centers["US West (2)"].n_machines == 35
+        assert abs(centers["US West (1)"].n_machines - centers["US West (2)"].n_machines) <= 1
+
+    def test_single_centers_unsuffixed(self):
+        names = {c.name for c in build_paper_datacenters()}
+        assert "US Central" in names
+        assert "Canada East" in names
+
+    def test_custom_policy_list(self):
+        centers = build_paper_datacenters(policies=[policy("HP-5")])
+        assert all(c.policy.name == "HP-5" for c in centers)
+
+    def test_policy_for_callback(self):
+        centers = build_paper_datacenters(
+            policy_for=lambda loc, idx: policy("HP-3") if loc == "U.K." else policy("HP-7")
+        )
+        by_name = {c.name: c for c in centers}
+        assert by_name["U.K. (1)"].policy.name == "HP-3"
+        assert by_name["Finland (1)"].policy.name == "HP-7"
+
+    def test_unique_names(self):
+        names = [c.name for c in build_paper_datacenters()]
+        assert len(names) == len(set(names))
+
+
+class TestNorthAmerica:
+    def test_only_na_locations(self):
+        centers = build_north_american_datacenters()
+        assert all(c.location.region == "North America" for c in centers)
+        assert sum(c.n_machines for c in centers) == 35 + 15 + 15 + 32 + 10
+
+    def test_policy_gradient_east_coarse_west_fine(self):
+        centers = {c.name: c for c in build_north_american_datacenters()}
+        east = centers["US East (1)"].policy
+        west = centers["US West (1)"].policy
+        assert east.resource_bulk[CPU] > west.resource_bulk[CPU]
+        assert east.time_bulk_minutes > west.time_bulk_minutes

@@ -1,0 +1,194 @@
+"""Tests for data centers: leases, capacity, machine accounting."""
+
+import pytest
+
+from repro.datacenter import DataCenter, Machine, policy
+from repro.datacenter.geography import location
+from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import CPU, EXTNET_IN, MEMORY, ResourceVector
+
+
+def make_center(n_machines=10, pol="HP-1", **kwargs):
+    return DataCenter(
+        name="dc",
+        location=location("Netherlands"),
+        n_machines=n_machines,
+        policy=policy(pol) if isinstance(pol, str) else pol,
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_capacity_scales_with_machines(self):
+        c = make_center(n_machines=10)
+        assert c.capacity[CPU] == 10.0
+        assert c.capacity[MEMORY] == 20.0
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            make_center(n_machines=0)
+
+    def test_machine_spec_respected(self):
+        c = make_center(machine=Machine(cpu_capacity=2.0, memory_capacity=8.0))
+        assert c.capacity[CPU] == 20.0
+        assert c.capacity[MEMORY] == 80.0
+
+    def test_machine_rejects_sub_server_cpu(self):
+        with pytest.raises(ValueError):
+            Machine(cpu_capacity=0.5)
+
+    def test_network_pool_scales(self):
+        c = make_center(extnet_in_per_machine=4.0, extnet_out_per_machine=1.0)
+        assert c.capacity[EXTNET_IN] == 40.0
+
+
+class TestAllocation:
+    def test_allocate_reduces_free(self):
+        c = make_center()
+        req = c.round_to_bulk(ResourceVector(cpu=1.0))
+        c.allocate("op", "game", req, step=0)
+        assert c.free[CPU] == pytest.approx(9.0)
+        assert c.allocated[CPU] == pytest.approx(1.0)
+
+    def test_allocate_requires_bulk_alignment(self):
+        c = make_center()  # HP-1: cpu bulk 0.25
+        with pytest.raises(ValueError, match="not aligned"):
+            c.allocate("op", "game", ResourceVector(cpu=0.3), step=0)
+
+    def test_allocate_rejects_over_capacity(self):
+        c = make_center(n_machines=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            c.allocate("op", "game", ResourceVector(cpu=3.0), step=0)
+
+    def test_lease_records_fields(self):
+        c = make_center()
+        lease = c.allocate("op", "game", ResourceVector(cpu=0.5), step=5, region="EU")
+        assert lease.operator_id == "op"
+        assert lease.game_id == "game"
+        assert lease.region == "EU"
+        assert lease.start_step == 5
+
+    def test_lease_duration_defaults_to_time_bulk(self):
+        c = make_center(pol="HP-1")  # 360 min = 180 steps of 2 min
+        lease = c.allocate("op", "g", ResourceVector(cpu=0.25), step=10)
+        assert lease.end_step == 10 + 180
+
+    def test_lease_duration_can_exceed_time_bulk(self):
+        c = make_center()
+        lease = c.allocate(
+            "op", "g", ResourceVector(cpu=0.25), step=0, duration_steps=500
+        )
+        assert lease.end_step == 500
+
+    def test_lease_duration_below_time_bulk_rejected(self):
+        c = make_center()
+        with pytest.raises(ValueError, match="below the time bulk"):
+            c.allocate("op", "g", ResourceVector(cpu=0.25), step=0, duration_steps=10)
+
+    def test_leases_for_filters(self):
+        c = make_center()
+        c.allocate("a", "g1", ResourceVector(cpu=0.25), step=0, region="EU")
+        c.allocate("a", "g2", ResourceVector(cpu=0.25), step=0, region="US")
+        c.allocate("b", "g1", ResourceVector(cpu=0.25), step=0, region="EU")
+        assert len(c.leases_for("a")) == 2
+        assert len(c.leases_for("a", "g1")) == 1
+        assert len(c.leases_for("a", region="US")) == 1
+        assert len(list(c.leases())) == 3
+
+    def test_utilization(self):
+        c = make_center(n_machines=10)
+        c.allocate("op", "g", ResourceVector(cpu=2.5), step=0)
+        assert c.utilization(CPU) == pytest.approx(0.25)
+
+
+class TestRelease:
+    def test_release_before_time_bulk_refused(self):
+        c = make_center()
+        lease = c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
+        with pytest.raises(ValueError, match="cannot be released"):
+            c.release(lease, step=10)
+
+    def test_release_after_time_bulk(self):
+        c = make_center()
+        lease = c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
+        c.release(lease, step=lease.end_step)
+        assert c.allocated.is_zero()
+
+    def test_force_release(self):
+        c = make_center()
+        lease = c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
+        c.release(lease, step=1, force=True)
+        assert c.allocated.is_zero()
+
+    def test_double_release_raises(self):
+        c = make_center()
+        lease = c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
+        c.release(lease, step=0, force=True)
+        with pytest.raises(KeyError):
+            c.release(lease, step=0, force=True)
+
+    def test_release_all(self):
+        c = make_center()
+        for _ in range(3):
+            c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
+        c.release_all()
+        assert c.allocated.is_zero()
+        assert not list(c.leases())
+
+
+class TestMachineAccounting:
+    def test_fractions_share_machines(self):
+        c = make_center()
+        for _ in range(4):
+            c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
+        # 4 x 0.25 CPU = 1 machine, not 4.
+        assert c.machines_in_use == 1
+
+    def test_memory_can_dominate_machines(self):
+        c = make_center(pol=custom_policy("m", cpu_bulk=0.25, memory_bulk=1.0))
+        c.allocate("op", "g", ResourceVector(cpu=0.25, memory=6.0), step=0)
+        # 6 memory units / 2 per machine = 3 machines.
+        assert c.machines_in_use == 3
+
+    def test_machines_free_complements(self):
+        c = make_center(n_machines=10)
+        c.allocate("op", "g", ResourceVector(cpu=2.0), step=0)
+        assert c.machines_free == 8
+
+    def test_empty_vector_needs_no_machines(self):
+        c = make_center()
+        assert c.machines_needed(ResourceVector.zeros()) == 0
+
+    def test_any_positive_needs_at_least_one(self):
+        c = make_center()
+        assert c.machines_needed(ResourceVector(extnet_out=0.33)) == 1
+
+
+class TestFitToCapacity:
+    def test_fit_rounds_to_bulk(self):
+        c = make_center()
+        offer = c.fit_to_capacity(ResourceVector(cpu=0.3))
+        assert offer[CPU] == pytest.approx(0.5)
+
+    def test_fit_trims_to_free_capacity(self):
+        c = make_center(n_machines=2)
+        offer = c.fit_to_capacity(ResourceVector(cpu=5.0))
+        assert offer[CPU] == pytest.approx(2.0)
+
+    def test_fit_trims_in_bulk_multiples(self):
+        c = make_center(n_machines=2, pol=custom_policy("b", cpu_bulk=0.3))
+        offer = c.fit_to_capacity(ResourceVector(cpu=5.0))
+        # Largest multiple of 0.3 below 2.0 is 1.8.
+        assert offer[CPU] == pytest.approx(1.8)
+
+    def test_fit_on_full_center_is_zero(self):
+        c = make_center(n_machines=1, pol=custom_policy("b", cpu_bulk=1.0, memory_bulk=0.0))
+        c.allocate("op", "g", ResourceVector(cpu=1.0), step=0)
+        offer = c.fit_to_capacity(ResourceVector(cpu=1.0))
+        assert offer[CPU] == 0.0
+
+    def test_fit_offer_is_allocatable(self):
+        c = make_center()
+        c.allocate("op", "g", ResourceVector(cpu=3.25), step=0)
+        offer = c.fit_to_capacity(ResourceVector(cpu=100.0, memory=100.0))
+        assert c.can_allocate(offer)

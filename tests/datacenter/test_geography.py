@@ -1,0 +1,110 @@
+"""Tests for geography: distances and latency classes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datacenter.geography import (
+    GeoLocation,
+    LatencyClass,
+    LOCATIONS,
+    haversine_km,
+    location,
+)
+
+lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(52.0, 5.0, 52.0, 5.0) == 0.0
+
+    def test_known_distance_london_amsterdam(self):
+        # ~360 km great-circle.
+        d = haversine_km(51.51, -0.13, 52.37, 4.90)
+        assert 340 < d < 380
+
+    def test_known_distance_nyc_sf(self):
+        d = haversine_km(40.71, -74.01, 37.77, -122.42)
+        assert 4000 < d < 4200
+
+    def test_antipodal_half_circumference(self):
+        d = haversine_km(0, 0, 0, 180)
+        assert d == pytest.approx(math.pi * 6371.0, rel=1e-3)
+
+    @given(lat, lon, lat, lon)
+    def test_symmetry(self, a, b, c, d):
+        assert haversine_km(a, b, c, d) == pytest.approx(haversine_km(c, d, a, b))
+
+    @given(lat, lon, lat, lon)
+    def test_nonnegative_and_bounded(self, a, b, c, d):
+        dist = haversine_km(a, b, c, d)
+        assert 0 <= dist <= math.pi * 6371.0 + 1
+
+
+class TestGeoLocation:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoLocation("x", 91.0, 0.0, "r")
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoLocation("x", 0.0, 200.0, "r")
+
+    def test_distance_method(self):
+        a = location("U.K.")
+        b = location("Netherlands")
+        assert a.distance_km(b) == pytest.approx(
+            haversine_km(a.latitude, a.longitude, b.latitude, b.longitude)
+        )
+
+    def test_catalogue_has_all_table_iii_sites(self):
+        for name in ["Finland", "Sweden", "U.K.", "Netherlands", "US West",
+                     "Canada West", "US Central", "US East", "Canada East",
+                     "Australia"]:
+            assert name in LOCATIONS
+
+    def test_unknown_location_raises(self):
+        with pytest.raises(KeyError):
+            location("Atlantis")
+
+    def test_regions_assigned(self):
+        assert location("U.K.").region == "Europe"
+        assert location("US East").region == "North America"
+        assert location("Australia").region == "Australia"
+
+
+class TestLatencyClass:
+    def test_five_classes(self):
+        assert len(LatencyClass) == 5
+
+    def test_thresholds_match_sec_ve(self):
+        assert LatencyClass.VERY_CLOSE.max_distance_km == 1000
+        assert LatencyClass.CLOSE.max_distance_km == 2000
+        assert LatencyClass.FAR.max_distance_km == 4000
+        assert math.isinf(LatencyClass.VERY_FAR.max_distance_km)
+
+    def test_admits_monotone(self):
+        # A distance admitted by a tighter class is admitted by looser ones.
+        ordered = [
+            LatencyClass.SAME_LOCATION,
+            LatencyClass.VERY_CLOSE,
+            LatencyClass.CLOSE,
+            LatencyClass.FAR,
+            LatencyClass.VERY_FAR,
+        ]
+        for d in [0, 30, 500, 1500, 3000, 8000]:
+            admitted = [cls.admits(d) for cls in ordered]
+            # once True, stays True
+            assert admitted == sorted(admitted)
+
+    def test_very_far_admits_everything(self):
+        assert LatencyClass.VERY_FAR.admits(1e9)
+
+    def test_same_location_rejects_remote(self):
+        assert not LatencyClass.SAME_LOCATION.admits(100)
+
+    def test_str(self):
+        assert str(LatencyClass.VERY_FAR) == "very far"

@@ -1,0 +1,83 @@
+"""Tests for the RTT model and genre tolerances."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datacenter import (
+    GENRE_TOLERANCES,
+    GenreTolerance,
+    LatencyClass,
+    latency_class_for_tolerance,
+    rtt_ms,
+)
+from repro.datacenter.latency import BASE_RTT_MS
+
+
+class TestRtt:
+    def test_zero_distance_is_base_overhead(self):
+        assert rtt_ms(0.0) == pytest.approx(BASE_RTT_MS)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rtt_ms(-1.0)
+
+    def test_transatlantic_plausible(self):
+        # ~5,500 km London-NYC: tens of ms, under 120 ms.
+        assert 50 < rtt_ms(5500) < 120
+
+    @given(st.floats(min_value=0, max_value=20000, allow_nan=False))
+    def test_monotone(self, d):
+        assert rtt_ms(d + 100) > rtt_ms(d)
+
+
+class TestToleranceMapping:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            latency_class_for_tolerance(0)
+
+    def test_generous_budget_goes_very_far(self):
+        assert latency_class_for_tolerance(1000) == LatencyClass.VERY_FAR
+
+    def test_fps_budget_is_bounded(self):
+        cls = latency_class_for_tolerance(100)
+        assert cls in (LatencyClass.FAR, LatencyClass.CLOSE)
+
+    def test_tiny_budget_same_location(self):
+        assert latency_class_for_tolerance(16) == LatencyClass.SAME_LOCATION
+
+    def test_wider_budget_never_tighter_class(self):
+        order = [
+            LatencyClass.SAME_LOCATION,
+            LatencyClass.VERY_CLOSE,
+            LatencyClass.CLOSE,
+            LatencyClass.FAR,
+            LatencyClass.VERY_FAR,
+        ]
+        prev = -1
+        for ms in (16, 30, 50, 100, 300, 1000):
+            idx = order.index(latency_class_for_tolerance(ms))
+            assert idx >= prev
+            prev = idx
+
+
+class TestGenreTolerances:
+    def test_classic_genres_present(self):
+        assert "first-person shooter" in GENRE_TOLERANCES
+        assert "role-playing game" in GENRE_TOLERANCES
+
+    def test_fps_tighter_than_rpg(self):
+        fps = GENRE_TOLERANCES["first-person shooter"]
+        rpg = GENRE_TOLERANCES["role-playing game"]
+        assert fps.tolerance_ms < rpg.tolerance_ms
+        order = [
+            LatencyClass.SAME_LOCATION,
+            LatencyClass.VERY_CLOSE,
+            LatencyClass.CLOSE,
+            LatencyClass.FAR,
+            LatencyClass.VERY_FAR,
+        ]
+        assert order.index(fps.latency_class) <= order.index(rpg.latency_class)
+
+    def test_dataclass_usable(self):
+        t = GenreTolerance("custom", 250.0)
+        assert t.latency_class in LatencyClass

@@ -1,0 +1,112 @@
+"""Tests for hosting policies and the Table IV catalogue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datacenter.policy import (
+    HostingPolicy,
+    STANDARD_POLICIES,
+    custom_policy,
+    policy,
+)
+from repro.datacenter.resources import CPU, EXTNET_IN, EXTNET_OUT, MEMORY, ResourceVector
+
+
+class TestTableIV:
+    """The catalogue must match Table IV verbatim."""
+
+    def test_eleven_policies(self):
+        assert len(STANDARD_POLICIES) == 11
+
+    @pytest.mark.parametrize(
+        "name,cpu,mem,ein,eout,minutes",
+        [
+            ("HP-1", 0.25, 0.0, 6.0, 0.33, 360),
+            ("HP-2", 0.25, 0.0, 4.0, 0.50, 360),
+            ("HP-3", 0.22, 2.0, 0.0, 0.0, 180),
+            ("HP-4", 0.28, 2.0, 0.0, 0.0, 180),
+            ("HP-5", 0.37, 2.0, 0.0, 0.0, 180),
+            ("HP-6", 0.56, 2.0, 0.0, 0.0, 180),
+            ("HP-7", 1.11, 2.0, 0.0, 0.0, 180),
+            ("HP-8", 0.37, 2.0, 0.0, 0.0, 360),
+            ("HP-9", 0.37, 2.0, 0.0, 0.0, 720),
+            ("HP-10", 0.37, 2.0, 0.0, 0.0, 1440),
+            ("HP-11", 0.37, 2.0, 0.0, 0.0, 2880),
+        ],
+    )
+    def test_table_iv_row(self, name, cpu, mem, ein, eout, minutes):
+        p = policy(name)
+        assert p.resource_bulk[CPU] == pytest.approx(cpu)
+        assert p.resource_bulk[MEMORY] == pytest.approx(mem)
+        assert p.resource_bulk[EXTNET_IN] == pytest.approx(ein)
+        assert p.resource_bulk[EXTNET_OUT] == pytest.approx(eout)
+        assert p.time_bulk_minutes == minutes
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError, match="HP-99"):
+            policy("HP-99")
+
+
+class TestHostingPolicy:
+    def test_rejects_nonpositive_time_bulk(self):
+        with pytest.raises(ValueError):
+            HostingPolicy("bad", ResourceVector(cpu=0.25), 0)
+
+    def test_rejects_negative_bulk(self):
+        with pytest.raises(ValueError):
+            HostingPolicy("bad", ResourceVector(cpu=-0.25), 60)
+
+    def test_round_request(self):
+        p = policy("HP-1")
+        r = p.round_request(ResourceVector(cpu=0.9, extnet_in=1.0, extnet_out=0.5))
+        assert r[CPU] == pytest.approx(1.0)
+        assert r[EXTNET_IN] == pytest.approx(6.0)
+        assert r[EXTNET_OUT] == pytest.approx(0.66)
+
+    def test_time_bulk_steps_ceils(self):
+        p = policy("HP-3")  # 180 minutes
+        assert p.time_bulk_steps(2.0) == 90
+        assert p.time_bulk_steps(7.0) == 26  # ceil(180/7)
+
+    def test_time_bulk_steps_at_least_one(self):
+        p = custom_policy("t", time_bulk_minutes=1)
+        assert p.time_bulk_steps(30.0) == 1
+
+    def test_time_bulk_steps_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            policy("HP-1").time_bulk_steps(0)
+
+    def test_grain_sums_nonzero_bulks(self):
+        p = policy("HP-1")  # 0.25 + 6 + 0.33
+        assert p.grain == pytest.approx(6.58)
+
+    def test_grain_ordering_hp2_finer_than_hp1(self):
+        # HP-2 (0.25 + 4 + 0.5) is finer overall than HP-1 (0.25 + 6 + 0.33).
+        assert policy("HP-2").grain < policy("HP-1").grain
+
+    def test_cpu_grain_ordering_hp3_to_hp7(self):
+        grains = [policy(f"HP-{i}").grain for i in range(3, 8)]
+        assert grains == sorted(grains)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            policy("HP-1").time_bulk_minutes = 10
+
+    @given(st.floats(min_value=0, max_value=50, allow_nan=False))
+    def test_round_request_covers_demand(self, cpu):
+        p = policy("HP-5")
+        demand = ResourceVector(cpu=cpu, memory=cpu)
+        assert p.round_request(demand).covers(demand, tol=1e-6)
+
+
+class TestCustomPolicy:
+    def test_defaults_look_like_hp5(self):
+        p = custom_policy("x")
+        assert p.resource_bulk[CPU] == pytest.approx(0.37)
+        assert p.resource_bulk[MEMORY] == pytest.approx(2.0)
+        assert p.time_bulk_minutes == 180
+
+    def test_overrides(self):
+        p = custom_policy("y", cpu_bulk=1.0, time_bulk_minutes=60)
+        assert p.resource_bulk[CPU] == 1.0
+        assert p.time_bulk_minutes == 60

@@ -1,0 +1,66 @@
+"""Tests for pricing and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import MetricsTimeline
+from repro.datacenter import DataCenter, ResourceVector, policy
+from repro.datacenter.geography import location
+from repro.datacenter.pricing import DEFAULT_PRICES, PriceList, lease_cost, timeline_cost
+
+
+class TestPriceList:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PriceList(cpu_per_unit_hour=-1)
+
+    def test_rate_of_vector(self):
+        prices = PriceList(1.0, 0.1, 0.2, 0.4)
+        v = ResourceVector(cpu=2, memory=10, extnet_in=5, extnet_out=1)
+        assert prices.rate(v) == pytest.approx(2 + 1 + 1 + 0.4)
+
+    def test_default_cpu_dominates_memory(self):
+        assert DEFAULT_PRICES.cpu_per_unit_hour > DEFAULT_PRICES.memory_per_unit_hour
+
+
+class TestLeaseCost:
+    def test_full_duration_charged(self):
+        c = DataCenter(
+            name="dc", location=location("U.K."), n_machines=10, policy=policy("HP-1")
+        )
+        lease = c.allocate("op", "g", ResourceVector(cpu=1.0), step=0)
+        # HP-1: 360 minutes = 6 hours at the CPU rate.
+        cost = lease_cost(lease, prices=PriceList(1.0, 0, 0, 0))
+        assert cost == pytest.approx(6.0)
+
+    def test_cost_scales_with_duration(self):
+        c = DataCenter(
+            name="dc", location=location("U.K."), n_machines=10, policy=policy("HP-1")
+        )
+        short = c.allocate("op", "g", ResourceVector(cpu=1.0), step=0)
+        long_ = c.allocate("op", "g", ResourceVector(cpu=1.0), step=0,
+                           duration_steps=360)
+        p = PriceList(1.0, 0, 0, 0)
+        assert lease_cost(long_, prices=p) == pytest.approx(2 * lease_cost(short, prices=p))
+
+
+class TestTimelineCost:
+    def test_integrates_allocation(self):
+        tl = MetricsTimeline(30)  # 30 steps x 2 min = 1 hour
+        for _ in range(30):
+            tl.record(np.array([2.0, 0, 0, 0]), np.zeros(4), machines=2)
+        cost = timeline_cost(tl, prices=PriceList(1.0, 0, 0, 0))
+        assert cost == pytest.approx(2.0)  # 2 CPU units for one hour
+
+    def test_zero_allocation_costs_nothing(self):
+        tl = MetricsTimeline(5)
+        for _ in range(5):
+            tl.record(np.zeros(4), np.ones(4), machines=1)
+        assert timeline_cost(tl) == 0.0
+
+    def test_network_priced(self):
+        tl = MetricsTimeline(30)
+        for _ in range(30):
+            tl.record(np.array([0, 0, 0, 3.0]), np.zeros(4), machines=1)
+        cost = timeline_cost(tl, prices=PriceList(0, 0, 0, 2.0))
+        assert cost == pytest.approx(6.0)

@@ -1,0 +1,206 @@
+"""Unit and property tests for resource vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datacenter.resources import (
+    CPU,
+    EXTNET_IN,
+    EXTNET_OUT,
+    MEMORY,
+    RESOURCE_TYPES,
+    ResourceType,
+    ResourceVector,
+)
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+vectors = st.builds(
+    ResourceVector, cpu=finite, memory=finite, extnet_in=finite, extnet_out=finite
+)
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestResourceType:
+    def test_four_types(self):
+        assert len(RESOURCE_TYPES) == 4
+
+    def test_labels_match_paper(self):
+        assert CPU.label == "CPU"
+        assert MEMORY.label == "Memory"
+        assert EXTNET_IN.label == "ExtNet[in]"
+        assert EXTNET_OUT.label == "ExtNet[out]"
+
+    def test_index_order(self):
+        assert [int(t) for t in RESOURCE_TYPES] == [0, 1, 2, 3]
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert ResourceVector().is_zero()
+
+    def test_component_access(self):
+        v = ResourceVector(cpu=1.5, memory=2.0, extnet_in=3.0, extnet_out=4.0)
+        assert v[CPU] == 1.5
+        assert v[MEMORY] == 2.0
+        assert v[EXTNET_IN] == 3.0
+        assert v[EXTNET_OUT] == 4.0
+
+    def test_from_array_copies(self):
+        arr = np.array([1.0, 2.0, 3.0, 4.0])
+        v = ResourceVector.from_array(arr)
+        arr[0] = 99.0
+        assert v[CPU] == 1.0
+
+    def test_from_array_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            ResourceVector.from_array([1.0, 2.0])
+
+    def test_from_mapping(self):
+        v = ResourceVector.from_mapping({CPU: 2.0, EXTNET_OUT: 0.5})
+        assert v[CPU] == 2.0
+        assert v[MEMORY] == 0.0
+        assert v[EXTNET_OUT] == 0.5
+
+    def test_uniform(self):
+        v = ResourceVector.uniform(3.0)
+        assert all(x == 3.0 for x in v)
+
+    def test_iteration_order(self):
+        v = ResourceVector(cpu=1, memory=2, extnet_in=3, extnet_out=4)
+        assert list(v) == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ResourceVector(cpu=1, memory=2)
+        b = ResourceVector(cpu=3, extnet_out=1)
+        c = a + b
+        assert c[CPU] == 4 and c[MEMORY] == 2 and c[EXTNET_OUT] == 1
+
+    def test_sub_can_go_negative(self):
+        c = ResourceVector(cpu=1) - ResourceVector(cpu=3)
+        assert c[CPU] == -2
+
+    def test_scalar_multiply_both_sides(self):
+        v = ResourceVector(cpu=2)
+        assert (v * 3)[CPU] == 6
+        assert (3 * v)[CPU] == 6
+
+    def test_divide(self):
+        assert (ResourceVector(cpu=6) / 3)[CPU] == 2
+
+    def test_negate(self):
+        assert (-ResourceVector(cpu=2))[CPU] == -2
+
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors)
+    def test_add_zero_is_identity(self, v):
+        assert v + ResourceVector.zeros() == v
+
+    @given(vectors, positive)
+    def test_multiply_then_divide_roundtrip(self, v, k):
+        back = (v * k) / k
+        assert np.allclose(back.values, v.values, rtol=1e-9)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert ResourceVector(cpu=1) == ResourceVector(cpu=1)
+        assert ResourceVector(cpu=1) != ResourceVector(cpu=2)
+
+    def test_covers(self):
+        big = ResourceVector(cpu=2, memory=2, extnet_in=2, extnet_out=2)
+        small = ResourceVector(cpu=1, memory=2)
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_is_componentwise(self):
+        a = ResourceVector(cpu=10, memory=0)
+        b = ResourceVector(cpu=0, memory=1)
+        assert not a.covers(b)
+        assert not b.covers(a)
+
+    @given(vectors)
+    def test_covers_reflexive(self, v):
+        assert v.covers(v)
+
+    @given(vectors, vectors)
+    def test_maximum_covers_both(self, a, b):
+        m = a.maximum(b)
+        assert m.covers(a) and m.covers(b)
+
+    @given(vectors, vectors)
+    def test_minimum_dominated_by_both(self, a, b):
+        m = a.minimum(b)
+        assert a.covers(m) and b.covers(m)
+
+    def test_any_positive(self):
+        assert not ResourceVector.zeros().any_positive()
+        assert ResourceVector(extnet_in=0.1).any_positive()
+
+
+class TestBulkRounding:
+    def test_rounds_up(self):
+        bulk = ResourceVector(cpu=0.25, memory=2.0)
+        v = ResourceVector(cpu=0.3, memory=3.0)
+        r = v.round_up_to_bulk(bulk)
+        assert r[CPU] == pytest.approx(0.5)
+        assert r[MEMORY] == pytest.approx(4.0)
+
+    def test_zero_bulk_passes_through(self):
+        bulk = ResourceVector(cpu=0.25)  # others n/a
+        v = ResourceVector(cpu=0.1, extnet_out=0.7)
+        r = v.round_up_to_bulk(bulk)
+        assert r[EXTNET_OUT] == pytest.approx(0.7)
+
+    def test_exact_multiple_does_not_round_up(self):
+        bulk = ResourceVector(cpu=0.25)
+        v = ResourceVector(cpu=0.75)
+        assert v.round_up_to_bulk(bulk)[CPU] == pytest.approx(0.75)
+
+    def test_float_noise_tolerated(self):
+        bulk = ResourceVector(cpu=0.1)
+        v = ResourceVector(cpu=0.1 * 3)  # 0.30000000000000004
+        assert v.round_up_to_bulk(bulk)[CPU] == pytest.approx(0.3)
+
+    @given(vectors)
+    def test_rounded_always_covers(self, v):
+        bulk = ResourceVector(cpu=0.25, memory=2.0, extnet_in=6.0, extnet_out=0.33)
+        assert v.round_up_to_bulk(bulk).covers(v, tol=1e-6)
+
+    @given(st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_rounding_overhead_below_one_bulk(self, cpu):
+        bulk = ResourceVector(cpu=0.25)
+        r = ResourceVector(cpu=cpu).round_up_to_bulk(bulk)
+        assert r[CPU] - cpu < 0.25 + 1e-9
+
+
+class TestHelpers:
+    def test_clamp_min(self):
+        v = ResourceVector(cpu=-1, memory=2)
+        c = v.clamp_min(0.0)
+        assert c[CPU] == 0 and c[MEMORY] == 2
+
+    def test_clamp_max(self):
+        v = ResourceVector(cpu=5, memory=1)
+        c = v.clamp_max(ResourceVector(cpu=2, memory=2))
+        assert c[CPU] == 2 and c[MEMORY] == 1
+
+    def test_total(self):
+        assert ResourceVector(cpu=1, memory=2, extnet_in=3, extnet_out=4).total() == 10
+
+    def test_copy_is_independent(self):
+        v = ResourceVector(cpu=1)
+        c = v.copy()
+        assert c == v and c is not v
+
+    def test_to_mapping_roundtrip(self):
+        v = ResourceVector(cpu=1, memory=2, extnet_in=3, extnet_out=4)
+        assert ResourceVector.from_mapping(v.to_mapping()) == v
+
+    def test_repr_contains_labels(self):
+        assert "CPU" in repr(ResourceVector(cpu=1))

@@ -1,0 +1,127 @@
+"""Tests for the emulation loop and Table I data sets."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    DynamicsLevel,
+    EmulatorConfig,
+    GameEmulator,
+    SignalType,
+    TABLE_I_SPECS,
+    generate_dataset,
+    generate_table1_datasets,
+)
+
+FAST = dict(duration_days=0.05, peak_load=300, zones_x=4, zones_y=4)
+
+
+def config(**overrides):
+    params = dict(profile_mix=(0.5, 0.3, 0.1, 0.1), seed=5, **FAST)
+    params.update(overrides)
+    return EmulatorConfig(**params)
+
+
+class TestConfig:
+    def test_n_samples(self):
+        assert config(duration_days=1.0).n_samples == 720
+
+    def test_ticks_per_sample(self):
+        assert config(tick_seconds=20.0, sample_minutes=2.0).ticks_per_sample == 6
+
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            config(profile_mix=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rejects_sampling_finer_than_tick(self):
+        with pytest.raises(ValueError):
+            config(tick_seconds=200.0, sample_minutes=2.0)
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ValueError):
+            config(peak_load=0)
+
+
+class TestEmulation:
+    def test_output_shape(self):
+        trace = GameEmulator(config()).run()
+        assert trace.zone_counts.shape == (config().n_samples, 16)
+
+    def test_deterministic(self):
+        a = GameEmulator(config()).run()
+        b = GameEmulator(config()).run()
+        assert np.array_equal(a.zone_counts, b.zone_counts)
+
+    def test_different_seeds_differ(self):
+        a = GameEmulator(config(seed=1)).run()
+        b = GameEmulator(config(seed=2)).run()
+        assert not np.array_equal(a.zone_counts, b.zone_counts)
+
+    def test_population_tracks_target(self):
+        trace = GameEmulator(config(peak_load=300)).run()
+        assert trace.totals.max() <= 300
+        assert trace.totals.min() > 0
+
+    def test_peak_hours_shape(self):
+        cfg = config(peak_hours=True, duration_days=1.0,
+                     overall_dynamics=DynamicsLevel.HIGH)
+        trace = GameEmulator(cfg).run()
+        totals = trace.totals
+        # Evening peak (19:00 = step 570) well above the overnight trough.
+        evening = totals[540:600].mean()
+        night = totals[120:180].mean()
+        assert evening > night * 1.3
+
+    def test_counts_non_negative(self):
+        trace = GameEmulator(config()).run()
+        assert trace.zone_counts.min() >= 0
+
+
+class TestDynamicsKnobs:
+    def test_instantaneous_separation(self):
+        # Longer runs give the variability estimate some support.
+        high = generate_dataset(TABLE_I_SPECS[1], duration_days=0.25)
+        low = generate_dataset(TABLE_I_SPECS[6], duration_days=0.25)
+        assert high.instantaneous_variability() > low.instantaneous_variability()
+
+    def test_overall_separation(self):
+        calm = GameEmulator(
+            config(duration_days=1.0, peak_hours=True,
+                   overall_dynamics=DynamicsLevel.LOW)
+        ).run()
+        wild = GameEmulator(
+            config(duration_days=1.0, peak_hours=True,
+                   overall_dynamics=DynamicsLevel.HIGH)
+        ).run()
+        assert wild.overall_variability() > calm.overall_variability()
+
+
+class TestTableISpecs:
+    def test_eight_sets(self):
+        assert len(TABLE_I_SPECS) == 8
+
+    def test_signal_types_match_paper(self):
+        by_name = {s.name: s.signal_type for s in TABLE_I_SPECS}
+        assert by_name["Set 2"] == SignalType.TYPE_I
+        assert by_name["Set 3"] == SignalType.TYPE_I
+        assert by_name["Set 4"] == SignalType.TYPE_I
+        assert by_name["Set 6"] == SignalType.TYPE_II
+        assert by_name["Set 7"] == SignalType.TYPE_II
+        assert by_name["Set 8"] == SignalType.TYPE_II
+        assert by_name["Set 1"] == SignalType.TYPE_III
+        assert by_name["Set 5"] == SignalType.TYPE_III
+
+    def test_profile_mixes_match_table(self):
+        by_name = {s.name: s.profile_mix for s in TABLE_I_SPECS}
+        assert by_name["Set 1"] == (80, 10, 0, 10)
+        assert by_name["Set 5"] == (30, 40, 30, 0)
+
+    def test_peak_hours_only_sets_5_to_8(self):
+        for s in TABLE_I_SPECS:
+            expected = s.name in ("Set 5", "Set 6", "Set 7", "Set 8")
+            assert s.peak_hours == expected
+
+    def test_generate_all_with_overrides(self):
+        traces = generate_table1_datasets(duration_days=0.05, peak_load=200)
+        assert set(traces) == {s.name for s in TABLE_I_SPECS}
+        assert all(t.n_samples == 36 for t in traces.values())

@@ -1,0 +1,129 @@
+"""Tests for the entity population."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import AIProfile, EntityPopulation, GameWorld
+
+MIX = np.array([0.4, 0.3, 0.2, 0.1])
+
+
+def make_population(**kwargs):
+    rng = np.random.default_rng(1)
+    w = GameWorld(rng=rng)
+    params = dict(rng=rng)
+    params.update(kwargs)
+    return EntityPopulation(w, MIX, **params)
+
+
+class TestSpawnDespawn:
+    def test_spawn_increases_size(self):
+        p = make_population()
+        p.spawn(100)
+        assert p.size == 100
+
+    def test_spawned_positions_in_world(self):
+        p = make_population()
+        p.spawn(200)
+        assert p.positions[:, 0].min() >= 0
+        assert p.positions[:, 0].max() <= p.world.width
+
+    def test_spawn_zero_noop(self):
+        p = make_population()
+        p.spawn(0)
+        assert p.size == 0
+
+    def test_despawn_reduces_size(self):
+        p = make_population()
+        p.spawn(100)
+        p.despawn(30)
+        assert p.size == 70
+
+    def test_despawn_more_than_size(self):
+        p = make_population()
+        p.spawn(10)
+        p.despawn(50)
+        assert p.size == 0
+
+    def test_despawn_keeps_arrays_aligned(self):
+        p = make_population()
+        p.spawn(50)
+        p.despawn(20)
+        assert p.positions.shape == (30, 2)
+        assert p.profile.shape == (30,)
+        assert p.preferred.shape == (30,)
+        assert p.targets.shape == (30, 2)
+        assert p.target_hotspot.shape == (30,)
+        assert p.team.shape == (30,)
+
+    def test_profile_mix_approximate(self):
+        p = make_population()
+        p.spawn(5000)
+        fractions = np.bincount(p.preferred, minlength=4) / 5000
+        assert np.allclose(fractions, MIX, atol=0.05)
+
+    def test_invalid_mix_rejected(self):
+        w = GameWorld(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            EntityPopulation(w, np.array([0.5, 0.5, 0.5, 0.5]))
+        with pytest.raises(ValueError):
+            EntityPopulation(w, np.array([1.0, 0.0, 0.0]))
+
+
+class TestStepping:
+    def test_step_keeps_entities_in_world(self):
+        p = make_population()
+        p.spawn(300)
+        for _ in range(20):
+            p.step(20.0)
+        assert p.positions[:, 0].min() >= 0
+        assert p.positions[:, 0].max() <= p.world.width
+
+    def test_step_empty_population(self):
+        p = make_population()
+        p.step(20.0)  # must not raise
+        assert p.size == 0
+
+    def test_entities_move(self):
+        p = make_population(speed_scale=1.0)
+        p.spawn(100)
+        before = p.positions.copy()
+        p.step(20.0)
+        assert not np.allclose(before, p.positions)
+
+    def test_speed_scale_controls_motion(self):
+        slow = make_population(speed_scale=0.01)
+        fast = make_population(speed_scale=1.0)
+        for p in (slow, fast):
+            p.spawn(200)
+        b_slow, b_fast = slow.positions.copy(), fast.positions.copy()
+        slow.step(20.0)
+        fast.step(20.0)
+        d_slow = np.linalg.norm(slow.positions - b_slow, axis=1).mean()
+        d_fast = np.linalg.norm(fast.positions - b_fast, axis=1).mean()
+        assert d_fast > d_slow * 2
+
+    def test_profile_switching_occurs(self):
+        p = make_population(switch_prob=0.5)
+        p.spawn(500)
+        before = p.profile.copy()
+        for _ in range(5):
+            p.step(20.0)
+        assert (p.profile != before).any()
+
+    def test_aggressive_entities_track_hotspots(self):
+        rng = np.random.default_rng(3)
+        w = GameWorld(rng=rng, n_hotspots=1)
+        p = EntityPopulation(w, np.array([1.0, 0, 0, 0]), rng=rng, speed_scale=1.0)
+        p.spawn(100)
+        for _ in range(60):
+            p.step(20.0)
+        hotspot = w.hotspot_positions()[0]
+        dists = np.linalg.norm(p.positions - hotspot, axis=1)
+        # Most of the population converges on the single hotspot.
+        assert np.median(dists) < 20.0
+
+    def test_zone_counts_delegates(self):
+        p = make_population()
+        p.spawn(123)
+        assert p.zone_counts().sum() == 123

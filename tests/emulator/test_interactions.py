@@ -1,0 +1,97 @@
+"""Tests for the interaction-counting instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    EmulatorConfig,
+    GameWorld,
+    count_interacting_pairs,
+    emulate_with_interactions,
+    interaction_counts_per_zone,
+    load_interaction_correlation,
+)
+
+
+class TestPairCounting:
+    def test_no_pairs_below_two_entities(self):
+        assert count_interacting_pairs(np.empty((0, 2)), 10.0) == 0
+        assert count_interacting_pairs(np.array([[0.0, 0.0]]), 10.0) == 0
+
+    def test_counts_close_pairs(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [100.0, 100.0]])
+        assert count_interacting_pairs(pos, 2.0) == 1
+
+    def test_complete_graph_when_all_close(self):
+        pos = np.zeros((5, 2)) + np.arange(5)[:, None] * 0.1
+        assert count_interacting_pairs(pos, 10.0) == 10  # C(5,2)
+
+    def test_radius_zero_like(self):
+        pos = np.array([[0.0, 0.0], [5.0, 5.0]])
+        assert count_interacting_pairs(pos, 0.1) == 0
+
+
+class TestZoneAttribution:
+    def test_pairs_attributed_to_zones(self):
+        w = GameWorld(width=100, height=100, zones_x=2, zones_y=2,
+                      rng=np.random.default_rng(0))
+        # Two entities close together in zone 0, one alone in zone 3.
+        pos = np.array([[10.0, 10.0], [12.0, 10.0], [90.0, 90.0]])
+        counts = interaction_counts_per_zone(w, pos, 5.0)
+        assert counts.sum() == 1
+        assert counts[0] == 1
+
+    def test_empty_positions(self):
+        w = GameWorld(rng=np.random.default_rng(0))
+        counts = interaction_counts_per_zone(w, np.empty((0, 2)), 5.0)
+        assert counts.sum() == 0
+        assert counts.shape == (w.n_zones,)
+
+
+class TestEmulationWithInteractions:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        config = EmulatorConfig(
+            profile_mix=(0.6, 0.2, 0.1, 0.1),
+            peak_load=400,
+            duration_days=0.05,
+            zones_x=4,
+            zones_y=4,
+            seed=9,
+        )
+        return emulate_with_interactions(config)
+
+    def test_shapes_aligned(self, trace):
+        assert trace.zone_counts.shape == trace.zone_interactions.shape
+
+    def test_counts_match_plain_emulation(self, trace):
+        # The interaction-instrumented loop replays the same dynamics.
+        from repro.emulator import GameEmulator
+
+        plain = GameEmulator(trace.config).run()
+        assert np.array_equal(plain.zone_counts, trace.zone_counts)
+
+    def test_interactions_superlinear_in_population(self, trace):
+        corr = load_interaction_correlation(trace)
+        assert corr > 0.5
+        # Zones with double the entities have far more than double pairs.
+        n = trace.zone_counts.reshape(-1).astype(float)
+        pairs = trace.zone_interactions.reshape(-1).astype(float)
+        lo = pairs[(n > 10) & (n <= 30)].mean()
+        hi = pairs[n > 60].mean()
+        assert hi > 4 * lo
+
+    def test_interactions_bounded_by_complete_graph(self, trace):
+        n = trace.zone_counts.astype(np.int64)
+        max_pairs = n * (n - 1) // 2
+        assert np.all(trace.zone_interactions <= max_pairs)
+
+    def test_correlation_of_empty_trace_is_zero(self):
+        from repro.emulator.interactions import InteractionTrace
+
+        empty = InteractionTrace(
+            zone_counts=np.zeros((4, 2), dtype=np.int64),
+            zone_interactions=np.zeros((4, 2), dtype=np.int64),
+            config=None,
+        )
+        assert load_interaction_correlation(empty) == 0.0

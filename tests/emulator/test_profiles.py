@@ -1,0 +1,49 @@
+"""Tests for AI profiles and dynamics levels."""
+
+import pytest
+
+from repro.emulator import AIProfile, DynamicsLevel, PROFILE_PARAMS
+from repro.emulator.profiles import ProfileParams
+
+
+class TestAIProfile:
+    def test_four_profiles(self):
+        assert len(AIProfile) == 4
+
+    def test_bartle_archetypes(self):
+        assert AIProfile.AGGRESSIVE.archetype == "killer"
+        assert AIProfile.SCOUT.archetype == "explorer"
+        assert AIProfile.TEAM.archetype == "socializer"
+        assert AIProfile.CAMPER.archetype == "achiever"
+
+    def test_params_for_every_profile(self):
+        assert set(PROFILE_PARAMS) == set(AIProfile)
+
+    def test_camper_slowest(self):
+        speeds = {p: PROFILE_PARAMS[p].speed for p in AIProfile}
+        assert speeds[AIProfile.CAMPER] == min(speeds.values())
+
+    def test_aggressive_fastest_and_most_directed(self):
+        agg = PROFILE_PARAMS[AIProfile.AGGRESSIVE]
+        assert agg.speed == max(p.speed for p in PROFILE_PARAMS.values())
+        assert agg.directedness >= 0.9
+
+
+class TestProfileParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfileParams(speed=-1, directedness=0.5, retarget_prob=0.1)
+        with pytest.raises(ValueError):
+            ProfileParams(speed=1, directedness=1.5, retarget_prob=0.1)
+        with pytest.raises(ValueError):
+            ProfileParams(speed=1, directedness=0.5, retarget_prob=2.0)
+
+
+class TestDynamicsLevel:
+    def test_ordering(self):
+        assert DynamicsLevel.LOW < DynamicsLevel.MEDIUM < DynamicsLevel.HIGH
+
+    def test_plusses_render(self):
+        assert DynamicsLevel.LOW.plusses == "+"
+        assert DynamicsLevel.MEDIUM.plusses == "+++"
+        assert DynamicsLevel.HIGH.plusses == "+++++"

@@ -1,0 +1,127 @@
+"""Tests for the emulated game world."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import GameWorld, Hotspot
+
+
+def world(**kwargs):
+    params = dict(width=100.0, height=100.0, zones_x=4, zones_y=4,
+                  rng=np.random.default_rng(0))
+    params.update(kwargs)
+    return GameWorld(**params)
+
+
+class TestGeometry:
+    def test_n_zones(self):
+        assert world(zones_x=3, zones_y=5).n_zones == 15
+
+    def test_zone_of_corners(self):
+        w = world()
+        assert w.zone_of(np.array([[0.0, 0.0]]))[0] == 0
+        assert w.zone_of(np.array([[99.9, 0.0]]))[0] == 3
+        assert w.zone_of(np.array([[0.0, 99.9]]))[0] == 12
+        assert w.zone_of(np.array([[99.9, 99.9]]))[0] == 15
+
+    def test_zone_of_boundary_clamped(self):
+        w = world()
+        # Positions exactly on the far edge stay in the last zone.
+        assert w.zone_of(np.array([[100.0, 100.0]]))[0] == 15
+
+    def test_zone_counts_sum_to_population(self):
+        w = world()
+        pos = w.random_positions(500)
+        counts = w.zone_counts(pos)
+        assert counts.sum() == 500
+        assert counts.shape == (16,)
+
+    def test_zone_counts_empty(self):
+        w = world()
+        assert w.zone_counts(np.empty((0, 2))).sum() == 0
+
+    def test_clamp(self):
+        w = world()
+        pos = np.array([[-5.0, 50.0], [150.0, -1.0]])
+        w.clamp(pos)
+        assert pos.min() >= 0.0
+        assert pos.max() <= 100.0
+
+    def test_random_positions_inside(self):
+        w = world()
+        pos = w.random_positions(200)
+        assert pos[:, 0].min() >= 0 and pos[:, 0].max() <= 100
+        assert pos[:, 1].min() >= 0 and pos[:, 1].max() <= 100
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            world(width=0)
+        with pytest.raises(ValueError):
+            world(zones_x=0)
+
+
+class TestHotspots:
+    def test_spawn_count(self):
+        assert len(world(n_hotspots=5).hotspots) == 5
+
+    def test_weights_normalized(self):
+        w = world(n_hotspots=4)
+        assert w.hotspot_weights().sum() == pytest.approx(1.0)
+
+    def test_churn_relocates(self):
+        w = world(n_hotspots=6)
+        before = w.hotspot_positions().copy()
+        moved = w.churn_hotspots(1.0)
+        assert moved == 6
+        assert not np.allclose(before, w.hotspot_positions())
+
+    def test_churn_zero_prob_keeps(self):
+        w = world()
+        before = w.hotspot_positions().copy()
+        assert w.churn_hotspots(0.0) == 0
+        assert np.allclose(before, w.hotspot_positions())
+
+
+class TestPulsing:
+    def test_static_hotspot_always_active(self):
+        h = Hotspot(position=np.array([1.0, 1.0]), strength=2.0)
+        assert h.is_active(0.0) and h.is_active(1e6)
+        assert h.effective_strength(123.0) == 2.0
+
+    def test_pulsing_strength_oscillates(self):
+        h = Hotspot(
+            position=np.array([0.0, 0.0]), strength=1.0,
+            period_seconds=100.0, phase=0.0, pulse_amplitude=0.9,
+        )
+        up = h.effective_strength(25.0)  # sin peak
+        down = h.effective_strength(75.0)  # sin trough
+        assert up == pytest.approx(1.9)
+        assert down == pytest.approx(0.1, abs=0.01)
+
+    def test_strength_floor_positive(self):
+        h = Hotspot(
+            position=np.array([0.0, 0.0]), strength=1.0,
+            period_seconds=100.0, phase=0.0, pulse_amplitude=1.0,
+        )
+        assert h.effective_strength(75.0) > 0
+
+    def test_pulsing_requires_period(self):
+        with pytest.raises(ValueError):
+            Hotspot(position=np.array([0.0, 0.0]), pulse_amplitude=0.5)
+
+    def test_world_pulse_configuration(self):
+        w = world(pulse_amplitude=0.8, n_hotspots=3)
+        assert all(h.pulse_amplitude == 0.8 for h in w.hotspots)
+        assert all(h.period_seconds > 0 for h in w.hotspots)
+
+    def test_advance_time(self):
+        w = world(pulse_amplitude=0.8)
+        w.advance_time(60.0)
+        w.advance_time(60.0)
+        assert w.time_seconds == 120.0
+
+    def test_hotspot_active_flags(self):
+        w = world(pulse_amplitude=0.9, n_hotspots=8)
+        flags = w.hotspot_active()
+        assert flags.shape == (8,)
+        assert flags.dtype == bool

@@ -1,0 +1,89 @@
+"""Tests for the MMOG market model (Fig. 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.market import (
+    TITLE_CATALOGUE,
+    TitleSpec,
+    market_series,
+    project_total,
+    subscriptions,
+    titles_above,
+)
+
+
+class TestTitleSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TitleSpec("x", 2000, peak_subscribers=0)
+        with pytest.raises(ValueError):
+            TitleSpec("x", 2000, peak_subscribers=1, ramp_years=0)
+        with pytest.raises(ValueError):
+            TitleSpec("x", 2000, peak_subscribers=1, decline_rate=1.0)
+
+
+class TestSubscriptions:
+    def test_zero_before_launch(self):
+        t = TitleSpec("x", launch_year=2000.0, peak_subscribers=1e6)
+        assert subscriptions(t, np.array([1999.0]))[0] == 0.0
+
+    def test_approaches_peak(self):
+        t = TitleSpec("x", launch_year=2000.0, peak_subscribers=1e6, ramp_years=1.0)
+        late = subscriptions(t, np.array([2008.0]))[0]
+        assert late == pytest.approx(1e6, rel=0.02)
+
+    def test_monotone_growth_without_decline(self):
+        t = TitleSpec("x", launch_year=2000.0, peak_subscribers=1e6)
+        years = np.linspace(2000, 2010, 50)
+        s = subscriptions(t, years)
+        assert np.all(np.diff(s) >= -1e-6)
+
+    def test_decline_after_peak(self):
+        t = TitleSpec("x", launch_year=2000.0, peak_subscribers=1e6,
+                      ramp_years=1.0, decline_rate=0.3)
+        early = subscriptions(t, np.array([2003.0]))[0]
+        late = subscriptions(t, np.array([2008.0]))[0]
+        assert late < early * 0.5
+
+    def test_never_negative(self):
+        for t in TITLE_CATALOGUE:
+            s = subscriptions(t, np.linspace(1995, 2012, 100))
+            assert s.min() >= 0
+
+
+class TestMarket:
+    def test_all_is_sum(self):
+        years = np.linspace(1997, 2008, 20)
+        series = market_series(years)
+        total = sum(v for k, v in series.items() if k != "All")
+        assert np.allclose(series["All"], total)
+
+    def test_six_plus_titles_over_500k_in_2008(self):
+        winners = titles_above(500_000, 2008.0)
+        assert len(winners) >= 6
+        for expected in ["World of Warcraft", "RuneScape", "Lineage",
+                         "Lineage II", "Guild Wars", "Dofus"]:
+            assert expected in winners
+
+    def test_wow_dominates_2008(self):
+        years = np.array([2008.0])
+        series = market_series(years)
+        wow = series["World of Warcraft"][0]
+        others = [v[0] for k, v in series.items()
+                  if k not in ("All", "World of Warcraft")]
+        assert wow > max(others)
+
+    def test_market_growth_roughly_monotone(self):
+        years = np.linspace(1998, 2008, 40)
+        total = market_series(years)["All"]
+        # Allow small dips from declining titles; overall strongly up.
+        assert total[-1] > total[0] * 20
+
+    def test_projection_2011_over_50m(self):
+        # The paper projects > 60 M by 2011 at the same growth rate.
+        assert project_total(2008.0, 2011.0) > 50e6
+
+    def test_projection_requires_forward_range(self):
+        with pytest.raises(ValueError):
+            project_total(2008.0, 2007.0)

@@ -1,0 +1,140 @@
+"""Tests for packet-trace generation and analysis (Fig. 4 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.nettrace import (
+    PacketTrace,
+    SCENARIOS,
+    SessionScenario,
+    empirical_cdf,
+    cdf_at,
+    generate_paper_traces,
+    generate_session,
+    ks_distance,
+    scenario,
+    summarize_trace,
+)
+
+
+class TestPacketTrace:
+    def test_basic_properties(self):
+        t = PacketTrace("t", np.array([0.0, 0.1, 0.3]), np.array([100.0, 50.0, 80.0]))
+        assert t.n_packets == 3
+        assert t.duration_seconds == pytest.approx(0.3)
+        assert np.allclose(t.inter_arrival_ms(), [100.0, 200.0])
+
+    def test_rejects_decreasing_timestamps(self):
+        with pytest.raises(ValueError):
+            PacketTrace("t", np.array([0.0, 0.2, 0.1]), np.ones(3))
+
+    def test_rejects_nonpositive_lengths(self):
+        with pytest.raises(ValueError):
+            PacketTrace("t", np.array([0.0, 1.0]), np.array([10.0, 0.0]))
+
+    def test_throughput(self):
+        t = PacketTrace("t", np.array([0.0, 1.0]), np.array([500.0, 500.0]))
+        assert t.throughput_bytes_per_second() == pytest.approx(1000.0)
+
+    def test_scenario_lookup(self):
+        assert scenario("Trace 2") is SCENARIOS[SessionScenario.T2]
+        assert scenario(SessionScenario.T1) is SCENARIOS[SessionScenario.T1]
+        with pytest.raises(KeyError):
+            scenario("Trace 99")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_session(SessionScenario.T1, duration_seconds=60)
+        b = generate_session(SessionScenario.T1, duration_seconds=60)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_duration_respected(self):
+        t = generate_session(SessionScenario.T3, duration_seconds=120)
+        assert t.timestamps[-1] <= 120.0
+        assert t.duration_seconds > 100.0
+
+    def test_mean_iat_near_configured(self):
+        t = generate_session(SessionScenario.T1, duration_seconds=600)
+        params = SCENARIOS[SessionScenario.T1]
+        assert summarize_trace(t).iat_mean_ms == pytest.approx(
+            params.iat_mean_ms, rel=0.1
+        )
+
+    def test_lengths_clipped(self):
+        t = generate_session(SessionScenario.T4, duration_seconds=600)
+        assert t.lengths.min() >= 40.0
+        assert t.lengths.max() <= 1460.0
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            generate_session(SessionScenario.T0, duration_seconds=0)
+
+
+class TestPaperClaims:
+    """The Sec. III-D relations between scenarios."""
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        return generate_paper_traces(duration_seconds=300)
+
+    def test_fast_paced_iat_insensitive_to_crowding(self, traces):
+        s1 = summarize_trace(traces[SessionScenario.T1])
+        s6 = summarize_trace(traces[SessionScenario.T6])
+        assert abs(s1.iat_mean_ms - s6.iat_mean_ms) < 15.0
+
+    def test_fast_paced_has_smallest_iat(self, traces):
+        means = {k: summarize_trace(t).iat_mean_ms for k, t in traces.items()}
+        fast = min(means[SessionScenario.T1], means[SessionScenario.T6])
+        others = [v for k, v in means.items()
+                  if k not in (SessionScenario.T1, SessionScenario.T6)]
+        assert all(fast < v for v in others)
+
+    def test_market_vs_combat_sizes_alike_iat_differs(self, traces):
+        t2, t3 = traces[SessionScenario.T2], traces[SessionScenario.T3]
+        assert ks_distance(t2.lengths, t3.lengths) < 0.1
+        assert ks_distance(t2.inter_arrival_ms(), t3.inter_arrival_ms()) > 0.25
+
+    def test_t7_iat_moments_below_t2(self, traces):
+        s2 = summarize_trace(traces[SessionScenario.T2])
+        s7 = summarize_trace(traces[SessionScenario.T7])
+        assert s7.iat_mean_ms < s2.iat_mean_ms
+
+    def test_group_interaction_largest_packets(self, traces):
+        medians = {k: summarize_trace(t).length_median for k, t in traces.items()}
+        assert medians[SessionScenario.T4] == max(medians.values())
+
+    def test_validation_pair_indistinguishable(self, traces):
+        t5a, t5b = traces[SessionScenario.T5A], traces[SessionScenario.T5B]
+        assert ks_distance(t5a.lengths, t5b.lengths) < 0.05
+        assert ks_distance(t5a.inter_arrival_ms(), t5b.inter_arrival_ms()) < 0.05
+
+
+class TestCdfs:
+    def test_empirical_cdf_monotone_ending_at_one(self):
+        rng = np.random.default_rng(0)
+        x, F = empirical_cdf(rng.normal(size=500))
+        assert np.all(np.diff(F) >= 0)
+        assert F[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(x) > 0)
+
+    def test_empirical_cdf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([]))
+
+    def test_cdf_at_points(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert cdf_at(samples, np.array([2.5]))[0] == pytest.approx(0.5)
+        assert cdf_at(samples, np.array([0.0]))[0] == 0.0
+        assert cdf_at(samples, np.array([4.0]))[0] == 1.0
+
+    def test_ks_identical_is_zero(self):
+        x = np.arange(10.0)
+        assert ks_distance(x, x) == 0.0
+
+    def test_ks_disjoint_is_one(self):
+        assert ks_distance(np.zeros(5), np.ones(5) * 10) == 1.0
+
+    def test_ks_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.array([]), np.ones(3))

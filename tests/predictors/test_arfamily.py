@@ -1,0 +1,65 @@
+"""Tests for the AR-family reference predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import AutoRegressivePredictor, LastValuePredictor
+from repro.predictors.evaluation import one_step_predictions, prediction_error_percent
+
+
+class TestFitting:
+    def test_recovers_ar1_coefficient(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros(3000)
+        for t in range(1, 3000):
+            x[t] = 0.8 * x[t - 1] + rng.normal()
+        p = AutoRegressivePredictor(order=1)
+        p.fit(x + 100)
+        # coefficients = [intercept, w_lag]
+        assert p.coefficients[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_requires_enough_history(self):
+        with pytest.raises(ValueError):
+            AutoRegressivePredictor(order=6).fit(np.arange(5.0))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            AutoRegressivePredictor(order=0)
+
+    def test_coefficients_before_fit_raise(self):
+        with pytest.raises(RuntimeError):
+            AutoRegressivePredictor().coefficients
+
+
+class TestPrediction:
+    def test_beats_persistence_on_momentum_signal(self):
+        rng = np.random.default_rng(1)
+        # Integrated AR(1) flow: strongly momentum-bearing.
+        flow = np.zeros(3000)
+        for t in range(1, 3000):
+            flow[t] = 0.9 * flow[t - 1] + rng.normal()
+        x = np.maximum(1000 + np.cumsum(flow) * 0.1, 0)
+        ar_a, ar_p, _ = one_step_predictions(AutoRegressivePredictor(), x, fit_fraction=0.5)
+        lv_a, lv_p, _ = one_step_predictions(LastValuePredictor(), x, fit_fraction=0.5)
+        assert prediction_error_percent(ar_a, ar_p) < prediction_error_percent(lv_a, lv_p)
+
+    def test_fallback_before_fit(self):
+        p = AutoRegressivePredictor(warmup_steps=10**6)
+        p.reset(1)
+        p.observe(np.array([42.0]))
+        assert p.predict()[0] == 42.0
+
+    def test_auto_fit_after_warmup(self):
+        p = AutoRegressivePredictor(order=2, warmup_steps=50)
+        p.reset(1)
+        for v in np.sin(np.arange(60)) * 10 + 20:
+            p.observe(np.array([v]))
+        assert p.is_fitted
+
+    def test_predictions_non_negative(self):
+        p = AutoRegressivePredictor(order=2)
+        p.fit(np.abs(np.sin(np.arange(200.0))) * 5)
+        p.reset(1)
+        p.observe(np.array([0.0]))
+        p.observe(np.array([0.0]))
+        assert p.predict()[0] >= 0.0

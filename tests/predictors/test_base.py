@@ -1,0 +1,104 @@
+"""Tests for the predictor base interface and registry plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.predictors.base import (
+    PREDICTOR_REGISTRY,
+    Predictor,
+    make_predictor,
+    register_predictor,
+)
+
+
+class _Echo(Predictor):
+    """Test double: forecasts the sum of everything observed."""
+
+    name = "echo"
+
+    def _reset_state(self) -> None:
+        self._sum = np.zeros(self.n_series)
+
+    def observe(self, values):
+        self._sum += self._check_values(values)
+
+    def predict(self):
+        return self._sum.copy()
+
+
+class TestLifecycle:
+    def test_reset_required(self):
+        p = _Echo()
+        with pytest.raises(RuntimeError, match="reset"):
+            p.n_series
+
+    def test_reset_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _Echo().reset(0)
+
+    def test_reset_clears_state(self):
+        p = _Echo()
+        p.reset(1)
+        p.observe(np.array([5.0]))
+        p.reset(1)
+        assert p.predict()[0] == 0.0
+
+    def test_resize_on_reset(self):
+        p = _Echo()
+        p.reset(2)
+        p.reset(5)
+        assert p.n_series == 5
+        assert p.predict().shape == (5,)
+
+
+class TestValueChecking:
+    def test_scalar_promoted_for_single_series(self):
+        p = _Echo()
+        p.reset(1)
+        p.observe(np.float64(3.0))
+        assert p.predict()[0] == 3.0
+
+    def test_wrong_shape_rejected(self):
+        p = _Echo()
+        p.reset(3)
+        with pytest.raises(ValueError, match="shape"):
+            p.observe(np.zeros(2))
+
+    def test_inf_rejected(self):
+        p = _Echo()
+        p.reset(1)
+        with pytest.raises(ValueError, match="finite"):
+            p.observe(np.array([np.inf]))
+
+
+class TestPredictSeries:
+    def test_output_shape_matches(self):
+        p = _Echo()
+        out = p.predict_series(np.ones((7, 3)))
+        assert out.shape == (7, 3)
+
+    def test_1d_round_trip(self):
+        p = _Echo()
+        out = p.predict_series(np.ones(5))
+        assert out.shape == (5,)
+        # Cumulative-sum semantics of the test double: forecast of x[t]
+        # is the sum of x[:t].
+        assert np.allclose(out, [0, 1, 2, 3, 4])
+
+    def test_resets_between_calls(self):
+        p = _Echo()
+        p.predict_series(np.ones(5))
+        out = p.predict_series(np.ones(5))
+        assert out[0] == 0.0
+
+
+class TestRegistry:
+    def test_register_and_make(self):
+        register_predictor("echo-test", _Echo)
+        try:
+            assert isinstance(make_predictor("echo-test"), _Echo)
+        finally:
+            del PREDICTOR_REGISTRY["echo-test"]
+
+    def test_repr_mentions_name(self):
+        assert "echo" in repr(_Echo())

@@ -1,0 +1,105 @@
+"""Tests for predictor evaluation: metric, harness, timing."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    LastValuePredictor,
+    MovingAveragePredictor,
+    PredictionTimingStats,
+    evaluate_predictors,
+    one_step_predictions,
+    paper_predictor_suite,
+    prediction_error_percent,
+    time_predictor,
+)
+from repro.predictors.base import PREDICTOR_REGISTRY, make_predictor
+
+
+class TestErrorMetric:
+    def test_zero_for_perfect(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert prediction_error_percent(x, x) == 0.0
+
+    def test_paper_definition(self):
+        actual = np.array([10.0, 10.0])
+        predicted = np.array([9.0, 12.0])
+        # (1 + 2) / 20 * 100 = 15 %
+        assert prediction_error_percent(actual, predicted) == pytest.approx(15.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            prediction_error_percent(np.ones(3), np.ones(4))
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_error_percent(np.zeros(3), np.ones(3))
+
+    def test_flattens_matrices(self):
+        a = np.ones((4, 2)) * 10
+        p = np.ones((4, 2)) * 11
+        assert prediction_error_percent(a, p) == pytest.approx(10.0)
+
+
+class TestOneStepPredictions:
+    def test_alignment(self):
+        x = np.arange(100, dtype=float) + 1
+        actual, predicted, start = one_step_predictions(
+            LastValuePredictor(), x, fit_fraction=0.5
+        )
+        assert start == 50
+        # Last-value forecast of x[t] is x[t-1].
+        assert np.array_equal(predicted, x[49:-1])
+        assert np.array_equal(actual, x[50:])
+
+    def test_all_data_consumed_raises(self):
+        with pytest.raises(ValueError):
+            one_step_predictions(LastValuePredictor(), np.ones(6), fit_fraction=1.0)
+
+
+class TestEvaluateSuite:
+    def test_matrix_shape(self):
+        datasets = {
+            "a": np.abs(np.sin(np.arange(300.0))) * 100 + 10,
+            "b": np.abs(np.cos(np.arange(300.0))) * 50 + 10,
+        }
+        suite = [LastValuePredictor(), MovingAveragePredictor()]
+        res = evaluate_predictors(datasets, suite)
+        assert set(res) == {"a", "b"}
+        assert set(res["a"]) == {"Last value", "Moving average"}
+        assert all(v >= 0 for row in res.values() for v in row.values())
+
+    def test_paper_suite_has_eight_entries(self):
+        suite = paper_predictor_suite()
+        names = [p.name for p in suite]
+        assert len(names) == 8
+        assert "Neural" in names
+        assert "Exp. smoothing 25%" in names
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ["Neural", "Average", "Last value", "Moving average",
+                     "Sliding window median", "Exp. smoothing 50%", "AR"]:
+            assert name in PREDICTOR_REGISTRY
+            assert make_predictor(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_predictor("Oracle")
+
+
+class TestTiming:
+    def test_stats_structure(self):
+        x = np.abs(np.sin(np.arange(200.0))) * 100
+        stats = time_predictor(LastValuePredictor(), x, n_calls=50)
+        assert stats.n_samples == 50
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+
+    def test_from_samples_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PredictionTimingStats.from_samples(np.array([]))
+
+    def test_microsecond_conversion(self):
+        stats = PredictionTimingStats.from_samples(np.array([1e-6, 2e-6, 3e-6]))
+        assert stats.median == pytest.approx(2.0)

@@ -1,0 +1,62 @@
+"""Tests for Holt's double exponential smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import HoltPredictor, LastValuePredictor
+from repro.predictors.evaluation import one_step_predictions, prediction_error_percent
+
+
+def feed(predictor, values):
+    predictor.reset(1)
+    for v in values:
+        predictor.observe(np.array([float(v)]))
+    return float(predictor.predict()[0])
+
+
+class TestHolt:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltPredictor(beta=1.5)
+        with pytest.raises(ValueError):
+            HoltPredictor(damping=0.0)
+
+    def test_name(self):
+        assert HoltPredictor(0.5, 0.3).name == "Holt 50/30%"
+
+    def test_prior_is_zero(self):
+        p = HoltPredictor()
+        p.reset(2)
+        assert np.allclose(p.predict(), 0.0)
+
+    def test_first_observation_is_level(self):
+        assert feed(HoltPredictor(damping=1.0), [10.0]) == pytest.approx(10.0)
+
+    def test_extrapolates_linear_trend(self):
+        # On a clean ramp, Holt (undamped) forecasts the next ramp value;
+        # persistence lags by one slope step.
+        ramp = list(range(0, 100, 2))
+        holt = feed(HoltPredictor(alpha=0.9, beta=0.9, damping=1.0), ramp)
+        assert holt == pytest.approx(100.0, abs=0.5)
+        lv = LastValuePredictor()
+        assert feed(lv, ramp) == 98.0
+
+    def test_beats_persistence_on_ramps(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(2000)
+        x = np.maximum(500 + 300 * np.sin(2 * np.pi * t / 400) + rng.normal(0, 5, 2000), 0)
+        h_a, h_p, _ = one_step_predictions(HoltPredictor(), x, fit_fraction=0.3)
+        l_a, l_p, _ = one_step_predictions(LastValuePredictor(), x, fit_fraction=0.3)
+        assert prediction_error_percent(h_a, h_p) < prediction_error_percent(l_a, l_p)
+
+    def test_never_negative(self):
+        p = HoltPredictor(alpha=0.9, beta=0.9, damping=1.0)
+        # A crash to zero with a steep downward trend must not forecast < 0.
+        assert feed(p, [100.0, 50.0, 5.0, 0.0]) >= 0.0
+
+    def test_registered(self):
+        from repro.predictors.base import make_predictor
+
+        assert make_predictor("Holt 50/30%").name == "Holt 50/30%"

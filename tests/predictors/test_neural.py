@@ -1,0 +1,136 @@
+"""Tests for the neural-network predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import LastValuePredictor, NeuralPredictor
+from repro.predictors.evaluation import one_step_predictions, prediction_error_percent
+
+
+def sine_series(n=1500, period=15, noise=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.maximum(100 + 50 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n), 0)
+
+
+class TestConstruction:
+    def test_paper_architecture_defaults(self):
+        p = NeuralPredictor()
+        assert p.window == 6
+        assert p.hidden == 3
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            NeuralPredictor(window=1)
+
+    def test_rejects_bad_hidden(self):
+        with pytest.raises(ValueError):
+            NeuralPredictor(hidden=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            NeuralPredictor(train_fraction=1.0)
+
+
+class TestTraining:
+    def test_fit_reports(self):
+        p = NeuralPredictor(max_eras=50)
+        report = p.fit(sine_series())
+        assert p.is_fitted
+        assert report.eras <= 50
+        assert report.train_mse >= 0
+        assert report.scale > 0
+
+    def test_convergence_criterion_stops_early(self):
+        p = NeuralPredictor(max_eras=400, patience=5, rel_tolerance=0.5)
+        report = p.fit(sine_series())
+        assert report.converged
+        assert report.eras < 400
+
+    def test_fit_requires_enough_history(self):
+        p = NeuralPredictor()
+        with pytest.raises(ValueError):
+            p.fit(np.arange(5.0))
+
+    def test_fit_rejects_all_zero(self):
+        p = NeuralPredictor()
+        with pytest.raises(ValueError, match="all zero"):
+            p.fit(np.zeros(100))
+
+    def test_deterministic_given_seed(self):
+        a = NeuralPredictor(seed=3, max_eras=30)
+        b = NeuralPredictor(seed=3, max_eras=30)
+        x = sine_series()
+        ra, rb = a.fit(x), b.fit(x)
+        assert ra.train_mse == rb.train_mse
+
+
+class TestAccuracy:
+    def test_beats_last_value_on_oscillation(self):
+        x = sine_series()
+        nn_a, nn_p, _ = one_step_predictions(NeuralPredictor(), x, fit_fraction=0.5)
+        lv_a, lv_p, _ = one_step_predictions(LastValuePredictor(), x, fit_fraction=0.5)
+        nn_err = prediction_error_percent(nn_a, nn_p)
+        lv_err = prediction_error_percent(lv_a, lv_p)
+        assert nn_err < 0.6 * lv_err
+
+    def test_never_much_worse_than_persistence(self):
+        # The shrinkage gate means a useless correction degenerates to
+        # persistence; verify on a pure random walk.
+        rng = np.random.default_rng(7)
+        x = np.maximum(1000 + np.cumsum(rng.normal(0, 5, 2000)), 0)
+        nn_a, nn_p, _ = one_step_predictions(NeuralPredictor(), x, fit_fraction=0.5)
+        lv_a, lv_p, _ = one_step_predictions(LastValuePredictor(), x, fit_fraction=0.5)
+        assert prediction_error_percent(nn_a, nn_p) <= 1.1 * prediction_error_percent(
+            lv_a, lv_p
+        )
+
+
+class TestStreaming:
+    def test_fallback_to_persistence_before_fit(self):
+        p = NeuralPredictor(warmup_steps=10**6)
+        p.reset(2)
+        p.observe(np.array([5.0, 7.0]))
+        assert np.allclose(p.predict(), [5.0, 7.0])
+
+    def test_auto_fit_after_warmup(self):
+        p = NeuralPredictor(warmup_steps=60, max_eras=20)
+        p.reset(1)
+        x = sine_series(80)
+        for v in x:
+            p.observe(np.array([v]))
+        assert p.is_fitted
+
+    def test_predictions_non_negative(self):
+        p = NeuralPredictor(max_eras=30)
+        x = sine_series()
+        p.fit(x[:700])
+        p.reset(1)
+        for v in x[:50]:
+            p.observe(np.array([v]))
+        assert p.predict()[0] >= 0.0
+
+    def test_empty_zone_uses_persistence(self):
+        p = NeuralPredictor(max_eras=30)
+        p.fit(sine_series())
+        p.reset(1)
+        for _ in range(10):
+            p.observe(np.array([0.0]))
+        assert p.predict()[0] == 0.0
+
+    def test_predict_window_scalar_helper(self):
+        p = NeuralPredictor(max_eras=30)
+        x = sine_series()
+        p.fit(x[:700])
+        out = p.predict_window(x[100:106])
+        assert np.isfinite(out) and out >= 0
+
+    def test_predict_window_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            NeuralPredictor().predict_window(np.ones(6))
+
+    def test_predict_window_shape_checked(self):
+        p = NeuralPredictor(max_eras=10)
+        p.fit(sine_series())
+        with pytest.raises(ValueError):
+            p.predict_window(np.ones(4))

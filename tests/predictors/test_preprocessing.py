@@ -1,0 +1,79 @@
+"""Tests for the polynomial signal preprocessors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors.preprocessing import PolynomialDenoiser, polynomial_smoothing_matrix
+
+
+class TestSmoothingMatrix:
+    def test_shape(self):
+        S = polynomial_smoothing_matrix(6, 2)
+        assert S.shape == (6, 6)
+
+    def test_idempotent_projection(self):
+        S = polynomial_smoothing_matrix(8, 3)
+        assert np.allclose(S @ S, S, atol=1e-10)
+
+    def test_symmetric(self):
+        S = polynomial_smoothing_matrix(7, 2)
+        assert np.allclose(S, S.T, atol=1e-10)
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 3])
+    def test_reproduces_polynomials(self, degree):
+        S = polynomial_smoothing_matrix(10, degree)
+        t = np.linspace(-1, 1, 10)
+        for d in range(degree + 1):
+            assert np.allclose(S @ t**d, t**d, atol=1e-9)
+
+    def test_degree_window_minus_one_is_identity(self):
+        S = polynomial_smoothing_matrix(5, 4)
+        assert np.allclose(S, np.eye(5), atol=1e-8)
+
+    def test_degree_zero_is_mean(self):
+        S = polynomial_smoothing_matrix(4, 0)
+        x = np.array([1.0, 2.0, 3.0, 6.0])
+        assert np.allclose(S @ x, x.mean())
+
+    def test_rejects_degree_ge_window(self):
+        with pytest.raises(ValueError):
+            polynomial_smoothing_matrix(4, 4)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            polynomial_smoothing_matrix(0, 0)
+
+
+class TestPolynomialDenoiser:
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        d = PolynomialDenoiser(window=6, degree=2)
+        t = np.linspace(0, 1, 6)
+        clean = 1.0 + 2.0 * t  # linear, preserved exactly
+        noisy = clean + rng.normal(0, 0.5, 6)
+        smoothed = d.smooth(noisy)
+        assert np.linalg.norm(smoothed - clean) <= np.linalg.norm(noisy - clean) + 1e-12
+
+    def test_batch_smoothing(self):
+        d = PolynomialDenoiser(window=6, degree=2)
+        batch = np.random.default_rng(1).normal(size=(10, 6))
+        out = d.smooth(batch)
+        assert out.shape == (10, 6)
+        for i in range(10):
+            assert np.allclose(out[i], d.smooth(batch[i]))
+
+    def test_wrong_window_rejected(self):
+        d = PolynomialDenoiser(window=6)
+        with pytest.raises(ValueError):
+            d.smooth(np.zeros(5))
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=6, max_size=6))
+    def test_preserves_constant_offset(self, values):
+        # Adding a constant to the input adds the same constant to the output
+        # (projection preserves constants), so centring commutes with smoothing.
+        d = PolynomialDenoiser(window=6, degree=2)
+        x = np.array(values)
+        assert np.allclose(d.smooth(x + 10.0), d.smooth(x) + 10.0, atol=1e-8)

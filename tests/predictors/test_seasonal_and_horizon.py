@@ -1,0 +1,107 @@
+"""Tests for the seasonal-naive predictor and multi-step forecasts."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    HoltPredictor,
+    LastValuePredictor,
+    NeuralPredictor,
+    SeasonalNaivePredictor,
+)
+from repro.predictors.evaluation import one_step_predictions, prediction_error_percent
+
+
+class TestSeasonalNaive:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(season=0)
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(weight=1.5)
+
+    def test_persistence_before_full_season(self):
+        p = SeasonalNaivePredictor(season=100, weight=1.0)
+        p.reset(1)
+        p.observe(np.array([7.0]))
+        assert p.predict()[0] == 7.0
+
+    def test_pure_seasonal_recall(self):
+        p = SeasonalNaivePredictor(season=10, weight=1.0)
+        p.reset(1)
+        for i in range(25):
+            p.observe(np.array([float(i % 10)]))
+        # Next step is t=25, one season ago was t=15 -> value 5.
+        assert p.predict()[0] == 5.0
+
+    def test_blend(self):
+        p = SeasonalNaivePredictor(season=4, weight=0.5)
+        p.reset(1)
+        for v in [10.0, 20.0, 30.0, 40.0, 100.0]:
+            p.observe(np.array([v]))
+        # seasonal = value 4 steps before next (20), last = 100.
+        assert p.predict()[0] == pytest.approx(0.5 * 20 + 0.5 * 100)
+
+    def test_beats_persistence_on_clean_cycle(self):
+        t = np.arange(4000)
+        x = 100 + 50 * np.sin(2 * np.pi * t / 720)
+        s_a, s_p, _ = one_step_predictions(
+            SeasonalNaivePredictor(season=720, weight=1.0), x, fit_fraction=0.5
+        )
+        # After a full season of history the seasonal forecast is exact.
+        assert prediction_error_percent(s_a, s_p) < 0.01
+
+
+class TestPredictHorizon:
+    def test_shape(self):
+        p = LastValuePredictor()
+        p.reset(3)
+        p.observe(np.array([1.0, 2.0, 3.0]))
+        out = p.predict_horizon(5)
+        assert out.shape == (5, 3)
+
+    def test_persistence_is_flat(self):
+        p = LastValuePredictor()
+        p.reset(1)
+        p.observe(np.array([9.0]))
+        assert np.allclose(p.predict_horizon(4), 9.0)
+
+    def test_state_restored_after_rollout(self):
+        p = HoltPredictor()
+        p.reset(1)
+        for v in [10.0, 20.0, 30.0]:
+            p.observe(np.array([v]))
+        before = p.predict().copy()
+        p.predict_horizon(10)
+        assert np.allclose(p.predict(), before)
+
+    def test_holt_extrapolates_trend(self):
+        p = HoltPredictor(alpha=0.9, beta=0.9, damping=1.0)
+        p.reset(1)
+        for v in np.arange(0.0, 40.0, 2.0):
+            p.observe(np.array([v]))
+        out = p.predict_horizon(3)[:, 0]
+        # Trend continues: roughly 40, 42, 44.
+        assert out[0] == pytest.approx(40.0, abs=1.0)
+        assert out[2] > out[0] + 2.0
+
+    def test_neural_horizon_finite(self):
+        rng = np.random.default_rng(0)
+        x = np.maximum(100 + 30 * np.sin(np.arange(800) / 5) + rng.normal(0, 2, 800), 0)
+        p = NeuralPredictor(max_eras=30)
+        p.fit(x)
+        p.reset(1)
+        for v in x[:20]:
+            p.observe(np.array([v]))
+        out = p.predict_horizon(10)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0)
+
+    def test_rejects_bad_horizon(self):
+        p = LastValuePredictor()
+        p.reset(1)
+        with pytest.raises(ValueError):
+            p.predict_horizon(0)
+
+    def test_requires_reset(self):
+        with pytest.raises(RuntimeError):
+            LastValuePredictor().predict_horizon(3)

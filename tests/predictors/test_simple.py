@@ -1,0 +1,135 @@
+"""Tests for the simple predictors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors import (
+    AveragePredictor,
+    LastValuePredictor,
+    MovingAveragePredictor,
+    SlidingWindowMedianPredictor,
+)
+
+series = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+def feed(predictor, values, n_series=1):
+    predictor.reset(n_series)
+    for v in values:
+        predictor.observe(np.atleast_1d(np.asarray(v, dtype=float)))
+    return predictor.predict()
+
+
+class TestAverage:
+    def test_running_mean(self):
+        p = AveragePredictor()
+        assert feed(p, [2.0, 4.0, 6.0])[0] == pytest.approx(4.0)
+
+    def test_prior_is_zero(self):
+        p = AveragePredictor()
+        p.reset(3)
+        assert np.allclose(p.predict(), 0.0)
+
+    @given(series)
+    def test_mean_matches_numpy(self, values):
+        p = AveragePredictor()
+        assert feed(p, values)[0] == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+
+
+class TestMovingAverage:
+    def test_window_mean(self):
+        p = MovingAveragePredictor(window=3)
+        assert feed(p, [1, 2, 3, 4, 5])[0] == pytest.approx(4.0)
+
+    def test_partial_window(self):
+        p = MovingAveragePredictor(window=5)
+        assert feed(p, [2, 4])[0] == pytest.approx(3.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+
+    @given(series, st.integers(min_value=1, max_value=10))
+    def test_matches_numpy_tail_mean(self, values, w):
+        p = MovingAveragePredictor(window=w)
+        expected = np.mean(values[-w:])
+        assert feed(p, values)[0] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestLastValue:
+    def test_persistence(self):
+        p = LastValuePredictor()
+        assert feed(p, [1, 9, 7])[0] == 7.0
+
+    def test_prior_is_zero(self):
+        p = LastValuePredictor()
+        p.reset(2)
+        assert np.allclose(p.predict(), 0.0)
+
+    @given(series)
+    def test_always_equals_last(self, values):
+        p = LastValuePredictor()
+        assert feed(p, values)[0] == values[-1]
+
+
+class TestSlidingWindowMedian:
+    def test_median(self):
+        p = SlidingWindowMedianPredictor(window=3)
+        assert feed(p, [1, 100, 2, 3, 50])[0] == pytest.approx(3.0)
+
+    def test_robust_to_spike(self):
+        p = SlidingWindowMedianPredictor(window=5)
+        assert feed(p, [10, 10, 10, 1000, 10])[0] == pytest.approx(10.0)
+
+    @given(series, st.integers(min_value=1, max_value=10))
+    def test_matches_numpy_tail_median(self, values, w):
+        p = SlidingWindowMedianPredictor(window=w)
+        expected = np.median(values[-w:])
+        assert feed(p, values)[0] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestBatchSemantics:
+    def test_series_independent(self):
+        p = MovingAveragePredictor(window=2)
+        p.reset(2)
+        p.observe(np.array([1.0, 100.0]))
+        p.observe(np.array([3.0, 200.0]))
+        out = p.predict()
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(150.0)
+
+    def test_shape_mismatch_raises(self):
+        p = LastValuePredictor()
+        p.reset(2)
+        with pytest.raises(ValueError):
+            p.observe(np.array([1.0, 2.0, 3.0]))
+
+    def test_nan_rejected(self):
+        p = LastValuePredictor()
+        p.reset(1)
+        with pytest.raises(ValueError):
+            p.observe(np.array([np.nan]))
+
+    def test_use_before_reset_raises(self):
+        p = LastValuePredictor()
+        with pytest.raises(RuntimeError):
+            p.predict()
+
+    def test_predict_series_one_step_ahead(self):
+        p = LastValuePredictor()
+        x = np.array([1.0, 2.0, 3.0])
+        preds = p.predict_series(x)
+        # preds[t] is the forecast of x[t] from x[:t].
+        assert preds[0] == 0.0
+        assert preds[1] == 1.0
+        assert preds[2] == 2.0
+
+    def test_predict_series_2d(self):
+        p = LastValuePredictor()
+        x = np.arange(12, dtype=float).reshape(6, 2)
+        preds = p.predict_series(x)
+        assert preds.shape == x.shape
+        assert np.array_equal(preds[1:], x[:-1])

@@ -1,0 +1,51 @@
+"""Tests for exponential smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors import ExponentialSmoothingPredictor
+
+
+def feed(predictor, values):
+    predictor.reset(1)
+    for v in values:
+        predictor.observe(np.array([float(v)]))
+    return float(predictor.predict()[0])
+
+
+class TestExponentialSmoothing:
+    def test_initializes_at_first_observation(self):
+        p = ExponentialSmoothingPredictor(0.5)
+        assert feed(p, [10.0]) == 10.0
+
+    def test_recursion(self):
+        p = ExponentialSmoothingPredictor(0.5)
+        # s = 10; s = .5*20 + .5*10 = 15
+        assert feed(p, [10.0, 20.0]) == pytest.approx(15.0)
+
+    def test_alpha_one_is_last_value(self):
+        p = ExponentialSmoothingPredictor(1.0)
+        assert feed(p, [5.0, 7.0, 3.0]) == 3.0
+
+    def test_name_includes_percentage(self):
+        assert ExponentialSmoothingPredictor(0.25).name == "Exp. smoothing 25%"
+        assert ExponentialSmoothingPredictor(0.75).name == "Exp. smoothing 75%"
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothingPredictor(0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothingPredictor(1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=30))
+    def test_state_within_observed_range(self, values):
+        p = ExponentialSmoothingPredictor(0.5)
+        out = feed(p, values)
+        assert min(values) - 1e-6 <= out <= max(values) + 1e-6
+
+    def test_smaller_alpha_smoother(self):
+        jumpy = [10.0] * 10 + [100.0]
+        fast = feed(ExponentialSmoothingPredictor(0.75), jumpy)
+        slow = feed(ExponentialSmoothingPredictor(0.25), jumpy)
+        assert fast > slow  # tracks the jump more aggressively

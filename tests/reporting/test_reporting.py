@@ -1,0 +1,62 @@
+"""Tests for text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import downsample, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [(1, 2.5), (30, 4.0)])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = render_table(["x"], [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [(1234.5,), (0.123456,), (0,)])
+        assert "1,234" in out or "1,235" in out
+        assert "0.123" in out
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        x = np.arange(5.0)
+        assert np.array_equal(downsample(x, 10), x)
+
+    def test_pooled_means(self):
+        x = np.array([0.0, 2.0, 4.0, 6.0])
+        out = downsample(x, 2)
+        assert np.allclose(out, [1.0, 5.0])
+
+    def test_output_length(self):
+        out = downsample(np.arange(1000.0), 72)
+        assert out.size == 72
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            downsample(np.arange(5.0), 0)
+
+
+class TestRenderSeries:
+    def test_contains_label_and_range(self):
+        out = render_series(np.arange(100.0), label="demand")
+        assert out.startswith("demand")
+        assert "[0" in out
+
+    def test_constant_series_flat(self):
+        out = render_series(np.full(50, 3.0), show_range=False)
+        assert len(set(out.strip())) == 1
+
+    def test_width_respected(self):
+        out = render_series(np.arange(1000.0), width=40, show_range=False)
+        assert len(out.strip()) == 40

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_experiment_catalogue_covers_paper(self):
+        for name in ["fig01", "fig05", "table5", "table6", "table7", "fig14"]:
+            assert name in EXPERIMENTS
+
+
+class TestSynthesize:
+    def test_npz_output(self, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        code = main(["synthesize", "--days", "0.5", "--seed", "3", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        from repro.traces.io import load_npz
+
+        trace = load_npz(out)
+        assert trace.n_steps == 360
+        assert "peak concurrency" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path):
+        out = tmp_path / "csvdir"
+        code = main(
+            ["synthesize", "--days", "0.25", "--out", str(out), "--csv"]
+        )
+        assert code == 0
+        assert (out / "manifest.json").exists()
+
+
+class TestSimulate:
+    def test_runs_and_prints_table(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--days", "1", "--warmup-days", "0.25",
+                "--predictor", "Last value", "--update", "O(n)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPU" in out
+        assert "ExtNet[out]" in out
+
+    def test_static_mode(self, capsys):
+        code = main(
+            ["simulate", "--days", "1", "--warmup-days", "0.25", "--mode", "static",
+             "--predictor", "Last value", "--update", "O(n)"]
+        )
+        assert code == 0
+        assert "static" in capsys.readouterr().out
+
+
+class TestPredictorsAndExperiment:
+    def test_predictors_listed(self, capsys):
+        assert main(["predictors"]) == 0
+        out = capsys.readouterr().out
+        assert "Neural" in out
+        assert "Last value" in out
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        assert "Fig. 1" in capsys.readouterr().out

@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    CPU,
+    DemandModel,
+    EcosystemConfig,
+    EcosystemSimulator,
+    GameSpec,
+    LatencyClass,
+    MatchingPolicy,
+    NeuralPredictor,
+    build_paper_datacenters,
+    update_model,
+)
+from repro.datacenter import build_north_american_datacenters
+from repro.predictors import LastValuePredictor
+from repro.traces import MassQuit, RegionSpec, synthesize_runescape_like
+
+
+def small_trace(seed=1, n_days=1.0, **kwargs):
+    regions = kwargs.pop(
+        "regions",
+        (
+            RegionSpec("Europe", "Netherlands", n_groups=6, utc_offset_hours=1.0),
+            RegionSpec("US East", "US East", n_groups=4, utc_offset_hours=-5.0),
+        ),
+    )
+    return synthesize_runescape_like(n_days=n_days, seed=seed, regions=regions, **kwargs)
+
+
+class TestQuickstart:
+    def test_public_api_quick_simulation(self):
+        result = repro.quick_simulation(n_days=1.0, warmup_days=0.25)
+        assert result.eval_steps == 540
+        assert result.combined.average_over_allocation(CPU) > 0
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+
+class TestEndToEnd:
+    def test_neural_full_pipeline(self):
+        """Trace synthesis -> NN training -> provisioning -> metrics."""
+        trace = small_trace(n_days=1.5)
+        game = GameSpec(
+            name="e2e",
+            trace=trace,
+            demand_model=DemandModel(update=update_model("O(n^2)")),
+            predictor_factory=lambda: NeuralPredictor(max_eras=60),
+        )
+        config = EcosystemConfig(
+            games=[game], centers=build_paper_datacenters(), warmup_steps=360
+        )
+        result = EcosystemSimulator(config).run()
+        tl = result.combined
+        assert tl.average_over_allocation(CPU) < 200
+        assert tl.average_under_allocation(CPU) > -5.0
+        # Allocation is finite, positive, and tracks the load scale.
+        assert 0 < tl.allocated[:, 0].mean() < 10 * tl.load[:, 0].mean()
+
+    def test_population_shock_is_followed(self):
+        """A mass quit must shrink the dynamic allocation."""
+        trace = small_trace(
+            n_days=2.0,
+            events=[MassQuit(start_day=0.8, amend_day=1.9, drop_fraction=0.4)],
+        )
+        game = GameSpec(
+            name="shock",
+            trace=trace,
+            demand_model=DemandModel(update=update_model("O(n)")),
+            predictor_factory=LastValuePredictor,
+        )
+        config = EcosystemConfig(
+            games=[game], centers=build_paper_datacenters(), warmup_steps=360
+        )
+        tl = EcosystemSimulator(config).run().combined
+        pre = tl.allocated[:120, 0].mean()  # before the quit bites
+        trough = tl.allocated[500:700, 0].mean()  # deep in the trough
+        assert trough < pre * 0.85
+
+    def test_latency_restriction_binds(self):
+        """Same-location tolerance starves regions with no local center."""
+        trace = small_trace(
+            regions=(
+                RegionSpec("Germany", "Germany", n_groups=6, utc_offset_hours=1.0),
+            )
+        )
+        game = GameSpec(
+            name="pinned",
+            trace=trace,
+            demand_model=DemandModel(update=update_model("O(n)")),
+            predictor_factory=LastValuePredictor,
+            latency_class=LatencyClass.SAME_LOCATION,
+        )
+        # No data center in Germany: nothing can ever be allocated.
+        config = EcosystemConfig(
+            games=[game], centers=build_paper_datacenters(), warmup_steps=60
+        )
+        result = EcosystemSimulator(config).run()
+        assert result.combined.allocated[:, 0].max() == 0.0
+        assert result.unmatched_steps == result.eval_steps
+        assert result.combined.significant_events(CPU) == result.eval_steps
+
+    def test_multi_game_contention(self):
+        """Two games on a tiny platform compete for capacity."""
+        trace = small_trace()
+        centers = build_north_american_datacenters()
+        games = [
+            GameSpec(
+                name=f"g{i}",
+                trace=small_trace(seed=i),
+                demand_model=DemandModel(update=update_model("O(n)")),
+                predictor_factory=LastValuePredictor,
+            )
+            for i in range(2)
+        ]
+        config = EcosystemConfig(games=games, centers=centers, warmup_steps=60)
+        result = EcosystemSimulator(config).run()
+        assert set(result.per_game) == {"g0", "g1"}
+        # Both games got resources.
+        assert result.per_game["g0"].allocated[:, 0].mean() > 0
+        assert result.per_game["g1"].allocated[:, 0].mean() > 0
+
+    def test_matching_policy_plumbs_through(self):
+        trace = small_trace()
+        game = GameSpec(
+            name="g",
+            trace=trace,
+            demand_model=DemandModel(update=update_model("O(n)")),
+            predictor_factory=LastValuePredictor,
+        )
+        config = EcosystemConfig(
+            games=[game],
+            centers=build_paper_datacenters(),
+            warmup_steps=60,
+            matching=MatchingPolicy(criteria=("distance", "grain", "time_bulk", "free")),
+        )
+        result = EcosystemSimulator(config).run()
+        # Distance-first: the European load lands in European centers.
+        eu_centers = [n for n in result.center_cpu_mean
+                      if any(s in n for s in ("Netherlands", "U.K.", "Finland", "Sweden"))]
+        eu_alloc = sum(result.center_cpu_mean[n] for n in eu_centers)
+        assert eu_alloc > 0.5 * sum(result.center_cpu_mean.values()) * 0.5

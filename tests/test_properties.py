@@ -1,0 +1,159 @@
+"""Cross-module property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DemandModel, DynamicProvisioner, GameOperator, update_model
+from repro.core.matching import match_request
+from repro.datacenter import DataCenter, ResourceVector, policy
+from repro.datacenter.geography import location
+from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import CPU, RESOURCE_TYPES
+from repro.predictors import LastValuePredictor
+
+EU = location("Netherlands")
+
+demand_vectors = st.builds(
+    ResourceVector,
+    cpu=st.floats(min_value=0, max_value=30, allow_nan=False),
+    memory=st.floats(min_value=0, max_value=30, allow_nan=False),
+    extnet_in=st.floats(min_value=0, max_value=30, allow_nan=False),
+    extnet_out=st.floats(min_value=0, max_value=30, allow_nan=False),
+)
+
+policy_names = st.sampled_from(
+    ["HP-1", "HP-2", "HP-3", "HP-5", "HP-7", "HP-11"]
+)
+
+
+def build_platform(policy_name, n_centers=3, machines=20):
+    return [
+        DataCenter(
+            name=f"dc{i}",
+            location=EU,
+            n_machines=machines,
+            policy=policy(policy_name),
+        )
+        for i in range(n_centers)
+    ]
+
+
+class TestMatchingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(demand_vectors, policy_names)
+    def test_match_never_overcommits(self, demand, policy_name):
+        centers = build_platform(policy_name)
+        plan = match_request(demand, EU, centers)
+        for center, vec in plan.placements:
+            assert center.free.covers(vec, tol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(demand_vectors, policy_names)
+    def test_match_covers_or_reports_unmatched(self, demand, policy_name):
+        centers = build_platform(policy_name)
+        plan = match_request(demand, EU, centers)
+        supplied = plan.total() + plan.unmatched
+        assert supplied.covers(demand, tol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(demand_vectors, policy_names)
+    def test_placements_bulk_aligned(self, demand, policy_name):
+        centers = build_platform(policy_name)
+        plan = match_request(demand, EU, centers)
+        for center, vec in plan.placements:
+            assert center._aligned_to_bulk(vec)
+
+
+class TestProvisionerInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=15, allow_nan=False),
+            min_size=3,
+            max_size=12,
+        )
+    )
+    def test_allocation_totals_match_centers(self, cpu_demands):
+        """The provisioner's ledger always equals the centers' ledgers."""
+        centers = build_platform("HP-3")
+        prov = DynamicProvisioner(centers, step_minutes=2.0)
+        op = GameOperator(
+            "op", "g", DemandModel(update=update_model("O(n)")), LastValuePredictor
+        )
+        for step, cpu in enumerate(cpu_demands):
+            prov.reconcile(op, "EU", EU, ResourceVector(cpu=cpu, memory=cpu), step)
+            ledger = prov.total_allocation()
+            by_centers = ResourceVector.zeros()
+            for c in centers:
+                by_centers = by_centers + c.allocated
+            assert np.allclose(ledger.values, by_centers.values, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=15, allow_nan=False),
+            min_size=3,
+            max_size=12,
+        )
+    )
+    def test_allocation_always_covers_desired_when_capacity_allows(self, cpu_demands):
+        centers = build_platform("HP-3", machines=50)
+        prov = DynamicProvisioner(centers, step_minutes=2.0)
+        op = GameOperator(
+            "op", "g", DemandModel(update=update_model("O(n)")), LastValuePredictor
+        )
+        for step, cpu in enumerate(cpu_demands):
+            desired = ResourceVector(cpu=cpu, memory=cpu)
+            prov.reconcile(op, "EU", EU, desired, step)
+            assert prov.allocation(op, "EU").covers(desired, tol=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=30))
+    def test_leases_never_shorter_than_time_bulk(self, n_steps):
+        pol = custom_policy("tb", cpu_bulk=0.25, time_bulk_minutes=20)  # 10 steps
+        centers = [DataCenter(name="dc", location=EU, n_machines=30, policy=pol)]
+        prov = DynamicProvisioner(centers, step_minutes=2.0)
+        op = GameOperator(
+            "op", "g", DemandModel(update=update_model("O(n)")), LastValuePredictor
+        )
+        rng = np.random.default_rng(n_steps)
+        for step in range(n_steps):
+            prov.reconcile(
+                op, "EU", EU, ResourceVector(cpu=float(rng.uniform(0, 5))), step
+            )
+            for c in centers:
+                for lease in c.leases():
+                    assert lease.end_step - lease.start_step >= 10
+
+
+class TestDemandInvariants:
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=2000, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.sampled_from(list(update_model("O(n)").__class__.__mro__) and
+                        ["O(n)", "O(n log n)", "O(n^2)", "O(n^2 log n)", "O(n^3)"]),
+    )
+    def test_demand_components_non_negative(self, players, model_name):
+        dm = DemandModel(update=update_model(model_name))
+        d = dm.demand(np.array(players))
+        assert all(v >= 0 for v in d)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=2000, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_per_group_sums_to_aggregate(self, players):
+        dm = DemandModel(update=update_model("O(n^2)"))
+        n = np.array(players)
+        assert np.allclose(
+            dm.demand_per_group(n).sum(axis=0), dm.demand(n).values, atol=1e-9
+        )

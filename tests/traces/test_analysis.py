@@ -1,0 +1,149 @@
+"""Tests for the workload analyses (Fig. 3 toolkit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacenter.geography import location
+from repro.traces import RegionTrace
+from repro.traces.analysis import (
+    autocorrelation,
+    autocorrelation_matrix,
+    dominant_period_steps,
+    fraction_always_full,
+    interquartile_range,
+    load_bands,
+    weekend_effect_ratio,
+)
+
+
+def region_from(loads):
+    return RegionTrace(
+        name="r", location=location("Netherlands"), loads=np.asarray(loads)
+    )
+
+
+class TestLoadBands:
+    def test_min_le_median_le_max(self):
+        rng = np.random.default_rng(0)
+        r = region_from(rng.integers(0, 2000, size=(50, 6)))
+        b = load_bands(r)
+        assert np.all(b.minimum <= b.median + 1e-9)
+        assert np.all(b.median <= b.maximum + 1e-9)
+
+    def test_constant_loads(self):
+        r = region_from(np.full((10, 4), 100))
+        b = load_bands(r)
+        assert np.all(b.minimum == 100)
+        assert np.all(b.maximum == 100)
+
+    def test_median_over_minimum_at_peak(self):
+        loads = np.array([[10, 20, 30], [100, 200, 300]])
+        b = load_bands(region_from(loads))
+        # Peak median at step 1: 200 vs min 100.
+        assert b.median_over_minimum_at_peak() == pytest.approx(2.0)
+
+
+class TestIQR:
+    def test_zero_for_identical_groups(self):
+        r = region_from(np.tile(np.arange(10)[:, None], (1, 5)) * 10)
+        assert np.allclose(interquartile_range(r), 0.0)
+
+    def test_positive_for_spread_groups(self):
+        r = region_from(np.array([[0, 500, 1000, 1500]]))
+        assert interquartile_range(r)[0] > 0
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        x = np.random.default_rng(1).normal(size=500)
+        acf = autocorrelation(x, 10)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        t = np.arange(2000)
+        x = np.sin(2 * np.pi * t / 100)
+        acf = autocorrelation(x, 300)
+        assert acf[100] > 0.95
+        assert acf[50] < -0.9
+
+    def test_constant_series_returns_zeros(self):
+        assert np.allclose(autocorrelation(np.full(100, 5.0), 10), 0.0)
+
+    def test_rejects_excessive_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.arange(10.0), 10)
+
+    def test_rejects_negative_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.arange(10.0), -1)
+
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=300)
+        acf = autocorrelation(x, 5)
+        xc = x - x.mean()
+        direct = np.array(
+            [np.dot(xc[: 300 - k], xc[k:]) / np.dot(xc, xc) for k in range(6)]
+        )
+        assert np.allclose(acf, direct, atol=1e-10)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=20, max_value=200), st.integers(min_value=0, max_value=10))
+    def test_bounded_by_one(self, n, lag):
+        x = np.random.default_rng(n).normal(size=n)
+        acf = autocorrelation(x, min(lag, n - 1))
+        assert np.all(np.abs(acf) <= 1.0 + 1e-9)
+
+    def test_matrix_shape(self):
+        r = region_from(np.random.default_rng(0).integers(0, 100, size=(60, 4)))
+        m = autocorrelation_matrix(r, 20)
+        assert m.shape == (21, 4)
+
+
+class TestDominantPeriod:
+    def test_finds_sine_period(self):
+        t = np.arange(3000)
+        x = 100 + 50 * np.sin(2 * np.pi * t / 250)
+        assert dominant_period_steps(x, min_lag=10) == pytest.approx(250, abs=3)
+
+    def test_noisy_periodic(self):
+        rng = np.random.default_rng(4)
+        t = np.arange(3000)
+        x = 100 + 50 * np.sin(2 * np.pi * t / 250) + rng.normal(0, 10, 3000)
+        assert dominant_period_steps(x, min_lag=10) == pytest.approx(250, abs=10)
+
+
+class TestAlwaysFull:
+    def test_detects_full_group(self):
+        loads = np.full((100, 4), 500)
+        loads[:, 0] = 1950  # > 90 % of 2000
+        r = region_from(loads)
+        assert fraction_always_full(r) == pytest.approx(0.25)
+
+    def test_tolerates_short_outage(self):
+        loads = np.full((100, 2), 1950)
+        loads[10:13, 0] = 0  # 3 % outage, within the 5 % tolerance
+        r = region_from(loads)
+        assert fraction_always_full(r) == 1.0
+
+    def test_none_full(self):
+        r = region_from(np.full((50, 3), 500))
+        assert fraction_always_full(r) == 0.0
+
+
+class TestWeekendEffect:
+    def test_flat_trace_is_one(self):
+        r = region_from(np.full((720 * 14, 2), 300))
+        assert weekend_effect_ratio(r) == pytest.approx(1.0)
+
+    def test_boosted_weekend(self):
+        loads = np.full((720 * 14, 2), 300)
+        day = np.arange(720 * 14) // 720
+        loads[(day % 7) >= 5] = 450
+        r = region_from(loads)
+        assert weekend_effect_ratio(r) == pytest.approx(1.5)
+
+    def test_trace_shorter_than_week(self):
+        r = region_from(np.full((720, 2), 300))  # one weekday only
+        assert weekend_effect_ratio(r) == 1.0

@@ -1,0 +1,125 @@
+"""Tests for population events."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traces.events import (
+    ContentRelease,
+    MassQuit,
+    Outage,
+    compose_multipliers,
+)
+
+days = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+
+
+def grid(n_days=30.0, step_minutes=2.0):
+    return np.arange(int(n_days * 24 * 60 / step_minutes)) * (step_minutes / 1440.0)
+
+
+class TestMassQuit:
+    def test_before_event_is_one(self):
+        e = MassQuit(start_day=10.0)
+        t = grid()
+        assert np.all(e.multiplier(t)[t < 10.0] == 1.0)
+
+    def test_trough_level(self):
+        e = MassQuit(start_day=5.0, drop_fraction=0.25, drop_days=0.5, amend_day=8.0)
+        t = grid()
+        trough = e.multiplier(t)[(t > 6.0) & (t < 8.0)]
+        assert np.allclose(trough, 0.75)
+
+    def test_paper_crash_speed(self):
+        # The paper: a quarter of the players lost in less than one day.
+        e = MassQuit(start_day=5.0, drop_fraction=0.25, drop_days=0.75)
+        t = np.array([5.0, 5.75])
+        m = e.multiplier(t)
+        assert m[0] == pytest.approx(1.0)
+        assert m[1] == pytest.approx(0.75, abs=0.01)
+
+    def test_partial_recovery(self):
+        e = MassQuit(start_day=5.0, amend_day=7.0, recovery_days=2.0, recovery_level=0.95)
+        t = grid()
+        after = e.multiplier(t)[t > 9.5]
+        assert np.allclose(after, 0.95)
+
+    def test_recovery_monotone(self):
+        e = MassQuit(start_day=5.0, amend_day=7.0, recovery_days=3.0)
+        t = grid()
+        seg = e.multiplier(t)[(t >= 7.0) & (t <= 10.0)]
+        assert np.all(np.diff(seg) >= -1e-12)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            MassQuit(start_day=0, drop_fraction=1.5)
+
+    def test_rejects_bad_recovery(self):
+        with pytest.raises(ValueError):
+            MassQuit(start_day=0, recovery_level=0.0)
+
+
+class TestContentRelease:
+    def test_peak_multiplier(self):
+        e = ContentRelease(day=3.0, surge_fraction=0.5, ramp_days=0.5)
+        t = np.array([3.5])
+        assert e.multiplier(t)[0] == pytest.approx(1.5, abs=0.02)
+
+    def test_returns_to_baseline(self):
+        e = ContentRelease(day=3.0, duration_days=7.0)
+        t = grid()
+        assert np.allclose(e.multiplier(t)[t > 10.5], 1.0)
+
+    def test_duration_about_a_week(self):
+        e = ContentRelease(day=3.0, surge_fraction=0.5, duration_days=7.0)
+        t = grid()
+        elevated = e.multiplier(t) > 1.05
+        span = t[elevated]
+        assert 5.5 < span[-1] - span[0] < 7.5
+
+    def test_rejects_nonpositive_surge(self):
+        with pytest.raises(ValueError):
+            ContentRelease(day=0, surge_fraction=0)
+
+    @given(days)
+    def test_multiplier_at_least_one_minus_eps(self, d):
+        e = ContentRelease(day=5.0)
+        assert e.multiplier(np.array([d]))[0] >= 1.0 - 1e-9
+
+
+class TestOutage:
+    def test_zero_inside_window(self):
+        e = Outage(start_day=1.0, duration_minutes=10.0)
+        inside = 1.0 + 5.0 / 1440.0
+        assert e.multiplier(np.array([inside]))[0] == 0.0
+
+    def test_one_outside_window(self):
+        e = Outage(start_day=1.0, duration_minutes=10.0)
+        assert e.multiplier(np.array([0.99]))[0] == 1.0
+        assert e.multiplier(np.array([1.5]))[0] == 1.0
+
+    def test_end_day(self):
+        e = Outage(start_day=2.0, duration_minutes=144.0)  # 0.1 day
+        assert e.end_day == pytest.approx(2.1)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            Outage(start_day=0, duration_minutes=0)
+
+
+class TestCompose:
+    def test_empty_is_identity(self):
+        t = grid(5)
+        assert np.allclose(compose_multipliers([], t), 1.0)
+
+    def test_product_of_events(self):
+        t = np.array([3.5])
+        quit_ = MassQuit(start_day=1.0, drop_fraction=0.2, drop_days=0.5, amend_day=10.0)
+        release = ContentRelease(day=3.0, surge_fraction=0.5, ramp_days=0.5)
+        combined = compose_multipliers([quit_, release], t)[0]
+        assert combined == pytest.approx(0.8 * 1.5, abs=0.03)
+
+    def test_multipliers_never_negative(self):
+        t = grid(20)
+        events = [MassQuit(start_day=2.0), ContentRelease(day=5.0), Outage(start_day=8.0)]
+        assert np.all(compose_multipliers(events, t) >= 0.0)

@@ -1,0 +1,52 @@
+"""Round-trip tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import load_csv_dir, load_npz, save_csv_dir, save_npz
+
+
+class TestNpzRoundtrip:
+    def test_loads_identical(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_npz(tiny_trace, path)
+        back = load_npz(path)
+        assert back.name == tiny_trace.name
+        assert len(back.regions) == len(tiny_trace.regions)
+        for a, b in zip(tiny_trace.regions, back.regions):
+            assert a.name == b.name
+            assert np.array_equal(a.loads, b.loads)
+            assert a.capacity == b.capacity
+            assert a.step_minutes == b.step_minutes
+            assert a.group_names == b.group_names
+
+    def test_location_preserved(self, tiny_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_npz(tiny_trace, path)
+        back = load_npz(path)
+        for a, b in zip(tiny_trace.regions, back.regions):
+            assert a.location.name == b.location.name
+            assert a.location.latitude == b.location.latitude
+
+
+class TestCsvRoundtrip:
+    def test_loads_identical(self, tiny_trace, tmp_path):
+        save_csv_dir(tiny_trace, tmp_path / "csv")
+        back = load_csv_dir(tmp_path / "csv")
+        assert back.name == tiny_trace.name
+        for a, b in zip(tiny_trace.regions, back.regions):
+            assert np.array_equal(a.loads, b.loads)
+            assert a.group_names == b.group_names
+
+    def test_manifest_written(self, tiny_trace, tmp_path):
+        save_csv_dir(tiny_trace, tmp_path / "csv")
+        assert (tmp_path / "csv" / "manifest.json").exists()
+
+    def test_one_csv_per_region(self, tiny_trace, tmp_path):
+        save_csv_dir(tiny_trace, tmp_path / "csv")
+        csvs = list((tmp_path / "csv").glob("*.csv"))
+        assert len(csvs) == len(tiny_trace.regions)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv_dir(tmp_path)

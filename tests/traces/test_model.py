@@ -1,0 +1,115 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.geography import location
+from repro.traces import GameTrace, RegionTrace, ServerGroupTrace
+
+
+def region(loads, name="Europe", **kwargs):
+    return RegionTrace(
+        name=name, location=location("Netherlands"), loads=np.asarray(loads), **kwargs
+    )
+
+
+class TestServerGroupTrace:
+    def test_basic(self):
+        t = ServerGroupTrace("g", np.array([0, 100, 2000]))
+        assert t.n_steps == 3
+        assert t.capacity == 2000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ServerGroupTrace("g", np.array([-1, 0]))
+
+    def test_rejects_above_capacity(self):
+        with pytest.raises(ValueError):
+            ServerGroupTrace("g", np.array([0, 2001]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ServerGroupTrace("g", np.zeros((2, 2)))
+
+    def test_utilization(self):
+        t = ServerGroupTrace("g", np.array([0, 1000, 2000]))
+        assert np.allclose(t.utilization(), [0.0, 0.5, 1.0])
+
+
+class TestRegionTrace:
+    def test_shape_accessors(self):
+        r = region(np.zeros((10, 4), dtype=int))
+        assert r.n_steps == 10
+        assert r.n_groups == 4
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            region(np.zeros(5, dtype=int))
+
+    def test_group_extraction(self):
+        loads = np.arange(12).reshape(4, 3)
+        r = region(loads)
+        g = r.group(1)
+        assert np.array_equal(g.players, loads[:, 1])
+        assert g.name == r.group_names[1]
+
+    def test_groups_iterates_all(self):
+        r = region(np.zeros((5, 3), dtype=int))
+        assert len(list(r.groups())) == 3
+
+    def test_default_group_names_unique(self):
+        r = region(np.zeros((2, 5), dtype=int))
+        assert len(set(r.group_names)) == 5
+
+    def test_group_names_length_checked(self):
+        with pytest.raises(ValueError):
+            region(np.zeros((2, 3), dtype=int), group_names=("a",))
+
+    def test_total_players(self):
+        loads = np.array([[1, 2], [3, 4]])
+        assert np.array_equal(region(loads).total_players(), [3, 7])
+
+    def test_slice_steps(self):
+        r = region(np.arange(20).reshape(10, 2))
+        s = r.slice_steps(2, 5)
+        assert s.n_steps == 3
+        assert np.array_equal(s.loads, r.loads[2:5])
+
+
+class TestGameTrace:
+    def test_global_players_sums_regions(self):
+        t = GameTrace(
+            name="g",
+            regions=[
+                region(np.array([[1, 1], [2, 2]])),
+                region(np.array([[10, 10], [20, 20]]), name="US East"),
+            ],
+        )
+        assert np.array_equal(t.global_players(), [22, 44])
+        assert t.peak_global_players() == 44
+
+    def test_region_lookup(self):
+        t = GameTrace(name="g", regions=[region(np.zeros((2, 2), dtype=int))])
+        assert t.region("Europe").name == "Europe"
+        with pytest.raises(KeyError):
+            t.region("Mars")
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            GameTrace(
+                name="g",
+                regions=[
+                    region(np.zeros((2, 2), dtype=int)),
+                    region(np.zeros((3, 2), dtype=int), name="US East"),
+                ],
+            )
+
+    def test_empty_trace(self):
+        t = GameTrace(name="empty")
+        assert t.n_steps == 0
+        assert t.global_players().size == 0
+        assert t.peak_global_players() == 0
+
+    def test_slice_steps_propagates(self):
+        t = GameTrace(name="g", regions=[region(np.arange(20).reshape(10, 2))])
+        assert t.slice_steps(0, 4).n_steps == 4

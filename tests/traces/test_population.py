@@ -1,0 +1,33 @@
+"""Tests for population statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces.population import RUNESCAPE_2007, PopulationStats, concurrency_ratio
+
+
+class TestPopulationStats:
+    def test_paper_snapshot(self):
+        assert RUNESCAPE_2007.open_accounts == 8_000_000
+        assert RUNESCAPE_2007.active_players == 5_000_000
+        assert RUNESCAPE_2007.peak_concurrent == 250_000
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            PopulationStats(open_accounts=100, active_players=200, peak_concurrent=50)
+        with pytest.raises(ValueError):
+            PopulationStats(open_accounts=100, active_players=50, peak_concurrent=80)
+
+    def test_rates(self):
+        assert RUNESCAPE_2007.activity_rate == pytest.approx(5 / 8)
+        assert RUNESCAPE_2007.peak_concurrency_rate == pytest.approx(0.05)
+
+    def test_concurrent_from_active_scalar(self):
+        assert RUNESCAPE_2007.concurrent_from_active(1_000_000) == pytest.approx(50_000)
+
+    def test_concurrent_from_active_array(self):
+        out = RUNESCAPE_2007.concurrent_from_active(np.array([1e6, 2e6]))
+        assert np.allclose(out, [50_000, 100_000])
+
+    def test_concurrency_ratio_default(self):
+        assert concurrency_ratio() == pytest.approx(0.05)

@@ -1,0 +1,220 @@
+"""Tests for the trace synthesizer: structure and calibrated statistics."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    ContentRelease,
+    MassQuit,
+    RegionSpec,
+    TraceSynthesisConfig,
+    TraceSynthesizer,
+    synthesize_game_trace,
+    synthesize_global_population,
+    synthesize_runescape_like,
+)
+from repro.traces.analysis import dominant_period_steps, fraction_always_full
+
+
+def small_config(**overrides):
+    params = dict(
+        n_days=2.0,
+        seed=5,
+        regions=(
+            RegionSpec("Europe", "Netherlands", n_groups=8, utc_offset_hours=1.0),
+        ),
+        outage_rate_per_group_day=0.0,
+        spike_rate_per_region_day=0.0,
+    )
+    params.update(overrides)
+    return TraceSynthesisConfig(**params)
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            small_config(n_days=0)
+
+    def test_rejects_empty_regions(self):
+        with pytest.raises(ValueError):
+            small_config(regions=())
+
+    def test_rejects_bad_always_full(self):
+        with pytest.raises(ValueError):
+            small_config(always_full_fraction=1.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            small_config(noise_momentum=1.0)
+
+    def test_n_steps(self):
+        assert small_config(n_days=1.0).n_steps == 720
+        assert small_config(n_days=2.0, step_minutes=4.0).n_steps == 720
+
+    def test_region_spec_validation(self):
+        with pytest.raises(ValueError):
+            RegionSpec("r", "Netherlands", n_groups=0)
+        with pytest.raises(ValueError):
+            RegionSpec("r", "Netherlands", n_groups=1, weight=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = synthesize_game_trace(small_config())
+        b = synthesize_game_trace(small_config())
+        assert np.array_equal(a.regions[0].loads, b.regions[0].loads)
+
+    def test_different_seed_different_trace(self):
+        a = synthesize_game_trace(small_config(seed=5))
+        b = synthesize_game_trace(small_config(seed=6))
+        assert not np.array_equal(a.regions[0].loads, b.regions[0].loads)
+
+
+class TestStructure:
+    def test_shapes(self):
+        trace = synthesize_game_trace(small_config())
+        region = trace.regions[0]
+        assert region.n_steps == 1440
+        assert region.n_groups == 8
+
+    def test_loads_within_capacity(self):
+        trace = synthesize_game_trace(small_config())
+        loads = trace.regions[0].loads
+        assert loads.min() >= 0
+        assert loads.max() <= trace.regions[0].capacity
+
+    def test_loads_are_integers(self):
+        trace = synthesize_game_trace(small_config())
+        assert np.issubdtype(trace.regions[0].loads.dtype, np.integer)
+
+    def test_max_utilization_respected(self):
+        trace = synthesize_game_trace(small_config(max_utilization=0.5))
+        assert trace.regions[0].loads.max() <= 0.5 * 2000 + 1
+
+    def test_regions_peak_at_local_evening(self):
+        cfg = small_config(
+            n_days=3.0,
+            regions=(
+                RegionSpec("Europe", "Netherlands", n_groups=6, utc_offset_hours=1.0),
+                RegionSpec("Australia", "Australia", n_groups=6, utc_offset_hours=10.0),
+            ),
+            noise_std=0.0,
+            always_full_fraction=0.0,
+        )
+        trace = synthesize_game_trace(cfg)
+        eu_peak = np.argmax(trace.region("Europe").total_players()[:720])
+        au_peak = np.argmax(trace.region("Australia").total_players()[:720])
+        # 9 hours of timezone offset = 270 steps, modulo the day.
+        diff = (eu_peak - au_peak) % 720
+        assert min(diff, 720 - diff) == pytest.approx(270, abs=30)
+
+
+class TestCalibratedStatistics:
+    """The documented RuneScape statistics the synthesizer must hit."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthesize_runescape_like(n_days=6.0, seed=11)
+
+    def test_diurnal_period_24h(self, trace):
+        region = trace.region("Europe")
+        period = dominant_period_steps(region.loads[:, 1], min_lag=60)
+        assert 680 <= period <= 760  # 24 h +/- ~1.3 h
+
+    def test_always_full_fraction_2_to_6_percent(self, trace):
+        frac = fraction_always_full(trace.region("Europe"))
+        assert 0.0 < frac <= 0.08
+
+    def test_peak_median_about_1_5x_min(self, trace):
+        from repro.traces import load_bands
+
+        ratio = load_bands(trace.region("Europe")).median_over_minimum_at_peak()
+        assert 1.2 < ratio < 2.2
+
+    def test_weekend_effect_configurable(self):
+        on = synthesize_runescape_like(n_days=14, seed=3, weekend_boost=0.2)
+        off = synthesize_runescape_like(n_days=14, seed=3, weekend_boost=0.0)
+        from repro.traces.analysis import weekend_effect_ratio
+
+        assert weekend_effect_ratio(on.region("Europe")) > 1.05
+        assert abs(weekend_effect_ratio(off.region("Europe")) - 1.0) < 0.05
+
+    def test_flow_noise_has_momentum(self):
+        # Increments of the load must be positively autocorrelated — the
+        # structure the neural predictor exploits.
+        trace = synthesize_runescape_like(n_days=4, seed=9)
+        loads = trace.region("Europe").loads.astype(float)
+        diffs = np.diff(loads, axis=0)
+        cors = []
+        for g in range(loads.shape[1]):
+            d = diffs[:, g]
+            if d.std() > 0:
+                cors.append(np.corrcoef(d[:-1], d[1:])[0, 1])
+        assert np.mean(cors) > 0.2
+
+
+class TestEventsIntegration:
+    def test_mass_quit_reduces_population(self):
+        base = synthesize_game_trace(small_config(n_days=4.0))
+        shocked = synthesize_game_trace(
+            small_config(
+                n_days=4.0,
+                events=(MassQuit(start_day=1.0, amend_day=3.5, drop_fraction=0.3),),
+            )
+        )
+        mask = slice(1440, 2160)  # days 2-3, inside the trough
+        assert (
+            shocked.global_players()[mask].mean()
+            < base.global_players()[mask].mean() * 0.85
+        )
+
+    def test_content_release_boosts_population(self):
+        base = synthesize_game_trace(small_config(n_days=3.0))
+        boosted = synthesize_game_trace(
+            small_config(
+                n_days=3.0, events=(ContentRelease(day=1.0, surge_fraction=0.5),)
+            )
+        )
+        mask = slice(800, 1400)
+        assert (
+            boosted.global_players()[mask].mean()
+            > base.global_players()[mask].mean() * 1.15
+        )
+
+
+class TestOutagesAndSpikes:
+    def test_outages_zero_groups(self):
+        cfg = small_config(outage_rate_per_group_day=5.0, always_full_fraction=0.0)
+        trace = synthesize_game_trace(cfg)
+        # With 8 groups x 2 days x rate 5 there are ~80 outages.
+        assert (trace.regions[0].loads == 0).any()
+
+    def test_no_outages_when_rate_zero(self):
+        cfg = small_config(base_utilization=0.4, noise_std=0.0)
+        trace = synthesize_game_trace(cfg)
+        assert not (trace.regions[0].loads == 0).any()
+
+    def test_spikes_create_fast_risers(self):
+        calm = synthesize_game_trace(small_config(n_days=2.0))
+        spiky = synthesize_game_trace(
+            small_config(n_days=2.0, spike_rate_per_region_day=8.0)
+        )
+        calm_jump = np.abs(np.diff(calm.global_players())).max()
+        spiky_jump = np.abs(np.diff(spiky.global_players())).max()
+        assert spiky_jump > calm_jump * 1.5
+
+
+class TestGlobalPopulation:
+    def test_fig2_scenario_shape(self):
+        days, players = synthesize_global_population(n_days=60, seed=2)
+        assert days.shape == players.shape
+        assert players.max() <= 300_000
+        # The mass quit: day 10-12 mean well below day 7-9 mean.
+        pre = players[(days >= 7) & (days < 9)].mean()
+        trough = players[(days >= 10.5) & (days < 12)].mean()
+        assert trough < pre * 0.85
+
+    def test_peak_players_scaling(self):
+        _, small = synthesize_global_population(n_days=20, peak_players=100_000)
+        _, large = synthesize_global_population(n_days=20, peak_players=200_000)
+        assert large.max() == pytest.approx(2 * small.max(), rel=0.05)
