@@ -122,6 +122,9 @@ def quick_simulation(
     update: str = "O(n^2)",
     mode: str = "dynamic",
     seed: int = 1,
+    metrics=None,
+    tracer=None,
+    check_invariants: bool = False,
 ) -> SimulationResult:
     """Run a small end-to-end provisioning simulation with defaults.
 
@@ -129,7 +132,9 @@ def quick_simulation(
     under the paper's HP-1/HP-2 policies, and simulates ``mode``
     provisioning with the given predictor and update model.  Intended
     for quickstarts and smoke tests; the full-scale experiments live in
-    :mod:`repro.experiments`.
+    :mod:`repro.experiments`.  The observability hooks (``metrics``,
+    ``tracer``, ``check_invariants``) are forwarded to
+    :class:`EcosystemConfig` and default to off.
     """
     trace = synthesize_runescape_like(n_days=n_days, seed=seed)
     game = GameSpec(
@@ -143,5 +148,8 @@ def quick_simulation(
         centers=build_paper_datacenters(),
         mode=mode,
         warmup_steps=int(round(warmup_days * 720)),
+        metrics=metrics,
+        tracer=tracer,
+        check_invariants=check_invariants,
     )
     return EcosystemSimulator(config).run()

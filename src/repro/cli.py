@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Four subcommands cover the workflows a downstream user needs without
+Five subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
   save it (NPZ or CSV);
 * ``repro simulate`` — run one provisioning simulation and print the
-  efficiency metrics;
+  efficiency metrics (``--trace FILE`` dumps JSONL step events,
+  ``--invariants`` runs the sanitizer checks every step);
+* ``repro report`` — run one simulation with full observability on and
+  print the top-line metrics plus the per-phase wall-clock summary;
 * ``repro experiment`` — run a paper experiment by name (``fig05``,
   ``table6``, ...) and print its table/series;
 * ``repro predictors`` — list the available predictors.
@@ -17,6 +20,8 @@ Examples
 
     repro synthesize --days 14 --seed 1 --out trace.npz
     repro simulate --days 3 --predictor Neural --update "O(n^2)"
+    repro simulate --days 1 --trace run.jsonl --invariants
+    repro report --days 3 --predictor Neural
     repro experiment fig03
     REPRO_EVAL_DAYS=2 repro experiment table5
 """
@@ -73,16 +78,34 @@ def _build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--out", required=True, help="output path (.npz) or directory (--csv)")
     syn.add_argument("--csv", action="store_true", help="write a CSV directory instead of NPZ")
 
+    def _add_sim_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--days", type=float, default=3.0, help="trace length in days")
+        p.add_argument("--warmup-days", type=float, default=1.0, help="warm-up prefix")
+        p.add_argument("--seed", type=int, default=1, help="random seed")
+        p.add_argument("--predictor", default="Neural", help="predictor display name")
+        p.add_argument("--update", default="O(n^2)", help="update model, e.g. 'O(n)'")
+        p.add_argument(
+            "--mode", choices=("dynamic", "static"), default="dynamic",
+            help="provisioning mode",
+        )
+        p.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="write structured JSONL step-trace events to FILE",
+        )
+        p.add_argument(
+            "--invariants", action="store_true",
+            help="run the runtime invariant checker every step",
+        )
+
     sim = sub.add_parser("simulate", help="run one provisioning simulation")
-    sim.add_argument("--days", type=float, default=3.0, help="trace length in days")
-    sim.add_argument("--warmup-days", type=float, default=1.0, help="warm-up prefix")
-    sim.add_argument("--seed", type=int, default=1, help="random seed")
-    sim.add_argument("--predictor", default="Neural", help="predictor display name")
-    sim.add_argument("--update", default="O(n^2)", help="update model, e.g. 'O(n)'")
-    sim.add_argument(
-        "--mode", choices=("dynamic", "static"), default="dynamic",
-        help="provisioning mode",
+    _add_sim_args(sim)
+
+    rep = sub.add_parser(
+        "report",
+        help="run one simulation with metrics on and print the "
+        "observability report (counters, distributions, per-phase timing)",
     )
+    _add_sim_args(rep)
 
     exp = sub.add_parser("experiment", help="run a paper experiment")
     exp.add_argument(
@@ -110,20 +133,36 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _run_observed_simulation(args: argparse.Namespace, *, metrics=None):
+    """One quick_simulation honouring the shared --trace/--invariants
+    flags; returns the result (tracer closed before returning)."""
     from repro import quick_simulation
-    from repro.datacenter.resources import CPU, EXTNET_IN, EXTNET_OUT
+    from repro.obs import StepTracer
     from repro.predictors.base import make_predictor
+
+    tracer = StepTracer(args.trace) if args.trace else None
+    try:
+        return quick_simulation(
+            n_days=args.days,
+            warmup_days=args.warmup_days,
+            predictor=lambda: make_predictor(args.predictor),
+            update=args.update,
+            mode=args.mode,
+            seed=args.seed,
+            metrics=metrics,
+            tracer=tracer,
+            check_invariants=args.invariants,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"wrote {tracer.events_written:,} trace events to {args.trace}")
+
+
+def _print_metrics_table(args: argparse.Namespace, result) -> None:
+    from repro.datacenter.resources import CPU, EXTNET_IN, EXTNET_OUT
     from repro.reporting import render_table
 
-    result = quick_simulation(
-        n_days=args.days,
-        warmup_days=args.warmup_days,
-        predictor=lambda: make_predictor(args.predictor),
-        update=args.update,
-        mode=args.mode,
-        seed=args.seed,
-    )
     tl = result.combined
     rows = [
         (
@@ -142,6 +181,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{result.eval_steps} steps",
         )
     )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    result = _run_observed_simulation(args)
+    _print_metrics_table(args, result)
+    if args.invariants:
+        print(f"invariant checks: {result.invariant_checks:,} steps, 0 violations")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry, render_report
+
+    registry = MetricsRegistry()
+    result = _run_observed_simulation(args, metrics=registry)
+    _print_metrics_table(args, result)
+    print()
+    print(render_report(registry, result.timings, title="Run metrics"))
+    if args.invariants:
+        print(f"\ninvariant checks: {result.invariant_checks:,} steps, 0 violations")
     return 0
 
 
@@ -166,6 +225,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "synthesize": _cmd_synthesize,
         "simulate": _cmd_simulate,
+        "report": _cmd_report,
         "experiment": _cmd_experiment,
         "predictors": _cmd_predictors,
     }

@@ -26,12 +26,20 @@ import numpy as np
 
 from repro.core.loadmodel import DemandModel
 from repro.core.matching import MatchingPolicy
-from repro.core.metrics import MetricsTimeline
+from repro.core.metrics import (
+    SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
+    MetricsTimeline,
+    over_allocation_percent,
+)
 from repro.core.operator import GameOperator
 from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import LatencyClass
 from repro.datacenter.resources import CPU, RESOURCE_TYPES, ResourceVector
+from repro.obs.invariants import InvariantChecker, invariants_forced
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timing import PhaseTimer
+from repro.obs.tracer import StepTracer
 from repro.predictors.base import Predictor
 from repro.traces.model import GameTrace
 
@@ -138,6 +146,20 @@ class EcosystemConfig:
         multi-step forecast, instead of requesting on demand.  Bookings
         hold their resources from booking time (reserved capacity is
         unavailable to other tenants) until the lease ends.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        set, the provisioner/matcher/centers record their counters into
+        it and the run collects per-phase wall-clock timings.
+    tracer:
+        Optional :class:`~repro.obs.tracer.StepTracer` receiving
+        structured JSONL events from the whole run.
+    check_invariants:
+        Run the :class:`~repro.obs.invariants.InvariantChecker` every
+        step (also forced globally by ``REPRO_INVARIANTS=1``).  O(live
+        leases) per step — intended for tests and debugging.
+    invariant_checker:
+        A pre-built checker to use instead of constructing one (e.g. a
+        ``collect=True`` checker that gathers violations).
     """
 
     games: list[GameSpec]
@@ -146,6 +168,10 @@ class EcosystemConfig:
     warmup_steps: int = 720
     matching: MatchingPolicy = field(default_factory=MatchingPolicy)
     advance_lead_steps: int = 0
+    metrics: MetricsRegistry | None = None
+    tracer: StepTracer | None = None
+    check_invariants: bool = False
+    invariant_checker: InvariantChecker | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("dynamic", "static"):
@@ -187,6 +213,12 @@ class SimulationResult:
         Steps on which some demand could not be hosted anywhere.
     eval_steps / step_minutes:
         Evaluation-window geometry.
+    timings:
+        Per-phase wall-clock seconds (only when a metrics registry was
+        installed; ``None`` otherwise).
+    invariant_checks:
+        Number of per-step invariant sweeps that ran (0 when checking
+        was off).
     """
 
     per_game: dict[str, MetricsTimeline]
@@ -197,6 +229,8 @@ class SimulationResult:
     unmatched_steps: int
     eval_steps: int
     step_minutes: float
+    timings: dict[str, float] | None = None
+    invariant_checks: int = 0
 
 
 class EcosystemSimulator:
@@ -213,22 +247,51 @@ class EcosystemSimulator:
         warmup = cfg.warmup_steps
         eval_steps = n_steps - warmup
 
+        # Observability: all hooks default to off; each record site is
+        # guarded by a single ``is None`` test so the disabled cost is
+        # one pointer comparison.
+        metrics = cfg.metrics
+        tracer = cfg.tracer
+        checker = cfg.invariant_checker
+        if checker is None and (cfg.check_invariants or invariants_forced()):
+            checker = InvariantChecker(cfg.centers)
+        timer = PhaseTimer() if metrics is not None else None
+        if metrics is not None:
+            for center in cfg.centers:
+                center.attach_metrics(metrics)
+            c_steps = metrics.counter("sim.steps")
+            c_unmatched = metrics.counter("sim.unmatched_steps")
+            c_events = metrics.counter("sim.significant_events")
+            h_omega = metrics.histogram("sim.omega_cpu")
+            h_upsilon = metrics.histogram("sim.upsilon_cpu")
+
         operators = {g.name: g.build_operator(cfg.centers) for g in cfg.games}
         if cfg.mode == "dynamic":
             provisioner: DynamicProvisioner | StaticProvisioner = DynamicProvisioner(
-                cfg.centers, matching=cfg.matching, step_minutes=step_minutes
+                cfg.centers,
+                matching=cfg.matching,
+                step_minutes=step_minutes,
+                metrics=metrics,
+                tracer=tracer,
             )
         else:
             provisioner = StaticProvisioner(
-                cfg.centers, matching=cfg.matching, step_minutes=step_minutes
+                cfg.centers,
+                matching=cfg.matching,
+                step_minutes=step_minutes,
+                metrics=metrics,
+                tracer=tracer,
             )
 
         # Off-line phases: predictor training + state warm-up.
+        t_mark = timer.mark() if timer is not None else 0.0
         for game in cfg.games:
             if warmup > 0:
                 operators[game.name].prepare(
                     GameOperator.warmup_from_trace(game.trace, warmup)
                 )
+        if timer is not None:
+            t_mark = timer.lap("warmup", t_mark)
 
         # Static mode installs, up front, servers sized for every group's
         # individual peak over the horizon (the worst case each world's
@@ -252,6 +315,8 @@ class EcosystemSimulator:
                         region.location,
                         _RV.from_array(assigned.sum(axis=0)),
                     )
+            if timer is not None:
+                t_mark = timer.lap("install", t_mark)
 
         ordered_games = sorted(
             cfg.games, key=lambda g: -g.priority
@@ -264,6 +329,10 @@ class EcosystemSimulator:
 
         n_res = len(RESOURCE_TYPES)
         for t in range(warmup, n_steps):
+            if tracer is not None:
+                tracer.emit("step", step=t, mode=cfg.mode)
+            if timer is not None:
+                t_mark = timer.mark()
             # 1. Reconcile allocations for this step from predictions
             #    made on data up to t-1 (dynamic mode only).  Games are
             #    served in priority order (the Sec. V-F future-work
@@ -282,6 +351,15 @@ class EcosystemSimulator:
                             desired = op.desired_allocation(
                                 region.name, region.n_groups
                             )
+                        if tracer is not None:
+                            tracer.emit(
+                                "reconcile",
+                                step=t,
+                                operator=op.operator_id,
+                                game=game.name,
+                                region=region.name,
+                                desired=desired.values.tolist(),
+                            )
                         plan = provisioner.reconcile(
                             op, region.name, region.location, desired, t
                         )
@@ -289,6 +367,10 @@ class EcosystemSimulator:
                             any_unmatched = True
             if any_unmatched:
                 unmatched_steps += 1
+                if metrics is not None:
+                    c_unmatched.inc()
+            if timer is not None:
+                t_mark = timer.lap("reconcile", t_mark)
 
             # 2. Score the in-place allocation against the actual load.
             #    Under-allocation uses per-group granularity: each game
@@ -352,6 +434,20 @@ class EcosystemSimulator:
                 per_game[game.name].record(
                     game_alloc, game_load, game_machines, deficit=game_deficit
                 )
+                if checker is not None:
+                    checker.check_score(
+                        game.name, t, game_alloc, game_load, game_deficit
+                    )
+                if tracer is not None:
+                    tracer.emit(
+                        "score",
+                        step=t,
+                        game=game.name,
+                        allocated=game_alloc.tolist(),
+                        load=game_load.tolist(),
+                        deficit=game_deficit.tolist(),
+                        machines=game_machines,
+                    )
                 combined_alloc += game_alloc
                 combined_load += game_load
                 combined_deficit += game_deficit
@@ -359,24 +455,54 @@ class EcosystemSimulator:
             combined.record(
                 combined_alloc, combined_load, combined_machines, deficit=combined_deficit
             )
+            cpu_i = int(CPU)
+            if metrics is not None:
+                # Per-step Ω/Υ contributions (CPU, the contended resource).
+                c_steps.inc()
+                h_omega.observe(
+                    over_allocation_percent(combined_alloc[cpu_i], combined_load[cpu_i])
+                )
+                upsilon = -combined_deficit[cpu_i] / max(combined_machines, 1) * 100.0
+                h_upsilon.observe(upsilon)
+                if upsilon < -SIGNIFICANT_UNDER_ALLOCATION_PERCENT:
+                    c_events.inc()
+                t_mark = timer.lap("score", t_mark)
+
+            # Sanitizer sweep: ledgers vs. ground truth, every step.
+            if checker is not None:
+                checker.check_step(provisioner, t)
+                if timer is not None:
+                    t_mark = timer.lap("invariants", t_mark)
 
             # Per-center accounting (CPU only, the contended resource).
             for center in cfg.centers:
                 center_cpu_sum[center.name] += center.allocated[CPU]
-            cpu_i = int(CPU)
             for k, vec in provisioner.allocation_by_center_and_region().items():
                 center_region_cpu_sum[k] = center_region_cpu_sum.get(k, 0.0) + float(
                     vec[cpu_i]
                 )
+            if timer is not None:
+                t_mark = timer.lap("accounting", t_mark)
 
             # 3. Operators observe the actual load and move on.
             for game in cfg.games:
                 op = operators[game.name]
                 for region in game.trace.regions:
                     op.observe(region.name, game.trace.region(region.name).loads[t])
+            if timer is not None:
+                t_mark = timer.lap("observe", t_mark)
 
         # Teardown so the caller's centers are reusable.
         provisioner.release_everything(n_steps)
+        if tracer is not None:
+            tracer.emit(
+                "run_end",
+                steps=eval_steps,
+                mode=cfg.mode,
+                unmatched_steps=unmatched_steps,
+                invariant_checks=checker.checks_run if checker is not None else 0,
+                violations=len(checker.violations) if checker is not None else 0,
+            )
 
         return SimulationResult(
             per_game=per_game,
@@ -391,4 +517,6 @@ class EcosystemSimulator:
             unmatched_steps=unmatched_steps,
             eval_steps=eval_steps,
             step_minutes=step_minutes,
+            timings=dict(timer.seconds) if timer is not None else None,
+            invariant_checks=checker.checks_run if checker is not None else 0,
         )

@@ -21,11 +21,14 @@ bulk, then distance).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import GeoLocation, LatencyClass
 from repro.datacenter.resources import CPU, ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["MatchingPolicy", "MatchPlan", "match_request", "distance_band", "DISTANCE_BANDS_KM"]
 
@@ -91,10 +94,15 @@ class MatchPlan:
         ``(center, rounded_vector)`` pairs to allocate, in match order.
     unmatched:
         The demand left uncovered (zero vector when fully matched).
+    rejections:
+        ``(center_name, reason)`` pairs for every candidate that was
+        ruled out: ``"latency"`` (outside the game's distance class) or
+        ``"amount"`` (admissible but no usable free capacity).
     """
 
     placements: list[tuple[DataCenter, ResourceVector]] = field(default_factory=list)
     unmatched: ResourceVector = field(default_factory=ResourceVector.zeros)
+    rejections: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def fully_matched(self) -> bool:
@@ -116,6 +124,7 @@ def match_request(
     *,
     latency: LatencyClass = LatencyClass.VERY_FAR,
     policy: MatchingPolicy | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> MatchPlan:
     """Match a demand vector against the data centers.
 
@@ -137,18 +146,25 @@ def match_request(
         The game's latency tolerance, as a distance class.
     policy:
         Offer-ranking configuration (default: the paper's).
+    metrics:
+        Optional registry recording request/placement/rejection
+        counters (``matching.*`` — see ``docs/observability.md``).
     """
     if policy is None:
         policy = MatchingPolicy()
     plan = MatchPlan()
     if not demand.any_positive():
         return plan
+    if metrics is not None:
+        metrics.counter("matching.requests").inc()
 
     admissible: list[tuple[tuple, DataCenter]] = []
     for center in centers:
         dist = origin.distance_km(center.location)
         if latency.admits(dist):
             admissible.append((policy.sort_key(center, dist), center))
+        else:
+            plan.rejections.append((center.name, "latency"))
     admissible.sort(key=lambda pair: pair[0])
 
     remaining = demand.copy()
@@ -157,8 +173,18 @@ def match_request(
             break
         offer = center.fit_to_capacity(remaining)
         if not offer.any_positive():
+            plan.rejections.append((center.name, "amount"))
             continue
         plan.placements.append((center, offer))
         remaining = (remaining - offer).clamp_min(0.0)
     plan.unmatched = remaining
+    if metrics is not None:
+        if plan.placements:
+            metrics.counter("matching.placements").inc(len(plan.placements))
+        for _, reason in plan.rejections:
+            metrics.counter(f"matching.rejected.{reason}").inc()
+        if plan.fully_matched:
+            metrics.counter("matching.fully_matched").inc()
+        else:
+            metrics.counter("matching.unmatched").inc()
     return plan

@@ -27,13 +27,25 @@ The inner loop runs ~10,000 times per simulation, so bookkeeping is
 incremental: per-key allocation totals are maintained on allocate and
 release (never recomputed by summing leases), and expiries pop off a
 min-heap ordered by lease end step.
+
+Heap tie-breaking uses a *per-instance* counter: two provisioners in
+one process (the Table VII multi-MMOG runs) must each see a
+deterministic, independent tie sequence regardless of the other's
+allocation activity.
+
+Observability: both engines accept an optional
+:class:`~repro.obs.registry.MetricsRegistry` (lease open/expiry
+counters, duration histogram) and an optional
+:class:`~repro.obs.tracer.StepTracer` (``lease_open`` /
+``lease_expire`` / ``match`` events).  Both default to ``None`` and
+cost one pointer test per record when absent.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -43,9 +55,11 @@ from repro.datacenter.center import DataCenter, Lease
 from repro.datacenter.geography import GeoLocation
 from repro.datacenter.resources import N_RESOURCES, ResourceVector
 
-__all__ = ["DynamicProvisioner", "StaticProvisioner"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracer import StepTracer
 
-_tie = itertools.count()
+__all__ = ["DynamicProvisioner", "StaticProvisioner"]
 
 
 class _ProvisionerBase:
@@ -57,6 +71,8 @@ class _ProvisionerBase:
         *,
         matching: MatchingPolicy | None = None,
         step_minutes: float = 2.0,
+        metrics: "MetricsRegistry | None" = None,
+        tracer: "StepTracer | None" = None,
     ) -> None:
         if not centers:
             raise ValueError("need at least one data center")
@@ -65,6 +81,8 @@ class _ProvisionerBase:
         self.centers = list(centers)
         self.matching = matching or MatchingPolicy()
         self.step_minutes = float(step_minutes)
+        # Per-instance heap tie-breaker (see module docstring).
+        self._tie = itertools.count()
         # key -> min-heap of (end_step, tiebreak, center, lease)
         self._heaps: dict[tuple[str, str, str], list] = {}
         # key -> running allocation total (4-vector)
@@ -72,6 +90,15 @@ class _ProvisionerBase:
         # key -> {center name: [center, 4-vector]} (for machine counts
         # and per-center reporting)
         self._by_center: dict[tuple[str, str, str], dict[str, list]] = {}
+        self.metrics = metrics
+        self.tracer = tracer
+        if metrics is not None:
+            self._c_opened = metrics.counter("provisioner.leases_opened")
+            self._c_expired = metrics.counter("provisioner.leases_expired")
+            self._g_active = metrics.gauge("provisioner.active_leases")
+            self._h_duration = metrics.histogram("provisioner.lease_duration_steps")
+            self._c_reconciles = metrics.counter("provisioner.reconciles")
+            self._c_shortfalls = metrics.counter("provisioner.shortfall_requests")
 
     def _key(self, operator: GameOperator, region: str) -> tuple[str, str, str]:
         return (operator.operator_id, operator.game_id, region)
@@ -81,8 +108,24 @@ class _ProvisionerBase:
     def _add_lease(self, key: tuple[str, str, str], center: DataCenter, lease: Lease) -> None:
         heapq.heappush(
             self._heaps.setdefault(key, []),
-            (lease.end_step, next(_tie), center, lease),
+            (lease.end_step, next(self._tie), center, lease),
         )
+        if self.metrics is not None:
+            self._c_opened.inc()
+            self._g_active.inc()
+            self._h_duration.observe(lease.end_step - lease.start_step)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "lease_open",
+                step=lease.start_step,
+                lease_id=lease.lease_id,
+                center=center.name,
+                operator=key[0],
+                game=key[1],
+                region=key[2],
+                resources=lease.resources.values.tolist(),
+                end_step=lease.end_step,
+            )
         vec = lease.resources.values
         total = self._totals.get(key)
         if total is None:
@@ -187,6 +230,17 @@ class _ProvisionerBase:
         for key, heap in self._heaps.items():
             for _, _, center, lease in heap:
                 center.release(lease, step, force=True)
+                if self.metrics is not None:
+                    self._c_expired.inc()
+                    self._g_active.dec()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "lease_expire",
+                        step=step,
+                        lease_id=lease.lease_id,
+                        center=center.name,
+                        forced=True,
+                    )
         self._heaps.clear()
         self._totals.clear()
         self._by_center.clear()
@@ -234,6 +288,8 @@ class DynamicProvisioner(_ProvisionerBase):
         not host — it will surface as under-allocation.
         """
         key = self._key(operator, region)
+        if self.metrics is not None:
+            self._c_reconciles.inc()
 
         # 1. Expire leases whose requested duration has elapsed.
         heap = self._heaps.get(key)
@@ -242,19 +298,47 @@ class DynamicProvisioner(_ProvisionerBase):
                 _, _, center, lease = heapq.heappop(heap)
                 center.release(lease, step)
                 self._drop_lease_totals(key, center, lease)
+                if self.metrics is not None:
+                    self._c_expired.inc()
+                    self._g_active.dec()
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "lease_expire",
+                        step=step,
+                        lease_id=lease.lease_id,
+                        center=center.name,
+                    )
 
         # 2. Cover any shortfall with new leases.
         current = self.allocation_array(operator, region)
         deficit_arr = np.maximum(desired.values - current, 0.0)
         if not np.any(deficit_arr > 1e-9):
             return MatchPlan()
+        if self.metrics is not None:
+            self._c_shortfalls.inc()
         plan = match_request(
             ResourceVector.from_array(deficit_arr),
             origin,
             self.centers,
             latency=operator.latency_class,
             policy=self.matching,
+            metrics=self.metrics,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "match",
+                step=step,
+                operator=key[0],
+                game=key[1],
+                region=key[2],
+                requested=deficit_arr.tolist(),
+                placements=[
+                    (center.name, vec.values.tolist())
+                    for center, vec in plan.placements
+                ],
+                rejections=plan.rejections,
+                unmatched=plan.unmatched.values.tolist(),
+            )
         self._apply_plan(operator, region, plan, step)
         return plan
 
@@ -289,7 +373,23 @@ class StaticProvisioner(_ProvisionerBase):
             self.centers,
             latency=operator.latency_class,
             policy=self.matching,
+            metrics=self.metrics,
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "match",
+                step=step,
+                operator=operator.operator_id,
+                game=operator.game_id,
+                region=region,
+                requested=peak_demand.values.tolist(),
+                placements=[
+                    (center.name, vec.values.tolist())
+                    for center, vec in plan.placements
+                ],
+                rejections=plan.rejections,
+                unmatched=plan.unmatched.values.tolist(),
+            )
         self._apply_plan(operator, region, plan, step, duration_steps=horizon_steps)
         return plan
 

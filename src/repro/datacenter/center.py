@@ -145,6 +145,30 @@ class DataCenter:
         )
         self._allocated = ResourceVector.zeros()
         self._leases: dict[int, Lease] = {}
+        # Observability (off by default; see attach_metrics).
+        self._metrics = None
+        self._c_allocations = None
+        self._c_releases = None
+        self._c_bulks = None
+        self._h_waste = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Install a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Binds the ``center.*`` instruments once so the hot paths pay a
+        single ``is None`` test when observability is off and a plain
+        attribute update when it is on.  Instruments are shared across
+        centers (platform-wide series); pass ``None`` to detach.
+        """
+        self._metrics = metrics
+        if metrics is None:
+            self._c_allocations = self._c_releases = None
+            self._c_bulks = self._h_waste = None
+            return
+        self._c_allocations = metrics.counter("center.allocations")
+        self._c_releases = metrics.counter("center.releases")
+        self._c_bulks = metrics.counter("center.bulks_rounded")
+        self._h_waste = metrics.histogram("center.rounding_waste_cpu")
 
     # -- queries -----------------------------------------------------------
 
@@ -212,7 +236,11 @@ class DataCenter:
 
     def round_to_bulk(self, demand: ResourceVector) -> ResourceVector:
         """Round a demand up to this center's policy bulks."""
-        return self.policy.round_request(demand)
+        rounded = self.policy.round_request(demand)
+        if self._metrics is not None:
+            self._c_bulks.inc()
+            self._h_waste.observe(rounded[CPU] - demand[CPU])
+        return rounded
 
     def can_allocate(self, rounded: ResourceVector) -> bool:
         """Whether a bulk-rounded request fits the free capacity.
@@ -300,6 +328,8 @@ class DataCenter:
         )
         self._leases[lease.lease_id] = lease
         self._allocated = self._allocated + rounded
+        if self._metrics is not None:
+            self._c_allocations.inc()
         return lease
 
     def release(self, lease: Lease, step: int, *, force: bool = False) -> None:
@@ -314,6 +344,8 @@ class DataCenter:
             )
         del self._leases[lease.lease_id]
         self._allocated = (self._allocated - lease.resources).clamp_min(0.0)
+        if self._metrics is not None:
+            self._c_releases.inc()
 
     def release_all(self, *, step: int = 0) -> None:
         """Forcibly release every lease (teardown helper)."""

@@ -168,8 +168,17 @@ def run_ecosystem(
     matching: MatchingPolicy | None = None,
     warmup: int | None = None,
     advance_lead_steps: int = 0,
+    metrics=None,
+    tracer=None,
+    check_invariants: bool = False,
+    invariant_checker=None,
 ) -> SimulationResult:
-    """Run one ecosystem simulation with the shared defaults."""
+    """Run one ecosystem simulation with the shared defaults.
+
+    The observability hooks (``metrics``, ``tracer``,
+    ``check_invariants`` / ``invariant_checker``) are forwarded to
+    :class:`~repro.core.ecosystem.EcosystemConfig`; all default to off.
+    """
     cfg = EcosystemConfig(
         games=games,
         centers=centers,
@@ -177,6 +186,10 @@ def run_ecosystem(
         warmup_steps=warmup if warmup is not None else warmup_steps(),
         matching=matching or MatchingPolicy(),
         advance_lead_steps=advance_lead_steps,
+        metrics=metrics,
+        tracer=tracer,
+        check_invariants=check_invariants,
+        invariant_checker=invariant_checker,
     )
     return EcosystemSimulator(cfg).run()
 

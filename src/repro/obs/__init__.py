@@ -1,0 +1,51 @@
+"""Simulation observability: metrics, step tracing, invariant checks.
+
+The trace-driven inner loop (Sec. V) runs ~10,000 steps per
+simulation; when a paper figure drifts there must be a way to see
+*which* step, lease, or matching decision moved it.  This package
+supplies the three instruments a serving stack would have:
+
+* :mod:`repro.obs.registry` — a lightweight **metrics registry**
+  (counters, gauges, histograms) threaded through the provisioner,
+  the matching mechanism, the data centers, and the ecosystem
+  simulator.  Near-zero overhead when not installed: hot paths guard
+  every record with a single ``is None`` test;
+* :mod:`repro.obs.tracer` — an opt-in **step tracer** emitting
+  structured JSONL events (lease opens/expiries, match decisions,
+  per-step scores) behind the ``trace=`` hook and the CLI ``--trace``
+  flag;
+* :mod:`repro.obs.invariants` — a sanitizer-style **runtime invariant
+  checker** asserting conservation laws every simulation step
+  (enabled in tests via ``REPRO_INVARIANTS=1``, off by default);
+* :mod:`repro.obs.timing` — per-phase wall-clock accounting so
+  benchmark regressions are attributable to reconcile vs. score vs.
+  observe;
+* :mod:`repro.obs.report` — plain-text rendering of the above
+  (``repro report``).
+
+See ``docs/observability.md`` for metric names, the trace event
+schema, and the invariant list.
+"""
+
+from repro.obs.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    invariants_forced,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.timing import PhaseTimer
+from repro.obs.tracer import StepTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StepTracer",
+    "InvariantChecker",
+    "InvariantViolation",
+    "invariants_forced",
+    "PhaseTimer",
+    "render_report",
+]

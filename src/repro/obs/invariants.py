@@ -1,0 +1,215 @@
+"""Sanitizer-style runtime invariant checks for the simulator.
+
+The provisioning loop maintains three ledgers that must agree at every
+step: the per-center allocation totals, the provisioner's per-key
+running totals, and the live leases themselves (the ground truth).
+The bookkeeping is deliberately incremental (never recomputed by
+summing leases — see ``core/provisioner.py``), which is exactly the
+kind of code a drifting float or a missed release corrupts silently.
+
+:class:`InvariantChecker` recomputes the ground truth and asserts the
+conservation laws:
+
+I1. **Center ledger**: each center's allocated total equals the sum of
+    its live leases' resource vectors.
+I2. **Capacity**: no center exceeds its capacity on any of the four
+    resource types.
+I3. **Provisioner ledger**: each (operator, game, region) running
+    total equals the sum of that key's live leases, and the per-center
+    breakdown agrees.
+I4. **Lease lifetime**: no live lease has outlived its requested
+    duration (after the step's expiry pass), and every lease respects
+    its policy's minimum duration.
+I5. **Scoring consistency**: a zero recorded deficit implies demand ≤
+    allocation for that resource (Υ(t) = 0 ⇒ no shortfall) — checked
+    from the simulator where the actual load is known.
+
+Checks are O(total live leases), far too slow for always-on use in a
+10,000-step run at full scale — they are enabled in tests and forced
+globally with ``REPRO_INVARIANTS=1`` (the CI invariants job).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.provisioner import _ProvisionerBase
+    from repro.datacenter.center import DataCenter
+
+__all__ = ["InvariantChecker", "InvariantViolation", "invariants_forced"]
+
+
+def invariants_forced() -> bool:
+    """Whether ``REPRO_INVARIANTS`` forces checking on globally."""
+    return os.environ.get("REPRO_INVARIANTS", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+class InvariantViolation(AssertionError):
+    """A conservation law did not hold at some simulation step."""
+
+
+class InvariantChecker:
+    """Recomputes ground truth each step and asserts the ledgers agree.
+
+    Parameters
+    ----------
+    centers:
+        The platform under check.
+    tol:
+        Absolute tolerance on resource-unit comparisons (incremental
+        float bookkeeping accumulates rounding at ~1e-12 per op).
+    collect:
+        When ``True``, violations are appended to :attr:`violations`
+        instead of raising — used by the checker's own tests and by
+        trace-everything debugging runs.
+    tracer:
+        Optional :class:`~repro.obs.tracer.StepTracer`; every
+        violation is also emitted as a ``violation`` trace event.
+    metrics:
+        Optional registry; violations increment
+        ``invariants.violations``.
+    """
+
+    def __init__(
+        self,
+        centers: Sequence["DataCenter"],
+        *,
+        tol: float = 1e-6,
+        collect: bool = False,
+        tracer=None,
+        metrics=None,
+    ) -> None:
+        self.centers = list(centers)
+        self.tol = float(tol)
+        self.collect = bool(collect)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.violations: list[str] = []
+        self.checks_run = 0
+
+    # -- violation plumbing -------------------------------------------------
+
+    def _fail(self, invariant: str, step: int, message: str) -> None:
+        full = f"[{invariant}] {message}"
+        self.violations.append(full)
+        if self.metrics is not None:
+            self.metrics.counter("invariants.violations").inc()
+        if self.tracer is not None:
+            self.tracer.emit("violation", step=step, invariant=invariant, message=full)
+        if not self.collect:
+            raise InvariantViolation(full)
+
+    # -- per-step checks ----------------------------------------------------
+
+    def check_centers(self, step: int) -> None:
+        """I1 + I2: center ledgers vs. live leases, and capacity."""
+        self.checks_run += 1
+        for center in self.centers:
+            recomputed = np.zeros(4)
+            for lease in center.leases():
+                recomputed += lease.resources.values
+            ledger = center.allocated.values
+            if not np.allclose(ledger, recomputed, atol=self.tol):
+                self._fail(
+                    "I1",
+                    step,
+                    f"step {step}: {center.name} ledger {ledger.tolist()} != "
+                    f"sum of live leases {recomputed.tolist()}",
+                )
+            cap = center.capacity.values
+            over = ledger - cap
+            if np.any(over > self.tol):
+                self._fail(
+                    "I2",
+                    step,
+                    f"step {step}: {center.name} allocated {ledger.tolist()} "
+                    f"exceeds capacity {cap.tolist()}",
+                )
+
+    def check_provisioner(self, provisioner: "_ProvisionerBase", step: int) -> None:
+        """I3 + I4: provisioner running totals and lease lifetimes."""
+        for key, heap in provisioner._heaps.items():
+            recomputed = np.zeros(4)
+            per_center: dict[str, np.ndarray] = {}
+            for end_step, _, center, lease in heap:
+                recomputed += lease.resources.values
+                acc = per_center.get(center.name)
+                if acc is None:
+                    per_center[center.name] = lease.resources.values.copy()
+                else:
+                    acc += lease.resources.values
+                if end_step <= step:
+                    self._fail(
+                        "I4",
+                        step,
+                        f"step {step}: lease {lease.lease_id} ({key}) outlived its "
+                        f"requested duration (end_step {end_step})",
+                    )
+                if lease.end_step - lease.start_step <= 0:
+                    self._fail(
+                        "I4",
+                        step,
+                        f"step {step}: lease {lease.lease_id} ({key}) has a "
+                        f"non-positive duration",
+                    )
+            total = provisioner._totals.get(key)
+            total_arr = np.zeros(4) if total is None else total
+            if not np.allclose(total_arr, recomputed, atol=self.tol):
+                self._fail(
+                    "I3",
+                    step,
+                    f"step {step}: running total for {key} {total_arr.tolist()} != "
+                    f"sum of live leases {recomputed.tolist()}",
+                )
+            tracked = provisioner._by_center.get(key, {})
+            for name, vec in per_center.items():
+                entry = tracked.get(name)
+                entry_arr = np.zeros(4) if entry is None else entry[1]
+                if not np.allclose(entry_arr, vec, atol=self.tol):
+                    self._fail(
+                        "I3",
+                        step,
+                        f"step {step}: per-center total for {key}@{name} "
+                        f"{entry_arr.tolist()} != lease sum {vec.tolist()}",
+                    )
+
+    def check_score(
+        self,
+        game: str,
+        step: int,
+        allocated: np.ndarray,
+        load: np.ndarray,
+        deficit: np.ndarray,
+    ) -> None:
+        """I5: zero deficit implies demand ≤ allocation, per resource."""
+        zero_deficit = deficit <= self.tol
+        shortfall = load - allocated
+        bad = zero_deficit & (shortfall > self.tol)
+        if np.any(bad):
+            idx = int(np.argmax(bad))
+            self._fail(
+                "I5",
+                step,
+                f"step {step}: game {game!r} reports zero deficit on resource "
+                f"{idx} but load {load[idx]:.6f} exceeds allocation "
+                f"{allocated[idx]:.6f}",
+            )
+
+    def check_step(self, provisioner: "_ProvisionerBase", step: int) -> None:
+        """Run the ledger checks (I1-I4) for one step."""
+        self.check_centers(step)
+        self.check_provisioner(provisioner, step)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation has been observed so far."""
+        return not self.violations

@@ -1,0 +1,186 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Observability is off by
+   default; every instrumented hot path holds an optional registry and
+   guards with ``if metrics is not None`` — one pointer test per
+   record, no call, no allocation.  (The Fig. 8 benchmark budget is a
+   <5 % wall-clock envelope for the whole layer.)
+2. **Cheap when enabled.**  Instruments are plain attribute updates —
+   no locks (the simulator is single-threaded), no label hashing on
+   the hot path: callers bind the instrument once
+   (``self._c_opened = metrics.counter("provisioner.leases_opened")``)
+   and call ``inc()`` / ``observe()`` afterwards.
+3. **Introspectable.**  ``snapshot()`` returns one flat
+   ``name -> value`` dict suitable for reports, golden tests, and
+   JSON serialization.
+
+Metric names are dotted paths (``matching.rejected.latency``); the
+conventional names used by the simulator are listed in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, units)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """Streaming summary of a value distribution.
+
+    Tracks count / sum / min / max / sum-of-squares (for the standard
+    deviation) — O(1) memory, no reservoir, which is all the timing and
+    Ω/Υ summaries need.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sumsq = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._sumsq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        var = self._sumsq / self.count - self.mean**2
+        return math.sqrt(max(var, 0.0))
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Factory and container for named instruments.
+
+    Instruments are memoized by name: asking twice for
+    ``counter("x")`` returns the same object, so independently wired
+    components (provisioner, centers, matcher) share series.  Asking
+    for an existing name with a *different* instrument kind is an
+    error — silent type confusion would corrupt reports.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(name)
+            self._instruments[name] = inst
+        elif type(inst) is not kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}, "
+                f"requested {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self):
+        return iter(sorted(self._instruments.values(), key=lambda i: i.name))
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look up an instrument without creating it."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (0 when never touched)."""
+        inst = self._instruments.get(name)
+        if inst is None:
+            return default
+        if isinstance(inst, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; read .snapshot()")
+        return inst.value
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Flat ``name -> value`` view (histograms become summary dicts)."""
+        out: dict[str, float | dict[str, float]] = {}
+        for inst in self:
+            if isinstance(inst, Histogram):
+                out[inst.name] = {
+                    "count": inst.count,
+                    "sum": inst.total,
+                    "mean": inst.mean,
+                    "min": inst.min if inst.count else 0.0,
+                    "max": inst.max if inst.count else 0.0,
+                    "stddev": inst.stddev,
+                }
+            else:
+                out[inst.name] = inst.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, repeated runs)."""
+        self._instruments.clear()

@@ -1,0 +1,89 @@
+"""Plain-text rendering of a run's observability data.
+
+``render_report`` turns a :class:`~repro.obs.registry.MetricsRegistry`
+snapshot plus an optional :class:`~repro.obs.timing.PhaseTimer` into
+the summary the ``repro report`` CLI command prints: top-line counters
+(leases, matches, rejections, violations), histogram summaries, and a
+per-phase wall-clock table.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.timing import PhaseTimer
+from repro.reporting import render_table
+
+__all__ = ["render_report"]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def render_report(
+    metrics: MetricsRegistry,
+    timer: "PhaseTimer | dict[str, float] | None" = None,
+    *,
+    title: str = "Observability report",
+) -> str:
+    """Render counters/gauges, histograms, and phase timings as text.
+
+    ``timer`` may be a live :class:`PhaseTimer` or the plain
+    ``phase -> seconds`` dict a :class:`~repro.core.ecosystem.
+    SimulationResult` carries in its ``timings`` field.
+    """
+    if isinstance(timer, dict):
+        seconds = timer
+        timer = PhaseTimer()
+        for phase, secs in seconds.items():
+            timer.add(phase, secs)
+            timer.visits[phase] = 0  # per-phase visit counts not preserved
+    sections: list[str] = []
+
+    scalar_rows = []
+    histo_rows = []
+    for inst in metrics:
+        if isinstance(inst, Histogram):
+            histo_rows.append(
+                (
+                    inst.name,
+                    f"{inst.count:,}",
+                    _fmt(inst.mean),
+                    _fmt(inst.min if inst.count else 0.0),
+                    _fmt(inst.max if inst.count else 0.0),
+                    _fmt(inst.stddev),
+                )
+            )
+        else:
+            scalar_rows.append((inst.name, _fmt(inst.value)))
+
+    if scalar_rows:
+        sections.append(
+            render_table(["Metric", "Value"], scalar_rows, title=title)
+        )
+    if histo_rows:
+        sections.append(
+            render_table(
+                ["Histogram", "Count", "Mean", "Min", "Max", "Stddev"],
+                histo_rows,
+                title="Distributions",
+            )
+        )
+    if timer is not None and timer.seconds:
+        timing_rows = [
+            (phase, f"{secs:.3f}", f"{visits:,}" if visits else "", f"{share * 100:.1f}")
+            for phase, secs, visits, share in timer.summary()
+        ]
+        timing_rows.append(("(total)", f"{timer.total:.3f}", "", "100.0"))
+        sections.append(
+            render_table(
+                ["Phase", "Seconds", "Visits", "Share [%]"],
+                timing_rows,
+                title="Per-phase wall clock",
+            )
+        )
+    if not sections:
+        return f"{title}: no metrics recorded"
+    return "\n\n".join(sections)

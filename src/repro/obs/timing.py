@@ -1,0 +1,77 @@
+"""Per-phase wall-clock accounting for the simulation loop.
+
+A :class:`PhaseTimer` accumulates elapsed seconds per named phase
+(``reconcile``, ``score``, ``observe``, ...) so that a benchmark
+regression can be attributed to the phase that slowed down instead of
+showing up as an opaque total.  Use it either as a context manager::
+
+    with timer.phase("reconcile"):
+        ...
+
+or with explicit marks in a hot loop (no context-manager overhead)::
+
+    t0 = timer.mark()
+    ...
+    t0 = timer.lap("reconcile", t0)   # returns the new mark
+
+The timer is opt-in like the rest of the observability layer: the
+simulator holds ``timer=None`` unless a metrics registry is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds and visit counts per phase."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.visits: dict[str, int] = {}
+        self._start = time.perf_counter()
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.visits[phase] = self.visits.get(phase, 0) + 1
+
+    def mark(self) -> float:
+        """A raw timestamp for :meth:`lap`."""
+        return time.perf_counter()
+
+    def lap(self, phase: str, since: float) -> float:
+        """Charge the time since ``since`` to ``phase``; return now."""
+        now = time.perf_counter()
+        self.add(phase, now - since)
+        return now
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    @property
+    def total(self) -> float:
+        """Seconds accounted to all phases."""
+        return sum(self.seconds.values())
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the timer was created."""
+        return time.perf_counter() - self._start
+
+    def summary(self) -> list[tuple[str, float, int, float]]:
+        """``(phase, seconds, visits, share-of-total)`` rows, slowest first."""
+        total = self.total or 1.0
+        return [
+            (name, secs, self.visits[name], secs / total)
+            for name, secs in sorted(
+                self.seconds.items(), key=lambda kv: -kv[1]
+            )
+        ]

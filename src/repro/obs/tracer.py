@@ -1,0 +1,79 @@
+"""Opt-in step tracing: structured JSONL events from the inner loop.
+
+A :class:`StepTracer` writes one JSON object per line to a file-like
+sink.  Every event carries an ``event`` discriminator and the fields
+listed in ``docs/observability.md``; numeric resource vectors are
+serialized as 4-element lists ordered ``[cpu, memory, extnet_in,
+extnet_out]``.
+
+Events emitted by the instrumented simulator:
+
+========================  =====================================================
+``step``                  start of a simulation step (``step``, ``mode``)
+``reconcile``             one (operator, region) reconciliation request
+``lease_open``            a lease was created
+``lease_expire``          a lease's requested duration elapsed
+``match_reject``          a center was rejected while matching (``reason``)
+``match``                 outcome of one match_request call
+``score``                 per-game Ω/Υ contributions for one step
+``violation``            an invariant violation (checker in collect mode)
+``run_end``               simulation finished (totals)
+========================  =====================================================
+
+Tracing is opt-in and pays its cost only when installed: the simulator
+holds ``tracer=None`` by default and guards every emit site with a
+single ``is None`` test, mirroring the metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+__all__ = ["StepTracer"]
+
+
+class StepTracer:
+    """Writes structured JSONL trace events to a sink.
+
+    Parameters
+    ----------
+    sink:
+        A path (opened for writing, owned and closed by the tracer) or
+        an open text file-like object (borrowed; caller closes).
+    """
+
+    def __init__(self, sink: str | IO[str]) -> None:
+        if isinstance(sink, str):
+            self._file: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        else:
+            self._file = sink
+            self._owns_sink = False
+        self.events_written = 0
+        self._closed = False
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line.  ``event`` is the discriminator."""
+        if self._closed:
+            raise ValueError("tracer is closed")
+        record = {"event": event}
+        record.update(fields)
+        self._file.write(json.dumps(record, separators=(",", ":")))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Flush and (when the tracer opened the sink) close it."""
+        if self._closed:
+            return
+        self._closed = True
+        self._file.flush()
+        if self._owns_sink:
+            self._file.close()
+
+    def __enter__(self) -> "StepTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,160 @@
+"""Property-based tests for the request-offer matching mechanism.
+
+The contract under test (Sec. II-C, as implemented by
+:func:`match_request`):
+
+* **amount fit** — the plan covers the demand whenever the admissible
+  capacity allows, every placement is bulk-rounded ("at least" the
+  requested quantities), and ``total + unmatched >= demand``;
+* **latency fit** — only centers within the game's distance class
+  appear as placements; everything farther is rejected with reason
+  ``"latency"``;
+* **policy order** — placements walk the admissible centers by the
+  ranking criteria (finest grain, then shortest lease, then distance);
+* and, crucially, the returned plan **never over-fills a center**:
+  applying the placements in order always fits each center's free
+  capacity.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import MatchingPolicy, distance_band, match_request
+from repro.datacenter import DataCenter, ResourceVector, policy
+from repro.datacenter.geography import LatencyClass, location
+
+SITE_NAMES = ("Netherlands", "Germany", "France", "US East", "Japan", "Australia")
+POLICY_NAMES = ("HP-1", "HP-2", "HP-3", "HP-5", "HP-7", "HP-11")
+
+demand_vectors = st.builds(
+    ResourceVector,
+    cpu=st.floats(min_value=0, max_value=200, allow_nan=False),
+    memory=st.floats(min_value=0, max_value=200, allow_nan=False),
+    extnet_in=st.floats(min_value=0, max_value=50, allow_nan=False),
+    extnet_out=st.floats(min_value=0, max_value=50, allow_nan=False),
+)
+
+center_specs = st.lists(
+    st.tuples(
+        st.sampled_from(SITE_NAMES),
+        st.sampled_from(POLICY_NAMES),
+        st.integers(min_value=1, max_value=40),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+latency_classes = st.sampled_from(list(LatencyClass))
+
+
+def build_centers(specs):
+    return [
+        DataCenter(
+            name=f"dc{i}-{site}",
+            location=location(site),
+            n_machines=machines,
+            policy=policy(pol),
+        )
+        for i, (site, pol, machines) in enumerate(specs)
+    ]
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand=demand_vectors, specs=center_specs, latency=latency_classes)
+def test_plan_never_overfills_any_center(demand, specs, latency):
+    centers = build_centers(specs)
+    origin = location("Netherlands")
+    plan = match_request(demand, origin, centers, latency=latency)
+    seen = set()
+    for center, vec in plan.placements:
+        assert center.name not in seen, "center placed twice in one plan"
+        seen.add(center.name)
+        # The placement must be applicable: allocate() raises on
+        # overflow or bulk misalignment, which is exactly the claim.
+        center.allocate("op", "game", vec, 0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand=demand_vectors, specs=center_specs, latency=latency_classes)
+def test_latency_fit_filters_placements_and_flags_rejections(demand, specs, latency):
+    centers = build_centers(specs)
+    origin = location("US East")
+    plan = match_request(demand, origin, centers, latency=latency)
+    for center, _ in plan.placements:
+        assert latency.admits(origin.distance_km(center.location))
+    for name, reason in plan.rejections:
+        if reason == "latency":
+            center = next(c for c in centers if c.name == name)
+            assert not latency.admits(origin.distance_km(center.location))
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand=demand_vectors, specs=center_specs)
+def test_amount_fit_covers_demand_or_reports_remainder(demand, specs):
+    centers = build_centers(specs)
+    origin = location("Netherlands")
+    plan = match_request(demand, origin, centers)
+    total = plan.total().values
+    remainder = plan.unmatched.values
+    # total + unmatched >= demand, componentwise (bulk rounding only
+    # ever rounds *up*).
+    assert np.all(total + remainder >= demand.values - 1e-9)
+    # The remainder is honest: it never exceeds the demand.
+    assert np.all(remainder <= demand.values + 1e-9)
+    if plan.fully_matched:
+        assert np.all(total >= demand.values - 1e-9)
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand=demand_vectors, specs=center_specs)
+def test_placements_are_bulk_aligned(demand, specs):
+    centers = build_centers(specs)
+    plan = match_request(demand, location("Germany"), centers)
+    for center, vec in plan.placements:
+        bulks = center.policy.resource_bulk.values
+        vals = vec.values
+        for b, v in zip(bulks, vals):
+            if b > 0:
+                ratio = v / b
+                assert abs(ratio - round(ratio)) < 1e-6
+
+
+@settings(max_examples=120, deadline=None)
+@given(demand=demand_vectors, specs=center_specs, latency=latency_classes)
+def test_policy_order_finest_grain_then_shortest_lease(demand, specs, latency):
+    """Placements appear in non-decreasing ranking-key order."""
+    centers = build_centers(specs)
+    origin = location("Netherlands")
+    pol = MatchingPolicy(criteria=("grain", "time_bulk", "distance"))
+    plan = match_request(demand, origin, centers, latency=latency, policy=pol)
+    keys = [
+        (
+            c.policy.grain,
+            c.policy.time_bulk_minutes,
+            distance_band(origin.distance_km(c.location)),
+        )
+        for c, _ in plan.placements
+    ]
+    assert keys == sorted(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(demand=demand_vectors, specs=center_specs, latency=latency_classes)
+def test_matching_is_deterministic(demand, specs, latency):
+    origin = location("France")
+    plan_a = match_request(demand, origin, build_centers(specs), latency=latency)
+    plan_b = match_request(demand, origin, build_centers(specs), latency=latency)
+    assert [(c.name, v.values.tolist()) for c, v in plan_a.placements] == [
+        (c.name, v.values.tolist()) for c, v in plan_b.placements
+    ]
+    assert plan_a.unmatched.values.tolist() == plan_b.unmatched.values.tolist()
+    assert plan_a.rejections == plan_b.rejections
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=center_specs)
+def test_zero_demand_yields_empty_plan(specs):
+    plan = match_request(ResourceVector.zeros(), location("Japan"), build_centers(specs))
+    assert not plan.placements
+    assert not plan.rejections
+    assert plan.fully_matched

@@ -144,3 +144,38 @@ class TestStaticProvisioner:
         # Far beyond the policy time bulk, the allocation persists.
         prov.reconcile(op, "EU", EU, ResourceVector(cpu=0.5), step=10_000)
         assert prov.allocation(op, "EU")[CPU] >= 2.0
+
+
+class TestPerInstanceTieBreaking:
+    """Heap tie-breaking counters are per-provisioner, so two engines in
+    one process (the Table VII multi-MMOG runs) stay deterministic and
+    independent of each other's allocation activity."""
+
+    def test_counters_are_independent(self):
+        prov_a = DynamicProvisioner(centers())
+        prov_b = DynamicProvisioner(centers())
+        op = make_operator()
+        # Drive A hard, then allocate once on B: B's first tie value
+        # must not depend on A's history.
+        for t in range(5):
+            prov_a.reconcile(op, "EU", EU, ResourceVector(cpu=1.0 + t), step=t)
+        prov_b.reconcile(op, "EU", EU, ResourceVector(cpu=1.0), step=0)
+        (_, tie_b, _, _) = prov_b._heaps[("op", "game", "EU")][0]
+        assert tie_b == 0
+
+    def test_interleaving_does_not_change_heap_order(self):
+        """The same request sequence yields identical heap tie values
+        whether or not another provisioner allocates in between."""
+
+        def run(interleave: bool):
+            prov = DynamicProvisioner(centers())
+            other = DynamicProvisioner(centers())
+            op = make_operator()
+            for t in range(4):
+                prov.reconcile(op, "EU", EU, ResourceVector(cpu=2.0 * (t + 1)), step=t)
+                if interleave:
+                    other.reconcile(op, "EU", EU, ResourceVector(cpu=3.0), step=t)
+            heap = prov._heaps[("op", "game", "EU")]
+            return [(end, tie, lease.resources[CPU]) for end, tie, _, lease in heap]
+
+        assert run(interleave=False) == run(interleave=True)

@@ -1,0 +1,86 @@
+"""Golden regression tests for the paper tables/figures.
+
+Key scalar outputs of the fig05, fig08 and table5 experiments are
+snapshotted under a fixed seed and reduced scale in ``tests/golden/``;
+these tests recompute them and compare with tolerances.  A
+metric-wiring refactor that silently changes paper numbers fails here
+first — with a diff naming the exact figure and scalar that moved.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the updated JSON alongside the change that explains it.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import common
+
+from ..golden import regenerate
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+
+#: Relative tolerance for float comparisons.  The pipeline is seeded
+#: and deterministic; the slack only absorbs float-ordering noise from
+#: BLAS/numpy version differences across CI platforms.
+RTOL = 1e-6
+
+
+@pytest.fixture(autouse=True)
+def pinned_windows(monkeypatch):
+    monkeypatch.setenv("REPRO_EVAL_DAYS", regenerate.EVAL_DAYS)
+    monkeypatch.setenv("REPRO_WARMUP_DAYS", regenerate.WARMUP_DAYS)
+    common.clear_cache()
+    yield
+    common.clear_cache()
+
+
+def load_golden(name: str) -> dict:
+    path = GOLDEN_DIR / name
+    if not path.exists():
+        pytest.fail(
+            f"golden snapshot {name} missing; run "
+            "PYTHONPATH=src python tests/golden/regenerate.py"
+        )
+    return json.loads(path.read_text())
+
+
+def assert_matches(actual, golden, path=""):
+    """Recursive comparison: dicts by key, floats by RTOL, ints exact."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected dict, got {type(actual)}"
+        assert set(actual) == set(golden), (
+            f"{path}: keys changed: "
+            f"added {sorted(set(actual) - set(golden))}, "
+            f"removed {sorted(set(golden) - set(actual))}"
+        )
+        for key in golden:
+            assert_matches(actual[key], golden[key], f"{path}/{key}")
+    elif isinstance(golden, bool) or isinstance(golden, int):
+        assert actual == golden, f"{path}: {actual!r} != golden {golden!r}"
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=RTOL, abs=1e-9), (
+            f"{path}: {actual!r} != golden {golden!r}"
+        )
+    else:
+        assert actual == golden, f"{path}: {actual!r} != golden {golden!r}"
+
+
+class TestGoldenNumbers:
+    def test_fig05_prediction_errors(self):
+        assert_matches(regenerate.compute_fig05(), load_golden("fig05.json"))
+
+    def test_fig08_static_vs_dynamic(self):
+        assert_matches(regenerate.compute_fig08(), load_golden("fig08.json"))
+
+    def test_table5_predictor_rows(self):
+        assert_matches(regenerate.compute_table5(), load_golden("table5.json"))
+
+    def test_golden_files_are_valid_json(self):
+        for name in regenerate.SNAPSHOTS:
+            data = load_golden(name)
+            assert isinstance(data, dict) and data

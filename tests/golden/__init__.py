@@ -1,0 +1,6 @@
+"""Golden snapshots for the paper-number regression tests.
+
+JSON files here are produced by ``regenerate.py`` (see its docstring)
+and compared, with tolerances, by
+``tests/experiments/test_golden_regression.py``.
+"""

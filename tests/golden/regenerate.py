@@ -1,0 +1,103 @@
+"""Regenerate the golden snapshots for the paper-number regression tests.
+
+Run from the repository root after an *intentional* change to the
+simulation pipeline::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+then inspect the diff: every changed number is a changed paper metric
+and must be explainable.  The snapshots pin the reduced-scale
+(fast-test) configuration, not the full 14-day runs — the point is to
+catch unintended drift from refactors, which shows up at any scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: The pinned run configuration.  Tests must replicate these exactly.
+EVAL_DAYS = "0.5"
+WARMUP_DAYS = "0.25"
+SEED = 1
+FIG05_EMULATOR = dict(duration_days=0.2, peak_load=800, zones_x=4, zones_y=4)
+FIG05_FIT_FRACTION = 0.5
+
+
+def _configure_env() -> None:
+    os.environ["REPRO_EVAL_DAYS"] = EVAL_DAYS
+    os.environ["REPRO_WARMUP_DAYS"] = WARMUP_DAYS
+
+
+def compute_fig05() -> dict:
+    """Prediction-error matrix on small Table I emulations."""
+    from repro.experiments.table1_emulator_datasets import datasets_cached
+    from repro.predictors import evaluate_predictors, paper_predictor_suite
+
+    datasets = {
+        name: tr.zone_counts for name, tr in datasets_cached(**FIG05_EMULATOR).items()
+    }
+    errors = evaluate_predictors(
+        datasets, paper_predictor_suite(), fit_fraction=FIG05_FIT_FRACTION
+    )
+    return {"errors": errors}
+
+
+def compute_fig08() -> dict:
+    """Static-vs-dynamic headline scalars."""
+    from repro.experiments import fig08_static_vs_dynamic as exp
+
+    r = exp.run(seed=SEED)
+    return {
+        "dynamic_average": r.dynamic_average,
+        "static_average": r.static_average,
+        "static_over_dynamic": r.static_over_dynamic,
+        "dynamic_series_mean": float(r.dynamic_series.mean()),
+        "static_series_mean": float(r.static_series.mean()),
+        "n_steps": int(r.dynamic_series.size),
+    }
+
+
+def compute_table5() -> dict:
+    """All Table V rows for the six predictors."""
+    from repro.experiments import table5_predictor_allocation as exp
+
+    r = exp.run(seed=SEED)
+    return {
+        "rows": {
+            row.predictor: {
+                "cpu_over": row.cpu_over,
+                "extnet_in_over": row.extnet_in_over,
+                "extnet_out_over": row.extnet_out_over,
+                "cpu_under": row.cpu_under,
+                "extnet_out_under": row.extnet_out_under,
+                "events": row.events,
+            }
+            for row in r.rows
+        }
+    }
+
+
+SNAPSHOTS = {
+    "fig05.json": compute_fig05,
+    "fig08.json": compute_fig08,
+    "table5.json": compute_table5,
+}
+
+
+def main() -> None:
+    _configure_env()
+    from repro.experiments import common
+
+    common.clear_cache()
+    for filename, compute in SNAPSHOTS.items():
+        path = GOLDEN_DIR / filename
+        path.write_text(json.dumps(compute(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

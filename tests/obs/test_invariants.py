@@ -1,0 +1,178 @@
+"""The invariant-check battery.
+
+Two halves:
+
+* **Clean runs** — drive :class:`DynamicProvisioner` and
+  :class:`StaticProvisioner` over a synthetic 14-day demand trace
+  (10,080 two-minute steps) with the checker enabled every step and
+  assert zero violations; plus a full ecosystem run with
+  ``check_invariants=True``.
+* **Corrupted state** — deliberately break each ledger and prove the
+  checker actually fires (a sanitizer that never fires is
+  indistinguishable from one that never checks).
+"""
+
+import numpy as np
+import pytest
+
+from repro import quick_simulation
+from repro.core import DemandModel, DynamicProvisioner, GameOperator, StaticProvisioner, update_model
+from repro.datacenter import DataCenter, ResourceVector, policy
+from repro.datacenter.geography import location
+from repro.obs import InvariantChecker, InvariantViolation
+from repro.predictors import LastValuePredictor
+
+EU = location("Netherlands")
+STEPS_14_DAYS = 14 * 720  # two weeks at 2-minute sampling
+
+
+def build_platform(n_centers=3, machines=30):
+    return [
+        DataCenter(
+            name=f"dc{i}",
+            location=EU,
+            n_machines=machines,
+            policy=policy("HP-1" if i % 2 == 0 else "HP-2"),
+        )
+        for i in range(n_centers)
+    ]
+
+
+def make_operator(name="op"):
+    return GameOperator(
+        name, "game", DemandModel(update=update_model("O(n)")), LastValuePredictor
+    )
+
+
+def synthetic_demand(step: int, *, base=20.0, amplitude=15.0, seed_jitter=0.0):
+    """A diurnal CPU demand curve with deterministic jitter."""
+    phase = 2.0 * np.pi * step / 720.0
+    jitter = 3.0 * np.sin(7.1 * phase + seed_jitter)
+    cpu = max(base + amplitude * np.sin(phase) + jitter, 0.0)
+    return ResourceVector(cpu=cpu, memory=cpu, extnet_in=cpu / 20, extnet_out=cpu / 4)
+
+
+class TestCleanRuns:
+    def test_dynamic_provisioner_14_days_zero_violations(self):
+        centers = build_platform()
+        prov = DynamicProvisioner(centers)
+        checker = InvariantChecker(centers)
+        op = make_operator()
+        for t in range(STEPS_14_DAYS):
+            prov.reconcile(op, "Europe", EU, synthetic_demand(t), t)
+            checker.check_step(prov, t)
+        prov.release_everything(STEPS_14_DAYS)
+        checker.check_step(prov, STEPS_14_DAYS)
+        assert checker.ok
+        assert checker.checks_run == STEPS_14_DAYS + 1
+
+    def test_dynamic_two_regions_zero_violations(self):
+        centers = build_platform()
+        prov = DynamicProvisioner(centers)
+        checker = InvariantChecker(centers)
+        op = make_operator()
+        for t in range(STEPS_14_DAYS):
+            prov.reconcile(op, "Europe", EU, synthetic_demand(t), t)
+            prov.reconcile(
+                op, "US East", location("US East"),
+                synthetic_demand(t, seed_jitter=1.3), t,
+            )
+            checker.check_step(prov, t)
+        assert checker.ok
+
+    def test_static_provisioner_14_days_zero_violations(self):
+        centers = build_platform()
+        prov = StaticProvisioner(centers)
+        checker = InvariantChecker(centers)
+        op = make_operator()
+        peak = ResourceVector(cpu=40.0, memory=40.0, extnet_in=2.0, extnet_out=10.0)
+        prov.install(op, "Europe", EU, peak, horizon_steps=STEPS_14_DAYS + 1)
+        for t in range(STEPS_14_DAYS):
+            prov.reconcile(op, "Europe", EU, synthetic_demand(t), t)
+            checker.check_step(prov, t)
+        assert checker.ok
+
+    @pytest.mark.parametrize("mode", ["dynamic", "static"])
+    def test_ecosystem_run_with_checker_enabled(self, mode):
+        result = quick_simulation(
+            n_days=0.5, warmup_days=0.25, mode=mode, check_invariants=True
+        )
+        assert result.invariant_checks == result.eval_steps
+
+    def test_env_var_forces_checker_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INVARIANTS", "1")
+        result = quick_simulation(n_days=0.25, warmup_days=0.1)
+        assert result.invariant_checks == result.eval_steps
+        monkeypatch.setenv("REPRO_INVARIANTS", "")
+        result = quick_simulation(n_days=0.25, warmup_days=0.1)
+        assert result.invariant_checks == 0
+
+
+class TestCheckerFires:
+    """Corrupt each ledger and prove the corresponding invariant trips."""
+
+    def _provisioner_with_leases(self):
+        centers = build_platform()
+        prov = DynamicProvisioner(centers)
+        op = make_operator()
+        for t in range(3):
+            prov.reconcile(op, "Europe", EU, synthetic_demand(t, base=30.0), t)
+        return centers, prov, op
+
+    def test_i1_fires_on_corrupted_center_ledger(self):
+        centers, prov, _ = self._provisioner_with_leases()
+        checker = InvariantChecker(centers)
+        target = next(c for c in centers if c.allocated.any_positive())
+        target._allocated = target._allocated + ResourceVector(cpu=5.0)
+        with pytest.raises(InvariantViolation, match=r"\[I1\]"):
+            checker.check_step(prov, 3)
+
+    def test_i2_fires_on_capacity_overflow(self):
+        centers, prov, _ = self._provisioner_with_leases()
+        checker = InvariantChecker(centers)
+        target = next(c for c in centers if c.allocated.any_positive())
+        # Shrink capacity below what is allocated: I2 must trip.  I1
+        # stays green (ledger still equals the lease sum).
+        target.capacity = ResourceVector(cpu=0.01, memory=0.01,
+                                         extnet_in=0.01, extnet_out=0.01)
+        with pytest.raises(InvariantViolation, match=r"\[I2\]"):
+            checker.check_step(prov, 3)
+
+    def test_i3_fires_on_corrupted_running_total(self):
+        centers, prov, _ = self._provisioner_with_leases()
+        checker = InvariantChecker(centers)
+        key = next(iter(prov._totals))
+        prov._totals[key] = prov._totals[key] + 1.0
+        with pytest.raises(InvariantViolation, match=r"\[I3\]"):
+            checker.check_provisioner(prov, 3)
+
+    def test_i4_fires_on_overdue_lease(self):
+        centers, prov, _ = self._provisioner_with_leases()
+        checker = InvariantChecker(centers)
+        # A lease still on the heap past its end step = a missed expiry.
+        far_future = 10**6
+        with pytest.raises(InvariantViolation, match=r"\[I4\]"):
+            checker.check_provisioner(prov, far_future)
+
+    def test_i5_fires_on_inconsistent_score(self):
+        checker = InvariantChecker(build_platform())
+        allocated = np.array([1.0, 1.0, 1.0, 1.0])
+        load = np.array([5.0, 1.0, 1.0, 1.0])  # CPU shortfall of 4 ...
+        deficit = np.zeros(4)  # ... but a zero reported deficit
+        with pytest.raises(InvariantViolation, match=r"\[I5\]"):
+            checker.check_score("g", 0, allocated, load, deficit)
+
+    def test_collect_mode_gathers_instead_of_raising(self):
+        centers, prov, _ = self._provisioner_with_leases()
+        checker = InvariantChecker(centers, collect=True)
+        target = next(c for c in centers if c.allocated.any_positive())
+        target._allocated = target._allocated + ResourceVector(cpu=5.0)
+        checker.check_step(prov, 3)
+        assert not checker.ok
+        assert any("[I1]" in v for v in checker.violations)
+
+    def test_clean_state_stays_green(self):
+        centers, prov, _ = self._provisioner_with_leases()
+        checker = InvariantChecker(centers)
+        checker.check_step(prov, 3)
+        assert checker.ok

@@ -1,0 +1,100 @@
+"""Tests for the metrics registry and its instruments."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.stddev == pytest.approx(1.1180339887)
+
+    def test_empty_histogram(self):
+        h = Histogram("x")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.stddev == 0.0
+
+
+class TestRegistry:
+    def test_instruments_memoized_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_value_lookup(self):
+        reg = MetricsRegistry()
+        assert reg.value("missing") == 0.0
+        reg.counter("a").inc(7)
+        assert reg.value("a") == 7
+        reg.histogram("h").observe(1.0)
+        with pytest.raises(TypeError):
+            reg.value("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(-1)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == -1
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["mean"] == 3.0
+
+    def test_iteration_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert [i.name for i in reg] == ["a", "z"]
+
+    def test_contains_and_get(self):
+        reg = MetricsRegistry()
+        assert "a" not in reg
+        assert reg.get("a") is None
+        reg.counter("a")
+        assert "a" in reg
+        assert reg.get("a") is not None
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert "a" not in reg

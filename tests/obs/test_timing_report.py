@@ -1,0 +1,103 @@
+"""Tests for the phase timer, the report renderer, and the end-to-end
+metrics wiring through one ecosystem simulation."""
+
+import time
+
+from repro import quick_simulation
+from repro.obs import MetricsRegistry, PhaseTimer, render_report
+
+
+class TestPhaseTimer:
+    def test_accumulates_per_phase(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        timer.add("a", 0.5)
+        timer.add("b", 2.0)
+        assert timer.seconds == {"a": 1.5, "b": 2.0}
+        assert timer.visits == {"a": 2, "b": 1}
+        assert timer.total == 3.5
+
+    def test_summary_sorted_slowest_first(self):
+        timer = PhaseTimer()
+        timer.add("fast", 0.1)
+        timer.add("slow", 0.9)
+        rows = timer.summary()
+        assert [r[0] for r in rows] == ["slow", "fast"]
+        assert rows[0][3] == 0.9 / 1.0
+
+    def test_context_manager_and_lap(self):
+        timer = PhaseTimer()
+        with timer.phase("ctx"):
+            time.sleep(0.01)
+        t0 = timer.mark()
+        time.sleep(0.01)
+        timer.lap("lap", t0)
+        assert timer.seconds["ctx"] > 0
+        assert timer.seconds["lap"] > 0
+        assert timer.elapsed >= timer.total / 2
+
+
+class TestRenderReport:
+    def test_empty_registry(self):
+        assert "no metrics" in render_report(MetricsRegistry())
+
+    def test_counters_histograms_and_timings(self):
+        reg = MetricsRegistry()
+        reg.counter("x.count").inc(3)
+        reg.histogram("x.dist").observe(2.0)
+        timer = PhaseTimer()
+        timer.add("phase1", 1.25)
+        out = render_report(reg, timer, title="T")
+        assert "T" in out
+        assert "x.count" in out
+        assert "x.dist" in out
+        assert "phase1" in out
+        assert "1.250" in out
+
+    def test_accepts_plain_timings_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        out = render_report(reg, {"reconcile": 0.5, "score": 0.25})
+        assert "reconcile" in out
+        assert "66.7" in out  # reconcile share of total
+
+
+class TestEcosystemMetricsWiring:
+    def test_simulation_populates_registry_and_timings(self):
+        reg = MetricsRegistry()
+        result = quick_simulation(n_days=0.5, warmup_days=0.25, metrics=reg)
+        # Step accounting matches the simulation geometry.
+        assert reg.value("sim.steps") == result.eval_steps
+        # Lease conservation: everything opened was eventually expired,
+        # and the active gauge returned to zero at teardown.
+        opened = reg.value("provisioner.leases_opened")
+        assert opened > 0
+        assert reg.value("provisioner.leases_expired") == opened
+        assert reg.value("provisioner.active_leases") == 0
+        assert reg.value("center.allocations") == opened
+        assert reg.value("center.releases") == opened
+        # Matching accounting: every shortfall request hit the matcher.
+        assert reg.value("matching.requests") == reg.value(
+            "provisioner.shortfall_requests"
+        )
+        # Per-step Ω/Υ contributions were recorded for every step.
+        omega = reg.get("sim.omega_cpu")
+        assert omega.count == result.eval_steps
+        # Timings cover the loop phases.
+        assert result.timings is not None
+        assert {"reconcile", "score", "observe", "accounting"} <= set(result.timings)
+
+    def test_disabled_observability_leaves_no_trace(self, monkeypatch):
+        monkeypatch.delenv("REPRO_INVARIANTS", raising=False)
+        result = quick_simulation(n_days=0.25, warmup_days=0.1)
+        assert result.timings is None
+        assert result.invariant_checks == 0
+
+    def test_significant_events_counter_matches_timeline(self):
+        from repro.datacenter.resources import CPU
+
+        reg = MetricsRegistry()
+        result = quick_simulation(n_days=0.5, warmup_days=0.25, metrics=reg)
+        assert reg.value("sim.significant_events") == result.combined.significant_events(
+            CPU
+        )

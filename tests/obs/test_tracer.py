@@ -1,0 +1,101 @@
+"""Tests for the JSONL step tracer, including end-to-end simulation
+traces: every lease open must have a matching expiry, and every line
+must be schema-valid."""
+
+import io
+import json
+
+import pytest
+
+from repro import quick_simulation
+from repro.obs import StepTracer
+
+#: Fields required per event type (the schema of docs/observability.md).
+REQUIRED_FIELDS = {
+    "step": {"step", "mode"},
+    "reconcile": {"step", "operator", "game", "region", "desired"},
+    "lease_open": {
+        "step", "lease_id", "center", "operator", "game", "region",
+        "resources", "end_step",
+    },
+    "lease_expire": {"step", "lease_id", "center"},
+    "match": {"step", "operator", "game", "region", "requested",
+              "placements", "rejections", "unmatched"},
+    "score": {"step", "game", "allocated", "load", "deficit", "machines"},
+    "violation": {"step", "message"},
+    "run_end": {"steps", "mode", "unmatched_steps", "invariant_checks",
+                "violations"},
+}
+
+
+class TestStepTracer:
+    def test_emits_jsonl_to_buffer(self):
+        buf = io.StringIO()
+        tracer = StepTracer(buf)
+        tracer.emit("step", step=1, mode="dynamic")
+        tracer.emit("lease_open", step=1, lease_id=7, center="dc")
+        tracer.close()
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert tracer.events_written == 2
+        first = json.loads(lines[0])
+        assert first == {"event": "step", "step": 1, "mode": "dynamic"}
+
+    def test_owns_and_closes_path_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with StepTracer(str(path)) as tracer:
+            tracer.emit("step", step=0, mode="static")
+        assert json.loads(path.read_text())["step"] == 0
+
+    def test_emit_after_close_raises(self):
+        tracer = StepTracer(io.StringIO())
+        tracer.close()
+        with pytest.raises(ValueError):
+            tracer.emit("step", step=0)
+
+    def test_close_idempotent(self):
+        tracer = StepTracer(io.StringIO())
+        tracer.close()
+        tracer.close()
+
+
+class TestSimulationTrace:
+    @pytest.fixture(scope="class")
+    def trace_lines(self):
+        buf = io.StringIO()
+        tracer = StepTracer(buf)
+        quick_simulation(n_days=0.5, warmup_days=0.25, tracer=tracer)
+        tracer.close()
+        return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+    def test_every_line_is_schema_valid(self, trace_lines):
+        assert trace_lines
+        for record in trace_lines:
+            event = record["event"]
+            assert event in REQUIRED_FIELDS, f"unknown event {event!r}"
+            missing = REQUIRED_FIELDS[event] - set(record)
+            assert not missing, f"{event} missing fields {missing}"
+
+    def test_every_lease_open_has_matching_expiry(self, trace_lines):
+        opened = [r["lease_id"] for r in trace_lines if r["event"] == "lease_open"]
+        expired = [r["lease_id"] for r in trace_lines if r["event"] == "lease_expire"]
+        assert opened, "simulation opened no leases"
+        assert sorted(opened) == sorted(expired)
+        assert len(set(opened)) == len(opened), "duplicate lease ids opened"
+
+    def test_expiry_never_precedes_open(self, trace_lines):
+        open_step = {
+            r["lease_id"]: r["step"] for r in trace_lines if r["event"] == "lease_open"
+        }
+        for r in trace_lines:
+            if r["event"] == "lease_expire":
+                assert r["step"] >= open_step[r["lease_id"]]
+
+    def test_run_end_is_last_event(self, trace_lines):
+        assert trace_lines[-1]["event"] == "run_end"
+        assert trace_lines[-1]["steps"] == 180
+
+    def test_steps_are_monotonic(self, trace_lines):
+        steps = [r["step"] for r in trace_lines if r["event"] == "step"]
+        assert steps == sorted(steps)
+        assert len(steps) == 180

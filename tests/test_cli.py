@@ -74,3 +74,44 @@ class TestPredictorsAndExperiment:
     def test_experiment_runs(self, capsys):
         assert main(["experiment", "fig01"]) == 0
         assert "Fig. 1" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_schema_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.jsonl"
+        code = main(
+            ["simulate", "--days", "0.5", "--warmup-days", "0.25",
+             "--predictor", "Last value", "--update", "O(n)",
+             "--trace", str(out)]
+        )
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        events = {r["event"] for r in lines}
+        assert {"step", "reconcile", "match", "lease_open",
+                "lease_expire", "score", "run_end"} <= events
+        opened = sorted(r["lease_id"] for r in lines if r["event"] == "lease_open")
+        expired = sorted(r["lease_id"] for r in lines if r["event"] == "lease_expire")
+        assert opened and opened == expired
+
+    def test_invariants_flag(self, capsys):
+        code = main(
+            ["simulate", "--days", "0.5", "--warmup-days", "0.25",
+             "--predictor", "Last value", "--update", "O(n)", "--invariants"]
+        )
+        assert code == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_report_command_prints_metrics_and_timings(self, capsys):
+        code = main(
+            ["report", "--days", "0.5", "--warmup-days", "0.25",
+             "--predictor", "Last value", "--update", "O(n)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "provisioner.leases_opened" in out
+        assert "sim.steps" in out
+        assert "Per-phase wall clock" in out
+        assert "reconcile" in out
