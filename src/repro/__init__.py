@@ -38,6 +38,8 @@ Quickstart
 1080
 """
 
+from typing import TYPE_CHECKING
+
 from repro.core import (
     DemandModel,
     DynamicProvisioner,
@@ -74,6 +76,13 @@ from repro.predictors import (
     SlidingWindowMedianPredictor,
 )
 from repro.traces import GameTrace, RegionTrace, synthesize_runescape_like
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Callable
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracer import StepTracer
+    from repro.predictors.base import Predictor
 
 __version__ = "1.0.0"
 
@@ -118,12 +127,12 @@ def quick_simulation(
     *,
     n_days: float = 3.0,
     warmup_days: float = 1.0,
-    predictor=NeuralPredictor,
+    predictor: "Callable[[], Predictor]" = NeuralPredictor,
     update: str = "O(n^2)",
     mode: str = "dynamic",
     seed: int = 1,
-    metrics=None,
-    tracer=None,
+    metrics: "MetricsRegistry | None" = None,
+    tracer: "StepTracer | None" = None,
     check_invariants: bool = False,
 ) -> SimulationResult:
     """Run a small end-to-end provisioning simulation with defaults.

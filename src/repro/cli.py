@@ -12,7 +12,9 @@ writing Python:
   print the top-line metrics plus the per-phase wall-clock summary;
 * ``repro experiment`` — run a paper experiment by name (``fig05``,
   ``table6``, ...) and print its table/series;
-* ``repro predictors`` — list the available predictors.
+* ``repro predictors`` — list the available predictors;
+* ``repro lint`` — run the reprolint simulation-correctness checks
+  (rules RL001-RL008, see ``docs/static_analysis.md``).
 
 Examples
 --------
@@ -24,6 +26,7 @@ Examples
     repro report --days 3 --predictor Neural
     repro experiment fig03
     REPRO_EVAL_DAYS=2 repro experiment table5
+    repro lint src tests --format json
 """
 
 from __future__ import annotations
@@ -31,7 +34,11 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ecosystem import SimulationResult
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -113,6 +120,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("predictors", help="list available predictors")
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static checks (rules RL001-RL008)"
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -133,7 +147,9 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_observed_simulation(args: argparse.Namespace, *, metrics=None):
+def _run_observed_simulation(
+    args: argparse.Namespace, *, metrics: "MetricsRegistry | None" = None
+) -> "SimulationResult":
     """One quick_simulation honouring the shared --trace/--invariants
     flags; returns the result (tracer closed before returning)."""
     from repro import quick_simulation
@@ -159,7 +175,7 @@ def _run_observed_simulation(args: argparse.Namespace, *, metrics=None):
             print(f"wrote {tracer.events_written:,} trace events to {args.trace}")
 
 
-def _print_metrics_table(args: argparse.Namespace, result) -> None:
+def _print_metrics_table(args: argparse.Namespace, result: "SimulationResult") -> None:
     from repro.datacenter.resources import CPU, EXTNET_IN, EXTNET_OUT
     from repro.reporting import render_table
 
@@ -219,6 +235,12 @@ def _cmd_predictors(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -228,6 +250,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "experiment": _cmd_experiment,
         "predictors": _cmd_predictors,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -35,7 +35,7 @@ from repro.core.operator import GameOperator
 from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import LatencyClass
-from repro.datacenter.resources import CPU, RESOURCE_TYPES, ResourceVector
+from repro.datacenter.resources import CPU, RESOURCE_TYPES
 from repro.obs.invariants import InvariantChecker, invariants_forced
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timing import PhaseTimer

@@ -23,7 +23,8 @@ under the 4-6-unit inbound bulks of HP-1/HP-2 imply this calibration).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from types import MappingProxyType
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -71,18 +72,21 @@ def _log_safe(n: np.ndarray) -> np.ndarray:
 
 
 #: The five update models evaluated in Sec. V-C, keyed by display name.
-UPDATE_MODELS: dict[str, UpdateModel] = {
-    m.name: m
-    for m in [
-        UpdateModel("O(n)", lambda n: np.asarray(n, dtype=np.float64)),
-        UpdateModel("O(n log n)", lambda n: np.asarray(n, dtype=np.float64) * _log_safe(n)),
-        UpdateModel("O(n^2)", lambda n: np.asarray(n, dtype=np.float64) ** 2),
-        UpdateModel(
-            "O(n^2 log n)", lambda n: np.asarray(n, dtype=np.float64) ** 2 * _log_safe(n)
-        ),
-        UpdateModel("O(n^3)", lambda n: np.asarray(n, dtype=np.float64) ** 3),
-    ]
-}
+#: Read-only (RL005): module state must not be mutable.
+UPDATE_MODELS: Mapping[str, UpdateModel] = MappingProxyType(
+    {
+        m.name: m
+        for m in [
+            UpdateModel("O(n)", lambda n: np.asarray(n, dtype=np.float64)),
+            UpdateModel("O(n log n)", lambda n: np.asarray(n, dtype=np.float64) * _log_safe(n)),
+            UpdateModel("O(n^2)", lambda n: np.asarray(n, dtype=np.float64) ** 2),
+            UpdateModel(
+                "O(n^2 log n)", lambda n: np.asarray(n, dtype=np.float64) ** 2 * _log_safe(n)
+            ),
+            UpdateModel("O(n^3)", lambda n: np.asarray(n, dtype=np.float64) ** 3),
+        ]
+    }
+)
 
 
 def update_model(name: str) -> UpdateModel:

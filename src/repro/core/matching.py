@@ -66,9 +66,9 @@ class MatchingPolicy:
         if not self.criteria:
             raise ValueError("need at least one criterion")
 
-    def sort_key(self, center: DataCenter, distance_km: float):
+    def sort_key(self, center: DataCenter, distance_km: float) -> tuple[float | int | str, ...]:
         """Build the sort key for one admissible center."""
-        parts = []
+        parts: list[float | int | str] = []
         for criterion in self.criteria:
             if criterion == "grain":
                 parts.append(center.policy.grain)

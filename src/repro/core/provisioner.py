@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -60,6 +61,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import StepTracer
 
 __all__ = ["DynamicProvisioner", "StaticProvisioner"]
+
+
+@dataclass
+class _CenterAlloc:
+    """Running allocation of one key at one center (mutable ledger entry)."""
+
+    center: DataCenter
+    total: np.ndarray
 
 
 class _ProvisionerBase:
@@ -84,12 +93,14 @@ class _ProvisionerBase:
         # Per-instance heap tie-breaker (see module docstring).
         self._tie = itertools.count()
         # key -> min-heap of (end_step, tiebreak, center, lease)
-        self._heaps: dict[tuple[str, str, str], list] = {}
+        self._heaps: dict[
+            tuple[str, str, str], list[tuple[int, int, DataCenter, Lease]]
+        ] = {}
         # key -> running allocation total (4-vector)
         self._totals: dict[tuple[str, str, str], np.ndarray] = {}
-        # key -> {center name: [center, 4-vector]} (for machine counts
-        # and per-center reporting)
-        self._by_center: dict[tuple[str, str, str], dict[str, list]] = {}
+        # key -> {center name: ledger entry} (for machine counts and
+        # per-center reporting)
+        self._by_center: dict[tuple[str, str, str], dict[str, _CenterAlloc]] = {}
         self.metrics = metrics
         self.tracer = tracer
         if metrics is not None:
@@ -135,9 +146,9 @@ class _ProvisionerBase:
         per_center = self._by_center.setdefault(key, {})
         entry = per_center.get(center.name)
         if entry is None:
-            per_center[center.name] = [center, vec.copy()]
+            per_center[center.name] = _CenterAlloc(center, vec.copy())
         else:
-            entry[1] += vec
+            entry.total += vec
 
     def _drop_lease_totals(
         self, key: tuple[str, str, str], center: DataCenter, lease: Lease
@@ -145,8 +156,8 @@ class _ProvisionerBase:
         vec = lease.resources.values
         self._totals[key] -= vec
         entry = self._by_center[key][center.name]
-        entry[1] -= vec
-        if not np.any(entry[1] > 1e-12):
+        entry.total -= vec
+        if not np.any(entry.total > 1e-12):
             del self._by_center[key][center.name]
 
     # -- queries -----------------------------------------------------------
@@ -176,8 +187,10 @@ class _ProvisionerBase:
         if not per_center:
             return 0
         return sum(
-            center.machines_needed(ResourceVector.from_array(np.maximum(vec, 0.0)))
-            for center, vec in per_center.values()
+            entry.center.machines_needed(
+                ResourceVector.from_array(np.maximum(entry.total, 0.0))
+            )
+            for entry in per_center.values()
         )
 
     def total_allocation(self) -> ResourceVector:
@@ -190,25 +203,30 @@ class _ProvisionerBase:
     def total_machines(self) -> int:
         """All machines under lease by this provisioner (aggregate
         sharing, like :meth:`machines`)."""
-        per_center_totals: dict[str, list] = {}
+        per_center_totals: dict[str, _CenterAlloc] = {}
         for per_center in self._by_center.values():
-            for name, (center, vec) in per_center.items():
+            for name, tracked in per_center.items():
                 entry = per_center_totals.get(name)
                 if entry is None:
-                    per_center_totals[name] = [center, vec.copy()]
+                    per_center_totals[name] = _CenterAlloc(
+                        tracked.center, tracked.total.copy()
+                    )
                 else:
-                    entry[1] += vec
+                    entry.total += tracked.total
         return sum(
-            center.machines_needed(ResourceVector.from_array(np.maximum(vec, 0.0)))
-            for center, vec in per_center_totals.values()
+            entry.center.machines_needed(
+                ResourceVector.from_array(np.maximum(entry.total, 0.0))
+            )
+            for entry in per_center_totals.values()
         )
 
     def allocation_by_center(self) -> dict[str, ResourceVector]:
         """Per-data-center totals of this provisioner's leases."""
         out: dict[str, np.ndarray] = {}
         for per_center in self._by_center.values():
-            for name, (_, vec) in per_center.items():
-                out[name] = out.get(name, 0.0) + vec
+            for name, entry in per_center.items():
+                prev = out.get(name)
+                out[name] = entry.total.copy() if prev is None else prev + entry.total
         return {
             name: ResourceVector.from_array(np.maximum(vec, 0.0))
             for name, vec in out.items()
@@ -219,10 +237,10 @@ class _ProvisionerBase:
         of the internal totals; copy before mutating)."""
         out: dict[tuple[str, str], np.ndarray] = {}
         for (op_id, game_id, region), per_center in self._by_center.items():
-            for name, (_, vec) in per_center.items():
+            for name, entry in per_center.items():
                 k = (name, region)
                 prev = out.get(k)
-                out[k] = vec.copy() if prev is None else prev + vec
+                out[k] = entry.total.copy() if prev is None else prev + entry.total
         return out
 
     def release_everything(self, step: int) -> None:

@@ -25,17 +25,19 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import Counter as ObsCounter
+    from repro.obs.registry import Histogram, MetricsRegistry
 
 from repro.datacenter.geography import GeoLocation
 from repro.datacenter.machine import Machine
 from repro.datacenter.policy import HostingPolicy
 from repro.datacenter.resources import (
     CPU,
-    EXTNET_IN,
-    EXTNET_OUT,
     MEMORY,
     ResourceType,
     ResourceVector,
@@ -146,13 +148,13 @@ class DataCenter:
         self._allocated = ResourceVector.zeros()
         self._leases: dict[int, Lease] = {}
         # Observability (off by default; see attach_metrics).
-        self._metrics = None
-        self._c_allocations = None
-        self._c_releases = None
-        self._c_bulks = None
-        self._h_waste = None
+        self._metrics: "MetricsRegistry | None" = None
+        self._c_allocations: "ObsCounter | None" = None
+        self._c_releases: "ObsCounter | None" = None
+        self._c_bulks: "ObsCounter | None" = None
+        self._h_waste: "Histogram | None" = None
 
-    def attach_metrics(self, metrics) -> None:
+    def attach_metrics(self, metrics: "MetricsRegistry | None") -> None:
         """Install a :class:`~repro.obs.registry.MetricsRegistry`.
 
         Binds the ``center.*`` instruments once so the hot paths pay a

@@ -15,6 +15,7 @@ worst-case RTT stays within a genre's tolerance.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.datacenter.geography import LatencyClass
@@ -63,7 +64,7 @@ def latency_class_for_tolerance(tolerance_ms: float) -> LatencyClass:
     ]
     for cls in ordered:
         worst = cls.max_distance_km
-        if worst == float("inf"):
+        if math.isinf(worst):
             # "Very far" is only safe for effectively unbounded budgets;
             # use half the planet's circumference as the worst case.
             worst = 20_000.0

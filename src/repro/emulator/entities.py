@@ -12,9 +12,13 @@ import numpy as np
 from repro.emulator.profiles import AIProfile, PROFILE_PARAMS
 from repro.emulator.world import GameWorld
 
-__all__ = ["EntityPopulation"]
+__all__ = ["EntityPopulation", "DEFAULT_ENTITY_SEED"]
 
 _N_PROFILES = len(AIProfile)
+
+#: Seed for the deterministic fallback generator used when no ``rng`` is
+#: injected (distinct from the world's so the streams do not collide).
+DEFAULT_ENTITY_SEED = 0x5EED + 1
 
 
 class EntityPopulation:
@@ -61,7 +65,8 @@ class EntityPopulation:
         self.n_teams = int(n_teams)
         self.speed_scale = float(speed_scale)
         self.switch_prob = float(switch_prob)
-        self._rng = rng or np.random.default_rng()
+        # Deterministic fallback (RL001): mirrors GameWorld's seeded default.
+        self._rng = rng if rng is not None else np.random.default_rng(DEFAULT_ENTITY_SEED)
 
         self.positions = np.empty((0, 2))
         self.preferred = np.empty(0, dtype=np.int64)

@@ -15,7 +15,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Hotspot", "GameWorld"]
+__all__ = ["Hotspot", "GameWorld", "DEFAULT_WORLD_SEED"]
+
+#: Seed for the deterministic fallback generator used when no ``rng`` is
+#: injected; pass your own seeded generator to vary runs.
+DEFAULT_WORLD_SEED = 0x5EED
 
 
 @dataclass
@@ -121,7 +125,9 @@ class GameWorld:
         self.pulse_amplitude = float(pulse_amplitude)
         self.pulse_period_range = (float(pulse_period_range[0]), float(pulse_period_range[1]))
         self.time_seconds = 0.0
-        self._rng = rng or np.random.default_rng()
+        # Deterministic fallback (RL001): an unseeded generator here would
+        # make default-constructed worlds irreproducible across runs.
+        self._rng = rng if rng is not None else np.random.default_rng(DEFAULT_WORLD_SEED)
         self.hotspots: list[Hotspot] = [self._spawn_hotspot() for _ in range(n_hotspots)]
 
     def advance_time(self, dt_seconds: float) -> None:

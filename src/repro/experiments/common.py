@@ -22,7 +22,10 @@ paper (14 evaluation days = 10,080 two-minute samples, 2 warm-up days).
 from __future__ import annotations
 
 import os
-from typing import Callable, Sequence
+import zlib
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
 
 from repro.core import (
     DemandModel,
@@ -47,10 +50,16 @@ from repro.predictors import (
 from repro.predictors.base import Predictor
 from repro.traces import GameTrace, synthesize_runescape_like
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.invariants import InvariantChecker
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracer import StepTracer
+
 __all__ = [
     "eval_days",
     "warmup_days",
     "warmup_steps",
+    "experiment_rng",
     "standard_trace",
     "standard_centers",
     "optimal_policy",
@@ -82,14 +91,28 @@ def warmup_steps() -> int:
     return int(round(warmup_days() * STEPS_PER_DAY))
 
 
-def standard_trace(seed: int = 1, **overrides) -> GameTrace:
+def experiment_rng(name: str, *, seed: int | None = None) -> np.random.Generator:
+    """The audited RNG entry point for experiment modules (rule RL008).
+
+    Every experiment that needs randomness beyond the shared trace must
+    draw it from here: the experiment ``name`` is folded (CRC-32) into
+    the base seed so each figure gets an independent yet fully
+    reproducible stream, and changing one experiment's draws can never
+    shift another's.  The base seed defaults to 1 and can be overridden
+    per run with ``REPRO_BASE_SEED`` or the ``seed`` argument.
+    """
+    base = seed if seed is not None else int(os.environ.get("REPRO_BASE_SEED", "1"))
+    return np.random.default_rng((zlib.crc32(name.encode("utf-8")) << 8) ^ base)
+
+
+def standard_trace(seed: int = 1, **overrides: Any) -> GameTrace:
     """The standard workload: warm-up + evaluation days, default regions."""
     n_days = overrides.pop("n_days", eval_days() + warmup_days())
     return synthesize_runescape_like(n_days=n_days, seed=seed, **overrides)
 
 
 def standard_centers(
-    policies: Sequence[HostingPolicy] | None = None, **kwargs
+    policies: Sequence[HostingPolicy] | None = None, **kwargs: Any
 ) -> list[DataCenter]:
     """Fresh Table III centers (HP-1/HP-2 round-robin by default)."""
     return build_paper_datacenters(policies=policies, **kwargs)
@@ -168,10 +191,10 @@ def run_ecosystem(
     matching: MatchingPolicy | None = None,
     warmup: int | None = None,
     advance_lead_steps: int = 0,
-    metrics=None,
-    tracer=None,
+    metrics: "MetricsRegistry | None" = None,
+    tracer: "StepTracer | None" = None,
     check_invariants: bool = False,
-    invariant_checker=None,
+    invariant_checker: "InvariantChecker | None" = None,
 ) -> SimulationResult:
     """Run one ecosystem simulation with the shared defaults.
 
@@ -203,10 +226,10 @@ def run_ecosystem_with_lead(
 
 # -- result cache ---------------------------------------------------------------
 
-_CACHE: dict[tuple, object] = {}
+_CACHE: dict[tuple[object, ...], object] = {}
 
 
-def cached(key: tuple, builder: Callable[[], object]):
+def cached(key: tuple[object, ...], builder: Callable[[], object]) -> object:
     """Build-once memoization for expensive experiment results.
 
     Keys must capture everything that affects the result (including the

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.emulator import (
-    DatasetSpec,
     EmulationTrace,
     TABLE_I_SPECS,
     generate_table1_datasets,

@@ -1,0 +1,51 @@
+"""``reprolint`` — AST-based simulation-correctness checks.
+
+The paper's efficiency metrics (over-allocation Ω, under-allocation Υ,
+significant-event counts; Sec. V) are only comparable across runs when
+every run is bit-for-bit deterministic and every resource quantity is
+handled tolerance-safely.  This package machine-checks the coding rules
+that protect those properties — eight domain rules, RL001-RL008 — over
+``src/`` and ``tests/``:
+
+========  ==============================================================
+RL001     no unseeded / global-state RNG use in simulation code
+RL002     no wall-clock reads inside ``core``/``emulator``/``predictors``
+RL003     no float ``==``/``!=`` in simulation code
+RL004     no mutable default arguments
+RL005     no module-level mutable containers in ``core``
+RL006     public functions in ``core``/``predictors``/``obs``/``lint``
+          fully type-annotated
+RL007     no set iteration where ordering can reach output
+RL008     experiment modules route RNG through ``experiments.common``
+========  ==============================================================
+
+Use ``repro lint`` or ``python -m repro.lint`` from the command line;
+``docs/static_analysis.md`` documents each rule, the suppression
+pragmas, and the mypy strictness table that rides alongside.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    FileContext,
+    LintReport,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.output import format_human, format_json
+from repro.lint.rules import LintRule, all_rules, get_rules, rule_table
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "LintRule",
+    "Violation",
+    "all_rules",
+    "format_human",
+    "format_json",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+    "rule_table",
+]

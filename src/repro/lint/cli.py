@@ -1,0 +1,100 @@
+"""Command-line front end for ``reprolint``.
+
+Exposed two ways with identical behaviour:
+
+* ``repro lint [paths ...]`` — subcommand of the main CLI;
+* ``python -m repro.lint [paths ...]`` — standalone, for editors/CI.
+
+Exit-code contract (consumed by the CI ``lint`` job):
+
+* ``0`` — clean,
+* ``1`` — at least one violation,
+* ``2`` — engine/usage error (unparseable file, unknown rule id, bad
+  suppression pragma, no files found).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.output import format_human, format_json
+from repro.lint.rules import LintRule, get_rules, rule_table
+
+__all__ = ["add_lint_arguments", "build_parser", "run_from_args", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``lint`` options on ``parser`` (used both by
+    the standalone parser and the ``repro lint`` subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: ./src and ./tests)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="reprolint: AST-based simulation-correctness checks (RL001-RL008)",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _default_paths() -> list[str]:
+    found = [p for p in ("src", "tests") if Path(p).is_dir()]
+    return found
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        for rule_id, summary in rule_table():
+            print(f"{rule_id}  {summary}")
+        return 0
+
+    rules: list[LintRule] | None = None
+    if args.rules is not None:
+        ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+        try:
+            rules = get_rules(ids)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        print("error: no paths given and no ./src or ./tests directory found")
+        return 2
+
+    report: LintReport = lint_paths(paths, rules=rules)
+    rendered = format_json(report) if args.format == "json" else format_human(report)
+    if rendered:
+        print(rendered)
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point; returns the process exit code."""
+    return run_from_args(build_parser().parse_args(argv))

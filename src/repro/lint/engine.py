@@ -1,0 +1,271 @@
+"""The ``reprolint`` engine: file discovery, suppression handling, rule
+dispatch, and the report object.
+
+The engine is deliberately small: every domain decision lives in a
+:class:`~repro.lint.rules.LintRule` (see :mod:`repro.lint.rules`); the
+engine only parses each file once, computes the per-line suppression
+table from comments, runs every applicable rule over the AST, and
+filters suppressed violations out of the final report.
+
+Suppression syntax
+------------------
+Violations are suppressed with comments, never with engine flags:
+
+* ``# reprolint: disable=RL003`` on the offending line suppresses the
+  listed rule(s) (comma-separated) for that line only;
+* ``# reprolint: disable-file=RL001,RL007`` anywhere in the file
+  suppresses the listed rules for the whole file.
+
+An unknown rule id inside a suppression comment is itself reported as a
+``bad-suppression`` engine error so stale pragmas cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.rules import LintRule
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+]
+
+#: ``# reprolint: disable=RL001[,RL002...]`` (same-line suppression).
+_DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+#: ``# reprolint: disable-file=RL001[,RL002...]`` (whole-file suppression).
+_DISABLE_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: RLxxx message`` — the human output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class FileContext:
+    """Everything a rule may want to know about the file under check.
+
+    ``virtual_path`` decouples scoping from the filesystem: fixture
+    tests lint source strings under invented paths such as
+    ``src/repro/core/example.py`` so path-scoped rules fire without
+    touching the real tree.
+    """
+
+    def __init__(self, virtual_path: str, source: str, tree: ast.Module) -> None:
+        self.path = virtual_path
+        self.source = source
+        self.tree = tree
+        posix = virtual_path.replace("\\", "/")
+        self.parts: tuple[str, ...] = tuple(p for p in posix.split("/") if p)
+        self.filename = self.parts[-1] if self.parts else ""
+
+    @property
+    def is_test(self) -> bool:
+        """True for files under a ``tests`` directory."""
+        return "tests" in self.parts[:-1]
+
+    def in_package(self, package: str) -> bool:
+        """True when the file lives under ``repro/<package>/``.
+
+        Matches only *after* a ``repro`` path component so that a
+        project directory that happens to be called ``core`` does not
+        put every file in scope.
+        """
+        parts = self.parts
+        if "repro" not in parts:
+            return False
+        tail = parts[parts.index("repro") :]
+        return package in tail[:-1]
+
+
+def _suppression_tables(
+    source: str, known_ids: frozenset[str]
+) -> tuple[dict[int, set[str]], set[str], list[tuple[int, str]]]:
+    """Parse suppression comments out of ``source``.
+
+    Returns ``(per_line, whole_file, bad)`` where ``per_line`` maps a
+    line number to the rule ids disabled on that line, ``whole_file``
+    is the set of rule ids disabled for the entire file, and ``bad``
+    lists ``(line, id)`` pairs naming unknown rule ids.
+    """
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    bad: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast parsed OK
+        return per_line, whole_file, bad
+
+    for line_no, text in comments:
+        file_match = _DISABLE_FILE_RE.search(text)
+        line_match = None if file_match else _DISABLE_RE.search(text)
+        match = file_match or line_match
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        for rule_id in sorted(ids):
+            if rule_id not in known_ids:
+                bad.append((line_no, rule_id))
+        ids &= known_ids
+        if file_match:
+            whole_file |= ids
+        else:
+            per_line.setdefault(line_no, set()).update(ids)
+    return per_line, whole_file, bad
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the run is clean (no violations *and* no errors)."""
+        return not self.violations and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """CI contract: 0 clean, 1 violations, 2 engine/usage errors."""
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """``{rule_id: violation count}`` over the whole run."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend_from_file(self, other: "LintReport") -> None:
+        self.violations.extend(other.violations)
+        self.errors.extend(other.errors)
+        self.files_checked += other.files_checked
+
+
+def _resolve_rules(rules: Sequence["LintRule"] | None) -> list["LintRule"]:
+    if rules is not None:
+        return list(rules)
+    from repro.lint.rules import all_rules
+
+    return all_rules()
+
+
+def lint_source(
+    source: str,
+    virtual_path: str = "src/repro/example.py",
+    *,
+    rules: Sequence["LintRule"] | None = None,
+) -> LintReport:
+    """Lint one source string as if it lived at ``virtual_path``.
+
+    This is the API fixture tests use; :func:`lint_paths` funnels every
+    real file through it as well, so the two cannot diverge.
+    """
+    active = _resolve_rules(rules)
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=virtual_path)
+    except SyntaxError as exc:
+        report.errors.append(f"{virtual_path}:{exc.lineno or 0}: syntax error: {exc.msg}")
+        return report
+
+    known = frozenset(rule.rule_id for rule in active)
+    per_line, whole_file, bad = _suppression_tables(source, known)
+    for line_no, rule_id in bad:
+        report.errors.append(
+            f"{virtual_path}:{line_no}: bad-suppression: unknown rule id {rule_id!r}"
+        )
+
+    ctx = FileContext(virtual_path, source, tree)
+    for rule in active:
+        if rule.rule_id in whole_file or not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if violation.rule_id in per_line.get(violation.line, ()):
+                continue
+            report.violations.append(violation)
+    report.violations.sort()
+    return report
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence["LintRule"] | None = None,
+    root: Path | None = None,
+) -> LintReport:
+    """Lint every ``*.py`` file under ``paths`` and aggregate one report.
+
+    ``root`` (default: the current directory) anchors the relative
+    paths used both for display and for rule scoping.
+    """
+    active = _resolve_rules(rules)
+    base = (root or Path.cwd()).resolve()
+    report = LintReport()
+    files = iter_python_files(paths)
+    if not files:
+        report.errors.append(f"no python files found under: {', '.join(map(str, paths))}")
+        return report
+    for file_path in files:
+        resolved = file_path.resolve()
+        try:
+            display = str(resolved.relative_to(base))
+        except ValueError:
+            display = str(file_path)
+        try:
+            source = resolved.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.errors.append(f"{display}: unreadable: {exc}")
+            report.files_checked += 1
+            continue
+        report.extend_from_file(lint_source(source, display, rules=active))
+    report.violations.sort()
+    return report

@@ -1,0 +1,65 @@
+"""Human and JSON renderings of a :class:`~repro.lint.engine.LintReport`.
+
+The JSON document is the machine contract consumed by CI annotations:
+
+.. code-block:: json
+
+    {
+      "ok": false,
+      "exit_code": 1,
+      "files_checked": 12,
+      "counts": {"RL003": 2},
+      "violations": [
+        {"path": "src/.../x.py", "line": 4, "col": 8,
+         "rule": "RL003", "message": "float equality comparison; ..."}
+      ],
+      "errors": []
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+__all__ = ["format_human", "format_json"]
+
+
+def format_human(report: LintReport) -> str:
+    """Multi-line human-readable summary (violations, then the tally)."""
+    lines: list[str] = [v.format() for v in report.violations]
+    lines.extend(f"error: {err}" for err in report.errors)
+    counts = report.counts_by_rule()
+    if counts:
+        tally = ", ".join(f"{rule_id}: {n}" for rule_id, n in counts.items())
+        lines.append("")
+        lines.append(
+            f"{len(report.violations)} violation(s) in "
+            f"{report.files_checked} file(s) — {tally}"
+        )
+    elif not report.errors:
+        lines.append(f"clean: {report.files_checked} file(s), 0 violations")
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Stable machine-readable JSON (sorted keys, one document)."""
+    doc = {
+        "ok": report.ok,
+        "exit_code": report.exit_code,
+        "files_checked": report.files_checked,
+        "counts": report.counts_by_rule(),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "errors": list(report.errors),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,550 @@
+"""The ``reprolint`` domain rules, RL001-RL008.
+
+Each rule encodes one reproducibility or unit-safety hazard specific to
+this simulator (see ``docs/static_analysis.md`` for the rationale and
+the worked examples).  Rules are syntactic: they work on one file's AST
+plus an import-alias map, never on inferred types, so every finding is
+cheap, deterministic, and explainable.  The cost is a handful of known
+heuristic edges (documented per rule); those are what the
+``# reprolint: disable=`` pragma is for.
+
+Scoping: a rule only runs where its hazard matters.  RL002 watches the
+deterministic simulation packages (``core``, ``emulator``,
+``predictors``), RL005 the ``core`` package, RL006 the strict-typing
+packages (``core``, ``predictors``, ``obs``), RL008 the ``experiments``
+package, and RL003/RL006 skip ``tests/`` (exact float assertions are
+deliberate test oracles).  RL001, RL004, and RL007 run everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.lint.engine import FileContext, Violation
+
+__all__ = [
+    "LintRule",
+    "all_rules",
+    "get_rules",
+    "rule_table",
+]
+
+
+# ---------------------------------------------------------------------------
+# Import-alias resolution shared by the rules.
+# ---------------------------------------------------------------------------
+
+
+class ImportMap:
+    """Maps local names to canonical dotted module paths.
+
+    ``import numpy as np`` makes ``np.random.rand`` canonicalize to
+    ``numpy.random.rand``; ``from random import randint as ri`` makes
+    ``ri`` canonicalize to ``random.randint``.  Only absolute imports
+    are tracked — relative imports cannot smuggle in the stdlib/numpy
+    modules these rules care about.
+    """
+
+    def __init__(self) -> None:
+        self.module_aliases: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # ``import numpy.random`` binds ``numpy``.
+                        imports.module_aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    imports.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return imports
+
+    def canonical(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of an expression, or None."""
+        if isinstance(node, ast.Name):
+            if node.id in self.from_imports:
+                return self.from_imports[node.id]
+            return self.module_aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.canonical(node.value)
+            return None if base is None else f"{base}.{node.attr}"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Rule base + registry.
+# ---------------------------------------------------------------------------
+
+
+class LintRule:
+    """One domain rule; subclasses set the class attributes and ``check``."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def _register(cls: type[LintRule]) -> type[LintRule]:
+    if cls.rule_id in _REGISTRY:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Sequence[str]) -> list[LintRule]:
+    """Instances for the given ids; raises KeyError on unknown ids."""
+    unknown = [rule_id for rule_id in ids if rule_id not in _REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [_REGISTRY[rule_id]() for rule_id in sorted(set(ids))]
+
+
+def rule_table() -> list[tuple[str, str]]:
+    """``(rule_id, summary)`` rows for ``repro lint --list-rules``."""
+    return [(rule_id, _REGISTRY[rule_id].summary) for rule_id in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------------
+# RL001 — unseeded randomness.
+# ---------------------------------------------------------------------------
+
+#: Stdlib ``random`` module-level functions that touch the hidden global
+#: RNG.  Calling any of them makes run output depend on call ordering
+#: across the whole process, which is exactly what seeded, injected
+#: generators prevent.
+_STDLIB_GLOBAL_RNG = frozenset(
+    {
+        "random", "seed", "randint", "randrange", "uniform", "gauss",
+        "normalvariate", "lognormvariate", "expovariate", "betavariate",
+        "gammavariate", "triangular", "vonmisesvariate", "paretovariate",
+        "weibullvariate", "choice", "choices", "shuffle", "sample",
+        "randbytes", "getrandbits", "binomialvariate",
+    }
+)
+
+#: Legacy ``numpy.random`` global-state functions (the pre-Generator API).
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "seed", "choice", "shuffle", "permutation", "normal",
+        "uniform", "poisson", "exponential", "standard_normal", "binomial",
+        "beta", "gamma", "bytes", "get_state", "set_state",
+    }
+)
+
+
+@_register
+class UnseededRandomRule(LintRule):
+    rule_id = "RL001"
+    summary = (
+        "no unseeded random.Random()/np.random.default_rng() and no "
+        "global-state RNG functions in simulation code"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name is None:
+                continue
+            unseeded = not node.args and not node.keywords
+            if name == "random.Random" and unseeded:
+                yield self.violation(
+                    ctx, node, "unseeded random.Random(); pass an explicit seed"
+                )
+            elif name.startswith("random.") and name.split(".", 1)[1] in _STDLIB_GLOBAL_RNG:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"global-state RNG call {name}(); use an injected "
+                    "random.Random(seed) instead",
+                )
+            elif name in ("numpy.random.default_rng", "numpy.random.RandomState"):
+                if unseeded:
+                    yield self.violation(
+                        ctx, node, f"unseeded {name}(); pass an explicit seed"
+                    )
+            elif (
+                name.startswith("numpy.random.")
+                and name.rsplit(".", 1)[1] in _NUMPY_GLOBAL_RNG
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy global-state RNG call {name}(); use "
+                    "numpy.random.default_rng(seed)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL002 — wall-clock reads in deterministic simulation packages.
+# ---------------------------------------------------------------------------
+
+#: Wall-clock sources.  Monotonic timers (``perf_counter``,
+#: ``monotonic``) stay legal: they time phases without feeding
+#: simulation state.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@_register
+class WallClockRule(LintRule):
+    rule_id = "RL002"
+    summary = "no wall-clock reads (time.time, datetime.now) in core/emulator/predictors"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_test and any(
+            ctx.in_package(pkg) for pkg in ("core", "emulator", "predictors")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name in _WALL_CLOCK:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read {name}() in deterministic simulation code; "
+                    "inject the simulation clock (step index) instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL003 — float equality on resource quantities.
+# ---------------------------------------------------------------------------
+
+
+@_register
+class FloatEqualityRule(LintRule):
+    rule_id = "RL003"
+    summary = "no float ==/!= in simulation code; use math.isclose or the ledger helpers"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Exact float assertions in tests are deliberate oracles.
+        return not ctx.is_test
+
+    def _is_float_like(self, node: ast.expr, imports: ImportMap) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            return self._is_float_like(node.operand, imports)
+        if isinstance(node, ast.Call):
+            name = imports.canonical(node.func)
+            return name == "float"
+        name = imports.canonical(node)
+        return name in ("math.inf", "math.nan", "numpy.inf", "numpy.nan")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_float_like(operands[i], imports) or self._is_float_like(
+                    operands[i + 1], imports
+                ):
+                    yield self.violation(
+                        ctx,
+                        operands[i],
+                        "float equality comparison; use math.isclose()/math.isinf() "
+                        "or ResourceVector.covers()/is_zero() with a tolerance",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL004 — mutable default arguments.
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@_register
+class MutableDefaultRule(LintRule):
+    rule_id = "RL004"
+    summary = "no mutable default arguments"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_value(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default argument in {label}(); default to None "
+                        "and construct inside the function",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RL005 — module-level mutable state in core/.
+# ---------------------------------------------------------------------------
+
+
+@_register
+class ModuleStateRule(LintRule):
+    rule_id = "RL005"
+    summary = "no module-level mutable containers in core/ (shared-state bug class)"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_test and ctx.in_package("core")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if all(name.startswith("__") and name.endswith("__") for name in names if name):
+                if names:  # dunders like __all__ are conventional metadata
+                    continue
+            if _is_mutable_value(value):
+                label = ", ".join(names) or "<target>"
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"module-level mutable container {label!r}; use a tuple/"
+                    "frozenset/MappingProxyType or move the state into a class",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RL006 — full type annotations on public functions.
+# ---------------------------------------------------------------------------
+
+
+@_register
+class PublicAnnotationRule(LintRule):
+    rule_id = "RL006"
+    summary = "public functions in core/predictors/obs must be fully type-annotated"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_test and any(
+            ctx.in_package(pkg) for pkg in ("core", "predictors", "obs", "lint")
+        )
+
+    def _missing(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        args = func.args
+        positional = args.posonlyargs + args.args
+        missing = [
+            a.arg
+            for i, a in enumerate(positional)
+            if a.annotation is None and not (i == 0 and a.arg in ("self", "cls"))
+        ]
+        missing += [a.arg for a in args.kwonlyargs if a.annotation is None]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if func.returns is None:
+            missing.append("return")
+        return missing
+
+    def _walk_scope(
+        self, ctx: FileContext, body: Sequence[ast.stmt], qualname: str
+    ) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = stmt.name
+                is_dunder = name.startswith("__") and name.endswith("__")
+                if name.startswith("_") and not is_dunder:
+                    continue
+                missing = self._missing(stmt)
+                if missing:
+                    label = f"{qualname}.{name}" if qualname else name
+                    yield self.violation(
+                        ctx,
+                        stmt,
+                        f"public function {label}() missing annotations: "
+                        + ", ".join(missing),
+                    )
+            elif isinstance(stmt, ast.ClassDef):
+                if stmt.name.startswith("_"):
+                    continue
+                prefix = f"{qualname}.{stmt.name}" if qualname else stmt.name
+                yield from self._walk_scope(ctx, stmt.body, prefix)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._walk_scope(ctx, ctx.tree.body, "")
+
+
+# ---------------------------------------------------------------------------
+# RL007 — unordered iteration feeding ordered output.
+# ---------------------------------------------------------------------------
+
+#: Order-insensitive consumers of a set; iteration inside these is fine.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset", "bool"}
+)
+#: Order-preserving consumers: materializing a set through these bakes
+#: the (hash-seed-dependent) iteration order into the output.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@_register
+class SetOrderRule(LintRule):
+    rule_id = "RL007"
+    summary = "no direct iteration over sets where order reaches output; sort first"
+
+    def _message(self) -> str:
+        return (
+            "iteration over a set is hash-seed dependent; wrap in sorted() "
+            "before the order can reach simulation output"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self.violation(ctx, node.iter, self._message())
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.violation(ctx, comp.iter, self._message())
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield self.violation(ctx, node.args[0], self._message())
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    yield self.violation(ctx, node.args[0], self._message())
+
+
+# ---------------------------------------------------------------------------
+# RL008 — experiments must route RNG through experiments.common.
+# ---------------------------------------------------------------------------
+
+_EXPERIMENT_RNG_BANNED = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.seed",
+        "random.Random",
+        "random.seed",
+    }
+)
+
+
+@_register
+class ExperimentSeedingRule(LintRule):
+    rule_id = "RL008"
+    summary = "experiment modules must take RNGs from experiments.common.experiment_rng"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            not ctx.is_test
+            and ctx.in_package("experiments")
+            and ctx.filename != "common.py"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        imports = ImportMap.from_tree(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.canonical(node.func)
+            if name in _EXPERIMENT_RNG_BANNED:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct RNG construction {name}() in an experiment module; "
+                    "use repro.experiments.common.experiment_rng(name) so every "
+                    "figure shares the audited seeding scheme",
+                )

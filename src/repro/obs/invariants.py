@@ -39,6 +39,8 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.provisioner import _ProvisionerBase
     from repro.datacenter.center import DataCenter
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracer import StepTracer
 
 __all__ = ["InvariantChecker", "InvariantViolation", "invariants_forced"]
 
@@ -85,8 +87,8 @@ class InvariantChecker:
         *,
         tol: float = 1e-6,
         collect: bool = False,
-        tracer=None,
-        metrics=None,
+        tracer: "StepTracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.centers = list(centers)
         self.tol = float(tol)
@@ -173,7 +175,7 @@ class InvariantChecker:
             tracked = provisioner._by_center.get(key, {})
             for name, vec in per_center.items():
                 entry = tracked.get(name)
-                entry_arr = np.zeros(4) if entry is None else entry[1]
+                entry_arr = np.zeros(4) if entry is None else entry.total
                 if not np.allclose(entry_arr, vec, atol=self.tol):
                     self._fail(
                         "I3",

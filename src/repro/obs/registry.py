@@ -24,8 +24,12 @@ conventional names used by the simulator are listed in
 from __future__ import annotations
 
 import math
+from typing import Iterator, TypeVar
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Value-constrained so ``_get(name, Counter)`` types as ``Counter``.
+_InstrumentT = TypeVar("_InstrumentT", "Counter", "Gauge", "Histogram")
 
 
 class Counter:
@@ -124,7 +128,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, name: str, kind: type):
+    def _get(self, name: str, kind: type[_InstrumentT]) -> _InstrumentT:
         inst = self._instruments.get(name)
         if inst is None:
             inst = kind(name)
@@ -148,7 +152,7 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
         return iter(sorted(self._instruments.values(), key=lambda i: i.name))
 
     def get(self, name: str) -> Counter | Gauge | Histogram | None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from typing import Iterator
 
 __all__ = ["PhaseTimer"]
 
@@ -49,7 +50,7 @@ class PhaseTimer:
         return now
 
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str) -> Iterator[None]:
         t0 = time.perf_counter()
         try:
             yield

@@ -75,5 +75,5 @@ class StepTracer:
     def __enter__(self) -> "StepTracer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

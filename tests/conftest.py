@@ -8,7 +8,7 @@ benchmarks.
 import numpy as np
 import pytest
 
-from repro.datacenter import DataCenter, Machine, policy
+from repro.datacenter import DataCenter, policy
 from repro.datacenter.geography import location
 from repro.traces import RegionSpec, TraceSynthesisConfig, synthesize_game_trace
 

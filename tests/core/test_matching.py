@@ -1,6 +1,5 @@
 """Tests for the request-offer matching mechanism."""
 
-import numpy as np
 import pytest
 
 from repro.core import MatchingPolicy, match_request

@@ -1,6 +1,5 @@
 """Tests for the provisioning engines."""
 
-import numpy as np
 import pytest
 
 from repro.core import DemandModel, DynamicProvisioner, GameOperator, StaticProvisioner, update_model

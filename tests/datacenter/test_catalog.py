@@ -1,6 +1,5 @@
 """Tests for the Table III data-center inventory."""
 
-import pytest
 
 from repro.datacenter import build_north_american_datacenters, build_paper_datacenters, policy
 from repro.datacenter.catalog import TABLE_III_INVENTORY

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.emulator import AIProfile, EntityPopulation, GameWorld
+from repro.emulator import EntityPopulation, GameWorld
 
 MIX = np.array([0.4, 0.3, 0.2, 0.1])
 

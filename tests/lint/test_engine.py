@@ -1,0 +1,129 @@
+"""Engine-level tests: suppressions, exit codes, output formats, paths."""
+
+import json
+import subprocess
+import sys
+
+from repro.lint import (
+    all_rules,
+    format_human,
+    format_json,
+    get_rules,
+    lint_paths,
+    lint_source,
+    rule_table,
+)
+
+CORE = "src/repro/core/example.py"
+
+
+# -- suppression pragmas -----------------------------------------------------
+
+
+def test_line_suppression_silences_one_rule():
+    src = "REGISTRY = {}  # reprolint: disable=RL005\n"
+    assert lint_source(src, CORE, rules=get_rules(["RL005"])).ok
+
+
+def test_line_suppression_does_not_leak_to_other_lines():
+    src = "REGISTRY = {}  # reprolint: disable=RL005\nOTHER = {}\n"
+    report = lint_source(src, CORE, rules=get_rules(["RL005"]))
+    assert [v.line for v in report.violations] == [2]
+
+
+def test_line_suppression_is_rule_specific():
+    # Suppressing RL003 does not silence the RL005 violation on the line.
+    src = "REGISTRY = {}  # reprolint: disable=RL003\n"
+    report = lint_source(src, CORE)
+    assert any(v.rule_id == "RL005" for v in report.violations)
+
+
+def test_file_suppression_silences_whole_file():
+    src = (
+        "# reprolint: disable-file=RL005\n"
+        "A = {}\n"
+        "B = {}\n"
+    )
+    assert lint_source(src, CORE, rules=get_rules(["RL005"])).ok
+
+
+def test_unknown_rule_in_pragma_is_an_error():
+    src = "X = 1  # reprolint: disable=RL999\n"
+    report = lint_source(src, CORE)
+    assert report.exit_code == 2
+    assert any("RL999" in err for err in report.errors)
+
+
+# -- exit codes and report shape --------------------------------------------
+
+
+def test_exit_code_contract():
+    assert lint_source("x = 1\n", CORE).exit_code == 0
+    assert lint_source("d = {}\n", CORE).exit_code == 1
+    assert lint_source("def broken(:\n", CORE).exit_code == 2
+
+
+def test_counts_by_rule_and_sorted_violations():
+    src = "b = {}\na = {}\n"
+    report = lint_source(src, CORE, rules=get_rules(["RL005"]))
+    assert report.counts_by_rule() == {"RL005": 2}
+    assert [v.line for v in report.violations] == [1, 2]
+
+
+def test_rule_table_covers_all_eight_rules():
+    ids = [rule_id for rule_id, _ in rule_table()]
+    assert ids == [f"RL00{i}" for i in range(1, 9)]
+    assert len(all_rules()) == 8
+
+
+# -- output formats ----------------------------------------------------------
+
+
+def test_human_output_mentions_location_and_tally():
+    report = lint_source("d = {}\n", CORE, rules=get_rules(["RL005"]))
+    text = format_human(report)
+    assert f"{CORE}:1" in text and "RL005: 1" in text
+
+
+def test_json_output_round_trips():
+    report = lint_source("d = {}\n", CORE, rules=get_rules(["RL005"]))
+    doc = json.loads(format_json(report))
+    assert doc["exit_code"] == 1
+    assert doc["counts"] == {"RL005": 1}
+    assert doc["violations"][0]["rule"] == "RL005"
+    assert doc["violations"][0]["path"] == CORE
+
+
+def test_clean_human_output():
+    report = lint_source("x = 1\n", CORE)
+    assert "clean" in format_human(report)
+
+
+# -- filesystem entry point --------------------------------------------------
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("STATE = {}\n")
+    (pkg / "good.py").write_text("x = 1\n")
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert report.files_checked == 2
+    assert [v.rule_id for v in report.violations] == ["RL005"]
+    assert report.violations[0].path.endswith("bad.py")
+
+
+def test_lint_paths_reports_missing_inputs(tmp_path):
+    report = lint_paths([tmp_path / "nowhere"], root=tmp_path)
+    assert report.exit_code == 2
+
+
+def test_module_entry_point_runs(tmp_path):
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout

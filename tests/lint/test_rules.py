@@ -1,0 +1,210 @@
+"""Fixture tests for the eight reprolint rules.
+
+One positive (rule fires) and one negative (clean idiom passes) fixture
+per rule, linted through the same :func:`repro.lint.lint_source` code
+path the real tree goes through.  Virtual paths place each fixture in
+the package the rule scopes to.
+"""
+
+from repro.lint import get_rules, lint_source
+
+CORE = "src/repro/core/example.py"
+EMULATOR = "src/repro/emulator/example.py"
+PREDICTORS = "src/repro/predictors/example.py"
+OBS = "src/repro/obs/example.py"
+EXPERIMENTS = "src/repro/experiments/fig99_example.py"
+GENERIC = "src/repro/traces/example.py"
+TESTS = "tests/core/test_example.py"
+
+
+def fired(source: str, rule_id: str, path: str = GENERIC) -> list[str]:
+    """Messages the given rule produced for ``source`` at ``path``."""
+    report = lint_source(source, path, rules=get_rules([rule_id]))
+    assert not report.errors, report.errors
+    return [v.message for v in report.violations]
+
+
+# -- RL001: unseeded randomness --------------------------------------------
+
+
+def test_rl001_fires_on_unseeded_default_rng():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert any("unseeded" in m for m in fired(src, "RL001"))
+
+
+def test_rl001_fires_on_unseeded_stdlib_random():
+    src = "import random\nr = random.Random()\n"
+    assert any("unseeded random.Random" in m for m in fired(src, "RL001"))
+
+
+def test_rl001_fires_on_global_state_functions():
+    src = "import random\nx = random.randint(0, 10)\n"
+    assert any("global-state" in m for m in fired(src, "RL001"))
+    src = "import numpy as np\nnp.random.seed(3)\n"
+    assert any("legacy global-state" in m for m in fired(src, "RL001"))
+
+
+def test_rl001_sees_through_aliases():
+    src = "from numpy.random import default_rng as mk\nrng = mk()\n"
+    assert fired(src, "RL001")
+    src = "from numpy import random as npr\nx = npr.rand(4)\n"
+    assert fired(src, "RL001")
+
+
+def test_rl001_clean_on_seeded_generators():
+    src = (
+        "import random\nimport numpy as np\n"
+        "r = random.Random(42)\n"
+        "rng = np.random.default_rng(7)\n"
+        "x = rng.normal(size=3)\n"
+    )
+    assert fired(src, "RL001") == []
+
+
+# -- RL002: wall-clock in deterministic packages ---------------------------
+
+
+def test_rl002_fires_on_wall_clock_in_core():
+    src = "import time\nstamp = time.time()\n"
+    assert any("wall-clock" in m for m in fired(src, "RL002", CORE))
+    src = "from datetime import datetime\nnow = datetime.now()\n"
+    assert any("wall-clock" in m for m in fired(src, "RL002", EMULATOR))
+
+
+def test_rl002_clean_on_monotonic_timers_and_out_of_scope():
+    src = "import time\nt0 = time.perf_counter()\n"
+    assert fired(src, "RL002", PREDICTORS) == []
+    # Out of scope: the same wall-clock call in obs/ (phase timing) is legal.
+    src = "import time\nstamp = time.time()\n"
+    assert fired(src, "RL002", OBS) == []
+
+
+# -- RL003: float equality --------------------------------------------------
+
+
+def test_rl003_fires_on_float_equality():
+    src = "def f(cpu):\n    return cpu == 1.5\n"
+    assert any("float equality" in m for m in fired(src, "RL003", CORE))
+    src = "def f(x):\n    return x != float('inf')\n"
+    assert fired(src, "RL003", CORE)
+
+
+def test_rl003_clean_on_isclose_and_int_compare():
+    src = (
+        "import math\n"
+        "def f(cpu):\n"
+        "    return math.isclose(cpu, 1.5) or cpu == 2\n"
+    )
+    assert fired(src, "RL003", CORE) == []
+
+
+def test_rl003_exempts_tests():
+    src = "def test_x():\n    assert 1.0 == compute()\n"
+    report = lint_source(src, TESTS, rules=get_rules(["RL003"]))
+    assert report.violations == []
+
+
+# -- RL004: mutable default arguments --------------------------------------
+
+
+def test_rl004_fires_on_mutable_default():
+    src = "def f(xs=[]):\n    return xs\n"
+    assert any("mutable default" in m for m in fired(src, "RL004"))
+    src = "def f(m=dict()):\n    return m\n"
+    assert fired(src, "RL004")
+
+
+def test_rl004_clean_on_none_default():
+    src = "def f(xs=None):\n    return xs or []\n"
+    assert fired(src, "RL004") == []
+
+
+# -- RL005: module-level mutable state in core ------------------------------
+
+
+def test_rl005_fires_on_module_level_dict_in_core():
+    src = "REGISTRY = {}\n"
+    assert any("module-level mutable" in m for m in fired(src, "RL005", CORE))
+    src = "CACHE: dict[str, int] = dict()\n"
+    assert fired(src, "RL005", CORE)
+
+
+def test_rl005_clean_on_immutable_and_dunder_and_scope():
+    src = (
+        "from types import MappingProxyType\n"
+        "__all__ = ['NAMES']\n"
+        "NAMES = ('a', 'b')\n"
+        "TABLE = MappingProxyType({'a': 1})\n"
+    )
+    assert fired(src, "RL005", CORE) == []
+    # Same mutable dict outside core/ is out of scope.
+    assert fired("REGISTRY = {}\n", "RL005", GENERIC) == []
+
+
+# -- RL006: public annotations ----------------------------------------------
+
+
+def test_rl006_fires_on_unannotated_public_function():
+    src = "def step(state, dt):\n    return state\n"
+    msgs = fired(src, "RL006", CORE)
+    assert any("missing annotations" in m and "state" in m for m in msgs)
+
+
+def test_rl006_fires_on_missing_return_only():
+    src = "class Sim:\n    def run(self, n: int):\n        return n\n"
+    msgs = fired(src, "RL006", PREDICTORS)
+    assert any("return" in m for m in msgs)
+
+
+def test_rl006_clean_on_annotated_and_private():
+    src = (
+        "def step(state: int, dt: float) -> int:\n    return state\n"
+        "def _helper(x):\n    return x\n"
+        "class _Private:\n    def run(self, n):\n        return n\n"
+    )
+    assert fired(src, "RL006", OBS) == []
+    # Out of scope: unannotated public functions in traces/ pass.
+    assert fired("def f(x):\n    return x\n", "RL006", GENERIC) == []
+
+
+# -- RL007: set iteration order ---------------------------------------------
+
+
+def test_rl007_fires_on_set_iteration():
+    src = "for name in {'a', 'b'}:\n    print(name)\n"
+    assert any("hash-seed" in m for m in fired(src, "RL007"))
+    src = "names = list(set(items))\n"
+    assert fired(src, "RL007")
+    src = "out = [x for x in {1, 2}]\n"
+    assert fired(src, "RL007")
+
+
+def test_rl007_clean_on_sorted_and_membership():
+    src = (
+        "for name in sorted({'a', 'b'}):\n    print(name)\n"
+        "total = sum({1, 2})\n"
+        "hit = 'a' in {'a', 'b'}\n"
+    )
+    assert fired(src, "RL007") == []
+
+
+# -- RL008: experiment RNG routing ------------------------------------------
+
+
+def test_rl008_fires_on_direct_rng_in_experiment():
+    src = "import numpy as np\nrng = np.random.default_rng(1)\n"
+    msgs = fired(src, "RL008", EXPERIMENTS)
+    assert any("experiment_rng" in m for m in msgs)
+    src = "import random\nr = random.Random(1)\n"
+    assert fired(src, "RL008", EXPERIMENTS)
+
+
+def test_rl008_clean_on_common_helper_and_common_py():
+    src = (
+        "from repro.experiments.common import experiment_rng\n"
+        "rng = experiment_rng('fig99')\n"
+    )
+    assert fired(src, "RL008", EXPERIMENTS) == []
+    # common.py itself is the audited seeding site — exempt.
+    src = "import numpy as np\nrng = np.random.default_rng(1)\n"
+    assert fired(src, "RL008", "src/repro/experiments/common.py") == []

@@ -1,0 +1,26 @@
+"""The repository's own tree must stay reprolint-clean.
+
+This is the in-suite mirror of the CI ``lint`` gate: every rule over
+``src/`` and ``tests/`` with zero violations.  If this test fails, run
+``repro lint`` for the location list.
+"""
+
+from pathlib import Path
+
+from repro.lint import format_human, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_are_lint_clean():
+    report = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
+    )
+    assert report.files_checked > 100
+    assert report.ok, "\n" + format_human(report)
+
+
+def test_cli_subcommand_is_wired():
+    from repro.cli import main
+
+    assert main(["lint", str(REPO_ROOT / "src")]) == 0

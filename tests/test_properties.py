@@ -1,7 +1,6 @@
 """Cross-module property-based tests (hypothesis) for core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import DemandModel, DynamicProvisioner, GameOperator, update_model
@@ -9,7 +8,6 @@ from repro.core.matching import match_request
 from repro.datacenter import DataCenter, ResourceVector, policy
 from repro.datacenter.geography import location
 from repro.datacenter.policy import custom_policy
-from repro.datacenter.resources import CPU, RESOURCE_TYPES
 from repro.predictors import LastValuePredictor
 
 EU = location("Netherlands")

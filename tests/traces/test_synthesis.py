@@ -8,7 +8,6 @@ from repro.traces import (
     MassQuit,
     RegionSpec,
     TraceSynthesisConfig,
-    TraceSynthesizer,
     synthesize_game_trace,
     synthesize_global_population,
     synthesize_runescape_like,
