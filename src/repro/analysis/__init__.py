@@ -1,0 +1,47 @@
+"""``repro.analysis`` — whole-program static analysis for the simulator.
+
+Where ``repro.lint`` (RL001-RL008) checks each file in isolation, this
+package builds a project-wide symbol table and call graph and proves
+properties that only hold *across* module boundaries:
+
+========  ==============================================================
+RA001     phase purity — everything transitively reachable from the
+          simulation step loop is free of I/O, wall-clock reads, env
+          access, and module-global mutation (``repro.obs`` is the
+          sanctioned boundary)
+RA002     dimensional analysis — ``Cpu``/``Mem``/``NetIn``/``NetOut``
+          ``NewType`` quantities never mix in arithmetic, comparisons,
+          argument passing, or returns
+RA003     RNG flow — no unseeded or module-level-shared generator
+          reaches simulation code
+RA004     import cycles — no runtime import cycles between project
+          modules (``if TYPE_CHECKING:`` guards are honoured)
+RA005     dead experiments — every experiment module is registered in
+          the CLI ``EXPERIMENTS`` table
+========  ==============================================================
+
+Use ``repro analyze`` or ``python -m repro.analysis``; findings share
+reprolint's suppression pragmas, output formats, ``--baseline`` ratchet,
+and exit-code contract.  ``docs/static_analysis.md`` documents each
+pass with a worked example.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callgraph import CallGraph, CallSite
+from repro.analysis.engine import PASS_SUMMARIES, analyze_paths, analyze_project
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.symbols import ClassInfo, FunctionInfo, SymbolTable
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "PASS_SUMMARIES",
+    "Project",
+    "SourceModule",
+    "SymbolTable",
+    "analyze_paths",
+    "analyze_project",
+]

@@ -1,0 +1,364 @@
+"""Project call-graph construction.
+
+Edges are built per function by resolving every ``ast.Call`` through the
+symbol table:
+
+* bare names — module-local functions, imported functions (through
+  aliases and ``__init__`` re-exports), and classes (a class call edges
+  to its ``__init__`` and, for dataclasses, ``__post_init__``);
+* ``self.m()`` — method lookup along the inheritance chain, plus
+  *Class Hierarchy Analysis*: every project subclass override is also a
+  target, so ``predictor.predict()`` reaches each concrete predictor;
+* ``obj.m()`` — when ``obj``'s class is known from a parameter
+  annotation, a local binding, or an attribute type in the symbol
+  table;
+* container flow — loop variables (and tuple unpacks) take their types
+  from the iterated value's annotation: ``for center, vec in
+  plan.placements`` with ``placements: list[tuple[DataCenter,
+  ResourceVector]]`` types ``center`` as ``DataCenter``.  ``dict``
+  iteration (``.items()``/``.values()``/``.get()``) and
+  ``heapq.heappop`` are understood the same way;
+* ``module.func()`` / ``Class.method()`` — full dotted resolution.
+
+Unresolvable calls (builtins, numpy, callables passed as values) simply
+produce no edge; the passes treat "no edge" as "outside the project".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.project import Project
+from repro.analysis.symbols import (
+    AnnRef,
+    FunctionInfo,
+    SymbolTable,
+    annotation_to_dotted,
+    element_annotation,
+    mapping_annotations,
+)
+
+__all__ = ["CallSite", "CallGraph"]
+
+#: Builtins that return their (single) argument's container unchanged.
+_IDENTITY_WRAPPERS = frozenset({"list", "tuple", "sorted", "reversed", "iter"})
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at ``path:line``."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+
+
+@dataclass
+class CallGraph:
+    """Adjacency view of every resolved call in the project."""
+
+    edges: dict[str, list[CallSite]] = field(default_factory=dict)
+
+    def callees(self, qualname: str) -> list[CallSite]:
+        return self.edges.get(qualname, [])
+
+    @classmethod
+    def build(cls, project: Project, symbols: SymbolTable) -> "CallGraph":
+        graph = cls()
+        for qualname in sorted(symbols.functions):
+            fn = symbols.functions[qualname]
+            sites = _FunctionResolver(symbols, fn).resolve_calls()
+            if sites:
+                graph.edges[qualname] = sites
+        return graph
+
+
+class _FunctionResolver:
+    """Resolves the calls inside one function body."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.module = fn.module
+        #: local name -> annotation reference (param, AnnAssign, loop
+        #: variable, or call-return flow).
+        self.ann_env: dict[str, AnnRef] = {}
+        self._build_env()
+
+    # -- annotation algebra ------------------------------------------------
+
+    def _class_of(self, ref: AnnRef | None) -> str | None:
+        if ref is None:
+            return None
+        dotted = annotation_to_dotted(ref.node)
+        if dotted is None:
+            return None
+        resolved = self.symbols.canonicalize(self.symbols.resolve(ref.module, dotted))
+        return resolved if resolved in self.symbols.classes else None
+
+    def _element_of(self, ref: AnnRef | None) -> AnnRef | None:
+        if ref is None:
+            return None
+        element = element_annotation(ref.node)
+        return AnnRef(element, ref.module) if element is not None else None
+
+    def _annotation_of(self, expr: ast.expr) -> AnnRef | None:
+        """Best-effort annotation reference for an expression."""
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.fn.cls is not None:
+                info = self.symbols.classes.get(self.fn.cls)
+                if info is not None:
+                    return AnnRef(ast.Name(id=info.name, ctx=ast.Load()), info.module)
+            return self.ann_env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            owner = self._receiver_class(expr.value)
+            if owner is not None:
+                info = self.symbols.classes.get(owner)
+                if info is not None and expr.attr in info.attr_annotations:
+                    return AnnRef(info.attr_annotations[expr.attr], info.module)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_return_annotation(expr)
+        if isinstance(expr, ast.Subscript):
+            base = self._annotation_of(expr.value)
+            if base is not None:
+                mapping = mapping_annotations(base.node)
+                if mapping is not None:
+                    return AnnRef(mapping[1], base.module)
+                return self._element_of(base)
+            return None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            element = self._annotation_of(expr.elt)
+            if element is not None:
+                return AnnRef(
+                    ast.Subscript(
+                        value=ast.Name(id="list", ctx=ast.Load()),
+                        slice=element.node,
+                        ctx=ast.Load(),
+                    ),
+                    element.module,
+                )
+            return None
+        if isinstance(expr, ast.DictComp):
+            value = self._annotation_of(expr.value)
+            if value is not None:
+                key = self._annotation_of(expr.key)
+                key_node: ast.expr = (
+                    key.node if key is not None else ast.Name(id="object", ctx=ast.Load())
+                )
+                return AnnRef(
+                    ast.Subscript(
+                        value=ast.Name(id="dict", ctx=ast.Load()),
+                        slice=ast.Tuple(elts=[key_node, value.node], ctx=ast.Load()),
+                        ctx=ast.Load(),
+                    ),
+                    value.module,
+                )
+            return None
+        return None
+
+    def _call_return_annotation(self, call: ast.Call) -> AnnRef | None:
+        func = call.func
+        dotted = annotation_to_dotted(func)
+        # Identity wrappers and heapq.heappop flow their argument's
+        # annotation (or its element) through the call.
+        if dotted in _IDENTITY_WRAPPERS and len(call.args) == 1:
+            return self._annotation_of(call.args[0])
+        if dotted == "heapq.heappop" and len(call.args) == 1:
+            return self._element_of(self._annotation_of(call.args[0]))
+        # Mapping access methods on an annotated receiver.
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "get",
+            "pop",
+            "setdefault",
+            "items",
+            "values",
+            "keys",
+        ):
+            receiver_ann = self._annotation_of(func.value)
+            if receiver_ann is not None:
+                mapping = mapping_annotations(receiver_ann.node)
+                if mapping is not None:
+                    key_ann, value_ann = mapping
+                    if func.attr in ("get", "pop", "setdefault"):
+                        return AnnRef(value_ann, receiver_ann.module)
+                    if func.attr == "values":
+                        return AnnRef(
+                            ast.Subscript(
+                                value=ast.Name(id="list", ctx=ast.Load()),
+                                slice=value_ann,
+                                ctx=ast.Load(),
+                            ),
+                            receiver_ann.module,
+                        )
+                    if func.attr == "keys":
+                        return AnnRef(
+                            ast.Subscript(
+                                value=ast.Name(id="list", ctx=ast.Load()),
+                                slice=key_ann,
+                                ctx=ast.Load(),
+                            ),
+                            receiver_ann.module,
+                        )
+                    # .items(): iterable of (key, value) pairs.
+                    return AnnRef(
+                        _items_annotation(key_ann, value_ann), receiver_ann.module
+                    )
+        # Direct class construction (checked before the generic target
+        # walk: a dataclass call resolves to __post_init__ -> None,
+        # which must not shadow the constructed type).
+        if dotted is not None:
+            resolved = self.symbols.canonicalize(
+                self.symbols.resolve(self.module, dotted)
+            )
+            info = self.symbols.classes.get(resolved)
+            if info is not None:
+                return AnnRef(ast.Name(id=info.name, ctx=ast.Load()), info.module)
+        # Project function / method: use its return annotation.
+        for target in self._targets(func):
+            target_fn = self.symbols.functions.get(target)
+            if target_fn is not None and target_fn.node.returns is not None:
+                if (
+                    target_fn.name in ("__init__", "__post_init__")
+                    and target_fn.cls is not None
+                ):
+                    owner = self.symbols.classes.get(target_fn.cls)
+                    if owner is not None:
+                        return AnnRef(
+                            ast.Name(id=owner.name, ctx=ast.Load()), owner.module
+                        )
+                    continue
+                return AnnRef(target_fn.node.returns, target_fn.module)
+        return None
+
+    # -- environment -------------------------------------------------------
+
+    def _bind_target(self, target: ast.expr, ref: AnnRef | None) -> None:
+        if ref is None:
+            return
+        if isinstance(target, ast.Name):
+            self.ann_env[target.id] = ref
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            node: ast.expr | None = ref.node
+            # ``tuple[X, Y]`` subscripts unpack positionally like a
+            # literal ``(X, Y)`` annotation tuple.
+            if isinstance(node, ast.Subscript):
+                head = annotation_to_dotted(node.value)
+                tail = head.rsplit(".", 1)[-1] if head else None
+                node = node.slice if tail in ("tuple", "Tuple") else None
+            if isinstance(node, ast.Tuple) and len(node.elts) == len(target.elts):
+                for sub_target, sub_node in zip(target.elts, node.elts):
+                    self._bind_target(sub_target, AnnRef(sub_node, ref.module))
+
+    def _build_env(self) -> None:
+        args = self.fn.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            if a.annotation is not None:
+                self.ann_env[a.arg] = AnnRef(a.annotation, self.module)
+        # Two passes reach fixpoint for the chains that matter here
+        # (e.g. ``heap = self._heaps.get(key)`` before the loop over it).
+        for _ in range(2):
+            for stmt in ast.walk(self.fn.node):
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    self.ann_env[stmt.target.id] = AnnRef(stmt.annotation, self.module)
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    self._bind_target(
+                        stmt.targets[0], self._annotation_of(stmt.value)
+                    )
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    self._bind_target(
+                        stmt.target, self._element_of(self._annotation_of(stmt.iter))
+                    )
+                elif isinstance(stmt, ast.comprehension):
+                    self._bind_target(
+                        stmt.target, self._element_of(self._annotation_of(stmt.iter))
+                    )
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_calls(self) -> list[CallSite]:
+        sites: list[CallSite] = []
+        for node in ast.walk(self.fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for callee in sorted(self._targets(node.func)):
+                sites.append(
+                    CallSite(
+                        caller=self.fn.qualname,
+                        callee=callee,
+                        path=self.fn.path,
+                        line=node.lineno,
+                    )
+                )
+        return sites
+
+    def _class_call_targets(self, class_qualname: str) -> set[str]:
+        targets: set[str] = set()
+        for hook in ("__init__", "__post_init__"):
+            found = self.symbols.lookup_method(class_qualname, hook)
+            if found is not None:
+                targets.add(found.qualname)
+        return targets
+
+    def _method_targets(self, class_qualname: str, method: str) -> set[str]:
+        targets: set[str] = set()
+        found = self.symbols.lookup_method(class_qualname, method)
+        if found is not None:
+            targets.add(found.qualname)
+        for sub in self.symbols.all_subclasses(class_qualname):
+            info = self.symbols.classes.get(sub)
+            if info is not None and method in info.methods:
+                targets.add(info.methods[method].qualname)
+        return targets
+
+    def _receiver_class(self, base: ast.expr) -> str | None:
+        """Class of a method-call receiver, if statically known."""
+        if isinstance(base, ast.Name) and base.id == "self" and self.fn.cls:
+            return self.fn.cls
+        return self._class_of(self._annotation_of(base))
+
+    def _targets(self, func: ast.expr) -> set[str]:
+        if isinstance(func, ast.Name):
+            if self._class_of(self.ann_env.get(func.id)) is not None:
+                return set()  # calling an instance: __call__, out of scope
+            dotted = func.id
+            resolved = self.symbols.canonicalize(
+                self.symbols.resolve(self.module, dotted)
+            )
+            if resolved in self.symbols.functions:
+                return {resolved}
+            if resolved in self.symbols.classes:
+                return self._class_call_targets(resolved)
+            return set()
+        if isinstance(func, ast.Attribute):
+            receiver = self._receiver_class(func.value)
+            if receiver is not None:
+                return self._method_targets(receiver, func.attr)
+            dotted = annotation_to_dotted(func)
+            if dotted is None:
+                return set()
+            resolved = self.symbols.canonicalize(
+                self.symbols.resolve(self.module, dotted)
+            )
+            if resolved in self.symbols.functions:
+                return {resolved}
+            if resolved in self.symbols.classes:
+                return self._class_call_targets(resolved)
+        return set()
+
+
+def _items_annotation(key_ann: ast.expr, value_ann: ast.expr) -> ast.expr:
+    """Synthesize ``list[tuple[K, V]]`` for ``dict.items()`` results."""
+    pair = ast.Subscript(
+        value=ast.Name(id="tuple", ctx=ast.Load()),
+        slice=ast.Tuple(elts=[key_ann, value_ann], ctx=ast.Load()),
+        ctx=ast.Load(),
+    )
+    return ast.Subscript(
+        value=ast.Name(id="list", ctx=ast.Load()), slice=pair, ctx=ast.Load()
+    )

@@ -1,0 +1,158 @@
+"""Command-line front end for the whole-program analyzer.
+
+Exposed two ways with identical behaviour:
+
+* ``repro analyze [paths ...]`` — subcommand of the main CLI;
+* ``python -m repro.analysis [paths ...]`` — standalone, for CI and
+  pre-commit hooks.
+
+Exit-code contract (same as ``repro lint``): 0 clean, 1 findings,
+2 engine/usage errors.
+
+``--changed-only`` keeps the *analysis* whole-program (reachability and
+dimensions are meaningless on a file subset) but reports only findings
+located in files touched per ``git status``/``git diff`` — the
+pre-commit sweet spot: full rigor, focused output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import PASS_SUMMARIES, analyze_paths
+from repro.lint.engine import LintReport
+from repro.lint.output import format_human, format_json
+
+__all__ = ["add_analyze_arguments", "build_parser", "run_from_args", "main"]
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``analyze`` options on ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: ./src/repro or ./src)",
+    )
+    parser.add_argument(
+        "--passes",
+        metavar="IDS",
+        default=None,
+        help="comma-separated pass ids to run (default: all of RA001-RA005)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print the pass table and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON report from a previous --format json run; findings "
+        "already recorded there are filtered out (ratchet mode)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="analyze the whole program but report only findings in "
+        "files changed per git (for pre-commit)",
+    )
+
+
+def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="whole-program analyzer: phase purity, dimensional "
+        "analysis, RNG flow, import cycles, dead experiments (RA001-RA005)",
+    )
+    add_analyze_arguments(parser)
+    return parser
+
+
+def _default_paths() -> list[str]:
+    for candidate in ("src/repro", "src"):
+        if Path(candidate).is_dir():
+            return [candidate]
+    return []
+
+
+def _git_changed_files() -> set[str] | None:
+    """Repo-relative paths of files changed vs HEAD (staged, unstaged,
+    and untracked), or ``None`` when git is unavailable."""
+    changed: set[str] = set()
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, timeout=30, check=False
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.update(line.strip() for line in proc.stdout.splitlines() if line.strip())
+    return changed
+
+
+def _filter_changed_only(report: LintReport) -> str | None:
+    """Drop findings outside git-changed files; returns a warning when
+    git state is unavailable (then nothing is filtered)."""
+    changed = _git_changed_files()
+    if changed is None:
+        return "warning: --changed-only ignored (git state unavailable)"
+    report.violations[:] = [
+        v for v in report.violations if v.path.replace("\\", "/") in changed
+    ]
+    return None
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute an analyze run from parsed arguments; returns exit code."""
+    if args.list_passes:
+        for rule_id in sorted(PASS_SUMMARIES):
+            print(f"{rule_id}  {PASS_SUMMARIES[rule_id]}")
+        return 0
+
+    passes: list[str] | None = None
+    if args.passes is not None:
+        passes = [part.strip() for part in args.passes.split(",") if part.strip()]
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        print("error: no paths given and no ./src directory found")
+        return 2
+
+    report = analyze_paths(paths, passes=passes)
+    if args.baseline is not None:
+        from repro.lint.baseline import BaselineError, apply_baseline, load_baseline
+
+        try:
+            apply_baseline(report, load_baseline(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}")
+            return 2
+    if args.changed_only:
+        warning = _filter_changed_only(report)
+        if warning is not None:
+            print(warning)
+    rendered = format_json(report) if args.format == "json" else format_human(report)
+    if rendered:
+        print(rendered)
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point; returns the process exit code."""
+    return run_from_args(build_parser().parse_args(argv))

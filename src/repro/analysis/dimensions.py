@@ -1,0 +1,315 @@
+"""RA002 — dimensional analysis over the resource ``NewType`` lattice.
+
+``datacenter/resources.py`` defines ``Cpu``, ``Mem``, ``NetIn`` and
+``NetOut`` (plus ``Km`` for geography) as ``NewType`` wrappers over
+``float``.  mypy enforces them at call boundaries where it can; this
+pass closes the gaps mypy leaves in a numpy-heavy codebase by walking
+every function and statically rejecting
+
+* cross-dimension addition/subtraction (``cpu + mem``),
+* cross-dimension comparison (``cpu < net_in``),
+* passing a value of one dimension to a parameter annotated with
+  another (including ``Cpu(mem_value)`` re-tagging), and
+* returning a value whose dimension contradicts the declared return.
+
+Multiplication and division are deliberately unchecked: products and
+ratios are *derived* quantities (utilization, machine counts, bulk
+round-ups), and the ``NewType`` pattern erases to ``float`` under
+arithmetic anyway.  Unknown dimensions never flag — the pass is tuned
+to report only provable mixes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["DIMENSIONS", "check_dimensions"]
+
+RULE_ID = "RA002"
+
+#: Recognized dimension type names (the final component of the resolved
+#: annotation).  Matching on the final component keeps the pass honest
+#: under aliasing and re-export while staying fixture-friendly.
+DIMENSIONS = frozenset({"Cpu", "Mem", "NetIn", "NetOut", "Km"})
+
+_COMPARISONS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _dim_of_dotted(dotted: str | None) -> str | None:
+    if dotted is None:
+        return None
+    tail = dotted.rsplit(".", 1)[-1]
+    return tail if tail in DIMENSIONS else None
+
+
+def _annotation_dim_in(
+    symbols: SymbolTable, module: str, annotation: ast.expr | None
+) -> str | None:
+    dotted = annotation_to_dotted(annotation)
+    if dotted is None:
+        return None
+    return _dim_of_dotted(symbols.canonicalize(symbols.resolve(module, dotted)))
+
+
+class _FunctionDimChecker:
+    """Checks one function body against the dimension lattice."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.module = fn.module
+        self.env: dict[str, str] = {}
+        self.receiver_classes: dict[str, str] = {}
+        self._build_env()
+
+    # -- environment -------------------------------------------------------
+
+    def _resolve(self, dotted: str | None) -> str | None:
+        if dotted is None:
+            return None
+        return self.symbols.canonicalize(self.symbols.resolve(self.module, dotted))
+
+    def _annotation_dim(self, annotation: ast.expr | None) -> str | None:
+        return _dim_of_dotted(self._resolve(annotation_to_dotted(annotation)))
+
+    def _annotation_class(self, annotation: ast.expr | None) -> str | None:
+        resolved = self._resolve(annotation_to_dotted(annotation))
+        return resolved if resolved in self.symbols.classes else None
+
+    def _build_env(self) -> None:
+        args = self.fn.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            dim = self._annotation_dim(a.annotation)
+            if dim is not None:
+                self.env[a.arg] = dim
+            cls = self._annotation_class(a.annotation)
+            if cls is not None:
+                self.receiver_classes[a.arg] = cls
+        if self.fn.cls is not None:
+            self.receiver_classes["self"] = self.fn.cls
+        for stmt in ast.walk(self.fn.node):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                dim = self._annotation_dim(stmt.annotation)
+                if dim is not None:
+                    self.env[stmt.target.id] = dim
+                cls = self._annotation_class(stmt.annotation)
+                if cls is not None:
+                    self.receiver_classes[stmt.target.id] = cls
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+                if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                    dim = self._call_dim(value)
+                    if dim is not None:
+                        self.env[target.id] = dim
+                    resolved = self._resolve(annotation_to_dotted(value.func))
+                    if resolved in self.symbols.classes:
+                        self.receiver_classes[target.id] = resolved
+
+    # -- expression dimensions ---------------------------------------------
+
+    def _call_dim(self, node: ast.Call) -> str | None:
+        dotted = annotation_to_dotted(node.func)
+        if dotted is None:
+            return None
+        ctor_dim = _dim_of_dotted(self._resolve(dotted))
+        if ctor_dim is not None:
+            return ctor_dim
+        resolved = self._resolve(dotted)
+        fn = self.symbols.functions.get(resolved) if resolved else None
+        if fn is None and resolved in self.symbols.classes:
+            return None
+        if fn is None and isinstance(node.func, ast.Attribute):
+            receiver = self._receiver_class(node.func.value)
+            if receiver is not None:
+                fn = self.symbols.lookup_method(receiver, node.func.attr)
+        if fn is not None:
+            return self._annotation_dim(fn.node.returns)
+        return None
+
+    def _receiver_class(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return self.receiver_classes.get(expr.id)
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in self.receiver_classes
+        ):
+            owner = self.symbols.classes.get(self.receiver_classes[expr.value.id])
+            if owner is not None:
+                attr_type = owner.attr_types.get(expr.attr)
+                if attr_type in self.symbols.classes:
+                    return attr_type
+        return None
+
+    def dim_of(self, expr: ast.expr) -> str | None:
+        """Dimension of an expression, or None when unknown."""
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            receiver = self._receiver_class(expr.value)
+            if receiver is not None:
+                owner = self.symbols.classes.get(receiver)
+                if owner is not None:
+                    return _dim_of_dotted(owner.attr_types.get(expr.attr))
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_dim(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.dim_of(expr.operand)
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Sub)):
+            left, right = self.dim_of(expr.left), self.dim_of(expr.right)
+            return left if left == right else None
+        if isinstance(expr, ast.IfExp):
+            body, orelse = self.dim_of(expr.body), self.dim_of(expr.orelse)
+            return body if body == orelse else None
+        return None
+
+    # -- checks ------------------------------------------------------------
+
+    def _violation(self, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=self.fn.path,
+            line=getattr(node, "lineno", self.fn.lineno),
+            col=getattr(node, "col_offset", 0),
+            rule_id=RULE_ID,
+            message=f"{message} (in {self.fn.qualname})",
+        )
+
+    def _param_dims(
+        self, fn: FunctionInfo
+    ) -> tuple[list[tuple[str, str | None]], dict[str, str]]:
+        """(positional (name, dim) list, name -> dim map) for ``fn``."""
+        args = fn.node.args
+        positional = [
+            (a.arg, _annotation_dim_in(self.symbols, fn.module, a.annotation))
+            for a in args.posonlyargs + args.args
+        ]
+        by_name = {
+            a.arg: dim
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+            if (dim := _annotation_dim_in(self.symbols, fn.module, a.annotation))
+            is not None
+        }
+        return positional, by_name
+
+    def _check_call_args(self, node: ast.Call, out: list[Violation]) -> None:
+        dotted = annotation_to_dotted(node.func)
+        if dotted is None:
+            return
+        resolved = self._resolve(dotted)
+        ctor_dim = _dim_of_dotted(resolved)
+        if ctor_dim is not None:
+            # Dimension constructor: Cpu(x) retags x — reject when x
+            # provably carries a *different* dimension already.
+            if len(node.args) == 1:
+                arg_dim = self.dim_of(node.args[0])
+                if arg_dim is not None and arg_dim != ctor_dim:
+                    out.append(
+                        self._violation(
+                            node,
+                            f"re-tagging {arg_dim} value as {ctor_dim}",
+                        )
+                    )
+            return
+        fn = self.symbols.functions.get(resolved) if resolved else None
+        # offset 1 skips the implicit ``self`` slot on bound calls;
+        # ``Class.method(inst, ...)`` unbound style resolves to a
+        # FunctionInfo directly and keeps offset 0 (self is explicit).
+        offset = 0
+        if fn is None and resolved in self.symbols.classes:
+            fn = self.symbols.lookup_method(resolved, "__init__")
+            offset = 1
+        elif fn is None and isinstance(node.func, ast.Attribute):
+            receiver = self._receiver_class(node.func.value)
+            if receiver is not None:
+                fn = self.symbols.lookup_method(receiver, node.func.attr)
+                offset = 1
+        if fn is None:
+            return
+        positional, by_name = self._param_dims(fn)
+        for index, arg in enumerate(node.args):
+            slot = index + offset
+            if slot >= len(positional):
+                break
+            param, expected = positional[slot]
+            actual = self.dim_of(arg)
+            if expected is not None and actual is not None and actual != expected:
+                out.append(
+                    self._violation(
+                        arg,
+                        f"passing {actual} value to {expected} parameter "
+                        f"{param!r} of {fn.qualname}",
+                    )
+                )
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            expected = by_name.get(kw.arg)
+            actual = self.dim_of(kw.value)
+            if expected is not None and actual is not None and actual != expected:
+                out.append(
+                    self._violation(
+                        kw.value,
+                        f"passing {actual} value to {expected} parameter "
+                        f"{kw.arg!r} of {fn.qualname}",
+                    )
+                )
+
+    def check(self) -> list[Violation]:
+        out: list[Violation] = []
+        declared_return = self._annotation_dim(self.fn.node.returns)
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = self.dim_of(node.left), self.dim_of(node.right)
+                if left is not None and right is not None and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    out.append(
+                        self._violation(
+                            node, f"cross-dimension arithmetic: {left} {op} {right}"
+                        )
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for index, op in enumerate(node.ops):
+                    if not isinstance(op, _COMPARISONS):
+                        continue
+                    left, right = (
+                        self.dim_of(operands[index]),
+                        self.dim_of(operands[index + 1]),
+                    )
+                    if left is not None and right is not None and left != right:
+                        out.append(
+                            self._violation(
+                                node,
+                                f"cross-dimension comparison: {left} vs {right}",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                self._check_call_args(node, out)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if declared_return is not None:
+                    actual = self.dim_of(node.value)
+                    if actual is not None and actual != declared_return:
+                        out.append(
+                            self._violation(
+                                node,
+                                f"returning {actual} value from function "
+                                f"declared -> {declared_return}",
+                            )
+                        )
+        return out
+
+
+def check_dimensions(symbols: SymbolTable) -> list[Violation]:
+    """Run the dimension checks over every function in the project."""
+    violations: list[Violation] = []
+    for qualname in sorted(symbols.functions):
+        fn = symbols.functions[qualname]
+        violations.extend(_FunctionDimChecker(symbols, fn).check())
+    violations.sort()
+    return violations

@@ -1,0 +1,144 @@
+"""Orchestration for ``repro analyze``: run the whole-program passes
+over a project and aggregate one :class:`~repro.lint.engine.LintReport`.
+
+The report type, exit-code contract (0 clean / 1 findings / 2 engine
+errors), output formats, and suppression pragmas are all shared with
+``repro.lint`` — ``# reprolint: disable=RA001`` on the offending line
+or ``# reprolint: disable-file=RA002`` suppress analyzer findings
+exactly like lint findings, and each tool accepts (ignores) the other
+tool's rule ids inside pragmas so one comment can serve both.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.dimensions import check_dimensions
+from repro.analysis.graphchecks import check_dead_experiments, check_import_cycles
+from repro.analysis.project import Project
+from repro.analysis.purity import (
+    DEFAULT_BOUNDARY_PREFIXES,
+    DEFAULT_ROOTS,
+    check_purity,
+)
+from repro.analysis.rngflow import check_rng_flow
+from repro.analysis.symbols import SymbolTable
+from repro.lint.engine import (
+    ANALYSIS_RULE_IDS,
+    LintReport,
+    Violation,
+    suppression_tables,
+)
+from repro.lint.rules import all_rules
+
+__all__ = ["PASS_SUMMARIES", "analyze_project", "analyze_paths"]
+
+#: ``{rule_id: summary}`` for ``repro analyze --list-passes``.
+PASS_SUMMARIES: dict[str, str] = {
+    "RA001": "phase purity: step-loop-reachable functions free of I/O, "
+    "wall-clock, env access, and module-global mutation",
+    "RA002": "dimensional analysis: no cross-dimension arithmetic, "
+    "comparison, argument passing, or returns (Cpu/Mem/NetIn/NetOut)",
+    "RA003": "RNG flow: no unseeded or module-level-shared RNG reaching "
+    "simulation code",
+    "RA004": "import cycles: no runtime import cycles between project modules",
+    "RA005": "dead experiments: every experiment module registered in the CLI",
+}
+
+
+def _known_pragma_ids() -> frozenset[str]:
+    return ANALYSIS_RULE_IDS | frozenset(r.rule_id for r in all_rules())
+
+
+def _apply_suppressions(project: Project, report: LintReport) -> None:
+    """Filter suppressed violations; record bad pragma ids as errors."""
+    known = _known_pragma_ids()
+    per_path: dict[str, tuple[dict[int, set[str]], set[str]]] = {}
+    seen_paths: set[str] = set()
+    for module in project.sorted_modules():
+        if module.path in seen_paths:
+            continue
+        seen_paths.add(module.path)
+        per_line, whole_file, bad = suppression_tables(module.source, known)
+        per_path[module.path] = (per_line, whole_file)
+        for line_no, rule_id in bad:
+            report.errors.append(
+                f"{module.path}:{line_no}: bad-suppression: "
+                f"unknown rule id {rule_id!r}"
+            )
+
+    kept: list[Violation] = []
+    for violation in report.violations:
+        tables = per_path.get(violation.path)
+        if tables is not None:
+            per_line, whole_file = tables
+            if violation.rule_id in whole_file:
+                continue
+            if violation.rule_id in per_line.get(violation.line, ()):
+                continue
+        kept.append(violation)
+    report.violations[:] = kept
+
+
+def analyze_project(
+    project: Project,
+    *,
+    passes: Sequence[str] | None = None,
+    roots: tuple[str, ...] = DEFAULT_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+) -> LintReport:
+    """Run the selected analysis passes (default: all) over ``project``."""
+    selected = set(passes) if passes is not None else set(PASS_SUMMARIES)
+    unknown = selected - set(PASS_SUMMARIES)
+    report = LintReport(files_checked=len(project))
+    if unknown:
+        report.errors.append(
+            f"unknown analysis pass id(s): {', '.join(sorted(unknown))}"
+        )
+        return report
+
+    symbols = SymbolTable(project)
+    if "RA001" in selected:
+        graph = CallGraph.build(project, symbols)
+        report.violations.extend(
+            check_purity(
+                symbols, graph, roots=roots, boundary_prefixes=boundary_prefixes
+            )
+        )
+    if "RA002" in selected:
+        report.violations.extend(check_dimensions(symbols))
+    if "RA003" in selected:
+        report.violations.extend(check_rng_flow(symbols))
+    if "RA004" in selected:
+        report.violations.extend(check_import_cycles(project))
+    if "RA005" in selected:
+        report.violations.extend(check_dead_experiments(project))
+
+    _apply_suppressions(project, report)
+    report.violations.sort()
+    return report
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    root: Path | None = None,
+    passes: Sequence[str] | None = None,
+    roots: tuple[str, ...] = DEFAULT_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+) -> LintReport:
+    """Load ``paths`` into a project and analyze it (the CLI entry)."""
+    project, load_errors = Project.from_paths(paths, root=root)
+    if not project.modules and not load_errors:
+        report = LintReport()
+        report.errors.append(
+            f"no python files found under: {', '.join(map(str, paths))}"
+        )
+        return report
+    report = analyze_project(
+        project, passes=passes, roots=roots, boundary_prefixes=boundary_prefixes
+    )
+    report.errors.extend(load_errors)
+    return report

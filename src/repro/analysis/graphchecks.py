@@ -1,0 +1,249 @@
+"""RA004/RA005 — cheap byproducts of the project graph.
+
+**RA004 (import cycles).**  Statement-level import edges between project
+modules are collected (imports guarded by ``if TYPE_CHECKING:`` are
+skipped — that guard *is* the sanctioned cycle-breaking idiom) and the
+strongly-connected components of the resulting graph are computed.
+Any component with more than one module, or a self-import, is a cycle:
+import order then depends on which module happens to be imported first,
+which is exactly the class of bug that surfaces only in fresh
+interpreters (CLI runs) and not under test runners.
+
+**RA005 (dead experiments).**  The CLI's ``EXPERIMENTS`` dict literal is
+the single registry mapping experiment names to modules.  An experiment
+module that exists on disk but is absent from the registry is
+unreachable from ``repro experiment`` — usually a forgotten
+registration.  The check only runs when both the CLI module and the
+experiments package are part of the analyzed tree, so analyzing a
+subpackage never false-positives.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.project import Project, SourceModule
+from repro.lint.engine import Violation
+
+__all__ = ["check_import_cycles", "check_dead_experiments"]
+
+CYCLE_RULE_ID = "RA004"
+DEAD_EXPERIMENT_RULE_ID = "RA005"
+
+#: Experiment modules that are infrastructure, not runnable experiments.
+_EXPERIMENT_EXEMPT = frozenset({"common", "__init__"})
+
+
+def _is_type_checking_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _runtime_imports(tree: ast.Module) -> list[ast.stmt]:
+    """Import statements that execute at module-import time.
+
+    ``if TYPE_CHECKING:`` blocks are skipped (their ``else`` branches
+    still count), and so are imports inside function bodies — a
+    deferred ``from x import y`` inside a function is the *other*
+    sanctioned cycle-breaking idiom and never runs during module init.
+    Class bodies do execute at import time, so they are descended into.
+    """
+    out: list[ast.stmt] = []
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            out.append(node)
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _is_type_checking_guard(node) and isinstance(node, ast.If):
+            stack.extend(node.orelse)
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+    return out
+
+
+def _edge_targets(
+    stmt: ast.stmt, module: SourceModule, project: Project
+) -> list[str]:
+    """Project modules imported by one statement (dotted, resolved)."""
+    is_package = module.path.replace("\\", "/").endswith("__init__.py")
+    parts = module.name.split(".")
+    package_parts = parts if is_package else parts[:-1]
+    targets: list[str] = []
+    if isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            if alias.name in project.modules:
+                targets.append(alias.name)
+    elif isinstance(stmt, ast.ImportFrom):
+        if stmt.level == 0:
+            base = stmt.module or ""
+        else:
+            anchor = package_parts[: len(package_parts) - (stmt.level - 1)]
+            base = ".".join(anchor + ([stmt.module] if stmt.module else []))
+        if base in project.modules:
+            targets.append(base)
+        for alias in stmt.names:
+            candidate = f"{base}.{alias.name}" if base else alias.name
+            if candidate in project.modules:
+                targets.append(candidate)
+    return targets
+
+
+def _import_graph(
+    project: Project,
+) -> tuple[dict[str, set[str]], dict[tuple[str, str], tuple[str, int]]]:
+    """``(edges, sites)``: adjacency plus ``(path, line)`` per edge."""
+    edges: dict[str, set[str]] = {name: set() for name in project.modules}
+    sites: dict[tuple[str, str], tuple[str, int]] = {}
+    for module in project.sorted_modules():
+        for stmt in _runtime_imports(module.tree):
+            for target in _edge_targets(stmt, module, project):
+                if target == module.name:
+                    continue
+                edges[module.name].add(target)
+                sites.setdefault(
+                    (module.name, target), (module.path, stmt.lineno)
+                )
+    return edges, sites
+
+
+def _strongly_connected(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's SCC algorithm, iterative, deterministic order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            successors = sorted(edges.get(node, ()))
+            for position in range(child_index, len(successors)):
+                successor = successors[position]
+                if successor not in index:
+                    work.append((node, position + 1))
+                    work.append((successor, 0))
+                    recurse = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for name in sorted(edges):
+        if name not in index:
+            strongconnect(name)
+    return components
+
+
+def check_import_cycles(project: Project) -> list[Violation]:
+    """Flag runtime import cycles between project modules."""
+    edges, sites = _import_graph(project)
+    violations: list[Violation] = []
+    for component in _strongly_connected(edges):
+        if len(component) < 2:
+            continue
+        first = component[0]
+        cycle = " -> ".join(component + [first])
+        # Attribute the finding to the first module's outgoing edge
+        # inside the component so the location is a real import line.
+        location = None
+        for target in sorted(edges[first]):
+            if target in component:
+                location = sites.get((first, target))
+                break
+        path, line = location if location else (project.modules[first].path, 1)
+        violations.append(
+            Violation(
+                path=path,
+                line=line,
+                col=0,
+                rule_id=CYCLE_RULE_ID,
+                message=f"runtime import cycle: {cycle}",
+            )
+        )
+    violations.sort()
+    return violations
+
+
+def _registry_values(cli_module: SourceModule) -> set[str] | None:
+    """Module paths registered in the CLI ``EXPERIMENTS`` dict literal."""
+    for stmt in cli_module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        if value is None or not any(
+            isinstance(t, ast.Name) and t.id == "EXPERIMENTS" for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        out: set[str] = set()
+        for entry in value.values:
+            if isinstance(entry, ast.Constant) and isinstance(entry.value, str):
+                out.add(entry.value)
+        return out
+    return None
+
+
+def check_dead_experiments(project: Project) -> list[Violation]:
+    """Flag experiment modules missing from the CLI registry."""
+    cli_module = project.modules.get("repro.cli")
+    if cli_module is None:
+        return []
+    registered = _registry_values(cli_module)
+    if registered is None:
+        return []
+    violations: list[Violation] = []
+    for name in sorted(project.modules):
+        prefix, _, leaf = name.rpartition(".")
+        if prefix != "repro.experiments" or leaf in _EXPERIMENT_EXEMPT:
+            continue
+        if name not in registered:
+            violations.append(
+                Violation(
+                    path=project.modules[name].path,
+                    line=1,
+                    col=0,
+                    rule_id=DEAD_EXPERIMENT_RULE_ID,
+                    message=(
+                        f"experiment module {name} is not registered in "
+                        "repro.cli EXPERIMENTS and cannot be run from the CLI"
+                    ),
+                )
+            )
+    return violations

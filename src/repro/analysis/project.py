@@ -1,0 +1,157 @@
+"""Project loading for the whole-program analyzer.
+
+A :class:`Project` is the parsed universe the interprocedural passes
+reason about: every module's source, AST, and dotted module name.  Two
+constructors mirror the lint engine's dual real/fixture API:
+
+* :meth:`Project.from_paths` walks real directories, deriving module
+  names from the package structure (the nearest ancestor directory
+  *without* an ``__init__.py`` is the import root, so
+  ``src/repro/core/matching.py`` becomes ``repro.core.matching``);
+* :meth:`Project.from_sources` builds a project from in-memory strings
+  keyed by virtual path, which is how the fixture tests seed
+  violations without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint.engine import iter_python_files
+
+__all__ = ["SourceModule", "Project", "module_name_for_path"]
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed module: dotted name, display path, source, and AST."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+
+
+def module_name_for_path(file_path: Path) -> str:
+    """Dotted module name implied by package structure on disk.
+
+    Walks parent directories while they contain ``__init__.py``; the
+    first directory without one is outside the package (e.g. ``src``).
+    A bare script with no package parent is its own top-level module.
+    """
+    parts = [file_path.stem]
+    parent = file_path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        next_parent = parent.parent
+        if next_parent == parent:  # filesystem root
+            break
+        parent = next_parent
+    parts.reverse()
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _module_name_for_virtual(virtual_path: str) -> str:
+    """Module name for an in-memory fixture path.
+
+    Fixture paths follow the repo layout (``src/repro/core/x.py``), so
+    the rule is positional: strip a leading ``src`` component, drop the
+    extension, and treat every directory as a package.
+    """
+    posix = virtual_path.replace("\\", "/")
+    parts = [p for p in posix.split("/") if p and p != "."]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+class Project:
+    """The parsed module universe handed to the analysis passes."""
+
+    def __init__(self, modules: Iterable[SourceModule]) -> None:
+        self.modules: dict[str, SourceModule] = {}
+        for module in modules:
+            # Last writer wins; from_paths sorts inputs so this is
+            # deterministic, and duplicate dotted names only arise when
+            # two source roots are analyzed at once.
+            self.modules[module.name] = module
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.modules
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def sorted_modules(self) -> list[SourceModule]:
+        """Modules in deterministic (name) order."""
+        return [self.modules[name] for name in sorted(self.modules)]
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build a project from ``{virtual_path: source}`` (fixtures).
+
+        Raises :class:`SyntaxError` on unparseable fixture source — a
+        fixture bug, not an analysis finding.
+        """
+        modules = []
+        for virtual_path in sorted(sources):
+            source = sources[virtual_path]
+            tree = ast.parse(source, filename=virtual_path)
+            modules.append(
+                SourceModule(
+                    name=_module_name_for_virtual(virtual_path),
+                    path=virtual_path,
+                    source=source,
+                    tree=tree,
+                )
+            )
+        return cls(modules)
+
+    @classmethod
+    def from_paths(
+        cls, paths: Iterable[str | Path], *, root: Path | None = None
+    ) -> tuple["Project", list[str]]:
+        """Load every ``*.py`` file under ``paths``.
+
+        Returns ``(project, errors)``; unreadable or unparseable files
+        become error strings (CI exit code 2) rather than exceptions so
+        one bad file cannot hide the rest of the report.
+        """
+        base = (root or Path.cwd()).resolve()
+        modules: list[SourceModule] = []
+        errors: list[str] = []
+        for file_path in iter_python_files(paths):
+            resolved = file_path.resolve()
+            try:
+                display = str(resolved.relative_to(base))
+            except ValueError:
+                display = str(file_path)
+            display = display.replace("\\", "/")
+            try:
+                source = resolved.read_text(encoding="utf-8")
+            except OSError as exc:
+                errors.append(f"{display}: unreadable: {exc}")
+                continue
+            try:
+                tree = ast.parse(source, filename=display)
+            except SyntaxError as exc:
+                errors.append(f"{display}:{exc.lineno or 0}: syntax error: {exc.msg}")
+                continue
+            modules.append(
+                SourceModule(
+                    name=module_name_for_path(resolved),
+                    path=display,
+                    source=source,
+                    tree=tree,
+                )
+            )
+        return cls(modules), errors

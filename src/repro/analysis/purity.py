@@ -1,0 +1,300 @@
+"""RA001 — phase purity: the simulation step loop must be pure.
+
+Every function transitively reachable from the step-loop roots (the
+ecosystem run loop, the provisioner reconcile/install paths, and the
+matching mechanism) must be free of
+
+* I/O (``open``/``print``/``input``, ``subprocess``, ``socket``,
+  destructive ``os.*`` calls, writes to ``sys.stdout``/``stderr``),
+* wall-clock reads (same table as RL002; monotonic timers stay legal),
+* environment access (``os.environ``, ``os.getenv``),
+* global-state RNG calls (same tables as RL001), and
+* module-global mutation (rebinding, ``global`` writes, subscript or
+  attribute stores, mutator-method calls, ``next()`` on a module-level
+  iterator) — the shared-state bug class RL005 bans locally, here
+  proven over the whole reachable call graph.
+
+``repro.obs`` is the sanctioned observability boundary: tracer I/O,
+metric registries, and the invariant switch live there by design, so
+traversal stops at (and never inspects) boundary modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.symbols import FunctionInfo, SymbolTable
+from repro.lint.engine import Violation
+from repro.lint.rules import (
+    NUMPY_GLOBAL_RNG,
+    STDLIB_GLOBAL_RNG,
+    WALL_CLOCK_CALLS,
+    ImportMap,
+)
+
+__all__ = ["DEFAULT_ROOTS", "DEFAULT_BOUNDARY_PREFIXES", "check_purity"]
+
+RULE_ID = "RA001"
+
+#: Entry points of the simulation step loop (Sec. IV of the paper: the
+#: operator/provisioner/matching cycle evaluated every 2-minute step).
+DEFAULT_ROOTS: tuple[str, ...] = (
+    "repro.core.ecosystem.EcosystemSimulator.run",
+    "repro.core.provisioner.DynamicProvisioner.reconcile",
+    "repro.core.provisioner.StaticProvisioner.install",
+    "repro.core.provisioner.StaticProvisioner.reconcile",
+    "repro.core.matching.match_request",
+)
+
+#: Modules whose *interiors* are exempt: the observability layer is the
+#: one sanctioned impurity boundary (JSONL tracing, env-driven invariant
+#: switches).  Reachability does not traverse past them.
+DEFAULT_BOUNDARY_PREFIXES: tuple[str, ...] = ("repro.obs",)
+
+#: Calls that perform I/O regardless of arguments.
+_IO_CALLS = frozenset(
+    {
+        "open",
+        "print",
+        "input",
+        "breakpoint",
+        "os.system",
+        "os.popen",
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.replace",
+        "os.mkdir",
+        "os.makedirs",
+        "os.rmdir",
+        "os.chdir",
+        "sys.stdout.write",
+        "sys.stderr.write",
+    }
+)
+
+#: Call prefixes that perform I/O (any function under these modules).
+_IO_PREFIXES = ("subprocess.", "socket.", "shutil.", "urllib.", "requests.")
+
+#: Environment access — reads make behaviour depend on process state.
+_ENV_CALLS = frozenset({"os.getenv", "os.putenv", "os.unsetenv"})
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "setdefault",
+        "appendleft",
+        "popleft",
+        "sort",
+    }
+)
+
+
+def _local_bound_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally in ``fn`` (params + assignment-like targets),
+    minus names the function explicitly declares ``global``."""
+    bound: set[str] = set()
+    declared_global: set[str] = set()
+    args = fn.args
+    for a in args.posonlyargs + args.args + args.kwonlyargs:
+        bound.add(a.arg)
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+
+    def add_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                add_target(elt)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                add_target(t)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            add_target(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            add_target(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    add_target(item.optional_vars)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, ast.NamedExpr):
+            add_target(node.target)
+        elif isinstance(node, ast.comprehension):
+            add_target(node.target)
+    return bound - declared_global
+
+
+def _impurities(
+    fn: FunctionInfo, imports: ImportMap, module_globals: set[str]
+) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for each impure operation in ``fn``."""
+    locals_ = _local_bound_names(fn.node)
+    shared = module_globals - locals_
+
+    def is_shared_name(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Name) and expr.id in shared
+
+    declared_global: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            name = imports.canonical(node.func)
+            if name is not None:
+                if name in WALL_CLOCK_CALLS:
+                    yield node, f"wall-clock read {name}()"
+                elif name in _IO_CALLS or name.startswith(_IO_PREFIXES):
+                    yield node, f"I/O call {name}()"
+                elif name in _ENV_CALLS:
+                    yield node, f"environment access {name}()"
+                elif (
+                    name.startswith("random.")
+                    and name.split(".", 1)[1] in STDLIB_GLOBAL_RNG
+                ):
+                    yield node, f"global-state RNG call {name}()"
+                elif (
+                    name.startswith("numpy.random.")
+                    and name.rsplit(".", 1)[1] in NUMPY_GLOBAL_RNG
+                ):
+                    yield node, f"global-state RNG call {name}()"
+                elif name == "next" and len(node.args) == 1:
+                    arg = node.args[0]
+                    if is_shared_name(arg) and isinstance(arg, ast.Name):
+                        yield node, (
+                            f"module-global mutation: next() advances "
+                            f"module-level iterator {arg.id!r}"
+                        )
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATOR_METHODS
+                and is_shared_name(func.value)
+                and isinstance(func.value, ast.Name)
+            ):
+                yield node, (
+                    f"module-global mutation: {func.value.id}.{func.attr}() "
+                    "mutates module-level state"
+                )
+        elif isinstance(node, ast.Attribute) and not isinstance(
+            node.ctx, ast.Store
+        ):
+            name = imports.canonical(node)
+            if name is not None and (
+                name == "os.environ" or name.startswith("os.environ.")
+            ):
+                yield node, "environment access os.environ"
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    yield node, (
+                        f"module-global mutation: rebinds global {target.id!r}"
+                    )
+                elif isinstance(
+                    target, (ast.Subscript, ast.Attribute)
+                ) and is_shared_name(target.value):
+                    base = target.value
+                    assert isinstance(base, ast.Name)
+                    yield node, (
+                        f"module-global mutation: stores into module-level "
+                        f"{base.id!r}"
+                    )
+
+
+def _format_chain(parents: dict[str, str | None], qualname: str) -> str:
+    chain = [qualname]
+    while True:
+        parent = parents.get(chain[-1])
+        if parent is None:
+            break
+        chain.append(parent)
+    chain.reverse()
+    if len(chain) > 6:
+        chain = chain[:2] + ["..."] + chain[-3:]
+    return " -> ".join(chain)
+
+
+def check_purity(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = DEFAULT_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+) -> list[Violation]:
+    """Prove the reachable step-loop closure pure; return violations."""
+    import_maps: dict[str, ImportMap] = {}
+
+    def imports_for(module: str) -> ImportMap:
+        if module not in import_maps:
+            tree = symbols.project.modules[module].tree
+            import_maps[module] = ImportMap.from_tree(tree)
+        return import_maps[module]
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    parents: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in symbols.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+
+    violations: list[Violation] = []
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue  # sanctioned boundary: do not inspect or traverse
+        module_globals = symbols.module_globals.get(fn.module, set())
+        for node, description in _impurities(
+            fn, imports_for(fn.module), module_globals
+        ):
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=getattr(node, "lineno", fn.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    rule_id=RULE_ID,
+                    message=(
+                        f"{description} in step-reachable {qualname} "
+                        f"[chain: {_format_chain(parents, qualname)}]"
+                    ),
+                )
+            )
+        for site in graph.callees(qualname):
+            if site.callee not in parents and site.callee in symbols.functions:
+                parents[site.callee] = qualname
+                queue.append(site.callee)
+    violations.sort()
+    return violations

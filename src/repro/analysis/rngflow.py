@@ -1,0 +1,215 @@
+"""RA003 — RNG provenance: only seeded, locally-owned generators may
+reach simulation code.
+
+RL001 already bans *constructing* unseeded generators file-by-file.
+This pass adds what only a whole-program view can check — the flow:
+
+* a **module-level RNG instance** in a simulation package (``core``,
+  ``emulator``, ``predictors``, ``traces``) is process-shared state:
+  two runs interleave draws differently, so it is flagged where it is
+  created;
+* an **unseeded RNG** created anywhere (even in glue code where RL001
+  is silent) and then **passed as an argument** into a project function
+  in a simulation package is flagged at the call site;
+* a **module-level RNG** passed into a simulation-package function is
+  flagged even when seeded — sharing one stream across callers couples
+  their draw sequences.
+
+``repro.experiments.common.experiment_rng`` is the sanctioned seeded
+source (it folds the experiment name into the base seed), so values
+that come from it — or from any constructor given an explicit seed —
+flow freely.  Parameters of unknown provenance are trusted: the pass
+only reports provable leaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["SIM_PACKAGE_PREFIXES", "check_rng_flow"]
+
+RULE_ID = "RA003"
+
+#: Packages whose functions constitute "simulation code" for this pass.
+SIM_PACKAGE_PREFIXES: tuple[str, ...] = (
+    "repro.core",
+    "repro.emulator",
+    "repro.predictors",
+    "repro.traces",
+)
+
+#: RNG constructors: canonical dotted name -> needs an explicit seed.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    }
+)
+
+#: Sanctioned always-seeded factory (derives the stream from the
+#: experiment name + base seed; see experiments/common.py).
+_SEEDED_FACTORIES = frozenset({"repro.experiments.common.experiment_rng"})
+
+
+@dataclass(frozen=True)
+class _RngOrigin:
+    """Provenance of one RNG value: where and how it was created."""
+
+    seeded: bool
+    shared: bool  # module-level (process-wide) instance
+
+
+def _in_sim_package(module: str) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in SIM_PACKAGE_PREFIXES
+    )
+
+
+class _ModuleRngChecker:
+    """Runs the RNG-flow checks over one module."""
+
+    def __init__(self, symbols: SymbolTable, module: str) -> None:
+        self.symbols = symbols
+        self.module = module
+        self.info = symbols.project.modules[module]
+        #: module-level names bound to RNG instances (name -> origin).
+        self.module_rngs: dict[str, _RngOrigin] = {}
+
+    def _resolve(self, expr: ast.expr) -> str | None:
+        dotted = annotation_to_dotted(expr)
+        if dotted is None:
+            return None
+        return self.symbols.canonicalize(self.symbols.resolve(self.module, dotted))
+
+    def _rng_creation(self, expr: ast.expr) -> _RngOrigin | None:
+        """Origin when ``expr`` directly constructs an RNG, else None."""
+        if not isinstance(expr, ast.Call):
+            return None
+        resolved = self._resolve(expr.func)
+        if resolved in _SEEDED_FACTORIES:
+            return _RngOrigin(seeded=True, shared=False)
+        if resolved in _RNG_CONSTRUCTORS:
+            seeded = bool(expr.args or expr.keywords)
+            return _RngOrigin(seeded=seeded, shared=False)
+        return None
+
+    def _violation(self, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=self.info.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=RULE_ID,
+            message=message,
+        )
+
+    def check(self) -> list[Violation]:
+        out: list[Violation] = []
+        for stmt in self.info.tree.body:
+            if isinstance(stmt, ast.Assign):
+                origin = self._rng_creation(stmt.value)
+                if origin is None:
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_rngs[target.id] = _RngOrigin(
+                            seeded=origin.seeded, shared=True
+                        )
+                        if _in_sim_package(self.module):
+                            out.append(
+                                self._violation(
+                                    stmt,
+                                    f"module-level RNG {target.id!r} in "
+                                    "simulation package: one process-wide "
+                                    "stream couples all callers; inject a "
+                                    "seeded generator instead",
+                                )
+                            )
+        for qualname in sorted(self.symbols.functions):
+            fn = self.symbols.functions[qualname]
+            if fn.module == self.module:
+                out.extend(self._check_function(fn))
+        return out
+
+    def _local_origins(
+        self, fn_node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, _RngOrigin]:
+        origins: dict[str, _RngOrigin] = {}
+        for stmt in ast.walk(fn_node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    origin = self._rng_creation(stmt.value)
+                    if origin is not None:
+                        origins[target.id] = origin
+                    elif target.id in origins:
+                        del origins[target.id]  # rebound to non-RNG
+        return origins
+
+    def _arg_origin(
+        self, arg: ast.expr, local_origins: dict[str, _RngOrigin]
+    ) -> _RngOrigin | None:
+        direct = self._rng_creation(arg)
+        if direct is not None:
+            return direct
+        if isinstance(arg, ast.Name):
+            if arg.id in local_origins:
+                return local_origins[arg.id]
+            return self.module_rngs.get(arg.id)
+        return None
+
+    def _check_function(self, fn: FunctionInfo) -> list[Violation]:
+        out: list[Violation] = []
+        local_origins = self._local_origins(fn.node)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve(node.func)
+            if resolved is None:
+                continue
+            callee_fn = self.symbols.functions.get(resolved)
+            callee_cls = self.symbols.classes.get(resolved)
+            if callee_fn is not None:
+                callee_module = callee_fn.module
+                callee_label = callee_fn.qualname
+            elif callee_cls is not None:
+                callee_module = callee_cls.module
+                callee_label = callee_cls.qualname
+            else:
+                continue
+            if not _in_sim_package(callee_module):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                origin = self._arg_origin(arg, local_origins)
+                if origin is None:
+                    continue
+                if not origin.seeded:
+                    out.append(
+                        self._violation(
+                            arg,
+                            f"unseeded RNG flows into simulation code "
+                            f"({callee_label}); seed it at creation",
+                        )
+                    )
+                elif origin.shared:
+                    out.append(
+                        self._violation(
+                            arg,
+                            f"module-level RNG shared into simulation code "
+                            f"({callee_label}); create a per-use generator",
+                        )
+                    )
+        return out
+
+
+def check_rng_flow(symbols: SymbolTable) -> list[Violation]:
+    """Run the RNG-flow checks over every module in the project."""
+    violations: list[Violation] = []
+    for name in sorted(symbols.project.modules):
+        violations.extend(_ModuleRngChecker(symbols, name).check())
+    violations.sort()
+    return violations

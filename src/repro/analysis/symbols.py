@@ -1,0 +1,485 @@
+"""Project-wide symbol table: functions, classes, imports, globals.
+
+This is the name-resolution substrate every interprocedural pass shares.
+It answers three questions the per-file linter cannot:
+
+* *what does this dotted name mean here?* — :meth:`SymbolTable.resolve`
+  maps a local name through the module's imports (including relative
+  imports) to a canonical dotted path;
+* *where is it actually defined?* — :meth:`SymbolTable.canonicalize`
+  follows re-export chains through package ``__init__`` modules until
+  it lands on a real definition (or leaves the project);
+* *what type is this attribute?* — :class:`ClassInfo` records attribute
+  types from dataclass fields, ``self.x = <annotated param>``
+  assignments in ``__init__``, and ``@property`` return annotations.
+
+Annotations are read structurally (``Name``/``Attribute``/``"quoted"``
+constants, with ``Optional[X]``/``X | None`` stripped); anything fancier
+resolves to "unknown", which every pass treats as "do not flag".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import Project
+
+__all__ = [
+    "AnnRef",
+    "FunctionInfo",
+    "ClassInfo",
+    "SymbolTable",
+    "annotation_to_dotted",
+    "element_annotation",
+    "mapping_annotations",
+]
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None  # owning class qualname for methods
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus what the passes need to know about it."""
+
+    qualname: str
+    module: str
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)  # canonical dotted names
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> canonical type
+    #: attr -> raw annotation AST (resolvable in ``module``); keeps the
+    #: generic structure (``list[tuple[DataCenter, Lease]]``) that the
+    #: dotted form above erases, so the call graph can type loop
+    #: variables drawn out of annotated containers.
+    attr_annotations: dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AnnRef:
+    """An annotation AST plus the module whose imports resolve it."""
+
+    node: ast.expr
+    module: str
+
+
+def annotation_to_dotted(node: ast.expr | None) -> str | None:
+    """Extract a dotted type name from an annotation AST, or ``None``.
+
+    ``Optional[X]`` and ``X | None`` unwrap to ``X``; string-literal
+    (forward-reference) annotations are parsed and recursed into; any
+    other shape — unions of two real types, generics, callables — is
+    deliberately "unknown" so downstream passes stay silent about it.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = annotation_to_dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return None
+        return annotation_to_dotted(parsed.body)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = annotation_to_dotted(node.left)
+        right = annotation_to_dotted(node.right)
+        sides = [s for s in (left, right) if s is not None and s != "None"]
+        return sides[0] if len(sides) == 1 else None
+    if isinstance(node, ast.Subscript):
+        head = annotation_to_dotted(node.value)
+        if head in ("Optional", "typing.Optional"):
+            return annotation_to_dotted(node.slice)
+        return None
+    return None
+
+
+#: Subscript heads whose single argument is the iteration element type.
+_SEQUENCE_HEADS = frozenset(
+    {
+        "list",
+        "List",
+        "set",
+        "Set",
+        "frozenset",
+        "FrozenSet",
+        "deque",
+        "Deque",
+        "Sequence",
+        "MutableSequence",
+        "Iterable",
+        "Iterator",
+        "Collection",
+        "AbstractSet",
+    }
+)
+
+#: Subscript heads that behave like ``tuple``.
+_TUPLE_HEADS = frozenset({"tuple", "Tuple"})
+
+#: Subscript heads that behave like ``dict`` (iteration yields keys).
+_MAPPING_HEADS = frozenset(
+    {"dict", "Dict", "Mapping", "MutableMapping", "defaultdict", "OrderedDict"}
+)
+
+
+def _unquote_annotation(node: ast.expr | None) -> ast.expr | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    return node
+
+
+def _subscript_head(node: ast.Subscript) -> str | None:
+    dotted = annotation_to_dotted(node.value)
+    return dotted.rsplit(".", 1)[-1] if dotted else None
+
+
+def element_annotation(node: ast.expr | None) -> ast.expr | None:
+    """Annotation a ``for`` target binds when iterating this type.
+
+    ``list[T]``/``Sequence[T]`` → ``T``; ``tuple[T, ...]`` → ``T``;
+    a heterogeneous ``tuple[X, Y]`` returns the ``ast.Tuple`` slice so
+    callers can unpack it positionally; ``dict[K, V]`` → ``K``.
+    Anything else is unknown (``None``).
+    """
+    node = _unquote_annotation(node)
+    if not isinstance(node, ast.Subscript):
+        return None
+    head = _subscript_head(node)
+    if head is None:
+        return None
+    inner = node.slice
+    if head in _SEQUENCE_HEADS:
+        return None if isinstance(inner, ast.Tuple) else inner
+    if head in _TUPLE_HEADS:
+        if isinstance(inner, ast.Tuple):
+            elements = inner.elts
+            if (
+                len(elements) == 2
+                and isinstance(elements[1], ast.Constant)
+                and elements[1].value is Ellipsis
+            ):
+                return elements[0]
+            return inner  # heterogeneous: caller unpacks positionally
+        return inner
+    if head in _MAPPING_HEADS:
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            return inner.elts[0]
+    return None
+
+
+def mapping_annotations(
+    node: ast.expr | None,
+) -> tuple[ast.expr, ast.expr] | None:
+    """``(key, value)`` annotations of a mapping type, or ``None``."""
+    node = _unquote_annotation(node)
+    if not isinstance(node, ast.Subscript):
+        return None
+    head = _subscript_head(node)
+    if head not in _MAPPING_HEADS:
+        return None
+    inner = node.slice
+    if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+        return inner.elts[0], inner.elts[1]
+    return None
+
+
+def _iter_imports(
+    tree: ast.Module, module: str, *, is_package: bool
+) -> list[tuple[str, str]]:
+    """All ``(local_name, canonical_target)`` bindings in ``module``.
+
+    Includes imports under ``if TYPE_CHECKING:`` — they matter for
+    annotation resolution even though they never execute (the import
+    *graph* pass does its own walk and skips those).
+    """
+    parts = module.split(".")
+    # Level-1 relative imports anchor at the containing package: the
+    # module itself when it *is* a package (__init__), its parent
+    # otherwise.  Each extra level drops one more component.
+    package_parts = parts if is_package else parts[:-1]
+    out: list[tuple[str, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    out.append((alias.asname, alias.name))
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    out.append((head, head))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                out.append((alias.asname or alias.name, target))
+    return out
+
+
+class SymbolTable:
+    """Definitions and import bindings for every module in a project."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: module -> local name -> dotted target (imports only).
+        self.imports: dict[str, dict[str, str]] = {}
+        #: module -> top-level assigned names (constants, NewTypes, ...).
+        self.module_globals: dict[str, set[str]] = {}
+        #: class qualname -> direct subclass qualnames.
+        self.subclasses: dict[str, set[str]] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        for mod in self.project.sorted_modules():
+            is_package = mod.path.replace("\\", "/").endswith("__init__.py")
+            self.imports[mod.name] = dict(
+                _iter_imports(mod.tree, mod.name, is_package=is_package)
+            )
+            self.module_globals[mod.name] = set()
+            for stmt in mod.tree.body:
+                self._index_toplevel(mod.name, mod.path, stmt)
+        self._resolve_bases()
+        self._infer_attr_types()
+
+    def _index_toplevel(self, module: str, path: str, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{module}.{stmt.name}"
+            self.functions[qualname] = FunctionInfo(
+                qualname=qualname, module=module, name=stmt.name, path=path, node=stmt
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            qualname = f"{module}.{stmt.name}"
+            info = ClassInfo(
+                qualname=qualname,
+                module=module,
+                name=stmt.name,
+                path=path,
+                node=stmt,
+            )
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    meth_qual = f"{qualname}.{item.name}"
+                    fn = FunctionInfo(
+                        qualname=meth_qual,
+                        module=module,
+                        name=item.name,
+                        path=path,
+                        node=item,
+                        cls=qualname,
+                    )
+                    info.methods[item.name] = fn
+                    self.functions[meth_qual] = fn
+            self.classes[qualname] = info
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.module_globals[module].add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            self.module_globals[module].add(stmt.target.id)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Conditional definitions (version guards etc.) still count.
+            for inner in ast.iter_child_nodes(stmt):
+                if isinstance(inner, ast.stmt):
+                    self._index_toplevel(module, path, inner)
+
+    def _resolve_bases(self) -> None:
+        for info in self.classes.values():
+            for base in info.node.bases:
+                dotted = annotation_to_dotted(base)
+                if dotted is None:
+                    continue
+                resolved = self.canonicalize(self.resolve(info.module, dotted))
+                info.bases.append(resolved)
+                if resolved in self.classes:
+                    self.subclasses.setdefault(resolved, set()).add(info.qualname)
+
+    def _infer_attr_types(self) -> None:
+        for info in self.classes.values():
+            for item in info.node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    self._record_attr(info, item.target.id, item.annotation)
+                elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if any(
+                        isinstance(dec, ast.Name) and dec.id == "property"
+                        for dec in item.decorator_list
+                    ):
+                        self._record_attr(info, item.name, item.returns)
+            init = info.methods.get("__init__")
+            if init is not None:
+                self._infer_init_attrs(info, init)
+
+    def _record_attr(
+        self, info: ClassInfo, attr: str, annotation: ast.expr | None
+    ) -> None:
+        if annotation is not None and attr not in info.attr_annotations:
+            info.attr_annotations[attr] = annotation
+        dotted = annotation_to_dotted(annotation)
+        if dotted is None:
+            return
+        info.attr_types[attr] = self.canonicalize(self.resolve(info.module, dotted))
+
+    def _infer_init_attrs(self, info: ClassInfo, init: FunctionInfo) -> None:
+        params: dict[str, ast.expr | None] = {}
+        args = init.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            params[a.arg] = a.annotation
+        for stmt in ast.walk(init.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            attr = target.attr
+            if annotation is not None:
+                self._record_attr(info, attr, annotation)
+            elif isinstance(value, ast.Name) and value.id in params:
+                self._record_attr(info, attr, params[value.id])
+            elif isinstance(value, ast.Call):
+                # ``self.centers = list(centers)``: identity container
+                # wrappers preserve the parameter's element type.
+                func_dotted = annotation_to_dotted(value.func)
+                if (
+                    func_dotted in ("list", "tuple", "sorted")
+                    and len(value.args) == 1
+                    and isinstance(value.args[0], ast.Name)
+                    and value.args[0].id in params
+                ):
+                    self._record_attr(info, attr, params[value.args[0].id])
+                elif func_dotted is not None:
+                    resolved = self.canonicalize(self.resolve(info.module, func_dotted))
+                    if resolved in self.classes and attr not in info.attr_types:
+                        info.attr_types[attr] = resolved
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, module: str, dotted: str) -> str:
+        """Resolve a dotted name as written in ``module`` to a canonical
+        dotted path (local definitions win over imports; unknown names
+        pass through unchanged, mirroring the linter's ImportMap)."""
+        head, _, rest = dotted.partition(".")
+        local_qual = f"{module}.{head}"
+        if (
+            local_qual in self.functions
+            or local_qual in self.classes
+            or head in self.module_globals.get(module, ())
+        ):
+            return f"{local_qual}.{rest}" if rest else local_qual
+        target = self.imports.get(module, {}).get(head)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        return dotted
+
+    def canonicalize(self, dotted: str) -> str:
+        """Follow re-export chains until ``dotted`` names a definition.
+
+        ``repro.core.DynamicProvisioner`` (imported from the package
+        ``__init__``) canonicalizes to
+        ``repro.core.provisioner.DynamicProvisioner``.  External names
+        return unchanged; cycles terminate via a visited set.
+        """
+        seen: set[str] = set()
+        current = dotted
+        while current not in seen:
+            seen.add(current)
+            if (
+                current in self.functions
+                or current in self.classes
+                or current in self.project.modules
+            ):
+                return current
+            owner, attr = self._split_on_module(current)
+            if owner is None or attr is None:
+                return current
+            head, _, rest = attr.partition(".")
+            if head in self.module_globals.get(owner, ()):
+                return current
+            target = self.imports.get(owner, {}).get(head)
+            if target is None:
+                return current
+            current = f"{target}.{rest}" if rest else target
+        return current
+
+    def _split_on_module(self, dotted: str) -> tuple[str | None, str | None]:
+        """Split ``dotted`` as ``(project_module, remainder)`` using the
+        longest module prefix, or ``(None, None)``."""
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.project.modules:
+                return prefix, ".".join(parts[cut:])
+        return None, None
+
+    # -- class queries -----------------------------------------------------
+
+    def lookup_method(self, class_qualname: str, method: str) -> FunctionInfo | None:
+        """First definition of ``method`` along the (project-visible)
+        inheritance chain, depth-first left-to-right."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack = info.bases + stack
+        return None
+
+    def all_subclasses(self, class_qualname: str) -> set[str]:
+        """Transitive subclasses of ``class_qualname`` in the project."""
+        out: set[str] = set()
+        stack = list(self.subclasses.get(class_qualname, ()))
+        while stack:
+            qual = stack.pop()
+            if qual in out:
+                continue
+            out.add(qual)
+            stack.extend(self.subclasses.get(qual, ()))
+        return out

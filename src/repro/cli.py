@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands cover the workflows a downstream user needs without
+Seven subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
@@ -14,7 +14,10 @@ writing Python:
   ``table6``, ...) and print its table/series;
 * ``repro predictors`` — list the available predictors;
 * ``repro lint`` — run the reprolint simulation-correctness checks
-  (rules RL001-RL008, see ``docs/static_analysis.md``).
+  (rules RL001-RL008, see ``docs/static_analysis.md``);
+* ``repro analyze`` — run the whole-program analyzer (phase purity,
+  dimensional analysis, RNG flow, import cycles, dead experiments;
+  rules RA001-RA005).
 
 Examples
 --------
@@ -27,6 +30,7 @@ Examples
     repro experiment fig03
     REPRO_EVAL_DAYS=2 repro experiment table5
     repro lint src tests --format json
+    repro analyze src/repro --passes RA001,RA002
 """
 
 from __future__ import annotations
@@ -127,6 +131,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="run the reprolint static checks (rules RL001-RL008)"
     )
     add_lint_arguments(lint)
+
+    from repro.analysis.cli import add_analyze_arguments
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the whole-program analyzer (rules RA001-RA005)",
+    )
+    add_analyze_arguments(analyze)
     return parser
 
 
@@ -241,6 +253,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -251,6 +269,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "predictors": _cmd_predictors,
         "lint": _cmd_lint,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

@@ -33,6 +33,7 @@ from repro.core.metrics import (
 )
 from repro.core.operator import GameOperator
 from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
+from repro.datacenter.resources import Cpu
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import LatencyClass
 from repro.datacenter.resources import CPU, RESOURCE_TYPES
@@ -86,7 +87,7 @@ class GameSpec:
     latency_class: LatencyClass = LatencyClass.VERY_FAR
     safety_margin: float = 0.0
     operator_id: str | None = None
-    cpu_quantum: float | None = None
+    cpu_quantum: Cpu | None = None
     priority: int = 0
 
     def __post_init__(self) -> None:
@@ -95,18 +96,16 @@ class GameSpec:
         if not self.trace.regions:
             raise ValueError(f"game {self.name!r} has an empty trace")
 
-    def resolved_quantum(self, centers: Sequence[DataCenter]) -> float:
+    def resolved_quantum(self, centers: Sequence[DataCenter]) -> Cpu:
         """The CPU quantum to use against a given platform."""
         if self.cpu_quantum is not None:
             return self.cpu_quantum
-        from repro.datacenter.resources import CPU as _CPU
-
         bulks = [
-            c.policy.resource_bulk[_CPU]
+            c.policy.resource_bulk.cpu
             for c in centers
-            if c.policy.resource_bulk[_CPU] > 0
+            if c.policy.resource_bulk.cpu > 0
         ]
-        return min(bulks) if bulks else 0.0
+        return min(bulks) if bulks else Cpu(0.0)
 
     def build_operator(self, centers: Sequence[DataCenter]) -> GameOperator:
         """Instantiate the operator for this game."""

@@ -28,7 +28,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.datacenter.resources import ResourceVector
+from repro.datacenter.resources import Cpu, ResourceVector
 
 __all__ = ["UpdateModel", "UPDATE_MODELS", "update_model", "DemandModel"]
 
@@ -132,7 +132,7 @@ class DemandModel:
         """CPU demand per server group, in units."""
         return self.update.relative_load(players, self.players_full)
 
-    def demand(self, players: np.ndarray, *, cpu_quantum: float = 0.0) -> ResourceVector:
+    def demand(self, players: np.ndarray, *, cpu_quantum: Cpu = Cpu(0.0)) -> ResourceVector:
         """Aggregate demand vector for a set of server groups.
 
         Parameters
@@ -161,7 +161,7 @@ class DemandModel:
         )
 
     def demand_per_group(
-        self, players: np.ndarray, *, cpu_quantum: float = 0.0
+        self, players: np.ndarray, *, cpu_quantum: Cpu = Cpu(0.0)
     ) -> np.ndarray:
         """Per-server-group demand matrix, shape ``(n_groups, 4)``.
 
@@ -186,7 +186,7 @@ class DemandModel:
         out[:, 3] = linear * self.extnet_out_per_unit
         return out
 
-    def peak_demand(self, loads: np.ndarray, *, cpu_quantum: float = 0.0) -> ResourceVector:
+    def peak_demand(self, loads: np.ndarray, *, cpu_quantum: Cpu = Cpu(0.0)) -> ResourceVector:
         """The per-step maximum demand over a load history.
 
         Parameters

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.datacenter.center import DataCenter
-from repro.datacenter.geography import GeoLocation, LatencyClass
+from repro.datacenter.geography import GeoLocation, Km, LatencyClass
 from repro.datacenter.resources import CPU, ResourceVector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,10 +34,10 @@ __all__ = ["MatchingPolicy", "MatchPlan", "match_request", "distance_band", "DIS
 
 #: Band edges (km) used to coarsen distances for ranking; they mirror the
 #: latency classes of Sec. V-E.
-DISTANCE_BANDS_KM: tuple[float, ...] = (50.0, 1000.0, 2000.0, 4000.0)
+DISTANCE_BANDS_KM: tuple[Km, ...] = (Km(50.0), Km(1000.0), Km(2000.0), Km(4000.0))
 
 
-def distance_band(distance_km: float) -> int:
+def distance_band(distance_km: Km) -> int:
     """Coarse distance band of a player-server distance (0 = co-located)."""
     for band, edge in enumerate(DISTANCE_BANDS_KM):
         if distance_km <= edge:
@@ -66,7 +66,7 @@ class MatchingPolicy:
         if not self.criteria:
             raise ValueError("need at least one criterion")
 
-    def sort_key(self, center: DataCenter, distance_km: float) -> tuple[float | int | str, ...]:
+    def sort_key(self, center: DataCenter, distance_km: Km) -> tuple[float | int | str, ...]:
         """Build the sort key for one admissible center."""
         parts: list[float | int | str] = []
         for criterion in self.criteria:

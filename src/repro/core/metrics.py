@@ -18,6 +18,12 @@ The paper characterizes performance with three metrics (Sec. V):
 * **significant under-allocation events** — time steps with
   ``|Υ(t)| > 1 %``; each such 2-minute step degrades game play long
   enough to risk the mass-quit effect.
+
+All quantities here are deliberately *dimension-generic* floats indexed
+by :class:`~repro.datacenter.resources.ResourceType`: the same formulas
+apply to every resource, so the per-dimension ``NewType`` tags
+(``Cpu``/``Mem``/``NetIn``/``NetOut``) stop at this module's boundary
+and ``repro analyze`` (RA002) treats these scalars as dimensionless.
 """
 
 from __future__ import annotations

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.loadmodel import DemandModel
 from repro.datacenter.geography import LatencyClass
-from repro.datacenter.resources import ResourceVector
+from repro.datacenter.resources import Cpu, ResourceVector
 from repro.predictors.base import Predictor
 from repro.traces.model import GameTrace
 
@@ -61,7 +61,7 @@ class GameOperator:
         *,
         latency_class: LatencyClass = LatencyClass.VERY_FAR,
         safety_margin: float = 0.0,
-        cpu_quantum: float = 0.0,
+        cpu_quantum: Cpu = Cpu(0.0),
     ) -> None:
         if safety_margin < 0:
             raise ValueError("safety_margin must be non-negative")
@@ -73,7 +73,7 @@ class GameOperator:
         self.predictor_factory = predictor_factory
         self.latency_class = latency_class
         self.safety_margin = float(safety_margin)
-        self.cpu_quantum = float(cpu_quantum)
+        self.cpu_quantum: Cpu = Cpu(float(cpu_quantum))
         self._predictors: dict[str, Predictor] = {}
         self._last_predicted: dict[str, np.ndarray] = {}
         self._scheduled: dict[str, dict[int, np.ndarray]] = {}

@@ -17,11 +17,13 @@ grained for ... Central and West Coast"*;
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Sequence
 
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import location
 from repro.datacenter.policy import HostingPolicy, policy
+from repro.datacenter.resources import Cpu
 
 __all__ = [
     "TABLE_III_INVENTORY",
@@ -80,6 +82,7 @@ def build_paper_datacenters(
         raise ValueError("need at least one hosting policy")
 
     centers: list[DataCenter] = []
+    lease_ids = itertools.count(1)  # platform-unique lease ids
     for loc_name, n_centers, total_machines in TABLE_III_INVENTORY:
         loc = location(loc_name)
         for idx, machines in enumerate(_split_machines(total_machines, n_centers)):
@@ -94,6 +97,7 @@ def build_paper_datacenters(
                     location=loc,
                     n_machines=machines,
                     policy=pol,
+                    lease_ids=lease_ids,
                 )
             )
     return centers
@@ -131,13 +135,14 @@ def build_north_american_datacenters() -> list[DataCenter]:
     from repro.datacenter.policy import custom_policy
 
     centers: list[DataCenter] = []
+    lease_ids = itertools.count(1)  # platform-unique lease ids
     na_rows = [row for row in TABLE_III_INVENTORY if location(row[0]).region == "North America"]
     for loc_name, n_centers, total_machines in na_rows:
         loc = location(loc_name)
         base = policy(_NA_POLICY_GRADIENT[loc_name])
         pol = custom_policy(
             f"{_NA_POLICY_GRADIENT[loc_name]}*",
-            cpu_bulk=_NA_CPU_BULKS[loc_name],
+            cpu_bulk=Cpu(_NA_CPU_BULKS[loc_name]),
             time_bulk_minutes=base.time_bulk_minutes,
         )
         for idx, machines in enumerate(_split_machines(total_machines, n_centers)):
@@ -148,6 +153,7 @@ def build_north_american_datacenters() -> list[DataCenter]:
                     location=loc,
                     n_machines=machines,
                     policy=pol,
+                    lease_ids=lease_ids,
                 )
             )
     return centers

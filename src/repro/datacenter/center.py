@@ -39,13 +39,13 @@ from repro.datacenter.policy import HostingPolicy
 from repro.datacenter.resources import (
     CPU,
     MEMORY,
+    NetIn,
+    NetOut,
     ResourceType,
     ResourceVector,
 )
 
 __all__ = ["Lease", "DataCenter"]
-
-_lease_ids = itertools.count(1)
 
 
 @dataclass
@@ -129,8 +129,9 @@ class DataCenter:
         policy: HostingPolicy,
         *,
         machine: Machine | None = None,
-        extnet_in_per_machine: float = 8.0,
-        extnet_out_per_machine: float = 2.0,
+        extnet_in_per_machine: NetIn = NetIn(8.0),
+        extnet_out_per_machine: NetOut = NetOut(2.0),
+        lease_ids: Iterator[int] | None = None,
     ) -> None:
         if n_machines <= 0:
             raise ValueError("a data center needs at least one machine")
@@ -147,6 +148,10 @@ class DataCenter:
         )
         self._allocated = ResourceVector.zeros()
         self._leases: dict[int, Lease] = {}
+        # Lease ids come from an injectable iterator so allocate() never
+        # touches module-global state; fleet builders share one counter
+        # across centers to keep ids platform-unique.
+        self._lease_ids = lease_ids if lease_ids is not None else itertools.count(1)
         # Observability (off by default; see attach_metrics).
         self._metrics: "MetricsRegistry | None" = None
         self._c_allocations: "ObsCounter | None" = None
@@ -319,7 +324,7 @@ class DataCenter:
         # derives from the aggregate (fractions share machines).
         machines = self.machines_needed(rounded)
         lease = Lease(
-            lease_id=next(_lease_ids),
+            lease_id=next(self._lease_ids),
             operator_id=operator_id,
             game_id=game_id,
             resources=rounded.copy(),

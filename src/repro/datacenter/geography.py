@@ -22,15 +22,21 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import NewType
 
 __all__ = [
     "GeoLocation",
+    "Km",
     "LatencyClass",
     "haversine_km",
     "LOCATIONS",
     "location",
     "EARTH_RADIUS_KM",
 ]
+
+#: Great-circle distance in kilometres (a dimension tag checked by RA002,
+#: like the resource dimensions in :mod:`repro.datacenter.resources`).
+Km = NewType("Km", float)
 
 EARTH_RADIUS_KM = 6371.0
 
@@ -54,12 +60,12 @@ class GeoLocation:
         if not -180.0 <= self.longitude <= 180.0:
             raise ValueError(f"longitude out of range: {self.longitude}")
 
-    def distance_km(self, other: "GeoLocation") -> float:
+    def distance_km(self, other: "GeoLocation") -> Km:
         """Great-circle distance to another location in kilometres."""
         return haversine_km(self.latitude, self.longitude, other.latitude, other.longitude)
 
 
-def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> Km:
     """Great-circle distance between two (lat, lon) points in kilometres.
 
     Standard haversine formula on a spherical Earth of radius
@@ -70,7 +76,7 @@ def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     dphi = math.radians(lat2 - lat1)
     dlam = math.radians(lon2 - lon1)
     a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
-    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+    return Km(2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a))))
 
 
 class LatencyClass(enum.Enum):
@@ -83,11 +89,11 @@ class LatencyClass(enum.Enum):
     VERY_FAR = "very far"
 
     @property
-    def max_distance_km(self) -> float:
+    def max_distance_km(self) -> Km:
         """The maximal allocation distance, in km (``inf`` for VERY_FAR)."""
         return _MAX_DISTANCE_KM[self]
 
-    def admits(self, distance_km: float) -> bool:
+    def admits(self, distance_km: Km) -> bool:
         """``True`` iff a player-server pair at this distance is allowed."""
         return distance_km <= self.max_distance_km
 
@@ -95,13 +101,13 @@ class LatencyClass(enum.Enum):
         return self.value
 
 
-_MAX_DISTANCE_KM = {
+_MAX_DISTANCE_KM: dict[LatencyClass, Km] = {
     # "d ~ 0 km": we allow a small slack so a DC in the same metro counts.
-    LatencyClass.SAME_LOCATION: 50.0,
-    LatencyClass.VERY_CLOSE: 1000.0,
-    LatencyClass.CLOSE: 2000.0,
-    LatencyClass.FAR: 4000.0,
-    LatencyClass.VERY_FAR: math.inf,
+    LatencyClass.SAME_LOCATION: Km(50.0),
+    LatencyClass.VERY_CLOSE: Km(1000.0),
+    LatencyClass.CLOSE: Km(2000.0),
+    LatencyClass.FAR: Km(4000.0),
+    LatencyClass.VERY_FAR: Km(math.inf),
 }
 
 

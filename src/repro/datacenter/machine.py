@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.datacenter.resources import Cpu, Mem
+
 __all__ = ["Machine"]
 
 
@@ -31,8 +33,8 @@ class Machine:
         bulks of 2 units, so machines provide at least 2 units each.
     """
 
-    cpu_capacity: float = 1.0
-    memory_capacity: float = 2.0
+    cpu_capacity: Cpu = Cpu(1.0)
+    memory_capacity: Mem = Mem(2.0)
 
     def __post_init__(self) -> None:
         if self.cpu_capacity < 1.0:

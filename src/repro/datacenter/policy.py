@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.datacenter.resources import ResourceVector
+from repro.datacenter.resources import Cpu, Mem, NetIn, NetOut, ResourceVector
 
 __all__ = ["HostingPolicy", "STANDARD_POLICIES", "policy"]
 
@@ -80,10 +80,10 @@ class HostingPolicy:
 
 def _hp(
     name: str,
-    cpu: float,
-    memory: float,
-    extnet_in: float,
-    extnet_out: float,
+    cpu: Cpu,
+    memory: Mem,
+    extnet_in: NetIn,
+    extnet_out: NetOut,
     minutes: float,
 ) -> HostingPolicy:
     return HostingPolicy(
@@ -130,10 +130,10 @@ def policy(name: str) -> HostingPolicy:
 def custom_policy(
     name: str,
     *,
-    cpu_bulk: float = 0.37,
-    memory_bulk: float = 2.0,
-    extnet_in_bulk: float = 0.0,
-    extnet_out_bulk: float = 0.0,
+    cpu_bulk: Cpu = Cpu(0.37),
+    memory_bulk: Mem = Mem(2.0),
+    extnet_in_bulk: NetIn = NetIn(0.0),
+    extnet_out_bulk: NetOut = NetOut(0.0),
     time_bulk_minutes: float = 180,
 ) -> HostingPolicy:
     """Build a one-off policy, defaulting to HP-5's shape."""

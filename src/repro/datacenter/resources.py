@@ -23,7 +23,7 @@ inner provisioning loop stays vectorizable.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator, Mapping, NewType
 
 import numpy as np
 
@@ -35,7 +35,30 @@ __all__ = [
     "EXTNET_OUT",
     "RESOURCE_TYPES",
     "ResourceVector",
+    "Cpu",
+    "Mem",
+    "NetIn",
+    "NetOut",
 ]
+
+# -- dimensions ----------------------------------------------------------
+#
+# One ``NewType`` per rentable resource dimension.  All four are plain
+# floats at runtime (zero cost in the inner loop); their only job is to
+# carry the *dimension* of a scalar quantity through signatures so that
+# ``repro analyze`` (pass RA002) can statically reject cross-dimension
+# arithmetic, comparison, and argument passing — e.g. handing a memory
+# bulk to a ``cpu_bulk`` parameter.  Scalars of unknown dimension stay
+# ``float`` and are never flagged.
+
+#: CPU time, in resource units (one unit ≈ one fully loaded game server).
+Cpu = NewType("Cpu", float)
+#: Memory, in resource units.
+Mem = NewType("Mem", float)
+#: External-network input bandwidth, in resource units.
+NetIn = NewType("NetIn", float)
+#: External-network output bandwidth, in resource units (≈ 3 MB/s).
+NetOut = NewType("NetOut", float)
 
 
 class ResourceType(enum.IntEnum):
@@ -145,6 +168,28 @@ class ResourceVector:
 
     def __getitem__(self, rtype: ResourceType) -> float:
         return float(self._values[int(rtype)])
+
+    # -- dimension-typed accessors ----------------------------------------
+
+    @property
+    def cpu(self) -> Cpu:
+        """CPU quantity, tagged with its dimension."""
+        return Cpu(float(self._values[0]))
+
+    @property
+    def memory(self) -> Mem:
+        """Memory quantity, tagged with its dimension."""
+        return Mem(float(self._values[1]))
+
+    @property
+    def extnet_in(self) -> NetIn:
+        """ExtNet[in] quantity, tagged with its dimension."""
+        return NetIn(float(self._values[2]))
+
+    @property
+    def extnet_out(self) -> NetOut:
+        """ExtNet[out] quantity, tagged with its dimension."""
+        return NetOut(float(self._values[3]))
 
     def __iter__(self) -> Iterator[float]:
         return iter(self._values.tolist())

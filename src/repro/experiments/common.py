@@ -39,6 +39,7 @@ from repro.core import (
 from repro.datacenter import DataCenter, build_paper_datacenters
 from repro.datacenter.geography import LatencyClass
 from repro.datacenter.policy import HostingPolicy, custom_policy, policy
+from repro.datacenter.resources import Cpu, Mem
 from repro.predictors import (
     AveragePredictor,
     ExponentialSmoothingPredictor,
@@ -127,7 +128,10 @@ def optimal_policy(*, time_bulk_minutes: float = 120.0) -> HostingPolicy:
     this choice is exactly what Figs. 11-12 sweep.
     """
     return custom_policy(
-        "HP-opt", cpu_bulk=0.1, memory_bulk=1.0, time_bulk_minutes=time_bulk_minutes
+        "HP-opt",
+        cpu_bulk=Cpu(0.1),
+        memory_bulk=Mem(1.0),
+        time_bulk_minutes=time_bulk_minutes,
     )
 
 
@@ -165,7 +169,7 @@ def make_game(
     predictor: str | Callable[[], Predictor] = "Neural",
     latency: LatencyClass = LatencyClass.VERY_FAR,
     safety_margin: float = 0.0,
-    cpu_quantum: float | None = None,
+    cpu_quantum: Cpu | None = None,
 ) -> GameSpec:
     """Build a :class:`~repro.core.ecosystem.GameSpec` from experiment
     shorthand (update-model name + predictor display name)."""

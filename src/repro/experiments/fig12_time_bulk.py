@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core import SimulationResult
 from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import Cpu, Mem
 from repro.datacenter.resources import CPU
 from repro.experiments import common
 from repro.reporting import render_table
@@ -39,7 +40,9 @@ def _time_simulation(minutes: float, seed: int) -> SimulationResult:
         trace = common.standard_trace(seed=seed)
         game = common.make_game(trace, predictor="Neural", update="O(n^2)")
         pol = custom_policy(
-            f"HP-time-{minutes}", cpu_bulk=0.37, memory_bulk=2.0,
+            f"HP-time-{minutes}",
+            cpu_bulk=Cpu(0.37),
+            memory_bulk=Mem(2.0),
             time_bulk_minutes=minutes,
         )
         centers = common.standard_centers(policies=[pol])

@@ -26,6 +26,7 @@ pragmas, and the mypy strictness table that rides alongside.
 
 from __future__ import annotations
 
+from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.engine import (
     FileContext,
     LintReport,
@@ -42,10 +43,12 @@ __all__ = [
     "LintRule",
     "Violation",
     "all_rules",
+    "apply_baseline",
     "format_human",
     "format_json",
     "get_rules",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "rule_table",
 ]

@@ -1,0 +1,93 @@
+"""Baseline (ratchet) filtering shared by ``repro lint`` and
+``repro analyze``.
+
+A *baseline* is simply a previous run's ``--format json`` report.  When
+passed back via ``--baseline FILE``, every violation that already
+appears in the baseline is filtered out of the current report, so a new
+rule can land and gate *new* findings immediately while the legacy ones
+are burned down over time.
+
+Matching is deliberately line-number-insensitive: a violation matches a
+baseline entry when ``(path, rule, message)`` agree.  Editing unrelated
+lines above a known finding therefore never resurrects it, while a
+*second* instance of the same finding in the same file is only excused
+as many times as the baseline recorded it (multiset semantics).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.engine import LintReport, Violation
+
+__all__ = ["BaselineError", "load_baseline", "apply_baseline"]
+
+#: Multiset of excused findings: ``(path, rule_id, message) -> count``.
+BaselineKey = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is missing or malformed."""
+
+
+def _norm_path(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def load_baseline(path: str | Path) -> dict[BaselineKey, int]:
+    """Load a JSON report produced by ``--format json`` as a baseline.
+
+    Raises :class:`BaselineError` on unreadable/malformed input so the
+    CLI can surface it as an engine error (exit code 2) rather than
+    silently gating against an empty baseline.
+    """
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise BaselineError(f"baseline unreadable: {exc}") from exc
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline is not valid JSON: {exc}") from exc
+    violations = doc.get("violations") if isinstance(doc, dict) else None
+    if not isinstance(violations, list):
+        raise BaselineError(
+            "baseline must be a report object with a 'violations' list "
+            "(produce one with --format json)"
+        )
+    counts: dict[BaselineKey, int] = {}
+    for entry in violations:
+        if not isinstance(entry, dict):
+            raise BaselineError("baseline 'violations' entries must be objects")
+        try:
+            key = (
+                _norm_path(str(entry["path"])),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+        except KeyError as exc:
+            raise BaselineError(f"baseline entry missing field: {exc}") from exc
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def apply_baseline(report: LintReport, baseline: dict[BaselineKey, int]) -> int:
+    """Filter baseline-excused violations out of ``report`` in place.
+
+    Returns the number of violations that were filtered.  The baseline
+    multiset is consumed per match, so the report keeps any findings
+    beyond the recorded count.
+    """
+    remaining = dict(baseline)
+    kept: list[Violation] = []
+    filtered = 0
+    for violation in report.violations:
+        key = (_norm_path(violation.path), violation.rule_id, violation.message)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            filtered += 1
+        else:
+            kept.append(violation)
+    report.violations[:] = kept
+    return filtered

@@ -51,6 +51,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="JSON report from a previous --format json run; findings "
+        "already recorded there are filtered out (ratchet mode)",
+    )
 
 
 def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
@@ -89,6 +96,14 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 2
 
     report: LintReport = lint_paths(paths, rules=rules)
+    if args.baseline is not None:
+        from repro.lint.baseline import BaselineError, apply_baseline, load_baseline
+
+        try:
+            apply_baseline(report, load_baseline(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}")
+            return 2
     rendered = format_json(report) if args.format == "json" else format_human(report)
     if rendered:
         print(rendered)

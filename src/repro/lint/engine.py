@@ -34,17 +34,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lint.rules import LintRule
 
 __all__ = [
+    "ANALYSIS_RULE_IDS",
     "Violation",
     "FileContext",
     "LintReport",
     "lint_source",
     "lint_paths",
+    "suppression_tables",
 ]
 
 #: ``# reprolint: disable=RL001[,RL002...]`` (same-line suppression).
 _DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 #: ``# reprolint: disable-file=RL001[,RL002...]`` (whole-file suppression).
 _DISABLE_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+#: Rule ids owned by the whole-program analyzer (:mod:`repro.analysis`).
+#: They share reprolint's suppression syntax, so the linter must accept
+#: them in pragmas without treating them as unknown (and vice versa).
+#: Defined here — the bottom of the layering — so neither tool has to
+#: import the other just to validate a comment.
+ANALYSIS_RULE_IDS: frozenset[str] = frozenset(
+    {"RA001", "RA002", "RA003", "RA004", "RA005"}
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -139,6 +150,17 @@ def _suppression_tables(
     return per_line, whole_file, bad
 
 
+def suppression_tables(
+    source: str, known_ids: frozenset[str]
+) -> tuple[dict[int, set[str]], set[str], list[tuple[int, str]]]:
+    """Public suppression parser shared with :mod:`repro.analysis`.
+
+    Same contract as the private helper: ``(per_line, whole_file, bad)``
+    where ``bad`` lists ``(line, id)`` pairs for unknown rule ids.
+    """
+    return _suppression_tables(source, known_ids)
+
+
 @dataclass
 class LintReport:
     """Aggregate result of one lint run."""
@@ -199,7 +221,7 @@ def lint_source(
         report.errors.append(f"{virtual_path}:{exc.lineno or 0}: syntax error: {exc.msg}")
         return report
 
-    known = frozenset(rule.rule_id for rule in active)
+    known = frozenset(rule.rule_id for rule in active) | ANALYSIS_RULE_IDS
     per_line, whole_file, bad = _suppression_tables(source, known)
     for line_no, rule_id in bad:
         report.errors.append(

@@ -11,9 +11,10 @@ heuristic edges (documented per rule); those are what the
 Scoping: a rule only runs where its hazard matters.  RL002 watches the
 deterministic simulation packages (``core``, ``emulator``,
 ``predictors``), RL005 the ``core`` package, RL006 the strict-typing
-packages (``core``, ``predictors``, ``obs``), RL008 the ``experiments``
-package, and RL003/RL006 skip ``tests/`` (exact float assertions are
-deliberate test oracles).  RL001, RL004, and RL007 run everywhere.
+packages (``core``, ``predictors``, ``obs``, ``lint``, ``analysis``),
+RL008 the ``experiments`` package, and RL003/RL006 skip ``tests/``
+(exact float assertions are deliberate test oracles).  RL001, RL004,
+and RL007 run everywhere.
 """
 
 from __future__ import annotations
@@ -24,7 +25,11 @@ from typing import Iterator, Sequence
 from repro.lint.engine import FileContext, Violation
 
 __all__ = [
+    "ImportMap",
     "LintRule",
+    "NUMPY_GLOBAL_RNG",
+    "STDLIB_GLOBAL_RNG",
+    "WALL_CLOCK_CALLS",
     "all_rules",
     "get_rules",
     "rule_table",
@@ -35,6 +40,111 @@ __all__ = [
 # Import-alias resolution shared by the rules.
 # ---------------------------------------------------------------------------
 
+#: Attribute set on ``ast.Name`` nodes that resolve to a *local* binding
+#: (function/lambda parameter or comprehension target) shadowing an
+#: imported name.  :meth:`ImportMap.canonical` refuses to canonicalize
+#: such names, so ``[choice(f) for choice in fs]`` never reads as
+#: ``random.choice`` (the comprehension/lambda-scoping false positive).
+_SHADOW_ATTR = "_reprolint_shadowed"
+
+
+def _scope_bound_names(node: ast.AST) -> set[str]:
+    """Names bound locally by one function/lambda/comprehension scope.
+
+    For functions: parameters plus every assignment-like binding in the
+    body (assignments, loop targets, ``with``/``except`` aliases,
+    walrus), *excluding* names bound by import statements — an inner
+    ``import random`` still refers to the real module — and excluding
+    bindings inside nested scopes (they do not leak out in Python 3).
+    """
+    bound: set[str] = set()
+
+    def add_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                add_target(elt)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            bound.add(a.arg)
+        if args.vararg is not None:
+            bound.add(args.vararg.arg)
+        if args.kwarg is not None:
+            bound.add(args.kwarg.arg)
+        if isinstance(node, ast.Lambda):
+            return bound
+        body: list[ast.stmt] = node.body
+        stack: list[ast.AST] = list(body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                bound.add(getattr(stmt, "name", ""))
+                continue  # nested scope: bindings stay inside
+            if isinstance(stmt, ast.ClassDef):
+                bound.add(stmt.name)
+                continue
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    add_target(t)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                add_target(stmt.target)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                add_target(stmt.target)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        add_target(item.optional_vars)
+            elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.NamedExpr):
+                add_target(stmt.target)
+            for child in ast.iter_child_nodes(stmt):
+                if not isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    stack.append(child)
+        bound.discard("")
+        return bound
+
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for comp in node.generators:
+            add_target(comp.target)
+        return bound
+    return bound
+
+
+def _annotate_shadowed_names(tree: ast.Module) -> None:
+    """Mark every ``Name`` whose id is bound by an enclosing function,
+    lambda, or comprehension scope (see :data:`_SHADOW_ATTR`)."""
+
+    def visit(node: ast.AST, active: frozenset[str]) -> None:
+        if isinstance(node, ast.Name):
+            if node.id in active:
+                setattr(node, _SHADOW_ATTR, True)
+            return
+        if isinstance(
+            node,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.Lambda,
+                ast.ListComp,
+                ast.SetComp,
+                ast.DictComp,
+                ast.GeneratorExp,
+            ),
+        ):
+            active = active | _scope_bound_names(node)
+        for child in ast.iter_child_nodes(node):
+            visit(child, active)
+
+    visit(tree, frozenset())
+
 
 class ImportMap:
     """Maps local names to canonical dotted module paths.
@@ -43,7 +153,9 @@ class ImportMap:
     ``numpy.random.rand``; ``from random import randint as ri`` makes
     ``ri`` canonicalize to ``random.randint``.  Only absolute imports
     are tracked — relative imports cannot smuggle in the stdlib/numpy
-    modules these rules care about.
+    modules these rules care about.  Names shadowed by an enclosing
+    comprehension target or function/lambda parameter are *never*
+    canonicalized (they refer to the local binding, not the import).
     """
 
     def __init__(self) -> None:
@@ -53,6 +165,7 @@ class ImportMap:
     @classmethod
     def from_tree(cls, tree: ast.Module) -> "ImportMap":
         imports = cls()
+        _annotate_shadowed_names(tree)
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -74,6 +187,8 @@ class ImportMap:
     def canonical(self, node: ast.expr) -> str | None:
         """Canonical dotted name of an expression, or None."""
         if isinstance(node, ast.Name):
+            if getattr(node, _SHADOW_ATTR, False):
+                return None
             if node.id in self.from_imports:
                 return self.from_imports[node.id]
             return self.module_aliases.get(node.id, node.id)
@@ -232,6 +347,14 @@ _WALL_CLOCK = frozenset(
         "datetime.date.today",
     }
 )
+
+#: Public aliases of the banned-call tables so :mod:`repro.analysis` can
+#: reuse the exact same definitions in its interprocedural passes —
+#: one source of truth for what counts as a wall-clock read or a
+#: global-state RNG call.
+STDLIB_GLOBAL_RNG = _STDLIB_GLOBAL_RNG
+NUMPY_GLOBAL_RNG = _NUMPY_GLOBAL_RNG
+WALL_CLOCK_CALLS = _WALL_CLOCK
 
 
 @_register
@@ -397,7 +520,8 @@ class PublicAnnotationRule(LintRule):
 
     def applies_to(self, ctx: FileContext) -> bool:
         return not ctx.is_test and any(
-            ctx.in_package(pkg) for pkg in ("core", "predictors", "obs", "lint")
+            ctx.in_package(pkg)
+            for pkg in ("core", "predictors", "obs", "lint", "analysis")
         )
 
     def _missing(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:

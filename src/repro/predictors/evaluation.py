@@ -8,6 +8,13 @@ the *prediction error* is
 i.e. the sum of un-normalized absolute sample errors over the sum of the
 samples.  Timing (Fig. 6): the wall-clock distribution of a *single*
 prediction call (min, quartiles, median, max).
+
+Predictions live in *player-count* space, not resource space: the
+resource dimensions (``Cpu``/``Mem``/... in
+:mod:`repro.datacenter.resources`) only appear after
+:class:`~repro.core.loadmodel.DemandModel` converts predicted player
+counts into a :class:`~repro.datacenter.resources.ResourceVector`, so
+nothing in this module carries a dimension tag.
 """
 
 from __future__ import annotations

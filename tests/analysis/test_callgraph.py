@@ -1,0 +1,186 @@
+"""Call-graph construction edge cases.
+
+Covers the resolution paths that historically produce silent gaps in
+whole-program analyzers: ``self`` method dispatch, re-exports through
+package ``__init__`` files, import aliasing, recursion cycles, and
+dispatch through annotated containers.
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+
+def edges(sources):
+    project = Project.from_sources(sources)
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return {
+        (site.caller, site.callee)
+        for sites in graph.edges.values()
+        for site in sites
+    }
+
+
+def test_self_method_calls_resolve_to_own_class():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Sim:\n"
+                "    def run(self):\n"
+                "        self.step()\n"
+                "    def step(self): ...\n"
+            )
+        }
+    )
+    assert ("repro.m.Sim.run", "repro.m.Sim.step") in got
+
+
+def test_self_method_calls_resolve_through_base_class():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Base:\n"
+                "    def helper(self): ...\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        self.helper()\n"
+            )
+        }
+    )
+    assert ("repro.m.Child.run", "repro.m.Base.helper") in got
+
+
+def test_calls_through_package_init_reexport():
+    got = edges(
+        {
+            "src/repro/pkg/__init__.py": "from repro.pkg.impl import work\n",
+            "src/repro/pkg/impl.py": "def work(): ...\n",
+            "src/repro/user.py": (
+                "from repro.pkg import work\n"
+                "def go():\n"
+                "    work()\n"
+            ),
+        }
+    )
+    assert ("repro.user.go", "repro.pkg.impl.work") in got
+
+
+def test_aliased_imports_resolve():
+    got = edges(
+        {
+            "src/repro/util.py": "def helper(): ...\n",
+            "src/repro/a.py": (
+                "from repro.util import helper as h\n"
+                "def go():\n"
+                "    h()\n"
+            ),
+            "src/repro/b.py": (
+                "import repro.util as u\n"
+                "def go():\n"
+                "    u.helper()\n"
+            ),
+        }
+    )
+    assert ("repro.a.go", "repro.util.helper") in got
+    assert ("repro.b.go", "repro.util.helper") in got
+
+
+def test_mutual_recursion_produces_both_edges():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "def ping(n):\n"
+                "    return pong(n - 1)\n"
+                "def pong(n):\n"
+                "    return ping(n - 1)\n"
+            )
+        }
+    )
+    assert ("repro.m.ping", "repro.m.pong") in got
+    assert ("repro.m.pong", "repro.m.ping") in got
+
+
+def test_constructor_call_targets_init():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Box:\n"
+                "    def __init__(self): ...\n"
+                "def make():\n"
+                "    return Box()\n"
+            )
+        }
+    )
+    assert ("repro.m.make", "repro.m.Box.__init__") in got
+
+
+def test_method_dispatch_through_annotated_loop_variable():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Center:\n"
+                "    def allocate(self): ...\n"
+                "class Plan:\n"
+                "    placements: list[Center]\n"
+                "def apply(plan: Plan):\n"
+                "    for center in plan.placements:\n"
+                "        center.allocate()\n"
+            )
+        }
+    )
+    assert ("repro.m.apply", "repro.m.Center.allocate") in got
+
+
+def test_method_dispatch_through_dict_comprehension_values():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Op:\n"
+                "    def prepare(self): ...\n"
+                "class Spec:\n"
+                "    name: str\n"
+                "    def build(self) -> Op: ...\n"
+                "def run(specs: list[Spec]):\n"
+                "    ops = {s.name: s.build() for s in specs}\n"
+                "    for op in ops.values():\n"
+                "        op.prepare()\n"
+            )
+        }
+    )
+    assert ("repro.m.run", "repro.m.Op.prepare") in got
+
+
+def test_class_hierarchy_analysis_adds_subclass_overrides():
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Predictor:\n"
+                "    def predict(self): ...\n"
+                "class Neural(Predictor):\n"
+                "    def predict(self): ...\n"
+                "def drive(p: Predictor):\n"
+                "    p.predict()\n"
+            )
+        }
+    )
+    assert ("repro.m.drive", "repro.m.Predictor.predict") in got
+    assert ("repro.m.drive", "repro.m.Neural.predict") in got
+
+
+def test_optional_annotation_narrowed_by_reassignment():
+    # `x = x or Fallback()` must rebind to the constructed class, not to
+    # a callee's `-> None` return annotation.
+    got = edges(
+        {
+            "src/repro/m.py": (
+                "class Policy:\n"
+                "    def sort_key(self): ...\n"
+                "def go(policy: Policy | None = None):\n"
+                "    if policy is None:\n"
+                "        policy = Policy()\n"
+                "    policy.sort_key()\n"
+            )
+        }
+    )
+    assert ("repro.m.go", "repro.m.Policy.sort_key") in got

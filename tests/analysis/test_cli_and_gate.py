@@ -1,0 +1,97 @@
+"""The analyzer CLI, and the gate: the real tree must analyze clean.
+
+``test_real_tree_analyzes_clean`` is the in-suite mirror of the CI
+``analyze`` step — every pass over ``src/repro`` with zero findings.
+"""
+
+import json
+
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main
+from repro.lint import format_human
+
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = str(REPO_ROOT / "src" / "repro")
+
+
+def test_real_tree_analyzes_clean():
+    report = analyze_paths([SRC], root=REPO_ROOT)
+    assert report.files_checked > 100
+    assert report.ok, "\n" + format_human(report)
+
+
+def test_cli_subcommand_is_wired():
+    from repro.cli import main as repro_main
+
+    assert repro_main(["analyze", SRC]) == 0
+
+
+def test_list_passes_prints_all_five(capsys):
+    assert main(["--list-passes"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RA001", "RA002", "RA003", "RA004", "RA005"):
+        assert rule_id in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    assert main([SRC, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 0
+    assert payload["violations"] == []
+
+
+def test_unknown_pass_id_is_a_usage_error(capsys):
+    assert main([SRC, "--passes", "RA999"]) == 2
+    assert "RA999" in capsys.readouterr().out
+
+
+def _seed_sim_package(tmp_path):
+    """An on-disk mini-tree whose module names land in ``repro.core``."""
+    bad = tmp_path / "src" / "repro" / "core" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    for pkg in (bad.parent, bad.parent.parent):
+        (pkg / "__init__.py").write_text("")
+    bad.write_text("import random\nRNG = random.Random(1)\n")
+    return bad
+
+
+def test_findings_exit_1_and_name_the_location(tmp_path, capsys):
+    _seed_sim_package(tmp_path)
+    assert main([str(tmp_path), "--passes", "RA003"]) == 1
+    out = capsys.readouterr().out
+    assert "RA003" in out and "mod.py" in out
+
+
+def test_suppression_pragma_silences_a_finding(tmp_path, capsys):
+    bad = _seed_sim_package(tmp_path)
+    bad.write_text(
+        "import random\n"
+        "RNG = random.Random(1)  # reprolint: disable=RA003\n"
+    )
+    assert main([str(tmp_path), "--passes", "RA003"]) == 0
+    capsys.readouterr()
+
+
+def test_baseline_ratchet_filters_known_findings(tmp_path, capsys):
+    bad = _seed_sim_package(tmp_path)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(capsys.readouterr().out)
+    # Known findings are filtered out; the run goes green.
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # A *new* finding still fails the baselined run.
+    bad.write_text(
+        "import random\n"
+        "RNG = random.Random(1)\n"
+        "OTHER = random.Random(2)\n"
+    )
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+    assert "RA003" in capsys.readouterr().out
+
+
+def test_missing_baseline_file_is_a_usage_error(tmp_path, capsys):
+    assert main([SRC, "--baseline", str(tmp_path / "nope.json")]) == 2
+    capsys.readouterr()

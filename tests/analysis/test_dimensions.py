@@ -1,0 +1,81 @@
+"""RA002 dimensional-analysis fixtures.
+
+The dimension tags (``Cpu``/``Mem``/``NetIn``/``NetOut``/``Km``) are
+``NewType`` wrappers; these fixtures seed each class of cross-dimension
+mixing the pass rejects and confirm unknown-dimension scalars never
+flag.
+"""
+
+from repro.analysis.dimensions import check_dimensions
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+HEADER = (
+    "from typing import NewType\n"
+    "Cpu = NewType('Cpu', float)\n"
+    "Mem = NewType('Mem', float)\n"
+)
+
+
+def violations(body, path="src/repro/core/mod.py"):
+    project = Project.from_sources({path: HEADER + body})
+    return check_dimensions(SymbolTable(project))
+
+
+def test_cross_dimension_addition_is_flagged_with_location():
+    found = violations("def f(c: Cpu, m: Mem):\n    return c + m\n")
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA002"
+    assert v.path == "src/repro/core/mod.py"
+    assert v.line == 5  # header is 3 lines; the `return` is line 5
+    assert "Cpu" in v.message and "Mem" in v.message
+
+
+def test_cross_dimension_comparison_is_flagged():
+    found = violations("def f(c: Cpu, m: Mem):\n    return c < m\n")
+    assert found and "compar" in found[0].message
+
+
+def test_cross_dimension_argument_is_flagged():
+    found = violations(
+        "def sink(c: Cpu): ...\n"
+        "def f(m: Mem):\n"
+        "    sink(m)\n"
+    )
+    assert found and "parameter 'c'" in found[0].message
+
+
+def test_cross_dimension_return_is_flagged():
+    found = violations("def f(m: Mem) -> Cpu:\n    return m\n")
+    assert found and "return" in found[0].message
+
+
+def test_retagging_constructor_is_flagged():
+    found = violations("def f(m: Mem):\n    return Cpu(m)\n")
+    assert found and "Cpu" in found[0].message
+
+
+def test_same_dimension_arithmetic_is_clean():
+    assert violations("def f(a: Cpu, b: Cpu):\n    return a + b\n") == []
+
+
+def test_unknown_dimension_scalars_are_clean():
+    assert (
+        violations(
+            "def f(c: Cpu, x: float):\n"
+            "    y = c * 2.0\n"
+            "    return c + Cpu(x)\n"
+        )
+        == []
+    )
+
+
+def test_dimension_flows_through_assignment_and_call_returns():
+    found = violations(
+        "def quantum() -> Cpu: ...\n"
+        "def f(m: Mem):\n"
+        "    q = quantum()\n"
+        "    return q + m\n"
+    )
+    assert found and "Cpu" in found[0].message

@@ -1,0 +1,86 @@
+"""RA004 import-cycle and RA005 dead-experiment fixtures."""
+
+from repro.analysis.graphchecks import (
+    check_dead_experiments,
+    check_import_cycles,
+)
+from repro.analysis.project import Project
+
+
+def project(sources):
+    return Project.from_sources(sources)
+
+
+def test_runtime_import_cycle_is_flagged():
+    found = check_import_cycles(
+        project(
+            {
+                "src/repro/a.py": "import repro.b\n",
+                "src/repro/b.py": "import repro.a\n",
+            }
+        )
+    )
+    assert len(found) == 1
+    assert found[0].rule_id == "RA004"
+    assert "repro.a" in found[0].message and "repro.b" in found[0].message
+
+
+def test_type_checking_guarded_import_breaks_the_cycle():
+    found = check_import_cycles(
+        project(
+            {
+                "src/repro/a.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    import repro.b\n"
+                ),
+                "src/repro/b.py": "import repro.a\n",
+            }
+        )
+    )
+    assert found == []
+
+
+def test_function_deferred_import_breaks_the_cycle():
+    found = check_import_cycles(
+        project(
+            {
+                "src/repro/a.py": (
+                    "def late():\n"
+                    "    import repro.b\n"
+                ),
+                "src/repro/b.py": "import repro.a\n",
+            }
+        )
+    )
+    assert found == []
+
+
+def test_unregistered_experiment_is_flagged():
+    found = check_dead_experiments(
+        project(
+            {
+                "src/repro/cli.py": (
+                    "EXPERIMENTS = {\n"
+                    "    'fig03': 'repro.experiments.fig03_example',\n"
+                    "}\n"
+                ),
+                "src/repro/experiments/fig03_example.py": "def run(): ...\n",
+                "src/repro/experiments/fig99_forgotten.py": "def run(): ...\n",
+                "src/repro/experiments/common.py": "def shared(): ...\n",
+            }
+        )
+    )
+    assert len(found) == 1
+    assert found[0].rule_id == "RA005"
+    assert "fig99_forgotten" in found[0].message
+    assert found[0].path == "src/repro/experiments/fig99_forgotten.py"
+
+
+def test_dead_experiment_check_skips_partial_trees():
+    # Without repro.cli in the analyzed set there is no registry to
+    # compare against, so nothing may be flagged.
+    found = check_dead_experiments(
+        project({"src/repro/experiments/fig99_x.py": "def run(): ...\n"})
+    )
+    assert found == []

@@ -1,0 +1,112 @@
+"""Project loading and symbol-table resolution."""
+
+from repro.analysis.project import Project, _module_name_for_virtual
+from repro.analysis.symbols import SymbolTable
+
+
+def build(sources):
+    project = Project.from_sources(sources)
+    return project, SymbolTable(project)
+
+
+def test_virtual_path_naming_strips_src_and_init():
+    assert _module_name_for_virtual("src/repro/core/x.py") == "repro.core.x"
+    assert _module_name_for_virtual("src/repro/core/__init__.py") == "repro.core"
+    assert _module_name_for_virtual("pkg/mod.py") == "pkg.mod"
+
+
+def test_from_paths_collects_syntax_errors(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    (tmp_path / "bad.py").write_text("def broken(:\n")
+    project, errors = Project.from_paths([tmp_path])
+    assert len(project) == 1
+    assert len(errors) == 1
+    assert "bad.py" in errors[0]
+
+
+def test_functions_classes_and_globals_are_indexed():
+    _, symbols = build(
+        {
+            "src/repro/core/mod.py": (
+                "LIMIT = 3\n"
+                "def free(): ...\n"
+                "class Box:\n"
+                "    def get(self): ...\n"
+            )
+        }
+    )
+    assert "repro.core.mod.free" in symbols.functions
+    assert "repro.core.mod.Box" in symbols.classes
+    assert "repro.core.mod.Box.get" in symbols.functions
+    assert "LIMIT" in symbols.module_globals["repro.core.mod"]
+
+
+def test_relative_imports_resolve_from_packages():
+    _, symbols = build(
+        {
+            "src/repro/core/__init__.py": "from .mod import free\n",
+            "src/repro/core/mod.py": "def free(): ...\n",
+            "src/repro/core/other.py": "from . import free\n",
+        }
+    )
+    # Package __init__ anchors `.mod` at the package itself; a sibling
+    # module anchors `.` at its parent package.
+    assert (
+        symbols.resolve("repro.core", "free") == "repro.core.mod.free"
+        or symbols.canonicalize(symbols.resolve("repro.core", "free"))
+        == "repro.core.mod.free"
+    )
+    assert (
+        symbols.canonicalize(symbols.resolve("repro.core.other", "free"))
+        == "repro.core.mod.free"
+    )
+
+
+def test_canonicalize_follows_reexport_chains():
+    _, symbols = build(
+        {
+            "src/repro/a.py": "def impl(): ...\n",
+            "src/repro/b.py": "from repro.a import impl\n",
+            "src/repro/c.py": "from repro.b import impl as impl2\n",
+        }
+    )
+    assert (
+        symbols.canonicalize(symbols.resolve("repro.c", "impl2"))
+        == "repro.a.impl"
+    )
+
+
+def test_method_lookup_walks_bases_and_subclass_index():
+    _, symbols = build(
+        {
+            "src/repro/m.py": (
+                "class Base:\n"
+                "    def hook(self): ...\n"
+                "class Child(Base):\n"
+                "    pass\n"
+                "class GrandChild(Child):\n"
+                "    def hook(self): ...\n"
+            )
+        }
+    )
+    found = symbols.lookup_method("repro.m.Child", "hook")
+    assert found is not None and found.qualname == "repro.m.Base.hook"
+    assert symbols.all_subclasses("repro.m.Base") >= {
+        "repro.m.Child",
+        "repro.m.GrandChild",
+    }
+
+
+def test_init_attribute_types_are_inferred():
+    _, symbols = build(
+        {
+            "src/repro/m.py": (
+                "class Engine: ...\n"
+                "class Car:\n"
+                "    def __init__(self, engine: Engine) -> None:\n"
+                "        self.engine = engine\n"
+            )
+        }
+    )
+    car = symbols.classes["repro.m.Car"]
+    assert car.attr_types.get("engine") == "repro.m.Engine"

@@ -1,0 +1,132 @@
+"""RA001 phase-purity fixtures.
+
+Each positive fixture seeds one impurity into a function reachable from
+a step-loop root and asserts the violation lands on the right file and
+line; the negative fixtures prove the boundary and the unreachable case
+stay silent.
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.project import Project
+from repro.analysis.purity import check_purity
+from repro.analysis.symbols import SymbolTable
+
+ROOT = ("repro.core.sim.Sim.run",)
+
+
+def violations(sources, roots=ROOT, boundary=()):
+    project = Project.from_sources(sources)
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_purity(
+        symbols, graph, roots=roots, boundary_prefixes=boundary
+    )
+
+
+def sim(body):
+    """A step-loop root whose helper has ``body`` as its suite."""
+    return {
+        "src/repro/core/sim.py": (
+            "from repro.core.helper import helper\n"
+            "class Sim:\n"
+            "    def run(self):\n"
+            "        helper()\n"
+        ),
+        "src/repro/core/helper.py": body,
+    }
+
+
+def test_transitive_file_io_is_flagged_with_location():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    inner()\n"
+            "def inner():\n"
+            '    open("log.txt")\n'
+        )
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA001"
+    assert v.path == "src/repro/core/helper.py"
+    assert v.line == 4
+    assert "open" in v.message
+    # The report includes the call chain from the root.
+    assert "Sim.run" in v.message and "inner" in v.message
+
+
+def test_wall_clock_read_is_flagged():
+    found = violations(
+        sim("import time\ndef helper():\n    t = time.time()\n")
+    )
+    assert found and "wall-clock" in found[0].message
+    assert found[0].line == 3
+
+
+def test_env_access_is_flagged():
+    found = violations(
+        sim("import os\ndef helper():\n    os.environ['X']\n")
+    )
+    assert found and "environ" in found[0].message
+
+
+def test_global_state_rng_is_flagged():
+    found = violations(
+        sim("import random\ndef helper():\n    return random.random()\n")
+    )
+    assert found and "RA001" == found[0].rule_id
+
+
+def test_module_global_mutation_is_flagged():
+    found = violations(
+        sim("CACHE = []\ndef helper():\n    CACHE.append(1)\n")
+    )
+    assert found and "module-global" in found[0].message
+
+
+def test_module_global_iterator_next_is_flagged():
+    found = violations(
+        sim(
+            "import itertools\n"
+            "IDS = itertools.count(1)\n"
+            "def helper():\n"
+            "    return next(IDS)\n"
+        )
+    )
+    assert found and "next()" in found[0].message
+
+
+def test_boundary_prefix_is_exempt():
+    sources = sim("def helper():\n    emit()\n")
+    sources["src/repro/core/helper.py"] = (
+        "from repro.obs.sink import emit\n"
+        "def helper():\n"
+        "    emit()\n"
+    )
+    sources["src/repro/obs/sink.py"] = 'def emit():\n    print("x")\n'
+    assert violations(sources, boundary=("repro.obs",)) == []
+
+
+def test_unreachable_impurity_is_not_flagged():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    pass\n"
+            "def unrelated():\n"
+            '    open("x")\n'
+        )
+    )
+    assert found == []
+
+
+def test_pure_closure_is_clean():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    total = 0\n"
+            "    for i in range(3):\n"
+            "        total += i\n"
+            "    return total\n"
+        )
+    )
+    assert found == []

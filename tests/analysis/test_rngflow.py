@@ -1,0 +1,104 @@
+"""RA003 RNG-flow fixtures.
+
+Simulation packages (``repro.core``, ``repro.emulator``, ...) must only
+ever receive explicitly seeded generators, and never share one through a
+module-level binding.
+"""
+
+from repro.analysis.project import Project
+from repro.analysis.rngflow import check_rng_flow
+from repro.analysis.symbols import SymbolTable
+
+
+def violations(sources):
+    project = Project.from_sources(sources)
+    return check_rng_flow(SymbolTable(project))
+
+
+def test_module_level_rng_in_sim_package_is_flagged():
+    found = violations(
+        {
+            "src/repro/core/mod.py": (
+                "import random\n"
+                "RNG = random.Random(7)\n"
+            )
+        }
+    )
+    assert len(found) == 1
+    assert found[0].rule_id == "RA003"
+    assert found[0].line == 2
+    assert "module-level" in found[0].message
+
+
+def test_module_level_rng_outside_sim_packages_is_allowed():
+    assert (
+        violations(
+            {
+                "src/repro/experiments/mod.py": (
+                    "import random\n"
+                    "RNG = random.Random(7)\n"
+                )
+            }
+        )
+        == []
+    )
+
+
+def test_unseeded_rng_passed_into_sim_code_is_flagged():
+    found = violations(
+        {
+            "src/repro/core/sim.py": "def run(rng): ...\n",
+            "src/repro/experiments/driver.py": (
+                "import random\n"
+                "from repro.core.sim import run\n"
+                "def main():\n"
+                "    rng = random.Random()\n"
+                "    run(rng)\n"
+            ),
+        }
+    )
+    assert len(found) == 1
+    assert found[0].path == "src/repro/experiments/driver.py"
+    assert found[0].line == 5
+    assert "unseeded" in found[0].message
+
+
+def test_seeded_rng_passed_into_sim_code_is_clean():
+    assert (
+        violations(
+            {
+                "src/repro/core/sim.py": "def run(rng): ...\n",
+                "src/repro/experiments/driver.py": (
+                    "import random\n"
+                    "from repro.core.sim import run\n"
+                    "def main():\n"
+                    "    rng = random.Random(42)\n"
+                    "    run(rng)\n"
+                ),
+            }
+        )
+        == []
+    )
+
+
+def test_experiment_rng_factory_counts_as_seeded():
+    assert (
+        violations(
+            {
+                "src/repro/experiments/common.py": (
+                    "import random\n"
+                    "def experiment_rng(seed):\n"
+                    "    return random.Random(seed)\n"
+                ),
+                "src/repro/core/sim.py": "def run(rng): ...\n",
+                "src/repro/experiments/driver.py": (
+                    "from repro.experiments.common import experiment_rng\n"
+                    "from repro.core.sim import run\n"
+                    "def main():\n"
+                    "    rng = experiment_rng(1)\n"
+                    "    run(rng)\n"
+                ),
+            }
+        )
+        == []
+    )

@@ -1,0 +1,94 @@
+"""The ``--baseline`` ratchet shared by ``repro lint`` and ``repro
+analyze``: findings recorded in a previous JSON report are filtered
+out; anything new still fails."""
+
+import json
+
+import pytest
+
+from repro.lint import format_json, lint_paths
+from repro.lint.baseline import BaselineError, apply_baseline, load_baseline
+from repro.lint.cli import main
+
+BAD = "import random\nx = random.randint(0, 3)\n"
+
+
+def write_tree(tmp_path, source=BAD):
+    target = tmp_path / "src" / "repro" / "core"
+    target.mkdir(parents=True)
+    mod = target / "mod.py"
+    mod.write_text(source)
+    return mod
+
+
+def baseline_for(tmp_path):
+    report = lint_paths([tmp_path], root=tmp_path)
+    assert report.violations
+    path = tmp_path / "baseline.json"
+    path.write_text(format_json(report))
+    return path
+
+
+def test_baseline_consumes_matching_findings(tmp_path):
+    write_tree(tmp_path)
+    baseline = load_baseline(baseline_for(tmp_path))
+    report = lint_paths([tmp_path], root=tmp_path)
+    suppressed = apply_baseline(report, baseline)
+    assert suppressed > 0
+    assert report.violations == []
+
+
+def test_baseline_is_line_insensitive(tmp_path):
+    mod = write_tree(tmp_path)
+    baseline = load_baseline(baseline_for(tmp_path))
+    # Shift the finding down two lines; the (path, rule, message) key
+    # still matches, so the ratchet holds.
+    mod.write_text("\n\n" + BAD)
+    report = lint_paths([tmp_path], root=tmp_path)
+    apply_baseline(report, baseline)
+    assert report.violations == []
+
+
+def test_new_findings_survive_the_baseline(tmp_path):
+    mod = write_tree(tmp_path)
+    baseline = load_baseline(baseline_for(tmp_path))
+    mod.write_text(BAD + "y = random.choice([1, 2])\n")
+    report = lint_paths([tmp_path], root=tmp_path)
+    apply_baseline(report, baseline)
+    assert len(report.violations) == 1
+    assert "choice" in report.violations[0].message
+
+
+def test_duplicate_findings_are_counted_as_a_multiset(tmp_path):
+    mod = write_tree(tmp_path, BAD)
+    baseline = load_baseline(baseline_for(tmp_path))
+    # Two identical findings, one baseline entry: one must survive.
+    mod.write_text(
+        "import random\n"
+        "x = random.randint(0, 3)\n"
+        "y = random.randint(0, 3)\n"
+    )
+    report = lint_paths([tmp_path], root=tmp_path)
+    apply_baseline(report, baseline)
+    assert len(report.violations) == 1
+
+
+def test_malformed_baseline_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"violations": "nope"}))
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+    path.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    write_tree(tmp_path)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(capsys.readouterr().out)
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), "--baseline", str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()

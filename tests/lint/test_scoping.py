@@ -1,0 +1,78 @@
+"""Regression fixtures for scope-aware name canonicalization.
+
+An imported name that is *shadowed* by a comprehension target, lambda
+parameter, or enclosing-function binding refers to the local, not the
+import — the import map must not canonicalize it.  These fixtures pin
+the false positives that motivated the fix and prove genuine uses still
+fire.
+"""
+
+from repro.lint import get_rules, lint_source
+
+GENERIC = "src/repro/traces/example.py"
+
+
+def fired(source, rule_id="RL001"):
+    report = lint_source(source, GENERIC, rules=get_rules([rule_id]))
+    assert not report.errors, report.errors
+    return [v.message for v in report.violations]
+
+
+def test_comprehension_target_shadows_import():
+    src = (
+        "from random import choice\n"
+        "def pick(fns):\n"
+        "    return [choice(3) for choice in fns]\n"
+    )
+    assert fired(src) == []
+
+
+def test_lambda_parameter_shadows_import():
+    src = (
+        "from random import random\n"
+        "def apply_all(xs):\n"
+        "    return list(map(lambda random: random * 2, xs))\n"
+    )
+    assert fired(src) == []
+
+
+def test_function_parameter_shadows_import():
+    src = (
+        "from random import randint\n"
+        "def clamp(randint):\n"
+        "    return randint(0)\n"
+    )
+    assert fired(src) == []
+
+
+def test_local_assignment_shadows_import():
+    src = (
+        "from random import random\n"
+        "def pick(rng):\n"
+        "    random = rng.uniform\n"
+        "    return random(0.0, 1.0)\n"
+    )
+    assert fired(src) == []
+
+
+def test_genuine_global_state_use_still_fires():
+    src = (
+        "from random import choice\n"
+        "def pick(fns):\n"
+        "    return choice(fns)\n"
+    )
+    assert fired(src)
+
+
+def test_shadow_in_one_scope_does_not_leak_to_another():
+    # The comprehension shadows `choice` only inside its own scope; the
+    # module-level use after it must still canonicalize to the import.
+    src = (
+        "from random import choice\n"
+        "def shadowed(fns):\n"
+        "    return [choice for choice in fns]\n"
+        "def genuine(fns):\n"
+        "    return choice(fns)\n"
+    )
+    messages = fired(src)
+    assert len(messages) == 1
