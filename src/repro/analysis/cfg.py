@@ -1,0 +1,286 @@
+"""Per-function control-flow graphs for the dataflow passes.
+
+A :class:`CFG` is built once per function from the already-parsed lint
+AST and shared by every dataflow client (RA006 intervals today; the
+solver in :mod:`repro.analysis.dataflow` is generic over domains).
+
+Design notes
+------------
+* Blocks hold *straight-line* statements.  Compound statements are
+  lowered structurally: ``if``/``while`` tests live on the outgoing
+  :class:`Edge` (``cond`` + ``assume`` polarity) so domains can narrow
+  on branches; ``for`` and ``with`` headers are kept as the first
+  "statement" of their block so domains see the target binding, with
+  the convention that a domain's transfer function must **not** recurse
+  into the body of a compound header statement — the builder has
+  already lowered the body into its own blocks.
+* ``try`` is conservative: each handler is entered both from the state
+  before the ``try`` and from the state after its body, because the
+  raise could have happened anywhere in between.
+* ``break``/``continue``/``return``/``raise`` close the current block;
+  unreachable trailing statements simply land in a block with no
+  incoming edges (the solver never visits it).
+* Loop heads are recorded in :attr:`CFG.loop_heads` so the solver knows
+  where to widen.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "Edge", "CFG", "build_cfg"]
+
+#: Statement types whose *body* is lowered by the builder; a domain
+#: transfer over one of these must only interpret the header.
+HEADER_STATEMENTS = (ast.For, ast.AsyncFor, ast.With, ast.AsyncWith)
+
+
+@dataclass
+class Block:
+    """One straight-line run of statements."""
+
+    idx: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A control transfer; ``cond``/``assume`` carry branch knowledge.
+
+    ``cond is None`` means an unconditional transfer.  Otherwise the
+    edge is taken exactly when ``bool(cond) == assume``, which is what
+    a domain's ``assume`` hook refines on.
+    """
+
+    src: int
+    dst: int
+    cond: ast.expr | None = None
+    assume: bool = True
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry: int = 0
+        self.exit: int = 0
+        self.loop_heads: set[int] = set()
+        self._succs: dict[int, list[Edge]] = {}
+        self._preds: dict[int, list[Edge]] = {}
+
+    def new_block(self) -> int:
+        block = Block(idx=len(self.blocks))
+        self.blocks.append(block)
+        return block.idx
+
+    def add_edge(
+        self, src: int, dst: int, *, cond: ast.expr | None = None, assume: bool = True
+    ) -> None:
+        edge = Edge(src=src, dst=dst, cond=cond, assume=assume)
+        self._succs.setdefault(src, []).append(edge)
+        self._preds.setdefault(dst, []).append(edge)
+
+    def succs(self, idx: int) -> list[Edge]:
+        return self._succs.get(idx, [])
+
+    def preds(self, idx: int) -> list[Edge]:
+        return self._preds.get(idx, [])
+
+
+class _Builder:
+    """Lowers one statement suite into a :class:`CFG`."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: (break_target, continue_target) per enclosing loop.
+        self._loop_stack: list[tuple[int, int]] = []
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        cfg = self.cfg
+        cfg.entry = cfg.new_block()
+        cfg.exit = cfg.new_block()
+        out = self._lower_suite(body, cfg.entry)
+        if out is not None:
+            cfg.add_edge(out, cfg.exit)
+        return cfg
+
+    # -- suites ------------------------------------------------------------
+
+    def _lower_suite(self, stmts: list[ast.stmt], current: int) -> int | None:
+        """Lower ``stmts`` starting in block ``current``.
+
+        Returns the open block a fall-through continues in, or ``None``
+        when every path has left the suite (return/raise/break/...).
+        """
+        open_block: int | None = current
+        for stmt in stmts:
+            if open_block is None:
+                # Unreachable trailing code: park it in an orphan block
+                # (no incoming edges, so the solver never visits it).
+                open_block = self.cfg.new_block()
+            open_block = self._lower_stmt(stmt, open_block)
+        return open_block
+
+    # -- statements --------------------------------------------------------
+
+    def _lower_stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._lower_while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._lower_for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # Header stays visible (binds optional_vars); body is
+            # lowered inline — a ``with`` does not branch.
+            cfg.blocks[current].stmts.append(stmt)
+            return self._lower_suite(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._lower_match(stmt, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.blocks[current].stmts.append(stmt)
+            cfg.add_edge(current, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loop_stack:
+                cfg.add_edge(current, self._loop_stack[-1][0])
+                return None
+            return current  # malformed code: treat as no-op
+        if isinstance(stmt, ast.Continue):
+            if self._loop_stack:
+                cfg.add_edge(current, self._loop_stack[-1][1])
+                return None
+            return current
+        cfg.blocks[current].stmts.append(stmt)
+        return current
+
+    def _lower_if(self, stmt: ast.If, current: int) -> int | None:
+        cfg = self.cfg
+        then_entry = cfg.new_block()
+        cfg.add_edge(current, then_entry, cond=stmt.test, assume=True)
+        then_out = self._lower_suite(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = cfg.new_block()
+            cfg.add_edge(current, else_entry, cond=stmt.test, assume=False)
+            else_out = self._lower_suite(stmt.orelse, else_entry)
+        else:
+            else_out = None
+        outs = [b for b in (then_out, else_out) if b is not None]
+        if not stmt.orelse:
+            # Fall-through when the condition is false.
+            after = cfg.new_block()
+            cfg.add_edge(current, after, cond=stmt.test, assume=False)
+            for b in outs:
+                cfg.add_edge(b, after)
+            return after
+        if not outs:
+            return None
+        after = cfg.new_block()
+        for b in outs:
+            cfg.add_edge(b, after)
+        return after
+
+    def _lower_while(self, stmt: ast.While, current: int) -> int | None:
+        cfg = self.cfg
+        head = cfg.new_block()
+        cfg.loop_heads.add(head)
+        cfg.add_edge(current, head)
+        body_entry = cfg.new_block()
+        after = cfg.new_block()
+        cfg.add_edge(head, body_entry, cond=stmt.test, assume=True)
+        cfg.add_edge(head, after, cond=stmt.test, assume=False)
+        self._loop_stack.append((after, head))
+        body_out = self._lower_suite(stmt.body, body_entry)
+        self._loop_stack.pop()
+        if body_out is not None:
+            cfg.add_edge(body_out, head)
+        if stmt.orelse:
+            # ``while/else`` runs orelse on normal exit; the exit edge
+            # above already reaches ``after``, so lower orelse inline.
+            return self._lower_suite(stmt.orelse, after)
+        return after
+
+    def _lower_for(self, stmt: ast.For | ast.AsyncFor, current: int) -> int | None:
+        cfg = self.cfg
+        head = cfg.new_block()
+        cfg.loop_heads.add(head)
+        # The For header is the head's one statement: domains interpret
+        # the target binding there (the body is NOT reinterpreted).
+        cfg.blocks[head].stmts.append(stmt)
+        cfg.add_edge(current, head)
+        body_entry = cfg.new_block()
+        after = cfg.new_block()
+        cfg.add_edge(head, body_entry)
+        cfg.add_edge(head, after)
+        self._loop_stack.append((after, head))
+        body_out = self._lower_suite(stmt.body, body_entry)
+        self._loop_stack.pop()
+        if body_out is not None:
+            cfg.add_edge(body_out, head)
+        if stmt.orelse:
+            return self._lower_suite(stmt.orelse, after)
+        return after
+
+    def _lower_try(self, stmt: ast.Try, current: int) -> int | None:
+        cfg = self.cfg
+        body_entry = cfg.new_block()
+        cfg.add_edge(current, body_entry)
+        body_out = self._lower_suite(stmt.body, body_entry)
+        outs: list[int] = []
+        for handler in stmt.handlers:
+            h_entry = cfg.new_block()
+            # The raise may fire before or after any body statement ran.
+            cfg.add_edge(current, h_entry)
+            if body_out is not None:
+                cfg.add_edge(body_out, h_entry)
+            h_out = self._lower_suite(handler.body, h_entry)
+            if h_out is not None:
+                outs.append(h_out)
+        if body_out is not None:
+            if stmt.orelse:
+                orelse_entry = cfg.new_block()
+                cfg.add_edge(body_out, orelse_entry)
+                orelse_out = self._lower_suite(stmt.orelse, orelse_entry)
+                if orelse_out is not None:
+                    outs.append(orelse_out)
+            else:
+                outs.append(body_out)
+        if not outs:
+            if stmt.finalbody:
+                final_entry = cfg.new_block()
+                # finally still runs on the exceptional path.
+                cfg.add_edge(current, final_entry)
+                out = self._lower_suite(stmt.finalbody, final_entry)
+                if out is not None:
+                    cfg.add_edge(out, cfg.exit)
+            return None
+        after = cfg.new_block()
+        for b in outs:
+            cfg.add_edge(b, after)
+        if stmt.finalbody:
+            return self._lower_suite(stmt.finalbody, after)
+        return after
+
+    def _lower_match(self, stmt: ast.Match, current: int) -> int | None:
+        cfg = self.cfg
+        after = cfg.new_block()
+        # Conservative: any case may run, or none (no exhaustiveness
+        # reasoning); patterns are opaque to the domains.
+        cfg.add_edge(current, after)
+        for case in stmt.cases:
+            case_entry = cfg.new_block()
+            cfg.add_edge(current, case_entry)
+            case_out = self._lower_suite(case.body, case_entry)
+            if case_out is not None:
+                cfg.add_edge(case_out, after)
+        return after
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the control-flow graph of one function body."""
+    return _Builder().build(fn.body)

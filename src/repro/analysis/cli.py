@@ -24,7 +24,7 @@ from typing import Sequence
 
 from repro.analysis.engine import PASS_SUMMARIES, analyze_paths
 from repro.lint.engine import LintReport
-from repro.lint.output import format_human, format_json
+from repro.lint.output import render_report
 
 __all__ = ["add_analyze_arguments", "build_parser", "run_from_args", "main"]
 
@@ -40,13 +40,13 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--passes",
         metavar="IDS",
         default=None,
-        help="comma-separated pass ids to run (default: all of RA001-RA005)",
+        help="comma-separated pass ids to run (default: all of RA001-RA008)",
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
-        help="output format (default: human)",
+        help="output format (default: human; sarif for CI annotation)",
     )
     parser.add_argument(
         "--list-passes",
@@ -61,6 +61,13 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "already recorded there are filtered out (ratchet mode)",
     )
     parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings to FILE (for later --baseline "
+        "runs) and exit 0",
+    )
+    parser.add_argument(
         "--changed-only",
         action="store_true",
         help="analyze the whole program but report only findings in "
@@ -72,7 +79,9 @@ def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description="whole-program analyzer: phase purity, dimensional "
-        "analysis, RNG flow, import cycles, dead experiments (RA001-RA005)",
+        "analysis, RNG flow, import cycles, dead experiments, and the "
+        "dataflow passes (intervals, exception flow, hot-path cost) "
+        "(RA001-RA008)",
     )
     add_analyze_arguments(parser)
     return parser
@@ -134,7 +143,20 @@ def run_from_args(args: argparse.Namespace) -> int:
         print("error: no paths given and no ./src directory found")
         return 2
 
+    if args.baseline is not None and args.write_baseline is not None:
+        print("error: --baseline and --write-baseline are mutually exclusive")
+        return 2
+
     report = analyze_paths(paths, passes=passes)
+    if args.write_baseline is not None:
+        from repro.lint.baseline import write_baseline
+
+        write_baseline(report, args.write_baseline)
+        print(
+            f"wrote baseline with {len(report.violations)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
     if args.baseline is not None:
         from repro.lint.baseline import BaselineError, apply_baseline, load_baseline
 
@@ -147,7 +169,10 @@ def run_from_args(args: argparse.Namespace) -> int:
         warning = _filter_changed_only(report)
         if warning is not None:
             print(warning)
-    rendered = format_json(report) if args.format == "json" else format_human(report)
+    rendered = render_report(
+        report, args.format, tool_name="repro-analyze",
+        rule_descriptions=PASS_SUMMARIES,
+    )
     if rendered:
         print(rendered)
     return report.exit_code

@@ -1,0 +1,127 @@
+"""Generic worklist fixed-point solver over abstract domains.
+
+The solver is parametric in the :class:`Domain`: RA006 plugs in the
+interval domain, tests plug in toy domains (a counting domain shows the
+widening requirement directly).  The contract:
+
+* ``initial()`` — the state at function entry;
+* ``transfer(state, stmt)`` — abstract effect of one straight-line
+  statement (compound headers per the :mod:`repro.analysis.cfg`
+  convention: interpret the header only, never the body);
+* ``assume(state, cond, branch)`` — refine ``state`` knowing ``cond``
+  evaluated to ``branch``; return ``None`` when that is infeasible
+  (the edge is then simply not propagated — this is how ``while
+  True:`` loses its exit edge);
+* ``join`` — least upper bound at control-flow merges;
+* ``widen`` — extrapolation applied at loop heads once a head's
+  incoming state has changed ``widen_after`` times, guaranteeing
+  termination on infinite-ascending domains such as intervals;
+* ``equals`` — convergence test.
+
+``solve`` returns the fixed-point state *at entry to* each reachable
+block.  A hard iteration cap (far above anything a real function
+produces) turns a non-terminating domain bug into a loud
+:class:`FixpointError` instead of a hung analyzer — the CI analyze
+budget (120 s) backstops the same property end-to-end.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Generic, Protocol, TypeVar
+
+from repro.analysis.cfg import CFG
+
+__all__ = ["Domain", "FixpointError", "solve"]
+
+S = TypeVar("S")
+
+
+class Domain(Protocol[S]):
+    """What a dataflow client implements (see module docstring)."""
+
+    def initial(self) -> S: ...
+
+    def join(self, a: S, b: S) -> S: ...
+
+    def widen(self, a: S, b: S) -> S: ...
+
+    def transfer(self, state: S, stmt: ast.stmt) -> S: ...
+
+    def assume(self, state: S, cond: ast.expr, branch: bool) -> S | None: ...
+
+    def equals(self, a: S, b: S) -> bool: ...
+
+
+class FixpointError(RuntimeError):
+    """The solver exceeded its iteration cap (a domain bug)."""
+
+
+class _Solver(Generic[S]):
+    def __init__(
+        self, cfg: CFG, domain: Domain[S], widen_after: int, max_steps: int
+    ) -> None:
+        self.cfg = cfg
+        self.domain = domain
+        self.widen_after = widen_after
+        self.max_steps = max_steps
+
+    def run(self) -> dict[int, S]:
+        cfg, domain = self.cfg, self.domain
+        entry_states: dict[int, S] = {cfg.entry: domain.initial()}
+        changes: dict[int, int] = {}
+        work: deque[int] = deque([cfg.entry])
+        queued: set[int] = {cfg.entry}
+        steps = 0
+        while work:
+            steps += 1
+            if steps > self.max_steps:
+                raise FixpointError(
+                    f"no fixed point after {self.max_steps} iterations "
+                    f"(widen_after={self.widen_after})"
+                )
+            idx = work.popleft()
+            queued.discard(idx)
+            out = entry_states[idx]
+            for stmt in cfg.blocks[idx].stmts:
+                out = domain.transfer(out, stmt)
+            for edge in cfg.succs(idx):
+                arriving: S | None = out
+                if edge.cond is not None:
+                    arriving = domain.assume(out, edge.cond, edge.assume)
+                    if arriving is None:
+                        continue  # infeasible branch
+                old = entry_states.get(edge.dst)
+                if old is None:
+                    new = arriving
+                else:
+                    new = domain.join(old, arriving)
+                    if domain.equals(old, new):
+                        continue
+                    if edge.dst in cfg.loop_heads:
+                        changes[edge.dst] = changes.get(edge.dst, 0) + 1
+                        if changes[edge.dst] >= self.widen_after:
+                            new = domain.widen(old, new)
+                            if domain.equals(old, new):
+                                continue
+                entry_states[edge.dst] = new
+                if edge.dst not in queued:
+                    work.append(edge.dst)
+                    queued.add(edge.dst)
+        return entry_states
+
+
+def solve(
+    cfg: CFG,
+    domain: Domain[S],
+    *,
+    widen_after: int = 3,
+    max_steps: int = 100_000,
+) -> dict[int, S]:
+    """Run ``domain`` to a fixed point over ``cfg``.
+
+    Returns ``{block_idx: entry_state}`` for every reachable block;
+    unreachable blocks are absent.
+    """
+    return _Solver(cfg, domain, widen_after, max_steps).run()

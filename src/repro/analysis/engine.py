@@ -16,7 +16,10 @@ from typing import Sequence
 
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.dimensions import check_dimensions
+from repro.analysis.exceptions import check_exceptions
 from repro.analysis.graphchecks import check_dead_experiments, check_import_cycles
+from repro.analysis.hotpath import check_hotpath
+from repro.analysis.intervals import check_intervals
 from repro.analysis.project import Project
 from repro.analysis.purity import (
     DEFAULT_BOUNDARY_PREFIXES,
@@ -45,6 +48,12 @@ PASS_SUMMARIES: dict[str, str] = {
     "simulation code",
     "RA004": "import cycles: no runtime import cycles between project modules",
     "RA005": "dead experiments: every experiment module registered in the CLI",
+    "RA006": "interval analysis: no provably-negative resource quantities, "
+    "divisions by zero-able capacities, or fraction/percent mixups",
+    "RA007": "exception flow: no accidental exception types escaping the "
+    "step loop uncaught; no over-broad handlers on the hot path",
+    "RA008": "hot-path cost: no nested unbounded iteration, per-tick "
+    "collection building, or O(n) list membership in step-reachable code",
 }
 
 
@@ -100,8 +109,10 @@ def analyze_project(
         return report
 
     symbols = SymbolTable(project)
-    if "RA001" in selected:
+    graph: CallGraph | None = None
+    if selected & {"RA001", "RA007", "RA008"}:
         graph = CallGraph.build(project, symbols)
+    if "RA001" in selected and graph is not None:
         report.violations.extend(
             check_purity(
                 symbols, graph, roots=roots, boundary_prefixes=boundary_prefixes
@@ -115,6 +126,20 @@ def analyze_project(
         report.violations.extend(check_import_cycles(project))
     if "RA005" in selected:
         report.violations.extend(check_dead_experiments(project))
+    if "RA006" in selected:
+        report.violations.extend(check_intervals(symbols))
+    if "RA007" in selected and graph is not None:
+        report.violations.extend(
+            check_exceptions(
+                symbols, graph, roots=roots, boundary_prefixes=boundary_prefixes
+            )
+        )
+    if "RA008" in selected and graph is not None:
+        report.violations.extend(
+            check_hotpath(
+                symbols, graph, roots=roots, boundary_prefixes=boundary_prefixes
+            )
+        )
 
     _apply_suppressions(project, report)
     report.violations.sort()

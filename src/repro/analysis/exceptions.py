@@ -1,0 +1,356 @@
+"""RA007 — exception-flow: the step loop must not die by accident.
+
+A mid-simulation crash loses the whole run (Sec. IV's 2-minute step
+cycle has no checkpointing), so exceptions reaching the step loop must
+be *deliberate*: project-defined exception classes and fail-fast
+``ValueError``/``RuntimeError`` raises are policy, while "accidental"
+builtin types — the mapping/sequence/arithmetic errors Python raises
+for plumbing bugs (``KeyError``, ``IndexError``, ``ZeroDivisionError``,
+``StopIteration``, ...) — are exactly the signatures of a latent defect.
+
+The pass computes, for every function reachable from the step-loop
+roots (reusing :data:`repro.analysis.purity.DEFAULT_ROOTS` and the call
+graph), the set of accidental exception types its explicit ``raise``
+statements may let escape, then propagates each escape up the BFS call
+chain, cancelling it at any call site wrapped in a ``try`` whose
+handlers cover the type (builtin hierarchy included: ``except
+LookupError`` covers ``KeyError``).  An escape that survives to a root
+is reported at the raise site with the full call chain.
+
+Two local checks ride along for step-reachable functions:
+
+* ``except:`` / ``except Exception`` / ``except BaseException`` without
+  a bare ``raise`` re-raise — an over-broad handler that would also
+  swallow the observability layer's invariant-checker errors;
+* a bare ``raise`` inside a handler re-raises the handler's caught
+  accidental types, so those propagate like direct raises.
+
+Implicit raises (an unguarded ``d[k]`` may raise ``KeyError``) are out
+of scope by design: flagging every subscript would drown the signal.
+Explicit raises are where the project states its failure policy, and
+that policy is what this pass audits.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.purity import (
+    DEFAULT_BOUNDARY_PREFIXES,
+    DEFAULT_ROOTS,
+    _format_chain,
+)
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["check_exceptions"]
+
+RULE_ID = "RA007"
+
+#: Accidental builtin exception types -> their builtin base classes
+#: (up to, but excluding, ``Exception``).  Raising one of these on
+#: purpose is how latent bugs look; they must not reach the step loop.
+_BUILTIN_BASES: dict[str, tuple[str, ...]] = {
+    "KeyError": ("LookupError",),
+    "IndexError": ("LookupError",),
+    "ZeroDivisionError": ("ArithmeticError",),
+    "OverflowError": ("ArithmeticError",),
+    "FloatingPointError": ("ArithmeticError",),
+    "RecursionError": ("RuntimeError",),
+    "UnboundLocalError": ("NameError",),
+    "StopIteration": (),
+    "StopAsyncIteration": (),
+    "AttributeError": (),
+    "NameError": (),
+}
+
+#: The accidental set itself.
+ACCIDENTAL = frozenset(_BUILTIN_BASES)
+
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+def _covers(handler_names: frozenset[str], exc: str) -> bool:
+    """Does a handler catching ``handler_names`` catch ``exc``?"""
+    if handler_names & _CATCH_ALL:
+        return True
+    if exc in handler_names:
+        return True
+    return any(base in handler_names for base in _BUILTIN_BASES.get(exc, ()))
+
+
+@dataclass(frozen=True)
+class _Escape:
+    """One accidental raise that escapes its own function."""
+
+    exc: str
+    line: int
+    col: int
+    rethrow: bool  # came from a bare ``raise`` in a handler
+
+
+@dataclass
+class _Summary:
+    """Exception behaviour of one function, seen from the outside."""
+
+    escapes: list[_Escape] = field(default_factory=list)
+    #: call line -> union of exception names guarded at that line.
+    call_guards: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: (line, col) of over-broad handlers without a bare re-raise.
+    broad_handlers: list[tuple[int, int]] = field(default_factory=list)
+
+
+class _Scanner:
+    """Builds the :class:`_Summary` of one function."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo) -> None:
+        self.symbols = symbols
+        self.module = fn.module
+        self.fn = fn
+        self.summary = _Summary()
+
+    def scan(self) -> _Summary:
+        self._suite(self.fn.node.body, frozenset(), frozenset())
+        return self.summary
+
+    # -- name resolution ---------------------------------------------------
+
+    def _resolve_tail(self, expr: ast.expr) -> str | None:
+        """Final component of the canonical name, unless it is a
+        project-defined class (deliberate policy — never accidental)."""
+        dotted = annotation_to_dotted(expr)
+        if dotted is None:
+            return None
+        resolved = self.symbols.canonicalize(self.symbols.resolve(self.module, dotted))
+        if resolved in self.symbols.classes:
+            return None
+        return resolved.rsplit(".", 1)[-1]
+
+    def _raised_accidental(self, exc: ast.expr) -> str | None:
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        tail = self._resolve_tail(target)
+        return tail if tail in ACCIDENTAL else None
+
+    def _handler_names(self, type_expr: ast.expr | None) -> frozenset[str]:
+        if type_expr is None:
+            return frozenset({"BaseException"})
+        exprs = type_expr.elts if isinstance(type_expr, ast.Tuple) else [type_expr]
+        names: set[str] = set()
+        for expr in exprs:
+            tail = self._resolve_tail(expr)
+            if tail is not None:
+                names.add(tail)
+        return frozenset(names)
+
+    # -- traversal ---------------------------------------------------------
+
+    def _suite(
+        self,
+        stmts: list[ast.stmt],
+        guards: frozenset[str],
+        handler_caught: frozenset[str],
+    ) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, guards, handler_caught)
+
+    def _stmt(
+        self,
+        stmt: ast.stmt,
+        guards: frozenset[str],
+        handler_caught: frozenset[str],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # runs later, analysed as its own symbol if indexed
+        if isinstance(stmt, ast.Try):
+            self._try(stmt, guards, handler_caught)
+            return
+        self._record_calls(stmt, guards)
+        if isinstance(stmt, ast.Raise):
+            self._raise(stmt, guards, handler_caught)
+            return
+        for name in ("body", "orelse", "finalbody"):
+            suite = getattr(stmt, name, None)
+            if isinstance(suite, list) and suite and isinstance(suite[0], ast.stmt):
+                self._suite(suite, guards, handler_caught)
+        if isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                self._suite(case.body, guards, handler_caught)
+
+    def _try(
+        self,
+        stmt: ast.Try,
+        guards: frozenset[str],
+        handler_caught: frozenset[str],
+    ) -> None:
+        caught: frozenset[str] = frozenset()
+        for handler in stmt.handlers:
+            caught = caught | self._handler_names(handler.type)
+        self._suite(stmt.body, guards | caught, handler_caught)
+        for handler in stmt.handlers:
+            names = self._handler_names(handler.type)
+            if names & _CATCH_ALL and not _has_bare_reraise(handler):
+                self.summary.broad_handlers.append(
+                    (handler.lineno, handler.col_offset)
+                )
+            # Exceptions raised *inside* a handler are only guarded by
+            # outer trys; a bare ``raise`` re-raises what was caught.
+            self._suite(
+                handler.body, guards, frozenset(n for n in names if n in ACCIDENTAL)
+            )
+        # orelse/finalbody run outside the handlers' protection.
+        self._suite(stmt.orelse, guards, handler_caught)
+        self._suite(stmt.finalbody, guards, handler_caught)
+
+    def _raise(
+        self,
+        stmt: ast.Raise,
+        guards: frozenset[str],
+        handler_caught: frozenset[str],
+    ) -> None:
+        if stmt.exc is None:
+            for exc in sorted(handler_caught):
+                if not _covers(guards, exc):
+                    self.summary.escapes.append(
+                        _Escape(exc, stmt.lineno, stmt.col_offset, rethrow=True)
+                    )
+            return
+        exc_name = self._raised_accidental(stmt.exc)
+        if exc_name is not None and not _covers(guards, exc_name):
+            self.summary.escapes.append(
+                _Escape(exc_name, stmt.lineno, stmt.col_offset, rethrow=False)
+            )
+
+    def _record_calls(self, stmt: ast.stmt, guards: frozenset[str]) -> None:
+        """Remember the guard set active at each call line in ``stmt``
+        (header expressions only for compound statements)."""
+        exprs = [
+            node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)
+        ]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            exprs = [item.context_expr for item in stmt.items]
+        stack: list[ast.AST] = list(exprs)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                previous = self.summary.call_guards.get(node.lineno, frozenset())
+                self.summary.call_guards[node.lineno] = previous | guards
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _has_bare_reraise(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def check_exceptions(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = DEFAULT_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+) -> list[Violation]:
+    """Flag accidental exceptions that can escape the step loop."""
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    parents: dict[str, str | None] = {}
+    edge_lines: dict[tuple[str, str], int] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in symbols.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+
+    order: list[str] = []
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue
+        order.append(qualname)
+        for site in graph.callees(qualname):
+            if site.callee not in parents and site.callee in symbols.functions:
+                parents[site.callee] = qualname
+                edge_lines[(qualname, site.callee)] = site.line
+                queue.append(site.callee)
+
+    summaries: dict[str, _Summary] = {}
+
+    def summary_of(qualname: str) -> _Summary:
+        if qualname not in summaries:
+            summaries[qualname] = _Scanner(
+                symbols, symbols.functions[qualname]
+            ).scan()
+        return summaries[qualname]
+
+    violations: list[Violation] = []
+    for qualname in order:
+        fn = symbols.functions[qualname]
+        summary = summary_of(qualname)
+        for line, col in summary.broad_handlers:
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=line,
+                    col=col,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"over-broad exception handler in step-reachable "
+                        f"{qualname} may swallow invariant-checker errors "
+                        "(catch specific types or re-raise)"
+                    ),
+                )
+            )
+        for escape in summary.escapes:
+            if _chain_catches(
+                qualname, escape.exc, parents, edge_lines, summary_of
+            ):
+                continue
+            how = "re-raised" if escape.rethrow else "raised"
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=escape.line,
+                    col=escape.col,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"{escape.exc} {how} in {qualname} can escape the "
+                        f"step loop uncaught "
+                        f"[chain: {_format_chain(parents, qualname)}]"
+                    ),
+                )
+            )
+    violations.sort()
+    return violations
+
+
+def _chain_catches(
+    qualname: str,
+    exc: str,
+    parents: dict[str, str | None],
+    edge_lines: dict[tuple[str, str], int],
+    summary_of: Callable[[str], _Summary],
+) -> bool:
+    """Walk the BFS discovery chain; is ``exc`` caught on the way up?"""
+    node = qualname
+    while True:
+        parent = parents.get(node)
+        if parent is None:
+            return False
+        line = edge_lines.get((parent, node))
+        if line is not None:
+            guards = summary_of(parent).call_guards.get(line, frozenset())
+            if _covers(guards, exc):
+                return True
+        node = parent

@@ -1,0 +1,277 @@
+"""RA008 — hot-path cost: no quadratic scans in the per-tick loop.
+
+The ROADMAP north-star ("as fast as the hardware allows") dies by a
+thousand cuts: a nested scan over fleets × centers here, a dict rebuilt
+every 2-minute tick there.  This pass walks the functions reachable
+from the step-loop roots (the same BFS as RA001/RA007) and flags the
+three cheap-to-write, expensive-to-run shapes:
+
+* **nested iteration over unbounded collections** — a ``for`` over a
+  non-``range`` iterable nested inside another unbounded ``for`` or any
+  ``while`` (``for t in range(...)`` is the tick counter and exempt as
+  an outer loop); comprehensions with two or more generators count;
+* **collection materialization inside a loop** — a comprehension or a
+  ``list``/``dict``/``set``/``sorted``/``tuple`` copy built inside any
+  enclosing loop body allocates every tick; hoist it or maintain it
+  incrementally;
+* **O(n) membership tests on lists** — ``x in xs`` where ``xs`` is
+  list-annotated (parameter, local ``AnnAssign``, or ``self`` attribute)
+  scans; use a set.
+
+Setup/teardown functions are allowlisted by name (``install``,
+``prepare``, ``release_everything``, ``__init__``, ``setup*``,
+``teardown*``, ``warmup*``): they run once, not per tick, and
+reachability does not traverse through them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.purity import (
+    DEFAULT_BOUNDARY_PREFIXES,
+    DEFAULT_ROOTS,
+    _format_chain,
+)
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["DEFAULT_SETUP_NAMES", "check_hotpath"]
+
+RULE_ID = "RA008"
+
+#: Function names that are setup/teardown by convention: they run once
+#: per simulation, not once per tick, so cost shapes are fine there.
+DEFAULT_SETUP_NAMES = frozenset(
+    {
+        "__init__",
+        "__post_init__",
+        "install",
+        "prepare",
+        "release_everything",
+    }
+)
+
+_SETUP_PREFIXES = ("setup", "teardown", "warmup")
+
+#: Calls that materialize a full collection from their argument.
+_MATERIALIZERS = frozenset({"list", "dict", "set", "sorted", "tuple"})
+
+_LIST_HEADS = frozenset({"list", "List", "typing.List"})
+
+
+def _is_setup(name: str, setup_names: frozenset[str]) -> bool:
+    return name in setup_names or name.startswith(_SETUP_PREFIXES)
+
+
+def _is_range_call(expr: ast.expr) -> bool:
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "enumerate"
+        and expr.args
+    ):
+        return _is_range_call(expr.args[0])
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "range"
+    )
+
+
+def _is_list_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        head = annotation_to_dotted(annotation.value)
+        return head in _LIST_HEADS
+    return annotation_to_dotted(annotation) in _LIST_HEADS
+
+
+class _FunctionScanner:
+    """Finds the three cost shapes inside one function."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo, chain: str) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.chain = chain
+        self.violations: list[Violation] = []
+        self._list_annotations = self._collect_list_annotations()
+
+    def scan(self) -> list[Violation]:
+        self._suite(self.fn.node.body, loops=[])
+        return self.violations
+
+    # -- annotation environment (for membership tests) ---------------------
+
+    def _collect_list_annotations(self) -> set[str]:
+        """Access paths (``xs`` / ``self.offers``) known to be lists."""
+        paths: set[str] = set()
+        args = self.fn.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            if _is_list_annotation(a.annotation):
+                paths.add(a.arg)
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_list_annotation(node.annotation):
+                    paths.add(node.target.id)
+        if self.fn.cls is not None:
+            info = self.symbols.classes.get(self.fn.cls)
+            if info is not None:
+                for attr, annotation in info.attr_annotations.items():
+                    if _is_list_annotation(annotation):
+                        paths.add(f"self.{attr}")
+        return paths
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.fn.path,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=RULE_ID,
+                message=(
+                    f"{message} in step-reachable {self.fn.qualname} "
+                    f"[chain: {self.chain}]"
+                ),
+            )
+        )
+
+    # -- traversal ---------------------------------------------------------
+
+    def _suite(self, stmts: list[ast.stmt], loops: list[str]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, loops)
+
+    def _stmt(self, stmt: ast.stmt, loops: list[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            bounded = _is_range_call(stmt.iter)
+            self._exprs([stmt.iter], loops)
+            if not bounded:
+                if any(kind == "unbounded" for kind in loops):
+                    self._flag(
+                        stmt,
+                        "nested iteration over unbounded collections "
+                        "(inner loop also scans a full collection per "
+                        "outer element)",
+                    )
+                inner = loops + ["unbounded"]
+            else:
+                inner = loops + ["range"]
+            self._suite(stmt.body, inner)
+            self._suite(stmt.orelse, loops)
+            return
+        if isinstance(stmt, ast.While):
+            self._exprs([stmt.test], loops)
+            self._suite(stmt.body, loops + ["unbounded"])
+            self._suite(stmt.orelse, loops)
+            return
+        exprs = [
+            node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)
+        ]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            exprs = [item.context_expr for item in stmt.items]
+        self._exprs(exprs, loops)
+        for name in ("body", "orelse", "finalbody"):
+            suite = getattr(stmt, name, None)
+            if isinstance(suite, list) and suite and isinstance(suite[0], ast.stmt):
+                self._suite(suite, loops)
+        if isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                self._suite(case.body, loops)
+        if isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                self._suite(handler.body, loops)
+
+    def _exprs(self, roots: list[ast.expr], loops: list[str]) -> None:
+        in_loop = bool(loops)
+        stack: list[ast.AST] = list(roots)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+                unbounded = sum(
+                    1 for gen in node.generators if not _is_range_call(gen.iter)
+                )
+                if unbounded >= 2:
+                    self._flag(
+                        node,
+                        "nested iteration over unbounded collections "
+                        "(multi-generator comprehension)",
+                    )
+                if in_loop:
+                    self._flag(
+                        node,
+                        "collection materialized inside a per-tick loop "
+                        "(hoist it or maintain it incrementally)",
+                    )
+            elif isinstance(node, ast.Call) and in_loop:
+                name = annotation_to_dotted(node.func)
+                if name in _MATERIALIZERS and node.args:
+                    self._flag(
+                        node,
+                        f"{name}(...) copy built inside a per-tick loop "
+                        "(hoist it or maintain it incrementally)",
+                    )
+            elif isinstance(node, ast.Compare):
+                self._check_membership(node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_membership(self, node: ast.Compare) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.In, ast.NotIn)):
+                continue
+            path = annotation_to_dotted(comparator)
+            if path is not None and path in self._list_annotations:
+                self._flag(
+                    node,
+                    f"O(n) membership test on list {path!r} "
+                    "(use a set for hot-path lookups)",
+                )
+
+
+def check_hotpath(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = DEFAULT_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+    setup_names: frozenset[str] = DEFAULT_SETUP_NAMES,
+) -> list[Violation]:
+    """Flag quadratic scans and per-tick allocation in hot code."""
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    parents: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in symbols.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+
+    violations: list[Violation] = []
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue
+        if _is_setup(fn.name, setup_names):
+            continue  # setup/teardown: neither scanned nor traversed
+        chain = _format_chain(parents, qualname)
+        violations.extend(_FunctionScanner(symbols, fn, chain).scan())
+        for site in graph.callees(qualname):
+            if site.callee not in parents and site.callee in symbols.functions:
+                parents[site.callee] = qualname
+                queue.append(site.callee)
+    violations.sort()
+    return violations

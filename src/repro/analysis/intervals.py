@@ -1,0 +1,992 @@
+"""RA006 — interval analysis over resource quantities.
+
+The paper's Ω/Υ efficiency metrics (Sec. V) are only meaningful when
+resource quantities stay in their legal ranges.  This pass runs the
+generic worklist solver (:mod:`repro.analysis.dataflow`) over every
+function with an *interval domain* seeded from
+
+* the ``Cpu``/``Mem``/``NetIn``/``NetOut``/``Km`` ``NewType``
+  annotations (a resource quantity is born in ``[0, +inf)``),
+* numeric literals and module-level literal constants, and
+* *unit* tags inferred from names: ``*percent``/``*_pct`` is a
+  percentage, ``*frac``/``*fraction``/``*ratio`` is a fraction in
+  ``[0, 1]`` terms, and a same-dimension ratio produces a fraction.
+
+Branch conditions narrow the intervals (``if cap > 0:`` removes zero
+from ``cap``); ``max(x, 0.0)``/``min``/``abs`` are interpreted; loop
+heads widen so the fixed point always terminates.  Three defect classes
+are reported:
+
+* **possibly negative resource quantity** — a value whose interval
+  admits negatives reaching a dimension sink (a ``Cpu(...)``-style
+  retag, a dimension-annotated parameter, or a dimension-annotated
+  return);
+* **division by a zero-able quantity** — a divisor whose interval
+  contains zero (capacities are seeded ``[0, +inf)``, so an unguarded
+  division by a capacity flags until a ``> 0`` guard narrows it);
+* **fraction/percent mixup** — arithmetic, comparison, or argument
+  passing that provably mixes the two unit conventions around the
+  Ω/Υ threshold computations.
+
+Unknown values never flag: the pass only reports what it can prove
+from seeds and literals, mirroring RA002's "provable mixes only"
+philosophy.
+"""
+
+from __future__ import annotations
+
+# Interval bounds are exact IEEE values (literals, +-inf sentinels,
+# meet/widen results), so exact float equality is the correct
+# comparison throughout this module, not a tolerance bug.
+# reprolint: disable-file=RL003
+
+import ast
+import math
+from dataclasses import dataclass
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import solve
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["Interval", "check_intervals"]
+
+RULE_ID = "RA006"
+
+#: Resource dimension type names (final component of the canonical
+#: annotation), shared with RA002.
+DIMENSIONS = frozenset({"Cpu", "Mem", "NetIn", "NetOut", "Km"})
+
+#: Builtins that never mutate tracked state and have interval meaning.
+_PURE_CALLS = frozenset(
+    {
+        "max",
+        "min",
+        "abs",
+        "float",
+        "int",
+        "round",
+        "len",
+        "sum",
+        "bool",
+        "sorted",
+        "range",
+        "enumerate",
+        "zip",
+        "isinstance",
+    }
+)
+
+_INF = float("inf")
+
+
+def _unit_of_name(name: str) -> str | None:
+    """Unit convention implied by an identifier, or ``None``."""
+    low = name.lower()
+    if low.endswith(("percent", "_pct")):
+        return "percent"
+    if low.endswith(("frac", "fraction", "ratio")):
+        return "fraction"
+    return None
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval (``+-inf`` bounds allowed)."""
+
+    lo: float
+    hi: float
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-_INF, _INF)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        return Interval(value, value)
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == -_INF and self.hi == _INF
+
+    @property
+    def contains_zero(self) -> bool:
+        return self.lo <= 0.0 <= self.hi
+
+    @property
+    def may_be_negative(self) -> bool:
+        return self.lo < 0.0
+
+    @property
+    def always_negative(self) -> bool:
+        return self.hi < 0.0
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, other: "Interval") -> "Interval":
+        lo = self.lo if other.lo >= self.lo else -_INF
+        hi = self.hi if other.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    def meet(self, other: "Interval") -> "Interval | None":
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        return None if lo > hi else Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        candidates = [
+            _mul_bound(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        return Interval(min(candidates), max(candidates))
+
+    def div(self, other: "Interval") -> "Interval":
+        if other.contains_zero:
+            return Interval.top()
+        candidates = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                q = _div_bound(a, b)
+                if q is None:
+                    return Interval.top()
+                candidates.append(q)
+        return Interval(min(candidates), max(candidates))
+
+    def format(self) -> str:
+        return f"[{_fmt_bound(self.lo)}, {_fmt_bound(self.hi)}]"
+
+
+def _mul_bound(a: float, b: float) -> float:
+    if a == 0.0 or b == 0.0:
+        return 0.0  # interval convention: 0 * inf contributes 0
+    return a * b
+
+
+def _div_bound(a: float, b: float) -> float | None:
+    try:
+        q = a / b
+    except ZeroDivisionError:  # pragma: no cover - guarded by contains_zero
+        return None
+    return None if math.isnan(q) else q
+
+
+def _fmt_bound(x: float) -> str:
+    if x == _INF:
+        return "inf"
+    if x == -_INF:
+        return "-inf"
+    return f"{x:g}"
+
+
+@dataclass(frozen=True)
+class Value:
+    """Abstract value: interval, unit convention, dimension tag.
+
+    ``numeric`` records whether the interval was *derived from actual
+    value information* (seeds, literals, arithmetic over them); a
+    ``numeric=False`` value carries only a unit tag and never triggers
+    the numeric checks.
+    """
+
+    interval: Interval
+    unit: str | None = None
+    dim: str | None = None
+    numeric: bool = False
+
+    @property
+    def is_unknown(self) -> bool:
+        return (
+            not self.numeric
+            and self.unit is None
+            and self.dim is None
+            and self.interval.is_top
+        )
+
+    def join(self, other: "Value") -> "Value":
+        return Value(
+            interval=self.interval.join(other.interval),
+            unit=self.unit if self.unit == other.unit else None,
+            dim=self.dim if self.dim == other.dim else None,
+            numeric=self.numeric and other.numeric,
+        )
+
+    def widen(self, other: "Value") -> "Value":
+        return Value(
+            interval=self.interval.widen(other.interval),
+            unit=self.unit if self.unit == other.unit else None,
+            dim=self.dim if self.dim == other.dim else None,
+            numeric=self.numeric and other.numeric,
+        )
+
+
+#: The "know nothing" value stored on kills.
+UNKNOWN = Value(Interval.top())
+
+#: State type: access path (``x`` / ``self.machine.cpu_capacity``) ->
+#: abstract value.  Missing paths lazily take their seed on read.
+State = dict[str, Value]
+
+
+def _path_of(expr: ast.expr) -> str | None:
+    """Dotted access path of a Name/Attribute chain, or ``None``."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _path_of(expr.value)
+        return None if base is None else f"{base}.{expr.attr}"
+    return None
+
+
+def _module_constants(symbols: SymbolTable) -> dict[str, Value]:
+    """``{canonical_dotted: Value}`` for module-level literal numbers."""
+    consts: dict[str, Value] = {}
+    for module in symbols.project.sorted_modules():
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if (
+                value is None
+                or not isinstance(value, ast.Constant)
+                or isinstance(value.value, bool)
+                or not isinstance(value.value, (int, float))
+            ):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    consts[f"{module.name}.{target.id}"] = Value(
+                        Interval.point(float(value.value)),
+                        unit=_unit_of_name(target.id),
+                        numeric=True,
+                    )
+    return consts
+
+
+class _IntervalDomain:
+    """The dataflow domain for one function (see module docstring)."""
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        fn: FunctionInfo,
+        consts: dict[str, Value],
+    ) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.module = fn.module
+        self.consts = consts
+        #: param name -> class qualname (for attribute-path seeding).
+        self.param_classes: dict[str, str] = {}
+        #: path -> seed value computed once per function.
+        self._seed_cache: dict[str, Value | None] = {}
+        self._collect_params()
+
+    # -- seeding -----------------------------------------------------------
+
+    def _resolve(self, dotted: str) -> str:
+        return self.symbols.canonicalize(self.symbols.resolve(self.module, dotted))
+
+    def _dim_of_annotation(self, annotation: ast.expr | None) -> str | None:
+        dotted = annotation_to_dotted(annotation)
+        if dotted is None:
+            return None
+        tail = self._resolve(dotted).rsplit(".", 1)[-1]
+        return tail if tail in DIMENSIONS else None
+
+    def _class_of_annotation(self, annotation: ast.expr | None) -> str | None:
+        dotted = annotation_to_dotted(annotation)
+        if dotted is None:
+            return None
+        resolved = self._resolve(dotted)
+        return resolved if resolved in self.symbols.classes else None
+
+    def _collect_params(self) -> None:
+        args = self.fn.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            cls = self._class_of_annotation(a.annotation)
+            if cls is not None:
+                self.param_classes[a.arg] = cls
+        if self.fn.cls is not None:
+            self.param_classes.setdefault("self", self.fn.cls)
+
+    def _seed_annotated(self, name: str, annotation: ast.expr | None) -> Value | None:
+        dim = self._dim_of_annotation(annotation)
+        unit = _unit_of_name(name)
+        if dim is not None:
+            return Value(Interval(0.0, _INF), unit=unit, dim=dim, numeric=True)
+        if unit is not None:
+            return Value(Interval.top(), unit=unit)
+        return None
+
+    def seed(self, path: str) -> Value | None:
+        """Seed value for an unseen access path, or ``None``."""
+        if path not in self._seed_cache:
+            self._seed_cache[path] = self._compute_seed(path)
+        return self._seed_cache[path]
+
+    def _compute_seed(self, path: str) -> Value | None:
+        parts = path.split(".")
+        if len(parts) == 1:
+            resolved = self._resolve(parts[0])
+            return self.consts.get(resolved)
+        # Attribute chain rooted at an annotated receiver.
+        cls = self.param_classes.get(parts[0])
+        if cls is not None:
+            current = cls
+            for attr in parts[1:-1]:
+                info = self.symbols.classes.get(current)
+                if info is None:
+                    return None
+                nxt = info.attr_types.get(attr)
+                if nxt is None or nxt not in self.symbols.classes:
+                    return None
+                current = nxt
+            info = self.symbols.classes.get(current)
+            if info is None:
+                return None
+            annotation = info.attr_annotations.get(parts[-1])
+            if annotation is not None:
+                return self._seed_annotated(parts[-1], annotation)
+            return None
+        # Module-qualified constant (``metrics.THRESHOLD_PERCENT``).
+        return self.consts.get(self._resolve(path))
+
+    def lookup(self, state: State, path: str) -> Value:
+        found = state.get(path)
+        if found is not None:
+            return found
+        seeded = self.seed(path)
+        return seeded if seeded is not None else UNKNOWN
+
+    # -- Domain protocol ---------------------------------------------------
+
+    def initial(self) -> State:
+        state: State = {}
+        args = self.fn.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            seeded = self._seed_annotated(a.arg, a.annotation)
+            if seeded is not None:
+                state[a.arg] = seeded
+        return state
+
+    def join(self, a: State, b: State) -> State:
+        out: State = {}
+        for key in sorted(set(a) | set(b)):
+            out[key] = self.lookup(a, key).join(self.lookup(b, key))
+        return out
+
+    def widen(self, a: State, b: State) -> State:
+        out: State = {}
+        for key in sorted(set(a) | set(b)):
+            out[key] = self.lookup(a, key).widen(self.lookup(b, key))
+        return out
+
+    def equals(self, a: State, b: State) -> bool:
+        keys = set(a) | set(b)
+        return all(self.lookup(a, k) == self.lookup(b, k) for k in keys)
+
+    def transfer(self, state: State, stmt: ast.stmt) -> State:
+        state = dict(state)
+        self._kill_impure_calls(state, stmt)
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) == 1:
+                self._assign(state, stmt.targets[0], stmt.value)
+            else:
+                for target in stmt.targets:
+                    self._kill_target(state, target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(state, stmt.target, stmt.value)
+            else:
+                path = _path_of(stmt.target)
+                if path is not None:
+                    seeded = self._seed_annotated(
+                        path.rsplit(".", 1)[-1], stmt.annotation
+                    )
+                    self._set(state, path, seeded if seeded is not None else UNKNOWN)
+        elif isinstance(stmt, ast.AugAssign):
+            load = ast.copy_location(
+                ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value), stmt
+            )
+            value = self.eval(state, load)
+            path = _path_of(stmt.target)
+            if path is not None:
+                self._set(state, path, value if value is not None else UNKNOWN)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._kill_target(state, stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._kill_target(state, item.optional_vars)
+        elif isinstance(stmt, ast.Assert):
+            refined = self.assume(state, stmt.test, True)
+            if refined is not None:
+                state = refined
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self._set(state, stmt.name, UNKNOWN)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._kill_target(state, target)
+        return state
+
+    def assume(self, state: State, cond: ast.expr, branch: bool) -> State | None:
+        if isinstance(cond, ast.Constant):
+            if isinstance(cond.value, (bool, int, float, str)):
+                return state if bool(cond.value) == branch else None
+            return state
+        if isinstance(cond, ast.UnaryOp) and isinstance(cond.op, ast.Not):
+            return self.assume(state, cond.operand, not branch)
+        if isinstance(cond, ast.BoolOp):
+            decompose = (isinstance(cond.op, ast.And) and branch) or (
+                isinstance(cond.op, ast.Or) and not branch
+            )
+            if decompose:
+                current: State | None = state
+                for sub in cond.values:
+                    if current is None:
+                        return None
+                    current = self.assume(current, sub, branch)
+                return current
+            return state
+        if isinstance(cond, ast.Compare) and len(cond.ops) == 1:
+            return self._assume_compare(
+                state, cond.left, cond.ops[0], cond.comparators[0], branch
+            )
+        if isinstance(cond, (ast.Name, ast.Attribute)):
+            return self._assume_truthiness(state, cond, branch)
+        return state
+
+    # -- assignment helpers ------------------------------------------------
+
+    def _set(self, state: State, path: str, value: Value) -> None:
+        prefix = path + "."
+        for key in [k for k in state if k.startswith(prefix)]:
+            del state[key]
+        state[path] = value
+
+    def _kill_target(self, state: State, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._kill_target(state, elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._kill_target(state, target.value)
+            return
+        path = _path_of(target)
+        if path is not None:
+            self._set(state, path, UNKNOWN)
+        elif isinstance(target, ast.Subscript):
+            base = _path_of(target.value)
+            if base is not None:
+                self._set(state, base, UNKNOWN)
+
+    def _assign(self, state: State, target: ast.expr, value_expr: ast.expr) -> None:
+        value = self.eval(state, value_expr)
+        path = _path_of(target)
+        if path is not None:
+            self._set(state, path, value if value is not None else UNKNOWN)
+        else:
+            self._kill_target(state, target)
+
+    def _kill_impure_calls(self, state: State, stmt: ast.stmt) -> None:
+        """Kill paths a call in ``stmt`` could mutate behind our back."""
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = annotation_to_dotted(node.func)
+            if dotted in _PURE_CALLS or (
+                dotted is not None and dotted.startswith(("math.", "np.", "numpy."))
+            ):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                root = _path_of(node.func.value)
+                if root is not None:
+                    self._set(state, root.split(".", 1)[0], UNKNOWN)
+            for arg in node.args:
+                root = _path_of(arg)
+                if root is not None:
+                    self._set(state, root.split(".", 1)[0], UNKNOWN)
+
+    # -- branch refinement -------------------------------------------------
+
+    def _assume_truthiness(
+        self, state: State, expr: ast.expr, branch: bool
+    ) -> State | None:
+        path = _path_of(expr)
+        if path is None:
+            return state
+        value = self.lookup(state, path)
+        if not value.numeric:
+            return state
+        if branch:
+            # Truthy: exactly-zero is infeasible for a numeric value.
+            if value.interval.lo == 0.0 and value.interval.hi == 0.0:
+                return None
+            return state
+        met = value.interval.meet(Interval.point(0.0))
+        if met is None:
+            return None
+        state = dict(state)
+        self._set(
+            state, path, Value(met, unit=value.unit, dim=value.dim, numeric=True)
+        )
+        return state
+
+    def _assume_compare(
+        self,
+        state: State,
+        left: ast.expr,
+        op: ast.cmpop,
+        right: ast.expr,
+        branch: bool,
+    ) -> State | None:
+        if not branch:
+            flipped = _negate_op(op)
+            if flipped is None:
+                return state
+            op = flipped
+        refined: State | None = self._narrow(state, left, op, right)
+        if refined is None:
+            return None
+        mirrored = _mirror_op(op)
+        if mirrored is not None:
+            refined = self._narrow(refined, right, mirrored, left)
+        return refined
+
+    def _narrow(
+        self, state: State, expr: ast.expr, op: ast.cmpop, bound_expr: ast.expr
+    ) -> State | None:
+        """Refine ``expr`` knowing ``expr <op> bound_expr`` holds."""
+        path = _path_of(expr)
+        if path is None:
+            return state
+        bound = self.eval(state, bound_expr)
+        if bound is None or not bound.numeric:
+            return state
+        current = self.lookup(state, path)
+        interval = current.interval
+        if isinstance(op, ast.Lt):
+            constraint = Interval(-_INF, math.nextafter(bound.interval.hi, -_INF))
+        elif isinstance(op, ast.LtE):
+            constraint = Interval(-_INF, bound.interval.hi)
+        elif isinstance(op, ast.Gt):
+            constraint = Interval(math.nextafter(bound.interval.lo, _INF), _INF)
+        elif isinstance(op, ast.GtE):
+            constraint = Interval(bound.interval.lo, _INF)
+        elif isinstance(op, ast.Eq):
+            constraint = bound.interval
+        elif isinstance(op, ast.NotEq):
+            point = (
+                interval.lo == interval.hi
+                and bound.interval.lo == bound.interval.hi
+                and interval.lo == bound.interval.lo
+            )
+            return None if point else state
+        else:
+            return state
+        met = interval.meet(constraint)
+        if met is None:
+            return None
+        state = dict(state)
+        self._set(
+            state,
+            path,
+            Value(met, unit=current.unit, dim=current.dim, numeric=True),
+        )
+        return state
+
+    # -- expression evaluation ---------------------------------------------
+
+    def eval(self, state: State, expr: ast.expr) -> Value | None:
+        """Abstract value of ``expr`` in ``state``; ``None`` = unknown."""
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool) or not isinstance(
+                expr.value, (int, float)
+            ):
+                return None
+            return Value(Interval.point(float(expr.value)), numeric=True)
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            path = _path_of(expr)
+            if path is None:
+                return None
+            value = self.lookup(state, path)
+            return None if value.is_unknown else value
+        if isinstance(expr, ast.UnaryOp):
+            if isinstance(expr.op, ast.USub):
+                inner = self.eval(state, expr.operand)
+                if inner is None:
+                    return None
+                return Value(
+                    inner.interval.neg(), unit=inner.unit, dim=inner.dim,
+                    numeric=inner.numeric,
+                )
+            if isinstance(expr.op, ast.UAdd):
+                return self.eval(state, expr.operand)
+            return None
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(state, expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(state, expr)
+        if isinstance(expr, ast.IfExp):
+            a = self.eval(state, expr.body)
+            b = self.eval(state, expr.orelse)
+            if a is None or b is None:
+                return None
+            return a.join(b)
+        return None
+
+    def _eval_binop(self, state: State, expr: ast.BinOp) -> Value | None:
+        left = self.eval(state, expr.left)
+        right = self.eval(state, expr.right)
+        if left is None or right is None:
+            return None
+        numeric = left.numeric and right.numeric
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            iv = (
+                left.interval.add(right.interval)
+                if isinstance(expr.op, ast.Add)
+                else left.interval.sub(right.interval)
+            )
+            return Value(
+                iv if numeric else Interval.top(),
+                unit=left.unit if left.unit == right.unit else None,
+                dim=left.dim if left.dim == right.dim else None,
+                numeric=numeric,
+            )
+        if isinstance(expr.op, ast.Mult):
+            unit = _unit_after_scale(left, right, to_percent=True)
+            return Value(
+                left.interval.mul(right.interval) if numeric else Interval.top(),
+                unit=unit,
+                numeric=numeric,
+            )
+        if isinstance(expr.op, ast.Div):
+            unit = _unit_after_scale(left, right, to_percent=False)
+            if unit is None and left.dim is not None and left.dim == right.dim:
+                unit = "fraction"  # same-dimension ratio
+            return Value(
+                left.interval.div(right.interval) if numeric else Interval.top(),
+                unit=unit,
+                numeric=numeric,
+            )
+        return None
+
+    def _eval_call(self, state: State, call: ast.Call) -> Value | None:
+        dotted = annotation_to_dotted(call.func)
+        args = [self.eval(state, a) for a in call.args]
+        if dotted in ("max", "min") and call.args and not call.keywords:
+            known = [a.interval for a in args if a is not None and a.numeric]
+            if not known:
+                return None
+            if dotted == "max":
+                lo = max(iv.lo for iv in known)
+                hi = _INF if len(known) < len(args) else max(iv.hi for iv in known)
+            else:
+                hi = min(iv.hi for iv in known)
+                lo = -_INF if len(known) < len(args) else min(iv.lo for iv in known)
+            return Value(Interval(lo, hi), numeric=True)
+        if dotted == "abs" and len(call.args) == 1:
+            inner = args[0]
+            if inner is None or not inner.numeric:
+                return Value(Interval(0.0, _INF), numeric=True)
+            iv = inner.interval
+            lo = 0.0 if iv.contains_zero else min(abs(iv.lo), abs(iv.hi))
+            return Value(
+                Interval(lo, max(abs(iv.lo), abs(iv.hi))),
+                unit=inner.unit,
+                dim=inner.dim,
+                numeric=True,
+            )
+        if dotted in ("float", "int", "round") and len(call.args) == 1:
+            return args[0]
+        if dotted is not None:
+            resolved = self._resolve(dotted)
+            tail = resolved.rsplit(".", 1)[-1]
+            if tail in DIMENSIONS and len(call.args) == 1:
+                inner = args[0]
+                iv = (
+                    inner.interval
+                    if inner is not None and inner.numeric
+                    else Interval(0.0, _INF)
+                )
+                return Value(iv, dim=tail, numeric=True)
+            target = self.symbols.functions.get(resolved)
+            if target is not None:
+                seeded = self._return_seed(target)
+                if seeded is not None:
+                    return seeded
+        return None
+
+    def _return_seed(self, target: FunctionInfo) -> Value | None:
+        """Value implied by a callee's return annotation / name."""
+        dotted = annotation_to_dotted(target.node.returns)
+        dim = None
+        if dotted is not None:
+            tail = self.symbols.canonicalize(
+                self.symbols.resolve(target.module, dotted)
+            ).rsplit(".", 1)[-1]
+            dim = tail if tail in DIMENSIONS else None
+        unit = _unit_of_name(target.name)
+        if dim is not None:
+            return Value(Interval(0.0, _INF), unit=unit, dim=dim, numeric=True)
+        if unit is not None:
+            return Value(Interval.top(), unit=unit)
+        return None
+
+
+def _unit_after_scale(left: Value, right: Value, *, to_percent: bool) -> str | None:
+    """Unit after ``x * 100`` / ``x / 100`` style rescaling."""
+    def is_hundred(v: Value) -> bool:
+        return v.interval.lo == v.interval.hi == 100.0
+
+    if to_percent:
+        for a, b in ((left, right), (right, left)):
+            if is_hundred(b) and a.unit == "fraction":
+                return "percent"
+        return None
+    if is_hundred(right) and left.unit == "percent":
+        return "fraction"
+    return None
+
+
+def _negate_op(op: ast.cmpop) -> ast.cmpop | None:
+    table: list[tuple[type[ast.cmpop], ast.cmpop]] = [
+        (ast.Lt, ast.GtE()),
+        (ast.LtE, ast.Gt()),
+        (ast.Gt, ast.LtE()),
+        (ast.GtE, ast.Lt()),
+        (ast.Eq, ast.NotEq()),
+        (ast.NotEq, ast.Eq()),
+    ]
+    for kind, negated in table:
+        if isinstance(op, kind):
+            return negated
+    return None
+
+
+def _mirror_op(op: ast.cmpop) -> ast.cmpop | None:
+    table: list[tuple[type[ast.cmpop], ast.cmpop]] = [
+        (ast.Lt, ast.Gt()),
+        (ast.LtE, ast.GtE()),
+        (ast.Gt, ast.Lt()),
+        (ast.GtE, ast.LtE()),
+        (ast.Eq, ast.Eq()),
+        (ast.NotEq, ast.NotEq()),
+    ]
+    for kind, mirrored in table:
+        if isinstance(op, kind):
+            return mirrored
+    return None
+
+
+class _FunctionChecker:
+    """Solves one function and reports RA006 findings."""
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        fn: FunctionInfo,
+        consts: dict[str, Value],
+    ) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.domain = _IntervalDomain(symbols, fn, consts)
+        self.violations: list[Violation] = []
+
+    def check(self) -> list[Violation]:
+        cfg = build_cfg(self.fn.node)
+        entry_states = solve(cfg, self.domain)
+        for idx in sorted(entry_states):
+            state = entry_states[idx]
+            for stmt in cfg.blocks[idx].stmts:
+                self._check_stmt(state, stmt)
+                state = self.domain.transfer(state, stmt)
+            # Branch tests live on the edges, not in any block.
+            seen: set[int] = set()
+            for edge in cfg.succs(idx):
+                if edge.cond is not None and id(edge.cond) not in seen:
+                    seen.add(id(edge.cond))
+                    self._check_exprs(state, [edge.cond])
+        return self.violations
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.fn.path,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=RULE_ID,
+                message=f"{message} in {self.fn.qualname}",
+            )
+        )
+
+    # -- statement walk ----------------------------------------------------
+
+    def _stmt_exprs(self, stmt: ast.stmt) -> list[ast.expr]:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        return [node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)]
+
+    def _walk(self, roots: list[ast.expr]) -> list[ast.expr]:
+        out: list[ast.expr] = []
+        stack: list[ast.AST] = list(roots)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.expr):
+                out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _check_exprs(self, state: State, roots: list[ast.expr]) -> None:
+        for expr in self._walk(roots):
+            if isinstance(expr, ast.Call):
+                self._check_call(state, expr)
+            elif isinstance(expr, ast.BinOp):
+                self._check_binop(state, expr)
+            elif isinstance(expr, ast.Compare):
+                self._check_compare(state, expr)
+
+    def _check_stmt(self, state: State, stmt: ast.stmt) -> None:
+        self._check_exprs(state, self._stmt_exprs(stmt))
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            dim = self.domain._dim_of_annotation(self.fn.node.returns)
+            if dim is not None:
+                value = self.domain.eval(state, stmt.value)
+                if value is not None and value.numeric:
+                    self._describe_negative(
+                        stmt, value, f"returned as {dim}"
+                    )
+
+    def _describe_negative(self, node: ast.AST, value: Value, sink: str) -> None:
+        iv = value.interval
+        if iv.always_negative:
+            self._flag(node, f"always-negative resource quantity {sink} ({iv.format()})")
+        elif iv.may_be_negative:
+            self._flag(
+                node, f"possibly negative resource quantity {sink} ({iv.format()})"
+            )
+
+    def _check_call(self, state: State, call: ast.Call) -> None:
+        dotted = annotation_to_dotted(call.func)
+        if dotted is None:
+            return
+        resolved = self.domain._resolve(dotted)
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail in DIMENSIONS and len(call.args) == 1:
+            value = self.domain.eval(state, call.args[0])
+            if value is not None and value.numeric:
+                self._describe_negative(call, value, f"passed to {tail}()")
+            return
+        target = self.symbols.functions.get(resolved)
+        if target is None:
+            return
+        params = list(
+            target.node.args.posonlyargs + target.node.args.args
+        )
+        if params and params[0].arg in ("self", "cls") and target.cls is not None:
+            params = params[1:]
+        pairs: list[tuple[ast.arg, ast.expr]] = list(zip(params, call.args))
+        by_name = {p.arg: p for p in params + list(target.node.args.kwonlyargs)}
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in by_name:
+                pairs.append((by_name[kw.arg], kw.value))
+        for param, arg in pairs:
+            value = self.domain.eval(state, arg)
+            if value is None:
+                continue
+            dim = self.domain._dim_of_annotation(param.annotation)
+            if dim is not None and value.numeric:
+                self._describe_negative(
+                    arg, value, f"passed to {target.name}({param.arg}: {dim})"
+                )
+            param_unit = _unit_of_name(param.arg)
+            if (
+                param_unit is not None
+                and value.unit is not None
+                and value.unit != param_unit
+            ):
+                self._flag(
+                    arg,
+                    f"fraction/percent mixup: {value.unit} value passed to "
+                    f"{param_unit} parameter {target.name}({param.arg})",
+                )
+
+    def _check_binop(self, state: State, expr: ast.BinOp) -> None:
+        if isinstance(expr.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            divisor = self.domain.eval(state, expr.right)
+            if divisor is not None and divisor.numeric:
+                iv = divisor.interval
+                if iv.lo == 0.0 and iv.hi == 0.0:
+                    self._flag(expr, "division by zero")
+                elif iv.contains_zero and not iv.is_top:
+                    what = _path_of(expr.right) or "divisor"
+                    self._flag(
+                        expr,
+                        f"division by zero-able quantity {what} ({iv.format()}); "
+                        "guard with a > 0 check",
+                    )
+        if isinstance(expr.op, (ast.Add, ast.Sub)):
+            left = self.domain.eval(state, expr.left)
+            right = self.domain.eval(state, expr.right)
+            if (
+                left is not None
+                and right is not None
+                and left.unit is not None
+                and right.unit is not None
+                and left.unit != right.unit
+            ):
+                self._flag(
+                    expr,
+                    f"fraction/percent mixup: {left.unit} combined with "
+                    f"{right.unit}",
+                )
+
+    def _check_compare(self, state: State, expr: ast.Compare) -> None:
+        operands = [expr.left, *expr.comparators]
+        for a, b in zip(operands, operands[1:]):
+            left = self.domain.eval(state, a)
+            right = self.domain.eval(state, b)
+            if (
+                left is not None
+                and right is not None
+                and left.unit is not None
+                and right.unit is not None
+                and left.unit != right.unit
+            ):
+                self._flag(
+                    expr,
+                    f"fraction/percent mixup: comparing a {left.unit} value "
+                    f"with a {right.unit} value",
+                )
+
+
+def check_intervals(symbols: SymbolTable) -> list[Violation]:
+    """Run the RA006 interval pass over every project function."""
+    consts = _module_constants(symbols)
+    violations: list[Violation] = []
+    for qualname in sorted(symbols.functions):
+        fn = symbols.functions[qualname]
+        violations.extend(_FunctionChecker(symbols, fn, consts).check())
+    violations.sort()
+    return violations

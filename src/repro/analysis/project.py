@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.lint.engine import iter_python_files
+from repro.lint.engine import iter_python_files, parse_cached
 
 __all__ = ["SourceModule", "Project", "module_name_for_path"]
 
@@ -105,7 +105,7 @@ class Project:
         modules = []
         for virtual_path in sorted(sources):
             source = sources[virtual_path]
-            tree = ast.parse(source, filename=virtual_path)
+            tree = parse_cached(source, virtual_path)
             modules.append(
                 SourceModule(
                     name=_module_name_for_virtual(virtual_path),
@@ -142,7 +142,7 @@ class Project:
                 errors.append(f"{display}: unreadable: {exc}")
                 continue
             try:
-                tree = ast.parse(source, filename=display)
+                tree = parse_cached(source, display)
             except SyntaxError as exc:
                 errors.append(f"{display}:{exc.lineno or 0}: syntax error: {exc.msg}")
                 continue

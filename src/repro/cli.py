@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the workflows a downstream user needs without
+Eight subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
@@ -16,8 +16,10 @@ writing Python:
 * ``repro lint`` — run the reprolint simulation-correctness checks
   (rules RL001-RL008, see ``docs/static_analysis.md``);
 * ``repro analyze`` — run the whole-program analyzer (phase purity,
-  dimensional analysis, RNG flow, import cycles, dead experiments;
-  rules RA001-RA005).
+  dimensional analysis, RNG flow, import cycles, dead experiments,
+  and the dataflow passes; rules RA001-RA008);
+* ``repro check`` — lint + analyze in one run over a single parse per
+  file (the shared AST cache makes the second tool free).
 
 Examples
 --------
@@ -31,6 +33,7 @@ Examples
     REPRO_EVAL_DAYS=2 repro experiment table5
     repro lint src tests --format json
     repro analyze src/repro --passes RA001,RA002
+    repro check --format sarif
 """
 
 from __future__ import annotations
@@ -136,9 +139,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="run the whole-program analyzer (rules RA001-RA005)",
+        help="run the whole-program analyzer (rules RA001-RA008)",
     )
     add_analyze_arguments(analyze)
+
+    check = sub.add_parser(
+        "check",
+        help="run lint + analyze together over a single parse per file",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: lint ./src ./tests, "
+        "analyze ./src/repro)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="output format for the merged report (default: human)",
+    )
     return parser
 
 
@@ -259,6 +279,40 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Lint + analyze in one run; the shared AST cache in
+    :mod:`repro.lint.engine` guarantees one parse per file."""
+    from pathlib import Path
+
+    from repro.analysis.engine import PASS_SUMMARIES, analyze_paths
+    from repro.lint.engine import lint_paths
+    from repro.lint.output import render_report
+    from repro.lint.rules import rule_table
+
+    lint_targets = args.paths or [p for p in ("src", "tests") if Path(p).is_dir()]
+    if not lint_targets:
+        print("error: no paths given and no ./src or ./tests directory found")
+        return 2
+    analyze_targets = args.paths or [
+        next((p for p in ("src/repro", "src") if Path(p).is_dir()), lint_targets[0])
+    ]
+
+    report = lint_paths(lint_targets)
+    analysis = analyze_paths(analyze_targets)
+    report.violations.extend(analysis.violations)
+    report.errors.extend(analysis.errors)
+    report.violations.sort()
+
+    descriptions = dict(rule_table())
+    descriptions.update(PASS_SUMMARIES)
+    rendered = render_report(
+        report, args.format, tool_name="repro-check", rule_descriptions=descriptions
+    )
+    if rendered:
+        print(rendered)
+    return report.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -270,6 +324,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "predictors": _cmd_predictors,
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -117,7 +117,9 @@ class MetricsTimeline:
         lower bound that assumes perfect instantaneous load balancing.
         """
         if self._cursor >= self.n_steps:
-            raise IndexError("metrics timeline is full")
+            # Deliberate fail-fast (RuntimeError, not IndexError): an
+            # accidental exception type must not reach the step loop.
+            raise RuntimeError("metrics timeline is full")
         self.allocated[self._cursor] = allocated
         self.load[self._cursor] = load
         if deficit is None:

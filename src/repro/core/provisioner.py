@@ -101,6 +101,10 @@ class _ProvisionerBase:
         # key -> {center name: ledger entry} (for machine counts and
         # per-center reporting)
         self._by_center: dict[tuple[str, str, str], dict[str, _CenterAlloc]] = {}
+        # (center name, region) -> running allocation total, maintained
+        # incrementally so the per-tick accounting query returns a view
+        # instead of rebuilding a dict from a nested scan (RA008).
+        self._by_center_region: dict[tuple[str, str], np.ndarray] = {}
         self.metrics = metrics
         self.tracer = tracer
         if metrics is not None:
@@ -149,6 +153,12 @@ class _ProvisionerBase:
             per_center[center.name] = _CenterAlloc(center, vec.copy())
         else:
             entry.total += vec
+        region_key = (center.name, key[2])
+        region_total = self._by_center_region.get(region_key)
+        if region_total is None:
+            self._by_center_region[region_key] = vec.copy()
+        else:
+            region_total += vec
 
     def _drop_lease_totals(
         self, key: tuple[str, str, str], center: DataCenter, lease: Lease
@@ -159,6 +169,11 @@ class _ProvisionerBase:
         entry.total -= vec
         if not np.any(entry.total > 1e-12):
             del self._by_center[key][center.name]
+        region_key = (center.name, key[2])
+        region_total = self._by_center_region[region_key]
+        region_total -= vec
+        if not np.any(region_total > 1e-12):
+            del self._by_center_region[region_key]
 
     # -- queries -----------------------------------------------------------
 
@@ -234,14 +249,13 @@ class _ProvisionerBase:
 
     def allocation_by_center_and_region(self) -> dict[tuple[str, str], np.ndarray]:
         """Per (data center, region) allocation arrays (read-only view
-        of the internal totals; copy before mutating)."""
-        out: dict[tuple[str, str], np.ndarray] = {}
-        for (op_id, game_id, region), per_center in self._by_center.items():
-            for name, entry in per_center.items():
-                k = (name, region)
-                prev = out.get(k)
-                out[k] = entry.total.copy() if prev is None else prev + entry.total
-        return out
+        of the internal totals; copy before mutating).
+
+        Maintained incrementally by the lease ledger, so this per-tick
+        accounting query costs O(1) instead of a nested rebuild over
+        keys x centers every step.
+        """
+        return self._by_center_region
 
     def release_everything(self, step: int) -> None:
         """Teardown: force-release every lease."""
@@ -262,6 +276,7 @@ class _ProvisionerBase:
         self._heaps.clear()
         self._totals.clear()
         self._by_center.clear()
+        self._by_center_region.clear()
 
     def _apply_plan(
         self,

@@ -343,7 +343,10 @@ class DataCenter:
         """Release a lease.  Refuses (raises) before the time bulk unless
         ``force`` is set (used for simulation teardown)."""
         if lease.lease_id not in self._leases:
-            raise KeyError(f"lease {lease.lease_id} is not active in {self.name}")
+            # Deliberate fail-fast guard, not a mapping lookup: raise
+            # ValueError so the escape is distinguishable from a latent
+            # KeyError plumbing bug (RA007).
+            raise ValueError(f"lease {lease.lease_id} is not active in {self.name}")
         if not force and not lease.releasable(step):
             raise ValueError(
                 f"lease {lease.lease_id} cannot be released before step "

@@ -21,7 +21,7 @@ from pathlib import Path
 
 from repro.lint.engine import LintReport, Violation
 
-__all__ = ["BaselineError", "load_baseline", "apply_baseline"]
+__all__ = ["BaselineError", "load_baseline", "apply_baseline", "write_baseline"]
 
 #: Multiset of excused findings: ``(path, rule_id, message) -> count``.
 BaselineKey = tuple[str, str, str]
@@ -44,6 +44,11 @@ def load_baseline(path: str | Path) -> dict[BaselineKey, int]:
     """
     try:
         raw = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise BaselineError(
+            f"baseline file not found: {path} "
+            f"(record the current findings with --write-baseline {path})"
+        ) from exc
     except OSError as exc:
         raise BaselineError(f"baseline unreadable: {exc}") from exc
     try:
@@ -91,3 +96,10 @@ def apply_baseline(report: LintReport, baseline: dict[BaselineKey, int]) -> int:
             kept.append(violation)
     report.violations[:] = kept
     return filtered
+
+
+def write_baseline(report: LintReport, path: str | Path) -> None:
+    """Write ``report`` as a ``--baseline``-loadable JSON file."""
+    from repro.lint.output import format_json
+
+    Path(path).write_text(format_json(report) + "\n", encoding="utf-8")

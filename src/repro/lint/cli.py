@@ -20,7 +20,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.lint.engine import LintReport, lint_paths
-from repro.lint.output import format_human, format_json
+from repro.lint.output import render_report
 from repro.lint.rules import LintRule, get_rules, rule_table
 
 __all__ = ["add_lint_arguments", "build_parser", "run_from_args", "main"]
@@ -42,9 +42,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
-        help="output format (default: human)",
+        help="output format (default: human; sarif for CI annotation)",
     )
     parser.add_argument(
         "--list-rules",
@@ -57,6 +57,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="JSON report from a previous --format json run; findings "
         "already recorded there are filtered out (ratchet mode)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record the current findings to FILE (for later --baseline "
+        "runs) and exit 0",
     )
 
 
@@ -95,7 +102,20 @@ def run_from_args(args: argparse.Namespace) -> int:
         print("error: no paths given and no ./src or ./tests directory found")
         return 2
 
+    if args.baseline is not None and args.write_baseline is not None:
+        print("error: --baseline and --write-baseline are mutually exclusive")
+        return 2
+
     report: LintReport = lint_paths(paths, rules=rules)
+    if args.write_baseline is not None:
+        from repro.lint.baseline import write_baseline
+
+        write_baseline(report, args.write_baseline)
+        print(
+            f"wrote baseline with {len(report.violations)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
     if args.baseline is not None:
         from repro.lint.baseline import BaselineError, apply_baseline, load_baseline
 
@@ -104,7 +124,10 @@ def run_from_args(args: argparse.Namespace) -> int:
         except BaselineError as exc:
             print(f"error: {exc}")
             return 2
-    rendered = format_json(report) if args.format == "json" else format_human(report)
+    rendered = render_report(
+        report, args.format, tool_name="reprolint",
+        rule_descriptions=dict(rule_table()),
+    )
     if rendered:
         print(rendered)
     return report.exit_code

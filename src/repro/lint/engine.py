@@ -40,8 +40,38 @@ __all__ = [
     "LintReport",
     "lint_source",
     "lint_paths",
+    "parse_cached",
+    "clear_ast_cache",
     "suppression_tables",
 ]
+
+#: ``(filename, length, hash) -> tree``: one parse per file, shared
+#: between the linter and the analyzer so ``repro check`` (and any
+#: process running both) parses each source exactly once.  Trees are
+#: read-only by contract — no rule or pass mutates them.
+_AST_CACHE: dict[tuple[str, int, int], ast.Module] = {}
+_AST_CACHE_MAX = 4096
+
+
+def parse_cached(source: str, filename: str) -> ast.Module:
+    """``ast.parse`` memoized on ``(filename, source)``.
+
+    Propagates :class:`SyntaxError` exactly like ``ast.parse``; only
+    successful parses are cached.
+    """
+    key = (filename, len(source), hash(source))
+    tree = _AST_CACHE.get(key)
+    if tree is None:
+        tree = ast.parse(source, filename=filename)
+        if len(_AST_CACHE) >= _AST_CACHE_MAX:
+            _AST_CACHE.clear()  # crude but sufficient bound
+        _AST_CACHE[key] = tree
+    return tree
+
+
+def clear_ast_cache() -> None:
+    """Drop every memoized parse (for tests and long-lived sessions)."""
+    _AST_CACHE.clear()
 
 #: ``# reprolint: disable=RL001[,RL002...]`` (same-line suppression).
 _DISABLE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -54,7 +84,7 @@ _DISABLE_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)
 #: Defined here — the bottom of the layering — so neither tool has to
 #: import the other just to validate a comment.
 ANALYSIS_RULE_IDS: frozenset[str] = frozenset(
-    {"RA001", "RA002", "RA003", "RA004", "RA005"}
+    {"RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008"}
 )
 
 
@@ -216,7 +246,7 @@ def lint_source(
     active = _resolve_rules(rules)
     report = LintReport(files_checked=1)
     try:
-        tree = ast.parse(source, filename=virtual_path)
+        tree = parse_cached(source, virtual_path)
     except SyntaxError as exc:
         report.errors.append(f"{virtual_path}:{exc.lineno or 0}: syntax error: {exc.msg}")
         return report

@@ -1,6 +1,9 @@
-"""Human and JSON renderings of a :class:`~repro.lint.engine.LintReport`.
+"""Human, JSON, and SARIF renderings of a
+:class:`~repro.lint.engine.LintReport`.
 
-The JSON document is the machine contract consumed by CI annotations:
+The JSON document is the machine contract consumed by CI annotations
+and the ``--baseline`` ratchet; the SARIF 2.1.0 document is what
+``github/codeql-action/upload-sarif`` ingests so findings annotate PRs:
 
 .. code-block:: json
 
@@ -20,10 +23,11 @@ The JSON document is the machine contract consumed by CI annotations:
 from __future__ import annotations
 
 import json
+from typing import Mapping
 
 from repro.lint.engine import LintReport
 
-__all__ = ["format_human", "format_json"]
+__all__ = ["format_human", "format_json", "format_sarif", "render_report"]
 
 
 def format_human(report: LintReport) -> str:
@@ -63,3 +67,86 @@ def format_json(report: LintReport) -> str:
         "errors": list(report.errors),
     }
     return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def format_sarif(
+    report: LintReport,
+    *,
+    tool_name: str = "reprolint",
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """SARIF 2.1.0 document (the ``upload-sarif`` CI contract).
+
+    ``rule_descriptions`` maps rule ids to one-line summaries for the
+    driver's rule table; ids appearing only in findings still get an
+    entry (without a description) so every result resolves.
+    """
+    descriptions = dict(rule_descriptions or {})
+    rule_ids = sorted(set(descriptions) | {v.rule_id for v in report.violations})
+    rules = []
+    for rule_id in rule_ids:
+        entry: dict[str, object] = {"id": rule_id}
+        summary = descriptions.get(rule_id)
+        if summary is not None:
+            entry["shortDescription"] = {"text": summary}
+        rules.append(entry)
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "warning",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in report.violations
+    ]
+    doc = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": tool_name, "rules": rules}},
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.errors,
+                        "toolExecutionNotifications": [
+                            {"level": "error", "message": {"text": err}}
+                            for err in report.errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_report(
+    report: LintReport,
+    fmt: str,
+    *,
+    tool_name: str = "reprolint",
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """Dispatch on ``--format`` value (``human``/``json``/``sarif``)."""
+    if fmt == "json":
+        return format_json(report)
+    if fmt == "sarif":
+        return format_sarif(
+            report, tool_name=tool_name, rule_descriptions=rule_descriptions
+        )
+    return format_human(report)

@@ -174,11 +174,16 @@ class GameTrace:
         return self.regions[0].step_minutes if self.regions else 2.0
 
     def region(self, name: str) -> RegionTrace:
-        """Look up a region by name."""
+        """Look up a region by name.
+
+        Raises ``KeyError`` for unknown names: this *is* a mapping
+        lookup (documented contract, relied on by callers and tests),
+        not an accidental escape.
+        """
         for r in self.regions:
             if r.name == name:
                 return r
-        raise KeyError(f"no region {name!r} in trace {self.name!r}")
+        raise KeyError(f"no region {name!r} in trace {self.name!r}")  # reprolint: disable=RA007
 
     def global_players(self) -> np.ndarray:
         """Game-wide concurrent players per step."""

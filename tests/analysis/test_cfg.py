@@ -1,0 +1,122 @@
+"""CFG builder fixtures: lowering shapes, loop heads, edge conditions."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import CFG, build_cfg
+
+
+def cfg_of(body: str) -> CFG:
+    tree = ast.parse("def f():\n" + textwrap.indent(textwrap.dedent(body), "    "))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn)
+
+
+def reachable(cfg: CFG) -> set[int]:
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        for edge in cfg.succs(stack.pop()):
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                stack.append(edge.dst)
+    return seen
+
+
+def test_linear_code_is_one_block_to_exit():
+    cfg = cfg_of("x = 1\ny = 2\n")
+    assert len(cfg.blocks[cfg.entry].stmts) == 2
+    assert [e.dst for e in cfg.succs(cfg.entry)] == [cfg.exit]
+    assert cfg.succs(cfg.entry)[0].cond is None
+
+
+def test_if_branches_carry_the_condition_with_polarity():
+    cfg = cfg_of("if x > 0:\n    y = 1\nz = 2\n")
+    edges = cfg.succs(cfg.entry)
+    assert len(edges) == 2
+    assert all(isinstance(e.cond, ast.Compare) for e in edges)
+    assert sorted(e.assume for e in edges) == [False, True]
+
+
+def test_if_else_joins_both_arms():
+    cfg = cfg_of("if c:\n    x = 1\nelse:\n    x = 2\ny = 3\n")
+    then_dst, else_dst = (e.dst for e in cfg.succs(cfg.entry))
+    after_then = {e.dst for e in cfg.succs(then_dst)}
+    after_else = {e.dst for e in cfg.succs(else_dst)}
+    assert after_then == after_else  # both arms join in one block
+
+
+def test_while_marks_loop_head_and_back_edge():
+    cfg = cfg_of("while x < 3:\n    x = x + 1\ny = 1\n")
+    assert len(cfg.loop_heads) == 1
+    head = next(iter(cfg.loop_heads))
+    out = cfg.succs(head)
+    assert sorted(e.assume for e in out) == [False, True]
+    body = next(e.dst for e in out if e.assume)
+    assert head in {e.dst for e in cfg.succs(body)}  # back edge
+
+
+def test_for_header_is_the_head_blocks_statement():
+    cfg = cfg_of("for i in xs:\n    y = i\nz = 1\n")
+    head = next(iter(cfg.loop_heads))
+    assert len(cfg.blocks[head].stmts) == 1
+    assert isinstance(cfg.blocks[head].stmts[0], ast.For)
+    # For edges carry no condition (iteration is opaque).
+    assert all(e.cond is None for e in cfg.succs(head))
+
+
+def test_return_ends_the_path_and_trailing_code_is_unreachable():
+    cfg = cfg_of("return 1\nx = 2\n")
+    live = reachable(cfg)
+    orphans = [b.idx for b in cfg.blocks if b.idx not in live and b.stmts]
+    assert len(orphans) == 1  # the `x = 2` block has no incoming edges
+    assert not cfg.preds(orphans[0])
+
+
+def test_break_exits_the_loop():
+    cfg = cfg_of("while True:\n    break\nx = 1\n")
+    head = next(iter(cfg.loop_heads))
+    after = next(e.dst for e in cfg.succs(head) if not e.assume)
+    # The break block jumps straight to `after`.
+    assert any(
+        after in {e.dst for e in cfg.succs(b.idx)}
+        for b in cfg.blocks
+        if b.idx not in (cfg.entry, head)
+    )
+
+
+def test_continue_jumps_to_the_loop_head():
+    cfg = cfg_of("while c:\n    if d:\n        continue\n    x = 1\n")
+    head = next(iter(cfg.loop_heads))
+    assert len(cfg.preds(head)) >= 3  # entry, continue, body fall-through
+
+
+def test_try_handler_entered_from_before_and_after_body():
+    cfg = cfg_of(
+        """
+        try:
+            x = 1
+        except ValueError:
+            y = 2
+        z = 3
+        """
+    )
+    handler_blocks = [
+        b.idx
+        for b in cfg.blocks
+        if b.stmts
+        and isinstance(b.stmts[0], ast.Assign)
+        and isinstance(b.stmts[0].targets[0], ast.Name)
+        and b.stmts[0].targets[0].id == "y"
+    ]
+    assert len(handler_blocks) == 1
+    assert len(cfg.preds(handler_blocks[0])) == 2  # pre-try and body-out
+
+
+def test_with_header_stays_visible_and_body_is_inline():
+    cfg = cfg_of("with open_ctx() as h:\n    x = h\ny = 1\n")
+    entry_stmts = cfg.blocks[cfg.entry].stmts
+    assert isinstance(entry_stmts[0], ast.With)
+    # Body lowered inline: the assignment follows in the same block.
+    assert isinstance(entry_stmts[1], ast.Assign)

@@ -28,11 +28,16 @@ def test_cli_subcommand_is_wired():
     assert repro_main(["analyze", SRC]) == 0
 
 
-def test_list_passes_prints_all_five(capsys):
+def test_list_passes_prints_all_eight(capsys):
     assert main(["--list-passes"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RA001", "RA002", "RA003", "RA004", "RA005"):
-        assert rule_id in out
+    for n in range(1, 9):
+        assert f"RA00{n}" in out
+
+
+def test_dataflow_passes_run_clean_on_the_real_tree():
+    report = analyze_paths([SRC], root=REPO_ROOT, passes=["RA006", "RA007", "RA008"])
+    assert report.ok, "\n" + format_human(report)
 
 
 def test_json_output_is_machine_readable(capsys):

@@ -1,0 +1,146 @@
+"""Worklist solver fixtures: convergence, widening termination,
+infeasible-edge pruning, and the FixpointError backstop."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import FixpointError, solve
+
+INF = float("inf")
+
+#: Toy state: the interval of variable ``x`` as a ``(lo, hi)`` pair.
+XState = tuple[float, float]
+
+
+class XIntervalDomain:
+    """Single-variable interval domain — just enough Python to analyze
+    the counting-loop fixtures below (``x = C``, ``x = x + C``,
+    comparisons of ``x`` against constants)."""
+
+    def initial(self) -> XState:
+        return (-INF, INF)
+
+    def join(self, a: XState, b: XState) -> XState:
+        return (min(a[0], b[0]), max(a[1], b[1]))
+
+    def widen(self, a: XState, b: XState) -> XState:
+        lo = a[0] if b[0] >= a[0] else -INF
+        hi = a[1] if b[1] <= a[1] else INF
+        return (lo, hi)
+
+    def transfer(self, state: XState, stmt: ast.stmt) -> XState:
+        if not isinstance(stmt, ast.Assign):
+            return state
+        target = stmt.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "x"):
+            return state
+        value = stmt.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, (int, float)):
+            return (float(value.value), float(value.value))
+        if (
+            isinstance(value, ast.BinOp)
+            and isinstance(value.op, ast.Add)
+            and isinstance(value.left, ast.Name)
+            and value.left.id == "x"
+            and isinstance(value.right, ast.Constant)
+        ):
+            step = float(value.right.value)
+            return (state[0] + step, state[1] + step)
+        return (-INF, INF)
+
+    def assume(self, state: XState, cond: ast.expr, branch: bool) -> XState | None:
+        if isinstance(cond, ast.Constant):
+            return state if bool(cond.value) == branch else None
+        if not (
+            isinstance(cond, ast.Compare)
+            and len(cond.ops) == 1
+            and isinstance(cond.comparators[0], ast.Constant)
+            and isinstance(cond.left, ast.Name)
+            and cond.left.id == "x"
+        ):
+            return state
+        bound = float(cond.comparators[0].value)
+        op = cond.ops[0]
+        lo, hi = state
+        if isinstance(op, ast.Lt):
+            lo, hi = (lo, min(hi, bound - 1)) if branch else (max(lo, bound), hi)
+        elif isinstance(op, ast.GtE):
+            lo, hi = (max(lo, bound), hi) if branch else (lo, min(hi, bound - 1))
+        else:
+            return state
+        return None if lo > hi else (lo, hi)
+
+    def equals(self, a: XState, b: XState) -> bool:
+        return a == b
+
+
+def fn_cfg(body: str) -> CFG:
+    tree = ast.parse("def f():\n" + textwrap.indent(textwrap.dedent(body), "    "))
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return build_cfg(fn)
+
+
+def exit_state(cfg: CFG, states: dict[int, XState]) -> XState:
+    return states[cfg.exit]
+
+
+def test_straight_line_constant_propagates_to_exit():
+    cfg = fn_cfg("x = 0\nx = x + 2\n")
+    states = solve(cfg, XIntervalDomain())
+    assert exit_state(cfg, states) == (2.0, 2.0)
+
+
+def test_join_at_if_merge_is_the_hull():
+    cfg = fn_cfg("if c:\n    x = 1\nelse:\n    x = 5\n")
+    states = solve(cfg, XIntervalDomain())
+    assert exit_state(cfg, states) == (1.0, 5.0)
+
+
+def test_counting_loop_terminates_via_widening_and_narrows_on_exit():
+    """The canonical widening fixture: ``x`` climbs without bound inside
+    the loop, widening blows the upper bound to +inf at the loop head,
+    and the exit edge's ``x >= 10`` (negation of ``x < 10``) narrows the
+    after-loop state back to a finite lower bound."""
+    cfg = fn_cfg("x = 0\nwhile x < 10:\n    x = x + 1\n")
+    states = solve(cfg, XIntervalDomain(), widen_after=3)
+    head = next(iter(cfg.loop_heads))
+    assert states[head] == (0.0, INF)  # widened, not enumerated to 10
+    assert exit_state(cfg, states) == (10.0, INF)  # narrowed by not(x < 10)
+
+
+def test_while_true_loop_terminates_and_exit_is_unreachable():
+    cfg = fn_cfg("x = 0\nwhile True:\n    x = x + 1\n")
+    states = solve(cfg, XIntervalDomain(), widen_after=3)
+    # assume(True, branch=False) is infeasible -> exit never receives a state.
+    assert cfg.exit not in states
+    head = next(iter(cfg.loop_heads))
+    assert states[head][1] == INF
+
+
+def test_without_widening_the_solver_hits_the_iteration_cap():
+    """Same loop, widening effectively disabled: every iteration grows
+    the head interval by 1, so the cap must fire — this is the property
+    that makes widening load-bearing rather than decorative."""
+    cfg = fn_cfg("x = 0\nwhile x < 1000000:\n    x = x + 1\n")
+    with pytest.raises(FixpointError, match="no fixed point"):
+        solve(cfg, XIntervalDomain(), widen_after=10**9, max_steps=200)
+
+
+def test_infeasible_branch_is_pruned():
+    cfg = fn_cfg("x = 5\nif x < 3:\n    x = 0\n")
+    states = solve(cfg, XIntervalDomain())
+    then_block = next(e.dst for e in cfg.succs(cfg.entry) if e.assume)
+    assert then_block not in states  # x == 5 makes x < 3 infeasible
+    assert exit_state(cfg, states) == (5.0, 5.0)
+
+
+def test_unreachable_code_gets_no_state():
+    cfg = fn_cfg("x = 1\nreturn\nx = 2\n")
+    states = solve(cfg, XIntervalDomain())
+    orphans = [b.idx for b in cfg.blocks if b.stmts and b.idx not in states]
+    assert len(orphans) == 1
+    assert exit_state(cfg, states) == (1.0, 1.0)

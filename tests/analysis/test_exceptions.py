@@ -1,0 +1,188 @@
+"""RA007 exception-flow fixtures.
+
+Positive fixtures seed an accidental builtin exception that can escape
+the step-loop root uncaught (or an over-broad handler) and assert the
+file:line; negative fixtures prove deliberate raises, covering
+handlers, and unreachable code stay silent.
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.exceptions import check_exceptions
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+ROOT = ("repro.core.sim.Sim.run",)
+HELPER = "src/repro/core/helper.py"
+
+
+def violations(sources, roots=ROOT, boundary=()):
+    project = Project.from_sources(sources)
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_exceptions(
+        symbols, graph, roots=roots, boundary_prefixes=boundary
+    )
+
+
+def sim(body):
+    """A step-loop root whose helper has ``body`` as its suite."""
+    return {
+        "src/repro/core/sim.py": (
+            "from repro.core.helper import helper\n"
+            "class Sim:\n"
+            "    def run(self):\n"
+            "        helper()\n"
+        ),
+        HELPER: body,
+    }
+
+
+def test_accidental_keyerror_escaping_the_root_is_flagged():
+    found = violations(sim("def helper():\n    raise KeyError('missing')\n"))
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA007"
+    assert (v.path, v.line) == (HELPER, 2)
+    assert "KeyError" in v.message
+    assert "Sim.run" in v.message  # chain back to the root
+
+
+def test_caught_at_the_call_site_is_silent():
+    found = violations(
+        {
+            "src/repro/core/sim.py": (
+                "from repro.core.helper import helper\n"
+                "class Sim:\n"
+                "    def run(self):\n"
+                "        try:\n"
+                "            helper()\n"
+                "        except KeyError:\n"
+                "            pass\n"
+            ),
+            HELPER: "def helper():\n    raise KeyError('missing')\n",
+        }
+    )
+    assert found == []
+
+
+def test_base_class_handler_covers_the_subclass():
+    found = violations(
+        {
+            "src/repro/core/sim.py": (
+                "from repro.core.helper import helper\n"
+                "class Sim:\n"
+                "    def run(self):\n"
+                "        try:\n"
+                "            helper()\n"
+                "        except LookupError:\n"
+                "            pass\n"
+            ),
+            HELPER: "def helper():\n    raise IndexError(0)\n",
+        }
+    )
+    assert found == []
+
+
+def test_handler_in_the_same_function_is_silent():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    try:\n"
+            "        raise KeyError('k')\n"
+            "    except KeyError:\n"
+            "        pass\n"
+        )
+    )
+    assert found == []
+
+
+def test_project_defined_exception_is_deliberate():
+    found = violations(
+        sim(
+            "class SimError(Exception):\n"
+            "    pass\n"
+            "def helper():\n"
+            "    raise SimError('by design')\n"
+        )
+    )
+    assert found == []
+
+
+def test_valueerror_is_a_deliberate_policy_raise():
+    found = violations(sim("def helper():\n    raise ValueError('bad arg')\n"))
+    assert found == []
+
+
+def test_bare_raise_rethrows_the_caught_accidental_type():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    try:\n"
+            "        raise IndexError(0)\n"
+            "    except IndexError:\n"
+            "        raise\n"
+        )
+    )
+    assert len(found) == 1
+    assert "IndexError" in found[0].message
+
+
+def test_overbroad_bare_except_is_flagged_with_location():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "def work():\n"
+            "    pass\n"
+        )
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert (v.path, v.line) == (HELPER, 4)
+    assert "broad" in v.message
+
+
+def test_broad_except_that_reraises_is_silent():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        raise\n"
+            "def work():\n"
+            "    pass\n"
+        )
+    )
+    assert found == []
+
+
+def test_unreachable_function_is_not_flagged():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    pass\n"
+            "def orphan():\n"
+            "    raise KeyError('never called')\n"
+        )
+    )
+    assert found == []
+
+
+def test_boundary_module_is_exempt():
+    found = violations(
+        {
+            "src/repro/core/sim.py": (
+                "from repro.obs.sink import emit\n"
+                "class Sim:\n"
+                "    def run(self):\n"
+                "        emit()\n"
+            ),
+            "src/repro/obs/sink.py": "def emit():\n    raise KeyError('obs')\n",
+        },
+        boundary=("repro.obs",),
+    )
+    assert found == []

@@ -1,0 +1,177 @@
+"""RA008 hot-path cost fixtures.
+
+Positive fixtures seed a quadratic scan or per-tick allocation into a
+function reachable from the step loop and assert file:line; negative
+fixtures prove range-bounded loops, setup-phase code, and unreachable
+functions stay silent.
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.hotpath import check_hotpath
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+ROOT = ("repro.core.sim.Sim.run",)
+HELPER = "src/repro/core/helper.py"
+
+
+def violations(sources, roots=ROOT, boundary=()):
+    project = Project.from_sources(sources)
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_hotpath(
+        symbols, graph, roots=roots, boundary_prefixes=boundary
+    )
+
+
+def sim(body):
+    """A step-loop root whose helper has ``body`` as its suite."""
+    return {
+        "src/repro/core/sim.py": (
+            "from repro.core.helper import helper\n"
+            "class Sim:\n"
+            "    def run(self):\n"
+            "        helper()\n"
+        ),
+        HELPER: body,
+    }
+
+
+def test_nested_unbounded_loops_are_flagged_with_location():
+    found = violations(
+        sim(
+            "def helper(games, regions):\n"
+            "    for g in games:\n"
+            "        for r in regions:\n"
+            "            g.touch(r)\n"
+        )
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA008"
+    assert (v.path, v.line) == (HELPER, 3)
+    assert "nested" in v.message.lower()
+
+
+def test_range_bounded_outer_loop_is_fine():
+    found = violations(
+        sim(
+            "def helper(regions):\n"
+            "    for k in range(3):\n"
+            "        for r in regions:\n"
+            "            r.touch(k)\n"
+        )
+    )
+    assert found == []
+
+
+def test_while_wrapping_unbounded_for_is_flagged():
+    found = violations(
+        sim(
+            "def helper(queue, items):\n"
+            "    while queue:\n"
+            "        for item in items:\n"
+            "            item.poll()\n"
+        )
+    )
+    assert len(found) == 1
+    assert found[0].line == 3
+
+
+def test_sorted_copy_inside_a_loop_is_flagged():
+    found = violations(
+        sim(
+            "def helper(ticks, leases):\n"
+            "    for t in ticks:\n"
+            "        best = sorted(leases)\n"
+            "        use(best)\n"
+            "def use(x):\n"
+            "    pass\n"
+        )
+    )
+    assert len(found) == 1
+    assert found[0].line == 3
+    assert "sorted" in found[0].message
+
+
+def test_comprehension_inside_a_loop_is_flagged():
+    found = violations(
+        sim(
+            "def helper(ticks, leases):\n"
+            "    for t in ticks:\n"
+            "        live = [x for x in leases if x.ok]\n"
+            "        use(live)\n"
+            "def use(x):\n"
+            "    pass\n"
+        )
+    )
+    assert len(found) == 1
+    assert found[0].line == 3
+
+
+def test_double_generator_comprehension_is_flagged_without_a_loop():
+    found = violations(
+        sim(
+            "def helper(games, regions):\n"
+            "    return [(g, r) for g in games for r in regions]\n"
+        )
+    )
+    assert len(found) == 1
+    assert found[0].line == 2
+
+
+def test_membership_against_list_annotated_value_is_flagged():
+    found = violations(
+        sim(
+            "def helper(lease, active: list) -> bool:\n"
+            "    return lease in active\n"
+        )
+    )
+    assert len(found) == 1
+    assert found[0].line == 2
+    assert "list" in found[0].message
+
+
+def test_membership_against_set_annotated_value_is_fine():
+    found = violations(
+        sim(
+            "def helper(lease, active: set) -> bool:\n"
+            "    return lease in active\n"
+        )
+    )
+    assert found == []
+
+
+def test_setup_function_is_exempt_and_not_traversed():
+    # install() may do the quadratic work once; nothing it calls is hot.
+    found = violations(
+        sim(
+            "def helper(centers):\n"
+            "    install(centers)\n"
+            "def install(centers):\n"
+            "    for a in centers:\n"
+            "        for b in centers:\n"
+            "            link(a, b)\n"
+            "def link(a, b):\n"
+            "    rebuild(a)\n"
+            "def rebuild(a):\n"
+            "    for x in a.parts:\n"
+            "        for y in a.parts:\n"
+            "            x.join(y)\n"
+        )
+    )
+    assert found == []
+
+
+def test_unreachable_function_is_not_flagged():
+    found = violations(
+        sim(
+            "def helper(x):\n"
+            "    return x\n"
+            "def orphan(games, regions):\n"
+            "    for g in games:\n"
+            "        for r in regions:\n"
+            "            g.touch(r)\n"
+        )
+    )
+    assert found == []

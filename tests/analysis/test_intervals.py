@@ -1,0 +1,153 @@
+"""RA006 interval-safety fixtures.
+
+Each positive fixture seeds one provable violation (negative resource
+quantity, zero-able divisor, percent/fraction mixup) and asserts the
+finding lands on the right file and line; the negative fixtures prove
+guards, clamps, and genuinely unknown values stay silent.
+"""
+
+from repro.analysis.intervals import check_intervals
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+PATH = "src/repro/core/mod.py"
+
+
+def violations(source, extra=None):
+    sources = {PATH: source}
+    if extra:
+        sources.update(extra)
+    return check_intervals(SymbolTable(Project.from_sources(sources)))
+
+
+def test_always_negative_resource_constructor_is_flagged():
+    found = violations("def f() -> None:\n    c = Cpu(-5.0)\n")
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA006"
+    assert (v.path, v.line) == (PATH, 2)
+    assert "negative" in v.message and "Cpu" in v.message
+
+
+def test_possibly_negative_subtraction_into_constructor_is_flagged():
+    found = violations(
+        "def f(cap: Cpu) -> Cpu:\n"
+        "    return Cpu(cap - 10.0)\n"
+    )
+    assert any(
+        v.line == 2 and "negative" in v.message for v in found
+    ), [v.message for v in found]
+
+
+def test_max_clamp_suppresses_the_negative_range():
+    found = violations(
+        "def f(cap: Cpu) -> Cpu:\n"
+        "    return Cpu(max(cap - 10.0, 0.0))\n"
+    )
+    assert found == []
+
+
+def test_branch_guard_suppresses_the_negative_range():
+    found = violations(
+        "def f(cap: Cpu) -> Cpu:\n"
+        "    if cap >= 10.0:\n"
+        "        return Cpu(cap - 10.0)\n"
+        "    return Cpu(0.0)\n"
+    )
+    assert found == []
+
+
+def test_division_by_zero_able_capacity_is_flagged():
+    found = violations(
+        "def f(used: Cpu, cap: Cpu) -> float:\n"
+        "    return used / cap\n"
+    )
+    assert len(found) == 1
+    assert found[0].line == 2
+    assert "zero" in found[0].message
+
+
+def test_positivity_guard_makes_the_division_safe():
+    found = violations(
+        "def f(used: Cpu, cap: Cpu) -> float:\n"
+        "    if cap > 0:\n"
+        "        return used / cap\n"
+        "    return 0.0\n"
+    )
+    assert found == []
+
+
+def test_division_by_literal_zero_is_flagged():
+    found = violations("def f(x: float) -> float:\n    return x / 0.0\n")
+    assert len(found) == 1
+    assert "zero" in found[0].message
+
+
+def test_percent_fraction_mixup_in_comparison_is_flagged():
+    found = violations(
+        "SAFETY_MARGIN_PERCENT = 25.0\n"
+        "def f(load_fraction: float) -> bool:\n"
+        "    return load_fraction > SAFETY_MARGIN_PERCENT\n"
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.line == 3
+    assert "fraction" in v.message and "percent" in v.message
+
+
+def test_percent_fraction_mixup_in_addition_is_flagged():
+    found = violations(
+        "def f(a_fraction: float, b_percent: float) -> float:\n"
+        "    return a_fraction + b_percent\n"
+    )
+    assert len(found) == 1
+    assert found[0].line == 2
+
+
+def test_explicit_conversion_reconciles_the_units():
+    found = violations(
+        "SAFETY_MARGIN_PERCENT = 25.0\n"
+        "def f(load_fraction: float) -> bool:\n"
+        "    return load_fraction * 100.0 > SAFETY_MARGIN_PERCENT\n"
+    )
+    assert found == []
+
+
+def test_unknown_values_never_flag():
+    # x is unconstrained: flagging Cpu(x) would drown real findings.
+    found = violations("def f(x):\n    return Cpu(x)\n")
+    assert found == []
+
+
+def test_negative_literal_argument_to_dim_parameter_is_flagged():
+    found = violations(
+        "def g(c: Cpu) -> None:\n"
+        "    pass\n"
+        "def f() -> None:\n"
+        "    g(-1.0)\n"
+    )
+    assert len(found) == 1
+    assert found[0].line == 4
+    assert "negative" in found[0].message
+
+
+def test_widening_terminates_on_growth_loop_without_false_positive():
+    # cap starts >= 0 and only grows: widening must terminate the solve
+    # and the lower bound must survive widening (no negative report).
+    found = violations(
+        "def f(cap: Cpu) -> Cpu:\n"
+        "    while cap < 100.0:\n"
+        "        cap = cap + 1.0\n"
+        "    return Cpu(cap)\n"
+    )
+    assert found == []
+
+
+def test_loop_that_can_go_negative_is_still_caught():
+    found = violations(
+        "def f(cap: Cpu) -> Cpu:\n"
+        "    while cap > -50.0:\n"
+        "        cap = cap - 1.0\n"
+        "    return Cpu(cap)\n"
+    )
+    assert any("negative" in v.message for v in found)

@@ -118,7 +118,7 @@ class TestMetricsTimeline:
     def test_overfull_timeline_raises(self):
         tl = self.make(1)
         tl.record(np.zeros(4), np.zeros(4), machines=0)
-        with pytest.raises(IndexError):
+        with pytest.raises(RuntimeError, match="full"):
             tl.record(np.zeros(4), np.zeros(4), machines=0)
 
     def test_per_resource_independence(self):

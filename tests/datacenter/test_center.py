@@ -124,7 +124,7 @@ class TestRelease:
         c = make_center()
         lease = c.allocate("op", "g", ResourceVector(cpu=0.25), step=0)
         c.release(lease, step=0, force=True)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="not active"):
             c.release(lease, step=0, force=True)
 
     def test_release_all(self):

@@ -1,0 +1,59 @@
+"""The shared AST cache: one parse per file across lint + analyze."""
+
+import ast
+
+import pytest
+
+from repro.analysis.engine import analyze_paths
+from repro.lint.engine import clear_ast_cache, lint_paths, parse_cached
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_ast_cache()
+    yield
+    clear_ast_cache()
+
+
+def test_identical_source_returns_the_same_tree():
+    a = parse_cached("x = 1\n", "m.py")
+    assert parse_cached("x = 1\n", "m.py") is a
+
+
+def test_changed_source_or_filename_misses():
+    a = parse_cached("x = 1\n", "m.py")
+    assert parse_cached("x = 2\n", "m.py") is not a
+    assert parse_cached("x = 1\n", "n.py") is not a
+
+
+def test_clear_drops_memoized_trees():
+    a = parse_cached("x = 1\n", "m.py")
+    clear_ast_cache()
+    assert parse_cached("x = 1\n", "m.py") is not a
+
+
+def test_syntax_errors_propagate_and_are_not_cached():
+    with pytest.raises(SyntaxError):
+        parse_cached("def broken(:\n", "m.py")
+    with pytest.raises(SyntaxError):  # still raises on the retry
+        parse_cached("def broken(:\n", "m.py")
+
+
+def test_lint_then_analyze_parses_each_file_once(tmp_path, monkeypatch):
+    target = tmp_path / "src" / "repro" / "core"
+    target.mkdir(parents=True)
+    (target / "mod.py").write_text("def f() -> int:\n    return 1\n")
+
+    real_parse = ast.parse
+    parsed: list[str] = []
+
+    def counting(source, *args, **kwargs):
+        filename = kwargs.get("filename", args[0] if args else "<unknown>")
+        parsed.append(str(filename))
+        return real_parse(source, *args, **kwargs)
+
+    monkeypatch.setattr(ast, "parse", counting)
+    lint_paths([tmp_path], root=tmp_path)
+    analyze_paths([tmp_path], root=tmp_path)
+    ours = [f for f in parsed if f.endswith("mod.py")]
+    assert len(ours) == 1  # the analyzer reused the linter's parse

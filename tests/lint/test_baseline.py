@@ -92,3 +92,67 @@ def test_cli_exit_codes(tmp_path, capsys):
     capsys.readouterr()
     assert main([str(tmp_path), "--baseline", str(tmp_path / "missing.json")]) == 2
     capsys.readouterr()
+
+def test_missing_baseline_error_includes_write_baseline_hint(tmp_path, capsys):
+    write_tree(tmp_path)
+    missing = tmp_path / "missing.json"
+    assert main([str(tmp_path), "--baseline", str(missing)]) == 2
+    out = capsys.readouterr().out
+    assert "baseline file not found" in out
+    assert f"--write-baseline {missing}" in out
+
+
+def test_write_baseline_roundtrips_to_a_clean_run(tmp_path, capsys):
+    write_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(tmp_path), "--write-baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote baseline" in out
+    # The written file is a loadable report and gates the same tree to 0.
+    assert load_baseline(baseline)
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+
+
+def test_baseline_and_write_baseline_are_mutually_exclusive(tmp_path, capsys):
+    write_tree(tmp_path)
+    path = tmp_path / "b.json"
+    args = [str(tmp_path), "--baseline", str(path), "--write-baseline", str(path)]
+    assert main(args) == 2
+    assert "mutually exclusive" in capsys.readouterr().out
+
+
+def _pragma_source(rule_id):
+    lines = BAD.splitlines()
+    lines[1] += f"  # reprolint: disable={rule_id}"
+    return "\n".join(lines) + "\n"
+
+
+def test_pragma_suppressed_finding_goes_stale_in_the_baseline(tmp_path):
+    mod = write_tree(tmp_path)
+    rule_id = lint_paths([tmp_path], root=tmp_path).violations[0].rule_id
+    baseline = load_baseline(baseline_for(tmp_path))
+    # The author silences the line with a pragma: lint stops reporting
+    # it before the baseline is even consulted, and the now-stale
+    # baseline entry must not resurrect it or excuse anything else.
+    mod.write_text(_pragma_source(rule_id))
+    report = lint_paths([tmp_path], root=tmp_path)
+    assert report.violations == []
+    assert apply_baseline(report, baseline) == 0
+    assert report.violations == []
+
+
+def test_pragma_era_baseline_does_not_excuse_the_unsuppressed_finding(tmp_path):
+    # Baseline recorded while the pragma was active holds zero entries;
+    # deleting the pragma must resurface the finding despite --baseline.
+    mod = write_tree(tmp_path)
+    rule_id = lint_paths([tmp_path], root=tmp_path).violations[0].rule_id
+    mod.write_text(_pragma_source(rule_id))
+    report = lint_paths([tmp_path], root=tmp_path)
+    assert report.violations == []
+    path = tmp_path / "baseline.json"
+    path.write_text(format_json(report))
+    mod.write_text(BAD)  # pragma removed
+    report = lint_paths([tmp_path], root=tmp_path)
+    apply_baseline(report, load_baseline(path))
+    assert len(report.violations) == 1
+    assert report.violations[0].rule_id == rule_id

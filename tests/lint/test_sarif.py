@@ -1,0 +1,89 @@
+"""SARIF output: the document shape the CI ``upload-sarif`` step consumes."""
+
+import json
+
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import lint_paths
+from repro.lint.output import format_sarif, render_report
+from repro.lint.rules import rule_table
+
+BAD = "import random\nx = random.randint(0, 3)\n"
+
+
+def write_tree(tmp_path):
+    target = tmp_path / "src" / "repro" / "core"
+    target.mkdir(parents=True)
+    (target / "mod.py").write_text(BAD)
+
+
+def sarif_doc(tmp_path):
+    write_tree(tmp_path)
+    report = lint_paths([tmp_path], root=tmp_path)
+    assert report.violations
+    doc = json.loads(
+        format_sarif(report, rule_descriptions=dict(rule_table()))
+    )
+    return report, doc
+
+
+def test_document_envelope_is_sarif_2_1_0(tmp_path):
+    _, doc = sarif_doc(tmp_path)
+    assert doc["version"] == "2.1.0"
+    assert "sarif" in doc["$schema"]
+    assert len(doc["runs"]) == 1
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "reprolint"
+
+
+def test_results_carry_rule_file_and_line(tmp_path):
+    report, doc = sarif_doc(tmp_path)
+    violation = report.violations[0]
+    result = doc["runs"][0]["results"][0]
+    assert result["ruleId"] == violation.rule_id
+    assert violation.message in result["message"]["text"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("mod.py")
+    assert location["region"]["startLine"] == violation.line
+    assert location["region"]["startColumn"] == violation.col + 1  # 1-based
+
+
+def test_every_reported_rule_resolves_in_the_driver_table(tmp_path):
+    report, doc = sarif_doc(tmp_path)
+    declared = {rule["id"] for rule in doc["runs"][0]["tool"]["driver"]["rules"]}
+    assert {v.rule_id for v in report.violations} <= declared
+
+
+def test_clean_report_has_empty_results_and_successful_invocation(tmp_path):
+    (tmp_path / "ok.py").write_text("def f() -> int:\n    return 1\n")
+    report = lint_paths([tmp_path], root=tmp_path)
+    doc = json.loads(format_sarif(report))
+    run = doc["runs"][0]
+    assert run["results"] == []
+    assert run["invocations"][0]["executionSuccessful"] is True
+
+
+def test_render_report_dispatches_sarif(tmp_path):
+    write_tree(tmp_path)
+    report = lint_paths([tmp_path], root=tmp_path)
+    rendered = render_report(report, "sarif", tool_name="reprolint")
+    assert json.loads(rendered)["version"] == "2.1.0"
+
+
+def test_lint_cli_emits_sarif_and_keeps_the_exit_code(tmp_path, capsys):
+    write_tree(tmp_path)
+    assert lint_main([str(tmp_path), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"]
+
+
+def test_analyze_cli_emits_sarif(tmp_path, capsys):
+    from repro.analysis.cli import main as analyze_main
+
+    bad = tmp_path / "src" / "repro" / "core" / "mod.py"
+    bad.parent.mkdir(parents=True)
+    for pkg in (bad.parent, bad.parent.parent):
+        (pkg / "__init__.py").write_text("")
+    bad.write_text("import random\nRNG = random.Random(1)\nX = random.Random(2)\n")
+    assert analyze_main([str(tmp_path), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-analyze"
+    assert any(r["ruleId"].startswith("RA") for r in doc["runs"][0]["results"])

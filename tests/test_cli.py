@@ -115,3 +115,72 @@ class TestObservabilityFlags:
         assert "sim.steps" in out
         assert "Per-phase wall clock" in out
         assert "reconcile" in out
+
+
+class TestCheck:
+    """``repro check``: lint + analyze merged over one parse per file."""
+
+    @staticmethod
+    def _seed_tree(tmp_path, source):
+        bad = tmp_path / "src" / "repro" / "core" / "mod.py"
+        bad.parent.mkdir(parents=True)
+        for pkg in (bad.parent, bad.parent.parent):
+            (pkg / "__init__.py").write_text("")
+        bad.write_text(source)
+        return bad
+
+    def test_merges_lint_and_analysis_findings(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        self._seed_tree(
+            tmp_path,
+            "import random\n"
+            "x = random.randint(0, 3)\n"  # RL finding (unseeded RNG call)
+            "RNG = random.Random(1)\n"
+            "OTHER = random.Random(2)\n",  # RA003 finding (second stream)
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        rules = {v["rule"] for v in doc["violations"]}
+        assert any(r.startswith("RL") for r in rules)
+        assert any(r.startswith("RA") for r in rules)
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys, monkeypatch):
+        self._seed_tree(tmp_path, "def f() -> int:\n    return 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["check"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_sarif_format_uses_the_merged_tool_name(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        self._seed_tree(tmp_path, "def f() -> int:\n    return 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["check", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-check"
+
+    def test_check_parses_each_file_once(self, tmp_path, monkeypatch, capsys):
+        import ast
+
+        from repro.lint.engine import clear_ast_cache
+
+        self._seed_tree(tmp_path, "def f() -> int:\n    return 1\n")
+        monkeypatch.chdir(tmp_path)
+        clear_ast_cache()
+        real_parse = ast.parse
+        parsed = []
+
+        def counting(source, *args, **kwargs):
+            filename = kwargs.get("filename", args[0] if args else "<unknown>")
+            parsed.append(str(filename))
+            return real_parse(source, *args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting)
+        assert main(["check"]) == 0
+        capsys.readouterr()
+        clear_ast_cache()
+        assert sum(1 for f in parsed if f.endswith("mod.py")) == 1
