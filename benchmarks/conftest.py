@@ -9,14 +9,43 @@ Simulations are shared between benchmarks through the in-process cache
 in :mod:`repro.experiments.common` (e.g. Table V and Fig. 7 read the
 same six runs), so run the whole directory in one pytest invocation for
 the intended cost.
+
+Setting ``REPRO_BENCH_OUT=<path>`` additionally records every benchmark
+through the :mod:`repro.perf` harness — ambient work counters, phase
+breakdowns, wall/CPU time — and writes a schema-versioned
+``BENCH_*.json`` report there at session end (tag from
+``REPRO_BENCH_TAG``, default ``pytest``), so a pytest-benchmark run
+doubles as a trajectory point for ``repro bench --compare``.
 """
 
+import os
+
 import pytest
+
+#: Per-session ExperimentBench records, keyed by benchmark name
+#: (populated only when REPRO_BENCH_OUT is set).
+_BENCH_RECORDS = {}
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if not out:
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    from repro.perf import measure_callable
+
+    name = getattr(benchmark, "name", None) or fn.__name__
+    holder = {}
+
+    def instrumented():
+        run = measure_callable(name, lambda: fn(*args, **kwargs))
+        holder["run"] = run
+        return run.value
+
+    result = benchmark.pedantic(instrumented, rounds=1, iterations=1)
+    _BENCH_RECORDS[name] = holder["run"].bench
+    return result
 
 
 @pytest.fixture
@@ -27,3 +56,22 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush collected bench records to REPRO_BENCH_OUT, if requested."""
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if not out or not _BENCH_RECORDS:
+        return
+    from datetime import datetime, timezone
+
+    from repro.perf import BenchReport, capture_environment
+
+    report = BenchReport(
+        tag=os.environ.get("REPRO_BENCH_TAG", "pytest"),
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        env=capture_environment(),
+        experiments=dict(_BENCH_RECORDS),
+    )
+    report.save(out)
+    print(f"\nwrote {len(_BENCH_RECORDS)} bench record(s) to {out}")

@@ -1,0 +1,13 @@
+"""``python -m repro`` — the CLI without an installed entry point.
+
+CI and fresh checkouts run the tool as ``PYTHONPATH=src python -m
+repro ...``; an installed distribution uses the ``repro`` console
+script.  Both paths converge on :func:`repro.cli.main`.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,13 @@ matching mechanism) must be free of
   iterator) — the shared-state bug class RL005 bans locally, here
   proven over the whole reachable call graph.
 
-``repro.obs`` is the sanctioned observability boundary: tracer I/O,
-metric registries, and the invariant switch live there by design, so
-traversal stops at (and never inspects) boundary modules.
+``repro.obs`` and ``repro.perf`` are the sanctioned observability
+boundary: tracer I/O, metric registries, the invariant switch, and the
+bench harness's clock/environment reads live there by design, so
+traversal stops at (and never inspects) boundary modules.  The boundary
+is the same allowlist RL002 honours
+(:data:`repro.lint.rules.OBSERVABILITY_BOUNDARY_PACKAGES`) — one
+reviewed tuple, not inline pragmas.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.analysis.symbols import FunctionInfo, SymbolTable
 from repro.lint.engine import Violation
 from repro.lint.rules import (
     NUMPY_GLOBAL_RNG,
+    OBSERVABILITY_BOUNDARY_PACKAGES,
     STDLIB_GLOBAL_RNG,
     WALL_CLOCK_CALLS,
     ImportMap,
@@ -49,10 +54,14 @@ DEFAULT_ROOTS: tuple[str, ...] = (
     "repro.core.matching.match_request",
 )
 
-#: Modules whose *interiors* are exempt: the observability layer is the
-#: one sanctioned impurity boundary (JSONL tracing, env-driven invariant
-#: switches).  Reachability does not traverse past them.
-DEFAULT_BOUNDARY_PREFIXES: tuple[str, ...] = ("repro.obs",)
+#: Modules whose *interiors* are exempt: the observability layer and
+#: the bench harness are the sanctioned impurity boundary (JSONL
+#: tracing, env-driven invariant switches, clock/tracemalloc reads).
+#: Reachability does not traverse past them.  Derived from the shared
+#: RL002/RA001 allowlist so the two tools can never disagree.
+DEFAULT_BOUNDARY_PREFIXES: tuple[str, ...] = tuple(
+    f"repro.{pkg}" for pkg in OBSERVABILITY_BOUNDARY_PACKAGES
+)
 
 #: Calls that perform I/O regardless of arguments.
 _IO_CALLS = frozenset(

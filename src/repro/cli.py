@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the workflows a downstream user needs without
+Nine subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
@@ -19,7 +19,12 @@ writing Python:
   dimensional analysis, RNG flow, import cycles, dead experiments,
   and the dataflow passes; rules RA001-RA008);
 * ``repro check`` — lint + analyze in one run over a single parse per
-  file (the shared AST cache makes the second tool free).
+  file (the shared AST cache makes the second tool free);
+* ``repro bench`` — run experiments under performance instrumentation,
+  write a schema-versioned ``BENCH_<tag>.json`` (environment
+  fingerprint, wall/CPU time, peak memory, phase breakdowns,
+  deterministic work counters), and optionally gate against a baseline
+  with ``--compare`` (see ``docs/benchmarking.md``).
 
 Examples
 --------
@@ -34,6 +39,7 @@ Examples
     repro lint src tests --format json
     repro analyze src/repro --passes RA001,RA002
     repro check --format sarif
+    REPRO_EVAL_DAYS=2 repro bench fig08 table6 --tag ci --compare BENCH_seed.json
 """
 
 from __future__ import annotations
@@ -158,6 +164,63 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("human", "json", "sarif"),
         default="human",
         help="output format for the merged report (default: human)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run experiments under instrumentation and write a "
+        "BENCH_<tag>.json performance report",
+    )
+    bench.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to bench (default: the whole figure/table suite)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list benchable experiments and exit"
+    )
+    bench.add_argument("--tag", default="local", help="report tag (default: local)")
+    bench.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="report path (default: BENCH_<tag>.json in the working directory)",
+    )
+    bench.add_argument(
+        "--no-mem", action="store_true",
+        help="skip tracemalloc peak-memory tracking (tracemalloc roughly "
+        "doubles wall time; counters stay exact either way)",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH_*.json and gate on regressions",
+    )
+    bench.add_argument(
+        "--format", choices=("human", "json", "markdown"), default="human",
+        help="comparison verdict format on stdout (default: human)",
+    )
+    bench.add_argument(
+        "--summary-out", metavar="FILE", default=None,
+        help="also write the comparison verdict as markdown to FILE "
+        "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    bench.add_argument(
+        "--time-threshold", type=float, default=0.25, metavar="REL",
+        help="relative wall-time change treated as a regression "
+        "(default: 0.25 = 25%%)",
+    )
+    bench.add_argument(
+        "--fail-on", default="config,counter,time,missing", metavar="KINDS",
+        help="comma-separated regression kinds that fail the gate "
+        "(config, counter, time, memory, missing; "
+        "default: config,counter,time,missing)",
+    )
+    bench.add_argument(
+        "--prom-out", metavar="FILE", default=None,
+        help="write the suite-level registry in Prometheus text format",
+    )
+    bench.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the suite-level registry as JSONL",
     )
     return parser
 
@@ -313,6 +376,82 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run experiments under instrumentation; write/compare BENCH json.
+
+    Progress and file-write notices go to stderr so stdout carries only
+    the comparison verdict (parseable with ``--format json``).
+    """
+    from pathlib import Path
+
+    from repro.perf import (
+        BenchReport,
+        SchemaError,
+        Thresholds,
+        compare_reports,
+        metrics_jsonl,
+        prometheus_text,
+        render_comparison,
+        resolve_names,
+        run_bench,
+    )
+    from repro.perf.schema import ExperimentBench
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    try:
+        names = resolve_names(args.experiments)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _progress(bench: "ExperimentBench") -> None:
+        peak_mib = bench.peak_tracemalloc_bytes / (1 << 20)
+        print(
+            f"  {bench.name:<22s} wall {bench.wall_seconds:8.2f}s  "
+            f"cpu {bench.cpu_seconds:8.2f}s  peak {peak_mib:7.1f} MiB",
+            file=sys.stderr,
+        )
+
+    print(f"bench: {len(names)} experiment(s), tag {args.tag!r}", file=sys.stderr)
+    report, merged = run_bench(
+        names, tag=args.tag, mem=not args.no_mem, progress=_progress
+    )
+    out = Path(args.out) if args.out else Path(f"BENCH_{args.tag}.json")
+    report.save(out)
+    print(f"wrote {out}", file=sys.stderr)
+    if args.prom_out:
+        Path(args.prom_out).write_text(prometheus_text(merged), encoding="utf-8")
+        print(f"wrote {args.prom_out}", file=sys.stderr)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(metrics_jsonl(merged), encoding="utf-8")
+        print(f"wrote {args.metrics_out}", file=sys.stderr)
+
+    if not args.compare:
+        return 0
+    try:
+        baseline = BenchReport.load(args.compare)
+        thresholds = Thresholds(time_rel=args.time_threshold)
+        fail_on = frozenset(
+            kind.strip() for kind in args.fail_on.split(",") if kind.strip()
+        )
+        result = compare_reports(
+            baseline, report, thresholds=thresholds, fail_on=fail_on
+        )
+    except (SchemaError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(result, args.format))
+    if args.summary_out:
+        Path(args.summary_out).write_text(
+            render_comparison(result, "markdown") + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.summary_out}", file=sys.stderr)
+    return result.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -325,6 +464,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "lint": _cmd_lint,
         "analyze": _cmd_analyze,
         "check": _cmd_check,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

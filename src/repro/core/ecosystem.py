@@ -37,6 +37,7 @@ from repro.datacenter.resources import Cpu
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import LatencyClass
 from repro.datacenter.resources import CPU, RESOURCE_TYPES
+from repro.obs.ambient import ambient_metrics, record_ambient_phases
 from repro.obs.invariants import InvariantChecker, invariants_forced
 from repro.obs.registry import MetricsRegistry
 from repro.obs.timing import PhaseTimer
@@ -248,8 +249,9 @@ class EcosystemSimulator:
 
         # Observability: all hooks default to off; each record site is
         # guarded by a single ``is None`` test so the disabled cost is
-        # one pointer comparison.
-        metrics = cfg.metrics
+        # one pointer comparison.  An explicit registry wins; otherwise
+        # an ambient probe (the bench harness) is consulted once here.
+        metrics = cfg.metrics if cfg.metrics is not None else ambient_metrics()
         tracer = cfg.tracer
         checker = cfg.invariant_checker
         if checker is None and (cfg.check_invariants or invariants_forced()):
@@ -265,6 +267,9 @@ class EcosystemSimulator:
             h_upsilon = metrics.histogram("sim.upsilon_cpu")
 
         operators = {g.name: g.build_operator(cfg.centers) for g in cfg.games}
+        if metrics is not None:
+            for op in operators.values():
+                op.attach_metrics(metrics)
         if cfg.mode == "dynamic":
             provisioner: DynamicProvisioner | StaticProvisioner = DynamicProvisioner(
                 cfg.centers,
@@ -498,6 +503,8 @@ class EcosystemSimulator:
 
         # Teardown so the caller's centers are reusable.
         provisioner.release_everything(n_steps)
+        if timer is not None:
+            record_ambient_phases(timer)
         if tracer is not None:
             tracer.emit(
                 "run_end",

@@ -157,6 +157,10 @@ def match_request(
         return plan
     if metrics is not None:
         metrics.counter("matching.requests").inc()
+        # Every candidate center is examined (admissibility + ranking)
+        # exactly once per request: the deterministic unit of matcher
+        # work, separating time-per-comparison from request-volume drift.
+        metrics.counter("matching.offers_considered").inc(len(centers))
 
     admissible: list[tuple[tuple, DataCenter]] = []
     for center in centers:

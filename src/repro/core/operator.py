@@ -13,7 +13,7 @@ that cannot tolerate any under-allocation events).
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.datacenter.geography import LatencyClass
 from repro.datacenter.resources import Cpu, ResourceVector
 from repro.predictors.base import Predictor
 from repro.traces.model import GameTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import Counter, MetricsRegistry
 
 __all__ = ["GameOperator"]
 
@@ -77,8 +80,19 @@ class GameOperator:
         self._predictors: dict[str, Predictor] = {}
         self._last_predicted: dict[str, np.ndarray] = {}
         self._scheduled: dict[str, dict[int, np.ndarray]] = {}
+        self._c_predictions: "Counter | None" = None
 
     # -- lifecycle ------------------------------------------------------------
+
+    def attach_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Bind the predictor-evaluation work counter.
+
+        ``operator.predictor_evaluations`` counts single-step predictor
+        invocations (a multi-step horizon forecast counts once per
+        iterated step), so time-per-prediction stays separable from
+        prediction-volume drift in the bench trajectory.
+        """
+        self._c_predictions = metrics.counter("operator.predictor_evaluations")
 
     def prepare(self, warmup: Mapping[str, np.ndarray]) -> None:
         """Run the off-line phases on warm-up history.
@@ -117,6 +131,8 @@ class GameOperator:
 
     def predict_players(self, region_name: str, n_groups: int) -> np.ndarray:
         """Predicted per-group player counts for the next step (>= 0)."""
+        if self._c_predictions is not None:
+            self._c_predictions.inc()
         pred = self._predictor(region_name, n_groups).predict()
         return np.maximum(pred, 0.0)
 
@@ -153,6 +169,8 @@ class GameOperator:
         """
         if lead <= 0:
             raise ValueError("lead must be positive for advance booking")
+        if self._c_predictions is not None:
+            self._c_predictions.inc(lead + 1)
         horizon = self._predictor(region_name, n_groups).predict_horizon(lead + 1)
         predicted = np.maximum(horizon[-1], 0.0)
         self._scheduled.setdefault(region_name, {})[target_step] = predicted

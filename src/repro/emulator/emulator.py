@@ -17,12 +17,18 @@ modelled, exactly as the paper lists them:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.emulator.profiles import AIProfile, DynamicsLevel
 from repro.emulator.world import GameWorld
 from repro.emulator.entities import EntityPopulation
+from repro.obs.ambient import ambient_metrics, record_ambient_phases
+from repro.obs.timing import PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["EmulatorConfig", "EmulationTrace", "GameEmulator"]
 
@@ -193,8 +199,23 @@ class GameEmulator:
         wander = 0.5 * (1 + np.sin(2 * np.pi * (t_days * 3.0)))
         return (1.0 - amp) + amp * wander
 
-    def run(self) -> EmulationTrace:
-        """Execute the emulation (deterministic given the seed)."""
+    def run(self, *, metrics: "MetricsRegistry | None" = None) -> EmulationTrace:
+        """Execute the emulation (deterministic given the seed).
+
+        ``metrics`` (or an ambient probe, when none is passed) receives
+        the deterministic work counters ``emulator.ticks`` /
+        ``emulator.samples`` / ``emulator.entities_spawned`` /
+        ``emulator.entities_despawned`` plus an ``emulate`` phase
+        timing; observability never alters the trace.
+        """
+        if metrics is None:
+            metrics = ambient_metrics()
+        timer = PhaseTimer() if metrics is not None else None
+        if metrics is not None:
+            c_ticks = metrics.counter("emulator.ticks")
+            c_samples = metrics.counter("emulator.samples")
+            c_spawned = metrics.counter("emulator.entities_spawned")
+            c_despawned = metrics.counter("emulator.entities_despawned")
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         world = GameWorld(
@@ -218,8 +239,11 @@ class GameEmulator:
 
         # Warm start at the initial target population.
         population.spawn(int(targets[0]))
+        if metrics is not None:
+            c_spawned.inc(int(targets[0]))
         counts = np.empty((n_samples, world.n_zones), dtype=np.int64)
 
+        t_mark = timer.mark() if timer is not None else 0.0
         for s in range(n_samples):
             # Track the target population with gradual join/leave churn.
             deficit = int(targets[s]) - population.size
@@ -232,4 +256,14 @@ class GameEmulator:
                 world.churn_hotspots(churn)
                 population.step(cfg.tick_seconds)
             counts[s] = population.zone_counts()
+            if metrics is not None:
+                c_samples.inc()
+                c_ticks.inc(cfg.ticks_per_sample)
+                if deficit > 0:
+                    c_spawned.inc(deficit)
+                elif deficit < 0:
+                    c_despawned.inc(-deficit)
+        if timer is not None:
+            timer.lap("emulate", t_mark)
+            record_ambient_phases(timer)
         return EmulationTrace(zone_counts=counts, config=cfg)

@@ -15,6 +15,7 @@ entities stays fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -22,6 +23,11 @@ from scipy.spatial import cKDTree
 from repro.emulator.emulator import EmulatorConfig, GameEmulator
 from repro.emulator.entities import EntityPopulation
 from repro.emulator.world import GameWorld
+from repro.obs.ambient import ambient_metrics, record_ambient_phases
+from repro.obs.timing import PhaseTimer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "count_interacting_pairs",
@@ -75,15 +81,29 @@ class InteractionTrace:
 
 
 def emulate_with_interactions(
-    config: EmulatorConfig, *, interaction_radius: float = 25.0
+    config: EmulatorConfig,
+    *,
+    interaction_radius: float = 25.0,
+    metrics: "MetricsRegistry | None" = None,
 ) -> InteractionTrace:
     """Run the emulator, sampling interactions alongside entity counts.
 
     Re-implements the :meth:`GameEmulator.run` loop with an extra
     KD-tree pass per sample.  ``interaction_radius`` is in world units
     (the default is a quarter of a sub-zone edge on the standard map).
+    ``metrics`` (or an ambient probe) receives the ``emulator.ticks`` /
+    ``emulator.samples`` / ``emulator.interaction_pairs`` work counters
+    and ``emulate`` / ``interactions`` phase timings.
     """
     from repro.emulator.emulator import _CHURN_PROB, _PULSE_AMPLITUDE, _SPEED_SCALE
+
+    if metrics is None:
+        metrics = ambient_metrics()
+    timer = PhaseTimer() if metrics is not None else None
+    if metrics is not None:
+        c_ticks = metrics.counter("emulator.ticks")
+        c_samples = metrics.counter("emulator.samples")
+        c_pairs = metrics.counter("emulator.interaction_pairs")
 
     rng = np.random.default_rng(config.seed)
     world = GameWorld(
@@ -111,6 +131,7 @@ def emulate_with_interactions(
     population.spawn(int(targets[0]))
     counts = np.empty((n_samples, world.n_zones), dtype=np.int64)
     interactions = np.empty((n_samples, world.n_zones), dtype=np.int64)
+    t_mark = timer.mark() if timer is not None else 0.0
     for s in range(n_samples):
         deficit = int(targets[s]) - population.size
         if deficit > 0:
@@ -122,9 +143,19 @@ def emulate_with_interactions(
             world.churn_hotspots(churn)
             population.step(config.tick_seconds)
         counts[s] = population.zone_counts()
+        if timer is not None:
+            t_mark = timer.lap("emulate", t_mark)
         interactions[s] = interaction_counts_per_zone(
             world, population.positions, interaction_radius
         )
+        if metrics is not None:
+            c_samples.inc()
+            c_ticks.inc(config.ticks_per_sample)
+            c_pairs.inc(int(interactions[s].sum()))
+            if timer is not None:
+                t_mark = timer.lap("interactions", t_mark)
+    if timer is not None:
+        record_ambient_phases(timer)
     return InteractionTrace(
         zone_counts=counts, zone_interactions=interactions, config=config
     )

@@ -10,7 +10,9 @@ heuristic edges (documented per rule); those are what the
 
 Scoping: a rule only runs where its hazard matters.  RL002 watches the
 deterministic simulation packages (``core``, ``emulator``,
-``predictors``), RL005 the ``core`` package, RL006 the strict-typing
+``predictors``) and never the sanctioned impurity boundary
+(:data:`OBSERVABILITY_BOUNDARY_PACKAGES` — ``obs`` and ``perf``),
+RL005 the ``core`` package, RL006 the strict-typing
 packages (``core``, ``predictors``, ``obs``, ``lint``, ``analysis``),
 RL008 the ``experiments`` package, and RL003/RL006 skip ``tests/``
 (exact float assertions are deliberate test oracles).  RL001, RL004,
@@ -28,12 +30,23 @@ __all__ = [
     "ImportMap",
     "LintRule",
     "NUMPY_GLOBAL_RNG",
+    "OBSERVABILITY_BOUNDARY_PACKAGES",
     "STDLIB_GLOBAL_RNG",
     "WALL_CLOCK_CALLS",
     "all_rules",
     "get_rules",
     "rule_table",
 ]
+
+#: The sanctioned impurity boundary, shared by RL002 (wall-clock scan
+#: scope) and RA001 (purity traversal stop set, via
+#: ``repro.analysis.purity.DEFAULT_BOUNDARY_PREFIXES``).  ``obs`` hosts
+#: tracer I/O, metric registries, and the ambient probe stack; ``perf``
+#: hosts the bench harness, which reads clocks, ``tracemalloc``, the
+#: process environment, and the git revision *by design*.  Growing this
+#: tuple is the reviewed way to bless a new impure package — never an
+#: inline ``# reprolint: disable=`` scatter.
+OBSERVABILITY_BOUNDARY_PACKAGES: tuple[str, ...] = ("obs", "perf")
 
 
 # ---------------------------------------------------------------------------
@@ -363,6 +376,8 @@ class WallClockRule(LintRule):
     summary = "no wall-clock reads (time.time, datetime.now) in core/emulator/predictors"
 
     def applies_to(self, ctx: FileContext) -> bool:
+        if any(ctx.in_package(pkg) for pkg in OBSERVABILITY_BOUNDARY_PACKAGES):
+            return False
         return not ctx.is_test and any(
             ctx.in_package(pkg) for pkg in ("core", "emulator", "predictors")
         )

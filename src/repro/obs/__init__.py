@@ -21,12 +21,23 @@ supplies the three instruments a serving stack would have:
   benchmark regressions are attributable to reconcile vs. score vs.
   observe;
 * :mod:`repro.obs.report` — plain-text rendering of the above
-  (``repro report``).
+  (``repro report``);
+* :mod:`repro.obs.ambient` — an opt-in process-scoped probe the
+  instrumented entry points fall back to when no registry was passed
+  explicitly, so the ``repro bench`` harness can observe unmodified
+  experiment modules.
 
 See ``docs/observability.md`` for metric names, the trace event
 schema, and the invariant list.
 """
 
+from repro.obs.ambient import (
+    AmbientProbe,
+    ambient_metrics,
+    current_probe,
+    probe,
+    record_ambient_phases,
+)
 from repro.obs.invariants import (
     InvariantChecker,
     InvariantViolation,
@@ -34,10 +45,11 @@ from repro.obs.invariants import (
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import render_report
-from repro.obs.timing import PhaseTimer
+from repro.obs.timing import PhaseSnapshot, PhaseTimer
 from repro.obs.tracer import StepTracer
 
 __all__ = [
+    "AmbientProbe",
     "Counter",
     "Gauge",
     "Histogram",
@@ -45,7 +57,12 @@ __all__ = [
     "StepTracer",
     "InvariantChecker",
     "InvariantViolation",
+    "ambient_metrics",
+    "current_probe",
     "invariants_forced",
+    "probe",
+    "record_ambient_phases",
+    "PhaseSnapshot",
     "PhaseTimer",
     "render_report",
 ]

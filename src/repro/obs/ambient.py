@@ -1,0 +1,108 @@
+"""Ambient observation: a process-scoped probe the hot paths fall back to.
+
+The ``repro bench`` harness must run *unmodified* experiment modules
+(``repro.experiments.fig08_static_vs_dynamic.run()`` takes no
+arguments) while still collecting deterministic work counters and
+per-phase timings from every simulation, emulation, and predictor
+evaluation the experiment performs.  Threading a
+:class:`~repro.obs.registry.MetricsRegistry` argument through two dozen
+experiment signatures would couple them all to the bench harness;
+instead, this module keeps an explicit, opt-in **probe stack**:
+
+* :func:`probe` pushes an :class:`AmbientProbe` for the duration of a
+  ``with`` block;
+* instrumented entry points (the ecosystem simulator, the game
+  emulator, the predictor evaluators) resolve their ``metrics=None``
+  default through :func:`ambient_metrics` — one call at entry, after
+  which the usual ``if metrics is not None`` guards apply unchanged;
+* the same entry points report their :class:`~repro.obs.timing.
+  PhaseTimer` breakdowns via :func:`record_ambient_phases`, which the
+  probe accumulates as a :class:`~repro.obs.timing.PhaseSnapshot` sum.
+
+The stack lives in this module precisely because ``repro.obs`` is the
+sanctioned impurity boundary (see RA001 in ``docs/static_analysis.md``):
+like ``REPRO_INVARIANTS``, ambient observation is process-global state
+by design, is empty unless a harness installed a probe, and never feeds
+values back into simulation behaviour.  The simulator is
+single-threaded, so a plain list suffices; nesting is supported (the
+innermost probe wins) so a bench run can wrap code that itself probes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timing import PhaseSnapshot, PhaseTimer
+
+__all__ = [
+    "AmbientProbe",
+    "ambient_metrics",
+    "current_probe",
+    "probe",
+    "record_ambient_phases",
+]
+
+
+class AmbientProbe:
+    """One installed observation scope: a registry plus a phase roll-up."""
+
+    __slots__ = ("registry", "phases")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.phases = PhaseSnapshot()
+
+    def record_phases(self, snapshot: PhaseSnapshot) -> None:
+        """Fold one run's phase breakdown into the roll-up."""
+        self.phases = self.phases + snapshot
+
+
+#: The probe stack (innermost last).  Empty in normal operation: every
+#: reader below then returns ``None``/no-ops and the instrumented entry
+#: points behave exactly as before this module existed.
+_PROBES: list[AmbientProbe] = []
+
+
+def current_probe() -> AmbientProbe | None:
+    """The innermost installed probe, or ``None``."""
+    return _PROBES[-1] if _PROBES else None
+
+
+def ambient_metrics() -> MetricsRegistry | None:
+    """The innermost probe's registry, or ``None``.
+
+    Instrumented entry points call this once to resolve a ``metrics=
+    None`` default; all subsequent hot-path guards stay the usual
+    ``if metrics is not None`` pointer test.
+    """
+    return _PROBES[-1].registry if _PROBES else None
+
+
+def record_ambient_phases(timer: "PhaseTimer | PhaseSnapshot | None") -> None:
+    """Report a finished run's phase breakdown to the innermost probe.
+
+    No-op when no probe is installed or ``timer`` is ``None``, so call
+    sites need no guard of their own.
+    """
+    if timer is None or not _PROBES:
+        return
+    snapshot = timer.snapshot() if isinstance(timer, PhaseTimer) else timer
+    _PROBES[-1].record_phases(snapshot)
+
+
+@contextmanager
+def probe(registry: MetricsRegistry | None = None) -> Iterator[AmbientProbe]:
+    """Install an :class:`AmbientProbe` for the duration of the block.
+
+    ``registry`` defaults to a fresh :class:`MetricsRegistry`; the
+    yielded probe exposes it (``probe.registry``) along with the
+    accumulated ``probe.phases`` snapshot after the block exits.
+    """
+    installed = AmbientProbe(registry)
+    _PROBES.append(installed)
+    try:
+        yield installed
+    finally:
+        _PROBES.remove(installed)

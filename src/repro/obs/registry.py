@@ -73,15 +73,25 @@ class Gauge:
         return f"Gauge({self.name}={self.value:g})"
 
 
+#: Geometric bucket resolution: 8 buckets per power of two, i.e. bucket
+#: edges at ``2**(k/8)`` — every reported quantile is within ~±4.5 % of
+#: the true value.  Deterministic (no reservoir sampling), O(1) memory
+#: per touched bucket, and mergeable across registries.
+_BUCKETS_PER_OCTAVE = 8
+
+
 class Histogram:
     """Streaming summary of a value distribution.
 
     Tracks count / sum / min / max / sum-of-squares (for the standard
-    deviation) — O(1) memory, no reservoir, which is all the timing and
-    Ω/Υ summaries need.
+    deviation) plus a sparse geometric bucket sketch, so p50/p90/p99
+    quantile summaries are available without keeping samples.  Buckets
+    are sign-partitioned (Υ contributions are negative) with an exact
+    zero bucket; quantiles carry the bucket grid's ~±4.5 % relative
+    error and are clamped into the observed ``[min, max]`` range.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_sumsq")
+    __slots__ = ("name", "count", "total", "min", "max", "_sumsq", "_pos", "_neg", "_zero")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -90,6 +100,18 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._sumsq = 0.0
+        self._pos: dict[int, int] = {}
+        self._neg: dict[int, int] = {}
+        self._zero = 0
+
+    @staticmethod
+    def _bucket_index(magnitude: float) -> int:
+        return math.floor(math.log2(magnitude) * _BUCKETS_PER_OCTAVE)
+
+    @staticmethod
+    def _bucket_value(index: int) -> float:
+        # Geometric bucket midpoint.
+        return 2.0 ** ((index + 0.5) / _BUCKETS_PER_OCTAVE)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -99,6 +121,14 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if value > 0.0:
+            idx = self._bucket_index(value)
+            self._pos[idx] = self._pos.get(idx, 0) + 1
+        elif value < 0.0:
+            idx = self._bucket_index(-value)
+            self._neg[idx] = self._neg.get(idx, 0) + 1
+        else:
+            self._zero += 1
 
     @property
     def mean(self) -> float:
@@ -110,6 +140,70 @@ class Histogram:
             return 0.0
         var = self._sumsq / self.count - self.mean**2
         return math.sqrt(max(var, 0.0))
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (``0 <= q <= 1``) of the stream.
+
+        Walks the sign-partitioned bucket sketch in value order; the
+        result is a bucket midpoint clamped into ``[min, max]``, with
+        the grid's ~±4.5 % relative error.  0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        # Negative values, most negative (largest magnitude) first.
+        for idx in sorted(self._neg, reverse=True):
+            cumulative += self._neg[idx]
+            if cumulative >= rank:
+                return self._clamp(-self._bucket_value(idx))
+        cumulative += self._zero
+        if cumulative >= rank:
+            return self._clamp(0.0)
+        for idx in sorted(self._pos):
+            cumulative += self._pos[idx]
+            if cumulative >= rank:
+                return self._clamp(self._bucket_value(idx))
+        return self.max  # unreachable in practice: counts always cover rank
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self.min), self.max)
+
+    def quantiles(self) -> dict[str, float]:
+        """The conventional p50/p90/p99 summary of the stream."""
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Full JSON-ready summary: moments plus quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "stddev": self.stddev,
+            **self.quantiles(),
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's stream into this one (bucket-exact)."""
+        self.count += other.count
+        self.total += other.total
+        self._sumsq += other._sumsq
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self._zero += other._zero
+        for idx, n in other._pos.items():
+            self._pos[idx] = self._pos.get(idx, 0) + n
+        for idx, n in other._neg.items():
+            self._neg[idx] = self._neg.get(idx, 0) + n
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
@@ -169,21 +263,32 @@ class MetricsRegistry:
         return inst.value
 
     def snapshot(self) -> dict[str, float | dict[str, float]]:
-        """Flat ``name -> value`` view (histograms become summary dicts)."""
+        """Flat ``name -> value`` view (histograms become summary dicts
+        including the p50/p90/p99 quantiles)."""
         out: dict[str, float | dict[str, float]] = {}
         for inst in self:
             if isinstance(inst, Histogram):
-                out[inst.name] = {
-                    "count": inst.count,
-                    "sum": inst.total,
-                    "mean": inst.mean,
-                    "min": inst.min if inst.count else 0.0,
-                    "max": inst.max if inst.count else 0.0,
-                    "stddev": inst.stddev,
-                }
+                out[inst.name] = inst.summary()
             else:
                 out[inst.name] = inst.value
         return out
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Counters and gauges add their values; histograms merge their
+        streams bucket-exactly.  Same-name instruments of different
+        kinds raise ``TypeError`` (as in :meth:`_get`).  Used by the
+        bench harness to roll per-experiment registries into one
+        suite-level registry for the exporters.
+        """
+        for inst in other:
+            if isinstance(inst, Histogram):
+                self.histogram(inst.name).merge(inst)
+            elif isinstance(inst, Counter):
+                self.counter(inst.name).inc(inst.value)
+            else:
+                self.gauge(inst.name).inc(inst.value)
 
     def reset(self) -> None:
         """Drop every instrument (tests, repeated runs)."""

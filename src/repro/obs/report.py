@@ -3,14 +3,14 @@
 ``render_report`` turns a :class:`~repro.obs.registry.MetricsRegistry`
 snapshot plus an optional :class:`~repro.obs.timing.PhaseTimer` into
 the summary the ``repro report`` CLI command prints: top-line counters
-(leases, matches, rejections, violations), histogram summaries, and a
-per-phase wall-clock table.
+(leases, matches, rejections, violations), histogram summaries with
+p50/p90/p99 quantiles, and a per-phase wall-clock table.
 """
 
 from __future__ import annotations
 
 from repro.obs.registry import Histogram, MetricsRegistry
-from repro.obs.timing import PhaseTimer
+from repro.obs.timing import PhaseSnapshot, PhaseTimer
 from repro.reporting import render_table
 
 __all__ = ["render_report"]
@@ -24,34 +24,41 @@ def _fmt(value: float) -> str:
 
 def render_report(
     metrics: MetricsRegistry,
-    timer: "PhaseTimer | dict[str, float] | None" = None,
+    timer: "PhaseTimer | PhaseSnapshot | dict[str, float] | None" = None,
     *,
     title: str = "Observability report",
 ) -> str:
     """Render counters/gauges, histograms, and phase timings as text.
 
-    ``timer`` may be a live :class:`PhaseTimer` or the plain
-    ``phase -> seconds`` dict a :class:`~repro.core.ecosystem.
-    SimulationResult` carries in its ``timings`` field.
+    ``timer`` may be a live :class:`PhaseTimer`, a frozen
+    :class:`PhaseSnapshot`, or the plain ``phase -> seconds`` dict a
+    :class:`~repro.core.ecosystem.SimulationResult` carries in its
+    ``timings`` field.
     """
+    phases: PhaseSnapshot | None
     if isinstance(timer, dict):
-        seconds = timer
-        timer = PhaseTimer()
-        for phase, secs in seconds.items():
-            timer.add(phase, secs)
-            timer.visits[phase] = 0  # per-phase visit counts not preserved
+        # Per-phase visit counts are not preserved in the plain dict.
+        phases = PhaseSnapshot(timer, {})
+    elif isinstance(timer, PhaseTimer):
+        phases = timer.snapshot()
+    else:
+        phases = timer
     sections: list[str] = []
 
     scalar_rows = []
     histo_rows = []
     for inst in metrics:
         if isinstance(inst, Histogram):
+            quantiles = inst.quantiles()
             histo_rows.append(
                 (
                     inst.name,
                     f"{inst.count:,}",
                     _fmt(inst.mean),
                     _fmt(inst.min if inst.count else 0.0),
+                    _fmt(quantiles["p50"]),
+                    _fmt(quantiles["p90"]),
+                    _fmt(quantiles["p99"]),
                     _fmt(inst.max if inst.count else 0.0),
                     _fmt(inst.stddev),
                 )
@@ -66,17 +73,17 @@ def render_report(
     if histo_rows:
         sections.append(
             render_table(
-                ["Histogram", "Count", "Mean", "Min", "Max", "Stddev"],
+                ["Histogram", "Count", "Mean", "Min", "p50", "p90", "p99", "Max", "Stddev"],
                 histo_rows,
                 title="Distributions",
             )
         )
-    if timer is not None and timer.seconds:
+    if phases is not None and phases:
         timing_rows = [
             (phase, f"{secs:.3f}", f"{visits:,}" if visits else "", f"{share * 100:.1f}")
-            for phase, secs, visits, share in timer.summary()
+            for phase, secs, visits, share in phases.summary()
         ]
-        timing_rows.append(("(total)", f"{timer.total:.3f}", "", "100.0"))
+        timing_rows.append(("(total)", f"{phases.total:.3f}", "", "100.0"))
         sections.append(
             render_table(
                 ["Phase", "Seconds", "Visits", "Share [%]"],

@@ -14,6 +14,12 @@ or with explicit marks in a hot loop (no context-manager overhead)::
     ...
     t0 = timer.lap("reconcile", t0)   # returns the new mark
 
+:meth:`PhaseTimer.snapshot` freezes the accumulated breakdown into a
+:class:`PhaseSnapshot` — an immutable, serializable value that supports
+``+`` so per-run breakdowns can be summed across simulations and
+experiments (the ``repro bench`` harness stores them in the
+``BENCH_*.json`` trajectory).
+
 The timer is opt-in like the rest of the observability layer: the
 simulator holds ``timer=None`` unless a metrics registry is installed.
 """
@@ -22,9 +28,106 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping
 
-__all__ = ["PhaseTimer"]
+__all__ = ["PhaseSnapshot", "PhaseTimer"]
+
+
+class PhaseSnapshot:
+    """An immutable per-phase ``(seconds, visits)`` breakdown.
+
+    Produced by :meth:`PhaseTimer.snapshot`; two snapshots merge with
+    ``+`` (phase-wise sums), so the breakdowns of many runs roll up
+    into one experiment- or suite-level attribution table.
+    """
+
+    __slots__ = ("_seconds", "_visits")
+
+    def __init__(
+        self,
+        seconds: Mapping[str, float] | None = None,
+        visits: Mapping[str, int] | None = None,
+    ) -> None:
+        self._seconds: dict[str, float] = dict(seconds or {})
+        self._visits: dict[str, int] = {
+            name: int((visits or {}).get(name, 0)) for name in self._seconds
+        }
+
+    @property
+    def seconds(self) -> dict[str, float]:
+        """Phase -> accumulated seconds (a defensive copy)."""
+        return dict(self._seconds)
+
+    @property
+    def visits(self) -> dict[str, int]:
+        """Phase -> visit count (a defensive copy)."""
+        return dict(self._visits)
+
+    @property
+    def total(self) -> float:
+        """Seconds accounted to all phases."""
+        return sum(self._seconds.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._seconds)
+
+    def __add__(self, other: "PhaseSnapshot") -> "PhaseSnapshot":
+        if not isinstance(other, PhaseSnapshot):
+            return NotImplemented  # type: ignore[unreachable]
+        seconds = dict(self._seconds)
+        visits = dict(self._visits)
+        for name, secs in other._seconds.items():
+            seconds[name] = seconds.get(name, 0.0) + secs
+            visits[name] = visits.get(name, 0) + other._visits.get(name, 0)
+        return PhaseSnapshot(seconds, visits)
+
+    def __radd__(self, other: "PhaseSnapshot | int") -> "PhaseSnapshot":
+        # Support sum(snapshots) whose implicit start value is 0.
+        if isinstance(other, int) and other == 0:
+            return self
+        if isinstance(other, PhaseSnapshot):
+            return other.__add__(self)
+        return NotImplemented  # type: ignore[unreachable]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhaseSnapshot):
+            return NotImplemented
+        return self._seconds == other._seconds and self._visits == other._visits
+
+    def __repr__(self) -> str:
+        phases = ", ".join(
+            f"{name}={secs:.3f}s/{self._visits.get(name, 0)}"
+            for name, secs in sorted(self._seconds.items())
+        )
+        return f"PhaseSnapshot({phases})"
+
+    def to_dict(self) -> dict[str, dict[str, float | int]]:
+        """JSON-ready ``{phase: {"seconds": s, "visits": n}}`` mapping,
+        sorted by phase name for stable serialization."""
+        return {
+            name: {"seconds": self._seconds[name], "visits": self._visits.get(name, 0)}
+            for name in sorted(self._seconds)
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Mapping[str, float | int]]
+    ) -> "PhaseSnapshot":
+        """Inverse of :meth:`to_dict` (tolerates missing ``visits``)."""
+        seconds: dict[str, float] = {}
+        visits: dict[str, int] = {}
+        for name, entry in data.items():
+            seconds[name] = float(entry["seconds"])
+            visits[name] = int(entry.get("visits", 0))
+        return cls(seconds, visits)
+
+    def summary(self) -> list[tuple[str, float, int, float]]:
+        """``(phase, seconds, visits, share-of-total)`` rows, slowest first."""
+        total = self.total or 1.0
+        return [
+            (name, secs, self._visits.get(name, 0), secs / total)
+            for name, secs in sorted(self._seconds.items(), key=lambda kv: -kv[1])
+        ]
 
 
 class PhaseTimer:
@@ -66,6 +169,18 @@ class PhaseTimer:
     def elapsed(self) -> float:
         """Wall-clock seconds since the timer was created."""
         return time.perf_counter() - self._start
+
+    def snapshot(self) -> PhaseSnapshot:
+        """Freeze the current breakdown into a :class:`PhaseSnapshot`."""
+        return PhaseSnapshot(dict(self.seconds), dict(self.visits))
+
+    def __add__(self, other: "PhaseTimer | PhaseSnapshot") -> PhaseSnapshot:
+        """Merge with another timer or snapshot into a snapshot sum."""
+        if isinstance(other, PhaseTimer):
+            return self.snapshot() + other.snapshot()
+        if isinstance(other, PhaseSnapshot):
+            return self.snapshot() + other
+        return NotImplemented  # type: ignore[unreachable]
 
     def summary(self) -> list[tuple[str, float, int, float]]:
         """``(phase, seconds, visits, share-of-total)`` rows, slowest first."""

@@ -1,0 +1,64 @@
+"""Performance telemetry: the ``repro bench`` harness.
+
+This package records, serializes, and compares the *cost* of the
+reproduction — complementing :mod:`repro.obs`, which records what the
+simulation *does*.  The pieces:
+
+* :mod:`repro.perf.env` — environment fingerprinting (machine +
+  workload configuration);
+* :mod:`repro.perf.schema` — the schema-versioned ``BENCH_<tag>.json``
+  document model;
+* :mod:`repro.perf.runner` — instrumented execution of the paper
+  experiments (wall/CPU time, peak ``tracemalloc``, ambient work
+  counters, per-phase breakdowns);
+* :mod:`repro.perf.compare` — the regression gate: exact-match for
+  deterministic counters, thresholded for timing/memory;
+* :mod:`repro.perf.export` — Prometheus-text and JSONL exporters for
+  :class:`~repro.obs.registry.MetricsRegistry` snapshots.
+
+Like ``repro.obs``, this package is a sanctioned impurity boundary
+(RA001/RL002): it reads clocks, the process environment, and the git
+revision by design, and nothing in it feeds back into simulation
+behaviour.
+"""
+
+from repro.perf.compare import (
+    DEFAULT_FAIL_ON,
+    ComparisonResult,
+    Finding,
+    Thresholds,
+    compare_reports,
+    render_comparison,
+)
+from repro.perf.env import EnvironmentFingerprint, capture_environment
+from repro.perf.export import metrics_jsonl, prometheus_text
+from repro.perf.runner import (
+    DEFAULT_SUITE,
+    MeasuredRun,
+    measure_callable,
+    resolve_names,
+    run_bench,
+)
+from repro.perf.schema import SCHEMA_VERSION, BenchReport, ExperimentBench, SchemaError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_FAIL_ON",
+    "DEFAULT_SUITE",
+    "BenchReport",
+    "ComparisonResult",
+    "EnvironmentFingerprint",
+    "ExperimentBench",
+    "Finding",
+    "MeasuredRun",
+    "SchemaError",
+    "Thresholds",
+    "capture_environment",
+    "compare_reports",
+    "measure_callable",
+    "metrics_jsonl",
+    "prometheus_text",
+    "render_comparison",
+    "resolve_names",
+    "run_bench",
+]

@@ -1,0 +1,390 @@
+"""Regression comparison between two BENCH reports.
+
+The comparison exploits the repo's central determinism property: given
+the same workload configuration (eval/warmup days, base seed), the
+simulation performs *exactly* the same work, so the deterministic
+counters (ticks, leases, offer comparisons, predictor evaluations, ...)
+must match **exactly** between baseline and current.  Any counter drift
+means the code now does different work — an algorithmic change, wanted
+or not — and is reported separately from timing drift, which is judged
+with relative thresholds because wall time is machine-noisy.
+
+Verdict model
+-------------
+Each discrepancy becomes a :class:`Finding` with a *kind*:
+
+``config``
+    Workload fingerprints differ — counters are incomparable.
+``counter``
+    A deterministic counter changed value (or disappeared).
+``time``
+    Wall time moved beyond the relative threshold *and* the absolute
+    floor (tiny experiments are all noise).
+``memory``
+    Peak ``tracemalloc`` bytes moved beyond its thresholds.
+``missing`` / ``new``
+    Experiment present on one side only.
+``machine``
+    Informational: the machines differ, contextualizing time deltas.
+
+Severity is policy, not fact: regressions whose kind is in the
+``fail_on`` set become ``fail`` (non-zero exit), the rest ``warn``.
+Improvements and annotations are ``info``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.perf.schema import BenchReport, ExperimentBench
+
+__all__ = [
+    "DEFAULT_FAIL_ON",
+    "Thresholds",
+    "Finding",
+    "ComparisonResult",
+    "compare_reports",
+    "render_comparison",
+]
+
+#: Kinds that fail the gate by default.  ``memory`` is warn-only: peak
+#: heap depends on allocator/interpreter details beyond our control.
+DEFAULT_FAIL_ON: frozenset[str] = frozenset({"config", "counter", "time", "missing"})
+
+_VALID_FAIL_KINDS = frozenset({"config", "counter", "time", "memory", "missing"})
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Per-metric tolerance for the noisy (non-deterministic) metrics.
+
+    ``time_rel`` is the relative wall-time change that counts as a
+    regression, but only when the absolute delta also exceeds
+    ``time_abs_floor_seconds`` — a 2 ms experiment doubling is noise,
+    not signal.  Memory gets wider bands for the same reason.
+    Counters take no thresholds: they are exact by construction.
+    """
+
+    time_rel: float = 0.25
+    time_abs_floor_seconds: float = 0.05
+    mem_rel: float = 0.50
+    mem_abs_floor_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if self.time_rel <= 0 or self.mem_rel <= 0:
+            raise ValueError("relative thresholds must be positive")
+        if self.time_abs_floor_seconds < 0 or self.mem_abs_floor_bytes < 0:
+            raise ValueError("absolute floors must be non-negative")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One discrepancy between baseline and current."""
+
+    severity: str  # "fail" | "warn" | "info"
+    kind: str  # "config" | "counter" | "time" | "memory" | "missing" | "new" | "machine"
+    experiment: str | None
+    metric: str
+    baseline: float | str | None
+    current: float | str | None
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "severity": self.severity,
+            "kind": self.kind,
+            "experiment": self.experiment,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """The full verdict of one baseline/current comparison."""
+
+    baseline_tag: str
+    current_tag: str
+    experiments_compared: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "fail"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no ``fail`` findings)."""
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "baseline_tag": self.baseline_tag,
+            "current_tag": self.current_tag,
+            "experiments_compared": self.experiments_compared,
+            "ok": self.ok,
+            "failures": len(self.failures),
+            "warnings": len(self.warnings),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _severity(kind: str, fail_on: frozenset[str]) -> str:
+    return "fail" if kind in fail_on else "warn"
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value:.3f}s"
+
+
+def _fmt_bytes(value: float) -> str:
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f}MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f}KiB"
+    return f"{value:.0f}B"
+
+
+def _top_phase_shift(base: ExperimentBench, cur: ExperimentBench) -> str:
+    """Attribute a time delta to the phase that moved the most."""
+    base_s = base.phases.seconds
+    cur_s = cur.phases.seconds
+    deltas = {
+        name: cur_s.get(name, 0.0) - base_s.get(name, 0.0)
+        for name in sorted(set(base_s) | set(cur_s))
+    }
+    if not deltas:
+        return ""
+    name, delta = max(deltas.items(), key=lambda kv: abs(kv[1]))
+    if abs(delta) < 1e-9:
+        return ""
+    direction = "grew" if delta > 0 else "shrank"
+    return f" (largest phase shift: {name!r} {direction} by {abs(delta):.3f}s)"
+
+
+def _compare_experiment(
+    base: ExperimentBench,
+    cur: ExperimentBench,
+    thresholds: Thresholds,
+    fail_on: frozenset[str],
+    counters_comparable: bool,
+) -> Iterable[Finding]:
+    name = base.name
+    # --- deterministic counters: exact match required -----------------
+    if counters_comparable:
+        for metric in sorted(set(base.counters) | set(cur.counters)):
+            b = base.counters.get(metric)
+            c = cur.counters.get(metric)
+            if b is None:
+                yield Finding(
+                    "info", "counter", name, metric, None, c,
+                    f"{name}: new counter {metric!r}={c:g} (added instrumentation)",
+                )
+            elif c is None:
+                yield Finding(
+                    _severity("counter", fail_on), "counter", name, metric, b, None,
+                    f"{name}: counter {metric!r} disappeared (baseline {b:g})",
+                )
+            elif b != c:
+                yield Finding(
+                    _severity("counter", fail_on), "counter", name, metric, b, c,
+                    f"{name}: counter drift {metric!r}: {b:g} -> {c:g} "
+                    f"({c - b:+g}) — the simulation now does different work",
+                )
+    # --- wall time: relative threshold over an absolute floor ---------
+    dt = cur.wall_seconds - base.wall_seconds
+    if base.wall_seconds > 0 and abs(dt) >= thresholds.time_abs_floor_seconds:
+        rel = dt / base.wall_seconds
+        if rel > thresholds.time_rel:
+            yield Finding(
+                _severity("time", fail_on), "time", name, "wall_seconds",
+                base.wall_seconds, cur.wall_seconds,
+                f"{name}: {rel * 100:+.1f}% slower "
+                f"({_fmt_seconds(base.wall_seconds)} -> "
+                f"{_fmt_seconds(cur.wall_seconds)})"
+                + _top_phase_shift(base, cur),
+            )
+        elif rel < -thresholds.time_rel:
+            yield Finding(
+                "info", "time", name, "wall_seconds",
+                base.wall_seconds, cur.wall_seconds,
+                f"{name}: {-rel * 100:.1f}% faster "
+                f"({_fmt_seconds(base.wall_seconds)} -> "
+                f"{_fmt_seconds(cur.wall_seconds)})",
+            )
+    # --- peak memory --------------------------------------------------
+    db = cur.peak_tracemalloc_bytes - base.peak_tracemalloc_bytes
+    if (
+        base.peak_tracemalloc_bytes > 0
+        and cur.peak_tracemalloc_bytes > 0
+        and abs(db) >= thresholds.mem_abs_floor_bytes
+    ):
+        rel = db / base.peak_tracemalloc_bytes
+        if rel > thresholds.mem_rel:
+            yield Finding(
+                _severity("memory", fail_on), "memory", name,
+                "peak_tracemalloc_bytes",
+                base.peak_tracemalloc_bytes, cur.peak_tracemalloc_bytes,
+                f"{name}: peak heap {rel * 100:+.1f}% "
+                f"({_fmt_bytes(base.peak_tracemalloc_bytes)} -> "
+                f"{_fmt_bytes(cur.peak_tracemalloc_bytes)})",
+            )
+        elif rel < -thresholds.mem_rel:
+            yield Finding(
+                "info", "memory", name, "peak_tracemalloc_bytes",
+                base.peak_tracemalloc_bytes, cur.peak_tracemalloc_bytes,
+                f"{name}: peak heap {-rel * 100:.1f}% lower "
+                f"({_fmt_bytes(base.peak_tracemalloc_bytes)} -> "
+                f"{_fmt_bytes(cur.peak_tracemalloc_bytes)})",
+            )
+
+
+def compare_reports(
+    baseline: BenchReport,
+    current: BenchReport,
+    *,
+    thresholds: Thresholds | None = None,
+    fail_on: Iterable[str] = DEFAULT_FAIL_ON,
+) -> ComparisonResult:
+    """Compare ``current`` against ``baseline``; produce the verdict.
+
+    ``fail_on`` selects which regression kinds gate (see
+    :data:`DEFAULT_FAIL_ON`); unknown kinds raise ``ValueError``.
+    A workload-configuration mismatch suppresses counter comparison
+    (the counts are incomparable) but still reports timing deltas as
+    warnings for the curious.
+    """
+    if thresholds is None:
+        thresholds = Thresholds()
+    gate = frozenset(fail_on)
+    unknown = gate - _VALID_FAIL_KINDS
+    if unknown:
+        raise ValueError(
+            f"unknown fail_on kinds: {sorted(unknown)} "
+            f"(valid: {sorted(_VALID_FAIL_KINDS)})"
+        )
+    result = ComparisonResult(baseline_tag=baseline.tag, current_tag=current.tag)
+
+    workload = baseline.env.workload_mismatches(current.env)
+    for field_name, b, c in workload:
+        result.findings.append(
+            Finding(
+                _severity("config", gate), "config", None, field_name, b, c,
+                f"workload config differs: {field_name} {b!r} vs {c!r} — "
+                f"deterministic counters are not comparable",
+            )
+        )
+    for field_name, b, c in baseline.env.machine_mismatches(current.env):
+        result.findings.append(
+            Finding(
+                "info", "machine", None, field_name, b, c,
+                f"machine differs: {field_name} {b!r} vs {c!r} "
+                f"(timing deltas may reflect hardware, not code)",
+            )
+        )
+
+    counters_comparable = not workload
+    for name, base_exp in baseline.experiments.items():
+        cur_exp = current.experiments.get(name)
+        if cur_exp is None:
+            result.findings.append(
+                Finding(
+                    _severity("missing", gate), "missing", name, "experiment",
+                    "present", None,
+                    f"{name}: in baseline but not in current run",
+                )
+            )
+            continue
+        result.experiments_compared += 1
+        result.findings.extend(
+            _compare_experiment(base_exp, cur_exp, thresholds, gate, counters_comparable)
+        )
+    for name in current.experiments:
+        if name not in baseline.experiments:
+            result.findings.append(
+                Finding(
+                    "info", "new", name, "experiment", None, "present",
+                    f"{name}: new experiment (not in baseline)",
+                )
+            )
+    return result
+
+
+_SEVERITY_ORDER = {"fail": 0, "warn": 1, "info": 2}
+_MD_BADGE = {"fail": "❌", "warn": "⚠️", "info": "ℹ️"}
+
+
+def _sorted_findings(result: ComparisonResult) -> list[Finding]:
+    return sorted(
+        result.findings,
+        key=lambda f: (_SEVERITY_ORDER[f.severity], f.experiment or "", f.metric),
+    )
+
+
+def _render_human(result: ComparisonResult) -> str:
+    lines = [
+        f"bench compare: {result.current_tag!r} vs baseline {result.baseline_tag!r}",
+        f"  experiments compared: {result.experiments_compared}",
+    ]
+    if not result.findings:
+        lines.append("  no differences beyond thresholds")
+    for f in _sorted_findings(result):
+        lines.append(f"  [{f.severity.upper():4s}] {f.message}")
+    verdict = "PASS" if result.ok else f"FAIL ({len(result.failures)} regression(s))"
+    lines.append(f"verdict: {verdict}")
+    return "\n".join(lines)
+
+
+def _render_markdown(result: ComparisonResult) -> str:
+    badge = "✅ PASS" if result.ok else f"❌ FAIL — {len(result.failures)} regression(s)"
+    lines = [
+        f"## Bench comparison: `{result.current_tag}` vs `{result.baseline_tag}`",
+        "",
+        f"**{badge}** · {result.experiments_compared} experiment(s) compared, "
+        f"{len(result.warnings)} warning(s)",
+        "",
+    ]
+    if result.findings:
+        lines += [
+            "| | Kind | Experiment | Metric | Baseline | Current |",
+            "|---|---|---|---|---|---|",
+        ]
+        for f in _sorted_findings(result):
+            lines.append(
+                f"| {_MD_BADGE[f.severity]} | {f.kind} | {f.experiment or '—'} "
+                f"| `{f.metric}` | {f.baseline if f.baseline is not None else '—'} "
+                f"| {f.current if f.current is not None else '—'} |"
+            )
+        lines.append("")
+        lines.append("<details><summary>Details</summary>")
+        lines.append("")
+        for f in _sorted_findings(result):
+            lines.append(f"- **{f.severity}**: {f.message}")
+        lines.append("")
+        lines.append("</details>")
+    else:
+        lines.append("No differences beyond thresholds.")
+    return "\n".join(lines)
+
+
+def render_comparison(result: ComparisonResult, fmt: str = "human") -> str:
+    """Render a verdict as ``human``, ``json``, or ``markdown`` text."""
+    if fmt == "human":
+        return _render_human(result)
+    if fmt == "json":
+        return json.dumps(result.to_dict(), indent=2)
+    if fmt == "markdown":
+        return _render_markdown(result)
+    raise ValueError(f"unknown comparison format: {fmt!r}")

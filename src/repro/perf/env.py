@@ -1,0 +1,144 @@
+"""Environment fingerprinting for BENCH reports.
+
+A recorded wall-clock number is meaningless without knowing *what ran
+it*: interpreter, platform, CPU budget, library versions, source
+revision, and the evaluation-window configuration that scales every
+experiment's work.  :func:`capture_environment` gathers all of that
+into an :class:`EnvironmentFingerprint`; ``repro bench --compare``
+refuses to equate counter trajectories whose workload configuration
+(eval/warmup days, base seed) differs, and annotates — but does not
+fail on — machine differences.
+
+This module reads the wall clock, the environment, and the git
+repository by design: ``repro.perf`` sits outside the deterministic
+simulation packages, on the sanctioned observability boundary alongside
+``repro.obs`` (see ``docs/static_analysis.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+__all__ = ["EnvironmentFingerprint", "capture_environment"]
+
+
+@dataclass(frozen=True)
+class EnvironmentFingerprint:
+    """Everything needed to interpret a recorded benchmark number.
+
+    ``eval_days`` / ``warmup_days`` / ``base_seed`` define the *work
+    amount* (they scale each experiment's trace); the rest describes
+    the machine that did the work.
+    """
+
+    python: str
+    implementation: str
+    platform: str
+    machine: str
+    cpu_count: int
+    numpy: str
+    scipy: str
+    git_sha: str
+    eval_days: float
+    warmup_days: float
+    base_seed: int
+
+    #: Fields that define the workload: a mismatch makes counter
+    #: comparison meaningless, so ``--compare`` treats it as a failure.
+    WORKLOAD_FIELDS = ("eval_days", "warmup_days", "base_seed")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EnvironmentFingerprint":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        readers survive additive schema growth."""
+        fields = {
+            "python": str(data.get("python", "unknown")),
+            "implementation": str(data.get("implementation", "unknown")),
+            "platform": str(data.get("platform", "unknown")),
+            "machine": str(data.get("machine", "unknown")),
+            "cpu_count": int(data.get("cpu_count", 0)),
+            "numpy": str(data.get("numpy", "unknown")),
+            "scipy": str(data.get("scipy", "unknown")),
+            "git_sha": str(data.get("git_sha", "unknown")),
+            "eval_days": float(data.get("eval_days", 0.0)),
+            "warmup_days": float(data.get("warmup_days", 0.0)),
+            "base_seed": int(data.get("base_seed", 1)),
+        }
+        return cls(**fields)
+
+    def workload_mismatches(
+        self, other: "EnvironmentFingerprint"
+    ) -> list[tuple[str, Any, Any]]:
+        """``(field, self_value, other_value)`` for workload fields that
+        differ — each one invalidates counter comparison."""
+        out: list[tuple[str, Any, Any]] = []
+        for field in self.WORKLOAD_FIELDS:
+            a, b = getattr(self, field), getattr(other, field)
+            if a != b:
+                out.append((field, a, b))
+        return out
+
+    def machine_mismatches(
+        self, other: "EnvironmentFingerprint"
+    ) -> list[tuple[str, Any, Any]]:
+        """Differences that merely contextualize timing deltas."""
+        out: list[tuple[str, Any, Any]] = []
+        for field in ("python", "implementation", "platform", "machine",
+                      "cpu_count", "numpy", "scipy"):
+            a, b = getattr(self, field), getattr(other, field)
+            if a != b:
+                out.append((field, a, b))
+        return out
+
+
+def _git_sha() -> str:
+    """HEAD revision of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def _scipy_version() -> str:
+    try:
+        import scipy
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        return "unavailable"
+    return str(scipy.__version__)
+
+
+def capture_environment() -> EnvironmentFingerprint:
+    """Fingerprint the current process and workload configuration."""
+    import numpy
+
+    from repro.experiments.common import eval_days, warmup_days
+
+    return EnvironmentFingerprint(
+        python=platform.python_version(),
+        implementation=platform.python_implementation(),
+        platform=platform.platform(),
+        machine=platform.machine(),
+        cpu_count=os.cpu_count() or 0,
+        numpy=str(numpy.__version__),
+        scipy=_scipy_version(),
+        git_sha=_git_sha(),
+        eval_days=eval_days(),
+        warmup_days=warmup_days(),
+        base_seed=int(os.environ.get("REPRO_BASE_SEED", "1")),
+    )

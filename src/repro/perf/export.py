@@ -1,0 +1,89 @@
+"""Exporters: MetricsRegistry snapshots as Prometheus text and JSONL.
+
+Two wire formats for pushing the suite-level registry beyond the repo:
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4): dotted metric names flatten to underscores,
+  counters/gauges become single samples, histograms become *summaries*
+  with ``quantile`` labels plus ``_sum``/``_count`` series — matching
+  the p50/p90/p99 sketch the registry actually keeps (no cumulative
+  ``le`` buckets are invented).
+* :func:`metrics_jsonl` — one self-describing JSON object per line per
+  instrument, for ad-hoc ``jq`` analysis and log-pipeline ingestion.
+
+Both are pure functions of the registry: deterministic output for a
+deterministic run, so exporter text is golden-testable.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterator
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["prometheus_name", "prometheus_text", "metrics_jsonl"]
+
+_INVALID_PROM_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def prometheus_name(name: str) -> str:
+    """Flatten a dotted metric name to a legal Prometheus name.
+
+    ``matching.rejected.latency`` -> ``repro_matching_rejected_latency``
+    (the ``repro_`` prefix namespaces the series).
+    """
+    flat = _INVALID_PROM_CHARS.sub("_", name)
+    if flat and flat[0].isdigit():
+        flat = "_" + flat
+    return f"repro_{flat}"
+
+
+def _fmt(value: float) -> str:
+    # Prometheus accepts Go-style floats; repr keeps full precision
+    # while integers render without a trailing .0 noise via %g-ish form.
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_lines(registry: MetricsRegistry) -> Iterator[str]:
+    for inst in registry:
+        name = prometheus_name(inst.name)
+        if isinstance(inst, Counter):
+            yield f"# TYPE {name} counter"
+            yield f"{name} {_fmt(inst.value)}"
+        elif isinstance(inst, Gauge):
+            yield f"# TYPE {name} gauge"
+            yield f"{name} {_fmt(inst.value)}"
+        elif isinstance(inst, Histogram):
+            summary = inst.summary()
+            yield f"# TYPE {name} summary"
+            for label, key in _QUANTILES:
+                yield f'{name}{{quantile="{label}"}} {_fmt(summary[key])}'
+            yield f"{name}_sum {_fmt(summary['sum'])}"
+            yield f"{name}_count {_fmt(summary['count'])}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines = list(_prom_lines(registry))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _jsonl_records(registry: MetricsRegistry) -> Iterator[dict[str, object]]:
+    for inst in registry:
+        if isinstance(inst, Histogram):
+            yield {"name": inst.name, "kind": "histogram", **inst.summary()}
+        elif isinstance(inst, Counter):
+            yield {"name": inst.name, "kind": "counter", "value": inst.value}
+        else:
+            yield {"name": inst.name, "kind": "gauge", "value": inst.value}
+
+
+def metrics_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per line per instrument (sorted by name)."""
+    lines = [json.dumps(rec, sort_keys=False) for rec in _jsonl_records(registry)]
+    return "\n".join(lines) + ("\n" if lines else "")

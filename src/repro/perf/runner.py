@@ -1,0 +1,171 @@
+"""The bench runner: instrumented execution of paper experiments.
+
+For each selected experiment the runner
+
+1. clears the shared experiment result cache (so counters reflect the
+   full work of *this* experiment, independent of execution order),
+2. installs an ambient probe (:mod:`repro.obs.ambient`) so every
+   simulation, emulation, and predictor evaluation inside the unmodified
+   experiment module reports its deterministic work counters and phase
+   timings,
+3. measures wall seconds (``perf_counter``), CPU seconds
+   (``process_time``), and — unless disabled — peak heap usage via
+   ``tracemalloc``,
+
+and packages the result as an :class:`~repro.perf.schema.ExperimentBench`.
+``tracemalloc`` roughly doubles wall time; timing-sensitive recordings
+can pass ``mem=False`` and keep the counters exact (memory tracking
+never affects them).
+
+The per-experiment registries additionally merge into one suite-level
+:class:`~repro.obs.registry.MetricsRegistry` for the Prometheus/JSONL
+exporters (:mod:`repro.perf.export`).
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+import tracemalloc
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Callable, Iterable
+
+from repro.cli import EXPERIMENTS
+from repro.obs.ambient import probe
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.perf.env import capture_environment
+from repro.perf.schema import BenchReport, ExperimentBench
+
+__all__ = [
+    "DEFAULT_SUITE",
+    "MeasuredRun",
+    "measure_callable",
+    "resolve_names",
+    "run_bench",
+]
+
+#: The full figure/table suite, in paper order.
+DEFAULT_SUITE: tuple[str, ...] = tuple(EXPERIMENTS)
+
+
+def resolve_names(names: Iterable[str] | None) -> list[str]:
+    """Validate experiment names; ``None``/empty means the full suite.
+
+    The result preserves paper order (the order of
+    :data:`repro.cli.EXPERIMENTS`) regardless of input order, so bench
+    reports are stably laid out and trivially diffable.
+    """
+    requested = list(names or ())
+    if not requested:
+        return list(DEFAULT_SUITE)
+    unknown = sorted(set(requested) - set(EXPERIMENTS))
+    if unknown:
+        raise ValueError(
+            f"unknown experiments: {', '.join(unknown)} "
+            f"(choose from: {', '.join(EXPERIMENTS)})"
+        )
+    wanted = set(requested)
+    return [name for name in EXPERIMENTS if name in wanted]
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """One instrumented execution: the bench record, the callable's
+    return value, and the registry that captured the run's metrics."""
+
+    bench: ExperimentBench
+    value: Any
+    registry: MetricsRegistry
+
+
+def _split_registry(
+    registry: MetricsRegistry,
+) -> tuple[dict[str, float], dict[str, dict[str, float]]]:
+    """Separate scalar instruments from histogram summaries."""
+    counters: dict[str, float] = {}
+    distributions: dict[str, dict[str, float]] = {}
+    for inst in registry:
+        if isinstance(inst, Histogram):
+            distributions[inst.name] = inst.summary()
+        else:
+            counters[inst.name] = inst.value
+    return counters, distributions
+
+
+def measure_callable(
+    name: str, fn: Callable[[], Any], *, mem: bool = True
+) -> MeasuredRun:
+    """Run ``fn`` under an ambient probe and full instrumentation.
+
+    ``mem=False`` skips ``tracemalloc`` (peak bytes recorded as 0) for
+    timing-faithful runs.  The probe is installed for exactly the
+    duration of the call, so nested measurements do not bleed into each
+    other.
+    """
+    with probe() as p:
+        if mem:
+            tracemalloc.start()
+        cpu0 = time.process_time()
+        wall0 = time.perf_counter()
+        try:
+            value = fn()
+        finally:
+            wall = time.perf_counter() - wall0
+            cpu = time.process_time() - cpu0
+            if mem:
+                peak = tracemalloc.get_traced_memory()[1]
+                tracemalloc.stop()
+            else:
+                peak = 0
+    counters, distributions = _split_registry(p.registry)
+    bench = ExperimentBench(
+        name=name,
+        wall_seconds=wall,
+        cpu_seconds=cpu,
+        peak_tracemalloc_bytes=peak,
+        counters=counters,
+        distributions=distributions,
+        phases=p.phases,
+    )
+    return MeasuredRun(bench=bench, value=value, registry=p.registry)
+
+
+def run_bench(
+    names: Iterable[str] | None = None,
+    *,
+    tag: str = "local",
+    mem: bool = True,
+    progress: Callable[[ExperimentBench], None] | None = None,
+) -> tuple[BenchReport, MetricsRegistry]:
+    """Execute experiments under instrumentation; build the BENCH report.
+
+    Returns the report and the suite-level merged registry (for the
+    exporters).  ``progress`` is invoked with each finished
+    :class:`ExperimentBench` so the CLI can stream per-experiment lines.
+    """
+    from repro.experiments.common import clear_cache
+
+    selected = resolve_names(names)
+    env = capture_environment()
+    merged = MetricsRegistry()
+    experiments: dict[str, ExperimentBench] = {}
+    for name in selected:
+        # A cold cache per experiment keeps its counters self-contained:
+        # shared sub-results (emulator datasets, baseline simulations)
+        # are re-computed and therefore re-counted, so the recorded work
+        # does not depend on which experiments ran before this one.
+        clear_cache()
+        module = importlib.import_module(EXPERIMENTS[name])
+        run = measure_callable(name, module.run, mem=mem)
+        merged.merge_from(run.registry)
+        experiments[name] = run.bench
+        if progress is not None:
+            progress(run.bench)
+    report = BenchReport(
+        tag=tag,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        env=env,
+        experiments=experiments,
+    )
+    return report, merged

@@ -1,0 +1,191 @@
+"""The ``BENCH_<tag>.json`` document model.
+
+A bench report is the unit of the performance trajectory: one file per
+recorded run, schema-versioned so future fields can be added without
+breaking old baselines, containing
+
+* an :class:`~repro.perf.env.EnvironmentFingerprint` (machine +
+  workload configuration),
+* one :class:`ExperimentBench` per executed experiment: wall and CPU
+  seconds, peak ``tracemalloc`` bytes, the per-phase
+  :class:`~repro.obs.timing.PhaseSnapshot` breakdown, the deterministic
+  work counters (ticks, leases, offer comparisons, predictor
+  evaluations, ...), and histogram distribution summaries.
+
+Counters are *exact* quantities — the simulation is deterministic given
+its seed, so two runs of the same revision at the same workload must
+produce byte-identical counter maps.  ``repro bench --compare`` exploits
+this: timing drift is judged with relative thresholds, counter drift
+with equality.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.timing import PhaseSnapshot
+from repro.perf.env import EnvironmentFingerprint
+
+__all__ = ["SCHEMA_VERSION", "SchemaError", "ExperimentBench", "BenchReport"]
+
+#: Version of the on-disk document layout.  Bump on breaking changes;
+#: readers refuse documents from a *newer* major than they understand.
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A BENCH document that cannot be interpreted."""
+
+
+def _require(data: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in data:
+        raise SchemaError(f"{context}: missing required field {key!r}")
+    return data[key]
+
+
+@dataclass(frozen=True)
+class ExperimentBench:
+    """Measured cost and deterministic work of one experiment run.
+
+    ``counters`` holds every scalar instrument (counters *and* gauges)
+    from the run's registry; ``distributions`` holds the histogram
+    summaries (count/sum/mean/min/max/stddev/p50/p90/p99).  ``phases``
+    is the merged wall-clock attribution across every simulation the
+    experiment performed.
+    """
+
+    name: str
+    wall_seconds: float
+    cpu_seconds: float
+    peak_tracemalloc_bytes: int
+    counters: dict[str, float] = field(default_factory=dict)
+    distributions: dict[str, dict[str, float]] = field(default_factory=dict)
+    phases: PhaseSnapshot = field(default_factory=PhaseSnapshot)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping with sorted metric keys for stable diffs."""
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "peak_tracemalloc_bytes": self.peak_tracemalloc_bytes,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "distributions": {
+                k: self.distributions[k] for k in sorted(self.distributions)
+            },
+            "phases": self.phases.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentBench":
+        name = str(_require(data, "name", "experiment"))
+        ctx = f"experiment {name!r}"
+        return cls(
+            name=name,
+            wall_seconds=float(_require(data, "wall_seconds", ctx)),
+            cpu_seconds=float(_require(data, "cpu_seconds", ctx)),
+            peak_tracemalloc_bytes=int(data.get("peak_tracemalloc_bytes", 0)),
+            counters={
+                str(k): float(v) for k, v in dict(data.get("counters", {})).items()
+            },
+            distributions={
+                str(k): {str(f): float(x) for f, x in dict(v).items()}
+                for k, v in dict(data.get("distributions", {})).items()
+            },
+            phases=PhaseSnapshot.from_dict(data.get("phases", {})),
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One recorded bench run: environment plus per-experiment results.
+
+    ``experiments`` preserves execution order (paper order), which the
+    comparison and rendering layers rely on for stable output.
+    """
+
+    tag: str
+    created: str
+    env: EnvironmentFingerprint
+    experiments: dict[str, ExperimentBench] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Suite wall time (sum over experiments)."""
+        return sum(e.wall_seconds for e in self.experiments.values())
+
+    def merged_phases(self) -> PhaseSnapshot:
+        """Suite-level phase attribution (sum over experiments)."""
+        out = PhaseSnapshot()
+        for exp in self.experiments.values():
+            out = out + exp.phases
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping."""
+        return {
+            "schema_version": self.schema_version,
+            "tag": self.tag,
+            "created": self.created,
+            "environment": self.env.to_dict(),
+            "experiments": [e.to_dict() for e in self.experiments.values()],
+        }
+
+    def to_json(self) -> str:
+        """Pretty, trailing-newline JSON (the committed-artifact format)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchReport":
+        version = int(_require(data, "schema_version", "bench report"))
+        if version > SCHEMA_VERSION:
+            raise SchemaError(
+                f"bench report has schema_version {version}; this reader "
+                f"understands up to {SCHEMA_VERSION} — upgrade the repo"
+            )
+        raw_experiments = _require(data, "experiments", "bench report")
+        if not isinstance(raw_experiments, list):
+            raise SchemaError("bench report: 'experiments' must be a list")
+        experiments: dict[str, ExperimentBench] = {}
+        for entry in raw_experiments:
+            exp = ExperimentBench.from_dict(entry)
+            if exp.name in experiments:
+                raise SchemaError(f"bench report: duplicate experiment {exp.name!r}")
+            experiments[exp.name] = exp
+        return cls(
+            tag=str(_require(data, "tag", "bench report")),
+            created=str(data.get("created", "unknown")),
+            env=EnvironmentFingerprint.from_dict(
+                _require(data, "environment", "bench report")
+            ),
+            experiments=experiments,
+            schema_version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"bench report is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SchemaError("bench report: top level must be a JSON object")
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the report; returns the resolved path."""
+        target = Path(path)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        """Read and validate a report file."""
+        source = Path(path)
+        if not source.exists():
+            raise SchemaError(f"bench report not found: {source}")
+        return cls.from_json(source.read_text(encoding="utf-8"))

@@ -21,11 +21,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
+from repro.obs.ambient import ambient_metrics, record_ambient_phases
+from repro.obs.timing import PhaseTimer
 from repro.predictors.base import Predictor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 from repro.predictors.neural import NeuralPredictor
 from repro.predictors.simple import (
     AveragePredictor,
@@ -67,6 +72,7 @@ def one_step_predictions(
     *,
     fit_fraction: float = 0.5,
     skip: int | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Run a predictor over a data set, honouring its training protocol.
 
@@ -94,17 +100,32 @@ def one_step_predictions(
         Flattened aligned arrays over the evaluation span, and the start
         step of that span.
     """
+    if metrics is None:
+        metrics = ambient_metrics()
+    timer = PhaseTimer() if metrics is not None else None
     arr = np.asarray(data, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr[:, None]
     n_steps = arr.shape[0]
     split = int(n_steps * fit_fraction)
+    t_mark = timer.mark() if timer is not None else 0.0
     if hasattr(predictor, "fit") and split > 10:
         predictor.fit(arr[:split])
+        if metrics is not None:
+            metrics.counter("predictors.fits").inc()
+    if timer is not None:
+        t_mark = timer.lap("predictor_fit", t_mark)
     start = skip if skip is not None else max(split, 8)
     if start >= n_steps:
         raise ValueError("nothing left to evaluate; lower fit_fraction or skip")
     predictions = predictor.predict_series(arr)
+    if metrics is not None:
+        # One evaluation per trace step: the deterministic unit of
+        # prediction work behind the Fig. 5 accuracy sweeps.
+        metrics.counter("predictors.evaluations").inc(n_steps)
+        if timer is not None:
+            timer.lap("predictor_series", t_mark)
+            record_ambient_phases(timer)
     return arr[start:].reshape(-1), predictions[start:].reshape(-1), start
 
 
@@ -113,11 +134,16 @@ def evaluate_predictors(
     predictors: Sequence[Predictor] | None = None,
     *,
     fit_fraction: float = 0.5,
+    metrics: "MetricsRegistry | None" = None,
 ) -> dict[str, dict[str, float]]:
     """Prediction error of each predictor on each data set (Fig. 5).
 
     Returns ``{dataset_name: {predictor_name: error_percent}}``.
+    ``metrics`` (or an ambient probe) receives the per-evaluation work
+    counters recorded by :func:`one_step_predictions`.
     """
+    if metrics is None:
+        metrics = ambient_metrics()
     if predictors is None:
         predictors = paper_predictor_suite()
     results: dict[str, dict[str, float]] = {}
@@ -125,7 +151,7 @@ def evaluate_predictors(
         row: dict[str, float] = {}
         for predictor in predictors:
             actual, predicted, _ = one_step_predictions(
-                predictor, data, fit_fraction=fit_fraction
+                predictor, data, fit_fraction=fit_fraction, metrics=metrics
             )
             row[predictor.name] = prediction_error_percent(actual, predicted)
         results[ds_name] = row
@@ -166,6 +192,7 @@ def time_predictor(
     *,
     n_calls: int = 2000,
     fit_fraction: float = 0.5,
+    metrics: "MetricsRegistry | None" = None,
 ) -> PredictionTimingStats:
     """Measure the latency of single ``predict`` calls (Fig. 6).
 
@@ -173,21 +200,38 @@ def time_predictor(
     the first portion, streamed over the history), then ``predict`` is
     invoked ``n_calls`` times with a hot state and each call is timed
     individually with the highest-resolution clock available.
+    ``metrics`` (or an ambient probe) records the deterministic call
+    counts and a ``predictor_timing`` phase; counters are touched only
+    outside the timed region, so the measured latencies are unaffected.
     """
+    if metrics is None:
+        metrics = ambient_metrics()
+    timer = PhaseTimer() if metrics is not None else None
     arr = np.asarray(data, dtype=np.float64)
     if arr.ndim == 1:
         arr = arr[:, None]
     split = int(arr.shape[0] * fit_fraction)
+    t_mark = timer.mark() if timer is not None else 0.0
     if hasattr(predictor, "fit") and split > 10:
         predictor.fit(arr[:split])
+        if metrics is not None:
+            metrics.counter("predictors.fits").inc()
     predictor.reset(arr.shape[1])
     for t in range(min(split + 16, arr.shape[0])):
         predictor.observe(arr[t])
+    if timer is not None:
+        t_mark = timer.lap("predictor_fit", t_mark)
     timings = np.empty(n_calls)
     for i in range(n_calls):
         t0 = time.perf_counter()
         predictor.predict()
         timings[i] = time.perf_counter() - t0
+    if metrics is not None:
+        metrics.counter("predictors.evaluations").inc(n_calls)
+        metrics.counter("predictors.timed_calls").inc(n_calls)
+        if timer is not None:
+            timer.lap("predictor_timing", t_mark)
+            record_ambient_phases(timer)
     return PredictionTimingStats.from_samples(timings)
 
 

@@ -1,0 +1,95 @@
+"""Tests for the ambient probe stack (`repro.obs.ambient`)."""
+
+from repro.obs import (
+    MetricsRegistry,
+    PhaseTimer,
+    ambient_metrics,
+    current_probe,
+    probe,
+    record_ambient_phases,
+)
+
+
+class TestProbeStack:
+    def test_empty_stack_resolves_to_none(self):
+        assert current_probe() is None
+        assert ambient_metrics() is None
+
+    def test_record_phases_is_noop_without_probe(self):
+        timer = PhaseTimer()
+        timer.add("a", 1.0)
+        record_ambient_phases(timer)  # must not raise
+        record_ambient_phases(None)
+
+    def test_probe_installs_and_removes(self):
+        with probe() as p:
+            assert current_probe() is p
+            assert ambient_metrics() is p.registry
+        assert current_probe() is None
+
+    def test_probe_accepts_external_registry(self):
+        reg = MetricsRegistry()
+        with probe(reg) as p:
+            assert p.registry is reg
+            assert ambient_metrics() is reg
+
+    def test_innermost_probe_wins(self):
+        with probe() as outer:
+            with probe() as inner:
+                assert ambient_metrics() is inner.registry
+                assert ambient_metrics() is not outer.registry
+            assert ambient_metrics() is outer.registry
+
+    def test_probe_removed_even_on_exception(self):
+        try:
+            with probe():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_probe() is None
+
+    def test_phases_accumulate_across_records(self):
+        t1, t2 = PhaseTimer(), PhaseTimer()
+        t1.add("emulate", 1.0)
+        t2.add("emulate", 2.0)
+        t2.add("score", 0.5)
+        with probe() as p:
+            record_ambient_phases(t1)
+            record_ambient_phases(t2.snapshot())
+        assert p.phases.seconds == {"emulate": 3.0, "score": 0.5}
+        assert p.phases.visits == {"emulate": 2, "score": 1}
+
+
+class TestAmbientWiring:
+    def test_emulator_reports_to_probe(self):
+        from repro.emulator import EmulatorConfig, GameEmulator
+
+        cfg = EmulatorConfig(
+            profile_mix=(0.25, 0.25, 0.25, 0.25),
+            peak_load=50,
+            duration_days=0.02,
+            seed=3,
+        )
+        with probe() as p:
+            trace = GameEmulator(cfg).run()
+        assert p.registry.value("emulator.samples") == trace.n_samples
+        assert p.registry.value("emulator.ticks") > 0
+        assert "emulate" in p.phases.seconds
+
+    def test_simulation_reports_to_probe(self):
+        from repro import quick_simulation
+
+        with probe() as p:
+            result = quick_simulation(n_days=0.25, warmup_days=0.1)
+        assert p.registry.value("sim.steps") == result.eval_steps
+        assert p.registry.value("operator.predictor_evaluations") > 0
+        assert "reconcile" in p.phases.seconds
+
+    def test_explicit_registry_beats_ambient(self):
+        from repro import quick_simulation
+
+        explicit = MetricsRegistry()
+        with probe() as p:
+            quick_simulation(n_days=0.25, warmup_days=0.1, metrics=explicit)
+        assert explicit.value("sim.steps") > 0
+        assert "sim.steps" not in p.registry

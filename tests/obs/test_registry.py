@@ -44,6 +44,73 @@ class TestHistogram:
         assert h.count == 0
         assert h.mean == 0.0
         assert h.stddev == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["p99"] == 0.0
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_within_bucket_error(self):
+        h = Histogram("x")
+        for v in range(1, 1001):
+            h.observe(float(v))
+        # The geometric grid guarantees ~±4.5 % relative error.
+        assert h.quantile(0.50) == pytest.approx(500.0, rel=0.06)
+        assert h.quantile(0.90) == pytest.approx(900.0, rel=0.06)
+        assert h.quantile(0.99) == pytest.approx(990.0, rel=0.06)
+
+    def test_negative_values(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(-float(v))
+        # Order: most negative first, so p50 of -1..-100 is near -50.
+        assert h.quantile(0.50) == pytest.approx(-50.0, rel=0.06)
+        assert h.quantile(0.01) == pytest.approx(-100.0, rel=0.06)
+
+    def test_mixed_signs_and_zero(self):
+        h = Histogram("x")
+        for v in (-2.0, -1.0, 0.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.0) == -2.0
+        assert h.quantile(1.0) == 2.0
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram("x")
+        h.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 3.0
+
+    def test_invalid_quantile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_quantiles_keys(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        assert set(h.quantiles()) == {"p50", "p90", "p99"}
+
+    def test_summary_includes_quantiles(self):
+        h = Histogram("x")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert {"count", "sum", "mean", "min", "max", "stddev", "p50", "p90", "p99"} <= set(s)
+
+    def test_merge_matches_single_stream(self):
+        a, b, both = Histogram("a"), Histogram("b"), Histogram("c")
+        for v in range(1, 51):
+            a.observe(float(v))
+            both.observe(float(v))
+        for v in range(51, 101):
+            b.observe(float(v))
+            both.observe(float(v))
+        a.merge(b)
+        assert a.count == both.count
+        assert a.total == both.total
+        assert a.min == both.min
+        assert a.max == both.max
+        for q in (0.5, 0.9, 0.99):
+            assert a.quantile(q) == both.quantile(q)
 
 
 class TestRegistry:
@@ -98,3 +165,36 @@ class TestRegistry:
         reg.counter("a").inc()
         reg.reset()
         assert "a" not in reg
+
+    def test_snapshot_histogram_includes_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["h"]["p50"] == 2.0
+
+
+class TestRegistryMerge:
+    def test_merge_from_adds_counters_and_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.gauge("g").set(4)
+        a.merge_from(b)
+        assert a.value("c") == 5
+        assert a.value("g") == 4
+
+    def test_merge_from_merges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(3.0)
+        a.merge_from(b)
+        h = a.get("h")
+        assert h.count == 2
+        assert h.total == 4.0
+
+    def test_merge_from_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TypeError):
+            a.merge_from(b)

@@ -4,7 +4,7 @@ metrics wiring through one ecosystem simulation."""
 import time
 
 from repro import quick_simulation
-from repro.obs import MetricsRegistry, PhaseTimer, render_report
+from repro.obs import MetricsRegistry, PhaseSnapshot, PhaseTimer, render_report
 
 
 class TestPhaseTimer:
@@ -37,6 +37,66 @@ class TestPhaseTimer:
         assert timer.elapsed >= timer.total / 2
 
 
+class TestPhaseSnapshot:
+    def _timer(self, **phases):
+        t = PhaseTimer()
+        for name, secs in phases.items():
+            t.add(name, secs)
+        return t
+
+    def test_snapshot_freezes_breakdown(self):
+        timer = self._timer(a=1.0, b=2.0)
+        snap = timer.snapshot()
+        timer.add("a", 5.0)
+        assert snap.seconds == {"a": 1.0, "b": 2.0}
+        assert snap.visits == {"a": 1, "b": 1}
+        assert snap.total == 3.0
+
+    def test_add_merges_phasewise(self):
+        s1 = self._timer(a=1.0, b=2.0).snapshot()
+        s2 = self._timer(b=3.0, c=4.0).snapshot()
+        merged = s1 + s2
+        assert merged.seconds == {"a": 1.0, "b": 5.0, "c": 4.0}
+        assert merged.visits == {"a": 1, "b": 2, "c": 1}
+
+    def test_sum_builtin_supported(self):
+        snaps = [self._timer(a=1.0).snapshot() for _ in range(3)]
+        total = sum(snaps)
+        assert total.seconds == {"a": 3.0}
+        assert total.visits == {"a": 3}
+
+    def test_timer_plus_timer_gives_snapshot(self):
+        merged = self._timer(a=1.0) + self._timer(a=0.5)
+        assert isinstance(merged, PhaseSnapshot)
+        assert merged.seconds == {"a": 1.5}
+
+    def test_timer_plus_snapshot(self):
+        merged = self._timer(a=1.0) + self._timer(b=2.0).snapshot()
+        assert merged.seconds == {"a": 1.0, "b": 2.0}
+
+    def test_dict_round_trip(self):
+        snap = self._timer(a=1.5, b=0.25).snapshot()
+        restored = PhaseSnapshot.from_dict(snap.to_dict())
+        assert restored == snap
+
+    def test_to_dict_sorted_and_shaped(self):
+        snap = self._timer(z=1.0, a=2.0).snapshot()
+        d = snap.to_dict()
+        assert list(d) == ["a", "z"]
+        assert d["a"] == {"seconds": 2.0, "visits": 1}
+
+    def test_empty_snapshot_is_falsy_identity(self):
+        empty = PhaseSnapshot()
+        assert not empty
+        snap = self._timer(a=1.0).snapshot()
+        assert (empty + snap) == snap
+
+    def test_summary_sorted_slowest_first(self):
+        snap = self._timer(fast=0.1, slow=0.9).snapshot()
+        rows = snap.summary()
+        assert [r[0] for r in rows] == ["slow", "fast"]
+
+
 class TestRenderReport:
     def test_empty_registry(self):
         assert "no metrics" in render_report(MetricsRegistry())
@@ -60,6 +120,23 @@ class TestRenderReport:
         out = render_report(reg, {"reconcile": 0.5, "score": 0.25})
         assert "reconcile" in out
         assert "66.7" in out  # reconcile share of total
+
+    def test_accepts_phase_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        timer = PhaseTimer()
+        timer.add("emulate", 0.75)
+        out = render_report(reg, timer.snapshot())
+        assert "emulate" in out
+
+    def test_histogram_table_reports_quantiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.histogram("x.dist").observe(float(v))
+        out = render_report(reg)
+        assert "p50" in out
+        assert "p90" in out
+        assert "p99" in out
 
 
 class TestEcosystemMetricsWiring:

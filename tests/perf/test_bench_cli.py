@@ -1,0 +1,109 @@
+"""End-to-end tests for the ``repro bench`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.perf import BenchReport
+
+
+@pytest.fixture
+def tiny(monkeypatch):
+    """Register the fast fake experiment under the name ``tiny``."""
+    monkeypatch.setitem(EXPERIMENTS, "tiny", "tests.perf.tiny_experiment")
+
+
+class TestBenchCli:
+    def test_list_prints_catalogue(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "fig08" in out
+        assert "table6" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["bench", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_writes_report_and_exports(self, tiny, tmp_path, capsys):
+        out = tmp_path / "BENCH_t.json"
+        prom = tmp_path / "metrics.prom"
+        jsonl = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "bench", "tiny", "--tag", "t", "--no-mem",
+                "--out", str(out),
+                "--prom-out", str(prom),
+                "--metrics-out", str(jsonl),
+            ]
+        )
+        assert code == 0
+        report = BenchReport.load(out)
+        assert report.tag == "t"
+        assert report.experiments["tiny"].counters["sim.steps"] > 0
+        assert "repro_sim_steps" in prom.read_text()
+        first_record = json.loads(jsonl.read_text().splitlines()[0])
+        assert first_record["kind"] in ("counter", "gauge", "histogram")
+        err = capsys.readouterr().err
+        assert "tiny" in err  # progress goes to stderr
+
+    def test_compare_identical_passes(self, tiny, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        assert main(["bench", "tiny", "--no-mem", "--out", str(base)]) == 0
+        code = main(
+            [
+                "bench", "tiny", "--no-mem", "--out", str(cur),
+                "--compare", str(base),
+                # Wall-clock jitter between two in-process runs is not
+                # a code property; gate on the deterministic kinds only.
+                "--fail-on", "config,counter,missing",
+            ]
+        )
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_compare_flags_doctored_counter_drift(self, tiny, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        assert main(["bench", "tiny", "--no-mem", "--out", str(base)]) == 0
+        doctored = json.loads(base.read_text())
+        doctored["experiments"][0]["counters"]["sim.steps"] += 1
+        base.write_text(json.dumps(doctored))
+        code = main(
+            [
+                "bench", "tiny", "--no-mem", "--out", str(cur),
+                "--compare", str(base),
+                "--fail-on", "counter",
+                "--format", "json",
+            ]
+        )
+        assert code == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is False
+        assert any(f["kind"] == "counter" for f in verdict["findings"])
+
+    def test_summary_out_writes_markdown(self, tiny, tmp_path):
+        base = tmp_path / "base.json"
+        summary = tmp_path / "summary.md"
+        assert main(["bench", "tiny", "--no-mem", "--out", str(base)]) == 0
+        code = main(
+            [
+                "bench", "tiny", "--no-mem", "--out", str(tmp_path / "c.json"),
+                "--compare", str(base),
+                "--fail-on", "config,counter,missing",
+                "--summary-out", str(summary),
+            ]
+        )
+        assert code == 0
+        assert "Bench comparison" in summary.read_text()
+
+    def test_missing_baseline_exits_2(self, tiny, tmp_path, capsys):
+        code = main(
+            [
+                "bench", "tiny", "--no-mem", "--out", str(tmp_path / "c.json"),
+                "--compare", str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

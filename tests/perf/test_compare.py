@@ -1,0 +1,256 @@
+"""Regression-gate verdict tests on seeded synthetic reports."""
+
+import json
+
+import pytest
+
+from repro.obs import PhaseTimer
+from repro.perf import (
+    BenchReport,
+    EnvironmentFingerprint,
+    ExperimentBench,
+    Thresholds,
+    compare_reports,
+    render_comparison,
+)
+
+
+def make_env(**overrides):
+    base = dict(
+        python="3.11.7",
+        implementation="CPython",
+        platform="Linux-test",
+        machine="x86_64",
+        cpu_count=4,
+        numpy="2.0.0",
+        scipy="1.12.0",
+        git_sha="deadbeef",
+        eval_days=2.0,
+        warmup_days=1.0,
+        base_seed=1,
+    )
+    base.update(overrides)
+    return EnvironmentFingerprint(**base)
+
+
+def make_experiment(
+    name="fig08", wall=10.0, peak=10 << 20, counters=None, phases=None
+):
+    if phases is None:
+        timer = PhaseTimer()
+        timer.add("reconcile", wall * 0.6)
+        timer.add("score", wall * 0.2)
+        phases = timer.snapshot()
+    return ExperimentBench(
+        name=name,
+        wall_seconds=wall,
+        cpu_seconds=wall * 0.95,
+        peak_tracemalloc_bytes=peak,
+        counters=dict(counters or {"sim.steps": 2880.0, "emulator.ticks": 84.0}),
+        phases=phases,
+    )
+
+
+def make_report(tag, experiments, env=None):
+    return BenchReport(
+        tag=tag,
+        created="2026-08-06T00:00:00+00:00",
+        env=env or make_env(),
+        experiments={e.name: e for e in experiments},
+    )
+
+
+class TestCleanComparison:
+    def test_identical_reports_pass(self):
+        base = make_report("seed", [make_experiment()])
+        cur = make_report("ci", [make_experiment()])
+        result = compare_reports(base, cur)
+        assert result.ok
+        assert result.exit_code == 0
+        assert result.findings == []
+        assert result.experiments_compared == 1
+
+    def test_small_time_jitter_ignored(self):
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        cur = make_report("ci", [make_experiment(wall=11.0)])  # +10% < 25%
+        assert compare_reports(base, cur).ok
+
+
+class TestTimeRegression:
+    def test_slowdown_flagged(self):
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        cur = make_report("ci", [make_experiment(wall=15.0)])  # +50%
+        result = compare_reports(base, cur)
+        assert not result.ok
+        (finding,) = result.failures
+        assert finding.kind == "time"
+        assert "slower" in finding.message
+
+    def test_slowdown_attributed_to_phase(self):
+        slow_timer = PhaseTimer()
+        slow_timer.add("reconcile", 12.0)
+        slow_timer.add("score", 2.0)
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        cur = make_report(
+            "ci", [make_experiment(wall=15.0, phases=slow_timer.snapshot())]
+        )
+        (finding,) = compare_reports(base, cur).failures
+        assert "reconcile" in finding.message
+
+    def test_below_absolute_floor_ignored(self):
+        # 3x slower but only 20 ms absolute: noise, not signal.
+        base = make_report("seed", [make_experiment(wall=0.010)])
+        cur = make_report("ci", [make_experiment(wall=0.030)])
+        assert compare_reports(base, cur).ok
+
+    def test_speedup_reported_as_info(self):
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        cur = make_report("ci", [make_experiment(wall=5.0)])
+        result = compare_reports(base, cur)
+        assert result.ok
+        assert any(f.kind == "time" and f.severity == "info" for f in result.findings)
+
+    def test_custom_threshold(self):
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        cur = make_report("ci", [make_experiment(wall=11.5)])  # +15%
+        tight = Thresholds(time_rel=0.10)
+        assert not compare_reports(base, cur, thresholds=tight).ok
+        assert compare_reports(base, cur).ok
+
+
+class TestCounterDrift:
+    def test_drift_flagged_separately_from_time(self):
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        cur = make_report(
+            "ci",
+            [
+                make_experiment(
+                    wall=15.0, counters={"sim.steps": 2880.0, "emulator.ticks": 85.0}
+                )
+            ],
+        )
+        result = compare_reports(base, cur)
+        kinds = sorted(f.kind for f in result.failures)
+        assert kinds == ["counter", "time"]
+        counter_finding = next(f for f in result.failures if f.kind == "counter")
+        assert counter_finding.metric == "emulator.ticks"
+        assert counter_finding.baseline == 84.0
+        assert counter_finding.current == 85.0
+
+    def test_exact_match_required_even_for_tiny_drift(self):
+        base = make_report(
+            "seed", [make_experiment(counters={"sim.steps": 2880.0})]
+        )
+        cur = make_report("ci", [make_experiment(counters={"sim.steps": 2881.0})])
+        assert not compare_reports(base, cur).ok
+
+    def test_disappeared_counter_fails(self):
+        base = make_report(
+            "seed",
+            [make_experiment(counters={"sim.steps": 1.0, "emulator.ticks": 2.0})],
+        )
+        cur = make_report("ci", [make_experiment(counters={"sim.steps": 1.0})])
+        (finding,) = compare_reports(base, cur).failures
+        assert finding.kind == "counter"
+        assert "disappeared" in finding.message
+
+    def test_new_counter_is_informational(self):
+        base = make_report("seed", [make_experiment(counters={"sim.steps": 1.0})])
+        cur = make_report(
+            "ci",
+            [make_experiment(counters={"sim.steps": 1.0, "new.metric": 5.0})],
+        )
+        result = compare_reports(base, cur)
+        assert result.ok
+        assert any(f.kind == "counter" and f.severity == "info" for f in result.findings)
+
+
+class TestConfigMismatch:
+    def test_workload_mismatch_fails_and_suppresses_counters(self):
+        base = make_report("seed", [make_experiment(counters={"sim.steps": 100.0})])
+        cur = make_report(
+            "ci",
+            [make_experiment(counters={"sim.steps": 700.0})],
+            env=make_env(eval_days=14.0),
+        )
+        result = compare_reports(base, cur)
+        assert not result.ok
+        assert [f.kind for f in result.failures] == ["config"]
+        assert not any(f.kind == "counter" for f in result.findings)
+
+    def test_machine_mismatch_is_informational(self):
+        base = make_report("seed", [make_experiment()])
+        cur = make_report(
+            "ci", [make_experiment()], env=make_env(python="3.12.1", cpu_count=8)
+        )
+        result = compare_reports(base, cur)
+        assert result.ok
+        machine = [f for f in result.findings if f.kind == "machine"]
+        assert {f.metric for f in machine} == {"python", "cpu_count"}
+
+
+class TestMemoryAndCoverage:
+    def test_memory_regression_warns_by_default(self):
+        base = make_report("seed", [make_experiment(peak=10 << 20)])
+        cur = make_report("ci", [make_experiment(peak=30 << 20)])
+        result = compare_reports(base, cur)
+        assert result.ok  # memory not in the default gate
+        assert any(f.kind == "memory" and f.severity == "warn" for f in result.findings)
+
+    def test_memory_gates_when_requested(self):
+        base = make_report("seed", [make_experiment(peak=10 << 20)])
+        cur = make_report("ci", [make_experiment(peak=30 << 20)])
+        result = compare_reports(base, cur, fail_on=("memory",))
+        assert not result.ok
+
+    def test_zero_peak_skips_memory_comparison(self):
+        base = make_report("seed", [make_experiment(peak=10 << 20)])
+        cur = make_report("ci", [make_experiment(peak=0)])  # --no-mem run
+        assert not any(
+            f.kind == "memory" for f in compare_reports(base, cur).findings
+        )
+
+    def test_missing_experiment_fails_new_is_info(self):
+        base = make_report(
+            "seed", [make_experiment("a"), make_experiment("b")]
+        )
+        cur = make_report("ci", [make_experiment("a"), make_experiment("c")])
+        result = compare_reports(base, cur)
+        assert [f.kind for f in result.failures] == ["missing"]
+        assert any(f.kind == "new" for f in result.findings)
+
+    def test_unknown_fail_on_kind_rejected(self):
+        base = make_report("seed", [make_experiment()])
+        with pytest.raises(ValueError, match="unknown fail_on"):
+            compare_reports(base, base, fail_on=("vibes",))
+
+
+class TestRendering:
+    def _result(self, ok):
+        base = make_report("seed", [make_experiment(wall=10.0)])
+        wall = 10.0 if ok else 20.0
+        cur = make_report("ci", [make_experiment(wall=wall)])
+        return compare_reports(base, cur)
+
+    def test_human_verdict_lines(self):
+        assert "verdict: PASS" in render_comparison(self._result(True), "human")
+        failed = render_comparison(self._result(False), "human")
+        assert "verdict: FAIL" in failed
+        assert "[FAIL" in failed
+
+    def test_json_is_parseable(self):
+        data = json.loads(render_comparison(self._result(False), "json"))
+        assert data["ok"] is False
+        assert data["failures"] == 1
+        assert data["findings"][0]["kind"] == "time"
+
+    def test_markdown_has_badge_and_table(self):
+        md = render_comparison(self._result(False), "markdown")
+        assert "FAIL" in md
+        assert "| Kind |" in md
+        passed = render_comparison(self._result(True), "markdown")
+        assert "PASS" in passed
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            render_comparison(self._result(True), "xml")

@@ -1,0 +1,81 @@
+"""Exporter format tests: Prometheus text and JSONL."""
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.perf import metrics_jsonl, prometheus_text
+from repro.perf.export import prometheus_name
+
+
+class TestPrometheusName:
+    def test_dots_flatten_with_namespace_prefix(self):
+        assert prometheus_name("matching.rejected.latency") == (
+            "repro_matching_rejected_latency"
+        )
+
+    def test_invalid_characters_replaced(self):
+        assert prometheus_name("a-b c.d") == "repro_a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("9lives") == "repro__9lives"
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.steps").inc(2880)
+        reg.gauge("provisioner.active_leases").set(3)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_provisioner_active_leases gauge" in text
+        assert "repro_provisioner_active_leases 3" in text
+        assert "# TYPE repro_sim_steps counter" in text
+        assert "repro_sim_steps 2880" in text
+        assert text.endswith("\n")
+
+    def test_histogram_as_summary_with_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sim.omega_cpu")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_sim_omega_cpu summary" in text
+        assert 'repro_sim_omega_cpu{quantile="0.5"}' in text
+        assert 'repro_sim_omega_cpu{quantile="0.99"}' in text
+        assert "repro_sim_omega_cpu_sum 7" in text
+        assert "repro_sim_omega_cpu_count 3" in text
+
+    def test_output_sorted_and_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first").inc()
+        text = prometheus_text(reg)
+        assert text.index("repro_a_first") < text.index("repro_z_last")
+        assert text == prometheus_text(reg)
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_float_values_keep_precision(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(0.1)
+        assert "repro_g 0.1" in prometheus_text(reg)
+
+
+class TestMetricsJsonl:
+    def test_one_parseable_record_per_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(-1)
+        reg.histogram("h").observe(3.0)
+        lines = metrics_jsonl(reg).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["c"] == {"name": "c", "kind": "counter", "value": 2.0}
+        assert by_name["g"] == {"name": "g", "kind": "gauge", "value": -1.0}
+        hist = by_name["h"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 1
+        assert hist["p50"] == 3.0
+
+    def test_empty_registry(self):
+        assert metrics_jsonl(MetricsRegistry()) == ""

@@ -1,0 +1,154 @@
+"""Round-trip and validation tests for the BENCH document model."""
+
+import pytest
+
+from repro.obs import PhaseTimer
+from repro.perf import (
+    SCHEMA_VERSION,
+    BenchReport,
+    EnvironmentFingerprint,
+    ExperimentBench,
+    SchemaError,
+)
+
+
+def make_env(**overrides):
+    base = dict(
+        python="3.11.7",
+        implementation="CPython",
+        platform="Linux-test",
+        machine="x86_64",
+        cpu_count=4,
+        numpy="2.0.0",
+        scipy="1.12.0",
+        git_sha="deadbeef",
+        eval_days=2.0,
+        warmup_days=1.0,
+        base_seed=1,
+    )
+    base.update(overrides)
+    return EnvironmentFingerprint(**base)
+
+
+def make_experiment(name="fig08", wall=1.5, **overrides):
+    timer = PhaseTimer()
+    timer.add("reconcile", 0.75)
+    timer.add("score", 0.25)
+    base = dict(
+        name=name,
+        wall_seconds=wall,
+        cpu_seconds=wall * 0.9,
+        peak_tracemalloc_bytes=10 << 20,
+        counters={"sim.steps": 2880.0, "matching.offers_considered": 46699.0},
+        distributions={
+            "sim.omega_cpu": {
+                "count": 2880.0, "sum": 100.0, "mean": 0.03, "min": 0.0,
+                "max": 1.0, "stddev": 0.1, "p50": 0.02, "p90": 0.1, "p99": 0.5,
+            }
+        },
+        phases=timer.snapshot(),
+    )
+    base.update(overrides)
+    return ExperimentBench(**base)
+
+
+def make_report(tag="seed", experiments=None, env=None):
+    experiments = experiments if experiments is not None else [make_experiment()]
+    return BenchReport(
+        tag=tag,
+        created="2026-08-06T00:00:00+00:00",
+        env=env or make_env(),
+        experiments={e.name: e for e in experiments},
+    )
+
+
+class TestEnvironmentFingerprint:
+    def test_round_trip(self):
+        env = make_env()
+        assert EnvironmentFingerprint.from_dict(env.to_dict()) == env
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = make_env().to_dict()
+        data["future_field"] = "whatever"
+        assert EnvironmentFingerprint.from_dict(data) == make_env()
+
+    def test_workload_mismatches(self):
+        a, b = make_env(), make_env(eval_days=14.0, base_seed=2)
+        fields = [f for f, _, _ in a.workload_mismatches(b)]
+        assert fields == ["eval_days", "base_seed"]
+        assert a.workload_mismatches(a) == []
+
+    def test_machine_mismatches_exclude_workload(self):
+        a, b = make_env(), make_env(python="3.12.0", eval_days=14.0)
+        fields = [f for f, _, _ in a.machine_mismatches(b)]
+        assert fields == ["python"]
+
+
+class TestBenchReportRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        report = make_report(experiments=[make_experiment("a"), make_experiment("b")])
+        restored = BenchReport.from_json(report.to_json())
+        assert restored == report
+        assert list(restored.experiments) == ["a", "b"]  # order preserved
+
+    def test_save_and_load(self, tmp_path):
+        report = make_report()
+        path = report.save(tmp_path / "BENCH_seed.json")
+        assert BenchReport.load(path) == report
+        assert path.read_text().endswith("\n")
+
+    def test_schema_version_stamped(self):
+        assert make_report().to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_total_wall_and_merged_phases(self):
+        report = make_report(
+            experiments=[make_experiment("a", wall=1.0), make_experiment("b", wall=2.0)]
+        )
+        assert report.total_wall_seconds == 3.0
+        merged = report.merged_phases()
+        assert merged.seconds["reconcile"] == 1.5
+        assert merged.visits["reconcile"] == 2
+
+
+class TestValidation:
+    def test_newer_schema_version_rejected(self):
+        data = make_report().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="schema_version"):
+            BenchReport.from_dict(data)
+
+    def test_missing_required_field(self):
+        data = make_report().to_dict()
+        del data["environment"]
+        with pytest.raises(SchemaError, match="environment"):
+            BenchReport.from_dict(data)
+
+    def test_duplicate_experiment_rejected(self):
+        data = make_report().to_dict()
+        data["experiments"].append(data["experiments"][0])
+        with pytest.raises(SchemaError, match="duplicate"):
+            BenchReport.from_dict(data)
+
+    def test_experiments_must_be_list(self):
+        data = make_report().to_dict()
+        data["experiments"] = {}
+        with pytest.raises(SchemaError, match="list"):
+            BenchReport.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            BenchReport.from_json("{nope")
+
+    def test_non_object_top_level_rejected(self):
+        with pytest.raises(SchemaError, match="object"):
+            BenchReport.from_json("[1, 2]")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SchemaError, match="not found"):
+            BenchReport.load(tmp_path / "absent.json")
+
+    def test_experiment_missing_wall_seconds(self):
+        data = make_report().to_dict()
+        del data["experiments"][0]["wall_seconds"]
+        with pytest.raises(SchemaError, match="wall_seconds"):
+            BenchReport.from_dict(data)

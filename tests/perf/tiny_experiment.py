@@ -1,0 +1,17 @@
+"""A miniature experiment module for bench-harness tests.
+
+Exposes the same ``run()``/``format_result()`` surface as the real
+``repro.experiments`` modules, but finishes in well under a second so
+the CLI and runner tests stay cheap.  Deterministic: same seed, same
+counters, every time.
+"""
+
+from repro import quick_simulation
+
+
+def run():
+    return quick_simulation(n_days=0.25, warmup_days=0.1, seed=5)
+
+
+def format_result(result):
+    return f"tiny experiment: {result.eval_steps} eval steps"
