@@ -45,13 +45,19 @@ __all__ = ["DEFAULT_ROOTS", "DEFAULT_BOUNDARY_PREFIXES", "check_purity"]
 RULE_ID = "RA001"
 
 #: Entry points of the simulation step loop (Sec. IV of the paper: the
-#: operator/provisioner/matching cycle evaluated every 2-minute step).
+#: operator/provisioner/matching cycle evaluated every 2-minute step)
+#: plus the workload-emulator tick loop (Sec. IV-D), whose per-tick
+#: cost gates every fig06-class experiment.
 DEFAULT_ROOTS: tuple[str, ...] = (
     "repro.core.ecosystem.EcosystemSimulator.run",
     "repro.core.provisioner.DynamicProvisioner.reconcile",
     "repro.core.provisioner.StaticProvisioner.install",
     "repro.core.provisioner.StaticProvisioner.reconcile",
     "repro.core.matching.match_request",
+    "repro.emulator.emulator.GameEmulator.run",
+    "repro.emulator.entities.EntityPopulation.step",
+    "repro.emulator.engine.VectorizedPopulation.step",
+    "repro.emulator.interactions.emulate_with_interactions",
 )
 
 #: Modules whose *interiors* are exempt: the observability layer and

@@ -195,6 +195,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare against a baseline BENCH_*.json and gate on regressions",
     )
     bench.add_argument(
+        "--load", metavar="FILE", default=None,
+        help="compare a previously recorded BENCH_*.json instead of "
+        "re-running the experiments (offline gate; requires --compare)",
+    )
+    bench.add_argument(
         "--format", choices=("human", "json", "markdown"), default="human",
         help="comparison verdict format on stdout (default: human)",
     )
@@ -401,6 +406,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
+    if args.load is not None:
+        # Offline gate: judge an already-recorded report (e.g. the
+        # committed BENCH_vec.json) against a baseline without paying
+        # for a re-run.  Wall times in the loaded report came from the
+        # recording machine, so pair --load with a --fail-on set that
+        # excludes `time` unless both reports share hardware.
+        if not args.compare:
+            print("error: --load requires --compare BASELINE", file=sys.stderr)
+            return 2
+        if args.experiments:
+            print(
+                "error: --load replaces the experiment run; "
+                "drop the experiment arguments",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = BenchReport.load(args.compare)
+            candidate = BenchReport.load(args.load)
+            result = compare_reports(
+                baseline,
+                candidate,
+                thresholds=Thresholds(time_rel=args.time_threshold),
+                fail_on=frozenset(
+                    kind.strip() for kind in args.fail_on.split(",") if kind.strip()
+                ),
+            )
+        except (SchemaError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_comparison(result, args.format))
+        if args.summary_out:
+            Path(args.summary_out).write_text(
+                render_comparison(result, "markdown") + "\n", encoding="utf-8"
+            )
+            print(f"wrote {args.summary_out}", file=sys.stderr)
+        return result.exit_code
+
     try:
         names = resolve_names(args.experiments)
     except ValueError as exc:

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.emulator.engine import VectorizedPopulation
 from repro.emulator.profiles import AIProfile, DynamicsLevel
 from repro.emulator.world import GameWorld
 from repro.emulator.entities import EntityPopulation
@@ -199,7 +200,12 @@ class GameEmulator:
         wander = 0.5 * (1 + np.sin(2 * np.pi * (t_days * 3.0)))
         return (1.0 - amp) + amp * wander
 
-    def run(self, *, metrics: "MetricsRegistry | None" = None) -> EmulationTrace:
+    def run(
+        self,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        reference: bool = False,
+    ) -> EmulationTrace:
         """Execute the emulation (deterministic given the seed).
 
         ``metrics`` (or an ambient probe, when none is passed) receives
@@ -207,6 +213,15 @@ class GameEmulator:
         ``emulator.samples`` / ``emulator.entities_spawned`` /
         ``emulator.entities_despawned`` plus an ``emulate`` phase
         timing; observability never alters the trace.
+
+        ``reference=True`` runs the readable
+        :class:`~repro.emulator.entities.EntityPopulation` specification
+        instead of the default preallocated
+        :class:`~repro.emulator.engine.VectorizedPopulation` engine.
+        Both consume the same random stream and perform the same
+        IEEE-754 arithmetic, so the trace and every counter are
+        *bitwise identical* either way — the differential tests and the
+        bench gate's exact-counter comparison hold this contract.
         """
         if metrics is None:
             metrics = ambient_metrics()
@@ -225,7 +240,8 @@ class GameEmulator:
             pulse_amplitude=_PULSE_AMPLITUDE[cfg.instantaneous_dynamics],
             rng=rng,
         )
-        population = EntityPopulation(
+        population_cls = EntityPopulation if reference else VectorizedPopulation
+        population = population_cls(
             world,
             np.asarray(cfg.profile_mix),
             speed_scale=_SPEED_SCALE[cfg.instantaneous_dynamics],
@@ -244,6 +260,11 @@ class GameEmulator:
         counts = np.empty((n_samples, world.n_zones), dtype=np.int64)
 
         t_mark = timer.mark() if timer is not None else 0.0
+        advance_time = world.advance_time
+        churn_hotspots = world.churn_hotspots
+        pop_step = population.step
+        tick_seconds = cfg.tick_seconds
+        ticks_per_sample = cfg.ticks_per_sample
         for s in range(n_samples):
             # Track the target population with gradual join/leave churn.
             deficit = int(targets[s]) - population.size
@@ -251,10 +272,10 @@ class GameEmulator:
                 population.spawn(deficit)
             elif deficit < 0:
                 population.despawn(-deficit)
-            for _ in range(cfg.ticks_per_sample):
-                world.advance_time(cfg.tick_seconds)
-                world.churn_hotspots(churn)
-                population.step(cfg.tick_seconds)
+            for _ in range(ticks_per_sample):
+                advance_time(tick_seconds)
+                churn_hotspots(churn)
+                pop_step(tick_seconds)
             counts[s] = population.zone_counts()
             if metrics is not None:
                 c_samples.inc()

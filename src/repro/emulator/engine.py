@@ -1,0 +1,473 @@
+"""The vectorized emulator hot path.
+
+:class:`VectorizedPopulation` is the performance twin of
+:class:`~repro.emulator.entities.EntityPopulation`: same constructor,
+same public surface (``spawn`` / ``despawn`` / ``step`` /
+``zone_counts`` / ``positions``), and — crucially — the **same random
+stream and the same IEEE-754 arithmetic**, so a run produces *bitwise
+identical* traces and work counters.  The differential test battery
+(``tests/emulator/test_differential.py``) enforces that contract; the
+bench gate's exact-counter comparison enforces it end to end.
+
+What makes it fast where the reference is slow:
+
+* **Preallocated paired-row SoA.**  Entity state lives in ``(2, cap)``
+  coordinate blocks and a ``(4, cap)`` attribute block with
+  capacity-managed (amortized-doubling) growth: each row is contiguous,
+  and x/y operations fuse into *single* ufunc calls over both rows
+  (``(2, n) ∘ (n,)`` broadcasting iterates contiguously, unlike the
+  reference's ``delta / dist[:, None]`` column broadcast, which costs
+  4-5× more at emulation population sizes).  ``spawn`` writes into tail
+  slots instead of ``vstack``-ing six arrays per sample.
+* **Scratch buffers + size-cached views.**  Every per-tick intermediate
+  (deltas, norms, jitter, masks) is a reusable ``out=`` buffer, and the
+  population-sized views over the blocks are rebuilt only when the size
+  changes (once per *sample*, at spawn/despawn).  The tick loop
+  allocates almost nothing — which also collapses the ``tracemalloc``
+  overhead the bench harness measures.
+* **Incrementally maintained per-entity parameters.**  Movement speed,
+  directedness, and retarget rate are materialized per entity and
+  updated only at spawn/profile-switch time, replacing full-population
+  table gathers on every tick.  The values come from the same 4-entry
+  profile tables, pre-combined per tick length (``(speed * scale) * dt``
+  gathered equals the reference's per-entity expression).
+* **Exact RNG replays.**  ``rng.uniform(0, w, n)`` is ``w * rng.random(n)``
+  bit for bit, so ``random_positions`` collapses into one fused
+  ``random(2n)`` draw; hotspot selection replays ``Generator.choice``'s
+  documented algorithm against the world's cached CDF
+  (:meth:`~repro.emulator.world.GameWorld.hotspot_cdf`);
+  ``standard_normal(out=)`` consumes the stream exactly like
+  ``rng.normal(0, 1, (n, 2))``.  ``np.linalg.norm`` becomes the
+  explicit multiply/add/sqrt chain (bitwise-identical: ``abs(x)**2``
+  *is* ``x*x``).
+
+The reference implementation stays the readable specification; pass
+``reference=True`` to :meth:`~repro.emulator.emulator.GameEmulator.run`
+to use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulator.entities import DEFAULT_ENTITY_SEED
+from repro.emulator.profiles import AIProfile, PROFILE_PARAMS
+from repro.emulator.world import GameWorld
+
+__all__ = ["VectorizedPopulation"]
+
+_N_PROFILES = len(AIProfile)
+_AGGRESSIVE = int(AIProfile.AGGRESSIVE)
+_TEAM = int(AIProfile.TEAM)
+_CAMPER = int(AIProfile.CAMPER)
+
+
+class VectorizedPopulation:
+    """Entity population with preallocated SoA state and scratch buffers.
+
+    Constructor-compatible with
+    :class:`~repro.emulator.entities.EntityPopulation` and bit-exact
+    with it under the same seed (see the module docstring for how).
+    """
+
+    def __init__(
+        self,
+        world: GameWorld,
+        profile_mix: np.ndarray,
+        *,
+        n_teams: int = 8,
+        speed_scale: float = 1.0,
+        switch_prob: float = 0.002,
+        rng: np.random.Generator | None = None,
+        capacity: int = 256,
+    ) -> None:
+        mix = np.asarray(profile_mix, dtype=np.float64)
+        if mix.shape != (_N_PROFILES,):
+            raise ValueError(f"profile_mix must have shape ({_N_PROFILES},)")
+        if mix.min() < 0 or not np.isclose(mix.sum(), 1.0):
+            raise ValueError("profile_mix must be a probability vector")
+        if n_teams <= 0:
+            raise ValueError("n_teams must be positive")
+        self.world = world
+        self.profile_mix = mix
+        self.n_teams = int(n_teams)
+        self.speed_scale = float(speed_scale)
+        self.switch_prob = float(switch_prob)
+        # Deterministic fallback (RL001): mirrors GameWorld's seeded default.
+        self._rng = rng if rng is not None else np.random.default_rng(DEFAULT_ENTITY_SEED)
+
+        # Preferred-profile CDF: searchsorted against it replays
+        # Generator.choice(4, size=n, p=mix) draw for draw.
+        self._mix_cdf = mix.cumsum()
+        self._mix_cdf /= self._mix_cdf[-1]
+
+        # Per-profile parameter tables (reference keeps the same three).
+        self._speeds = np.array(
+            [PROFILE_PARAMS[AIProfile(i)].speed for i in range(_N_PROFILES)]
+        )
+        self._directedness = np.array(
+            [PROFILE_PARAMS[AIProfile(i)].directedness for i in range(_N_PROFILES)]
+        )
+        self._retarget = np.array(
+            [PROFILE_PARAMS[AIProfile(i)].retarget_prob for i in range(_N_PROFILES)]
+        )
+        self._tables_dt: float | None = None
+        self._spd_table = np.empty(_N_PROFILES)
+        self._inv_direct = 1.0 - self._directedness
+        # Stacked parameter table: one fancy gather `_ptable[:, profiles]`
+        # fills all four per-entity parameter rows at once.  Row 1
+        # (dt-scaled speed) is rewritten by :meth:`_refresh_params`.
+        self._ptable = np.empty((4, _N_PROFILES))
+        self._ptable[0] = self._retarget
+        self._ptable[2] = self._directedness
+        self._ptable[3] = self._inv_direct
+        self._centre_x = world.width / 2.0
+        self._centre_y = world.height / 2.0
+        self._clip_lo = np.zeros((2, 1))
+        self._clip_hi = np.array([[world.width], [world.height]])
+
+        self._n = 0
+        self._allocate(max(int(capacity), 16))
+
+    # -- storage management -------------------------------------------------
+
+    def _allocate(self, cap: int) -> None:
+        """Allocate state + scratch blocks for ``cap`` entities."""
+        self._cap = cap
+        # State blocks (survive across ticks; copied on growth).
+        self._P = np.empty((2, cap))  # positions: rows x, y
+        self._T = np.empty((2, cap))  # targets: rows x, y
+        self._S = np.empty((4, cap), dtype=np.int64)  # pref, prof, team, tgt_hs
+        self._par = np.empty((4, cap))  # rate, speed*scale*dt, direct, 1-direct
+        # Scratch (per-tick intermediates; never copied on growth).
+        self._D = np.empty((2, cap))  # delta -> unit -> motion
+        self._J = np.empty((2, cap))  # normalized jitter
+        self._jit = np.empty((cap, 2))  # raw jitter (RNG fill order)
+        self._jit2 = np.empty((cap, 2))  # jitter squares
+        self._f = [np.empty(cap) for _ in range(4)]  # u, dist, jn, tmp
+        self._bool = np.empty(cap, dtype=bool)
+        self._bound_n = -1
+
+    def _blocks(self) -> tuple[np.ndarray, ...]:
+        return (self._P, self._T, self._S, self._par)
+
+    def _bind(self) -> None:
+        """Rebuild the size-``n`` working views over the SoA blocks.
+
+        Runs only when the population size changed (spawn/despawn —
+        once per sample), so the tick loop itself never slices.
+        """
+        n = self._n
+        self._bound_n = n
+        self.v_P = self._P[:, :n]
+        self.v_px = self._P[0, :n]
+        self.v_py = self._P[1, :n]
+        self.v_T = self._T[:, :n]
+        self.v_tx = self._T[0, :n]
+        self.v_ty = self._T[1, :n]
+        self.v_pref = self._S[0, :n]
+        self.v_prof = self._S[1, :n]
+        self.v_team = self._S[2, :n]
+        self.v_tgt_hs = self._S[3, :n]
+        self.v_rate = self._par[0, :n]
+        self.v_spd = self._par[1, :n]
+        self.v_dir = self._par[2, :n]
+        self.v_inv = self._par[3, :n]
+        self.v_D = self._D[:, :n]
+        self.v_J = self._J[:, :n]
+        self.v_jx0 = self._J[0, :n]
+        self.v_jy0 = self._J[1, :n]
+        self.v_jit = self._jit[:n]
+        self.v_jx = self._jit[:n, 0]
+        self.v_jy = self._jit[:n, 1]
+        self.v_jit2 = self._jit2[:n]
+        self.v_j2x = self._jit2[:n, 0]
+        self.v_j2y = self._jit2[:n, 1]
+        self.v_u, self.v_dist, self.v_jn, self.v_tmp = (f[:n] for f in self._f)
+        self.v_mask = self._bool[:n]
+
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= self._cap:
+            return
+        cap = self._cap
+        while cap < n:
+            cap *= 2
+        old = self._blocks()
+        live = self._n
+        self._allocate(cap)
+        for dst, src in zip(self._blocks(), old):
+            dst[:, :live] = src[:, :live]
+
+    def _refresh_params(self, dt_seconds: float) -> None:
+        """Re-derive the per-entity parameter rows for a new tick length."""
+        np.multiply(self._speeds, self.speed_scale, out=self._spd_table)
+        self._spd_table *= dt_seconds
+        self._ptable[1] = self._spd_table
+        self._tables_dt = dt_seconds
+        n = self._n
+        self._par[:, :n] = self._ptable[:, self._S[1, :n]]
+
+    def _set_params(self, idx: np.ndarray, profiles: np.ndarray) -> None:
+        """Update the parameter rows for the entities at ``idx``."""
+        self._par[:, idx] = self._ptable[:, profiles]
+
+    # -- population management ----------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of live entities."""
+        return self._n
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Positions of the live entities; shape ``(n, 2)``.
+
+        Assembled on demand from the coordinate rows (a copy, not a
+        view — mutate via the engine API, not through this array).
+        """
+        return np.ascontiguousarray(self._P[:, : self._n].T)
+
+    @property
+    def targets(self) -> np.ndarray:
+        """Movement target per live entity; shape ``(n, 2)`` (a copy)."""
+        return np.ascontiguousarray(self._T[:, : self._n].T)
+
+    @property
+    def preferred(self) -> np.ndarray:
+        """Preferred profile per live entity (view)."""
+        return self._S[0, : self._n]
+
+    @property
+    def profile(self) -> np.ndarray:
+        """Current profile per live entity (view)."""
+        return self._S[1, : self._n]
+
+    @property
+    def team(self) -> np.ndarray:
+        """Team id per live entity (view)."""
+        return self._S[2, : self._n]
+
+    @property
+    def target_hotspot(self) -> np.ndarray:
+        """Hotspot index per live entity, -1 for free targets (view)."""
+        return self._S[3, : self._n]
+
+    def spawn(self, n: int) -> None:
+        """Add ``n`` entities (same draw sequence as the reference)."""
+        if n <= 0:
+            return
+        world = self.world
+        rng = self._rng
+        # random_positions(n), fused: uniform(0, w, n) is w * random(n)
+        # bit for bit, so one random(2n) covers the x then y draws.
+        u2 = rng.random(n + n)
+        px = world.width * u2[:n]
+        py = world.height * u2[n:]
+        near_hotspot = rng.random(n) < 0.5
+        k = int(near_hotspot.sum())
+        if k:
+            chosen = self.world.hotspot_cdf().searchsorted(
+                rng.random(k), side="right"
+            )  # == rng.choice(n_hotspots, k, p=weights)
+            jitter = rng.normal(0.0, world.width * 0.02, size=(k, 2))
+            hx, hy = world.hotspot_xy()
+            px[near_hotspot] = hx.take(chosen) + jitter[:, 0]
+            py[near_hotspot] = hy.take(chosen) + jitter[:, 1]
+        np.clip(px, 0.0, world.width, out=px)  # world.clamp, column-wise
+        np.clip(py, 0.0, world.height, out=py)
+        preferred = self._mix_cdf.searchsorted(rng.random(n), side="right")
+        tx, ty, target_hotspot = self._new_targets(preferred, px, py)
+        team = rng.integers(0, self.n_teams, size=n)
+
+        base = self._n
+        self._ensure_capacity(base + n)
+        end = base + n
+        self._P[0, base:end] = px
+        self._P[1, base:end] = py
+        self._S[0, base:end] = preferred
+        self._S[1, base:end] = preferred
+        self._T[0, base:end] = tx
+        self._T[1, base:end] = ty
+        self._S[3, base:end] = target_hotspot
+        self._S[2, base:end] = team
+        if self._tables_dt is not None:
+            self._par[:, base:end] = self._ptable[:, preferred]
+        self._n = end
+
+    def despawn(self, n: int) -> None:
+        """Remove ``n`` uniformly chosen entities (player logouts)."""
+        if n <= 0 or self._n == 0:
+            return
+        n = min(n, self._n)
+        live = self._n
+        keep = np.ones(live, dtype=bool)
+        gone = self._rng.choice(live, size=n, replace=False)
+        keep[gone] = False
+        idx = np.flatnonzero(keep)
+        m = idx.size
+        # take() materializes the gather before the slice assignment,
+        # so compacting each block in place is safe.
+        for a in self._blocks():
+            a[:, :m] = a[:, :live].take(idx, axis=1)
+        self._n = m
+
+    # -- behaviour ------------------------------------------------------------
+
+    def _new_targets(
+        self, profiles: np.ndarray, px: np.ndarray, py: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fresh movement targets per entity (reference draw order).
+
+        Takes and returns coordinate columns; ``px``/``py`` are the
+        current positions of the affected entities.
+        """
+        world = self.world
+        rng = self._rng
+        # random_positions(k), fused (scout waypoints by default): the
+        # uniforms are scaled in place inside the freshly drawn block.
+        k = profiles.shape[0]
+        u2 = rng.random(k + k)
+        tx = u2[:k]
+        tx *= world.width
+        ty = u2[k:]
+        ty *= world.height
+        target_hotspot = np.empty(k, dtype=np.int64)
+        target_hotspot.fill(-1)
+        counts = np.bincount(profiles, minlength=_N_PROFILES)
+        if counts[_AGGRESSIVE]:
+            agg = profiles == _AGGRESSIVE
+            chosen = world.hotspot_cdf().searchsorted(
+                rng.random(int(counts[_AGGRESSIVE])), side="right"
+            )  # == rng.choice(n_hotspots, ka, p=weights)
+            hx, hy = world.hotspot_xy()
+            tx[agg] = hx.take(chosen)
+            ty[agg] = hy.take(chosen)
+            target_hotspot[agg] = chosen
+        if counts[_CAMPER]:
+            camp = profiles == _CAMPER
+            jitter = rng.normal(0.0, world.width * 0.01, size=(int(counts[_CAMPER]), 2))
+            tx[camp] = px[camp] + jitter[:, 0]
+            ty[camp] = py[camp] + jitter[:, 1]
+        return tx, ty, target_hotspot
+
+    def _team_centroids(self) -> tuple[np.ndarray, np.ndarray]:
+        """Centroid coordinates per team (empty teams: world centre)."""
+        team = self.v_team
+        n_teams = self.n_teams
+        counts = np.bincount(team, minlength=n_teams).astype(np.float64)
+        cx = np.bincount(team, weights=self.v_px, minlength=n_teams)
+        cy = np.bincount(team, weights=self.v_py, minlength=n_teams)
+        if counts.min() > 0.0:  # the common case: every team populated
+            cx /= counts
+            cy /= counts
+            return cx, cy
+        nonzero = counts > 0
+        np.divide(cx, counts, out=cx, where=nonzero)
+        np.divide(cy, counts, out=cy, where=nonzero)
+        empty = ~nonzero
+        cx[empty] = self._centre_x
+        cy[empty] = self._centre_y
+        return cx, cy
+
+    def step(self, dt_seconds: float) -> None:
+        """Advance all entities by one tick of ``dt_seconds``.
+
+        The body is the reference ``EntityPopulation.step`` unrolled
+        row-wise over preallocated scratch: every elementwise operation
+        (and its operand values) is preserved, so positions and the
+        consumed random stream are bitwise identical — only the memory
+        traffic changes.
+        """
+        if self._n == 0:
+            return
+        rng = self._rng
+        if self._bound_n != self._n:
+            self._bind()
+        if self._tables_dt != dt_seconds:
+            self._refresh_params(dt_seconds)
+
+        prof = self.v_prof
+        px, py = self.v_px, self.v_py
+        tx, ty = self.v_tx, self.v_ty
+        u = self.v_u
+        mask = self.v_mask
+
+        # Dynamic profile switching: deviate from or revert to preference.
+        rng.random(out=u)
+        np.less(u, self.switch_prob, out=mask)
+        switching = mask.nonzero()[0]
+        k = switching.size
+        if k:
+            reverts = rng.random(k) < 0.5
+            new_profiles = np.where(
+                reverts,
+                self.v_pref.take(switching),
+                rng.integers(0, _N_PROFILES, size=k),
+            )
+            prof[switching] = new_profiles
+            self._set_params(switching, new_profiles)
+            t_x, t_y, th = self._new_targets(
+                new_profiles, px.take(switching), py.take(switching)
+            )
+            tx[switching] = t_x
+            ty[switching] = t_y
+            self.v_tgt_hs[switching] = th
+
+        # Retargeting: per-profile spontaneous rates against the
+        # *current* hotspot popularity (first-order crowd rebalancing).
+        rng.random(out=u)
+        np.less(u, self.v_rate, out=mask)
+        retarget = mask.nonzero()[0]
+        k = retarget.size
+        if k:
+            t_x, t_y, th = self._new_targets(
+                prof.take(retarget), px.take(retarget), py.take(retarget)
+            )
+            tx[retarget] = t_x
+            ty[retarget] = t_y
+            self.v_tgt_hs[retarget] = th
+
+        # Team players chase their team centroid every tick.
+        np.equal(prof, _TEAM, out=mask)
+        members = mask.nonzero()[0]
+        if members.size:
+            cx, cy = self._team_centroids()
+            tids = self.v_team.take(members)
+            tx[members] = cx.take(tids)
+            ty[members] = cy.take(tids)
+
+        # Move: directed component toward target + random jitter.  The
+        # reference chain runs pairwise over the (2, n) coordinate
+        # blocks — each row contiguous, x and y fused per ufunc call —
+        # and is elementwise identical to the reference's (n, 2) ops.
+        D = self.v_D
+        J = self.v_J
+        dist, jn = self.v_dist, self.v_jn
+        np.subtract(self.v_T, self.v_P, out=D)
+        np.multiply(D, D, out=J)  # squares, both rows in one call
+        np.add(self.v_jx0, self.v_jy0, out=dist)
+        np.sqrt(dist, out=dist)  # == np.linalg.norm(delta, axis=1)
+        np.maximum(dist, 1e-9, out=dist)
+        np.divide(D, dist, out=D)  # delta becomes `unit`
+        rng.standard_normal(out=self.v_jit)  # == rng.normal(0, 1, (n, 2))
+        np.multiply(self.v_jit, self.v_jit, out=self.v_jit2)
+        np.add(self.v_j2x, self.v_j2y, out=jn)
+        np.sqrt(jn, out=jn)
+        np.maximum(jn, 1e-9, out=jn)
+        np.divide(self.v_jx, jn, out=self.v_jx0)  # normalized jitter, rows
+        np.divide(self.v_jy, jn, out=self.v_jy0)
+        step_len = self.v_tmp
+        np.minimum(self.v_spd, dist, out=step_len)
+        step_len *= self.v_dir  # direct * step_len (commutative, bit-exact)
+        scale2 = dist  # dist is dead past this point
+        np.multiply(self.v_inv, self.v_spd, out=scale2)  # (1 - direct) * speeds
+        np.multiply(D, step_len, out=D)  # unit * (direct * step_len)
+        np.multiply(J, scale2, out=J)  # jitter * ((1 - direct) * speeds)
+        np.add(D, J, out=D)  # delta becomes `motion`
+        np.add(self.v_P, D, out=self.v_P)
+        np.clip(self.v_P, self._clip_lo, self._clip_hi, out=self.v_P)  # clamp
+
+    def zone_counts(self) -> np.ndarray:
+        """Entity count per sub-zone (delegates to the world)."""
+        n = self._n
+        return self.world.zone_counts_xy(self._P[0, :n], self._P[1, :n])

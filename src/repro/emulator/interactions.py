@@ -38,31 +38,175 @@ __all__ = [
 ]
 
 
-def count_interacting_pairs(positions: np.ndarray, radius: float) -> int:
-    """Number of entity pairs within ``radius`` of each other."""
-    if positions.shape[0] < 2:
+def _cumsum0(a: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: ``[0, a0, a0+a1, ...]`` without the total."""
+    out = np.empty(a.shape[0], dtype=np.int64)
+    out[0] = 0
+    np.cumsum(a[:-1], out=out[1:])
+    return out
+
+
+def _close_pairs_grid(
+    positions: np.ndarray, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs within ``radius``, by uniform-grid bucketing.
+
+    Buckets points into square cells of side ``radius / 2``; a close
+    pair then spans at most two cells in each dimension, so comparing
+    each cell against itself and twelve forward neighbours (a half
+    stencil in cell space) enumerates every candidate exactly once.
+    Half-radius cells keep the candidate volume tight *and* make every
+    intra-cell pair close by construction (cell diagonal
+    ``r/√2 < r``), so the densest buckets — hotspot crowds — skip the
+    distance predicate entirely.  Inter-cell candidates are filtered
+    with the same closed predicate as ``cKDTree.query_pairs``
+    (``dx² + dy² <= radius²``), making the result a permutation of the
+    KD-tree's pair list — identical counts, found with whole-array
+    NumPy passes instead of per-node tree recursion.
+
+    Returns ``(i, j)`` original-index arrays (unsorted pair order).
+    """
+    x = np.ascontiguousarray(positions[:, 0])
+    y = np.ascontiguousarray(positions[:, 1])
+    inv = 2.0 / radius
+    cellx = (x * inv).astype(np.int64)
+    celly = (y * inv).astype(np.int64)
+    celly += 2  # shift so southern neighbours never wrap a grid row
+    row = int(celly.max()) + 3
+    keys = cellx * row + celly
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys.take(order)
+    # Occupied-cell runs of the sorted order (the keys are sorted, so a
+    # run boundary is just a key change — no extra sort needed).
+    n = x.shape[0]
+    boundary = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1])
+    start = np.empty(boundary.shape[0] + 1, dtype=np.int64)
+    start[0] = 0
+    np.add(boundary, 1, out=start[1:])
+    count = np.diff(start, append=n)
+    cells = sorted_keys.take(start)
+
+    # Sorted coordinate copies: candidate gathers hit contiguous memory
+    # and failed candidates never pay the back-to-original mapping.
+    xs = x.take(order)
+    ys = y.take(order)
+    r2 = radius * radius
+    pos = np.arange(n, dtype=np.int64)
+    parts_i: list[np.ndarray] = []
+    parts_j: list[np.ndarray] = []
+
+    def _sift(ii_s: np.ndarray, jj_s: np.ndarray) -> None:
+        """Apply the distance predicate; keep survivors (original ids)."""
+        dx = xs.take(ii_s)
+        dx -= xs.take(jj_s)
+        dy = ys.take(ii_s)
+        dy -= ys.take(jj_s)
+        dx *= dx
+        dy *= dy
+        dx += dy
+        close = dx <= r2
+        parts_i.append(order.take(ii_s[close]))
+        parts_j.append(order.take(jj_s[close]))
+
+    # Intra-cell pairs: each sorted point against the later points of
+    # its own cell (cells are contiguous runs of the sorted order).
+    # With half-radius cells every such pair is within the radius —
+    # no distance test required.
+    later = np.repeat(start + count, count)
+    later -= 1
+    later -= pos
+    total = int(later.sum())
+    if total:
+        ii_s = np.repeat(pos, later)
+        jj_s = np.arange(total, dtype=np.int64)
+        jj_s -= np.repeat(_cumsum0(later), later)
+        jj_s += ii_s
+        jj_s += 1
+        parts_i.append(order.take(ii_s))
+        parts_j.append(order.take(jj_s))
+
+    # Inter-cell pairs: match each occupied cell against its twelve
+    # forward neighbours (key offsets in the flattened cell space), and
+    # pair every point of the left cell with the right cell's full run.
+    n_cells = cells.shape[0]
+    offsets = (
+        1, 2,
+        row - 2, row - 1, row, row + 1, row + 2,
+        2 * row - 2, 2 * row - 1, 2 * row, 2 * row + 1, 2 * row + 2,
+    )
+    for offset in offsets:
+        shifted = cells + offset
+        neighbour = np.searchsorted(cells, shifted)
+        has = neighbour < n_cells
+        has &= cells.take(np.minimum(neighbour, n_cells - 1)) == shifted
+        a = np.flatnonzero(has)
+        if a.size == 0:
+            continue
+        b = neighbour.take(a)
+        na = count.take(a)
+        # Per-point expansion of the left cells (contiguous runs).
+        a_total = int(na.sum())
+        loc = np.arange(a_total, dtype=np.int64)
+        loc -= np.repeat(_cumsum0(na), na)
+        apts = np.repeat(start.take(a), na)
+        apts += loc
+        nb_pt = np.repeat(count.take(b), na)  # right-run length per point
+        total = int(nb_pt.sum())
+        if total == 0:
+            continue
+        ii_s = np.repeat(apts, nb_pt)
+        jj_s = np.arange(total, dtype=np.int64)
+        jj_s -= np.repeat(_cumsum0(nb_pt), nb_pt)
+        jj_s += np.repeat(start.take(b), na).repeat(nb_pt)
+        _sift(ii_s, jj_s)
+
+    if not parts_i:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(parts_i), np.concatenate(parts_j)
+
+
+def count_interacting_pairs(
+    positions: np.ndarray, radius: float, *, reference: bool = False
+) -> int:
+    """Number of entity pairs within ``radius`` of each other.
+
+    The default grid-bucketed counter and the ``reference=True`` KD-tree
+    enumerate the identical pair set (the differential tests assert so).
+    """
+    if positions.shape[0] < 2 or radius <= 0.0:
         return 0
-    tree = cKDTree(positions)
-    return int(len(tree.query_pairs(radius)))
+    if reference:
+        tree = cKDTree(positions)
+        return int(len(tree.query_pairs(radius)))
+    return int(_close_pairs_grid(positions, radius)[0].shape[0])
 
 
 def interaction_counts_per_zone(
-    world: GameWorld, positions: np.ndarray, radius: float
+    world: GameWorld, positions: np.ndarray, radius: float, *, reference: bool = False
 ) -> np.ndarray:
     """Interacting pairs per sub-zone (a pair counts where it starts).
 
-    Each close pair is attributed to the zone of its first member —
-    the server simulating that zone computes the interaction.
+    Each close pair is attributed to the zone of its lower-indexed
+    member — the server simulating that zone computes the interaction.
     """
     counts = np.zeros(world.n_zones, dtype=np.int64)
-    if positions.shape[0] < 2:
+    if positions.shape[0] < 2 or radius <= 0.0:
         return counts
-    tree = cKDTree(positions)
-    pairs = tree.query_pairs(radius, output_type="ndarray")
-    if pairs.size == 0:
+    if reference:
+        tree = cKDTree(positions)
+        pairs = tree.query_pairs(radius, output_type="ndarray")
+        if pairs.size == 0:
+            return counts
+        zones = world.zone_of(positions[pairs[:, 0]])
+        np.add.at(counts, zones, 1)
         return counts
-    zones = world.zone_of(positions[pairs[:, 0]])
-    np.add.at(counts, zones, 1)
+    ii, jj = _close_pairs_grid(positions, radius)
+    if ii.shape[0] == 0:
+        return counts
+    first = np.minimum(ii, jj)  # query_pairs yields i < j: same member
+    zones = world.zone_of_xy(positions[first, 0], positions[first, 1])
+    counts += np.bincount(zones, minlength=world.n_zones)
     return counts
 
 
@@ -85,17 +229,25 @@ def emulate_with_interactions(
     *,
     interaction_radius: float = 25.0,
     metrics: "MetricsRegistry | None" = None,
+    reference: bool = False,
 ) -> InteractionTrace:
     """Run the emulator, sampling interactions alongside entity counts.
 
     Re-implements the :meth:`GameEmulator.run` loop with an extra
-    KD-tree pass per sample.  ``interaction_radius`` is in world units
-    (the default is a quarter of a sub-zone edge on the standard map).
-    ``metrics`` (or an ambient probe) receives the ``emulator.ticks`` /
-    ``emulator.samples`` / ``emulator.interaction_pairs`` work counters
-    and ``emulate`` / ``interactions`` phase timings.
+    pair-counting pass per sample.  ``interaction_radius`` is in world
+    units (the default is a quarter of a sub-zone edge on the standard
+    map).  ``metrics`` (or an ambient probe) receives the
+    ``emulator.ticks`` / ``emulator.samples`` /
+    ``emulator.interaction_pairs`` work counters and ``emulate`` /
+    ``interactions`` phase timings.
+
+    ``reference=True`` selects the readable slow path end to end — the
+    per-entity :class:`~repro.emulator.entities.EntityPopulation` plus
+    the KD-tree pair counter — and produces bitwise-identical traces
+    and counters (the same contract as :meth:`GameEmulator.run`).
     """
     from repro.emulator.emulator import _CHURN_PROB, _PULSE_AMPLITUDE, _SPEED_SCALE
+    from repro.emulator.engine import VectorizedPopulation
 
     if metrics is None:
         metrics = ambient_metrics()
@@ -113,7 +265,8 @@ def emulate_with_interactions(
         pulse_amplitude=_PULSE_AMPLITUDE[config.instantaneous_dynamics],
         rng=rng,
     )
-    population = EntityPopulation(
+    population_cls = EntityPopulation if reference else VectorizedPopulation
+    population = population_cls(
         world,
         np.asarray(config.profile_mix),
         speed_scale=_SPEED_SCALE[config.instantaneous_dynamics],
@@ -146,7 +299,7 @@ def emulate_with_interactions(
         if timer is not None:
             t_mark = timer.lap("emulate", t_mark)
         interactions[s] = interaction_counts_per_zone(
-            world, population.positions, interaction_radius
+            world, population.positions, interaction_radius, reference=reference
         )
         if metrics is not None:
             c_samples.inc()

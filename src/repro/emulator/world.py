@@ -129,6 +129,10 @@ class GameWorld:
         # make default-constructed worlds irreproducible across runs.
         self._rng = rng if rng is not None else np.random.default_rng(DEFAULT_WORLD_SEED)
         self.hotspots: list[Hotspot] = [self._spawn_hotspot() for _ in range(n_hotspots)]
+        self._hotspot_version = -1
+        self._weights_cache = np.empty(0)
+        self._cdf_cache = np.empty(0)
+        self.refresh_hotspot_cache()
 
     def advance_time(self, dt_seconds: float) -> None:
         """Advance the world clock (drives hotspot pulsing)."""
@@ -147,6 +151,19 @@ class GameWorld:
         np.clip(positions[:, 1], 0.0, self.height, out=positions[:, 1])
         return positions
 
+    def zone_of_xy(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Sub-zone index per coordinate pair; shape ``(n,)``.
+
+        Column-wise twin of :meth:`zone_of` — same arithmetic on the
+        separated coordinate arrays, so identical results on any
+        layout.
+        """
+        ix = np.minimum((x / self.width * self.zones_x).astype(np.int64), self.zones_x - 1)
+        iy = np.minimum((y / self.height * self.zones_y).astype(np.int64), self.zones_y - 1)
+        ix = np.maximum(ix, 0)
+        iy = np.maximum(iy, 0)
+        return ix + iy * self.zones_x
+
     def zone_of(self, positions: np.ndarray) -> np.ndarray:
         """Sub-zone index of each position; shape ``(n,)``.
 
@@ -155,13 +172,13 @@ class GameWorld:
         pos = np.asarray(positions, dtype=np.float64)
         if pos.ndim == 1:
             pos = pos[None, :]
-        ix = np.minimum((pos[:, 0] / self.width * self.zones_x).astype(np.int64), self.zones_x - 1)
-        iy = np.minimum(
-            (pos[:, 1] / self.height * self.zones_y).astype(np.int64), self.zones_y - 1
-        )
-        ix = np.maximum(ix, 0)
-        iy = np.maximum(iy, 0)
-        return ix + iy * self.zones_x
+        return self.zone_of_xy(pos[:, 0], pos[:, 1])
+
+    def zone_counts_xy(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Entity count per sub-zone from coordinate columns."""
+        if x.shape[0] == 0:
+            return np.zeros(self.n_zones, dtype=np.int64)
+        return np.bincount(self.zone_of_xy(x, y), minlength=self.n_zones)
 
     def zone_counts(self, positions: np.ndarray) -> np.ndarray:
         """Entity count per sub-zone; shape ``(n_zones,)``."""
@@ -177,6 +194,95 @@ class GameWorld:
         return out
 
     # -- hotspots -----------------------------------------------------------
+
+    def refresh_hotspot_cache(self) -> None:
+        """Rebuild the structure-of-arrays view of :attr:`hotspots`.
+
+        The per-tick readers (:meth:`hotspot_positions`,
+        :meth:`hotspot_weights`, :meth:`hotspot_cdf`,
+        :meth:`hotspot_active`) serve preallocated arrays instead of
+        rebuilding Python lists every call — the emulator's hot path
+        touches them several times per tick.  Call this after mutating
+        :attr:`hotspots` directly; :meth:`churn_hotspots` calls it
+        automatically.
+        """
+        spots = self.hotspots
+        self._hs_pos = np.array([h.position for h in spots])
+        self._hs_pos.flags.writeable = False
+        self._hs_x = np.ascontiguousarray(self._hs_pos[:, 0])
+        self._hs_x.flags.writeable = False
+        self._hs_y = np.ascontiguousarray(self._hs_pos[:, 1])
+        self._hs_y.flags.writeable = False
+        self._hs_strength = np.array([h.strength for h in spots])
+        self._hs_phase = np.array([h.phase for h in spots])
+        self._hs_amp = np.array([h.pulse_amplitude for h in spots])
+        # Non-pulsing spots may carry period 0; substitute 1 so the
+        # vectorized oscillator never divides by zero (their oscillator
+        # output is discarded by the pulsing mask below).
+        period = np.array([h.period_seconds for h in spots])
+        self._hs_period = np.where(self._hs_amp > 0, period, 1.0)
+        self._hs_pulsing = self._hs_amp > 0
+        self._hs_all_pulsing = bool(self._hs_pulsing.all())
+        self._hs_floor = 0.02 * self._hs_strength
+        # Persistent weight/CDF buffers, rewritten in place on refresh
+        # (exposed read-only; the writeable flag is toggled around each
+        # rewrite).  Holders of a previous return value observe the
+        # update — they are caches keyed by world time, not snapshots.
+        n = len(spots)
+        self._osc_buf = np.empty(n)
+        # The refresh writes through the writeable ``_buf`` aliases; the
+        # ``_cache`` views handed to callers stay read-only throughout.
+        self._weights_buf = np.empty(n)
+        self._weights_cache = self._weights_buf.view()
+        self._weights_cache.flags.writeable = False
+        self._cdf_buf = np.empty(n)
+        self._cdf_cache = self._cdf_buf.view()
+        self._cdf_cache.flags.writeable = False
+        self._hotspot_version += 1
+        # Scalar cache key (cheaper to probe per tick than a tuple).
+        self._w_time = np.nan  # nan never compares equal: first read refreshes
+        self._w_ver = -1
+        # A world with no pulsing hotspot has time-independent weights:
+        # compute them once per hotspot set and skip the per-read probe.
+        self._weights_static = not self._hs_pulsing.any()
+        if self._weights_static:
+            self._refresh_weights()
+
+    def _refresh_weights(self) -> None:
+        """Recompute the cached effective-strength weights and their CDF.
+
+        Value-identical to evaluating :meth:`Hotspot.effective_strength`
+        per spot (the scalar specification): same elementwise operations,
+        so the same IEEE-754 results — the equivalence tests assert
+        bitwise equality.
+        """
+        t = self.time_seconds
+        w = self._weights_buf
+        if self._weights_static:
+            # No pulsing spot: weights reduce to the normalized strengths.
+            np.divide(self._hs_strength, self._hs_strength.sum(), out=w)
+        else:
+            # The scalar specification, op for op over persistent buffers:
+            # eff = max(strength * (1 + amp * sin(2*pi*t/T + phase)), floor)
+            b = self._osc_buf
+            np.divide(2.0 * np.pi * t, self._hs_period, out=b)
+            np.add(b, self._hs_phase, out=b)
+            np.sin(b, out=b)
+            np.multiply(b, self._hs_amp, out=b)
+            np.add(b, 1.0, out=b)
+            np.multiply(self._hs_strength, b, out=b)
+            np.maximum(b, self._hs_floor, out=b)
+            if self._hs_all_pulsing:
+                np.divide(b, b.sum(), out=w)
+            else:
+                np.copyto(w, self._hs_strength)
+                np.copyto(w, b, where=self._hs_pulsing)  # == where(pulsing, eff, s)
+                np.divide(w, w.sum(), out=w)
+        cdf = self._cdf_buf
+        w.cumsum(out=cdf)
+        np.divide(cdf, cdf[-1], out=cdf)
+        self._w_time = t
+        self._w_ver = self._hotspot_version
 
     def _spawn_hotspot(self) -> Hotspot:
         pos = np.array(
@@ -194,17 +300,50 @@ class GameWorld:
         return Hotspot(position=pos, strength=float(self._rng.uniform(0.5, 1.5)))
 
     def hotspot_positions(self) -> np.ndarray:
-        """Positions of all hotspots; shape ``(n_hotspots, 2)``."""
-        return np.array([h.position for h in self.hotspots])
+        """Positions of all hotspots; shape ``(n_hotspots, 2)``.
+
+        Returns a cached read-only array (rebuilt on churn); copy before
+        mutating.
+        """
+        return self._hs_pos
+
+    def hotspot_xy(self) -> tuple[np.ndarray, np.ndarray]:
+        """Hotspot coordinates as separate cached read-only columns."""
+        return self._hs_x, self._hs_y
 
     def hotspot_weights(self) -> np.ndarray:
-        """Normalized hotspot selection probabilities at the current time."""
-        w = np.array([h.effective_strength(self.time_seconds) for h in self.hotspots])
-        return w / w.sum()
+        """Normalized hotspot selection probabilities at the current time.
+
+        Cached per ``(time, hotspot set)`` and returned read-only, so
+        the several per-tick readers (spawning, retargeting) share one
+        computation.
+        """
+        if not self._weights_static and (
+            self._w_time != self.time_seconds or self._w_ver != self._hotspot_version
+        ):
+            self._refresh_weights()
+        return self._weights_cache
+
+    def hotspot_cdf(self) -> np.ndarray:
+        """Cumulative distribution over :meth:`hotspot_weights`.
+
+        ``cdf.searchsorted(rng.random(k), side="right")`` draws hotspot
+        indices exactly as ``rng.choice(n, size=k, p=weights)`` would —
+        same consumed stream, same values — without re-deriving the CDF
+        on every call.  Cached alongside the weights; read-only.
+        """
+        if not self._weights_static and (
+            self._w_time != self.time_seconds or self._w_ver != self._hotspot_version
+        ):
+            self._refresh_weights()
+        return self._cdf_cache
 
     def hotspot_active(self) -> np.ndarray:
         """Boolean round-in-progress flag per hotspot at the current time."""
-        return np.array([h.is_active(self.time_seconds) for h in self.hotspots])
+        active = np.sin(
+            2.0 * np.pi * self.time_seconds / self._hs_period + self._hs_phase
+        ) >= 0.0
+        return active | ~self._hs_pulsing
 
     def churn_hotspots(self, churn_prob: float) -> int:
         """Respawn each hotspot with probability ``churn_prob``.
@@ -214,8 +353,12 @@ class GameWorld:
         attractor, causing rapid zone-count shifts.
         """
         moved = 0
-        for i in range(len(self.hotspots)):
-            if self._rng.random() < churn_prob:
-                self.hotspots[i] = self._spawn_hotspot()
+        spots = self.hotspots
+        draw = self._rng.random
+        for i in range(len(spots)):
+            if draw() < churn_prob:
+                spots[i] = self._spawn_hotspot()
                 moved += 1
+        if moved:
+            self.refresh_hotspot_cache()
         return moved

@@ -1,0 +1,166 @@
+"""Differential battery: reference vs vectorized emulator hot path.
+
+The fast engine (:class:`~repro.emulator.engine.VectorizedPopulation`,
+grid pair counter) promises *bitwise* equality with the readable
+reference (:class:`~repro.emulator.entities.EntityPopulation`, KD-tree)
+under the same seed: identical per-sample zone counts, identical
+interaction counts, identical work counters.  These tests run both
+paths over a configuration matrix and assert exact equality — any
+single diverging tick desynchronizes the shared random stream and
+shows up as a loud mismatch.
+
+The full seed × profile-mix × dynamics matrix is marked ``slow``; the
+default test run covers a representative corner subset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulator.emulator import EmulatorConfig, GameEmulator
+from repro.emulator.interactions import (
+    count_interacting_pairs,
+    emulate_with_interactions,
+    interaction_counts_per_zone,
+)
+from repro.emulator.profiles import DynamicsLevel
+from repro.emulator.world import GameWorld
+from repro.obs.registry import MetricsRegistry
+
+#: Counters whose exact equality the bench gate also enforces.
+COUNTERS = (
+    "emulator.ticks",
+    "emulator.samples",
+    "emulator.entities_spawned",
+    "emulator.entities_despawned",
+)
+
+MIXES = {
+    "even": (0.25, 0.25, 0.25, 0.25),
+    "aggressive": (0.7, 0.1, 0.1, 0.1),
+    "team": (0.1, 0.2, 0.6, 0.1),
+    "camper": (0.05, 0.15, 0.15, 0.65),
+}
+DYNAMICS = {
+    "low": DynamicsLevel.LOW,
+    "medium": DynamicsLevel.MEDIUM,
+    "high": DynamicsLevel.HIGH,
+}
+
+
+def run_both(config: EmulatorConfig):
+    """Run reference and vectorized paths; return traces and counters."""
+    out = []
+    for reference in (True, False):
+        metrics = MetricsRegistry()
+        trace = GameEmulator(config).run(metrics=metrics, reference=reference)
+        counters = {name: metrics.counter(name).value for name in COUNTERS}
+        out.append((trace, counters))
+    return out
+
+
+def assert_identical(config: EmulatorConfig) -> None:
+    (ref, ref_counters), (fast, fast_counters) = run_both(config)
+    np.testing.assert_array_equal(ref.zone_counts, fast.zone_counts)
+    assert ref_counters == fast_counters
+
+
+class TestEmulatorDifferential:
+    def test_representative_config(self):
+        assert_identical(
+            EmulatorConfig(
+                profile_mix=MIXES["even"],
+                peak_hours=True,
+                peak_load=400,
+                overall_dynamics=DynamicsLevel.MEDIUM,
+                instantaneous_dynamics=DynamicsLevel.HIGH,
+                duration_days=0.06,
+                seed=11,
+            )
+        )
+
+    def test_low_dynamics_config(self):
+        assert_identical(
+            EmulatorConfig(
+                profile_mix=MIXES["aggressive"],
+                peak_load=300,
+                overall_dynamics=DynamicsLevel.LOW,
+                instantaneous_dynamics=DynamicsLevel.LOW,
+                duration_days=0.06,
+                seed=12,
+            )
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    @pytest.mark.parametrize("dyn_name", sorted(DYNAMICS))
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_full_matrix(self, mix_name, dyn_name, seed):
+        for peak_hours in (False, True):
+            assert_identical(
+                EmulatorConfig(
+                    profile_mix=MIXES[mix_name],
+                    peak_hours=peak_hours,
+                    peak_load=300,
+                    overall_dynamics=DYNAMICS[dyn_name],
+                    instantaneous_dynamics=DYNAMICS[dyn_name],
+                    duration_days=0.05,
+                    seed=seed,
+                )
+            )
+
+
+class TestInteractionDifferential:
+    def test_trace_and_counters_identical(self):
+        config = EmulatorConfig(
+            profile_mix=MIXES["even"],
+            peak_load=250,
+            instantaneous_dynamics=DynamicsLevel.HIGH,
+            duration_days=0.03,
+            seed=21,
+        )
+        results = []
+        for reference in (True, False):
+            metrics = MetricsRegistry()
+            trace = emulate_with_interactions(
+                config, metrics=metrics, reference=reference
+            )
+            results.append(
+                (trace, metrics.counter("emulator.interaction_pairs").value)
+            )
+        (ref, ref_pairs), (fast, fast_pairs) = results
+        np.testing.assert_array_equal(ref.zone_counts, fast.zone_counts)
+        np.testing.assert_array_equal(ref.zone_interactions, fast.zone_interactions)
+        assert ref_pairs == fast_pairs
+
+    @pytest.mark.parametrize("radius", [0.5, 10.0, 25.0, 120.0, 999.0])
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 500])
+    def test_pair_counter_matches_kdtree(self, n, radius):
+        rng = np.random.default_rng(n * 7 + int(radius))
+        world = GameWorld()
+        positions = rng.random((n, 2)) * [[world.width, world.height]]
+        assert count_interacting_pairs(
+            positions, radius, reference=True
+        ) == count_interacting_pairs(positions, radius)
+        np.testing.assert_array_equal(
+            interaction_counts_per_zone(world, positions, radius, reference=True),
+            interaction_counts_per_zone(world, positions, radius),
+        )
+
+    def test_pair_counter_on_hotspot_clusters(self):
+        # The dense regime the emulator actually produces: tight crowds
+        # around a few attractors, positions clamped to the map.
+        rng = np.random.default_rng(5)
+        world = GameWorld()
+        centres = rng.random((5, 2)) * [[world.width, world.height]]
+        positions = np.concatenate(
+            [c + rng.normal(0.0, 20.0, size=(300, 2)) for c in centres]
+        )
+        world.clamp(positions)
+        for radius in (5.0, 25.0):
+            assert count_interacting_pairs(
+                positions, radius, reference=True
+            ) == count_interacting_pairs(positions, radius)
+            np.testing.assert_array_equal(
+                interaction_counts_per_zone(world, positions, radius, reference=True),
+                interaction_counts_per_zone(world, positions, radius),
+            )

@@ -80,6 +80,20 @@ class TestGoldenNumbers:
     def test_table5_predictor_rows(self):
         assert_matches(regenerate.compute_table5(), load_golden("table5.json"))
 
+    def test_emulator_trace(self):
+        # Exact integers: the fixed-seed zone-count trace must
+        # reproduce bit for bit on both emulator paths.
+        golden = load_golden("emulator_trace.json")
+        actual = regenerate.compute_emulator_trace()
+        assert actual["config"] == golden["config"]
+        assert actual["zone_counts"] == golden["zone_counts"]
+        from repro.emulator.emulator import EmulatorConfig, GameEmulator
+
+        reference = GameEmulator(
+            EmulatorConfig(**regenerate.EMULATOR_TRACE)
+        ).run(metrics=None, reference=True)
+        assert reference.zone_counts.tolist() == golden["zone_counts"]
+
     def test_golden_files_are_valid_json(self):
         for name in regenerate.SNAPSHOTS:
             data = load_golden(name)

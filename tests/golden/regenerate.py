@@ -81,10 +81,45 @@ def compute_table5() -> dict:
     }
 
 
+#: Fixed-seed configuration for the emulator trace snapshot.  Small on
+#: purpose: 36 samples × 16 zones of exact integers, enough to catch
+#: any behavioural drift in the tick loop (a single diverging tick
+#: desynchronizes the random stream and changes most of the trace).
+EMULATOR_TRACE = dict(
+    profile_mix=(0.3, 0.3, 0.2, 0.2),
+    peak_hours=True,
+    peak_load=500,
+    duration_days=0.05,
+    zones_x=4,
+    zones_y=4,
+    n_hotspots=3,
+    seed=2024,
+)
+
+
+def compute_emulator_trace() -> dict:
+    """Per-sample zone counts of one pinned emulation (exact integers).
+
+    Both emulator paths must reproduce this bit for bit: the
+    differential tests pin fast == reference, and this snapshot pins
+    them *both* to the committed behaviour — drift is caught even if
+    the two paths drift together.
+    """
+    from repro.emulator.emulator import EmulatorConfig, GameEmulator
+
+    trace = GameEmulator(EmulatorConfig(**EMULATOR_TRACE)).run(metrics=None)
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in EMULATOR_TRACE.items()},
+        "zone_counts": trace.zone_counts.tolist(),
+    }
+
+
 SNAPSHOTS = {
     "fig05.json": compute_fig05,
     "fig08.json": compute_fig08,
     "table5.json": compute_table5,
+    "emulator_trace.json": compute_emulator_trace,
 }
 
 
