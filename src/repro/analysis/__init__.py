@@ -18,6 +18,21 @@ RA004     import cycles — no runtime import cycles between project
           modules (``if TYPE_CHECKING:`` guards are honoured)
 RA005     dead experiments — every experiment module is registered in
           the CLI ``EXPERIMENTS`` table
+RA006     interval analysis — no provably-negative resource quantities,
+          zero-able divisors, or fraction/percent mixups (dataflow)
+RA007     exception flow — no accidental exception types escaping the
+          step loop; no over-broad handlers on the hot path
+RA008     hot-path cost — no nested unbounded iteration or per-tick
+          collection building in step-reachable code
+RA009     array shapes/dtypes — no broadcast-incompatible shapes,
+          silent dtype promotions, or out= mismatches (dataflow over
+          an abstract array domain)
+RA010     hidden allocations — no allocating numpy call reachable from
+          ``VectorizedPopulation.step()`` (the zero-allocation contract)
+RA011     RNG-stream symmetry — reference and vectorized engines consume
+          identical Generator draw sequences (bitwise equivalence)
+RA012     parallel safety — nothing unpicklable, stream-duplicating, or
+          share-mutating crosses a ``multiprocessing`` boundary
 ========  ==============================================================
 
 Use ``repro analyze`` or ``python -m repro.analysis``; findings share

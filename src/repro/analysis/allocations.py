@@ -1,0 +1,378 @@
+"""RA010 — hidden allocations: the vectorized tick must not allocate.
+
+PR 6's 5.6× emulator speedup rests on ``VectorizedPopulation.step()``
+being *zero-allocation*: every kernel writes into preallocated scratch
+via ``out=``, so the steady-state tick touches no allocator and no
+garbage collector.  That contract was comment-enforced; this pass
+machine-checks it.  It walks the functions reachable from the
+vectorized step root (same BFS as RA001/RA007/RA008) and flags every
+expression that allocates a fresh NumPy array:
+
+* **allocating numpy calls** — any ``numpy.*`` function or
+  array-returning method (``take``, ``astype``, ``nonzero``,
+  ``searchsorted``, ...) called *without* an ``out=`` buffer;
+* **RNG draws without out=** — ``rng.random(k)`` allocates ``k``
+  doubles per tick; ``rng.random(out=buf)`` does not;
+* **fancy-indexing copies** — a *load* through an array-valued or
+  boolean-mask index (``px[camp]``, ``table[:, idx]``) copies, unlike
+  basic slicing which views;
+* **chained-ufunc temporaries** — elementwise arithmetic whose operand
+  is itself a sliced buffer, an allocating call, or a fancy load
+  materializes an intermediate the ``out=`` form would avoid.
+
+Setup/teardown functions (RA008's allowlist plus the capacity
+machinery ``_allocate``/``_ensure_capacity``) run per spawn burst or
+once, not per tick, and are neither scanned nor traversed.  Sites that
+are *intentionally* allocating — e.g. the respawn slow path, which runs
+only when entities die — carry ``# reprolint: disable=RA010`` pragmas
+with justifications, so the allowlist of exceptions is visible in the
+diff, reviewed, and ratcheted by ``--baseline``.
+
+The default root set is deliberately narrower than RA008's: only the
+vectorized engine promises zero allocation.  The reference engine
+(``EntityPopulation``) is the readable spec and allocates freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.hotpath import DEFAULT_SETUP_NAMES, _is_setup
+from repro.analysis.purity import DEFAULT_BOUNDARY_PREFIXES, _format_chain
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["DEFAULT_ALLOCATION_ROOTS", "DEFAULT_ALLOCATION_SETUP_NAMES", "check_allocations"]
+
+RULE_ID = "RA010"
+
+#: Only the vectorized engine signs the zero-allocation contract; the
+#: reference engine is the readable spec and allocates by design.
+DEFAULT_ALLOCATION_ROOTS: tuple[str, ...] = (
+    "repro.emulator.engine.VectorizedPopulation.step",
+)
+
+#: RA008's setup allowlist plus the SoA capacity machinery: growth is
+#: amortized-rare by the doubling policy, so its allocations are not
+#: per-tick cost.
+DEFAULT_ALLOCATION_SETUP_NAMES: frozenset[str] = DEFAULT_SETUP_NAMES | {
+    "_allocate",
+    "_ensure_capacity",
+}
+
+#: numpy module functions that never allocate an array (bookkeeping,
+#: scalar predicates, in-place or context helpers).
+_NONALLOCATING_NUMPY = frozenset(
+    {
+        "numpy.copyto",  # writes into dst in place
+        "numpy.errstate",
+        "numpy.seterr",
+        "numpy.isscalar",
+        "numpy.shares_memory",
+        "numpy.may_share_memory",
+        "numpy.dtype",
+        "numpy.isclose",
+        "numpy.allclose",
+        "numpy.array_equal",
+        "numpy.ndim",
+        "numpy.size",
+        "numpy.result_type",
+        "numpy.can_cast",
+        "numpy.promote_types",
+    }
+)
+
+#: Array methods that return a *fresh* array (copies, gathers, scans).
+_ALLOCATING_METHODS = frozenset(
+    {
+        "take",
+        "copy",
+        "astype",
+        "nonzero",
+        "cumsum",
+        "cumprod",
+        "searchsorted",
+        "repeat",
+        "flatten",
+        "compress",
+        "choose",
+        "clip",
+        "round",
+        "argsort",
+        "argmax",
+        "argmin",
+    }
+)
+
+#: Generator draw methods: allocate unless handed an ``out=`` buffer.
+_RNG_DRAWS = frozenset(
+    {
+        "random",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "integers",
+        "choice",
+        "exponential",
+        "shuffle",  # in-place but listed so the except-branch is explicit
+        "permutation",
+    }
+)
+
+#: Draw methods that do NOT allocate (in-place by definition).
+_RNG_INPLACE = frozenset({"shuffle"})
+
+_ARITH_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+
+
+def _has_out_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg == "out" for kw in call.keywords)
+
+
+def _is_rng_receiver(expr: ast.expr) -> bool:
+    path = annotation_to_dotted(expr)
+    if path is None:
+        return False
+    return "rng" in path.rsplit(".", 1)[-1].lower()
+
+
+def _is_scalar_int_expr(value: ast.expr) -> bool:
+    if isinstance(value, ast.Constant):
+        return isinstance(value.value, int) and not isinstance(value.value, bool)
+    # ``_AGGRESSIVE = int(AIProfile.AGGRESSIVE)`` / ``_N = len(TABLE)``:
+    # module-level scalar derivations are still scalar indices.
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("int", "len")
+    )
+
+
+def _module_int_constants(symbols: SymbolTable, module: str) -> frozenset[str]:
+    """Module-level names bound to scalar integers (``_VMIN = 0``)."""
+    names: set[str] = set()
+    mod = symbols.project.modules.get(module)
+    if mod is None:
+        return frozenset()
+    for stmt in mod.tree.body:
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = stmt.value
+            targets = [stmt.target]
+        if value is not None and _is_scalar_int_expr(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return frozenset(names)
+
+
+class _FunctionScanner:
+    """Finds allocating expressions inside one step-reachable function."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo, chain: str) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.chain = chain
+        self.violations: list[Violation] = []
+        self._int_constants = _module_int_constants(symbols, fn.module)
+
+    def scan(self) -> list[Violation]:
+        for stmt in ast.walk(self.fn.node):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt is not self.fn.node:
+                    continue
+                self._scan_body(stmt)
+        return self.violations
+
+    def _scan_body(self, fn_node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        stack: list[ast.AST] = list(fn_node.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, ast.Subscript):
+                if isinstance(node.ctx, ast.Load) and self._is_fancy_index(node.slice):
+                    self._flag(
+                        node,
+                        "fancy-indexing load copies (basic slices view; "
+                        "gather into preallocated scratch with take(out=))",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS):
+                if self._is_array_operand(node.left) or self._is_array_operand(
+                    node.right
+                ):
+                    self._flag(
+                        node,
+                        "elementwise arithmetic materializes a temporary "
+                        "(use the ufunc's out= form)",
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- classification ----------------------------------------------------
+
+    def _check_call(self, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            if _is_rng_receiver(func.value):
+                if method in _RNG_DRAWS and method not in _RNG_INPLACE:
+                    if not _has_out_kwarg(call):
+                        self._flag(
+                            call,
+                            f"rng.{method} draw allocates "
+                            "(draw into a preallocated buffer with out=)",
+                        )
+                return
+            if method in _ALLOCATING_METHODS and not _has_out_kwarg(call):
+                self._flag(
+                    call,
+                    f".{method}() returns a fresh array "
+                    "(use the out= form or preallocated scratch)",
+                )
+                return
+        dotted = annotation_to_dotted(func)
+        if dotted is None:
+            return
+        resolved = self.symbols.canonicalize(
+            self.symbols.resolve(self.fn.module, dotted)
+        )
+        if not resolved.startswith("numpy."):
+            return
+        if resolved in _NONALLOCATING_NUMPY:
+            return
+        if resolved.startswith("numpy.random."):
+            # Global-RNG draws are RA003's beat; here they also allocate.
+            if not _has_out_kwarg(call):
+                self._flag(call, f"{resolved} draw allocates")
+            return
+        if not _has_out_kwarg(call):
+            tail = resolved[len("numpy."):]
+            self._flag(
+                call,
+                f"numpy.{tail} without out= allocates a fresh array",
+            )
+
+    def _is_fancy_index(self, index: ast.expr) -> bool:
+        """True when the subscript is advanced indexing (a copy)."""
+        elements = index.elts if isinstance(index, ast.Tuple) else [index]
+        return any(not self._is_basic_element(e) for e in elements)
+
+    def _is_basic_element(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Slice):
+            return True
+        if isinstance(expr, ast.Constant):
+            return True
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.operand, ast.Constant):
+            return True
+        if isinstance(expr, ast.Name):
+            # Module-level integer constants (_VMIN, _AGGRESSIVE) are
+            # scalar indices; anything else could be an index array.
+            return expr.id in self._int_constants
+        return False
+
+    def _is_array_operand(self, expr: ast.expr) -> bool:
+        """Syntactically array-valued: a sliced/fancy buffer load or an
+        allocating call.  Plain names and attributes are *not* counted —
+        without dataflow they are as likely scalars, and RA010 reports
+        only what it can prove."""
+        if isinstance(expr, ast.Subscript) and isinstance(expr.ctx, ast.Load):
+            elements = (
+                expr.slice.elts if isinstance(expr.slice, ast.Tuple) else [expr.slice]
+            )
+            return any(not isinstance(e, ast.Constant) for e in elements)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if _is_rng_receiver(func.value) and func.attr in _RNG_DRAWS:
+                    return not _has_out_kwarg(expr)
+                if func.attr in _ALLOCATING_METHODS:
+                    return not _has_out_kwarg(expr)
+            dotted = annotation_to_dotted(func)
+            if dotted is not None:
+                resolved = self.symbols.canonicalize(
+                    self.symbols.resolve(self.fn.module, dotted)
+                )
+                return (
+                    resolved.startswith("numpy.")
+                    and resolved not in _NONALLOCATING_NUMPY
+                    and not _has_out_kwarg(expr)
+                )
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, _ARITH_OPS):
+            return self._is_array_operand(expr.left) or self._is_array_operand(
+                expr.right
+            )
+        return False
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.fn.path,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=RULE_ID,
+                message=(
+                    f"{message} in step-reachable {self.fn.qualname} "
+                    f"[chain: {self.chain}]"
+                ),
+            )
+        )
+
+
+def check_allocations(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = DEFAULT_ALLOCATION_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+    setup_names: frozenset[str] = DEFAULT_ALLOCATION_SETUP_NAMES,
+) -> list[Violation]:
+    """Flag NumPy allocations reachable from the zero-allocation roots."""
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    parents: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in symbols.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+
+    violations: list[Violation] = []
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue
+        if _is_setup(fn.name, setup_names):
+            continue  # capacity growth and setup: amortized, not per-tick
+        chain = _format_chain(parents, qualname)
+        violations.extend(_FunctionScanner(symbols, fn, chain).scan())
+        for site in graph.callees(qualname):
+            if site.callee not in parents and site.callee in symbols.functions:
+                parents[site.callee] = qualname
+                queue.append(site.callee)
+    violations.sort()
+    return violations

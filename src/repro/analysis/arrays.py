@@ -1,0 +1,696 @@
+"""RA009 — array shape/dtype inference over the NumPy hot paths.
+
+The vectorized emulator (PR 6) moved the per-tick cost into whole-array
+NumPy kernels, which also moved the *failure modes*: a shape that
+broadcasts by accident, or an operand pair whose dtypes silently
+promote (allocating a widened temporary and, worse, changing the
+IEEE-754 arithmetic the bitwise-equivalence contract depends on).
+This pass runs the generic worklist solver
+(:mod:`repro.analysis.dataflow`) over every function in a
+numpy-importing module with an *abstract array domain* tracking
+
+* ``dims`` — a shape tuple whose entries are integer literals or
+  symbolic dimensions (the unparsed size expression: ``n``, ``k + k``),
+* ``dtype`` — the element type when derivable (``float64`` from
+  ``rng.random``, ``int64`` from ``np.empty(..., dtype=np.int64)``,
+  rewrites through ``.astype``), and
+
+reports three defect classes:
+
+* **broadcast-incompatible shapes** — elementwise arithmetic between
+  arrays whose *literal* trailing dimensions can never broadcast
+  (``(n, 2) * (n, 3)``);
+* **silent dtype promotion** — arithmetic between same-kind operands of
+  different widths (``float32`` meets ``float64``), which allocates and
+  upcasts on every evaluation;
+* **out= mismatch** — a ufunc whose inferred result shape cannot
+  broadcast into its ``out=`` buffer, or whose float result is silently
+  truncated into an integer ``out=`` buffer.
+
+Symbolic dimensions compare by name only: ``n`` vs ``n`` is compatible,
+``n`` vs ``k`` is *unknown* and never flags — like RA002/RA006 the pass
+reports only what it can prove, so rebinding a size variable can lose
+precision but cannot create a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import solve
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["ArrayVal", "Dim", "check_arrays", "broadcast_dims", "promote_dtype"]
+
+RULE_ID = "RA009"
+
+#: One abstract dimension: a literal extent or a symbolic size name.
+Dim = int | str
+
+#: numpy constructors whose first argument is the shape (canonical
+#: names sans the ``numpy.`` prefix, like the ufunc tables below).
+_SHAPE_CONSTRUCTORS = frozenset({"empty", "zeros", "ones", "full"})
+
+#: numpy *_like constructors copying their argument's value.
+_LIKE_CONSTRUCTORS = frozenset(
+    {"empty_like", "zeros_like", "ones_like", "full_like"}
+)
+
+#: Binary elementwise ufuncs (canonical numpy names, sans prefix).
+_BINARY_UFUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "true_divide",
+        "floor_divide",
+        "power",
+        "minimum",
+        "maximum",
+        "mod",
+        "remainder",
+        "hypot",
+        "arctan2",
+        "less",
+        "less_equal",
+        "greater",
+        "greater_equal",
+        "equal",
+        "not_equal",
+    }
+)
+
+#: Unary elementwise ufuncs: result shape/dtype follow the operand.
+_UNARY_UFUNCS = frozenset(
+    {"negative", "absolute", "abs", "sqrt", "exp", "log", "sin", "cos", "tan"}
+)
+
+#: Comparison ufuncs produce booleans, not the promoted operand dtype.
+_BOOL_UFUNCS = frozenset(
+    {"less", "less_equal", "greater", "greater_equal", "equal", "not_equal"}
+)
+
+#: Generator methods drawing IEEE doubles.
+_RNG_FLOAT_DRAWS = frozenset(
+    {"random", "uniform", "normal", "standard_normal", "exponential"}
+)
+
+#: dtype spelling -> (kind, width) for the promotion check.
+_DTYPE_KINDS: dict[str, tuple[str, int]] = {
+    "float16": ("float", 16),
+    "float32": ("float", 32),
+    "float64": ("float", 64),
+    "int8": ("int", 8),
+    "int16": ("int", 16),
+    "int32": ("int", 32),
+    "int64": ("int", 64),
+    "uint8": ("uint", 8),
+    "uint16": ("uint", 16),
+    "uint32": ("uint", 32),
+    "uint64": ("uint", 64),
+    "bool": ("bool", 1),
+    "bool_": ("bool", 1),
+}
+
+
+@dataclass(frozen=True)
+class ArrayVal:
+    """Abstract array: shape (literal/symbolic dims) plus element dtype.
+
+    ``dims is None`` means the shape is unknown; ``dtype is None`` means
+    the element type is unknown.  Both unknown is the domain's top.
+    """
+
+    dims: tuple[Dim, ...] | None = None
+    dtype: str | None = None
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.dims is None and self.dtype is None
+
+    def join(self, other: "ArrayVal") -> "ArrayVal":
+        """Least upper bound: keep only what both sides agree on."""
+        return ArrayVal(
+            dims=self.dims if self.dims == other.dims else None,
+            dtype=self.dtype if self.dtype == other.dtype else None,
+        )
+
+
+#: The "know nothing" value (domain top).
+UNKNOWN = ArrayVal()
+
+#: State: access path (``u2`` / ``self._jit``) -> abstract array value.
+State = dict[str, ArrayVal]
+
+
+def broadcast_dims(
+    a: tuple[Dim, ...], b: tuple[Dim, ...]
+) -> tuple[tuple[Dim, ...] | None, bool]:
+    """Broadcast two abstract shapes; returns ``(result, provably_bad)``.
+
+    Dimensions align from the trailing end.  Two integer literals must
+    be equal or include a 1; equal symbols are compatible; an integer
+    against a different symbol (or symbol against symbol) is *unknown*
+    — the result dimension is dropped to a fresh unknown only if the
+    pair could still broadcast, and the whole result collapses to
+    ``None`` on any unknown pair.  ``provably_bad`` is True only for a
+    literal/literal conflict.
+    """
+    result: list[Dim] = []
+    known = True
+    for i in range(max(len(a), len(b))):
+        da = a[len(a) - 1 - i] if i < len(a) else 1
+        db = b[len(b) - 1 - i] if i < len(b) else 1
+        if da == db:
+            result.append(da)
+        elif da == 1:
+            result.append(db)
+        elif db == 1:
+            result.append(da)
+        elif isinstance(da, int) and isinstance(db, int):
+            return None, True
+        else:
+            known = False  # symbol vs literal / foreign symbol: unknown
+            result.append(da)
+    if not known:
+        return None, False
+    result.reverse()
+    return tuple(result), False
+
+
+def promote_dtype(a: str | None, b: str | None) -> tuple[str | None, bool]:
+    """Promoted dtype of a binary op; returns ``(dtype, silent_widening)``.
+
+    ``silent_widening`` is True for a same-kind width mismatch (the
+    "silent dtype promotion" defect: ``float32`` meets ``float64``).
+    Cross-kind promotion (int with float) is ordinary NumPy arithmetic
+    and does not flag.
+    """
+    if a is None or b is None:
+        return None, False
+    if a == b:
+        return a, False
+    ka = _DTYPE_KINDS.get(a)
+    kb = _DTYPE_KINDS.get(b)
+    if ka is None or kb is None:
+        return None, False
+    if ka[0] == kb[0]:
+        wider = a if ka[1] >= kb[1] else b
+        return wider, True
+    if "float" in (ka[0], kb[0]):
+        return a if ka[0] == "float" else b, False
+    return None, False
+
+
+def _path_of(expr: ast.expr) -> str | None:
+    """Dotted access path of a Name/Attribute chain, or ``None``."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = _path_of(expr.value)
+        return None if base is None else f"{base}.{expr.attr}"
+    return None
+
+
+def _is_rng_receiver(expr: ast.expr) -> bool:
+    """Heuristic: the receiver names a Generator (``rng``/``self._rng``)."""
+    path = _path_of(expr)
+    if path is None:
+        return False
+    return "rng" in path.rsplit(".", 1)[-1].lower()
+
+
+def _dim_of(expr: ast.expr) -> Dim | None:
+    """One abstract dimension from a size expression."""
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool) or not isinstance(expr.value, int):
+            return None
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        inner = _dim_of(expr.operand)
+        return -inner if isinstance(inner, int) else None
+    try:
+        return ast.unparse(expr)
+    except (ValueError, RecursionError):  # pragma: no cover - malformed AST
+        return None
+
+
+def _dims_of_shape(expr: ast.expr) -> tuple[Dim, ...] | None:
+    """Abstract shape from a constructor's shape argument."""
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        dims = [_dim_of(elt) for elt in expr.elts]
+        if any(d is None for d in dims):
+            return None
+        return tuple(d for d in dims if d is not None)
+    dim = _dim_of(expr)
+    return None if dim is None else (dim,)
+
+
+def _dtype_of_expr(expr: ast.expr) -> str | None:
+    """dtype spelled as ``np.float32``, ``"float32"``, or ``float``/``int``."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value if expr.value in _DTYPE_KINDS else None
+    dotted = annotation_to_dotted(expr)
+    if dotted is None:
+        return None
+    tail = dotted.rsplit(".", 1)[-1]
+    if tail in _DTYPE_KINDS:
+        return "bool" if tail == "bool_" else tail
+    if tail == "float":
+        return "float64"
+    if tail == "int":
+        return "int64"
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+class _ArrayDomain:
+    """The dataflow domain for one function (see module docstring)."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.module = fn.module
+
+    def _resolve(self, dotted: str) -> str:
+        return self.symbols.canonicalize(self.symbols.resolve(self.module, dotted))
+
+    # -- Domain protocol ---------------------------------------------------
+
+    def initial(self) -> State:
+        return {}
+
+    def join(self, a: State, b: State) -> State:
+        out: State = {}
+        for key in sorted(set(a) | set(b)):
+            joined = a.get(key, UNKNOWN).join(b.get(key, UNKNOWN))
+            if not joined.is_unknown:
+                out[key] = joined
+        return out
+
+    def widen(self, a: State, b: State) -> State:
+        # The lattice is finite per key (known -> unknown), so the join
+        # already converges; widening is the join.
+        return self.join(a, b)
+
+    def equals(self, a: State, b: State) -> bool:
+        keys = set(a) | set(b)
+        return all(a.get(k, UNKNOWN) == b.get(k, UNKNOWN) for k in keys)
+
+    def transfer(self, state: State, stmt: ast.stmt) -> State:
+        state = dict(state)
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) == 1:
+                self._assign(state, stmt.targets[0], stmt.value)
+            else:
+                for target in stmt.targets:
+                    self._kill_target(state, target)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(state, stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            # In-place ops preserve shape and dtype; nothing to do.
+            pass
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._kill_target(state, stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._kill_target(state, item.optional_vars)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            state.pop(stmt.name, None)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._kill_target(state, target)
+        return state
+
+    def assume(self, state: State, cond: ast.expr, branch: bool) -> State | None:
+        return state  # shapes carry no branch information
+
+    # -- assignment helpers ------------------------------------------------
+
+    def _set(self, state: State, path: str, value: ArrayVal) -> None:
+        if value.is_unknown:
+            state.pop(path, None)
+        else:
+            state[path] = value
+
+    def _kill_target(self, state: State, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._kill_target(state, elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._kill_target(state, target.value)
+            return
+        path = _path_of(target)
+        if path is not None:
+            state.pop(path, None)
+
+    def _assign(self, state: State, target: ast.expr, value_expr: ast.expr) -> None:
+        path = _path_of(target)
+        if path is None:
+            self._kill_target(state, target)
+            return
+        value = self.eval(state, value_expr)
+        self._set(state, path, value if value is not None else UNKNOWN)
+
+    # -- expression evaluation ---------------------------------------------
+
+    def eval(self, state: State, expr: ast.expr) -> ArrayVal | None:
+        """Abstract array value of ``expr``; ``None`` = not an array /
+        unknown."""
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            path = _path_of(expr)
+            if path is None:
+                return None
+            found = state.get(path)
+            return None if found is None or found.is_unknown else found
+        if isinstance(expr, ast.BinOp):
+            result, _bad, _widened = self.eval_binop(state, expr)
+            return result
+        if isinstance(expr, ast.Call):
+            return self._eval_call(state, expr)
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+            return self.eval(state, expr.operand)
+        return None
+
+    def eval_binop(
+        self, state: State, expr: ast.BinOp
+    ) -> tuple[ArrayVal | None, bool, bool]:
+        """``(result, shape_conflict, silent_widening)`` for a binop."""
+        if not isinstance(
+            expr.op,
+            (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow),
+        ):
+            return None, False, False
+        left = self.eval(state, expr.left)
+        right = self.eval(state, expr.right)
+        if left is None or right is None:
+            return None, False, False  # scalar or unknown operand: silent
+        dims: tuple[Dim, ...] | None = None
+        bad = False
+        if left.dims is not None and right.dims is not None:
+            dims, bad = broadcast_dims(left.dims, right.dims)
+        dtype, widened = promote_dtype(left.dtype, right.dtype)
+        return ArrayVal(dims=dims, dtype=dtype), bad, widened
+
+    def _eval_call(self, state: State, call: ast.Call) -> ArrayVal | None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            if _is_rng_receiver(func.value):
+                return self._eval_rng_call(state, call, method)
+            receiver = self.eval(state, func.value)
+            if method == "astype" and call.args:
+                dtype = _dtype_of_expr(call.args[0])
+                if receiver is not None:
+                    return ArrayVal(dims=receiver.dims, dtype=dtype)
+                return ArrayVal(dtype=dtype) if dtype is not None else None
+            if method == "copy" and receiver is not None:
+                return receiver
+            if method == "searchsorted" and call.args:
+                probe = self.eval(state, call.args[0])
+                return ArrayVal(
+                    dims=probe.dims if probe is not None else None, dtype="int64"
+                )
+        dotted = annotation_to_dotted(func)
+        if dotted is None:
+            return None
+        resolved = self._resolve(dotted)
+        if not resolved.startswith("numpy."):
+            return None
+        tail = resolved[len("numpy."):]
+        if tail in _SHAPE_CONSTRUCTORS:
+            return self._eval_constructor(call, tail)
+        if tail in _LIKE_CONSTRUCTORS and call.args:
+            source = self.eval(state, call.args[0])
+            dtype_expr = _keyword(call, "dtype")
+            dtype = _dtype_of_expr(dtype_expr) if dtype_expr is not None else None
+            if source is None:
+                return ArrayVal(dtype=dtype) if dtype is not None else None
+            return ArrayVal(dims=source.dims, dtype=dtype or source.dtype)
+        if tail == "arange" and call.args:
+            dims = _dims_of_shape(call.args[0]) if len(call.args) == 1 else None
+            return ArrayVal(dims=dims)
+        if tail in _BINARY_UFUNCS or tail in _UNARY_UFUNCS:
+            return self._eval_ufunc(state, call, tail)
+        return None
+
+    def _eval_constructor(self, call: ast.Call, tail: str) -> ArrayVal | None:
+        if not call.args:
+            return None
+        dims = _dims_of_shape(call.args[0])
+        dtype_expr = _keyword(call, "dtype")
+        dtype: str | None
+        if dtype_expr is not None:
+            dtype = _dtype_of_expr(dtype_expr)
+        elif tail == "full" and len(call.args) >= 2:
+            fill = call.args[1]
+            if isinstance(fill, ast.Constant) and not isinstance(fill.value, bool):
+                dtype = (
+                    "float64"
+                    if isinstance(fill.value, float)
+                    else "int64"
+                    if isinstance(fill.value, int)
+                    else None
+                )
+            else:
+                dtype = None
+        else:
+            dtype = "float64"  # numpy's default element type
+        if dims is None and dtype is None:
+            return None
+        return ArrayVal(dims=dims, dtype=dtype)
+
+    def _eval_rng_call(
+        self, state: State, call: ast.Call, method: str
+    ) -> ArrayVal | None:
+        out_expr = _keyword(call, "out")
+        if out_expr is not None:
+            return self.eval(state, out_expr)
+        size_expr = _keyword(call, "size")
+        if size_expr is None:
+            positional = {
+                "random": 0,
+                "standard_normal": 0,
+                "integers": 2,
+                "uniform": 2,
+                "normal": 2,
+                "exponential": 1,
+            }.get(method)
+            if positional is not None and len(call.args) > positional:
+                size_expr = call.args[positional]
+        dims = _dims_of_shape(size_expr) if size_expr is not None else ()
+        if method in _RNG_FLOAT_DRAWS:
+            return ArrayVal(dims=dims, dtype="float64")
+        if method == "integers":
+            return ArrayVal(dims=dims, dtype="int64")
+        return None
+
+    def _eval_ufunc(
+        self, state: State, call: ast.Call, tail: str
+    ) -> ArrayVal | None:
+        out_expr = _keyword(call, "out")
+        if out_expr is not None:
+            return self.eval(state, out_expr)
+        operands = [self.eval(state, a) for a in call.args[:2]]
+        if tail in _UNARY_UFUNCS or len(call.args) < 2:
+            src = operands[0] if operands else None
+            return src
+        left, right = operands[0], operands[1]
+        if left is None or right is None:
+            return None
+        dims: tuple[Dim, ...] | None = None
+        if left.dims is not None and right.dims is not None:
+            dims, _bad = broadcast_dims(left.dims, right.dims)
+        if tail in _BOOL_UFUNCS:
+            return ArrayVal(dims=dims, dtype="bool")
+        dtype, _widened = promote_dtype(left.dtype, right.dtype)
+        return ArrayVal(dims=dims, dtype=dtype)
+
+    def ufunc_result(
+        self, state: State, call: ast.Call, tail: str
+    ) -> tuple[ArrayVal | None, bool, bool]:
+        """Result ignoring ``out=``: ``(value, shape_conflict, widening)``."""
+        if tail in _UNARY_UFUNCS or len(call.args) < 2:
+            src = self.eval(state, call.args[0]) if call.args else None
+            return src, False, False
+        left = self.eval(state, call.args[0])
+        right = self.eval(state, call.args[1])
+        if left is None or right is None:
+            return None, False, False
+        dims: tuple[Dim, ...] | None = None
+        bad = False
+        if left.dims is not None and right.dims is not None:
+            dims, bad = broadcast_dims(left.dims, right.dims)
+        if tail in _BOOL_UFUNCS:
+            return ArrayVal(dims=dims, dtype="bool"), bad, False
+        dtype, widened = promote_dtype(left.dtype, right.dtype)
+        return ArrayVal(dims=dims, dtype=dtype), bad, widened
+
+
+def _fmt_dims(dims: tuple[Dim, ...]) -> str:
+    if len(dims) == 1:
+        return f"({dims[0]},)"
+    return "(" + ", ".join(str(d) for d in dims) + ")"
+
+
+class _FunctionChecker:
+    """Solves one function and reports RA009 findings."""
+
+    def __init__(self, symbols: SymbolTable, fn: FunctionInfo) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.domain = _ArrayDomain(symbols, fn)
+        self.violations: list[Violation] = []
+
+    def check(self) -> list[Violation]:
+        cfg = build_cfg(self.fn.node)
+        entry_states = solve(cfg, self.domain)
+        for idx in sorted(entry_states):
+            state = entry_states[idx]
+            for stmt in cfg.blocks[idx].stmts:
+                self._check_stmt(state, stmt)
+                state = self.domain.transfer(state, stmt)
+        return self.violations
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.fn.path,
+                line=getattr(node, "lineno", self.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=RULE_ID,
+                message=f"{message} in {self.fn.qualname}",
+            )
+        )
+
+    def _stmt_exprs(self, stmt: ast.stmt) -> list[ast.expr]:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return []
+        return [
+            node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)
+        ]
+
+    def _check_stmt(self, state: State, stmt: ast.stmt) -> None:
+        stack: list[ast.AST] = list(self._stmt_exprs(stmt))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.BinOp):
+                self._check_binop(state, node)
+            elif isinstance(node, ast.Call):
+                self._check_call(state, node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_binop(self, state: State, expr: ast.BinOp) -> None:
+        _result, bad, widened = self.domain.eval_binop(state, expr)
+        if bad:
+            left = self.domain.eval(state, expr.left)
+            right = self.domain.eval(state, expr.right)
+            assert left is not None and right is not None
+            assert left.dims is not None and right.dims is not None
+            self._flag(
+                expr,
+                f"broadcast-incompatible shapes {_fmt_dims(left.dims)} and "
+                f"{_fmt_dims(right.dims)}",
+            )
+        if widened:
+            left = self.domain.eval(state, expr.left)
+            right = self.domain.eval(state, expr.right)
+            assert left is not None and right is not None
+            self._flag(
+                expr,
+                f"silent dtype promotion: {left.dtype} combined with "
+                f"{right.dtype} allocates a widened temporary",
+            )
+
+    def _check_call(self, state: State, call: ast.Call) -> None:
+        dotted = annotation_to_dotted(call.func)
+        if dotted is None:
+            return
+        resolved = self.domain._resolve(dotted)
+        if not resolved.startswith("numpy."):
+            return
+        tail = resolved[len("numpy."):]
+        if tail not in _BINARY_UFUNCS and tail not in _UNARY_UFUNCS:
+            return
+        result, bad, widened = self.domain.ufunc_result(state, call, tail)
+        if bad and len(call.args) >= 2:
+            left = self.domain.eval(state, call.args[0])
+            right = self.domain.eval(state, call.args[1])
+            assert left is not None and right is not None
+            assert left.dims is not None and right.dims is not None
+            self._flag(
+                call,
+                f"broadcast-incompatible shapes {_fmt_dims(left.dims)} and "
+                f"{_fmt_dims(right.dims)} in numpy.{tail}",
+            )
+        if widened and len(call.args) >= 2:
+            left = self.domain.eval(state, call.args[0])
+            right = self.domain.eval(state, call.args[1])
+            assert left is not None and right is not None
+            self._flag(
+                call,
+                f"silent dtype promotion in numpy.{tail}: {left.dtype} "
+                f"combined with {right.dtype}",
+            )
+        out_expr = _keyword(call, "out")
+        if out_expr is None or result is None:
+            return
+        out_val = self.domain.eval(state, out_expr)
+        if out_val is None:
+            return
+        if result.dims is not None and out_val.dims is not None:
+            _dims, out_bad = broadcast_dims(result.dims, out_val.dims)
+            if out_bad:
+                self._flag(
+                    call,
+                    f"numpy.{tail} result shape {_fmt_dims(result.dims)} "
+                    f"cannot broadcast into out= buffer "
+                    f"{_fmt_dims(out_val.dims)}",
+                )
+        if result.dtype is not None and out_val.dtype is not None:
+            rk = _DTYPE_KINDS.get(result.dtype)
+            ok = _DTYPE_KINDS.get(out_val.dtype)
+            if rk is not None and ok is not None and rk[0] == "float" and ok[0] in (
+                "int",
+                "uint",
+            ):
+                self._flag(
+                    call,
+                    f"numpy.{tail} computes {result.dtype} but out= buffer "
+                    f"is {out_val.dtype}: silent truncation",
+                )
+
+
+def _imports_numpy(symbols: SymbolTable, module: str) -> bool:
+    targets = symbols.imports.get(module, {}).values()
+    return any(t == "numpy" or t.startswith("numpy.") for t in targets)
+
+
+def check_arrays(symbols: SymbolTable) -> list[Violation]:
+    """Run the RA009 shape/dtype pass over every numpy-importing module."""
+    violations: list[Violation] = []
+    for qualname in sorted(symbols.functions):
+        fn = symbols.functions[qualname]
+        if not _imports_numpy(symbols, fn.module):
+            continue
+        violations.extend(_FunctionChecker(symbols, fn).check())
+    violations.sort()
+    return violations

@@ -40,7 +40,7 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--passes",
         metavar="IDS",
         default=None,
-        help="comma-separated pass ids to run (default: all of RA001-RA008)",
+        help="comma-separated pass ids to run (default: all of RA001-RA012)",
     )
     parser.add_argument(
         "--format",
@@ -79,9 +79,10 @@ def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description="whole-program analyzer: phase purity, dimensional "
-        "analysis, RNG flow, import cycles, dead experiments, and the "
-        "dataflow passes (intervals, exception flow, hot-path cost) "
-        "(RA001-RA008)",
+        "analysis, RNG flow, import cycles, dead experiments, the "
+        "dataflow passes (intervals, exception flow, hot-path cost), and "
+        "the array-aware passes (shape/dtype, hidden allocations, "
+        "RNG-stream symmetry, parallel safety) (RA001-RA012)",
     )
     add_analyze_arguments(parser)
     return parser

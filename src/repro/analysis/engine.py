@@ -14,12 +14,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.allocations import check_allocations
+from repro.analysis.arrays import check_arrays
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.dimensions import check_dimensions
 from repro.analysis.exceptions import check_exceptions
 from repro.analysis.graphchecks import check_dead_experiments, check_import_cycles
 from repro.analysis.hotpath import check_hotpath
 from repro.analysis.intervals import check_intervals
+from repro.analysis.parallel_safety import check_parallel_safety
 from repro.analysis.project import Project
 from repro.analysis.purity import (
     DEFAULT_BOUNDARY_PREFIXES,
@@ -27,6 +30,7 @@ from repro.analysis.purity import (
     check_purity,
 )
 from repro.analysis.rngflow import check_rng_flow
+from repro.analysis.rngstream import check_rngstream
 from repro.analysis.symbols import SymbolTable
 from repro.lint.engine import (
     ANALYSIS_RULE_IDS,
@@ -54,6 +58,14 @@ PASS_SUMMARIES: dict[str, str] = {
     "step loop uncaught; no over-broad handlers on the hot path",
     "RA008": "hot-path cost: no nested unbounded iteration, per-tick "
     "collection building, or O(n) list membership in step-reachable code",
+    "RA009": "array shapes/dtypes: no broadcast-incompatible shapes, silent "
+    "dtype promotions, or out= mismatches in numpy-using code",
+    "RA010": "hidden allocations: no allocating numpy call (missing out=, "
+    "fancy-index copy, ufunc temporary) reachable from the vectorized step",
+    "RA011": "RNG-stream symmetry: reference and vectorized engines consume "
+    "identical Generator draw sequences (the bitwise-equivalence contract)",
+    "RA012": "parallel safety: nothing unpicklable, stream-duplicating, or "
+    "share-mutating crosses a multiprocessing boundary",
 }
 
 
@@ -110,7 +122,7 @@ def analyze_project(
 
     symbols = SymbolTable(project)
     graph: CallGraph | None = None
-    if selected & {"RA001", "RA007", "RA008"}:
+    if selected & {"RA001", "RA007", "RA008", "RA010"}:
         graph = CallGraph.build(project, symbols)
     if "RA001" in selected and graph is not None:
         report.violations.extend(
@@ -140,6 +152,16 @@ def analyze_project(
                 symbols, graph, roots=roots, boundary_prefixes=boundary_prefixes
             )
         )
+    if "RA009" in selected:
+        report.violations.extend(check_arrays(symbols))
+    if "RA010" in selected and graph is not None:
+        report.violations.extend(
+            check_allocations(symbols, graph, boundary_prefixes=boundary_prefixes)
+        )
+    if "RA011" in selected:
+        report.violations.extend(check_rngstream(symbols))
+    if "RA012" in selected:
+        report.violations.extend(check_parallel_safety(symbols))
 
     _apply_suppressions(project, report)
     report.violations.sort()

@@ -1,0 +1,451 @@
+"""RA012 — parallel safety: what crosses a process boundary must survive it.
+
+ROADMAP item 2 shards the simulation across worker processes, and the
+``repro experiments --parallel N`` runner is the first consumer.  A
+``multiprocessing`` boundary has two failure classes that type checkers
+and the other RA passes cannot see:
+
+* **pickle hazards** — the worker callable and every payload type must
+  survive a round-trip through ``pickle``.  Lambdas, nested functions,
+  and bound methods are not picklable by reference; payload classes
+  whose attribute graph reaches a ``numpy.random.Generator`` *are*
+  picklable but wrong — the copy duplicates the parent's stream, so
+  two workers draw identical "random" numbers; locks, sockets, open
+  files, and live iterators simply fail to pickle at dispatch time.
+* **shared-mutable-state illusions** — a worker that writes a module
+  global (``global`` rebinding, ``CACHE[k] = v``, ``CACHE.clear()``)
+  mutates its *own* copy under spawn semantics; the parent never sees
+  the write.  Results must travel through return values, which the
+  runner merges explicitly (``MetricsRegistry.merge_from``).
+
+The pass finds boundary call sites syntactically — ``pool.map(fn,
+items)`` and friends on a ``pool``/``executor`` receiver, and
+``Process(target=fn)``/``Executor.submit(fn, ...)`` — resolves the
+worker callable through the symbol table, and checks (a) the callable
+is a picklable module-level function, (b) no parameter annotation
+reaches a hazard type through the class-attribute graph, and (c) the
+worker body performs no module-global mutation.  Scope is the worker
+function itself, not its transitive callees: per-process caches
+*inside* the worker are legitimate (each process warms its own), and
+flagging them would teach people to stop reading the reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    SymbolTable,
+    annotation_to_dotted,
+)
+from repro.lint.engine import Violation
+
+__all__ = ["HAZARD_TYPES", "check_parallel_safety"]
+
+RULE_ID = "RA012"
+
+#: Canonical dotted type -> why it must not cross a process boundary.
+HAZARD_TYPES: dict[str, str] = {
+    "numpy.random.Generator": (
+        "a pickled Generator duplicates the parent's stream; seed one "
+        "per worker instead"
+    ),
+    "numpy.random.BitGenerator": (
+        "a pickled BitGenerator duplicates the parent's stream; seed "
+        "one per worker instead"
+    ),
+    "numpy.random.SeedSequence": (
+        "share spawned child seeds, not the parent sequence object"
+    ),
+    "threading.Lock": "locks do not pickle and cannot guard two processes",
+    "threading.RLock": "locks do not pickle and cannot guard two processes",
+    "threading.Event": "thread events are invisible to other processes",
+    "threading.Condition": "conditions do not pickle",
+    "threading.Semaphore": "semaphores do not pickle",
+    "typing.IO": "open file handles do not survive pickling",
+    "typing.TextIO": "open file handles do not survive pickling",
+    "typing.BinaryIO": "open file handles do not survive pickling",
+    "io.TextIOWrapper": "open file handles do not survive pickling",
+    "io.BufferedReader": "open file handles do not survive pickling",
+    "io.BufferedWriter": "open file handles do not survive pickling",
+    "socket.socket": "sockets do not survive pickling",
+    "subprocess.Popen": "process handles do not survive pickling",
+    "typing.Iterator": "a live iterator's position does not pickle",
+    "typing.Generator": "a live generator frame does not pickle",
+    "collections.abc.Iterator": "a live iterator's position does not pickle",
+    "collections.abc.Generator": "a live generator frame does not pickle",
+}
+
+#: Fan-out methods on a pool/executor receiver: ``args[0]`` is the
+#: worker callable.
+_POOL_METHODS = frozenset(
+    {
+        "map",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "map_async",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "submit",
+    }
+)
+
+#: Receiver name fragments that mark a process boundary.  ``pool.map``
+#: on something called ``pool``/``executor`` is the boundary idiom;
+#: ``seq.map`` on arbitrary receivers is not flagged (prove, don't
+#: guess).
+_BOUNDARY_RECEIVERS = ("pool", "executor")
+
+#: Methods that mutate their receiver in place (module-global check).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "setdefault",
+        "appendleft",
+        "popleft",
+        "sort",
+    }
+)
+
+
+def _receiver_is_boundary(expr: ast.expr) -> bool:
+    path = annotation_to_dotted(expr)
+    if path is None:
+        return False
+    tail = path.rsplit(".", 1)[-1].lower()
+    return any(fragment in tail for fragment in _BOUNDARY_RECEIVERS)
+
+
+def _annotation_dotted_names(node: ast.expr) -> list[str]:
+    """Every dotted type name anywhere in an annotation AST.
+
+    ``list[tuple[Lease, np.random.Generator]]`` yields the container
+    heads *and* both element types, so hazards hiding inside generics
+    are still found.
+    """
+    names: list[str] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Name, ast.Attribute)):
+            dotted = annotation_to_dotted(
+                current if isinstance(current, ast.expr) else None
+            )
+            if dotted is not None:
+                names.append(dotted)
+            continue  # Attribute chains are atomic; don't re-walk parts
+        if isinstance(current, ast.Constant) and isinstance(current.value, str):
+            try:
+                parsed = ast.parse(current.value, mode="eval").body
+            except SyntaxError:
+                continue
+            stack.append(parsed)
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return names
+
+
+def _local_bindings(fn_node: ast.AST) -> set[str]:
+    """Names bound by plain ``Name`` stores anywhere in the function.
+
+    Python scoping makes such a name local for the *whole* function
+    body, so writes through it cannot touch the module global of the
+    same name.  Over-approximating across nested scopes only loses
+    findings, never invents them — the prove-don't-guess direction.
+    """
+    bound: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    return bound
+
+
+class _BoundarySite:
+    """One fan-out call: where, and what crosses."""
+
+    def __init__(
+        self, fn: FunctionInfo, call: ast.Call, payload: ast.expr
+    ) -> None:
+        self.fn = fn
+        self.call = call
+        self.payload = payload
+
+
+def _find_boundary_sites(fn: FunctionInfo) -> list[_BoundarySite]:
+    sites: list[_BoundarySite] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _POOL_METHODS
+            and _receiver_is_boundary(func.value)
+            and node.args
+        ):
+            sites.append(_BoundarySite(fn, node, node.args[0]))
+            continue
+        # Process(target=fn, ...) — by name or dotted path.
+        callee = annotation_to_dotted(func)
+        if callee is not None and callee.rsplit(".", 1)[-1] == "Process":
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    sites.append(_BoundarySite(fn, node, kw.value))
+    return sites
+
+
+class _SiteChecker:
+    def __init__(self, symbols: SymbolTable, site: _BoundarySite) -> None:
+        self.symbols = symbols
+        self.site = site
+        self.violations: list[Violation] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                path=self.site.fn.path,
+                line=getattr(node, "lineno", self.site.fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=RULE_ID,
+                message=f"{message} [boundary in {self.site.fn.qualname}]",
+            )
+        )
+
+    def check(self) -> list[Violation]:
+        payload = self.site.payload
+        if isinstance(payload, ast.Lambda):
+            self._flag(
+                payload,
+                "lambda crosses a process boundary: lambdas are not "
+                "picklable by reference; use a module-level function",
+            )
+            return self.violations
+        worker = self._resolve_worker(payload)
+        if worker is None:
+            return self.violations
+        self._check_worker_params(worker)
+        self._check_worker_globals(worker)
+        return self.violations
+
+    def _resolve_worker(self, payload: ast.expr) -> FunctionInfo | None:
+        dotted = annotation_to_dotted(payload)
+        if dotted is None:
+            return None
+        # A bare name at a fan-out site inside ``fan`` resolves first in
+        # the enclosing function's scope: ``fan.<name>`` defined as a
+        # nested def is unpicklable by reference.  Nested functions are
+        # not in the symbol table, so look for them syntactically.
+        if "." not in dotted:
+            for node in ast.walk(self.site.fn.node):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node is not self.site.fn.node
+                    and node.name == dotted
+                ):
+                    self._flag(
+                        payload,
+                        f"nested function "
+                        f"{self.site.fn.qualname}.{dotted} crosses a "
+                        "process boundary: inner functions are not "
+                        "picklable by reference",
+                    )
+                    return None
+        resolved = self.symbols.canonicalize(
+            self.symbols.resolve(self.site.fn.module, dotted)
+        )
+        worker = self.symbols.functions.get(resolved)
+        if worker is None:
+            # ``self._worker`` / ``obj.method``: a bound method drags its
+            # receiver through pickle.  Only flag when the head is a
+            # known object, not an unresolved module path.
+            head = dotted.split(".", 1)[0]
+            if "." in dotted and head in ("self", "cls"):
+                self._flag(
+                    payload,
+                    f"bound method {dotted} crosses a process boundary: "
+                    "pickling it ships the whole receiver; use a "
+                    "module-level function",
+                )
+            return None
+        return worker
+
+    # -- pickle-reachability over parameter annotations --------------------
+
+    def _check_worker_params(self, worker: FunctionInfo) -> None:
+        args = worker.node.args
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            if a.annotation is None or a.arg in ("self", "cls"):
+                continue
+            for dotted in _annotation_dotted_names(a.annotation):
+                resolved = self.symbols.canonicalize(
+                    self.symbols.resolve(worker.module, dotted)
+                )
+                reason = HAZARD_TYPES.get(resolved)
+                if reason is not None:
+                    self._flag(
+                        self.site.payload,
+                        f"worker {worker.qualname} parameter {a.arg!r} is "
+                        f"{resolved}, which must not cross a process "
+                        f"boundary ({reason})",
+                    )
+                    continue
+                self._check_class_reachability(worker, a.arg, resolved)
+
+    def _check_class_reachability(
+        self, worker: FunctionInfo, param: str, root: str
+    ) -> None:
+        """BFS the attribute graph of a payload class for hazard types."""
+        start = self.symbols.classes.get(root)
+        if start is None:
+            return
+        parents: dict[str, tuple[str, str] | None] = {root: None}
+        queue: deque[str] = deque([root])
+        while queue:
+            qualname = queue.popleft()
+            info: ClassInfo | None = self.symbols.classes.get(qualname)
+            if info is None:
+                continue
+            for attr in sorted(info.attr_types):
+                attr_type = info.attr_types[attr]
+                self._visit_attr_type(
+                    worker, param, parents, queue, qualname, attr, attr_type
+                )
+            for attr in sorted(info.attr_annotations):
+                if attr in info.attr_types:
+                    continue
+                for dotted in _annotation_dotted_names(
+                    info.attr_annotations[attr]
+                ):
+                    resolved = self.symbols.canonicalize(
+                        self.symbols.resolve(info.module, dotted)
+                    )
+                    self._visit_attr_type(
+                        worker, param, parents, queue, qualname, attr, resolved
+                    )
+
+    def _visit_attr_type(
+        self,
+        worker: FunctionInfo,
+        param: str,
+        parents: dict[str, tuple[str, str] | None],
+        queue: deque[str],
+        owner: str,
+        attr: str,
+        attr_type: str,
+    ) -> None:
+        reason = HAZARD_TYPES.get(attr_type)
+        if reason is not None:
+            chain = self._attr_chain(parents, owner) + [attr]
+            self._flag(
+                self.site.payload,
+                f"worker {worker.qualname} payload {param!r} reaches "
+                f"{attr_type} via .{'.'.join(chain)} ({reason})",
+            )
+            return
+        if attr_type in self.symbols.classes and attr_type not in parents:
+            parents[attr_type] = (owner, attr)
+            queue.append(attr_type)
+
+    def _attr_chain(
+        self, parents: dict[str, tuple[str, str] | None], qualname: str
+    ) -> list[str]:
+        chain: list[str] = []
+        current: str | None = qualname
+        while current is not None:
+            step = parents.get(current)
+            if step is None:
+                break
+            owner, attr = step
+            chain.append(attr)
+            current = owner
+        chain.reverse()
+        return chain
+
+    # -- module-global mutation inside the worker --------------------------
+
+    def _check_worker_globals(self, worker: FunctionInfo) -> None:
+        module_names = self.symbols.module_globals.get(worker.module, set())
+        # A plain rebinding inside the worker makes the name local for
+        # the whole function (unless declared ``global``), so writes
+        # through it touch worker-private state, which is fine.
+        shadowed = _local_bindings(worker.node)
+        declared_global: set[str] = set()
+        for node in ast.walk(worker.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        module_names = (module_names - shadowed) | (
+            module_names & declared_global
+        )
+        for node in ast.walk(worker.node):
+            if isinstance(node, ast.Global):
+                self._flag(
+                    self.site.payload,
+                    f"worker {worker.qualname} rebinds module global(s) "
+                    f"{', '.join(sorted(node.names))}: under spawn each "
+                    "process mutates its own copy; return results instead",
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    base = self._store_base(target)
+                    if base is not None and base in module_names:
+                        self._flag(
+                            self.site.payload,
+                            f"worker {worker.qualname} writes module "
+                            f"global {base!r}: the parent process never "
+                            "sees the write; return results instead",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATOR_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in module_names
+                ):
+                    self._flag(
+                        self.site.payload,
+                        f"worker {worker.qualname} mutates module global "
+                        f"{func.value.id!r} via .{func.attr}(): the "
+                        "parent process never sees the write",
+                    )
+
+    def _store_base(self, target: ast.expr) -> str | None:
+        """Module-global name a subscript/attribute store lands on."""
+        current: ast.expr = target
+        while isinstance(current, (ast.Subscript, ast.Attribute)):
+            current = current.value
+        if isinstance(current, ast.Name) and not isinstance(
+            current.ctx, ast.Load
+        ):
+            return None  # plain rebinding makes a local, not a global
+        return current.id if isinstance(current, ast.Name) else None
+
+
+def check_parallel_safety(symbols: SymbolTable) -> list[Violation]:
+    """Check every multiprocessing fan-out site in the project."""
+    violations: list[Violation] = []
+    for qualname in sorted(symbols.functions):
+        fn = symbols.functions[qualname]
+        for site in _find_boundary_sites(fn):
+            violations.extend(_SiteChecker(symbols, site).check())
+    violations.sort()
+    return violations

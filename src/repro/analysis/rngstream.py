@@ -1,0 +1,497 @@
+"""RA011 — RNG-stream symmetry: the bitwise-equivalence contract.
+
+The vectorized emulator (PR 6) is proven bitwise-identical to the
+reference engine by construction: both consume *exactly the same
+stream* of ``numpy.random.Generator`` draws, in the same order, with
+the same counts and dtypes.  The equivalences it relies on are
+
+* ``world.random_positions(n)`` ≡ ``rng.random(n + n)`` — 2n uniforms,
+* ``choice(m, size=k, p=w)`` ≡ ``cdf.searchsorted(rng.random(k))`` —
+  inverse-transform sampling consumes k uniforms either way,
+* ``normal(0, 1, (n, 2))`` ≡ ``standard_normal(out=buf)`` — same
+  gaussian doubles into a preallocated buffer,
+* ``uniform(0, w, n)`` ≡ ``w * rng.random(n)`` — same n uniforms.
+
+Those used to be comment-enforced.  This pass machine-checks them: it
+walks each *paired* reference/vectorized function in source order,
+extracts the sequence of draw events (canonicalized through the
+equivalences above, with straight-line alias resolution so
+``k = profiles.shape[0]; rng.random(k + k)`` and
+``n = profiles.shape[0]; world.random_positions(n)`` compare equal),
+and flags any asymmetry in
+
+* **draw kind** (uniform vs gaussian vs integer vs no-replace choice),
+* **draw count** — literal counts and same-symbol multiples must match
+  (``2·n`` vs ``n`` flags; ``k`` vs ``j`` is unprovable and silent;
+  ``out=`` draws are wildcards),
+* **guard structure** — a draw conditional on one side but
+  unconditional on the other changes the stream on some input,
+* **integer bounds** — differing literal ``integers`` bounds, and
+* **helper-call order** — calls to paired helpers (``_new_targets``)
+  must appear at the same stream positions.
+
+Like every RA pass it reports only what it can *prove*: two opaque
+symbolic counts that merely look different (``int(agg.sum())`` vs
+``int(counts[_AGGRESSIVE])`` — equal at runtime by construction) never
+flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["DEFAULT_RNG_PAIRS", "DrawEvent", "check_rngstream"]
+
+RULE_ID = "RA011"
+
+#: (reference qualname, vectorized qualname) — functions that must
+#: consume identical Generator streams.  The spawn/step/despawn split
+#: mirrors the engines' public surface; ``_new_targets`` is the one
+#: shared helper both sides route retargeting draws through.
+DEFAULT_RNG_PAIRS: tuple[tuple[str, str], ...] = (
+    (
+        "repro.emulator.entities.EntityPopulation.spawn",
+        "repro.emulator.engine.VectorizedPopulation.spawn",
+    ),
+    (
+        "repro.emulator.entities.EntityPopulation.despawn",
+        "repro.emulator.engine.VectorizedPopulation.despawn",
+    ),
+    (
+        "repro.emulator.entities.EntityPopulation.step",
+        "repro.emulator.engine.VectorizedPopulation.step",
+    ),
+    (
+        "repro.emulator.entities.EntityPopulation._new_targets",
+        "repro.emulator.engine.VectorizedPopulation._new_targets",
+    ),
+)
+
+#: Generator methods drawing uniform doubles (directly or canonically).
+_UNIFORM_METHODS = frozenset({"random", "uniform"})
+
+#: Generator methods drawing gaussian doubles.
+_GAUSS_METHODS = frozenset({"normal", "standard_normal"})
+
+#: Positional index of the ``size`` argument per draw method.
+_SIZE_POSITIONS = {
+    "random": 0,
+    "standard_normal": 0,
+    "integers": 2,
+    "uniform": 2,
+    "normal": 2,
+    "exponential": 1,
+}
+
+
+@dataclass(frozen=True)
+class SizeTok:
+    """Canonical draw count: ``mult`` × ``sym``.
+
+    ``sym is None`` → a pure literal count of ``mult``;
+    ``sym == "*"`` → a wildcard (``out=`` draws, unresolvable counts);
+    otherwise a symbolic token (``n``, ``profiles.shape[0]``).
+    """
+
+    mult: int
+    sym: str | None
+
+    def render(self) -> str:
+        if self.sym is None:
+            return str(self.mult)
+        if self.mult == 1:
+            return self.sym
+        return f"{self.mult}*{self.sym}"
+
+
+WILDCARD = SizeTok(1, "*")
+
+
+def sizes_conflict(a: SizeTok, b: SizeTok) -> bool:
+    """True only when the two counts *provably* differ."""
+    if a.sym == "*" or b.sym == "*":
+        return False
+    if a.sym == b.sym:  # both literal (None) or the same symbol
+        return a.mult != b.mult
+    return False  # different symbols: unprovable, silent
+
+
+@dataclass(frozen=True)
+class DrawEvent:
+    """One canonical point in the Generator stream."""
+
+    kind: str  # uniform | gauss | integer | choice-noreplace | call:<name>
+    size: SizeTok
+    depth: int  # enclosing conditional/loop depth
+    line: int
+    detail: str = ""  # integer bounds etc., "" when not applicable
+
+
+class _Env:
+    """Straight-line alias environment: local name -> canonical count."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, SizeTok] = {}
+
+
+def _canon_size(expr: ast.expr | None, env: _Env) -> SizeTok:
+    if expr is None:
+        return SizeTok(1, None)  # a scalar draw consumes one value
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, int) and not isinstance(expr.value, bool):
+            return SizeTok(expr.value, None)
+        return WILDCARD
+    if isinstance(expr, ast.Name):
+        return env.names.get(expr.id, SizeTok(1, expr.id))
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        left = _canon_size(expr.left, env)
+        right = _canon_size(expr.right, env)
+        if left.sym == right.sym and left.sym not in (None, "*"):
+            return SizeTok(left.mult + right.mult, left.sym)
+        if left.sym is None and right.sym is None:
+            return SizeTok(left.mult + right.mult, None)
+        return _opaque(expr)
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mult):
+        left = _canon_size(expr.left, env)
+        right = _canon_size(expr.right, env)
+        if left.sym is None and right.sym not in (None, "*"):
+            return SizeTok(left.mult * right.mult, right.sym)
+        if right.sym is None and left.sym not in (None, "*"):
+            return SizeTok(left.mult * right.mult, left.sym)
+        if left.sym is None and right.sym is None:
+            return SizeTok(left.mult * right.mult, None)
+        return _opaque(expr)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id == "int"
+        and len(expr.args) == 1
+    ):
+        return _canon_size(expr.args[0], env)
+    return _opaque(expr)
+
+
+def _opaque(expr: ast.expr) -> SizeTok:
+    try:
+        return SizeTok(1, ast.unparse(expr))
+    except (ValueError, RecursionError):  # pragma: no cover - malformed AST
+        return WILDCARD
+
+
+def _shape_size(expr: ast.expr | None, env: _Env) -> SizeTok:
+    """Total draw count of a ``size=`` argument (tuples multiply out)."""
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        total = SizeTok(1, None)
+        for elt in expr.elts:
+            tok = _canon_size(elt, env)
+            if tok.sym == "*" or total.sym == "*":
+                return WILDCARD
+            if tok.sym is None:
+                total = SizeTok(total.mult * tok.mult, total.sym)
+            elif total.sym is None:
+                total = SizeTok(total.mult * tok.mult, tok.sym)
+            else:
+                return _opaque(expr)  # two symbols: opaque product
+        return total
+    return _canon_size(expr, env)
+
+
+def _is_rng_receiver(expr: ast.expr) -> bool:
+    path = annotation_to_dotted(expr)
+    if path is None:
+        return False
+    return "rng" in path.rsplit(".", 1)[-1].lower()
+
+
+def _call_kwarg(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _bound_token(expr: ast.expr, env: _Env) -> str:
+    tok = _canon_size(expr, env)
+    return tok.render()
+
+
+class _StreamWalker:
+    """Extracts the ordered draw-event stream of one function."""
+
+    def __init__(self, fn: FunctionInfo, helper_names: frozenset[str]) -> None:
+        self.fn = fn
+        self.helper_names = helper_names
+        self.env = _Env()
+        self.events: list[DrawEvent] = []
+
+    def walk(self) -> list[DrawEvent]:
+        self._suite(self.fn.node.body, depth=0)
+        return self.events
+
+    # -- statements --------------------------------------------------------
+
+    def _suite(self, stmts: list[ast.stmt], depth: int) -> None:
+        for stmt in stmts:
+            self._stmt(stmt, depth)
+
+    def _stmt(self, stmt: ast.stmt, depth: int) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, depth)
+            self._suite(stmt.body, depth + 1)
+            self._suite(stmt.orelse, depth + 1)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, depth)
+            self._suite(stmt.body, depth + 1)
+            self._suite(stmt.orelse, depth + 1)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, depth)
+            self._suite(stmt.body, depth + 1)
+            self._suite(stmt.orelse, depth + 1)
+            return
+        if isinstance(stmt, ast.Try):
+            self._suite(stmt.body, depth + 1)
+            for handler in stmt.handlers:
+                self._suite(handler.body, depth + 1)
+            self._suite(stmt.orelse, depth + 1)
+            self._suite(stmt.finalbody, depth)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, depth)
+            self._suite(stmt.body, depth)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, depth)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                self.env.names[stmt.targets[0].id] = _canon_size(
+                    stmt.value, self.env
+                )
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._expr(stmt.value, depth)
+            if isinstance(stmt.target, ast.Name):
+                self.env.names[stmt.target.id] = _canon_size(stmt.value, self.env)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, depth)
+            if isinstance(stmt.target, ast.Name):
+                self.env.names.pop(stmt.target.id, None)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child, depth)
+
+    # -- expressions (in-order, so draw events keep stream order) ----------
+
+    def _expr(self, expr: ast.expr, depth: int) -> None:
+        if isinstance(expr, ast.Lambda):
+            return
+        if isinstance(expr, ast.Call):
+            # Arguments are evaluated before the call: record inner
+            # draws first (cdf.searchsorted(rng.random(k)) canonicalizes
+            # to the inner uniform draw).
+            self._expr(expr.func, depth)
+            for arg in expr.args:
+                self._expr(arg, depth)
+            for kw in expr.keywords:
+                self._expr(kw.value, depth)
+            self._record_call(expr, depth)
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._expr(child, depth)
+
+    def _record_call(self, call: ast.Call, depth: int) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        if method == "random_positions":
+            # world.random_positions(n) ≡ rng.random(n + n): 2n uniforms.
+            n = _canon_size(call.args[0] if call.args else None, self.env)
+            size = (
+                SizeTok(2 * n.mult, n.sym)
+                if n.sym not in ("*",)
+                else WILDCARD
+            )
+            self._emit("uniform", size, call, depth)
+            return
+        if method in self.helper_names:
+            self._emit("call:" + method, SizeTok(1, None), call, depth)
+            return
+        if not _is_rng_receiver(func.value):
+            return
+        if _call_kwarg(call, "out") is not None:
+            kind = "gauss" if method in _GAUSS_METHODS else "uniform"
+            self._emit(kind, WILDCARD, call, depth)
+            return
+        size_expr = _call_kwarg(call, "size")
+        if size_expr is None:
+            pos = _SIZE_POSITIONS.get(method)
+            if pos is not None and len(call.args) > pos:
+                size_expr = call.args[pos]
+        size = _shape_size(size_expr, self.env)
+        if method in _UNIFORM_METHODS:
+            self._emit("uniform", size, call, depth)
+        elif method in _GAUSS_METHODS:
+            self._emit("gauss", size, call, depth)
+        elif method == "integers":
+            low = _bound_token(call.args[0], self.env) if call.args else "?"
+            high = (
+                _bound_token(call.args[1], self.env)
+                if len(call.args) > 1
+                else "?"
+            )
+            self._emit("integer", size, call, depth, detail=f"[{low}, {high})")
+        elif method == "choice":
+            replace = _call_kwarg(call, "replace")
+            has_p = _call_kwarg(call, "p") is not None
+            if (
+                isinstance(replace, ast.Constant)
+                and replace.value is False
+                and not has_p
+            ):
+                self._emit("choice-noreplace", size, call, depth)
+            else:
+                # choice with p ≡ cdf.searchsorted(random(k)): k uniforms.
+                self._emit("uniform", size, call, depth)
+        elif method == "exponential":
+            self._emit("exponential", size, call, depth)
+
+    def _emit(
+        self,
+        kind: str,
+        size: SizeTok,
+        node: ast.AST,
+        depth: int,
+        detail: str = "",
+    ) -> None:
+        self.events.append(
+            DrawEvent(
+                kind=kind,
+                size=size,
+                depth=depth,
+                line=getattr(node, "lineno", self.fn.lineno),
+                detail=detail,
+            )
+        )
+
+
+def _compare_pair(
+    ref: FunctionInfo,
+    vec: FunctionInfo,
+    ref_events: list[DrawEvent],
+    vec_events: list[DrawEvent],
+) -> list[Violation]:
+    def flag(line: int, message: str) -> Violation:
+        return Violation(
+            path=vec.path,
+            line=line,
+            col=0,
+            rule_id=RULE_ID,
+            message=(
+                f"{message} [pair: {ref.qualname} <-> {vec.qualname}]"
+            ),
+        )
+
+    if len(ref_events) != len(vec_events):
+        return [
+            flag(
+                vec.lineno,
+                f"draw-site count mismatch: reference consumes "
+                f"{len(ref_events)} stream events, vectorized "
+                f"{len(vec_events)} — the Generator streams diverge",
+            )
+        ]
+    violations: list[Violation] = []
+    for i, (r, v) in enumerate(zip(ref_events, vec_events)):
+        if r.kind != v.kind:
+            violations.append(
+                flag(
+                    v.line,
+                    f"stream event {i}: reference draws {r.kind} "
+                    f"(entities.py:{r.line}) but vectorized draws "
+                    f"{v.kind} — dtype/order asymmetry",
+                )
+            )
+            break  # later events are misaligned; avoid a cascade
+        if r.depth != v.depth:
+            violations.append(
+                flag(
+                    v.line,
+                    f"stream event {i} ({r.kind}): guarded at depth "
+                    f"{r.depth} in the reference (entities.py:{r.line}) "
+                    f"but depth {v.depth} in the vectorized engine — "
+                    "the streams diverge on some input",
+                )
+            )
+            break
+        if sizes_conflict(r.size, v.size):
+            violations.append(
+                flag(
+                    v.line,
+                    f"stream event {i} ({r.kind}): reference draws "
+                    f"{r.size.render()} values (entities.py:{r.line}) "
+                    f"but vectorized draws {v.size.render()}",
+                )
+            )
+            break
+        if r.kind == "integer" and r.detail != v.detail and r.detail and v.detail:
+            violations.append(
+                flag(
+                    v.line,
+                    f"stream event {i}: integer draw bounds differ — "
+                    f"reference {r.detail} (entities.py:{r.line}) vs "
+                    f"vectorized {v.detail}",
+                )
+            )
+            break
+    return violations
+
+
+def check_rngstream(
+    symbols: SymbolTable,
+    *,
+    pairs: tuple[tuple[str, str], ...] = DEFAULT_RNG_PAIRS,
+) -> list[Violation]:
+    """Machine-check the reference↔vectorized RNG-stream contract."""
+    helper_names = frozenset(
+        qualname.rsplit(".", 1)[-1] for pair in pairs for qualname in pair
+    )
+    violations: list[Violation] = []
+    for ref_name, vec_name in pairs:
+        ref = symbols.functions.get(ref_name)
+        vec = symbols.functions.get(vec_name)
+        if ref is None and vec is None:
+            continue  # fixture projects without the emulator: nothing to say
+        if ref is None or vec is None:
+            present = ref if ref is not None else vec
+            missing = ref_name if ref is None else vec_name
+            assert present is not None
+            violations.append(
+                Violation(
+                    path=present.path,
+                    line=present.lineno,
+                    col=0,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"RNG-paired counterpart {missing} is missing: "
+                        f"{present.qualname} has no bitwise-equivalence "
+                        "partner to check against"
+                    ),
+                )
+            )
+            continue
+        ref_events = _StreamWalker(ref, helper_names).walk()
+        vec_events = _StreamWalker(vec, helper_names).walk()
+        violations.extend(_compare_pair(ref, vec, ref_events, vec_events))
+    violations.sort()
+    return violations

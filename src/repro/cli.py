@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the workflows a downstream user needs without
+Ten subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
@@ -24,7 +24,12 @@ writing Python:
   write a schema-versioned ``BENCH_<tag>.json`` (environment
   fingerprint, wall/CPU time, peak memory, phase breakdowns,
   deterministic work counters), and optionally gate against a baseline
-  with ``--compare`` (see ``docs/benchmarking.md``).
+  with ``--compare`` (see ``docs/benchmarking.md``);
+* ``repro experiments`` — run many experiments, optionally fanned
+  across worker processes with ``--parallel N`` (spawn semantics,
+  RA012-checked payloads, order-preserving merge); same report schema
+  and ``--compare`` gate as ``repro bench``, and the deterministic
+  work counters are identical regardless of worker count.
 
 Examples
 --------
@@ -40,6 +45,8 @@ Examples
     repro analyze src/repro --passes RA001,RA002
     repro check --format sarif
     REPRO_EVAL_DAYS=2 repro bench fig08 table6 --tag ci --compare BENCH_seed.json
+    REPRO_EVAL_DAYS=2 repro experiments fig08 fig06 table6 --parallel 4 \\
+        --compare BENCH_vec.json --fail-on config,counter,missing
 """
 
 from __future__ import annotations
@@ -226,6 +233,60 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write the suite-level registry as JSONL",
+    )
+
+    exps = sub.add_parser(
+        "experiments",
+        help="run many experiments, optionally fanned across worker "
+        "processes with --parallel N, and write a BENCH_<tag>.json report",
+    )
+    exps.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to run (default: the whole figure/table suite)",
+    )
+    exps.add_argument(
+        "--list", action="store_true", help="list runnable experiments and exit"
+    )
+    exps.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes (spawn semantics; default: 1 = serial "
+        "in-process, identical to repro bench)",
+    )
+    exps.add_argument(
+        "--tag", default="parallel", help="report tag (default: parallel)"
+    )
+    exps.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="report path (default: BENCH_<tag>.json in the working directory)",
+    )
+    exps.add_argument(
+        "--no-mem", action="store_true",
+        help="skip tracemalloc peak-memory tracking in the workers",
+    )
+    exps.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH_*.json and gate on regressions",
+    )
+    exps.add_argument(
+        "--format", choices=("human", "json", "markdown"), default="human",
+        help="comparison verdict format on stdout (default: human)",
+    )
+    exps.add_argument(
+        "--summary-out", metavar="FILE", default=None,
+        help="also write the comparison verdict as markdown to FILE",
+    )
+    exps.add_argument(
+        "--time-threshold", type=float, default=0.25, metavar="REL",
+        help="relative wall-time change treated as a regression "
+        "(default: 0.25 = 25%%)",
+    )
+    exps.add_argument(
+        "--fail-on", default="config,counter,missing", metavar="KINDS",
+        help="comma-separated regression kinds that fail the gate "
+        "(default excludes `time`: parallel wall-clock is not comparable "
+        "to a serial baseline)",
     )
     return parser
 
@@ -495,6 +556,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    """Run experiments serially or fanned across spawn workers.
+
+    The report/compare plumbing mirrors ``repro bench`` — the two
+    commands differ only in execution strategy, and the CI gate holds
+    their deterministic counters to be identical.
+    """
+    from pathlib import Path
+
+    from repro.perf import (
+        BenchReport,
+        SchemaError,
+        Thresholds,
+        compare_reports,
+        render_comparison,
+        resolve_names,
+        run_bench,
+    )
+    from repro.perf.schema import ExperimentBench
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    try:
+        names = resolve_names(args.experiments)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.parallel < 1:
+        print("error: --parallel must be >= 1", file=sys.stderr)
+        return 2
+
+    def _progress(bench: "ExperimentBench") -> None:
+        print(
+            f"  {bench.name:<22s} wall {bench.wall_seconds:8.2f}s  "
+            f"cpu {bench.cpu_seconds:8.2f}s",
+            file=sys.stderr,
+        )
+
+    print(
+        f"experiments: {len(names)} experiment(s), tag {args.tag!r}, "
+        f"{args.parallel} worker(s)",
+        file=sys.stderr,
+    )
+    if args.parallel == 1:
+        report, _merged = run_bench(
+            names, tag=args.tag, mem=not args.no_mem, progress=_progress
+        )
+    else:
+        from repro.perf.parallel import run_parallel
+
+        report, _merged = run_parallel(
+            names,
+            tag=args.tag,
+            workers=args.parallel,
+            mem=not args.no_mem,
+            progress=_progress,
+        )
+    out = Path(args.out) if args.out else Path(f"BENCH_{args.tag}.json")
+    report.save(out)
+    print(f"wrote {out}", file=sys.stderr)
+
+    if not args.compare:
+        return 0
+    try:
+        baseline = BenchReport.load(args.compare)
+        result = compare_reports(
+            baseline,
+            report,
+            thresholds=Thresholds(time_rel=args.time_threshold),
+            fail_on=frozenset(
+                kind.strip() for kind in args.fail_on.split(",") if kind.strip()
+            ),
+        )
+    except (SchemaError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(result, args.format))
+    if args.summary_out:
+        Path(args.summary_out).write_text(
+            render_comparison(result, "markdown") + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.summary_out}", file=sys.stderr)
+    return result.exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -508,6 +656,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "check": _cmd_check,
         "bench": _cmd_bench,
+        "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)
 

@@ -84,7 +84,20 @@ _DISABLE_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)
 #: Defined here — the bottom of the layering — so neither tool has to
 #: import the other just to validate a comment.
 ANALYSIS_RULE_IDS: frozenset[str] = frozenset(
-    {"RA001", "RA002", "RA003", "RA004", "RA005", "RA006", "RA007", "RA008"}
+    {
+        "RA001",
+        "RA002",
+        "RA003",
+        "RA004",
+        "RA005",
+        "RA006",
+        "RA007",
+        "RA008",
+        "RA009",
+        "RA010",
+        "RA011",
+        "RA012",
+    }
 )
 
 

@@ -1,0 +1,105 @@
+"""Multiprocess experiment fan-out: ``repro experiments --parallel N``.
+
+ROADMAP item 2 scales the simulation across worker processes; this is
+the first, deliberately boring consumer of that boundary.  Whole
+*experiments* are the unit of distribution — each is an independent
+deterministic computation with its own seeded RNG stream
+(:func:`repro.experiments.common.experiment_rng`), so fanning them
+across processes cannot change any result or any deterministic work
+counter.  ``BENCH_parallel.json`` vs ``BENCH_vec.json`` in CI holds the
+runner to that: counters must be *identical* regardless of worker
+count.
+
+Design constraints, in the order they bit:
+
+* **spawn, not fork** — fork would copy the parent's warm caches and
+  any module state into workers, making results depend on what the
+  parent had already computed; spawn gives every worker the same cold
+  interpreter a serial run starts from (and matches Windows/macOS).
+* **cold cache per experiment** — a pool worker outlives one task, so
+  the worker clears the shared experiment cache before each run, same
+  as the serial bench loop; otherwise counters would depend on which
+  experiments shared a worker.
+* **results travel by return value** — the worker returns its
+  ``(ExperimentBench, MetricsRegistry)`` and the parent merges via
+  :meth:`~repro.obs.registry.MetricsRegistry.merge_from`; nothing is
+  communicated through module globals (RA012 checks this, and the
+  payload types, at every fan-out site).
+* **order-preserving merge** — ``imap`` yields results in submission
+  order no matter which worker finishes first, so the merged registry
+  and the report layout are bit-stable across worker counts.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from datetime import datetime, timezone
+from typing import Callable, Iterable
+
+from repro.cli import EXPERIMENTS
+from repro.obs.registry import MetricsRegistry
+from repro.perf.env import capture_environment
+from repro.perf.runner import measure_callable, resolve_names
+from repro.perf.schema import BenchReport, ExperimentBench
+
+__all__ = ["run_parallel"]
+
+
+def _bench_worker(
+    payload: tuple[str, str, bool],
+) -> tuple[ExperimentBench, MetricsRegistry]:
+    """Run one experiment in a worker process (RA012-checked payload).
+
+    The payload is ``(experiment_name, module_path, mem)`` — the parent
+    resolves the registry so the worker never consults shared state,
+    and the return value carries everything back.
+    """
+    from repro.experiments.common import clear_cache
+
+    name, module_path, mem = payload
+    # Same hygiene as the serial bench loop: a pool worker may run
+    # several experiments, and each must start from a cold cache so its
+    # counters are self-contained.
+    clear_cache()
+    module = importlib.import_module(module_path)
+    run = measure_callable(name, module.run, mem=mem)
+    return run.bench, run.registry
+
+
+def run_parallel(
+    names: Iterable[str] | None = None,
+    *,
+    tag: str = "parallel",
+    workers: int = 2,
+    mem: bool = True,
+    progress: Callable[[ExperimentBench], None] | None = None,
+) -> tuple[BenchReport, MetricsRegistry]:
+    """Fan experiments across ``workers`` processes; build the report.
+
+    Drop-in for :func:`repro.perf.runner.run_bench`: same report schema,
+    same merged suite-level registry, same progress hook — only the
+    execution strategy differs, and (by the determinism argument in the
+    module docstring) none of the recorded counters may.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    selected = resolve_names(names)
+    env = capture_environment()
+    merged = MetricsRegistry()
+    experiments: dict[str, ExperimentBench] = {}
+    payloads = [(name, EXPERIMENTS[name], mem) for name in selected]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=workers) as pool:
+        for bench, registry in pool.imap(_bench_worker, payloads):
+            merged.merge_from(registry)
+            experiments[bench.name] = bench
+            if progress is not None:
+                progress(bench)
+    report = BenchReport(
+        tag=tag,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        env=env,
+        experiments=experiments,
+    )
+    return report, merged

@@ -1,0 +1,129 @@
+"""RA010 hidden-allocation fixtures.
+
+Positive fixtures seed an allocating numpy call, an RNG draw without
+``out=``, a fancy-index copy, or a ufunc temporary into a function
+reachable from the zero-allocation root and assert file:line plus the
+reachability chain; negative fixtures prove ``out=`` kernels, basic
+slices, setup functions, and unreachable code stay silent.
+"""
+
+from repro.analysis.allocations import check_allocations
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+ROOT = ("repro.core.engine.Engine.step",)
+ENGINE = "src/repro/core/engine.py"
+
+
+def violations(body, roots=ROOT):
+    source = "import numpy as np\n" + body
+    project = Project.from_sources({ENGINE: source})
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_allocations(symbols, graph, roots=roots)
+
+
+def engine(step_body):
+    """A zero-allocation root whose ``step`` has ``step_body``."""
+    indented = "".join(f"        {line}\n" for line in step_body.splitlines())
+    return f"class Engine:\n    def step(self, rng):\n{indented}"
+
+
+def test_rng_draw_without_out_is_flagged_with_chain():
+    found = violations(engine("u = rng.random(64)"))
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA010"
+    assert (v.path, v.line) == (ENGINE, 4)
+    assert "[chain: repro.core.engine.Engine.step]" in v.message
+
+
+def test_rng_draw_into_preallocated_out_is_fine():
+    found = violations(engine("rng.random(out=self._u)"))
+    assert found == []
+
+
+def test_numpy_call_without_out_is_flagged():
+    found = violations(engine("w = np.where(self._m, self._a, self._b)"))
+    assert len(found) == 1
+    assert "numpy.where" in found[0].message
+
+
+def test_numpy_call_with_out_is_fine():
+    found = violations(engine("np.add(self._a, self._b, out=self._c)"))
+    assert found == []
+
+
+def test_allocating_method_without_out_is_flagged():
+    found = violations(engine("v = self._table.take(self._idx)"))
+    assert len(found) == 1
+    assert "take" in found[0].message
+
+
+def test_fancy_index_load_is_flagged_but_basic_slice_is_not():
+    found = violations(engine("x = self._px[idx]\ny = self._px[:128]"))
+    assert len(found) == 1
+    assert found[0].line == 4
+
+
+def test_fancy_index_store_is_a_write_not_a_copy():
+    found = violations(engine("self._px[idx] = 0.0"))
+    assert found == []
+
+
+def test_module_int_constant_subscript_is_scalar_access():
+    source = (
+        "_AGG = int(3)\n"
+        "class Engine:\n"
+        "    def step(self, rng):\n"
+        "        k = self._counts[_AGG]\n"
+    )
+    found = violations(source)
+    assert found == []
+
+
+def test_arithmetic_on_sliced_operand_is_a_temporary():
+    found = violations(engine("y = self._px[:64] * 2.0"))
+    assert len(found) == 1
+
+
+def test_allocation_in_transitive_callee_carries_the_chain():
+    found = violations(
+        "class Engine:\n"
+        "    def step(self, rng):\n"
+        "        self._move(rng)\n"
+        "    def _move(self, rng):\n"
+        "        u = rng.random(8)\n"
+    )
+    assert len(found) == 1
+    assert found[0].line == 6
+    assert (
+        "[chain: repro.core.engine.Engine.step -> repro.core.engine.Engine._move]"
+        in found[0].message
+    )
+
+
+def test_setup_named_callee_is_exempt_and_not_traversed():
+    found = violations(
+        "class Engine:\n"
+        "    def step(self, rng):\n"
+        "        self._ensure_capacity(rng)\n"
+        "    def _ensure_capacity(self, rng):\n"
+        "        self._buf = np.empty(1024)\n"
+        "        self._grow(rng)\n"
+        "    def _grow(self, rng):\n"
+        "        self._big = np.empty(4096)\n"
+    )
+    assert found == []
+
+
+def test_unreachable_function_is_not_scanned():
+    found = violations(
+        "class Engine:\n"
+        "    def step(self, rng):\n"
+        "        pass\n"
+        "    def snapshot(self):\n"
+        "        return np.zeros(4096)\n"
+    )
+    assert found == []

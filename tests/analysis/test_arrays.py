@@ -1,0 +1,253 @@
+"""RA009 array shape/dtype fixtures, plus domain-law property tests.
+
+Positive fixtures pin provable broadcast conflicts, silent same-kind
+dtype promotions, and ``out=`` mismatches to file:line; negative
+fixtures prove the pass stays silent whenever compatibility is merely
+*unprovable* (symbolic dims, joined branches, cross-kind promotion).
+The hypothesis section checks the lattice laws the worklist solver
+relies on: ``ArrayVal.join`` must be a commutative, associative,
+idempotent upper bound, so iteration converges regardless of CFG
+visit order.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.arrays import (
+    ArrayVal,
+    broadcast_dims,
+    check_arrays,
+    promote_dtype,
+)
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+MOD = "src/repro/core/kernels.py"
+
+
+def violations(body):
+    source = "import numpy as np\n" + body
+    project = Project.from_sources({MOD: source})
+    return check_arrays(SymbolTable(project))
+
+
+def test_literal_broadcast_conflict_is_flagged_with_location():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros((4, 2))\n"
+        "    b = np.ones((4, 3))\n"
+        "    return a * b\n"
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA009"
+    assert (v.path, v.line) == (MOD, 5)
+    assert "(4, 2)" in v.message and "(4, 3)" in v.message
+
+
+def test_same_symbolic_dims_are_compatible():
+    found = violations(
+        "def f(n):\n"
+        "    a = np.zeros((n, 2))\n"
+        "    b = np.ones((n, 2))\n"
+        "    return a * b\n"
+    )
+    assert found == []
+
+
+def test_foreign_symbols_are_unprovable_and_silent():
+    found = violations(
+        "def f(n, k):\n"
+        "    a = np.zeros(n)\n"
+        "    b = np.ones(k)\n"
+        "    return a + b\n"
+    )
+    assert found == []
+
+
+def test_symbolic_leading_with_conflicting_literal_trailing_flags():
+    # Trailing dims align first: (n, 2) vs (n, 3) is provably bad even
+    # though n is symbolic.
+    found = violations(
+        "def f(n):\n"
+        "    a = np.zeros((n, 2))\n"
+        "    b = np.ones((n, 3))\n"
+        "    return a - b\n"
+    )
+    assert len(found) == 1
+    assert found[0].line == 5
+
+
+def test_silent_float_width_promotion_is_flagged():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros(8, dtype=np.float32)\n"
+        "    b = np.zeros(8, dtype=np.float64)\n"
+        "    return a * b\n"
+    )
+    assert len(found) == 1
+    assert "silent dtype promotion" in found[0].message
+    assert "float32" in found[0].message
+
+
+def test_cross_kind_int_float_promotion_is_ordinary_and_silent():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros(8, dtype=np.int64)\n"
+        "    b = np.zeros(8, dtype=np.float64)\n"
+        "    return a * b\n"
+    )
+    assert found == []
+
+
+def test_rng_draw_shape_feeds_the_broadcast_check():
+    found = violations(
+        "def f(rng):\n"
+        "    u = rng.random(4)\n"
+        "    v = np.zeros(3)\n"
+        "    return u * v\n"
+    )
+    assert len(found) == 1
+    assert "(4,)" in found[0].message and "(3,)" in found[0].message
+
+
+def test_out_buffer_shape_conflict_is_flagged():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros(4)\n"
+        "    b = np.ones(4)\n"
+        "    buf = np.zeros(3)\n"
+        "    np.multiply(a, b, out=buf)\n"
+    )
+    assert len(found) == 1
+    assert "out= buffer" in found[0].message
+
+
+def test_out_buffer_float_to_int_truncation_is_flagged():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros(4)\n"
+        "    buf = np.zeros(4, dtype=np.int64)\n"
+        "    np.multiply(a, a, out=buf)\n"
+    )
+    assert len(found) == 1
+    assert "silent truncation" in found[0].message
+
+
+def test_matching_out_buffer_is_fine():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros(4)\n"
+        "    buf = np.zeros(4)\n"
+        "    np.multiply(a, a, out=buf)\n"
+    )
+    assert found == []
+
+
+def test_astype_rewrites_the_dtype():
+    found = violations(
+        "def f():\n"
+        "    a = np.zeros(8, dtype=np.float32)\n"
+        "    b = np.zeros(8)\n"
+        "    return a.astype(np.float64) * b\n"
+    )
+    assert found == []
+
+
+def test_joined_branches_lose_precision_but_stay_silent():
+    found = violations(
+        "def f(flag):\n"
+        "    if flag:\n"
+        "        a = np.zeros(4)\n"
+        "    else:\n"
+        "        a = np.zeros(5)\n"
+        "    return a * np.ones(3)\n"
+    )
+    assert found == []
+
+
+def test_module_without_numpy_import_is_skipped():
+    project = Project.from_sources(
+        {
+            MOD: (
+                "class np:\n"
+                "    pass\n"
+                "def f():\n"
+                "    return np.zeros((4, 2)) * np.ones((4, 3))\n"
+            )
+        }
+    )
+    assert check_arrays(SymbolTable(project)) == []
+
+
+# -- lattice laws ----------------------------------------------------------
+
+_dims = st.one_of(
+    st.none(),
+    st.tuples(),
+    st.lists(
+        st.one_of(st.integers(min_value=1, max_value=5), st.sampled_from(["n", "k"])),
+        min_size=1,
+        max_size=3,
+    ).map(tuple),
+)
+_dtypes = st.sampled_from([None, "float32", "float64", "int32", "int64", "bool"])
+_vals = st.builds(ArrayVal, dims=_dims, dtype=_dtypes)
+
+
+@given(_vals, _vals)
+def test_join_is_commutative(a, b):
+    assert a.join(b) == b.join(a)
+
+
+@given(_vals, _vals, _vals)
+def test_join_is_associative(a, b, c):
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@given(_vals)
+def test_join_is_idempotent(a):
+    assert a.join(a) == a
+
+
+@given(_vals, _vals)
+def test_join_is_an_upper_bound(a, b):
+    # Monotone information loss: each field of the join either agrees
+    # with both operands or drops to unknown — it never invents facts.
+    j = a.join(b)
+    assert j.dims in (None, a.dims) and j.dims in (None, b.dims)
+    assert j.dtype in (None, a.dtype) and j.dtype in (None, b.dtype)
+
+
+@given(_vals, _vals)
+def test_join_never_gains_information(a, b):
+    j = a.join(b)
+    if a.dims != b.dims:
+        assert j.dims is None
+    if a.dtype != b.dtype:
+        assert j.dtype is None
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3).map(tuple)
+)
+def test_broadcast_with_self_is_identity(dims):
+    result, bad = broadcast_dims(dims, dims)
+    assert result == dims and not bad
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3).map(tuple),
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3).map(tuple),
+)
+def test_broadcast_is_symmetric(a, b):
+    ra, bad_a = broadcast_dims(a, b)
+    rb, bad_b = broadcast_dims(b, a)
+    assert (ra, bad_a) == (rb, bad_b)
+
+
+@given(_dtypes, _dtypes)
+def test_promote_is_symmetric_in_the_widening_verdict(a, b):
+    _, widened_ab = promote_dtype(a, b)
+    _, widened_ba = promote_dtype(b, a)
+    assert widened_ab == widened_ba

@@ -28,15 +28,22 @@ def test_cli_subcommand_is_wired():
     assert repro_main(["analyze", SRC]) == 0
 
 
-def test_list_passes_prints_all_eight(capsys):
+def test_list_passes_prints_all_twelve(capsys):
     assert main(["--list-passes"]) == 0
     out = capsys.readouterr().out
-    for n in range(1, 9):
-        assert f"RA00{n}" in out
+    for n in range(1, 13):
+        assert f"RA{n:03d}" in out
 
 
 def test_dataflow_passes_run_clean_on_the_real_tree():
     report = analyze_paths([SRC], root=REPO_ROOT, passes=["RA006", "RA007", "RA008"])
+    assert report.ok, "\n" + format_human(report)
+
+
+def test_array_passes_run_clean_on_the_real_tree():
+    report = analyze_paths(
+        [SRC], root=REPO_ROOT, passes=["RA009", "RA010", "RA011", "RA012"]
+    )
     assert report.ok, "\n" + format_human(report)
 
 

@@ -1,0 +1,177 @@
+"""RA012 parallel-safety fixtures.
+
+Boundary sites (``pool.imap``, ``Process(target=...)``) are found
+syntactically; fixtures pin each hazard class — unpicklable callables,
+stream-duplicating payload types (directly and through the class
+attribute graph), and module-global writes inside workers — and prove
+clean fan-outs and non-boundary receivers stay silent.
+"""
+
+from repro.analysis.parallel_safety import check_parallel_safety
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+MOD = "src/repro/core/fanout.py"
+
+
+def violations(source, extra=None):
+    sources = {MOD: source}
+    if extra:
+        sources.update(extra)
+    return check_parallel_safety(SymbolTable(Project.from_sources(sources)))
+
+
+def test_lambda_payload_is_flagged():
+    found = violations(
+        "def fan(pool, items):\n"
+        "    return pool.map(lambda x: x + 1, items)\n"
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA012"
+    assert (v.path, v.line) == (MOD, 2)
+    assert "lambda" in v.message
+    assert "[boundary in repro.core.fanout.fan]" in v.message
+
+
+def test_bound_method_payload_is_flagged():
+    found = violations(
+        "class Runner:\n"
+        "    def fan(self, pool, items):\n"
+        "        return pool.imap(self._work, items)\n"
+    )
+    assert len(found) == 1
+    assert "bound method self._work" in found[0].message
+
+
+def test_nested_function_payload_is_flagged():
+    found = violations(
+        "def fan(pool, items):\n"
+        "    def work(x):\n"
+        "        return x + 1\n"
+        "    return pool.map(work, items)\n"
+    )
+    assert len(found) == 1
+    assert "nested function" in found[0].message
+
+
+def test_generator_annotated_worker_param_is_flagged():
+    found = violations(
+        "import numpy as np\n"
+        "def work(rng: np.random.Generator):\n"
+        "    return rng.random()\n"
+        "def fan(pool, rngs):\n"
+        "    return pool.map(work, rngs)\n"
+    )
+    assert len(found) == 1
+    assert "numpy.random.Generator" in found[0].message
+    assert "duplicates the parent's stream" in found[0].message
+
+
+def test_hazard_inside_generic_annotation_is_found():
+    found = violations(
+        "import numpy as np\n"
+        "def work(batch: list[np.random.Generator]):\n"
+        "    return len(batch)\n"
+        "def fan(pool, batches):\n"
+        "    return pool.map(work, batches)\n"
+    )
+    assert len(found) == 1
+
+
+def test_hazard_reached_through_payload_class_attributes():
+    found = violations(
+        "import numpy as np\n"
+        "class Task:\n"
+        "    def __init__(self, seed):\n"
+        "        self.rng: np.random.Generator = np.random.default_rng(seed)\n"
+        "def work(task: Task):\n"
+        "    return task.rng.random()\n"
+        "def fan(pool, tasks):\n"
+        "    return pool.map(work, tasks)\n"
+    )
+    assert len(found) == 1
+    assert "via .rng" in found[0].message
+
+
+def test_worker_global_statement_is_flagged():
+    found = violations(
+        "COUNT = 0\n"
+        "def work(x):\n"
+        "    global COUNT\n"
+        "    COUNT += 1\n"
+        "    return x\n"
+        "def fan(pool, items):\n"
+        "    return pool.map(work, items)\n"
+    )
+    assert any("rebinds module global" in v.message for v in found)
+
+
+def test_worker_subscript_write_to_module_global_is_flagged():
+    found = violations(
+        "CACHE = {}\n"
+        "def work(x):\n"
+        "    CACHE[x] = x * 2\n"
+        "    return x\n"
+        "def fan(pool, items):\n"
+        "    return pool.map(work, items)\n"
+    )
+    assert len(found) == 1
+    assert "writes module global 'CACHE'" in found[0].message
+    assert "parent process never sees the write" in found[0].message
+
+
+def test_worker_mutator_call_on_module_global_is_flagged():
+    found = violations(
+        "RESULTS = []\n"
+        "def work(x):\n"
+        "    RESULTS.append(x)\n"
+        "    return x\n"
+        "def fan(pool, items):\n"
+        "    return pool.map(work, items)\n"
+    )
+    assert len(found) == 1
+    assert "via .append()" in found[0].message
+
+
+def test_worker_local_shadowing_a_global_name_is_fine():
+    found = violations(
+        "CACHE = {}\n"
+        "def work(x):\n"
+        "    CACHE = {}\n"
+        "    CACHE[x] = x\n"
+        "    return CACHE\n"
+        "def fan(pool, items):\n"
+        "    return pool.map(work, items)\n"
+    )
+    assert found == []
+
+
+def test_process_target_boundary_is_detected():
+    found = violations(
+        "from multiprocessing import Process\n"
+        "def fan(items):\n"
+        "    p = Process(target=lambda: None)\n"
+        "    p.start()\n"
+    )
+    assert len(found) == 1
+    assert "lambda" in found[0].message
+
+
+def test_clean_module_level_worker_is_silent():
+    found = violations(
+        "def work(payload: tuple) -> int:\n"
+        "    name, mem = payload\n"
+        "    return len(name) + int(mem)\n"
+        "def fan(pool, items):\n"
+        "    return [r for r in pool.imap(work, items)]\n"
+    )
+    assert found == []
+
+
+def test_non_boundary_receiver_is_not_a_fanout():
+    found = violations(
+        "def fan(seq, items):\n"
+        "    return seq.map(lambda x: x + 1, items)\n"
+    )
+    assert found == []

@@ -1,0 +1,147 @@
+"""RA011 RNG-stream symmetry fixtures.
+
+Each fixture builds a paired reference/vectorized function and checks
+the pass proves what it should (count, kind, guard-depth, and
+integer-bound asymmetries) while staying silent on the sanctioned
+canonicalizations (``random_positions`` ≡ 2n uniforms, ``choice(p=)``
+≡ inverse-transform uniforms, ``out=`` wildcards, opaque symbolic
+counts).
+"""
+
+from repro.analysis.project import Project
+from repro.analysis.rngstream import check_rngstream
+from repro.analysis.symbols import SymbolTable
+
+REF = "src/repro/core/ref.py"
+VEC = "src/repro/core/vec.py"
+PAIRS = (("repro.core.ref.Ref.step", "repro.core.vec.Vec.step"),)
+
+
+def violations(ref_body, vec_body, pairs=PAIRS):
+    project = Project.from_sources(
+        {
+            REF: f"class Ref:\n    def step(self, rng, world):\n{_indent(ref_body)}",
+            VEC: f"class Vec:\n    def step(self, rng, world):\n{_indent(vec_body)}",
+        }
+    )
+    return check_rngstream(SymbolTable(project), pairs=pairs)
+
+
+def _indent(body):
+    return "".join(f"        {line}\n" for line in body.splitlines())
+
+
+def test_identical_streams_are_clean():
+    found = violations("u = rng.random(n)", "u = rng.random(n)")
+    assert found == []
+
+
+def test_draw_site_count_mismatch_is_flagged():
+    found = violations(
+        "u = rng.random(n)\nv = rng.random(n)",
+        "u = rng.random(n)",
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA011"
+    assert v.path == VEC
+    assert "count mismatch" in v.message
+    assert "[pair: repro.core.ref.Ref.step <-> repro.core.vec.Vec.step]" in v.message
+
+
+def test_random_positions_canonicalizes_to_two_n_uniforms():
+    found = violations(
+        "p = world.random_positions(n)",
+        "u = rng.random(n + n)",
+    )
+    assert found == []
+
+
+def test_choice_with_p_canonicalizes_to_inverse_transform_uniforms():
+    found = violations(
+        "c = rng.choice(m, size=k, p=w)",
+        "c = cdf.searchsorted(rng.random(k))",
+    )
+    assert found == []
+
+
+def test_same_symbol_count_mismatch_is_flagged():
+    found = violations("u = rng.random(n)", "u = rng.random(n + n)")
+    assert len(found) == 1
+    assert "draws n values" in found[0].message
+    assert "2*n" in found[0].message
+
+
+def test_different_symbols_are_unprovable_and_silent():
+    found = violations("u = rng.random(k)", "u = rng.random(j)")
+    assert found == []
+
+
+def test_guard_depth_asymmetry_is_flagged():
+    found = violations(
+        "if alive:\n    u = rng.random(n)",
+        "u = rng.random(n)",
+    )
+    assert len(found) == 1
+    assert "depth" in found[0].message
+
+
+def test_kind_asymmetry_is_flagged():
+    found = violations(
+        "g = rng.normal(0.0, 1.0, n)",
+        "u = rng.random(n)",
+    )
+    assert len(found) == 1
+    assert "reference draws gauss" in found[0].message
+
+
+def test_integer_bound_asymmetry_is_flagged():
+    found = violations(
+        "i = rng.integers(0, 4, n)",
+        "i = rng.integers(0, 5, n)",
+    )
+    assert len(found) == 1
+    assert "bounds differ" in found[0].message
+    assert "[0, 4)" in found[0].message and "[0, 5)" in found[0].message
+
+
+def test_out_draws_are_wildcards():
+    found = violations(
+        "g = rng.normal(0.0, 1.0, (n, 2))",
+        "rng.standard_normal(out=self._buf)",
+    )
+    assert found == []
+
+
+def test_alias_environment_resolves_local_size_names():
+    found = violations(
+        "n = len(xs)\nu = rng.random(n)",
+        "m = len(xs)\nu = rng.random(m)",
+    )
+    assert found == []
+
+
+def test_missing_counterpart_is_flagged():
+    project = Project.from_sources(
+        {REF: "class Ref:\n    def step(self, rng, world):\n        pass\n"}
+    )
+    found = check_rngstream(SymbolTable(project), pairs=PAIRS)
+    assert len(found) == 1
+    assert "missing" in found[0].message
+    assert "repro.core.vec.Vec.step" in found[0].message
+
+
+def test_absent_pair_is_skipped_entirely():
+    project = Project.from_sources(
+        {"src/repro/core/other.py": "def unrelated():\n    pass\n"}
+    )
+    assert check_rngstream(SymbolTable(project), pairs=PAIRS) == []
+
+
+def test_real_emulator_pairing_is_clean_by_default():
+    # The default pairs target the real engines; a project without them
+    # (this fixture) must stay silent rather than report missing pairs.
+    project = Project.from_sources(
+        {"src/repro/core/other.py": "def unrelated():\n    pass\n"}
+    )
+    assert check_rngstream(SymbolTable(project)) == []

@@ -1,0 +1,65 @@
+"""Parallel runner tests: the serial/parallel equivalence contract.
+
+``run_parallel`` must be a drop-in for ``run_bench``: identical
+deterministic counters, identical merged suite registry, identical
+report layout — only the execution strategy differs.  The differential
+test here is the in-suite mirror of the CI gate comparing
+``BENCH_parallel.json`` against ``BENCH_vec.json``.
+
+Workers are real spawn processes (monkeypatched registries do not
+cross the boundary), so the payload carries the experiment module path
+resolved by the parent; the tiny fixture experiment keeps the spawn
+round-trip cheap.
+"""
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+from repro.perf import run_bench
+from repro.perf.parallel import run_parallel
+
+TINY = "tests.perf.tiny_experiment"
+
+
+@pytest.fixture()
+def tiny_registry(monkeypatch):
+    monkeypatch.setitem(EXPERIMENTS, "tinyA", TINY)
+    monkeypatch.setitem(EXPERIMENTS, "tinyB", TINY)
+
+
+def test_worker_count_must_be_positive():
+    with pytest.raises(ValueError, match="workers"):
+        run_parallel(["fig01"], workers=0)
+
+
+def test_parallel_counters_match_serial_exactly(tiny_registry):
+    serial_report, serial_merged = run_bench(
+        ["tinyA", "tinyB"], tag="serial", mem=False
+    )
+    parallel_report, parallel_merged = run_parallel(
+        ["tinyA", "tinyB"], tag="parallel", workers=2, mem=False
+    )
+    # Per-experiment deterministic work counters are byte-identical.
+    for name in ("tinyA", "tinyB"):
+        assert (
+            parallel_report.experiments[name].counters
+            == serial_report.experiments[name].counters
+        )
+    # The merged suite registry agrees too: same counter names, same
+    # values, regardless of which process did the work.
+    serial_snap = serial_merged.snapshot()
+    parallel_snap = parallel_merged.snapshot()
+    assert set(serial_snap) == set(parallel_snap)
+    assert parallel_merged.value("sim.steps") == serial_merged.value("sim.steps")
+    assert parallel_merged.value("sim.steps") > 0
+
+
+def test_report_order_follows_submission_order(tiny_registry):
+    seen = []
+    report, _ = run_parallel(
+        ["tinyA", "tinyB"], workers=2, mem=False, progress=seen.append
+    )
+    assert list(report.experiments) == ["tinyA", "tinyB"]
+    assert [b.name for b in seen] == ["tinyA", "tinyB"]
+    assert report.tag == "parallel"
+    assert report.env.eval_days > 0

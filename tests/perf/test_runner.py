@@ -28,12 +28,15 @@ class TestResolveNames:
 
 class TestMeasureCallable:
     def test_measures_and_returns_value(self):
-        run = measure_callable("probe-me", lambda: 42)
-        assert run.value == 42
+        # The callable must genuinely allocate: a constant-returning
+        # lambda can be served entirely from interpreter freelists in a
+        # warm process, tracing zero bytes.
+        run = measure_callable("probe-me", lambda: len(bytearray(1 << 16)))
+        assert run.value == 1 << 16
         assert run.bench.name == "probe-me"
         assert run.bench.wall_seconds >= 0
         assert run.bench.cpu_seconds >= 0
-        assert run.bench.peak_tracemalloc_bytes > 0
+        assert run.bench.peak_tracemalloc_bytes >= 1 << 16
 
     def test_no_mem_skips_tracemalloc(self):
         run = measure_callable("probe-me", lambda: None, mem=False)

@@ -1,0 +1,59 @@
+"""Repo-root hygiene: no loose artifacts outside their sanctioned homes.
+
+The repo root holds exactly three kinds of files: project metadata
+(README, LICENSE, pyproject, ...), top-level docs, and the committed
+``BENCH_<tag>.json`` baselines the CI compare gates read.  Everything
+else — recorded benchmark logs, figures, scratch output — belongs under
+``benchmarks/`` or ``docs/`` where it is linked and reviewed.  A stray
+``bench_output_*.txt`` at the root once survived several PRs precisely
+because nothing owned it; this guard makes that a test failure with a
+message saying where the file should go.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Exact file names sanctioned at the repo root.
+ALLOWED_ROOT_FILES = {
+    ".gitignore",
+    ".pre-commit-config.yaml",
+    "CHANGES.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ISSUE.md",
+    "LICENSE",
+    "PAPER.md",
+    "PAPERS.md",
+    "README.md",
+    "ROADMAP.md",
+    "SNIPPETS.md",
+    "pyproject.toml",
+    "setup.py",
+}
+
+#: Committed bench baselines: ``BENCH_<tag>.json`` only.
+_BENCH_BASELINE = re.compile(r"^BENCH_[A-Za-z0-9_.-]+\.json$")
+
+
+def test_repo_root_has_no_loose_artifacts():
+    strays = sorted(
+        entry.name
+        for entry in REPO_ROOT.iterdir()
+        if entry.is_file()
+        and entry.name not in ALLOWED_ROOT_FILES
+        and not _BENCH_BASELINE.match(entry.name)
+    )
+    assert strays == [], (
+        f"loose artifact(s) at the repo root: {strays} — recorded runs "
+        "and logs belong under benchmarks/ (linked from "
+        "docs/benchmarking.md), figures under docs/"
+    )
+
+
+def test_bench_baselines_exist_for_the_ci_gates():
+    # The CI compare gates read these; losing one silently disables a
+    # regression gate.
+    for baseline in ("BENCH_seed.json", "BENCH_vec.json", "BENCH_parallel.json"):
+        assert (REPO_ROOT / baseline).is_file(), f"missing baseline {baseline}"
