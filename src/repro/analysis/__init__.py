@@ -33,6 +33,17 @@ RA011     RNG-stream symmetry — reference and vectorized engines consume
           identical Generator draw sequences (bitwise equivalence)
 RA012     parallel safety — nothing unpicklable, stream-duplicating, or
           share-mutating crosses a ``multiprocessing`` boundary
+RA013     async blocking — no sync sleep, file/socket I/O, or CPU-heavy
+          simulation entry point reachable from ``async def`` without
+          ``asyncio.to_thread``/executor dispatch
+RA014     task lifecycle — no fire-and-forget ``create_task``, unawaited
+          coroutine call, or swallowed ``CancelledError``
+RA015     cross-task sharing — state mutated by concurrent coroutine
+          roots holds a common ``asyncio`` lock, and no ``await`` sits
+          inside a critical section
+RA016     tick restartability — the served tick loop's state lives in
+          declared ``@checkpointable`` dataclasses, never module or
+          closure hiding places
 ========  ==============================================================
 
 Use ``repro analyze`` or ``python -m repro.analysis``; findings share

@@ -1,0 +1,202 @@
+"""RA013 — nothing blocking may run on the event loop.
+
+The live service (``repro serve``) multiplexes every client connection,
+the tick barrier, and the Prometheus listener on one asyncio event
+loop.  A single blocking call anywhere in code the loop executes —
+a sync ``time.sleep``, file or socket I/O, or one of the CPU-heavy
+simulation entry points — stalls *every* connection for its duration,
+which in a lockstep tick protocol means the whole ecosystem.
+
+The pass walks the call graph breadth-first from every ``async def``
+in the project (each one is loop-executed code, whether it is a
+handler, a task body, or an awaited helper) and flags, with the full
+call chain:
+
+* **blocking calls** — sync sleeps and file/socket/process I/O
+  (``time.sleep``, ``open``, ``subprocess.*``, ``socket.*``, ...)
+  resolved through the module's imports exactly like RA001;
+* **CPU-heavy simulation entry points** — the step-loop roots
+  (:data:`DEFAULT_CPU_HEAVY`: ``TickStepper.step``,
+  ``EcosystemSimulator.run``, ``ProvisioningService.advance_tick``,
+  the emulator runs, ...) reached by a *direct* call edge.
+
+Dispatching through an executor is free by construction: the call
+graph only creates edges at ``ast.Call`` function positions, so
+``asyncio.to_thread(service.advance_tick)`` passes the callable as a
+value and creates no edge — the sanctioned pattern needs no pragma.
+:data:`AWAITABLE_WRAPPERS` additionally allowlists dispatch helpers by
+name so a project wrapper around ``run_in_executor`` stays quiet.
+
+``print`` is deliberately *not* in the blocking set (console writes
+are RA001's purity concern, and flagging every CLI banner would drown
+the signal); the target class is calls that park the loop on a kernel
+wait or a simulation tick.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.purity import DEFAULT_BOUNDARY_PREFIXES, _format_chain
+from repro.analysis.symbols import SymbolTable
+from repro.lint.engine import Violation
+from repro.lint.rules import ImportMap
+
+__all__ = ["AWAITABLE_WRAPPERS", "DEFAULT_CPU_HEAVY", "check_async_blocking"]
+
+RULE_ID = "RA013"
+
+#: Calls that block the calling thread regardless of arguments.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "breakpoint",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "select.select",
+        "selectors.DefaultSelector",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "socket.socket",
+    }
+)
+
+#: Call prefixes that block (any function under these modules).
+BLOCKING_PREFIXES = (
+    "subprocess.",
+    "urllib.",
+    "requests.",
+    "shutil.",
+    "http.client.",
+    "ftplib.",
+    "smtplib.",
+)
+
+#: Async-safe dispatch helpers: calls to these hand work off the loop,
+#: so they are never flagged even when a name-match would fire.
+AWAITABLE_WRAPPERS = frozenset(
+    {
+        "asyncio.to_thread",
+        "anyio.to_thread.run_sync",
+        "trio.to_thread.run_sync",
+    }
+)
+
+#: Simulation entry points whose single call is a full tick (or run) of
+#: CPU work — milliseconds to minutes, never event-loop material.  A
+#: direct call edge from async-reachable code is a finding; passing the
+#: callable to ``asyncio.to_thread`` creates no edge and is the fix.
+DEFAULT_CPU_HEAVY: tuple[str, ...] = (
+    "repro.core.ecosystem.EcosystemSimulator.run",
+    "repro.core.stepper.TickStepper.prepare",
+    "repro.core.stepper.TickStepper.install_static",
+    "repro.core.stepper.TickStepper.step",
+    "repro.core.stepper.TickStepper.finish",
+    "repro.core.matching.match_request",
+    "repro.emulator.emulator.GameEmulator.run",
+    "repro.emulator.interactions.emulate_with_interactions",
+    "repro.service.server.ProvisioningService.advance_tick",
+    "repro.service.server.ProvisioningService.finish",
+)
+
+
+def _blocking_calls(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef, imports: ImportMap
+) -> list[tuple[ast.Call, str]]:
+    """``(node, canonical_name)`` for each blocking call in the body."""
+    found: list[tuple[ast.Call, str]] = []
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Call):
+            continue
+        name = imports.canonical(node.func)
+        if name is None or name in AWAITABLE_WRAPPERS:
+            continue
+        if name in BLOCKING_CALLS or name.startswith(BLOCKING_PREFIXES):
+            found.append((node, name))
+    return found
+
+
+def check_async_blocking(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+    cpu_heavy: tuple[str, ...] = DEFAULT_CPU_HEAVY,
+) -> list[Violation]:
+    """Prove the async-reachable closure free of blocking calls."""
+    heavy = frozenset(cpu_heavy)
+    import_maps: dict[str, ImportMap] = {}
+
+    def imports_for(module: str) -> ImportMap:
+        if module not in import_maps:
+            tree = symbols.project.modules[module].tree
+            import_maps[module] = ImportMap.from_tree(tree)
+        return import_maps[module]
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    parents: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for qualname in sorted(symbols.functions):
+        fn = symbols.functions[qualname]
+        if isinstance(fn.node, ast.AsyncFunctionDef) and not in_boundary(fn.module):
+            parents[qualname] = None
+            queue.append(qualname)
+
+    violations: list[Violation] = []
+    flagged_edges: set[tuple[str, str, int]] = set()
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue  # sanctioned boundary: do not inspect or traverse
+        for node, name in _blocking_calls(fn.node, imports_for(fn.module)):
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"blocking call {name}() runs on the event loop in "
+                        f"async-reachable {qualname} "
+                        f"[chain: {_format_chain(parents, qualname)}]; await "
+                        "an async API or dispatch via asyncio.to_thread"
+                    ),
+                )
+            )
+        for site in graph.callees(qualname):
+            if site.callee in heavy:
+                edge = (qualname, site.callee, site.line)
+                if edge not in flagged_edges:
+                    flagged_edges.add(edge)
+                    violations.append(
+                        Violation(
+                            path=site.path,
+                            line=site.line,
+                            col=0,
+                            rule_id=RULE_ID,
+                            message=(
+                                f"CPU-heavy simulation entry point "
+                                f"{site.callee} called on the event loop "
+                                f"[chain: {_format_chain(parents, qualname)}]; "
+                                "dispatch via asyncio.to_thread or an executor"
+                            ),
+                        )
+                    )
+                continue  # one finding per edge; do not walk its interior
+            if site.callee not in parents and site.callee in symbols.functions:
+                parents[site.callee] = qualname
+                queue.append(site.callee)
+    violations.sort()
+    return violations

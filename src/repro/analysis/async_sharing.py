@@ -1,0 +1,435 @@
+"""RA015 — cross-task shared state needs a common asyncio lock.
+
+Concurrent tasks on one event loop interleave at every ``await``.  Two
+failure classes follow, and both live in exactly the code a tick server
+is made of:
+
+* **unguarded shared mutation** — instance state mutated from two
+  coroutine roots that can run concurrently (two ``create_task``
+  bodies; a ``start_server`` handler, which is *multi-instance* — one
+  task per connection — and therefore concurrent with itself) without
+  a common ``asyncio.Lock``/``Condition``/``Semaphore`` held on every
+  mutating path;
+* **awaiting inside a critical section** — an ``await`` under
+  ``async with lock:`` that is not a wait/acquire on the held lock
+  itself suspends the task *with the lock held*, stretching the
+  critical section across arbitrary foreign work.
+
+The pass reuses the RA012 idea of typed reachability, upgraded from
+"which types cross the boundary" to "which locks are held when control
+arrives".  Coroutine roots are found syntactically (``asyncio.run``,
+``create_task``/``ensure_future``/``gather`` arguments,
+``start_server`` handlers); for each root a worklist pass computes, per
+reachable function, the *intersection* over all call paths of the lock
+set held on arrival (locks are ``self.<attr>`` attributes assigned an
+``asyncio`` primitive in ``__init__``).  A mutation site is safe when
+the roots that reach it share at least one common lock — held either on
+the path or around the site itself.
+
+Deliberate scope cuts, all in the prove-don't-guess direction: two
+``asyncio.run`` mains are alternative programs, never concurrent;
+coroutine-factory calls inside ``create_task(...)`` belong to the
+*spawned* root, not the spawning function, so the spawner is not
+charged with the task body's mutations; ``__init__``/``__post_init__``
+stores are construction, not concurrency.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.purity import (
+    DEFAULT_BOUNDARY_PREFIXES,
+    _MUTATOR_METHODS,
+)
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["check_async_sharing"]
+
+RULE_ID = "RA015"
+
+#: ``asyncio`` primitives whose ``async with`` constitutes a guard.
+_LOCK_TYPES = frozenset(
+    {
+        "asyncio.Lock",
+        "asyncio.Condition",
+        "asyncio.Semaphore",
+        "asyncio.BoundedSemaphore",
+    }
+)
+
+#: Awaits on these lock methods are the sanctioned reason to suspend
+#: inside a critical section (condition-variable protocol).
+_LOCK_AWAIT_METHODS = frozenset({"wait", "wait_for", "acquire"})
+
+_SPAWN_CALLS = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future", "asyncio.gather"}
+)
+_HANDLER_CALLS = frozenset({"asyncio.start_server", "asyncio.start_unix_server"})
+
+#: A lock's identity: (owning class qualname, attribute name).
+LockKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class _Root:
+    """One coroutine root and how it runs."""
+
+    qualname: str
+    kind: str  # "main" (asyncio.run) | "task" | "handler"
+
+    @property
+    def multi_instance(self) -> bool:
+        return self.kind == "handler"
+
+
+@dataclass
+class _Mutation:
+    """One mutation of ``self.<attr>`` somewhere in a method."""
+
+    owner: str  # class qualname
+    attr: str
+    fn: FunctionInfo
+    node: ast.AST
+    held: frozenset[LockKey]  # locks held lexically around the site
+
+
+def _lock_attrs(symbols: SymbolTable) -> dict[str, set[str]]:
+    """Per class: attributes assigned an asyncio primitive in __init__
+    (or annotated as one at class level)."""
+    out: dict[str, set[str]] = {}
+    for qualname, info in symbols.classes.items():
+        attrs: set[str] = set()
+        for attr, annotation in info.attr_annotations.items():
+            dotted = annotation_to_dotted(annotation)
+            if dotted is not None and symbols.resolve(info.module, dotted) in _LOCK_TYPES:
+                attrs.add(attr)
+        init = info.methods.get("__init__")
+        if init is not None:
+            for node in ast.walk(init.node):
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target, value = node.targets[0], node.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(value, ast.Call)
+                ):
+                    continue
+                dotted = annotation_to_dotted(value.func)
+                if dotted is not None and symbols.resolve(info.module, dotted) in _LOCK_TYPES:
+                    attrs.add(target.attr)
+        if attrs:
+            out[qualname] = attrs
+    return out
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """First attribute off ``self`` in an attribute/subscript chain."""
+    current = expr
+    attr: str | None = None
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if isinstance(current, ast.Attribute):
+            attr = current.attr
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self":
+        return attr
+    return None
+
+
+def _resolve_coroutine(
+    symbols: SymbolTable, fn: FunctionInfo, expr: ast.expr
+) -> FunctionInfo | None:
+    """The async function behind a coroutine call or handler reference."""
+    func = expr.func if isinstance(expr, ast.Call) else expr
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and fn.cls is not None
+    ):
+        found = symbols.lookup_method(fn.cls, func.attr)
+    else:
+        dotted = annotation_to_dotted(func)
+        if dotted is None:
+            return None
+        resolved = symbols.canonicalize(symbols.resolve(fn.module, dotted))
+        found = symbols.functions.get(resolved)
+        if found is None and resolved in symbols.classes:
+            return None
+        # ``server.run_until_complete`` — method on an annotated or
+        # attribute-typed receiver.
+        if found is None and isinstance(func, ast.Attribute):
+            tail = dotted.rsplit(".", 1)[-1]
+            for cls in symbols.classes.values():
+                if tail in cls.methods:
+                    candidate = cls.methods[tail]
+                    if isinstance(candidate.node, ast.AsyncFunctionDef):
+                        return candidate
+            return None
+    if found is not None and isinstance(found.node, ast.AsyncFunctionDef):
+        return found
+    return None
+
+
+def _spawn_kind(symbols: SymbolTable, module: str, call: ast.Call) -> str | None:
+    dotted = annotation_to_dotted(call.func)
+    if dotted is not None:
+        resolved = symbols.resolve(module, dotted)
+        if resolved == "asyncio.run":
+            return "main"
+        if resolved in _SPAWN_CALLS:
+            return "task"
+        if resolved in _HANDLER_CALLS:
+            return "handler"
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "create_task",
+        "ensure_future",
+    ):
+        return "task"
+    return None
+
+
+class _FunctionScan:
+    """Lock-aware single-function facts: mutations, call-site holds,
+    spawned roots, and awaits inside critical sections."""
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        fn: FunctionInfo,
+        lock_attrs: dict[str, set[str]],
+    ) -> None:
+        self.symbols = symbols
+        self.fn = fn
+        self.lock_attrs = lock_attrs
+        self.mutations: list[_Mutation] = []
+        self.roots: list[tuple[_Root, ast.Call]] = []
+        #: call line -> intersection of lock sets held by calls there.
+        self.call_holds: dict[int, frozenset[LockKey]] = {}
+        #: (caller line, callee qualname) edges owned by a spawned task.
+        self.spawned_edges: set[tuple[int, str]] = set()
+        self.bad_awaits: list[tuple[ast.Await, LockKey]] = []
+        self._visit(fn.node, frozenset())
+
+    def _lock_key(self, expr: ast.expr) -> LockKey | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.fn.cls is not None
+            and expr.attr in self.lock_attrs.get(self.fn.cls, ())
+        ):
+            return (self.fn.cls, expr.attr)
+        return None
+
+    def _visit(self, node: ast.AST, held: frozenset[LockKey]) -> None:
+        if isinstance(node, ast.AsyncWith):
+            acquired = {
+                key
+                for item in node.items
+                if (key := self._lock_key(item.context_expr)) is not None
+            }
+            for item in node.items:
+                self._visit(item.context_expr, held)
+            for child in node.body:
+                self._visit(child, held | acquired)
+            return
+        if isinstance(node, ast.Await):
+            self._check_await(node, held)
+        elif isinstance(node, ast.Call):
+            self._record_call(node, held)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                self._record_store(node, target, held)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                child is not self.fn.node
+            ):
+                continue  # nested defs are their own (unreached) scope
+            self._visit(child, held)
+
+    def _check_await(self, node: ast.Await, held: frozenset[LockKey]) -> None:
+        if not held:
+            return
+        value = node.value
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+            receiver_key = self._lock_key(value.func.value)
+            if (
+                receiver_key in held
+                and value.func.attr in _LOCK_AWAIT_METHODS
+            ):
+                return  # condition-variable protocol on the held lock
+        self.bad_awaits.append((node, sorted(held)[0]))
+
+    def _record_call(self, call: ast.Call, held: frozenset[LockKey]) -> None:
+        previous = self.call_holds.get(call.lineno)
+        self.call_holds[call.lineno] = (
+            held if previous is None else previous & held
+        )
+        kind = _spawn_kind(self.symbols, self.fn.module, call)
+        if kind is not None:
+            args = call.args
+            for arg in args:
+                target = _resolve_coroutine(self.symbols, self.fn, arg)
+                if target is not None:
+                    self.roots.append((_Root(target.qualname, kind), call))
+                    if isinstance(arg, ast.Call):
+                        # The factory call's edge belongs to the task.
+                        self.spawned_edges.add((arg.lineno, target.qualname))
+        # Mutator-method calls on self attributes.
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+            and self.fn.cls is not None
+        ):
+            attr = _self_attr(func.value)
+            if attr is not None:
+                self.mutations.append(
+                    _Mutation(self.fn.cls, attr, self.fn, call, held)
+                )
+
+    def _record_store(
+        self, node: ast.AST, target: ast.expr, held: frozenset[LockKey]
+    ) -> None:
+        if self.fn.cls is None or self.fn.name in ("__init__", "__post_init__"):
+            return
+        attr = _self_attr(target)
+        if attr is not None and attr not in self.lock_attrs.get(self.fn.cls, ()):
+            self.mutations.append(
+                _Mutation(self.fn.cls, attr, self.fn, node, held)
+            )
+
+
+def check_async_sharing(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+) -> list[Violation]:
+    """Find unguarded cross-task mutations and lock-holding awaits."""
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    lock_attrs = _lock_attrs(symbols)
+    scans: dict[str, _FunctionScan] = {}
+    roots: dict[str, _Root] = {}
+    for qualname in sorted(symbols.functions):
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue
+        scan = _FunctionScan(symbols, fn, lock_attrs)
+        scans[qualname] = scan
+        for root, _call in scan.roots:
+            existing = roots.get(root.qualname)
+            # handler > task > main: keep the most-concurrent kind seen.
+            rank = {"main": 0, "task": 1, "handler": 2}
+            if existing is None or rank[root.kind] > rank[existing.kind]:
+                roots[root.qualname] = root
+
+    violations: list[Violation] = []
+    for qualname, scan in sorted(scans.items()):
+        for node, key in scan.bad_awaits:
+            violations.append(
+                Violation(
+                    path=scan.fn.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"await inside critical section of self.{key[1]} in "
+                        f"{qualname}: the task suspends with the lock held, "
+                        "stretching the critical section across foreign "
+                        "work; move the await outside or use the lock's own "
+                        "wait/wait_for"
+                    ),
+                )
+            )
+
+    # Per root: fixpoint of lock sets held on arrival (path intersection).
+    held_at: dict[str, dict[str, frozenset[LockKey]]] = {}
+    for root_qual, root in sorted(roots.items()):
+        best: dict[str, frozenset[LockKey]] = {root_qual: frozenset()}
+        queue: deque[str] = deque([root_qual])
+        while queue:
+            qualname = queue.popleft()
+            scan = scans.get(qualname)
+            if scan is None:
+                continue  # boundary or external
+            base = best[qualname]
+            for site in graph.callees(qualname):
+                if site.callee not in symbols.functions:
+                    continue
+                if (site.line, site.callee) in scan.spawned_edges:
+                    continue  # the spawned task's body, not this path's
+                arrive = base | scan.call_holds.get(site.line, frozenset())
+                previous = best.get(site.callee)
+                updated = arrive if previous is None else previous & arrive
+                if previous is None or updated != previous:
+                    best[site.callee] = updated
+                    queue.append(site.callee)
+        held_at[root_qual] = best
+
+    # Group mutations per (class, attr) and judge each group.
+    groups: dict[tuple[str, str], list[_Mutation]] = {}
+    for scan in scans.values():
+        for mutation in scan.mutations:
+            groups.setdefault((mutation.owner, mutation.attr), []).append(mutation)
+
+    for (owner, attr), mutations in sorted(
+        groups.items(), key=lambda kv: kv[0]
+    ):
+        reaching: set[str] = set()
+        common: frozenset[LockKey] | None = None
+        sites: list[tuple[_Mutation, list[str]]] = []
+        for mutation in mutations:
+            site_roots = []
+            for root_qual, best in held_at.items():
+                arrived = best.get(mutation.fn.qualname)
+                if arrived is None:
+                    continue
+                site_roots.append(root_qual)
+                effective = arrived | mutation.held
+                common = effective if common is None else common & effective
+            if site_roots:
+                reaching.update(site_roots)
+                sites.append((mutation, site_roots))
+        concurrent = any(roots[r].multi_instance for r in reaching) or any(
+            roots[a].kind != "main" or roots[b].kind != "main"
+            for a in reaching
+            for b in reaching
+            if a < b
+        )
+        if not concurrent or (common is not None and common):
+            continue
+        root_list = ", ".join(sorted(reaching))
+        for mutation, _site_roots in sites:
+            violations.append(
+                Violation(
+                    path=mutation.fn.path,
+                    line=getattr(mutation.node, "lineno", mutation.fn.lineno),
+                    col=getattr(mutation.node, "col_offset", 0),
+                    rule_id=RULE_ID,
+                    message=(
+                        f"self.{attr} of {owner} is mutated by concurrent "
+                        f"coroutine roots ({root_list}) without a common "
+                        "asyncio lock; guard every mutating path with one "
+                        "`async with` lock"
+                    ),
+                )
+            )
+    violations.sort()
+    return violations

@@ -1,0 +1,145 @@
+"""RA014 — task lifecycle hygiene: no orphan tasks, no dropped coroutines.
+
+Three asyncio lifecycle bugs share a syntactic signature and a silent
+failure mode, which is why a linter (not a reviewer) should own them:
+
+* **fire-and-forget tasks** — an expression-statement
+  ``asyncio.create_task(...)`` (or ``ensure_future``/``tg.create_task``)
+  discards the task handle: the event loop holds only a weak reference,
+  so the task can be garbage-collected mid-flight, and its exception —
+  if it ever fails — is reported to nobody.  Hold the reference or
+  chain ``.add_done_callback`` (an attribute call on the task keeps the
+  statement from matching).
+* **unawaited coroutines** — an expression statement that calls a
+  project ``async def`` without ``await`` creates a coroutine object
+  and throws it away; the body never runs.  Python warns at runtime
+  *if* the coroutine is collected while a warning filter is live; this
+  pass proves it at analysis time, resolving bare names, ``self.m()``
+  and dotted calls through the symbol table.
+* **swallowed cancellation** — an ``except asyncio.CancelledError:``
+  handler with no ``raise`` in its body converts cooperative
+  cancellation into silent survival: the awaiting parent hangs forever
+  in ``task.cancel()``/``wait_for``.  Cleanup is fine; keeping the
+  exception is not.
+
+All three checks are local to one function body, so the pass runs on
+the symbol table alone (no call graph) and is cheap enough for the
+``--changed-only`` pre-commit path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["check_async_tasks"]
+
+RULE_ID = "RA014"
+
+#: Spawn calls whose return value is the only strong task reference.
+_SPAWN_CANONICAL = frozenset({"asyncio.create_task", "asyncio.ensure_future"})
+_SPAWN_METHODS = frozenset({"create_task", "ensure_future"})
+
+
+def _is_spawn_call(symbols: SymbolTable, module: str, call: ast.Call) -> bool:
+    dotted = annotation_to_dotted(call.func)
+    if dotted is not None:
+        if symbols.resolve(module, dotted) in _SPAWN_CANONICAL:
+            return True
+    # ``loop.create_task(...)`` / ``tg.create_task(...)``: method form on
+    # an arbitrary receiver.
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr in _SPAWN_METHODS
+
+
+def _resolve_called_function(
+    symbols: SymbolTable, fn: FunctionInfo, call: ast.Call
+) -> FunctionInfo | None:
+    """The project function a call resolves to, if statically known."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+        and fn.cls is not None
+    ):
+        return symbols.lookup_method(fn.cls, func.attr)
+    dotted = annotation_to_dotted(func)
+    if dotted is None:
+        return None
+    resolved = symbols.canonicalize(symbols.resolve(fn.module, dotted))
+    return symbols.functions.get(resolved)
+
+
+def _handler_catches_cancelled(handler: ast.ExceptHandler) -> bool:
+    names: list[ast.expr] = []
+    if handler.type is None:
+        return False  # bare except: Exception-level style is RA007's beat
+    if isinstance(handler.type, ast.Tuple):
+        names.extend(handler.type.elts)
+    else:
+        names.append(handler.type)
+    for expr in names:
+        dotted = annotation_to_dotted(expr)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] == "CancelledError":
+            return True
+    return False
+
+
+def _check_function(
+    symbols: SymbolTable, fn: FunctionInfo, violations: list[Violation]
+) -> None:
+    def flag(node: ast.AST, message: str) -> None:
+        violations.append(
+            Violation(
+                path=fn.path,
+                line=getattr(node, "lineno", fn.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule_id=RULE_ID,
+                message=message,
+            )
+        )
+
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if _is_spawn_call(symbols, fn.module, call):
+                flag(
+                    call,
+                    f"fire-and-forget task in {fn.qualname}: the handle is "
+                    "discarded, so the loop holds only a weak reference and "
+                    "failures go unreported; keep the task or chain "
+                    ".add_done_callback",
+                )
+                continue
+            called = _resolve_called_function(symbols, fn, call)
+            if called is not None and isinstance(
+                called.node, ast.AsyncFunctionDef
+            ):
+                flag(
+                    call,
+                    f"coroutine {called.qualname} created but never awaited "
+                    f"in {fn.qualname}: the body will not run; await it or "
+                    "hand it to asyncio.create_task",
+                )
+        elif isinstance(node, ast.ExceptHandler):
+            if _handler_catches_cancelled(node) and not any(
+                isinstance(inner, ast.Raise) for inner in ast.walk(node)
+            ):
+                flag(
+                    node,
+                    f"CancelledError swallowed in {fn.qualname}: the handler "
+                    "never re-raises, so cooperative cancellation silently "
+                    "stops propagating; clean up, then `raise`",
+                )
+
+
+def check_async_tasks(symbols: SymbolTable) -> list[Violation]:
+    """Run the task-lifecycle checks over every project function."""
+    violations: list[Violation] = []
+    for qualname in sorted(symbols.functions):
+        _check_function(symbols, symbols.functions[qualname], violations)
+    violations.sort()
+    return violations

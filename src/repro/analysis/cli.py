@@ -40,7 +40,7 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--passes",
         metavar="IDS",
         default=None,
-        help="comma-separated pass ids to run (default: all of RA001-RA012)",
+        help="comma-separated pass ids to run (default: all of RA001-RA016)",
     )
     parser.add_argument(
         "--format",
@@ -52,6 +52,11 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-passes",
         action="store_true",
         help="print the pass table and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="alias for --list-passes (matches `repro lint --list-rules`)",
     )
     parser.add_argument(
         "--baseline",
@@ -73,6 +78,15 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         help="analyze the whole program but report only findings in "
         "files changed per git (for pre-commit)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-file parse fan-out (spawn "
+        "semantics, order-preserving; default: 1 = serial, and the "
+        "report is byte-identical at any N)",
+    )
 
 
 def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
@@ -80,9 +94,11 @@ def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
         prog=prog,
         description="whole-program analyzer: phase purity, dimensional "
         "analysis, RNG flow, import cycles, dead experiments, the "
-        "dataflow passes (intervals, exception flow, hot-path cost), and "
+        "dataflow passes (intervals, exception flow, hot-path cost), "
         "the array-aware passes (shape/dtype, hidden allocations, "
-        "RNG-stream symmetry, parallel safety) (RA001-RA012)",
+        "RNG-stream symmetry, parallel safety), and the async-safety "
+        "passes (event-loop blocking, task lifecycle, cross-task "
+        "sharing, tick restartability) (RA001-RA016)",
     )
     add_analyze_arguments(parser)
     return parser
@@ -130,7 +146,7 @@ def _filter_changed_only(report: LintReport) -> str | None:
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute an analyze run from parsed arguments; returns exit code."""
-    if args.list_passes:
+    if args.list_passes or args.list_rules:
         for rule_id in sorted(PASS_SUMMARIES):
             print(f"{rule_id}  {PASS_SUMMARIES[rule_id]}")
         return 0
@@ -147,8 +163,11 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.baseline is not None and args.write_baseline is not None:
         print("error: --baseline and --write-baseline are mutually exclusive")
         return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1")
+        return 2
 
-    report = analyze_paths(paths, passes=passes)
+    report = analyze_paths(paths, passes=passes, jobs=args.jobs)
     if args.write_baseline is not None:
         from repro.lint.baseline import write_baseline
 

@@ -16,6 +16,9 @@ from typing import Sequence
 
 from repro.analysis.allocations import check_allocations
 from repro.analysis.arrays import check_arrays
+from repro.analysis.async_blocking import check_async_blocking
+from repro.analysis.async_sharing import check_async_sharing
+from repro.analysis.async_tasks import check_async_tasks
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.dimensions import check_dimensions
 from repro.analysis.exceptions import check_exceptions
@@ -29,6 +32,7 @@ from repro.analysis.purity import (
     DEFAULT_ROOTS,
     check_purity,
 )
+from repro.analysis.restartability import check_restartability
 from repro.analysis.rngflow import check_rng_flow
 from repro.analysis.rngstream import check_rngstream
 from repro.analysis.symbols import SymbolTable
@@ -66,6 +70,14 @@ PASS_SUMMARIES: dict[str, str] = {
     "identical Generator draw sequences (the bitwise-equivalence contract)",
     "RA012": "parallel safety: nothing unpicklable, stream-duplicating, or "
     "share-mutating crosses a multiprocessing boundary",
+    "RA013": "async blocking: no sync sleep, file/socket I/O, or CPU-heavy "
+    "simulation entry point runs on the event loop (to_thread is free)",
+    "RA014": "task lifecycle: no fire-and-forget create_task, unawaited "
+    "coroutine, or swallowed CancelledError",
+    "RA015": "cross-task sharing: state mutated by concurrent coroutine "
+    "roots holds a common asyncio lock; no awaits inside critical sections",
+    "RA016": "tick restartability: served tick-loop state lives in declared "
+    "@checkpointable dataclasses, never module/closure hiding places",
 }
 
 
@@ -122,7 +134,7 @@ def analyze_project(
 
     symbols = SymbolTable(project)
     graph: CallGraph | None = None
-    if selected & {"RA001", "RA007", "RA008", "RA010"}:
+    if selected & {"RA001", "RA007", "RA008", "RA010", "RA013", "RA015", "RA016"}:
         graph = CallGraph.build(project, symbols)
     if "RA001" in selected and graph is not None:
         report.violations.extend(
@@ -162,6 +174,22 @@ def analyze_project(
         report.violations.extend(check_rngstream(symbols))
     if "RA012" in selected:
         report.violations.extend(check_parallel_safety(symbols))
+    if "RA013" in selected and graph is not None:
+        report.violations.extend(
+            check_async_blocking(
+                symbols, graph, boundary_prefixes=boundary_prefixes
+            )
+        )
+    if "RA014" in selected:
+        report.violations.extend(check_async_tasks(symbols))
+    if "RA015" in selected and graph is not None:
+        report.violations.extend(
+            check_async_sharing(
+                symbols, graph, boundary_prefixes=boundary_prefixes
+            )
+        )
+    if "RA016" in selected and graph is not None:
+        report.violations.extend(check_restartability(symbols, graph))
 
     _apply_suppressions(project, report)
     report.violations.sort()
@@ -175,9 +203,15 @@ def analyze_paths(
     passes: Sequence[str] | None = None,
     roots: tuple[str, ...] = DEFAULT_ROOTS,
     boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+    jobs: int = 1,
 ) -> LintReport:
-    """Load ``paths`` into a project and analyze it (the CLI entry)."""
-    project, load_errors = Project.from_paths(paths, root=root)
+    """Load ``paths`` into a project and analyze it (the CLI entry).
+
+    ``jobs > 1`` fans the per-file read+parse across spawn workers;
+    the report is byte-identical to a serial run (order-preserving
+    ``spawn_map``, analysis itself stays whole-program in-process).
+    """
+    project, load_errors = Project.from_paths(paths, root=root, jobs=jobs)
     if not project.modules and not load_errors:
         report = LintReport()
         report.errors.append(

@@ -56,6 +56,36 @@ def module_name_for_path(file_path: Path) -> str:
     return ".".join(parts)
 
 
+def _load_module(payload: tuple[str, str]) -> tuple[SourceModule | None, str | None]:
+    """Read + parse one file: ``(module, None)`` or ``(None, error)``.
+
+    Module-level (not a closure) and fed plain string payloads so it
+    can cross the ``spawn_map`` multiprocessing boundary when
+    ``Project.from_paths`` runs with ``jobs > 1`` — AST trees pickle
+    back to the parent intact, and parsing is read-only, so fanning the
+    per-file work out cannot change the loaded project.
+    """
+    display, resolved = payload
+    path = Path(resolved)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return None, f"{display}: unreadable: {exc}"
+    try:
+        tree = parse_cached(source, display)
+    except SyntaxError as exc:
+        return None, f"{display}:{exc.lineno or 0}: syntax error: {exc.msg}"
+    return (
+        SourceModule(
+            name=module_name_for_path(path),
+            path=display,
+            source=source,
+            tree=tree,
+        ),
+        None,
+    )
+
+
 def _module_name_for_virtual(virtual_path: str) -> str:
     """Module name for an in-memory fixture path.
 
@@ -118,40 +148,45 @@ class Project:
 
     @classmethod
     def from_paths(
-        cls, paths: Iterable[str | Path], *, root: Path | None = None
+        cls,
+        paths: Iterable[str | Path],
+        *,
+        root: Path | None = None,
+        jobs: int = 1,
     ) -> tuple["Project", list[str]]:
         """Load every ``*.py`` file under ``paths``.
 
         Returns ``(project, errors)``; unreadable or unparseable files
         become error strings (CI exit code 2) rather than exceptions so
         one bad file cannot hide the rest of the report.
+
+        ``jobs > 1`` fans the per-file read+parse across spawn workers
+        via :func:`repro.perf.parallel.spawn_map`; results return in
+        submission order, so the loaded project — and therefore every
+        downstream report — is byte-identical to a serial run.
         """
         base = (root or Path.cwd()).resolve()
-        modules: list[SourceModule] = []
-        errors: list[str] = []
+        work: list[tuple[str, str]] = []
         for file_path in iter_python_files(paths):
             resolved = file_path.resolve()
             try:
                 display = str(resolved.relative_to(base))
             except ValueError:
                 display = str(file_path)
-            display = display.replace("\\", "/")
-            try:
-                source = resolved.read_text(encoding="utf-8")
-            except OSError as exc:
-                errors.append(f"{display}: unreadable: {exc}")
-                continue
-            try:
-                tree = parse_cached(source, display)
-            except SyntaxError as exc:
-                errors.append(f"{display}:{exc.lineno or 0}: syntax error: {exc.msg}")
-                continue
-            modules.append(
-                SourceModule(
-                    name=module_name_for_path(resolved),
-                    path=display,
-                    source=source,
-                    tree=tree,
-                )
-            )
+            work.append((display.replace("\\", "/"), str(resolved)))
+
+        if jobs > 1:
+            from repro.perf.parallel import spawn_map
+
+            results = spawn_map(_load_module, work, workers=jobs)
+        else:
+            results = [_load_module(item) for item in work]
+
+        modules: list[SourceModule] = []
+        errors: list[str] = []
+        for loaded, error in results:  # type: ignore[misc]
+            if error is not None:
+                errors.append(error)
+            elif loaded is not None:
+                modules.append(loaded)
         return cls(modules), errors

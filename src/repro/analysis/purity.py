@@ -47,7 +47,9 @@ RULE_ID = "RA001"
 #: Entry points of the simulation step loop (Sec. IV of the paper: the
 #: operator/provisioner/matching cycle evaluated every 2-minute step)
 #: plus the workload-emulator tick loop (Sec. IV-D), whose per-tick
-#: cost gates every fig06-class experiment.
+#: cost gates every fig06-class experiment, plus the live service's
+#: per-tick surface (``repro serve`` runs the same stepper core once
+#: per protocol tick).
 DEFAULT_ROOTS: tuple[str, ...] = (
     "repro.core.ecosystem.EcosystemSimulator.run",
     "repro.core.provisioner.DynamicProvisioner.reconcile",
@@ -58,6 +60,8 @@ DEFAULT_ROOTS: tuple[str, ...] = (
     "repro.emulator.entities.EntityPopulation.step",
     "repro.emulator.engine.VectorizedPopulation.step",
     "repro.emulator.interactions.emulate_with_interactions",
+    "repro.service.server.ProvisioningService.record_report",
+    "repro.service.server.ProvisioningService.advance_tick",
 )
 
 #: Modules whose *interiors* are exempt: the observability layer and

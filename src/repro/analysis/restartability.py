@@ -1,0 +1,256 @@
+"""RA016 — the tick loop's state must live in declared checkpoint state.
+
+A long-running ``repro serve`` process must be restartable mid-run: the
+paper's 2-minute tick cadence means an operator restart should resume
+from the last closed tick, not replay hours of load.  That is only
+possible if *everything the tick loop mutates* is either
+
+* part of a **declared checkpointable dataclass** (a class marked with
+  :func:`repro.service.state.checkpointable`, e.g.
+  :class:`~repro.service.state.ServiceState`), or
+* inside the **deterministic simulation core** (``repro.core`` and the
+  packages under it), which a restart *reconstructs* from the
+  checkpointed inputs rather than serializing.
+
+Mirroring RA001's phase-purity BFS, the pass walks the call graph from
+the service tick roots (:data:`SERVICE_TICK_ROOTS`: the per-tick
+surface — ``record_report`` and ``advance_tick``; registration and
+``start`` are pre-loop lifecycle by design) and flags hidden state a
+checkpoint cannot capture:
+
+* module-global mutation (rebinds, ``global``, mutator-method calls,
+  subscript/attribute stores into module-level names);
+* closure state (``nonlocal`` writes survive only in a live frame);
+* instance-attribute stores whose target is neither an attribute of a
+  checkpointable class nor typed as one in the symbol table.
+
+Reads are free — consulting configuration is not state.  Construction
+(``__init__``/``__post_init__``) is exempt: a freshly built object has
+no history to lose.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.purity import (
+    DEFAULT_BOUNDARY_PREFIXES,
+    _MUTATOR_METHODS,
+    _format_chain,
+    _local_bound_names,
+)
+from repro.analysis.symbols import FunctionInfo, SymbolTable
+from repro.lint.engine import Violation
+
+__all__ = ["SERVICE_TICK_ROOTS", "RESTART_BOUNDARY_PREFIXES", "check_restartability"]
+
+RULE_ID = "RA016"
+
+#: The served tick surface: everything executed once per tick.
+SERVICE_TICK_ROOTS: tuple[str, ...] = (
+    "repro.service.server.ProvisioningService.record_report",
+    "repro.service.server.ProvisioningService.advance_tick",
+)
+
+#: Where the restartability obligation ends: the observability boundary
+#: (RA001's), plus the deterministic simulation core — a restart
+#: rebuilds the stepper/operators/predictors from checkpointed inputs
+#: instead of serializing them, so their interior state is out of scope.
+RESTART_BOUNDARY_PREFIXES: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES + (
+    "repro.core",
+    "repro.datacenter",
+    "repro.predictors",
+    "repro.emulator",
+    "repro.traces",
+)
+
+
+def _is_checkpointable_class(symbols: SymbolTable, qualname: str) -> bool:
+    info = symbols.classes.get(qualname)
+    if info is None:
+        return False
+    for decorator in info.node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name: str | None = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name == "checkpointable":
+            return True
+    return False
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """First attribute off ``self`` in an attribute/subscript chain."""
+    current = expr
+    attr: str | None = None
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        if isinstance(current, ast.Attribute):
+            attr = current.attr
+        current = current.value
+    if isinstance(current, ast.Name) and current.id == "self":
+        return attr
+    return None
+
+
+def _attr_is_sanctioned(symbols: SymbolTable, cls: str | None, attr: str) -> bool:
+    """Is ``self.<attr>`` declared checkpoint state?"""
+    if cls is None:
+        return False
+    if _is_checkpointable_class(symbols, cls):
+        return True
+    info = symbols.classes.get(cls)
+    if info is None:
+        return False
+    attr_type = info.attr_types.get(attr)
+    return attr_type is not None and _is_checkpointable_class(symbols, attr_type)
+
+
+def _hidden_state(
+    symbols: SymbolTable, fn: FunctionInfo
+) -> list[tuple[ast.AST, str]]:
+    """``(node, description)`` for each unrestartable mutation in ``fn``."""
+    module_globals = symbols.module_globals.get(fn.module, set())
+    shared = module_globals - _local_bound_names(fn.node)
+    declared_global: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    found: list[tuple[ast.AST, str]] = []
+    in_construction = fn.name in ("__init__", "__post_init__")
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            found.append(
+                (
+                    node,
+                    f"hidden module state: `global {', '.join(node.names)}` "
+                    "rebinds names a checkpoint cannot capture",
+                )
+            )
+        elif isinstance(node, ast.Nonlocal):
+            found.append(
+                (
+                    node,
+                    f"hidden closure state: `nonlocal {', '.join(node.names)}` "
+                    "lives only in a stack frame and dies with the process",
+                )
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    found.append(
+                        (
+                            node,
+                            f"hidden module state: rebinds global {target.id!r}",
+                        )
+                    )
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    base = target.value
+                    if isinstance(base, ast.Name) and base.id in shared:
+                        found.append(
+                            (
+                                node,
+                                "hidden module state: stores into "
+                                f"module-level {base.id!r}",
+                            )
+                        )
+                        continue
+                    attr = _self_attr(target)
+                    if (
+                        attr is not None
+                        and not in_construction
+                        and not _attr_is_sanctioned(symbols, fn.cls, attr)
+                    ):
+                        found.append(
+                            (
+                                node,
+                                f"tick-loop state outside checkpointable "
+                                f"dataclasses: store into self.{attr}",
+                            )
+                        )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if not isinstance(func, ast.Attribute) or (
+                func.attr not in _MUTATOR_METHODS
+            ):
+                continue
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id in shared:
+                found.append(
+                    (
+                        node,
+                        f"hidden module state: {receiver.id}.{func.attr}() "
+                        "mutates module-level state",
+                    )
+                )
+                continue
+            attr = _self_attr(receiver)
+            if (
+                attr is not None
+                and not in_construction
+                and not _attr_is_sanctioned(symbols, fn.cls, attr)
+            ):
+                found.append(
+                    (
+                        node,
+                        f"tick-loop state outside checkpointable dataclasses: "
+                        f"self.{attr}.{func.attr}() mutates undeclared state",
+                    )
+                )
+    return found
+
+
+def check_restartability(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = SERVICE_TICK_ROOTS,
+    boundary_prefixes: tuple[str, ...] = RESTART_BOUNDARY_PREFIXES,
+) -> list[Violation]:
+    """Prove the tick-reachable closure free of hidden run state."""
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    parents: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in symbols.functions and root not in parents:
+            parents[root] = None
+            queue.append(root)
+
+    violations: list[Violation] = []
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue  # reconstructed, not checkpointed: out of scope
+        for node, description in _hidden_state(symbols, fn):
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=getattr(node, "lineno", fn.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    rule_id=RULE_ID,
+                    message=(
+                        f"{description} in tick-reachable {qualname} "
+                        f"[chain: {_format_chain(parents, qualname)}]; declare "
+                        "run state on a @checkpointable dataclass"
+                    ),
+                )
+            )
+        for site in graph.callees(qualname):
+            if site.callee not in parents and site.callee in symbols.functions:
+                parents[site.callee] = qualname
+                queue.append(site.callee)
+    violations.sort()
+    return violations

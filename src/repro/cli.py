@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the workflows a downstream user needs without
+Eleven subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
@@ -17,7 +17,8 @@ writing Python:
   (rules RL001-RL008, see ``docs/static_analysis.md``);
 * ``repro analyze`` — run the whole-program analyzer (phase purity,
   dimensional analysis, RNG flow, import cycles, dead experiments,
-  and the dataflow passes; rules RA001-RA008);
+  the dataflow/array passes, and the async-safety passes; rules
+  RA001-RA016);
 * ``repro check`` — lint + analyze in one run over a single parse per
   file (the shared AST cache makes the second tool free);
 * ``repro bench`` — run experiments under performance instrumentation,
@@ -29,7 +30,12 @@ writing Python:
   across worker processes with ``--parallel N`` (spawn semantics,
   RA012-checked payloads, order-preserving merge); same report schema
   and ``--compare`` gate as ``repro bench``, and the deterministic
-  work counters are identical regardless of worker count.
+  work counters are identical regardless of worker count;
+* ``repro serve`` — the live provisioning service: an asyncio tick
+  server speaking the newline-JSON load-report protocol, with
+  ``--soak`` (in-process load generator + one Prometheus scrape) and
+  ``--offline`` (the reference run over the identical workload) whose
+  work counters must match exactly (see ``docs/service.md``).
 
 Examples
 --------
@@ -152,7 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="run the whole-program analyzer (rules RA001-RA008)",
+        help="run the whole-program analyzer (rules RA001-RA016)",
     )
     add_analyze_arguments(analyze)
 
@@ -288,6 +294,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default excludes `time`: parallel wall-clock is not comparable "
         "to a serial baseline)",
     )
+
+    from repro.service.cli import add_serve_arguments
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the live provisioning tick server (--soak for an "
+        "in-process load-generated run, --offline for the reference)",
+    )
+    add_serve_arguments(serve)
     return parser
 
 
@@ -643,6 +658,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -657,6 +678,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "bench": _cmd_bench,
         "experiments": _cmd_experiments,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -26,21 +26,20 @@ import numpy as np
 
 from repro.core.loadmodel import DemandModel
 from repro.core.matching import MatchingPolicy
-from repro.core.metrics import (
-    SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
-    MetricsTimeline,
-    over_allocation_percent,
-)
 from repro.core.operator import GameOperator
-from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
+from repro.core.stepper import (
+    SimulationResult,
+    TickGame,
+    TickRegion,
+    TickStepper,
+    finest_cpu_bulk,
+)
 from repro.datacenter.resources import Cpu
 from repro.datacenter.center import DataCenter
 from repro.datacenter.geography import LatencyClass
-from repro.datacenter.resources import CPU, RESOURCE_TYPES
-from repro.obs.ambient import ambient_metrics, record_ambient_phases
+from repro.obs.ambient import ambient_metrics
 from repro.obs.invariants import InvariantChecker, invariants_forced
 from repro.obs.registry import MetricsRegistry
-from repro.obs.timing import PhaseTimer
 from repro.obs.tracer import StepTracer
 from repro.predictors.base import Predictor
 from repro.traces.model import GameTrace
@@ -101,24 +100,28 @@ class GameSpec:
         """The CPU quantum to use against a given platform."""
         if self.cpu_quantum is not None:
             return self.cpu_quantum
-        bulks = [
-            c.policy.resource_bulk.cpu
-            for c in centers
-            if c.policy.resource_bulk.cpu > 0
-        ]
-        return min(bulks) if bulks else Cpu(0.0)
+        return finest_cpu_bulk(centers)
 
-    def build_operator(self, centers: Sequence[DataCenter]) -> GameOperator:
-        """Instantiate the operator for this game."""
-        return GameOperator(
-            self.operator_id,
-            self.name,
-            self.demand_model,
-            self.predictor_factory,
+    def tick_game(self, centers: Sequence[DataCenter]) -> TickGame:
+        """The trace-free description of this game for :class:`TickStepper`."""
+        assert self.operator_id is not None  # set in __post_init__
+        return TickGame(
+            name=self.name,
+            operator_id=self.operator_id,
+            regions=tuple(
+                TickRegion(r.name, r.location, r.n_groups) for r in self.trace.regions
+            ),
+            demand_model=self.demand_model,
+            predictor_factory=self.predictor_factory,
             latency_class=self.latency_class,
             safety_margin=self.safety_margin,
             cpu_quantum=self.resolved_quantum(centers),
+            priority=self.priority,
         )
+
+    def build_operator(self, centers: Sequence[DataCenter]) -> GameOperator:
+        """Instantiate the operator for this game."""
+        return self.tick_game(centers).build_operator()
 
 
 @dataclass
@@ -192,47 +195,6 @@ class EcosystemConfig:
             raise ValueError("warmup_steps must be in [0, trace length)")
 
 
-@dataclass
-class SimulationResult:
-    """Everything the Sec. V experiments read off one run.
-
-    Attributes
-    ----------
-    per_game:
-        One metric timeline per game (over the evaluation window).
-    combined:
-        The platform-wide timeline (totals across games).
-    center_cpu_mean:
-        Mean CPU units allocated per data center over the evaluation
-        window (Figs. 13-14).
-    center_region_cpu_mean:
-        Mean CPU units per (data center, requesting region) pair.
-    center_capacity_cpu:
-        CPU capacity per data center.
-    unmatched_steps:
-        Steps on which some demand could not be hosted anywhere.
-    eval_steps / step_minutes:
-        Evaluation-window geometry.
-    timings:
-        Per-phase wall-clock seconds (only when a metrics registry was
-        installed; ``None`` otherwise).
-    invariant_checks:
-        Number of per-step invariant sweeps that ran (0 when checking
-        was off).
-    """
-
-    per_game: dict[str, MetricsTimeline]
-    combined: MetricsTimeline
-    center_cpu_mean: dict[str, float]
-    center_region_cpu_mean: dict[tuple[str, str], float]
-    center_capacity_cpu: dict[str, float]
-    unmatched_steps: int
-    eval_steps: int
-    step_minutes: float
-    timings: dict[str, float] | None = None
-    invariant_checks: int = 0
-
-
 class EcosystemSimulator:
     """Runs one configured simulation and collects the metrics."""
 
@@ -240,294 +202,69 @@ class EcosystemSimulator:
         self.config = config
 
     def run(self) -> SimulationResult:
-        """Execute the simulation over the trace's evaluation window."""
+        """Execute the simulation over the trace's evaluation window.
+
+        The heavy lifting lives in :class:`~repro.core.stepper.TickStepper`
+        (shared with the live service); this method only resolves the
+        observability hooks, replays the trace into the stepper and
+        returns its result.
+        """
         cfg = self.config
         step_minutes = cfg.games[0].trace.step_minutes
         n_steps = cfg.games[0].trace.n_steps
         warmup = cfg.warmup_steps
-        eval_steps = n_steps - warmup
 
-        # Observability: all hooks default to off; each record site is
-        # guarded by a single ``is None`` test so the disabled cost is
-        # one pointer comparison.  An explicit registry wins; otherwise
-        # an ambient probe (the bench harness) is consulted once here.
+        # Observability: an explicit registry wins; otherwise an
+        # ambient probe (the bench harness) is consulted once here.
         metrics = cfg.metrics if cfg.metrics is not None else ambient_metrics()
-        tracer = cfg.tracer
         checker = cfg.invariant_checker
         if checker is None and (cfg.check_invariants or invariants_forced()):
             checker = InvariantChecker(cfg.centers)
-        timer = PhaseTimer() if metrics is not None else None
-        if metrics is not None:
-            for center in cfg.centers:
-                center.attach_metrics(metrics)
-            c_steps = metrics.counter("sim.steps")
-            c_unmatched = metrics.counter("sim.unmatched_steps")
-            c_events = metrics.counter("sim.significant_events")
-            h_omega = metrics.histogram("sim.omega_cpu")
-            h_upsilon = metrics.histogram("sim.upsilon_cpu")
 
-        operators = {g.name: g.build_operator(cfg.centers) for g in cfg.games}
-        if metrics is not None:
-            for op in operators.values():
-                op.attach_metrics(metrics)
-        if cfg.mode == "dynamic":
-            provisioner: DynamicProvisioner | StaticProvisioner = DynamicProvisioner(
-                cfg.centers,
-                matching=cfg.matching,
-                step_minutes=step_minutes,
-                metrics=metrics,
-                tracer=tracer,
-            )
-        else:
-            provisioner = StaticProvisioner(
-                cfg.centers,
-                matching=cfg.matching,
-                step_minutes=step_minutes,
-                metrics=metrics,
-                tracer=tracer,
-            )
+        stepper = TickStepper(
+            [g.tick_game(cfg.centers) for g in cfg.games],
+            cfg.centers,
+            warmup_steps=warmup,
+            total_steps=n_steps,
+            mode=cfg.mode,
+            step_minutes=step_minutes,
+            matching=cfg.matching,
+            advance_lead_steps=cfg.advance_lead_steps,
+            metrics=metrics,
+            tracer=cfg.tracer,
+            checker=checker,
+        )
 
         # Off-line phases: predictor training + state warm-up.
-        t_mark = timer.mark() if timer is not None else 0.0
-        for game in cfg.games:
-            if warmup > 0:
-                operators[game.name].prepare(
-                    GameOperator.warmup_from_trace(game.trace, warmup)
-                )
-        if timer is not None:
-            t_mark = timer.lap("warmup", t_mark)
+        warmup_data: dict[str, dict[str, np.ndarray]] = {}
+        if warmup > 0:
+            warmup_data = {
+                g.name: GameOperator.warmup_from_trace(g.trace, warmup)
+                for g in cfg.games
+            }
+        stepper.prepare(warmup_data)
 
         # Static mode installs, up front, servers sized for every group's
         # individual peak over the horizon (the worst case each world's
         # own servers must carry — static infrastructure cannot shuffle
         # capacity between worlds mid-flight).
-        static_assigned: dict[tuple[str, str], np.ndarray] = {}
         if cfg.mode == "static":
-            from repro.datacenter.resources import ResourceVector as _RV
+            # One-time setup before the step loop; games x regions is
+            # config-bounded (a handful each), not data-scaled.
+            stepper.install_static(
+                {  # reprolint: disable=RA008
+                    (g.name, region.name): region.loads[warmup:].max(axis=0)
+                    for g in cfg.games
+                    for region in g.trace.regions
+                }
+            )
 
-            for game in cfg.games:
-                op = operators[game.name]
+        for t in range(warmup, n_steps):
+            loads: dict[tuple[str, str], np.ndarray] = {}
+            for g in cfg.games:
                 # games x regions is config-bounded (a handful each),
                 # not data-scaled: nested scan is the intended shape.
-                for region in game.trace.regions:  # reprolint: disable=RA008
-                    peak_players = region.loads[warmup:].max(axis=0)
-                    assigned = game.demand_model.demand_per_group(
-                        peak_players, cpu_quantum=op.cpu_quantum
-                    )
-                    static_assigned[(game.name, region.name)] = assigned
-                    provisioner.install(
-                        op,
-                        region.name,
-                        region.location,
-                        _RV.from_array(assigned.sum(axis=0)),
-                    )
-            if timer is not None:
-                t_mark = timer.lap("install", t_mark)
-
-        ordered_games = sorted(
-            cfg.games, key=lambda g: -g.priority
-        )  # stable: ties keep configuration order
-        per_game = {g.name: MetricsTimeline(eval_steps) for g in cfg.games}
-        combined = MetricsTimeline(eval_steps)
-        center_cpu_sum: dict[str, float] = {c.name: 0.0 for c in cfg.centers}
-        center_region_cpu_sum: dict[tuple[str, str], float] = {}
-        unmatched_steps = 0
-
-        n_res = len(RESOURCE_TYPES)
-        for t in range(warmup, n_steps):
-            if tracer is not None:
-                tracer.emit("step", step=t, mode=cfg.mode)
-            if timer is not None:
-                t_mark = timer.mark()
-            # 1. Reconcile allocations for this step from predictions
-            #    made on data up to t-1 (dynamic mode only).  Games are
-            #    served in priority order (the Sec. V-F future-work
-            #    mechanism); equal priorities keep configuration order.
-            any_unmatched = False
-            if cfg.mode == "dynamic":
-                lead = cfg.advance_lead_steps
-                for game in ordered_games:
-                    op = operators[game.name]
-                    # games x regions is config-bounded; see above.
-                    for region in game.trace.regions:  # reprolint: disable=RA008
-                        if lead > 0:
-                            desired = op.desired_allocation_ahead(
-                                region.name, region.n_groups, lead, t + lead
-                            )
-                        else:
-                            desired = op.desired_allocation(
-                                region.name, region.n_groups
-                            )
-                        if tracer is not None:
-                            tracer.emit(
-                                "reconcile",
-                                step=t,
-                                operator=op.operator_id,
-                                game=game.name,
-                                region=region.name,
-                                desired=desired.values.tolist(),
-                            )
-                        plan = provisioner.reconcile(
-                            op, region.name, region.location, desired, t
-                        )
-                        if not plan.fully_matched:
-                            any_unmatched = True
-            if any_unmatched:
-                unmatched_steps += 1
-                if metrics is not None:
-                    c_unmatched.inc()
-            if timer is not None:
-                t_mark = timer.lap("reconcile", t_mark)
-
-            # 2. Score the in-place allocation against the actual load.
-            #    Under-allocation uses per-group granularity: each game
-            #    world runs on servers sized from the prediction behind
-            #    the last request, and a world's shortfall cannot be
-            #    absorbed by another world's idle surplus within the
-            #    step (Eq. 2's per-machine min; migration unsupported).
-            combined_alloc = np.zeros(n_res)
-            combined_load = np.zeros(n_res)
-            combined_deficit = np.zeros(n_res)
-            combined_machines = 0
-            for game in cfg.games:
-                op = operators[game.name]
-                game_alloc = np.zeros(n_res)
-                game_load = np.zeros(n_res)
-                game_deficit = np.zeros(n_res)
-                game_machines = 0
-                # games x regions is config-bounded; see above.
-                for region in game.trace.regions:  # reprolint: disable=RA008
-                    players = game.trace.region(region.name).loads[t]
-                    lam = op.demand_model.demand_per_group(players)  # true load
-                    game_load += lam.sum(axis=0)
-                    alloc_vec = provisioner.allocation_array(op, region.name)
-                    game_alloc += alloc_vec
-                    game_machines += provisioner.machines(op, region.name)
-
-                    if cfg.mode == "static":
-                        assigned = static_assigned[(game.name, region.name)]
-                    else:
-                        if cfg.advance_lead_steps > 0:
-                            # Score against the booking that was sized
-                            # for this step; early steps (booked during
-                            # the on-demand cold start) fall back to the
-                            # latest prediction.
-                            pred = op.scheduled_players(region.name, t)
-                            if pred is None:
-                                pred = op.last_predicted_players(region.name)
-                        else:
-                            pred = op.last_predicted_players(region.name)
-                        if pred is None:
-                            pred = players.astype(np.float64)
-                        assigned = op.demand_model.demand_per_group(
-                            pred, cpu_quantum=op.cpu_quantum
-                        )
-                    # Scale assignments down where the platform could
-                    # not host the full request (contention).
-                    total_assigned = assigned.sum(axis=0)
-                    rho = np.ones(n_res)
-                    positive = total_assigned > 1e-12
-                    rho[positive] = np.minimum(
-                        1.0, alloc_vec[positive] / total_assigned[positive]
-                    )
-                    region_deficit = np.maximum(lam - assigned * rho, 0.0).sum(axis=0)
-                    # CPU is machine/world-bound (per-group accounting);
-                    # memory travels with the machines.  The external
-                    # network is a data-center-level pool (Sec. II-B),
-                    # so its shortfall is the pooled one.
-                    lam_total = lam.sum(axis=0)
-                    pooled = np.maximum(lam_total - alloc_vec, 0.0)
-                    region_deficit[2:] = pooled[2:]  # ExtNet[in], ExtNet[out]
-                    game_deficit += region_deficit
-                per_game[game.name].record(
-                    game_alloc, game_load, game_machines, deficit=game_deficit
-                )
-                if checker is not None:
-                    checker.check_score(
-                        game.name, t, game_alloc, game_load, game_deficit
-                    )
-                if tracer is not None:
-                    tracer.emit(
-                        "score",
-                        step=t,
-                        game=game.name,
-                        allocated=game_alloc.tolist(),
-                        load=game_load.tolist(),
-                        deficit=game_deficit.tolist(),
-                        machines=game_machines,
-                    )
-                combined_alloc += game_alloc
-                combined_load += game_load
-                combined_deficit += game_deficit
-                combined_machines += game_machines
-            combined.record(
-                combined_alloc, combined_load, combined_machines, deficit=combined_deficit
-            )
-            cpu_i = int(CPU)
-            if metrics is not None:
-                # Per-step Ω/Υ contributions (CPU, the contended resource).
-                c_steps.inc()
-                h_omega.observe(
-                    over_allocation_percent(combined_alloc[cpu_i], combined_load[cpu_i])
-                )
-                upsilon = -combined_deficit[cpu_i] / max(combined_machines, 1) * 100.0
-                h_upsilon.observe(upsilon)
-                if upsilon < -SIGNIFICANT_UNDER_ALLOCATION_PERCENT:
-                    c_events.inc()
-                t_mark = timer.lap("score", t_mark)
-
-            # Sanitizer sweep: ledgers vs. ground truth, every step.
-            if checker is not None:
-                checker.check_step(provisioner, t)
-                if timer is not None:
-                    t_mark = timer.lap("invariants", t_mark)
-
-            # Per-center accounting (CPU only, the contended resource).
-            for center in cfg.centers:
-                center_cpu_sum[center.name] += center.allocated[CPU]
-            for k, vec in provisioner.allocation_by_center_and_region().items():
-                center_region_cpu_sum[k] = center_region_cpu_sum.get(k, 0.0) + float(
-                    vec[cpu_i]
-                )
-            if timer is not None:
-                t_mark = timer.lap("accounting", t_mark)
-
-            # 3. Operators observe the actual load and move on.
-            for game in cfg.games:
-                op = operators[game.name]
-                # games x regions is config-bounded; see above.
-                for region in game.trace.regions:  # reprolint: disable=RA008
-                    op.observe(region.name, game.trace.region(region.name).loads[t])
-            if timer is not None:
-                t_mark = timer.lap("observe", t_mark)
-
-        # Teardown so the caller's centers are reusable.
-        provisioner.release_everything(n_steps)
-        if timer is not None:
-            record_ambient_phases(timer)
-        if tracer is not None:
-            tracer.emit(
-                "run_end",
-                steps=eval_steps,
-                mode=cfg.mode,
-                unmatched_steps=unmatched_steps,
-                invariant_checks=checker.checks_run if checker is not None else 0,
-                violations=len(checker.violations) if checker is not None else 0,
-            )
-
-        return SimulationResult(
-            per_game=per_game,
-            combined=combined,
-            center_cpu_mean={
-                name: total / eval_steps for name, total in center_cpu_sum.items()
-            },
-            center_region_cpu_mean={
-                key: total / eval_steps for key, total in center_region_cpu_sum.items()
-            },
-            center_capacity_cpu={c.name: c.capacity[CPU] for c in cfg.centers},
-            unmatched_steps=unmatched_steps,
-            eval_steps=eval_steps,
-            step_minutes=step_minutes,
-            timings=dict(timer.seconds) if timer is not None else None,
-            invariant_checks=checker.checks_run if checker is not None else 0,
-        )
+                for region in g.trace.regions:  # reprolint: disable=RA008
+                    loads[(g.name, region.name)] = region.loads[t]
+            stepper.step(t, loads)
+        return stepper.finish()

@@ -1,0 +1,577 @@
+"""Tick-incremental simulation core shared by offline runs and ``repro serve``.
+
+:class:`TickStepper` is the trace-free heart of the ecosystem
+simulator: it owns the operators, the provisioner and the metric
+timelines, and advances the ecosystem one step at a time from whatever
+load observations the caller feeds it.  Two callers exist:
+
+* :class:`repro.core.ecosystem.EcosystemSimulator` replays a recorded
+  :class:`~repro.traces.model.GameTrace` through it (the Sec. V
+  experiments), and
+* the live provisioning service (:mod:`repro.service`) feeds it load
+  reports streamed over the wire.
+
+Because both paths execute the *same* per-step code — reconcile in
+priority order, score the in-place allocation against the actual load,
+sweep invariants, account per-center usage, let operators observe —
+a served run and an offline run over equal load sequences produce
+exactly equal deterministic work counters.  That is the differential
+contract tested in ``tests/service`` and gated in CI.
+
+The stepper is also the restartability boundary for the service: all
+mutable run state lives on the stepper (and the objects it owns), so a
+service tick handler holds no hidden module or closure state — the
+RA016 tick-restartability pass checks exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.loadmodel import DemandModel
+from repro.core.matching import MatchingPolicy
+from repro.core.metrics import (
+    SIGNIFICANT_UNDER_ALLOCATION_PERCENT,
+    MetricsTimeline,
+    over_allocation_percent,
+)
+from repro.core.operator import GameOperator
+from repro.core.provisioner import DynamicProvisioner, StaticProvisioner
+from repro.datacenter.center import DataCenter
+from repro.datacenter.geography import GeoLocation, LatencyClass
+from repro.datacenter.resources import CPU, RESOURCE_TYPES, Cpu, ResourceVector
+from repro.obs.ambient import record_ambient_phases
+from repro.obs.invariants import InvariantChecker
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.obs.timing import PhaseTimer
+from repro.obs.tracer import StepTracer
+from repro.predictors.base import Predictor
+
+__all__ = [
+    "TickRegion",
+    "TickGame",
+    "TickDecision",
+    "SimulationResult",
+    "TickStepper",
+    "finest_cpu_bulk",
+]
+
+
+def finest_cpu_bulk(centers: Sequence[DataCenter]) -> Cpu:
+    """The finest CPU allocation bulk any data center offers.
+
+    The default per-server-group CPU quantum — shared by
+    :meth:`repro.core.ecosystem.GameSpec.resolved_quantum` and the live
+    service's registration path so both resolve identical quanta
+    (config parity is a precondition of the served↔offline
+    counter-equality contract).
+    """
+    bulks = [
+        c.policy.resource_bulk.cpu for c in centers if c.policy.resource_bulk.cpu > 0
+    ]
+    return min(bulks) if bulks else Cpu(0.0)
+
+
+@dataclass(frozen=True)
+class TickRegion:
+    """One geographic region of a game, described without its trace."""
+
+    name: str
+    location: GeoLocation
+    n_groups: int
+
+
+@dataclass(frozen=True)
+class TickGame:
+    """The trace-free description of one MMOG for :class:`TickStepper`.
+
+    Unlike :class:`~repro.core.ecosystem.GameSpec` this carries no
+    workload — only the per-game knobs the stepper needs to build an
+    operator and iterate regions.  ``cpu_quantum`` must already be
+    resolved against the hosting platform (see
+    :meth:`~repro.core.ecosystem.GameSpec.resolved_quantum`).
+    """
+
+    name: str
+    operator_id: str
+    regions: tuple[TickRegion, ...]
+    demand_model: DemandModel
+    predictor_factory: Callable[[], Predictor]
+    latency_class: LatencyClass = LatencyClass.VERY_FAR
+    safety_margin: float = 0.0
+    cpu_quantum: Cpu = Cpu(0.0)
+    priority: int = 0
+
+    def build_operator(self) -> GameOperator:
+        """Instantiate the operator for this game."""
+        return GameOperator(
+            self.operator_id,
+            self.name,
+            self.demand_model,
+            self.predictor_factory,
+            latency_class=self.latency_class,
+            safety_margin=self.safety_margin,
+            cpu_quantum=self.cpu_quantum,
+        )
+
+
+@dataclass(frozen=True)
+class TickDecision:
+    """One reallocation decision pushed to a client after a tick."""
+
+    game: str
+    region: str
+    desired: tuple[float, ...]
+    allocated: tuple[float, ...]
+    fully_matched: bool
+
+
+@dataclass
+class SimulationResult:
+    """Everything the Sec. V experiments read off one run.
+
+    Attributes
+    ----------
+    per_game:
+        One metric timeline per game (over the evaluation window).
+    combined:
+        The platform-wide timeline (totals across games).
+    center_cpu_mean:
+        Mean CPU units allocated per data center over the evaluation
+        window (Figs. 13-14).
+    center_region_cpu_mean:
+        Mean CPU units per (data center, requesting region) pair.
+    center_capacity_cpu:
+        CPU capacity per data center.
+    unmatched_steps:
+        Steps on which some demand could not be hosted anywhere.
+    eval_steps / step_minutes:
+        Evaluation-window geometry.
+    timings:
+        Per-phase wall-clock seconds (only when a metrics registry was
+        installed; ``None`` otherwise).
+    invariant_checks:
+        Number of per-step invariant sweeps that ran (0 when checking
+        was off).
+    """
+
+    per_game: dict[str, MetricsTimeline]
+    combined: MetricsTimeline
+    center_cpu_mean: dict[str, float]
+    center_region_cpu_mean: dict[tuple[str, str], float]
+    center_capacity_cpu: dict[str, float]
+    unmatched_steps: int
+    eval_steps: int
+    step_minutes: float
+    timings: dict[str, float] | None = None
+    invariant_checks: int = 0
+
+
+class TickStepper:
+    """Advances one configured ecosystem a step at a time.
+
+    The constructor mirrors the setup phase of the original monolithic
+    run loop exactly — registry instruments are created in the same
+    order (center counters, sim counters, operator counters,
+    provisioner counters) so metric snapshots stay byte-identical with
+    pre-extraction runs.
+
+    Lifecycle: ``prepare(warmup)`` once, ``install_static(peaks)`` once
+    in static mode, then ``step(t, loads)`` for every evaluation step
+    ``t`` in ``[warmup_steps, total_steps)``, then ``finish()``.
+    """
+
+    def __init__(
+        self,
+        games: Sequence[TickGame],
+        centers: Sequence[DataCenter],
+        *,
+        warmup_steps: int,
+        total_steps: int,
+        mode: str = "dynamic",
+        step_minutes: float = 2.0,
+        matching: MatchingPolicy | None = None,
+        advance_lead_steps: int = 0,
+        metrics: MetricsRegistry | None = None,
+        tracer: StepTracer | None = None,
+        checker: InvariantChecker | None = None,
+        collect_decisions: bool = False,
+    ) -> None:
+        if mode not in ("dynamic", "static"):
+            raise ValueError("mode must be 'dynamic' or 'static'")
+        if not 0 <= warmup_steps < total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps)")
+        self.games = tuple(games)
+        self.centers = list(centers)
+        self.mode = mode
+        self.step_minutes = float(step_minutes)
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.eval_steps = total_steps - warmup_steps
+        self.advance_lead_steps = advance_lead_steps
+        self.collect_decisions = collect_decisions
+        self.metrics = metrics
+        self.tracer = tracer
+        self.checker = checker
+
+        # Observability: all hooks default to off; each record site is
+        # guarded by a single ``is None`` test so the disabled cost is
+        # one pointer comparison.
+        self._timer: PhaseTimer | None = None
+        self._c_steps: Counter | None = None
+        self._c_unmatched: Counter | None = None
+        self._c_events: Counter | None = None
+        self._h_omega: Histogram | None = None
+        self._h_upsilon: Histogram | None = None
+        if metrics is not None:
+            self._timer = PhaseTimer()
+            for center in self.centers:
+                center.attach_metrics(metrics)
+            self._c_steps = metrics.counter("sim.steps")
+            self._c_unmatched = metrics.counter("sim.unmatched_steps")
+            self._c_events = metrics.counter("sim.significant_events")
+            self._h_omega = metrics.histogram("sim.omega_cpu")
+            self._h_upsilon = metrics.histogram("sim.upsilon_cpu")
+
+        self.operators = {g.name: g.build_operator() for g in self.games}
+        if metrics is not None:
+            for op in self.operators.values():
+                op.attach_metrics(metrics)
+        self.provisioner: DynamicProvisioner | StaticProvisioner
+        if mode == "dynamic":
+            self.provisioner = DynamicProvisioner(
+                self.centers,
+                matching=matching if matching is not None else MatchingPolicy(),
+                step_minutes=self.step_minutes,
+                metrics=metrics,
+                tracer=tracer,
+            )
+        else:
+            self.provisioner = StaticProvisioner(
+                self.centers,
+                matching=matching if matching is not None else MatchingPolicy(),
+                step_minutes=self.step_minutes,
+                metrics=metrics,
+                tracer=tracer,
+            )
+
+        # Stable sort: priority ties keep configuration order.
+        self._ordered_games = sorted(self.games, key=lambda g: -g.priority)
+        self.per_game = {g.name: MetricsTimeline(self.eval_steps) for g in self.games}
+        self.combined = MetricsTimeline(self.eval_steps)
+        self._center_cpu_sum: dict[str, float] = {c.name: 0.0 for c in self.centers}
+        self._center_region_cpu_sum: dict[tuple[str, str], float] = {}
+        self.unmatched_steps = 0
+        self._static_assigned: dict[tuple[str, str], np.ndarray] = {}
+        self._t_mark = 0.0
+
+    # -- off-line phases ------------------------------------------------------
+
+    def prepare(self, warmup: Mapping[str, Mapping[str, np.ndarray]]) -> None:
+        """Run the off-line phases: predictor training + state warm-up.
+
+        ``warmup`` maps game name → (region name → ``(n_steps,
+        n_groups)`` player-count history).  Games absent from the
+        mapping (or mapped to empty histories) skip training — the
+        cold-start path.
+        """
+        t_mark = self._timer.mark() if self._timer is not None else 0.0
+        for game in self.games:
+            history = warmup.get(game.name)
+            if history:
+                self.operators[game.name].prepare(history)
+        if self._timer is not None:
+            t_mark = self._timer.lap("warmup", t_mark)
+        self._t_mark = t_mark
+
+    def install_static(self, peak_players: Mapping[tuple[str, str], np.ndarray]) -> None:
+        """Install peak-sized servers up front (static mode only).
+
+        ``peak_players`` maps (game, region) → per-group peak player
+        counts over the horizon — the worst case each world's own
+        servers must carry; static infrastructure cannot shuffle
+        capacity between worlds mid-flight.
+        """
+        provisioner = self.provisioner
+        if not isinstance(provisioner, StaticProvisioner):
+            raise RuntimeError("install_static requires mode='static'")
+        for game in self.games:
+            op = self.operators[game.name]
+            # games x regions is config-bounded (a handful each), not
+            # data-scaled: nested scan is the intended shape.
+            for region in game.regions:  # reprolint: disable=RA008
+                peak = peak_players[(game.name, region.name)]
+                assigned = game.demand_model.demand_per_group(
+                    peak, cpu_quantum=op.cpu_quantum
+                )
+                self._static_assigned[(game.name, region.name)] = assigned
+                provisioner.install(
+                    op,
+                    region.name,
+                    region.location,
+                    ResourceVector.from_array(assigned.sum(axis=0)),
+                )
+        if self._timer is not None:
+            self._t_mark = self._timer.lap("install", self._t_mark)
+
+    # -- the tick -------------------------------------------------------------
+
+    def step(
+        self, t: int, loads: Mapping[tuple[str, str], np.ndarray]
+    ) -> list[TickDecision]:
+        """Advance one step: reconcile, score, sweep, account, observe.
+
+        ``loads`` maps (game, region) → per-group player counts
+        actually observed at step ``t``.  Returns the reallocation
+        decisions of the step when ``collect_decisions`` is on (the
+        service pushes these to clients); the offline replay leaves it
+        off and discards nothing.
+        """
+        cfg_mode = self.mode
+        tracer = self.tracer
+        timer = self._timer
+        metrics = self.metrics
+        checker = self.checker
+        provisioner = self.provisioner
+        operators = self.operators
+        decisions: list[TickDecision] = []
+        if tracer is not None:
+            tracer.emit("step", step=t, mode=cfg_mode)
+        t_mark = timer.mark() if timer is not None else 0.0
+        # 1. Reconcile allocations for this step from predictions made
+        #    on data up to t-1 (dynamic mode only).  Games are served
+        #    in priority order (the Sec. V-F future-work mechanism);
+        #    equal priorities keep configuration order.
+        any_unmatched = False
+        if cfg_mode == "dynamic":
+            lead = self.advance_lead_steps
+            for game in self._ordered_games:
+                op = operators[game.name]
+                # games x regions is config-bounded; see above.
+                for region in game.regions:  # reprolint: disable=RA008
+                    if lead > 0:
+                        desired = op.desired_allocation_ahead(
+                            region.name, region.n_groups, lead, t + lead
+                        )
+                    else:
+                        desired = op.desired_allocation(region.name, region.n_groups)
+                    if tracer is not None:
+                        tracer.emit(
+                            "reconcile",
+                            step=t,
+                            operator=op.operator_id,
+                            game=game.name,
+                            region=region.name,
+                            desired=desired.values.tolist(),
+                        )
+                    plan = provisioner.reconcile(
+                        op, region.name, region.location, desired, t
+                    )
+                    if not plan.fully_matched:
+                        any_unmatched = True
+                    if self.collect_decisions:
+                        # Decision payloads are len(RESOURCE_TYPES)=4
+                        # tuples per config-bounded (game, region) pair,
+                        # built only when the service asked for them —
+                        # not a data-scaled per-tick allocation.
+                        decisions.append(
+                            TickDecision(
+                                game=game.name,
+                                region=region.name,
+                                desired=tuple(  # reprolint: disable=RA008
+                                    float(v) for v in desired.values
+                                ),
+                                allocated=tuple(  # reprolint: disable=RA008
+                                    float(v)
+                                    for v in provisioner.allocation_array(
+                                        op, region.name
+                                    )
+                                ),
+                                fully_matched=plan.fully_matched,
+                            )
+                        )
+        if any_unmatched:
+            self.unmatched_steps += 1
+            if self._c_unmatched is not None:
+                self._c_unmatched.inc()
+        if timer is not None:
+            t_mark = timer.lap("reconcile", t_mark)
+
+        # 2. Score the in-place allocation against the actual load.
+        #    Under-allocation uses per-group granularity: each game
+        #    world runs on servers sized from the prediction behind
+        #    the last request, and a world's shortfall cannot be
+        #    absorbed by another world's idle surplus within the
+        #    step (Eq. 2's per-machine min; migration unsupported).
+        n_res = len(RESOURCE_TYPES)
+        combined_alloc = np.zeros(n_res)
+        combined_load = np.zeros(n_res)
+        combined_deficit = np.zeros(n_res)
+        combined_machines = 0
+        for game in self.games:
+            op = operators[game.name]
+            game_alloc = np.zeros(n_res)
+            game_load = np.zeros(n_res)
+            game_deficit = np.zeros(n_res)
+            game_machines = 0
+            # games x regions is config-bounded; see above.
+            for region in game.regions:  # reprolint: disable=RA008
+                players = loads[(game.name, region.name)]
+                lam = op.demand_model.demand_per_group(players)  # true load
+                game_load += lam.sum(axis=0)
+                alloc_vec = provisioner.allocation_array(op, region.name)
+                game_alloc += alloc_vec
+                game_machines += provisioner.machines(op, region.name)
+
+                if cfg_mode == "static":
+                    assigned = self._static_assigned[(game.name, region.name)]
+                else:
+                    if self.advance_lead_steps > 0:
+                        # Score against the booking that was sized
+                        # for this step; early steps (booked during
+                        # the on-demand cold start) fall back to the
+                        # latest prediction.
+                        pred = op.scheduled_players(region.name, t)
+                        if pred is None:
+                            pred = op.last_predicted_players(region.name)
+                    else:
+                        pred = op.last_predicted_players(region.name)
+                    if pred is None:
+                        pred = players.astype(np.float64)
+                    assigned = op.demand_model.demand_per_group(
+                        pred, cpu_quantum=op.cpu_quantum
+                    )
+                # Scale assignments down where the platform could
+                # not host the full request (contention).
+                total_assigned = assigned.sum(axis=0)
+                rho = np.ones(n_res)
+                positive = total_assigned > 1e-12
+                rho[positive] = np.minimum(
+                    1.0, alloc_vec[positive] / total_assigned[positive]
+                )
+                region_deficit = np.maximum(lam - assigned * rho, 0.0).sum(axis=0)
+                # CPU is machine/world-bound (per-group accounting);
+                # memory travels with the machines.  The external
+                # network is a data-center-level pool (Sec. II-B),
+                # so its shortfall is the pooled one.
+                lam_total = lam.sum(axis=0)
+                pooled = np.maximum(lam_total - alloc_vec, 0.0)
+                region_deficit[2:] = pooled[2:]  # ExtNet[in], ExtNet[out]
+                game_deficit += region_deficit
+            self.per_game[game.name].record(
+                game_alloc, game_load, game_machines, deficit=game_deficit
+            )
+            if checker is not None:
+                checker.check_score(game.name, t, game_alloc, game_load, game_deficit)
+            if tracer is not None:
+                tracer.emit(
+                    "score",
+                    step=t,
+                    game=game.name,
+                    allocated=game_alloc.tolist(),
+                    load=game_load.tolist(),
+                    deficit=game_deficit.tolist(),
+                    machines=game_machines,
+                )
+            combined_alloc += game_alloc
+            combined_load += game_load
+            combined_deficit += game_deficit
+            combined_machines += game_machines
+        self.combined.record(
+            combined_alloc, combined_load, combined_machines, deficit=combined_deficit
+        )
+        cpu_i = int(CPU)
+        if metrics is not None:
+            # Per-step Ω/Υ contributions (CPU, the contended resource).
+            assert self._c_steps is not None
+            assert self._h_omega is not None
+            assert self._h_upsilon is not None
+            assert self._c_events is not None
+            assert timer is not None
+            self._c_steps.inc()
+            self._h_omega.observe(
+                over_allocation_percent(combined_alloc[cpu_i], combined_load[cpu_i])
+            )
+            upsilon = -combined_deficit[cpu_i] / max(combined_machines, 1) * 100.0
+            self._h_upsilon.observe(upsilon)
+            if upsilon < -SIGNIFICANT_UNDER_ALLOCATION_PERCENT:
+                self._c_events.inc()
+            t_mark = timer.lap("score", t_mark)
+
+        # Sanitizer sweep: ledgers vs. ground truth, every step.
+        if checker is not None:
+            checker.check_step(provisioner, t)
+            if timer is not None:
+                t_mark = timer.lap("invariants", t_mark)
+
+        # Per-center accounting (CPU only, the contended resource).
+        for center in self.centers:
+            self._center_cpu_sum[center.name] += center.allocated[CPU]
+        for k, vec in provisioner.allocation_by_center_and_region().items():
+            self._center_region_cpu_sum[k] = self._center_region_cpu_sum.get(
+                k, 0.0
+            ) + float(vec[cpu_i])
+        if timer is not None:
+            t_mark = timer.lap("accounting", t_mark)
+
+        # 3. Operators observe the actual load and move on.
+        for game in self.games:
+            op = operators[game.name]
+            # games x regions is config-bounded; see above.
+            for region in game.regions:  # reprolint: disable=RA008
+                op.observe(region.name, loads[(game.name, region.name)])
+        if timer is not None:
+            t_mark = timer.lap("observe", t_mark)
+        self._t_mark = t_mark
+        return decisions
+
+    # -- teardown -------------------------------------------------------------
+
+    def snapshot_counters(self) -> dict[str, float]:
+        """Current deterministic work counters (empty without metrics)."""
+        if self.metrics is None:
+            return {}
+        return {
+            inst.name: float(inst.value)
+            for inst in self.metrics
+            if isinstance(inst, Counter)
+        }
+
+    def finish(self) -> SimulationResult:
+        """Tear down leases (so the centers are reusable) and report."""
+        timer = self._timer
+        tracer = self.tracer
+        checker = self.checker
+        self.provisioner.release_everything(self.total_steps)
+        if timer is not None:
+            record_ambient_phases(timer)
+        if tracer is not None:
+            tracer.emit(
+                "run_end",
+                steps=self.eval_steps,
+                mode=self.mode,
+                unmatched_steps=self.unmatched_steps,
+                invariant_checks=checker.checks_run if checker is not None else 0,
+                violations=len(checker.violations) if checker is not None else 0,
+            )
+        return SimulationResult(
+            per_game=self.per_game,
+            combined=self.combined,
+            center_cpu_mean={
+                name: total / self.eval_steps
+                for name, total in self._center_cpu_sum.items()
+            },
+            center_region_cpu_mean={
+                key: total / self.eval_steps
+                for key, total in self._center_region_cpu_sum.items()
+            },
+            center_capacity_cpu={c.name: c.capacity[CPU] for c in self.centers},
+            unmatched_steps=self.unmatched_steps,
+            eval_steps=self.eval_steps,
+            step_minutes=self.step_minutes,
+            timings=dict(timer.seconds) if timer is not None else None,
+            invariant_checks=checker.checks_run if checker is not None else 0,
+        )

@@ -97,6 +97,10 @@ ANALYSIS_RULE_IDS: frozenset[str] = frozenset(
         "RA010",
         "RA011",
         "RA012",
+        "RA013",
+        "RA014",
+        "RA015",
+        "RA016",
     }
 )
 

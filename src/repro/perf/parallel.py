@@ -43,7 +43,39 @@ from repro.perf.env import capture_environment
 from repro.perf.runner import measure_callable, resolve_names
 from repro.perf.schema import BenchReport, ExperimentBench
 
-__all__ = ["run_parallel"]
+__all__ = ["run_parallel", "spawn_map"]
+
+
+def spawn_map(
+    fn: Callable[..., object],
+    items: Iterable[object],
+    *,
+    workers: int,
+) -> list[object]:
+    """Order-preserving map over spawn-pool workers.
+
+    The generic fan-out helper behind ``repro analyze --jobs N``: the
+    same design constraints as :func:`run_parallel` (spawn semantics so
+    workers start cold, ``imap`` so results come back in submission
+    order, results travel by return value only), packaged for any
+    module-level picklable ``fn`` — the payload and callable cross a
+    multiprocessing boundary, so every call site is RA012-checked.
+
+    ``workers == 1`` (or a single item) short-circuits to a plain
+    in-process loop, which makes a caller's serial and parallel outputs
+    identical by construction.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    todo = list(items)
+    if workers == 1 or len(todo) <= 1:
+        return [fn(item) for item in todo]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(workers, len(todo))) as pool:
+        # Chunked dispatch amortises pickling; imap keeps submission
+        # order no matter which worker finishes first.
+        chunk = max(1, len(todo) // (workers * 4))
+        return list(pool.imap(fn, todo, chunksize=chunk))
 
 
 def _bench_worker(

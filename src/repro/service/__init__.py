@@ -1,0 +1,47 @@
+"""repro.service — the live provisioning service (``repro serve``).
+
+Promotes the trace-driven simulator core into a long-running asyncio
+tick server: clients register games and stream per-tick load reports
+over a newline-JSON protocol; the server runs predictors and
+request–offer matching on a tick schedule and pushes reallocation
+decisions back out, with the Prometheus-text exporter as the live
+dashboard feed.
+
+The tick computation is the *same* :class:`~repro.core.stepper.TickStepper`
+the offline experiments run, so a served run over a given load
+sequence produces work counters exactly equal to the offline run —
+the differential contract behind ``repro serve --soak``.
+
+Modules
+-------
+``protocol``  newline-JSON wire format (hello/load/decision/...).
+``state``     declared checkpointable run state (the RA016 contract).
+``server``    :class:`ProvisioningService` tick core + asyncio ``TickServer``.
+``client``    :class:`LoadClient` — lockstep client / soak load generator.
+``cli``       ``repro serve`` with ``--soak`` / ``--offline`` / ``--compare``.
+"""
+
+from repro.service.client import ClientRunLog, LoadClient, registration_from_trace
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    GameRegistration,
+    ProtocolError,
+    RegionSpec,
+)
+from repro.service.server import ProvisioningService, TickServer
+from repro.service.state import ServiceState, checkpointable, is_checkpointable
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RegionSpec",
+    "GameRegistration",
+    "ProvisioningService",
+    "TickServer",
+    "LoadClient",
+    "ClientRunLog",
+    "registration_from_trace",
+    "ServiceState",
+    "checkpointable",
+    "is_checkpointable",
+]

@@ -1,0 +1,329 @@
+"""CLI for the live provisioning service (``repro serve``).
+
+Three modes over one shared workload definition:
+
+``repro serve``
+    Stand up the tick server and wait for ``--games`` clients to
+    register and stream ``--ticks`` ticks of load.
+``repro serve --soak``
+    In-process soak test: start the server, drive it with the trace
+    synthesizer as load generator (one real TCP client per game),
+    scrape the Prometheus endpoint once at the end, and optionally
+    write/compare the deterministic work counters.
+``repro serve --offline``
+    The offline reference: run the classic
+    :class:`~repro.core.ecosystem.EcosystemSimulator` over the *same*
+    synthesized workload and write the same counters file — the other
+    half of the served↔offline equality differential.
+
+``--compare`` checks two counters files for exact equality (the
+simulation is deterministic; any drift is a bug), exiting 1 on
+mismatch — the CI soak-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Any
+
+from repro.core.ecosystem import EcosystemConfig, EcosystemSimulator, GameSpec
+from repro.core.loadmodel import DemandModel, update_model
+from repro.datacenter.catalog import build_paper_datacenters
+from repro.experiments.common import PREDICTOR_FACTORIES, STEPS_PER_DAY
+from repro.obs.registry import Counter, MetricsRegistry
+from repro.service.client import LoadClient, registration_from_trace
+from repro.service.server import ProvisioningService, TickServer
+from repro.traces.model import GameTrace
+from repro.traces.synthesis import synthesize_runescape_like
+
+__all__ = [
+    "add_serve_arguments",
+    "run_from_args",
+    "soak_trace",
+    "run_offline_reference",
+    "main",
+]
+
+COUNTERS_SCHEMA = "repro.service.counters/v1"
+SOAK_GAME = "soak-runescape-like"
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro serve`` argument surface on ``parser``."""
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--soak",
+        action="store_true",
+        help="in-process soak: serve + synthesized load generator + one metrics scrape",
+    )
+    mode.add_argument(
+        "--offline",
+        action="store_true",
+        help="run the offline reference simulation over the identical workload",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="tick server port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=0,
+        help="Prometheus /metrics port (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--games", type=int, default=1, help="clients to wait for before tick 0"
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=200, help="evaluation ticks to serve"
+    )
+    parser.add_argument(
+        "--warmup-ticks",
+        type=int,
+        default=120,
+        help="warm-up ticks buffered as predictor training history",
+    )
+    parser.add_argument(
+        "--tick-seconds",
+        type=float,
+        default=0.0,
+        help="minimum wall-clock spacing between ticks (0 = lockstep, as fast "
+        "as reports arrive; the paper's cadence is 120s)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload synthesis seed")
+    parser.add_argument(
+        "--update", default="O(n^2)", help="soak game update model (e.g. 'O(n^2)')"
+    )
+    parser.add_argument(
+        "--predictor",
+        default="Neural",
+        choices=sorted(PREDICTOR_FACTORIES),
+        help="soak game predictor display name",
+    )
+    parser.add_argument(
+        "--counters-out",
+        metavar="PATH",
+        help="write the run's deterministic work counters as JSON",
+    )
+    parser.add_argument(
+        "--prom-out",
+        metavar="PATH",
+        help="write the end-of-run Prometheus scrape to PATH (soak mode)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="compare this run's counters exactly against a counters JSON",
+    )
+
+
+def soak_trace(seed: int, warmup_ticks: int, ticks: int) -> GameTrace:
+    """The soak workload: a synthesized trace of exactly the run length."""
+    total = warmup_ticks + ticks
+    trace = synthesize_runescape_like(n_days=total / STEPS_PER_DAY, seed=seed)
+    if trace.n_steps < total:
+        raise ValueError(
+            f"synthesized {trace.n_steps} steps for a {total}-tick run"
+        )
+    if trace.n_steps > total:
+        trace = trace.slice_steps(0, total)
+    return trace
+
+
+def counters_payload(args: argparse.Namespace, counters: dict[str, float]) -> dict[str, Any]:
+    """The counters-file schema shared by served and offline runs."""
+    return {
+        "schema": COUNTERS_SCHEMA,
+        "mode": "offline" if args.offline else "served",
+        "seed": args.seed,
+        "warmup_ticks": args.warmup_ticks,
+        "ticks": args.ticks,
+        "update": args.update,
+        "predictor": args.predictor,
+        "counters": counters,
+    }
+
+
+def run_offline_reference(args: argparse.Namespace) -> dict[str, float]:
+    """The classic simulator over the identical workload; returns counters."""
+    trace = soak_trace(args.seed, args.warmup_ticks, args.ticks)
+    metrics = MetricsRegistry()
+    game = GameSpec(
+        name=SOAK_GAME,
+        trace=trace,
+        demand_model=DemandModel(update=update_model(args.update)),
+        predictor_factory=PREDICTOR_FACTORIES[args.predictor],
+    )
+    config = EcosystemConfig(
+        games=[game],
+        centers=build_paper_datacenters(),
+        mode="dynamic",
+        warmup_steps=args.warmup_ticks,
+        metrics=metrics,
+    )
+    EcosystemSimulator(config).run()
+    return {
+        inst.name: float(inst.value) for inst in metrics if isinstance(inst, Counter)
+    }
+
+
+async def _scrape_prometheus(host: str, port: int) -> str:
+    """One HTTP GET /metrics against the live endpoint."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            b"GET /metrics HTTP/1.1\r\nHost: " + host.encode("ascii") + b"\r\n\r\n"
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    if not head.split(b" ", 2)[1:2] == [b"200"]:
+        raise RuntimeError(f"metrics scrape failed: {head.splitlines()[:1]!r}")
+    return body.decode("utf-8")
+
+
+async def _run_soak(args: argparse.Namespace) -> tuple[dict[str, float], str]:
+    """Serve + load-generate in-process; returns (counters, prom scrape)."""
+    trace = soak_trace(args.seed, args.warmup_ticks, args.ticks)
+    registration = registration_from_trace(
+        trace, name=SOAK_GAME, update=args.update, predictor=args.predictor
+    )
+    metrics = MetricsRegistry()
+    service = ProvisioningService(
+        build_paper_datacenters(),
+        warmup_ticks=args.warmup_ticks,
+        total_ticks=args.warmup_ticks + args.ticks,
+        metrics=metrics,
+    )
+    server = TickServer(
+        service,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        expected_games=1,
+        tick_seconds=args.tick_seconds,
+    )
+    host, port, metrics_port = await server.start()
+    client = LoadClient.from_trace(trace, registration, host=host, port=port)
+    server_task = asyncio.create_task(server.run_until_complete())
+    try:
+        await client.run()
+        await server_task
+        # The one scrape of the acceptance recipe: the live dashboard
+        # feed, read over real HTTP after the last tick closed.
+        prom = await _scrape_prometheus(host, metrics_port)
+    finally:
+        server_task.cancel()
+        await server.close()
+    return service.counters(), prom
+
+
+async def _run_server(args: argparse.Namespace) -> dict[str, float]:
+    """Standing server mode: bind, serve one full run, return counters."""
+    metrics = MetricsRegistry()
+    service = ProvisioningService(
+        build_paper_datacenters(),
+        warmup_ticks=args.warmup_ticks,
+        total_ticks=args.warmup_ticks + args.ticks,
+        metrics=metrics,
+    )
+    server = TickServer(
+        service,
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        expected_games=args.games,
+        tick_seconds=args.tick_seconds,
+    )
+    host, port, metrics_port = await server.start()
+    print(f"serving on {host}:{port} (metrics on :{metrics_port})", flush=True)
+    try:
+        await server.run_until_complete()
+    finally:
+        await server.close()
+    return service.counters()
+
+
+def compare_counters(current: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Exact-equality differences between two counters payloads."""
+    problems: list[str] = []
+    for key in ("seed", "warmup_ticks", "ticks", "update", "predictor"):
+        if current.get(key) != baseline.get(key):
+            problems.append(
+                f"config mismatch: {key} {current.get(key)!r} vs {baseline.get(key)!r}"
+            )
+    ours: dict[str, float] = current.get("counters", {})
+    theirs: dict[str, float] = baseline.get("counters", {})
+    for name in sorted(set(ours) | set(theirs)):
+        if name not in ours:
+            problems.append(f"counter {name}: missing in current run")
+        elif name not in theirs:
+            problems.append(f"counter {name}: missing in baseline")
+        elif ours[name] != theirs[name]:
+            problems.append(
+                f"counter {name}: {ours[name]:.0f} != baseline {theirs[name]:.0f}"
+            )
+    return problems
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Entry point behind ``repro serve``."""
+    prom: str | None = None
+    if args.offline:
+        counters = run_offline_reference(args)
+    elif args.soak:
+        counters, prom = asyncio.run(_run_soak(args))
+    else:
+        counters = asyncio.run(_run_server(args))
+
+    payload = counters_payload(args, counters)
+    label = "offline" if args.offline else "served"
+    print(
+        f"{label}: {args.ticks} evaluation tick(s) after {args.warmup_ticks} "
+        f"warm-up tick(s), {len(counters)} work counter(s)"
+    )
+    for name in ("sim.steps", "sim.unmatched_steps", "operator.predictor_evaluations"):
+        if name in counters:
+            print(f"  {name} = {counters[name]:.0f}")
+    if args.counters_out:
+        with open(args.counters_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.counters_out}")
+    if args.prom_out:
+        if prom is None:
+            print("--prom-out requires --soak (the scrape happens live)")
+            return 2
+        with open(args.prom_out, "w", encoding="utf-8") as fh:
+            fh.write(prom)
+        print(f"wrote {args.prom_out}")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare_counters(payload, baseline)
+        if problems:
+            print(f"served vs {args.compare}: FAIL")
+            for problem in problems:
+                print(f"  [FAIL] {problem}")
+            return 1
+        print(
+            f"served vs {args.compare}: OK — all "
+            f"{len(payload['counters'])} counters exactly equal"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description="live MMOG provisioning service"
+    )
+    add_serve_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""The service client: streams a game's load reports, collects decisions.
+
+:class:`LoadClient` drives one registered game through a full served
+run in lockstep — for every tick it sends one ``load`` report per
+region, then waits for the server's ``tick_end`` before streaming the
+next tick.  With a synthesized :class:`~repro.traces.model.GameTrace`
+as the load source it doubles as the soak-test load generator
+(``repro serve --soak``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.service.protocol import (
+    GameRegistration,
+    ProtocolError,
+    RegionSpec,
+    decode_message,
+    encode_message,
+    load_message,
+)
+from repro.traces.model import GameTrace
+
+__all__ = ["ClientRunLog", "LoadClient", "registration_from_trace"]
+
+
+def registration_from_trace(
+    trace: GameTrace,
+    *,
+    name: str,
+    update: str = "O(n^2)",
+    predictor: str = "Neural",
+    latency_class: str = "VERY_FAR",
+    safety_margin: float = 0.0,
+    priority: int = 0,
+) -> GameRegistration:
+    """A ``hello`` payload describing a synthesized trace's game."""
+    return GameRegistration(
+        game=name,
+        regions=tuple(
+            RegionSpec.from_location(r.name, r.location, r.n_groups)
+            for r in trace.regions
+        ),
+        update=update,
+        predictor=predictor,
+        latency_class=latency_class,
+        safety_margin=safety_margin,
+        priority=priority,
+    )
+
+
+@dataclass
+class ClientRunLog:
+    """What one client saw over a served run."""
+
+    game: str
+    ticks_completed: int = 0
+    decisions: int = 0
+    fully_matched_decisions: int = 0
+    final_counters: dict[str, float] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+
+
+class LoadClient:
+    """Streams one game's per-tick loads to a :class:`TickServer`.
+
+    ``loads`` maps region name → ``(n_ticks, n_groups)`` player-count
+    array; a trace region's ``loads`` array slots in directly.
+    """
+
+    def __init__(
+        self,
+        registration: GameRegistration,
+        loads: Mapping[str, np.ndarray],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        missing = {r.name for r in registration.regions} - set(loads)
+        if missing:
+            raise ValueError(f"no load series for regions: {sorted(missing)}")
+        self.registration = registration
+        self.loads = {name: np.asarray(series) for name, series in loads.items()}
+        self.host = host
+        self.port = port
+        self.log = ClientRunLog(game=registration.game)
+
+    @staticmethod
+    def from_trace(
+        trace: GameTrace,
+        registration: GameRegistration,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> "LoadClient":
+        """A soak load generator replaying a synthesized trace."""
+        return LoadClient(
+            registration,
+            {r.name: r.loads for r in trace.regions},
+            host=host,
+            port=port,
+        )
+
+    async def run(self) -> ClientRunLog:
+        """Play the whole run; returns the collected run log."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(encode_message(self.registration.to_wire()))
+            await writer.drain()
+            welcome = await self._expect(reader, "welcome")
+            total_ticks = int(welcome["total_ticks"])
+            await self._expect(reader, "start")
+            for tick in range(total_ticks):
+                for region in self.registration.regions:
+                    row = self.loads[region.name][tick]
+                    writer.write(
+                        encode_message(
+                            load_message(
+                                self.registration.game, region.name, tick, row
+                            )
+                        )
+                    )
+                await writer.drain()
+                await self._collect_tick(reader, tick)
+                self.log.ticks_completed += 1
+            result = await self._expect(reader, "result")
+            counters = result.get("counters")
+            if isinstance(counters, dict):
+                self.log.final_counters = {
+                    str(k): float(v) for k, v in counters.items()
+                }
+        finally:
+            writer.close()
+        return self.log
+
+    async def _collect_tick(
+        self, reader: asyncio.StreamReader, tick: int
+    ) -> None:
+        """Consume this tick's decisions up to its ``tick_end``."""
+        while True:
+            message = await self._read(reader)
+            mtype = message["type"]
+            if mtype == "decision":
+                if message.get("game") == self.registration.game:
+                    self.log.decisions += 1
+                    if message.get("fully_matched"):
+                        self.log.fully_matched_decisions += 1
+            elif mtype == "tick_end":
+                if int(message.get("tick", -1)) != tick:
+                    raise ProtocolError(
+                        f"tick_end for {message.get('tick')} while at {tick}"
+                    )
+                return
+            else:
+                raise ProtocolError(f"unexpected {mtype!r} inside tick {tick}")
+
+    async def _expect(
+        self, reader: asyncio.StreamReader, expected_type: str
+    ) -> dict[str, Any]:
+        message = await self._read(reader)
+        if message["type"] != expected_type:
+            raise ProtocolError(
+                f"expected {expected_type!r}, got {message['type']!r}"
+            )
+        return message
+
+    async def _read(self, reader: asyncio.StreamReader) -> dict[str, Any]:
+        line = await reader.readline()
+        if not line:
+            raise ProtocolError("server closed the connection")
+        message = decode_message(line)
+        if message["type"] == "error":
+            self.log.errors.append(str(message.get("message", "")))
+            raise ProtocolError(f"server error: {message.get('message')}")
+        return message

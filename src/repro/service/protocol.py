@@ -1,0 +1,210 @@
+"""The newline-JSON wire protocol of the live provisioning service.
+
+One message per line, UTF-8 JSON with a ``type`` field — the
+server/client/report shape of the Service Oriented Paradigm mapped
+onto the paper's operator/hoster model:
+
+client → server
+    ``hello``     game registration (regions, update model, predictor,
+    latency class, safety margin, priority).
+    ``load``      one per (tick, region): the concurrent player count
+    per server group actually observed.
+    ``bye``       optional clean disconnect.
+
+server → client
+    ``welcome``   registration accepted; echoes the run geometry
+    (warm-up ticks, total ticks, step minutes).
+    ``start``     all expected games registered; begin streaming tick 0.
+    ``decision``  one per reconciled (game, region) on an evaluation
+    tick: desired vs. allocated resource vectors and whether the
+    request was fully matched.
+    ``tick_end``  the tick closed; clients may stream the next one.
+    ``result``    the run is over; final deterministic work counters.
+    ``error``     protocol violation; the connection closes after it.
+
+All numbers that must round-trip exactly are integers (player counts)
+or floats produced by Python's ``repr`` — both survive JSON exactly,
+which is what makes the served↔offline counter-equality differential
+possible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.datacenter.geography import GeoLocation, LatencyClass
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RegionSpec",
+    "GameRegistration",
+    "encode_message",
+    "decode_message",
+    "load_message",
+    "require_str",
+    "require_int",
+]
+
+#: Bumped on any incompatible wire change.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-order protocol message."""
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One geographic region a game registers with the service."""
+
+    name: str
+    latitude: float
+    longitude: float
+    geo_region: str
+    n_groups: int
+
+    def location(self) -> GeoLocation:
+        """The matching-distance anchor for this region's players."""
+        return GeoLocation(self.name, self.latitude, self.longitude, self.geo_region)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "latitude": self.latitude,
+            "longitude": self.longitude,
+            "geo_region": self.geo_region,
+            "n_groups": self.n_groups,
+        }
+
+    @staticmethod
+    def from_wire(obj: Mapping[str, Any]) -> "RegionSpec":
+        return RegionSpec(
+            name=require_str(obj, "name"),
+            latitude=float(obj["latitude"]),
+            longitude=float(obj["longitude"]),
+            geo_region=require_str(obj, "geo_region"),
+            n_groups=require_int(obj, "n_groups"),
+        )
+
+    @staticmethod
+    def from_location(name: str, location: GeoLocation, n_groups: int) -> "RegionSpec":
+        return RegionSpec(
+            name=name,
+            latitude=location.latitude,
+            longitude=location.longitude,
+            geo_region=location.region,
+            n_groups=n_groups,
+        )
+
+
+@dataclass(frozen=True)
+class GameRegistration:
+    """The ``hello`` payload: one MMOG joining the served ecosystem.
+
+    The update model and predictor travel as the experiment-suite
+    display names (``"O(n^2)"``, ``"Neural"``, …) so the server builds
+    *exactly* the objects the offline experiments build — config
+    parity is a precondition of the counter-equality contract.
+    """
+
+    game: str
+    regions: tuple[RegionSpec, ...]
+    operator_id: str | None = None
+    update: str = "O(n^2)"
+    predictor: str = "Neural"
+    latency_class: str = LatencyClass.VERY_FAR.name
+    safety_margin: float = 0.0
+    priority: int = 0
+
+    def resolved_operator_id(self) -> str:
+        return self.operator_id if self.operator_id is not None else self.game
+
+    def resolved_latency_class(self) -> LatencyClass:
+        try:
+            return LatencyClass[self.latency_class]
+        except KeyError:
+            raise ProtocolError(
+                f"unknown latency class {self.latency_class!r}"
+            ) from None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "type": "hello",
+            "version": PROTOCOL_VERSION,
+            "game": self.game,
+            "operator_id": self.operator_id,
+            "regions": [r.to_wire() for r in self.regions],
+            "update": self.update,
+            "predictor": self.predictor,
+            "latency_class": self.latency_class,
+            "safety_margin": self.safety_margin,
+            "priority": self.priority,
+        }
+
+    @staticmethod
+    def from_wire(obj: Mapping[str, Any]) -> "GameRegistration":
+        version = obj.get("version", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(f"unsupported protocol version {version!r}")
+        regions_raw = obj.get("regions")
+        if not isinstance(regions_raw, list) or not regions_raw:
+            raise ProtocolError("hello needs a non-empty 'regions' list")
+        operator_id = obj.get("operator_id")
+        if operator_id is not None and not isinstance(operator_id, str):
+            raise ProtocolError("'operator_id' must be a string or null")
+        return GameRegistration(
+            game=require_str(obj, "game"),
+            regions=tuple(RegionSpec.from_wire(r) for r in regions_raw),
+            operator_id=operator_id,
+            update=str(obj.get("update", "O(n^2)")),
+            predictor=str(obj.get("predictor", "Neural")),
+            latency_class=str(obj.get("latency_class", LatencyClass.VERY_FAR.name)),
+            safety_margin=float(obj.get("safety_margin", 0.0)),
+            priority=int(obj.get("priority", 0)),
+        )
+
+
+def encode_message(obj: Mapping[str, Any]) -> bytes:
+    """One wire line: compact UTF-8 JSON + newline."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Parse one wire line into a message dict (with a ``type``)."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(obj, dict) or not isinstance(obj.get("type"), str):
+        raise ProtocolError("messages must be JSON objects with a string 'type'")
+    return obj
+
+
+def load_message(game: str, region: str, tick: int, players: Sequence[int]) -> dict[str, Any]:
+    """The per-(tick, region) load report."""
+    return {
+        "type": "load",
+        "game": game,
+        "region": region,
+        "tick": tick,
+        "players": [int(p) for p in players],
+    }
+
+
+def require_str(obj: Mapping[str, Any], key: str) -> str:
+    value = obj.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(f"message field {key!r} must be a string")
+    return value
+
+
+def require_int(obj: Mapping[str, Any], key: str) -> int:
+    value = obj.get(key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"message field {key!r} must be an integer")
+    return value

@@ -1,0 +1,497 @@
+"""The live provisioning service: tick core + asyncio server.
+
+Two layers, deliberately separated:
+
+:class:`ProvisioningService`
+    The *pure* tick core.  It owns a :class:`~repro.core.stepper.TickStepper`
+    and all run state (a :class:`~repro.service.state.ServiceState`
+    checkpointable dataclass), and exposes synchronous methods —
+    ``register``, ``start``, ``record_report``, ``advance_tick``,
+    ``finish``.  No sockets, no clocks, no module state: this is the
+    analysis root the RA001 purity and RA016 restartability passes walk.
+
+:class:`TickServer`
+    The asyncio glue: accepts connections, parses the newline-JSON
+    protocol, buffers load reports under one :class:`asyncio.Condition`,
+    and runs a single tick loop that closes each tick once every
+    registered (game, region) has reported.  The CPU-heavy tick
+    computation is dispatched with :func:`asyncio.to_thread` so the
+    event loop keeps serving I/O (and the RA013 blocking-call pass
+    stays satisfied).  A second listener serves the
+    :func:`~repro.perf.export.prometheus_text` dashboard feed over
+    HTTP.
+
+Because the tick core replays the exact per-step code of the offline
+simulator, a served run over the same load sequence produces exactly
+equal deterministic work counters — see ``tests/service``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.matching import MatchingPolicy
+from repro.core.stepper import (
+    SimulationResult,
+    TickDecision,
+    TickGame,
+    TickRegion,
+    TickStepper,
+    finest_cpu_bulk,
+)
+from repro.core.loadmodel import DemandModel, update_model
+from repro.datacenter.center import DataCenter
+from repro.experiments.common import PREDICTOR_FACTORIES
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import StepTracer
+from repro.perf.export import prometheus_text
+from repro.service.protocol import (
+    GameRegistration,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    require_int,
+    require_str,
+)
+from repro.service.state import ServiceState
+
+__all__ = ["ProvisioningService", "TickServer"]
+
+
+class ProvisioningService:
+    """The socket-free tick core of ``repro serve``.
+
+    Lifecycle: ``register`` each game, ``start`` once, then for every
+    tick ``record_report`` each (game, region) load and ``advance_tick``
+    when :meth:`tick_ready`; ``finish`` after the last tick.
+
+    Warm-up ticks (``0 .. warmup_ticks-1``) are buffered as predictor
+    training history — the operators' off-line phases run when the last
+    warm-up tick closes, on matrices identical to what the offline
+    simulator builds with
+    :meth:`~repro.core.operator.GameOperator.warmup_from_trace`.
+    """
+
+    def __init__(
+        self,
+        centers: list[DataCenter],
+        *,
+        warmup_ticks: int,
+        total_ticks: int,
+        mode: str = "dynamic",
+        step_minutes: float = 2.0,
+        matching: MatchingPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: StepTracer | None = None,
+    ) -> None:
+        if total_ticks <= warmup_ticks:
+            raise ValueError("total_ticks must exceed warmup_ticks")
+        self.centers = centers
+        self.warmup_ticks = warmup_ticks
+        self.total_ticks = total_ticks
+        self.mode = mode
+        self.step_minutes = step_minutes
+        self.matching = matching if matching is not None else MatchingPolicy()
+        self.metrics = metrics
+        self.tracer = tracer
+        self.state = ServiceState()
+        self.registrations: dict[str, GameRegistration] = {}
+        self._stepper: TickStepper | None = None
+        self._expected: frozenset[tuple[str, str]] = frozenset()
+        self._group_counts: dict[tuple[str, str], int] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, registration: GameRegistration) -> None:
+        """Accept one game's ``hello`` (handshake phase only)."""
+        if self.state.phase != "handshake":
+            raise ProtocolError("registration after the run started")
+        if registration.game in self.registrations:
+            raise ProtocolError(f"game {registration.game!r} already registered")
+        if registration.predictor not in PREDICTOR_FACTORIES:
+            raise ProtocolError(f"unknown predictor {registration.predictor!r}")
+        registration.resolved_latency_class()  # validates
+        self.registrations[registration.game] = registration
+
+    def _tick_game(self, registration: GameRegistration) -> TickGame:
+        """Mirror :meth:`repro.core.ecosystem.GameSpec.tick_game` exactly."""
+        return TickGame(
+            name=registration.game,
+            operator_id=registration.resolved_operator_id(),
+            regions=tuple(
+                TickRegion(r.name, r.location(), r.n_groups)
+                for r in registration.regions
+            ),
+            demand_model=DemandModel(update=update_model(registration.update)),
+            predictor_factory=PREDICTOR_FACTORIES[registration.predictor],
+            latency_class=registration.resolved_latency_class(),
+            safety_margin=registration.safety_margin,
+            cpu_quantum=finest_cpu_bulk(self.centers),
+            priority=registration.priority,
+        )
+
+    def start(self) -> None:
+        """Freeze registrations and build the stepper."""
+        if self.state.phase != "handshake":
+            raise ProtocolError("service already started")
+        if not self.registrations:
+            raise ProtocolError("cannot start with no registered games")
+        games = [self._tick_game(r) for r in self.registrations.values()]
+        self._stepper = TickStepper(
+            games,
+            self.centers,
+            warmup_steps=self.warmup_ticks,
+            total_steps=self.total_ticks,
+            mode=self.mode,
+            step_minutes=self.step_minutes,
+            matching=self.matching,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            collect_decisions=True,
+        )
+        self._expected = frozenset(
+            (g.name, region.name) for g in games for region in g.regions
+        )
+        self._group_counts = {
+            (g.name, region.name): region.n_groups
+            for g in games
+            for region in g.regions
+        }
+        self.state.phase = "running"
+        # With zero warm-up ticks the (empty) prepare runs lazily on the
+        # first advance_tick, which the server dispatches off the event
+        # loop — start() itself stays cheap enough to call under the
+        # registration condition.
+
+    # -- the tick -------------------------------------------------------------
+
+    @property
+    def expected_keys(self) -> frozenset[tuple[str, str]]:
+        """Every (game, region) that must report each tick."""
+        return self._expected
+
+    def record_report(
+        self, game: str, region: str, tick: int, players: list[int]
+    ) -> None:
+        """Buffer one load report for the current tick."""
+        if self.state.phase != "running":
+            raise ProtocolError("load report outside a running tick loop")
+        key = (game, region)
+        if key not in self._expected:
+            raise ProtocolError(f"unregistered (game, region): {key!r}")
+        if tick != self.state.tick:
+            raise ProtocolError(
+                f"report for tick {tick} while serving tick {self.state.tick}"
+            )
+        if key in self.state.reports:
+            raise ProtocolError(f"duplicate report for {key!r} at tick {tick}")
+        row = np.asarray(players, dtype=np.int64)
+        expected_groups = self._group_counts[key]
+        if row.shape != (expected_groups,):
+            raise ProtocolError(
+                f"{key!r} reported {row.shape[0]} groups, expected {expected_groups}"
+            )
+        self.state.reports[key] = row
+        self.state.reports_seen += 1
+
+    def tick_ready(self) -> bool:
+        """All expected reports for the current tick have arrived."""
+        return (
+            self.state.phase == "running"
+            and len(self.state.reports) == len(self._expected)
+        )
+
+    def _prepare_from_warmup(self, stepper: TickStepper) -> None:
+        """Run the off-line phases on the buffered warm-up history.
+
+        Builds, per game, the region → ``(warmup_ticks, n_groups)``
+        float64 matrix — value-identical to
+        :meth:`~repro.core.operator.GameOperator.warmup_from_trace` on
+        the trace the reports came from.
+        """
+        warmup: dict[str, dict[str, np.ndarray]] = {}
+        for reg in self.registrations.values():
+            per_region: dict[str, np.ndarray] = {}
+            # games x regions is config-bounded (a handful each), not
+            # data-scaled: nested scan is the intended shape.
+            for region_spec in reg.regions:  # reprolint: disable=RA008
+                rows = self.state.warmup_rows[(reg.game, region_spec.name)]
+                per_region[region_spec.name] = np.stack(rows).astype(np.float64)
+            warmup[reg.game] = per_region
+        stepper.prepare(warmup)
+        self.state.warmup_rows.clear()
+        self.state.prepared = True
+
+    def advance_tick(self) -> list[TickDecision]:
+        """Close the current tick and return its reallocation decisions.
+
+        Warm-up ticks buffer their reports as training history and
+        return no decisions; evaluation ticks run the full reconcile →
+        score → observe step of the shared simulation core.
+        """
+        stepper = self._stepper
+        if stepper is None or not self.tick_ready():
+            raise ProtocolError("advance_tick before the tick's reports arrived")
+        if not self.state.prepared and self.warmup_ticks == 0:
+            stepper.prepare({})
+            self.state.prepared = True
+        t = self.state.tick
+        if t < self.warmup_ticks:
+            for key, row in self.state.reports.items():
+                self.state.warmup_rows.setdefault(key, []).append(row)
+            decisions: list[TickDecision] = []
+            if t == self.warmup_ticks - 1:
+                self._prepare_from_warmup(stepper)
+        else:
+            decisions = stepper.step(t, self.state.reports)
+            self.state.decisions_sent += len(decisions)
+        self.state.reports = {}
+        self.state.tick = t + 1
+        if self.state.tick == self.total_ticks:
+            self.state.phase = "done"
+        return decisions
+
+    # -- teardown -------------------------------------------------------------
+
+    def counters(self) -> dict[str, float]:
+        """The deterministic work counters accumulated so far."""
+        if self._stepper is None:
+            return {}
+        return self._stepper.snapshot_counters()
+
+    def finish(self) -> SimulationResult:
+        """Release all leases and return the run's metric timelines."""
+        if self._stepper is None:
+            raise ProtocolError("finish before start")
+        return self._stepper.finish()
+
+
+def _decision_wire(tick: int, decision: TickDecision) -> dict[str, Any]:
+    return {
+        "type": "decision",
+        "tick": tick,
+        "game": decision.game,
+        "region": decision.region,
+        "desired": list(decision.desired),
+        "allocated": list(decision.allocated),
+        "fully_matched": decision.fully_matched,
+    }
+
+
+class TickServer:
+    """Serves :class:`ProvisioningService` over TCP newline-JSON.
+
+    One server-side tick loop closes ticks in lockstep: a tick fires
+    only when every registered (game, region) has reported it, so the
+    served run is deterministic regardless of client scheduling.  A
+    second listener answers HTTP ``GET /metrics`` with the Prometheus
+    text feed of the service registry.
+    """
+
+    def __init__(
+        self,
+        service: ProvisioningService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_port: int = 0,
+        expected_games: int = 1,
+        tick_seconds: float = 0.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.metrics_port = metrics_port
+        self.expected_games = expected_games
+        self.tick_seconds = tick_seconds
+        self._cond = asyncio.Condition()
+        self._writers: list[asyncio.StreamWriter] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._metrics_server: asyncio.base_events.Server | None = None
+        self._done = asyncio.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> tuple[str, int, int]:
+        """Bind both listeners; returns (host, port, metrics_port)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics, self.host, self.metrics_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
+        return self.host, self.port, self.metrics_port
+
+    async def run_until_complete(self) -> SimulationResult:
+        """Drive the tick loop to the last tick and tear down."""
+        if self._server is None:
+            raise RuntimeError("call start() before run_until_complete()")
+        try:
+            await self._tick_loop()
+        finally:
+            self._done.set()
+        return await asyncio.to_thread(self.service.finish)
+
+    async def close(self) -> None:
+        """Close both listeners and every client connection."""
+        self._done.set()
+        for writer in list(self._writers):
+            writer.close()
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+
+    # -- the tick loop --------------------------------------------------------
+
+    async def _tick_loop(self) -> None:
+        async with self._cond:
+            await self._cond.wait_for(
+                lambda: len(self.service.registrations) >= self.expected_games
+            )
+            self.service.start()
+            self._broadcast({"type": "start", "tick": 0})
+        for tick in range(self.service.total_ticks):
+            async with self._cond:
+                await self._cond.wait_for(self.service.tick_ready)
+            if self.tick_seconds > 0:
+                await asyncio.sleep(self.tick_seconds)
+            # The tick computation is CPU-bound simulation work — run it
+            # off the event loop so report parsing and metric scrapes
+            # stay responsive during large ticks.
+            decisions = await asyncio.to_thread(self.service.advance_tick)
+            async with self._cond:
+                for decision in decisions:
+                    self._broadcast(_decision_wire(tick, decision))
+                self._broadcast({"type": "tick_end", "tick": tick})
+        async with self._cond:
+            self._broadcast(
+                {
+                    "type": "result",
+                    "ticks": self.service.total_ticks,
+                    "counters": self.service.counters(),
+                }
+            )
+        # Drain outside the condition: flushing slow clients must not
+        # stretch the critical section (RA015's await-under-lock rule).
+        await self._drain_clients()
+
+    def _broadcast(self, message: Mapping[str, Any]) -> None:
+        payload = encode_message(message)
+        for writer in self._writers:
+            writer.write(payload)
+
+    async def _drain_clients(self) -> None:
+        for writer in self._writers:
+            try:
+                await writer.drain()
+            except ConnectionError:
+                continue
+
+    # -- connection handlers --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # List ops contain no await, so they are atomic between tasks on
+        # the single event loop; taking the condition here would add a
+        # suspension point for no protection.
+        self._writers.append(writer)  # reprolint: disable=RA015
+        try:
+            while not self._done.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode_message(line)
+                    await self._dispatch(message, writer)
+                except ProtocolError as exc:
+                    writer.write(
+                        encode_message({"type": "error", "message": str(exc)})
+                    )
+                    await writer.drain()
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            # Client went away (or the server is shutting down): the
+            # lockstep loop simply stops receiving its reports; no
+            # partial tick ever runs.
+            raise
+        finally:
+            # Same single-loop atomicity as the append above; cleanup
+            # during cancellation must not await a lock.
+            if writer in self._writers:
+                self._writers.remove(writer)  # reprolint: disable=RA015
+            writer.close()
+
+    async def _dispatch(
+        self, message: Mapping[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        mtype = message["type"]
+        if mtype == "hello":
+            registration = GameRegistration.from_wire(message)
+            async with self._cond:
+                self.service.register(registration)
+                writer.write(
+                    encode_message(
+                        {
+                            "type": "welcome",
+                            "game": registration.game,
+                            "warmup_ticks": self.service.warmup_ticks,
+                            "total_ticks": self.service.total_ticks,
+                            "step_minutes": self.service.step_minutes,
+                        }
+                    )
+                )
+                self._cond.notify_all()
+            await writer.drain()
+        elif mtype == "load":
+            game = require_str(message, "game")
+            region = require_str(message, "region")
+            tick = require_int(message, "tick")
+            players = message.get("players")
+            if not isinstance(players, list):
+                raise ProtocolError("'players' must be a list of integers")
+            async with self._cond:
+                self.service.record_report(game, region, tick, players)
+                self._cond.notify_all()
+        elif mtype == "bye":
+            raise ProtocolError("client said bye")  # closes the connection
+        else:
+            raise ProtocolError(f"unknown message type {mtype!r}")
+
+    async def _handle_metrics(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one ``GET /metrics`` with the Prometheus text feed."""
+        try:
+            request = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            metrics = self.service.metrics
+            async with self._cond:
+                body = (
+                    prometheus_text(metrics) if metrics is not None else ""
+                ).encode("utf-8")
+            ok = request.startswith(b"GET /metrics")
+            status = b"200 OK" if ok else b"404 Not Found"
+            if not ok:
+                body = b"only GET /metrics is served\n"
+            writer.write(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n"
+                b"\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        finally:
+            writer.close()

@@ -1,0 +1,79 @@
+"""Declared checkpointable state for the live service (RA016 contract).
+
+The tick-restartability pass (RA016) enforces that everything the
+service's tick loop mutates lives either on the simulation core it
+owns (:mod:`repro.core`) or on a dataclass explicitly marked
+:func:`checkpointable` — state a supervisor could snapshot and restore
+to resume the run on another process.  Hidden module globals and
+closure cells reachable from the tick root are flagged.
+
+Marking a class is a *declaration*: by decorating it you assert that
+serializing its fields captures everything needed to restart the tick
+loop mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+import numpy as np
+
+__all__ = ["checkpointable", "is_checkpointable", "ServiceState"]
+
+#: Attribute stamped on classes declared checkpointable.
+CHECKPOINTABLE_ATTR = "__repro_checkpointable__"
+
+_T = TypeVar("_T", bound=type)
+
+
+def checkpointable(cls: _T) -> _T:
+    """Declare a class as snapshot-restorable service run state.
+
+    RA016 treats attribute mutations on instances of decorated classes
+    (reachable from a service tick root) as sanctioned; mutations of
+    module globals or closure cells are flagged as hidden state.
+    """
+    setattr(cls, CHECKPOINTABLE_ATTR, True)
+    return cls
+
+
+def is_checkpointable(cls: type) -> bool:
+    """Whether ``cls`` was declared with :func:`checkpointable`."""
+    return bool(getattr(cls, CHECKPOINTABLE_ATTR, False))
+
+
+@checkpointable
+@dataclass
+class ServiceState:
+    """Everything the tick loop mutates outside the simulation core.
+
+    Attributes
+    ----------
+    phase:
+        ``"handshake"`` (collecting registrations) → ``"running"``
+        (ticking) → ``"done"``.
+    tick:
+        The next tick to be closed (0-based; warm-up ticks come
+        first).
+    prepared:
+        Whether the operators' off-line phases have run (flips once,
+        when the last warm-up tick closes).
+    reports:
+        Load reports buffered for the *current* tick, keyed by
+        (game, region).
+    warmup_rows:
+        Per-(game, region) player rows buffered during the warm-up
+        ticks, in tick order; consumed by ``prepare``.
+    decisions_sent / reports_seen:
+        Monotonic service work counters (mirrored into the metrics
+        registry; kept here so a restored snapshot resumes them).
+    """
+
+    phase: str = "handshake"
+    tick: int = 0
+    prepared: bool = False
+    reports: dict[tuple[str, str], np.ndarray] = field(default_factory=dict)
+    warmup_rows: dict[tuple[str, str], list[np.ndarray]] = field(default_factory=dict)
+    decisions_sent: int = 0
+    reports_seen: int = 0

@@ -1,0 +1,142 @@
+"""RA013 fixture battery: blocking calls and CPU-heavy entry points
+reachable from ``async def``, and the to_thread escape hatch."""
+
+from repro.analysis.async_blocking import check_async_blocking
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import analyze_project
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+MOD = "src/repro/service/loop.py"
+
+
+def violations(source, *, cpu_heavy=(), extra=None):
+    sources = {MOD: source}
+    if extra:
+        sources.update(extra)
+    project = Project.from_sources(sources)
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_async_blocking(
+        symbols, graph, boundary_prefixes=(), cpu_heavy=tuple(cpu_heavy)
+    )
+
+
+def test_direct_blocking_call_in_async_def():
+    found = violations(
+        "import time\n"
+        "async def tick():\n"
+        "    time.sleep(1.0)\n"
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert (v.path, v.line) == (MOD, 3)
+    assert v.rule_id == "RA013"
+    assert "time.sleep" in v.message
+    assert "repro.service.loop.tick" in v.message
+    assert "asyncio.to_thread" in v.message
+
+
+def test_transitive_blocking_call_reports_the_chain():
+    found = violations(
+        "import time\n"
+        "def helper():\n"
+        "    time.sleep(0.1)\n"
+        "async def tick():\n"
+        "    helper()\n"
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert (v.path, v.line) == (MOD, 3)
+    assert "repro.service.loop.helper" in v.message
+    assert "chain: repro.service.loop.tick -> repro.service.loop.helper" in v.message
+
+
+def test_open_and_subprocess_flagged():
+    found = violations(
+        "import subprocess\n"
+        "async def snapshot(path):\n"
+        "    data = open(path).read()\n"
+        "    subprocess.run(['sync'])\n"
+        "    return data\n"
+    )
+    assert [(v.line, v.message.split("(")[0]) for v in found] == [
+        (3, "blocking call open"),
+        (4, "blocking call subprocess.run"),
+    ]
+
+
+def test_to_thread_dispatch_creates_no_edge():
+    # The callable is passed as a value, not called: the sanctioned
+    # executor-dispatch pattern is silent by construction.
+    assert not violations(
+        "import asyncio\n"
+        "import time\n"
+        "def heavy():\n"
+        "    time.sleep(0.5)\n"
+        "async def tick():\n"
+        "    await asyncio.to_thread(heavy)\n"
+    )
+
+
+def test_blocking_code_unreachable_from_async_is_silent():
+    assert not violations(
+        "import time\n"
+        "def warmup():\n"
+        "    time.sleep(2.0)\n"
+        "def main():\n"
+        "    warmup()\n"
+    )
+
+
+def test_cpu_heavy_entry_point_flagged_and_interior_not_walked():
+    found = violations(
+        "import time\n"
+        "def step():\n"
+        "    time.sleep(5.0)\n"
+        "async def tick():\n"
+        "    step()\n",
+        cpu_heavy=("repro.service.loop.step",),
+    )
+    # One finding at the call edge; the interior time.sleep is not
+    # reported separately because traversal stops at the heavy edge.
+    assert len(found) == 1
+    v = found[0]
+    assert (v.path, v.line) == (MOD, 5)
+    assert "CPU-heavy simulation entry point repro.service.loop.step" in v.message
+
+
+def test_awaited_async_helper_is_traversed():
+    found = violations(
+        "async def write_log(path):\n"
+        "    open(path)\n"
+        "async def tick():\n"
+        "    await write_log('x')\n"
+    )
+    assert [(v.path, v.line) for v in found] == [(MOD, 2)]
+
+
+def test_pragma_suppresses_ra013():
+    source = (
+        "import time\n"
+        "async def tick():\n"
+        "    time.sleep(1.0)  # reprolint: disable=RA013\n"
+    )
+    report = analyze_project(Project.from_sources({MOD: source}), passes=["RA013"])
+    assert report.ok
+
+
+def test_baseline_ratchets_known_ra013_findings(tmp_path):
+    source = (
+        "import time\n"
+        "async def tick():\n"
+        "    time.sleep(1.0)\n"
+    )
+    report = analyze_project(Project.from_sources({MOD: source}), passes=["RA013"])
+    assert len(report.violations) == 1
+    path = tmp_path / "baseline.json"
+    write_baseline(report, path)
+    fresh = analyze_project(Project.from_sources({MOD: source}), passes=["RA013"])
+    apply_baseline(fresh, load_baseline(path))
+    assert fresh.violations == []

@@ -1,0 +1,160 @@
+"""RA015 fixture battery: unguarded cross-task mutation and awaits
+inside critical sections."""
+
+from repro.analysis.async_sharing import check_async_sharing
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import analyze_project
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+MOD = "src/repro/service/shared.py"
+
+
+def violations(source):
+    project = Project.from_sources({MOD: source})
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_async_sharing(symbols, graph, boundary_prefixes=())
+
+
+def test_two_task_roots_mutating_unguarded_state():
+    found = violations(
+        "import asyncio\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "    async def producer(self):\n"
+        "        self.items.append(1)\n"
+        "    async def consumer(self):\n"
+        "        self.items.pop()\n"
+        "    async def main(self):\n"
+        "        t1 = asyncio.create_task(self.producer())\n"
+        "        t2 = asyncio.create_task(self.consumer())\n"
+        "        await asyncio.gather(t1, t2)\n"
+    )
+    assert [(v.path, v.line, v.rule_id) for v in found] == [
+        (MOD, 6, "RA015"),
+        (MOD, 8, "RA015"),
+    ]
+    message = found[0].message
+    assert "self.items of repro.service.shared.Server" in message
+    assert "repro.service.shared.Server.consumer" in message
+    assert "repro.service.shared.Server.producer" in message
+
+
+def test_common_lock_on_every_path_is_silent():
+    assert not violations(
+        "import asyncio\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "        self._lock = asyncio.Lock()\n"
+        "    async def producer(self):\n"
+        "        async with self._lock:\n"
+        "            self.items.append(1)\n"
+        "    async def consumer(self):\n"
+        "        async with self._lock:\n"
+        "            self.items.pop()\n"
+        "    async def main(self):\n"
+        "        t1 = asyncio.create_task(self.producer())\n"
+        "        t2 = asyncio.create_task(self.consumer())\n"
+        "        await asyncio.gather(t1, t2)\n"
+    )
+
+
+def test_start_server_handler_is_concurrent_with_itself():
+    found = violations(
+        "import asyncio\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.conns = []\n"
+        "    async def handle(self, reader, writer):\n"
+        "        self.conns.append(writer)\n"
+        "    async def main(self):\n"
+        "        await asyncio.start_server(self.handle, 'h', 0)\n"
+    )
+    assert [(v.path, v.line) for v in found] == [(MOD, 6)]
+    assert "mutated by concurrent coroutine roots" in found[0].message
+
+
+def test_two_asyncio_run_mains_are_never_concurrent():
+    # Alternative entry points of alternative programs: no finding.
+    assert not violations(
+        "import asyncio\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self.x = []\n"
+        "    async def a(self):\n"
+        "        self.x.append(1)\n"
+        "    async def b(self):\n"
+        "        self.x.append(2)\n"
+        "def main_a(s: S):\n"
+        "    asyncio.run(s.a())\n"
+        "def main_b(s: S):\n"
+        "    asyncio.run(s.b())\n"
+    )
+
+
+def test_spawner_is_not_charged_with_the_task_bodys_mutations():
+    # main() spawns worker(); the factory-call edge belongs to the task
+    # root, so the only root reaching the mutation is worker itself —
+    # a single-instance task is not concurrent with anything.
+    assert not violations(
+        "import asyncio\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self.jobs = []\n"
+        "    async def worker(self):\n"
+        "        self.jobs.append(1)\n"
+        "    async def main(self):\n"
+        "        task = asyncio.create_task(self.worker())\n"
+        "        await task\n"
+        "def run(s: S):\n"
+        "    asyncio.run(s.main())\n"
+    )
+
+
+def test_await_inside_critical_section_flagged():
+    found = violations(
+        "import asyncio\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = asyncio.Lock()\n"
+        "    async def work(self, client):\n"
+        "        async with self._lock:\n"
+        "            await client.fetch()\n"
+    )
+    assert [(v.path, v.line) for v in found] == [(MOD, 7)]
+    assert "await inside critical section of self._lock" in found[0].message
+
+
+def test_condition_wait_under_its_own_lock_is_silent():
+    assert not violations(
+        "import asyncio\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._cond = asyncio.Condition()\n"
+        "        self.ready = False\n"
+        "    async def wait_ready(self):\n"
+        "        async with self._cond:\n"
+        "            await self._cond.wait_for(lambda: self.ready)\n"
+    )
+
+
+def test_pragma_suppresses_ra015():
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "    async def producer(self):\n"
+        "        self.items.append(1)  # reprolint: disable=RA015\n"
+        "    async def consumer(self):\n"
+        "        self.items.pop()  # reprolint: disable=RA015\n"
+        "    async def main(self):\n"
+        "        t1 = asyncio.create_task(self.producer())\n"
+        "        t2 = asyncio.create_task(self.consumer())\n"
+        "        await asyncio.gather(t1, t2)\n"
+    )
+    report = analyze_project(Project.from_sources({MOD: source}), passes=["RA015"])
+    assert report.ok

@@ -1,0 +1,138 @@
+"""RA014 fixture battery: fire-and-forget tasks, unawaited coroutines,
+and swallowed cancellation."""
+
+from repro.analysis.async_tasks import check_async_tasks
+from repro.analysis.engine import analyze_project
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+MOD = "src/repro/service/tasks.py"
+
+
+def violations(source):
+    project = Project.from_sources({MOD: source})
+    return check_async_tasks(SymbolTable(project))
+
+
+def test_fire_and_forget_create_task_flagged():
+    found = violations(
+        "import asyncio\n"
+        "async def work():\n"
+        "    return 1\n"
+        "async def main():\n"
+        "    asyncio.create_task(work())\n"
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert (v.path, v.line) == (MOD, 5)
+    assert v.rule_id == "RA014"
+    assert "fire-and-forget task in repro.service.tasks.main" in v.message
+
+
+def test_kept_handle_and_done_callback_are_silent():
+    assert not violations(
+        "import asyncio\n"
+        "def log(task):\n"
+        "    return task\n"
+        "async def work():\n"
+        "    return 1\n"
+        "async def main():\n"
+        "    t = asyncio.create_task(work())\n"
+        "    asyncio.create_task(work()).add_done_callback(log)\n"
+        "    await t\n"
+    )
+
+
+def test_method_form_spawn_flagged():
+    found = violations(
+        "async def work():\n"
+        "    return 1\n"
+        "async def main(tg):\n"
+        "    tg.create_task(work())\n"
+    )
+    assert [(v.path, v.line) for v in found] == [(MOD, 4)]
+    assert "fire-and-forget" in found[0].message
+
+
+def test_unawaited_coroutine_flagged_for_bare_and_self_calls():
+    found = violations(
+        "class Server:\n"
+        "    async def flush(self):\n"
+        "        return 0\n"
+        "    async def close(self):\n"
+        "        self.flush()\n"
+        "async def work():\n"
+        "    return 1\n"
+        "async def main():\n"
+        "    work()\n"
+    )
+    assert [(v.line, v.rule_id) for v in found] == [(5, "RA014"), (9, "RA014")]
+    assert "coroutine repro.service.tasks.Server.flush created but never awaited" in found[0].message
+    assert "coroutine repro.service.tasks.work created but never awaited" in found[1].message
+
+
+def test_awaited_and_sync_calls_are_silent():
+    assert not violations(
+        "def log():\n"
+        "    return 1\n"
+        "async def work():\n"
+        "    return 1\n"
+        "async def main():\n"
+        "    log()\n"
+        "    await work()\n"
+    )
+
+
+def test_swallowed_cancellation_flagged():
+    found = violations(
+        "import asyncio\n"
+        "async def main(task):\n"
+        "    try:\n"
+        "        await task\n"
+        "    except asyncio.CancelledError:\n"
+        "        pass\n"
+    )
+    assert [(v.path, v.line) for v in found] == [(MOD, 5)]
+    assert "CancelledError swallowed in repro.service.tasks.main" in found[0].message
+
+
+def test_tuple_handler_without_raise_flagged():
+    found = violations(
+        "import asyncio\n"
+        "async def main(task):\n"
+        "    try:\n"
+        "        await task\n"
+        "    except (ValueError, asyncio.CancelledError):\n"
+        "        return None\n"
+    )
+    assert [(v.path, v.line) for v in found] == [(MOD, 5)]
+
+
+def test_reraising_handler_and_bare_except_are_silent():
+    # Cleanup-then-raise is the sanctioned pattern; bare ``except:`` is
+    # RA007's over-broad-handler beat, not a cancellation finding.
+    assert not violations(
+        "import asyncio\n"
+        "async def main(task):\n"
+        "    try:\n"
+        "        await task\n"
+        "    except asyncio.CancelledError:\n"
+        "        task.close()\n"
+        "        raise\n"
+        "    try:\n"
+        "        await task\n"
+        "    except:\n"
+        "        pass\n"
+    )
+
+
+def test_pragma_suppresses_ra014():
+    source = (
+        "import asyncio\n"
+        "async def work():\n"
+        "    return 1\n"
+        "async def main():\n"
+        "    asyncio.create_task(work())  # reprolint: disable=RA014\n"
+    )
+    report = analyze_project(Project.from_sources({MOD: source}), passes=["RA014"])
+    assert report.ok

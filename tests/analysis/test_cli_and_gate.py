@@ -28,11 +28,18 @@ def test_cli_subcommand_is_wired():
     assert repro_main(["analyze", SRC]) == 0
 
 
-def test_list_passes_prints_all_twelve(capsys):
+def test_list_passes_prints_all_sixteen(capsys):
     assert main(["--list-passes"]) == 0
     out = capsys.readouterr().out
-    for n in range(1, 13):
+    for n in range(1, 17):
         assert f"RA{n:03d}" in out
+
+
+def test_list_rules_is_an_alias_for_list_passes(capsys):
+    assert main(["--list-rules"]) == 0
+    first = capsys.readouterr().out
+    assert main(["--list-passes"]) == 0
+    assert capsys.readouterr().out == first
 
 
 def test_dataflow_passes_run_clean_on_the_real_tree():
@@ -45,6 +52,30 @@ def test_array_passes_run_clean_on_the_real_tree():
         [SRC], root=REPO_ROOT, passes=["RA009", "RA010", "RA011", "RA012"]
     )
     assert report.ok, "\n" + format_human(report)
+
+
+def test_async_passes_run_clean_on_the_real_tree():
+    report = analyze_paths(
+        [SRC], root=REPO_ROOT, passes=["RA013", "RA014", "RA015", "RA016"]
+    )
+    assert report.ok, "\n" + format_human(report)
+
+
+def test_jobs_fanout_report_is_identical_to_serial(tmp_path):
+    # Two small files so the parse fan-out actually splits the work;
+    # the --jobs contract is a byte-identical report at any N.
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    for parent in (pkg, pkg.parent):
+        (parent / "__init__.py").write_text("")
+    (pkg / "a.py").write_text("import random\nRNG = random.Random(1)\n")
+    (pkg / "b.py").write_text("def ok():\n    return 1\n")
+    serial = analyze_paths([str(tmp_path)], passes=["RA003"])
+    fanned = analyze_paths([str(tmp_path)], passes=["RA003"], jobs=2)
+    assert serial.violations == fanned.violations
+    assert serial.errors == fanned.errors
+    assert serial.files_checked == fanned.files_checked
+    assert format_human(serial) == format_human(fanned)
 
 
 def test_json_output_is_machine_readable(capsys):

@@ -16,9 +16,14 @@ import pytest
 
 from repro.cli import EXPERIMENTS
 from repro.perf import run_bench
-from repro.perf.parallel import run_parallel
+from repro.perf.parallel import run_parallel, spawn_map
 
 TINY = "tests.perf.tiny_experiment"
+
+
+def _square(n: int) -> int:
+    """Module-level so it pickles across the spawn boundary."""
+    return n * n
 
 
 @pytest.fixture()
@@ -30,6 +35,25 @@ def tiny_registry(monkeypatch):
 def test_worker_count_must_be_positive():
     with pytest.raises(ValueError, match="workers"):
         run_parallel(["fig01"], workers=0)
+
+
+def test_spawn_map_workers_must_be_positive():
+    with pytest.raises(ValueError, match="workers"):
+        spawn_map(_square, [1], workers=0)
+
+
+def test_spawn_map_serial_shortcut_matches_pool():
+    items = list(range(12))
+    expected = [n * n for n in items]
+    assert spawn_map(_square, items, workers=1) == expected
+    assert spawn_map(_square, iter(items), workers=3) == expected
+
+
+def test_spawn_map_preserves_submission_order():
+    # More items than workers so the pool must interleave; imap still
+    # returns results in submission order.
+    items = list(range(20, 0, -1))
+    assert spawn_map(_square, items, workers=2) == [n * n for n in items]
 
 
 def test_parallel_counters_match_serial_exactly(tiny_registry):

@@ -1,0 +1,54 @@
+"""The served↔offline differential: a full in-process soak run (real
+TCP client, real Prometheus scrape) must produce work counters exactly
+equal to the offline reference simulation over the identical workload.
+
+This is the same contract the CI soak-smoke job checks at 200 ticks,
+shrunk to stay unit-test sized; exact equality (not approximate) is the
+point — the tick server shares the offline simulator's deterministic
+core, so any drift is a bug.
+"""
+
+import argparse
+import asyncio
+
+from repro.service.cli import (
+    _run_soak,
+    add_serve_arguments,
+    compare_counters,
+    counters_payload,
+    run_offline_reference,
+)
+
+WARMUP = 25
+TICKS = 8
+
+
+def serve_args(**overrides):
+    parser = argparse.ArgumentParser()
+    add_serve_arguments(parser)
+    args = parser.parse_args([])
+    args.warmup_ticks = WARMUP
+    args.ticks = TICKS
+    args.seed = 11
+    args.predictor = "Average"
+    for key, value in overrides.items():
+        setattr(args, key, value)
+    return args
+
+
+def test_served_counters_exactly_equal_offline():
+    offline = run_offline_reference(serve_args(offline=True))
+    served, prom = asyncio.run(_run_soak(serve_args(soak=True)))
+
+    assert served, "served run produced no counters"
+    assert served == offline
+
+    # The scrape is the live dashboard feed: real HTTP, Prometheus text.
+    assert "# TYPE" in prom
+    assert "sim_steps" in prom.replace(".", "_") or "sim.steps" in prom
+
+    # And the CLI-level comparator agrees there is nothing to report.
+    current = counters_payload(serve_args(soak=True), served)
+    baseline = counters_payload(serve_args(offline=True), offline)
+    baseline["mode"] = "offline"
+    assert compare_counters(current, baseline) == []

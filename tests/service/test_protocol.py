@@ -1,0 +1,106 @@
+"""Wire-protocol unit tests: framing, validation, and round-trips."""
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    GameRegistration,
+    ProtocolError,
+    RegionSpec,
+    decode_message,
+    encode_message,
+    load_message,
+    require_int,
+    require_str,
+)
+
+REGION = RegionSpec(
+    name="eu-west",
+    latitude=50.1,
+    longitude=8.7,
+    geo_region="Europe",
+    n_groups=3,
+)
+
+
+def test_encode_decode_round_trip():
+    message = load_message("rs", "eu-west", 7, [10, 20, 30])
+    line = encode_message(message)
+    assert line.endswith(b"\n")
+    assert decode_message(line) == message
+
+
+def test_encoding_is_canonical():
+    # Sorted keys + compact separators: the same message is always the
+    # same bytes, which keeps golden transcripts stable.
+    a = encode_message({"b": 1, "a": 2, "type": "x"})
+    b = encode_message({"type": "x", "a": 2, "b": 1})
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        b"not json\n",
+        b"[1, 2, 3]\n",
+        b'{"no_type": 1}\n',
+        b'{"type": 42}\n',
+        b"\xff\xfe\n",
+    ],
+)
+def test_decode_rejects_malformed_lines(line):
+    with pytest.raises(ProtocolError):
+        decode_message(line)
+
+
+def test_registration_round_trip():
+    registration = GameRegistration(
+        game="rs",
+        regions=(REGION,),
+        update="O(n)",
+        predictor="Average",
+        latency_class="FAR",
+        safety_margin=0.05,
+        priority=2,
+    )
+    wire = registration.to_wire()
+    assert wire["type"] == "hello"
+    assert wire["version"] == PROTOCOL_VERSION
+    assert GameRegistration.from_wire(wire) == registration
+
+
+def test_registration_rejects_bad_payloads():
+    good = GameRegistration(game="rs", regions=(REGION,)).to_wire()
+    with pytest.raises(ProtocolError):
+        GameRegistration.from_wire({**good, "version": 99})
+    with pytest.raises(ProtocolError):
+        GameRegistration.from_wire({**good, "regions": []})
+    with pytest.raises(ProtocolError):
+        GameRegistration.from_wire({**good, "game": 7})
+    with pytest.raises(ProtocolError):
+        GameRegistration.from_wire({**good, "operator_id": 3})
+
+
+def test_unknown_latency_class_is_a_protocol_error():
+    registration = GameRegistration(
+        game="rs", regions=(REGION,), latency_class="WARP"
+    )
+    with pytest.raises(ProtocolError):
+        registration.resolved_latency_class()
+
+
+def test_load_message_coerces_counts_to_int():
+    message = load_message("rs", "eu-west", 0, [True, 2])
+    assert message["players"] == [1, 2]
+    assert all(type(p) is int for p in message["players"])
+
+
+def test_require_helpers():
+    assert require_str({"k": "v"}, "k") == "v"
+    assert require_int({"n": 3}, "n") == 3
+    with pytest.raises(ProtocolError):
+        require_str({"k": 1}, "k")
+    with pytest.raises(ProtocolError):
+        require_int({"n": "3"}, "n")
+    with pytest.raises(ProtocolError):
+        require_int({"n": True}, "n")  # bools are not protocol integers

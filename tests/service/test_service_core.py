@@ -1,0 +1,124 @@
+"""ProvisioningService lifecycle tests — the socket-free tick core.
+
+Everything here runs synchronously: the service is designed so the
+protocol state machine can be driven (and tested) without an event
+loop, with the asyncio glue layered on top in ``TickServer``.
+"""
+
+import pytest
+
+from repro.datacenter.catalog import build_paper_datacenters
+from repro.obs.registry import MetricsRegistry
+from repro.service.cli import soak_trace
+from repro.service.client import registration_from_trace
+from repro.service.protocol import ProtocolError
+from repro.service.server import ProvisioningService
+
+WARMUP = 3
+TICKS = 2
+
+
+@pytest.fixture()
+def trace():
+    return soak_trace(seed=7, warmup_ticks=WARMUP, ticks=TICKS)
+
+
+@pytest.fixture()
+def service():
+    return ProvisioningService(
+        build_paper_datacenters(),
+        warmup_ticks=WARMUP,
+        total_ticks=WARMUP + TICKS,
+        metrics=MetricsRegistry(),  # counters live in the registry
+    )
+
+
+def _register(service, trace, *, predictor="Average"):
+    registration = registration_from_trace(
+        trace, name="soak-test", predictor=predictor
+    )
+    service.register(registration)
+    return registration
+
+
+def test_run_geometry_is_validated():
+    with pytest.raises(ValueError):
+        ProvisioningService(
+            build_paper_datacenters(), warmup_ticks=5, total_ticks=5
+        )
+
+
+def test_registration_rules(service, trace):
+    registration = _register(service, trace)
+    with pytest.raises(ProtocolError):
+        service.register(registration)  # duplicate game
+    with pytest.raises(ProtocolError):
+        _register(
+            ProvisioningService(
+                build_paper_datacenters(),
+                warmup_ticks=WARMUP,
+                total_ticks=WARMUP + TICKS,
+            ),
+            trace,
+            predictor="Oracle",  # unknown display name
+        )
+    service.start()
+    with pytest.raises(ProtocolError):
+        service.register(registration)  # handshake is over
+    with pytest.raises(ProtocolError):
+        service.start()  # idempotence is a protocol error, not a no-op
+
+
+def test_start_requires_a_game(service):
+    with pytest.raises(ProtocolError):
+        service.start()
+
+
+def test_report_validation(service, trace):
+    registration = _register(service, trace)
+    region = registration.regions[0]
+    row = list(range(region.n_groups))
+    with pytest.raises(ProtocolError):
+        service.record_report("soak-test", region.name, 0, row)  # not started
+    service.start()
+    with pytest.raises(ProtocolError):
+        service.record_report("soak-test", "atlantis", 0, row)  # unknown region
+    with pytest.raises(ProtocolError):
+        service.record_report("soak-test", region.name, 1, row)  # wrong tick
+    with pytest.raises(ProtocolError):
+        service.record_report("soak-test", region.name, 0, row + [0])  # bad shape
+    service.record_report("soak-test", region.name, 0, row)
+    with pytest.raises(ProtocolError):
+        service.record_report("soak-test", region.name, 0, row)  # duplicate
+    assert service.state.reports_seen == 1
+
+
+def test_full_run_reaches_done_and_counts_work(service, trace):
+    registration = _register(service, trace)
+    service.start()
+    # Counters are registered up front but nothing has been counted yet.
+    assert set(service.counters().values()) <= {0.0}
+    for tick in range(WARMUP + TICKS):
+        assert not service.tick_ready()
+        with pytest.raises(ProtocolError):
+            service.advance_tick()  # reports not in yet
+        for region in registration.regions:
+            series = next(
+                r.loads for r in trace.regions if r.name == region.name
+            )
+            service.record_report(
+                "soak-test", region.name, tick, [int(p) for p in series[tick]]
+            )
+        assert service.tick_ready()
+        decisions = service.advance_tick()
+        if tick < WARMUP:
+            assert decisions == []  # warm-up buffers history only
+        else:
+            assert decisions  # evaluation ticks reallocate
+    assert service.state.phase == "done"
+    assert service.state.tick == WARMUP + TICKS
+    assert service.state.decisions_sent > 0
+    counters = service.counters()
+    assert counters["sim.steps"] == TICKS
+    result = service.finish()
+    assert result.eval_steps == TICKS
