@@ -40,7 +40,7 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--passes",
         metavar="IDS",
         default=None,
-        help="comma-separated pass ids to run (default: all of RA001-RA016)",
+        help="comma-separated pass ids to run (default: all of RA001-RA020)",
     )
     parser.add_argument(
         "--format",
@@ -57,6 +57,13 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="alias for --list-passes (matches `repro lint --list-rules`)",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="PASS",
+        default=None,
+        help="print one pass's summary, defect class, and a minimal "
+        "flagged example, then exit (e.g. --explain RA017)",
     )
     parser.add_argument(
         "--baseline",
@@ -96,9 +103,11 @@ def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
         "analysis, RNG flow, import cycles, dead experiments, the "
         "dataflow passes (intervals, exception flow, hot-path cost), "
         "the array-aware passes (shape/dtype, hidden allocations, "
-        "RNG-stream symmetry, parallel safety), and the async-safety "
+        "RNG-stream symmetry, parallel safety), the async-safety "
         "passes (event-loop blocking, task lifecycle, cross-task "
-        "sharing, tick restartability) (RA001-RA016)",
+        "sharing, tick restartability), and the config-flow passes "
+        "(knob reachability, scenario values, default drift, seed "
+        "routing) (RA001-RA020)",
     )
     add_analyze_arguments(parser)
     return parser
@@ -146,9 +155,25 @@ def _filter_changed_only(report: LintReport) -> str | None:
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute an analyze run from parsed arguments; returns exit code."""
+    if args.explain is not None:
+        from repro.lint.explain import explain, render_explanation
+
+        rule_id = args.explain.upper()
+        if rule_id not in PASS_SUMMARIES:
+            if explain(rule_id) is not None:
+                print(
+                    f"error: {rule_id} is a lint rule; "
+                    f"use `repro lint --explain {rule_id}`"
+                )
+            else:
+                print(f"error: unknown pass id {args.explain!r}")
+            return 2
+        print(render_explanation(rule_id, PASS_SUMMARIES[rule_id]))
+        return 0
     if args.list_passes or args.list_rules:
         for rule_id in sorted(PASS_SUMMARIES):
             print(f"{rule_id}  {PASS_SUMMARIES[rule_id]}")
+        print("\nuse --explain PASS for the defect class and a minimal example")
         return 0
 
     passes: list[str] | None = None

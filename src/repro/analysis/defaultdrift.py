@@ -1,0 +1,267 @@
+"""RA019 — default-drift: schema defaults vs the defaults they shadow.
+
+Every knob with a ``binds`` target shadows a simulator default — a
+dataclass field, a function parameter, or a module constant.  When the
+two sides drift apart, documents that omit the key silently behave
+differently from the simulator's own documentation; this pass keeps
+them provably in agreement:
+
+* ``binds`` target missing entirely → finding (the simulator side was
+  renamed or removed; the knob now points at nothing);
+* defaults differ without ``override=True`` → finding (accidental
+  drift);
+* defaults *match* but the knob carries ``override=True`` → finding
+  (a stale marker claiming a divergence that no longer exists).
+
+Defaults are compared structurally: numeric literals by value (seeing
+through single-argument wrappers like ``Cpu(0.37)`` and module-constant
+indirections like ``capacity: int = DEFAULT_SERVER_CAPACITY``), string
+and enum-attribute defaults case-insensitively on their final
+component (``LatencyClass.VERY_FAR`` vs ``"very_far"``).  Unresolvable
+defaults are skipped, never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.knobs import KnobDecl, collect_knobs
+from repro.analysis.symbols import SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["check_default_drift"]
+
+#: Sentinel results of default resolution.
+_MISSING = object()
+_UNKNOWN = object()
+
+
+def _resolve_target_default(symbols: SymbolTable, binds: str) -> object:
+    """The literal default of a binds target, ``_MISSING`` when the
+    target does not exist, ``_UNKNOWN`` when it exists but the default
+    cannot be evaluated statically."""
+    owner, _, attr = binds.rpartition(".")
+    # Class field: ``pkg.mod.Class.field``.
+    info = symbols.classes.get(symbols.canonicalize(owner))
+    if info is not None:
+        return _class_field_default(symbols, info.module, info.node, attr)
+    # Function parameter: ``pkg.mod.func.param``.
+    fn = symbols.functions.get(symbols.canonicalize(owner))
+    if fn is not None:
+        return _parameter_default(symbols, fn.module, fn.node, attr)
+    # Module constant: ``pkg.mod.CONST``.
+    module = symbols.project.modules.get(symbols.canonicalize(owner))
+    if module is None:
+        # ``binds`` may name a re-exported constant; canonicalize the
+        # whole path and split again.
+        canonical = symbols.canonicalize(binds)
+        owner, _, attr = canonical.rpartition(".")
+        module = symbols.project.modules.get(owner)
+    if module is None:
+        return _MISSING
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return _fold_default(symbols, module.name, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == attr
+                and stmt.value is not None
+            ):
+                return _fold_default(symbols, module.name, stmt.value)
+    return _MISSING
+
+
+def _class_field_default(
+    symbols: SymbolTable, module: str, node: ast.ClassDef, field: str
+) -> object:
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == field
+        ):
+            if stmt.value is None:
+                return _UNKNOWN
+            return _fold_default(symbols, module, stmt.value)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == field:
+                    return _fold_default(symbols, module, stmt.value)
+    init = symbols.classes.get(f"{module}.{node.name}")
+    if init is not None and "__init__" in init.methods:
+        return _parameter_default(
+            symbols, module, init.methods["__init__"].node, field
+        )
+    return _MISSING
+
+
+def _parameter_default(
+    symbols: SymbolTable,
+    module: str,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    param: str,
+) -> object:
+    args = node.args
+    positional = args.posonlyargs + args.args
+    defaults: dict[str, ast.expr] = {}
+    for arg, default in zip(reversed(positional), reversed(args.defaults)):
+        defaults[arg.arg] = default
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            defaults[arg.arg] = kw_default
+    if param not in {a.arg for a in positional + args.kwonlyargs}:
+        return _MISSING
+    if param not in defaults:
+        return _UNKNOWN  # a required parameter has no default to drift
+    return _fold_default(symbols, module, defaults[param])
+
+
+def _fold_default(
+    symbols: SymbolTable, module: str, node: ast.expr
+) -> object:
+    """Evaluate a default expression to a comparable literal.
+
+    Numeric/string constants fold directly; ``Wrapper(0.37)`` with one
+    literal argument folds to the argument (the ``NewType``/dataclass
+    wrapper idiom); an attribute or name folds to the module constant
+    it resolves to when possible, else to its final dotted component
+    (the enum-member case).
+    """
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, (int, float, str)) and not isinstance(value, bool):
+            return value
+        return _UNKNOWN
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _fold_default(symbols, module, node.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+        return _UNKNOWN
+    if isinstance(node, ast.Call) and len(node.args) == 1 and not node.keywords:
+        return _fold_default(symbols, module, node.args[0])
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = annotation_to_dotted(node)
+        if dotted is None:
+            return _UNKNOWN
+        resolved = symbols.canonicalize(symbols.resolve(module, dotted))
+        constant = _module_constant(symbols, resolved)
+        if constant is not _MISSING:
+            return constant
+        # Not a resolvable constant: compare by the final component
+        # (enum members like ``LatencyClass.VERY_FAR``).
+        return resolved.rsplit(".", 1)[-1]
+    return _UNKNOWN
+
+
+def _module_constant(symbols: SymbolTable, dotted: str) -> object:
+    owner, _, attr = dotted.rpartition(".")
+    module = symbols.project.modules.get(owner)
+    if module is None or attr not in symbols.module_globals.get(owner, set()):
+        return _MISSING
+    for stmt in module.tree.body:
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == attr
+            for target in stmt.targets
+        ):
+            value = stmt.value
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == attr
+        ):
+            value = stmt.value
+        if value is not None and isinstance(value, ast.Constant):
+            literal = value.value
+            if isinstance(literal, (int, float, str)) and not isinstance(
+                literal, bool
+            ):
+                return literal
+            return _UNKNOWN
+    return _UNKNOWN
+
+
+def _defaults_agree(knob_default: object, target_default: object) -> bool:
+    if isinstance(knob_default, str) and isinstance(target_default, str):
+        return knob_default.lower() == target_default.lower()
+    if (
+        isinstance(knob_default, (int, float))
+        and not isinstance(knob_default, bool)
+        and isinstance(target_default, (int, float))
+        and not isinstance(target_default, bool)
+    ):
+        # Drift detection is exact on purpose: the schema default must
+        # be the literal the simulator declares, not merely close.
+        return float(knob_default) == float(target_default)  # reprolint: disable=RL003
+    return knob_default == target_default
+
+
+def _finding(declaration: KnobDecl, message: str) -> Violation:
+    return Violation(
+        path=declaration.src_path,
+        line=declaration.line,
+        col=0,
+        rule_id="RA019",
+        message=message,
+    )
+
+
+def _binds_module_in_scope(symbols: SymbolTable, binds: str) -> bool:
+    """Whether any dotted prefix of ``binds`` is a module of the
+    analyzed project.  On a partial tree (a single package passed to
+    ``repro analyze``) the simulator side of a binding may simply be
+    outside the analysis scope — that is not drift."""
+    parts = binds.split(".")
+    for end in range(len(parts) - 1, 0, -1):
+        prefix = symbols.canonicalize(".".join(parts[:end]))
+        if prefix in symbols.project.modules:
+            return True
+    return False
+
+
+def check_default_drift(symbols: SymbolTable) -> list[Violation]:
+    """Run the RA019 checks; empty when no scenario schema exists."""
+    findings: list[Violation] = []
+    for declaration in collect_knobs(symbols):
+        if declaration.binds is None:
+            continue
+        if not _binds_module_in_scope(symbols, declaration.binds):
+            continue
+        target_default = _resolve_target_default(symbols, declaration.binds)
+        if target_default is _MISSING:
+            findings.append(
+                _finding(
+                    declaration,
+                    f"knob '{declaration.name}' binds "
+                    f"'{declaration.binds}', which does not exist "
+                    f"(renamed or removed simulator default)",
+                )
+            )
+            continue
+        if target_default is _UNKNOWN or declaration.default is None:
+            continue
+        agree = _defaults_agree(declaration.default, target_default)
+        if not agree and not declaration.override:
+            findings.append(
+                _finding(
+                    declaration,
+                    f"knob '{declaration.name}' default "
+                    f"{declaration.default!r} drifts from "
+                    f"{declaration.binds} = {target_default!r} "
+                    f"(fix one side, or mark override=True with a "
+                    f"reason in help=)",
+                )
+            )
+        elif agree and declaration.override:
+            findings.append(
+                _finding(
+                    declaration,
+                    f"stale override marker on '{declaration.name}': "
+                    f"its default {declaration.default!r} matches "
+                    f"{declaration.binds} again",
+                )
+            )
+    return findings

@@ -24,7 +24,9 @@ from repro.analysis.dimensions import check_dimensions
 from repro.analysis.exceptions import check_exceptions
 from repro.analysis.graphchecks import check_dead_experiments, check_import_cycles
 from repro.analysis.hotpath import check_hotpath
+from repro.analysis.defaultdrift import check_default_drift
 from repro.analysis.intervals import check_intervals
+from repro.analysis.knobs import check_knobs
 from repro.analysis.parallel_safety import check_parallel_safety
 from repro.analysis.project import Project
 from repro.analysis.purity import (
@@ -35,6 +37,8 @@ from repro.analysis.purity import (
 from repro.analysis.restartability import check_restartability
 from repro.analysis.rngflow import check_rng_flow
 from repro.analysis.rngstream import check_rngstream
+from repro.analysis.scenariovalues import check_scenario_values
+from repro.analysis.seedrouting import check_seed_routing
 from repro.analysis.symbols import SymbolTable
 from repro.lint.engine import (
     ANALYSIS_RULE_IDS,
@@ -78,6 +82,14 @@ PASS_SUMMARIES: dict[str, str] = {
     "roots holds a common asyncio lock; no awaits inside critical sections",
     "RA016": "tick restartability: served tick-loop state lives in declared "
     "@checkpointable dataclasses, never module/closure hiding places",
+    "RA017": "config reachability: every declared scenario knob is consumed "
+    "by run-reachable code; no undeclared literal pins shadow the schema",
+    "RA018": "scenario values: literal Scenario(...) arguments and schema "
+    "defaults respect declared units, bounds, dimensions, and mix sums",
+    "RA019": "default drift: schema defaults provably agree with the "
+    "simulator defaults they bind (or carry an explicit override marker)",
+    "RA020": "seed routing: every stochastic draw reachable from the "
+    "scenario-run roots derives from the scenario's declared seed",
 }
 
 
@@ -134,7 +146,17 @@ def analyze_project(
 
     symbols = SymbolTable(project)
     graph: CallGraph | None = None
-    if selected & {"RA001", "RA007", "RA008", "RA010", "RA013", "RA015", "RA016"}:
+    if selected & {
+        "RA001",
+        "RA007",
+        "RA008",
+        "RA010",
+        "RA013",
+        "RA015",
+        "RA016",
+        "RA017",
+        "RA020",
+    }:
         graph = CallGraph.build(project, symbols)
     if "RA001" in selected and graph is not None:
         report.violations.extend(
@@ -190,6 +212,14 @@ def analyze_project(
         )
     if "RA016" in selected and graph is not None:
         report.violations.extend(check_restartability(symbols, graph))
+    if "RA017" in selected and graph is not None:
+        report.violations.extend(check_knobs(symbols, graph))
+    if "RA018" in selected:
+        report.violations.extend(check_scenario_values(symbols))
+    if "RA019" in selected:
+        report.violations.extend(check_default_drift(symbols))
+    if "RA020" in selected and graph is not None:
+        report.violations.extend(check_seed_routing(symbols, graph))
 
     _apply_suppressions(project, report)
     report.violations.sort()

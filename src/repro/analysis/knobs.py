@@ -1,0 +1,474 @@
+"""RA017 — dead-knob / config-reachability analysis.
+
+The scenario schema (``repro.scenario.schema``) declares every tunable
+as a literal ``Knob(...)`` entry.  This pass proves the declaration and
+the implementation agree, in both directions:
+
+* **schema <-> Scenario coherence** — every knob names a ``Scenario``
+  dataclass field and vice versa (``events`` is the one structured
+  non-knob field);
+* **dead knob** — every knob is *consumed*: some function reachable
+  from the scenario-run roots reads it as an attribute of a
+  ``Scenario``-typed receiver.  A knob nobody reads is config the
+  simulator silently ignores — the exact failure mode that invalidates
+  scenario sweeps without failing a test;
+* **unaddressable pin** — conversely, every literal keyword the
+  scenario layer passes into the simulation packages must be
+  schema-addressable: either some knob ``binds`` that parameter, or
+  the pin is blessed in the schema's ``PINNED`` frozenset.
+
+This module also hosts the shared *static* schema extraction
+(:func:`collect_knobs` & friends) used by RA018/RA019/RA020 — the
+schema is read from the AST, never imported, so the passes work on
+fixture projects exactly like the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = [
+    "SCHEMA_MODULE",
+    "SCENARIO_CLASS",
+    "SCENARIO_PACKAGE",
+    "SCENARIO_ROOTS",
+    "SIM_PACKAGE_PREFIXES",
+    "NON_KNOB_FIELDS",
+    "KnobDecl",
+    "collect_knobs",
+    "collect_pinned",
+    "scenario_field_lines",
+    "reachable_functions",
+    "binds_tail",
+    "check_knobs",
+]
+
+#: Where the schema lives (module path, class, package, run roots).
+SCHEMA_MODULE = "repro.scenario.schema"
+SCENARIO_CLASS = "repro.scenario.schema.Scenario"
+SCENARIO_PACKAGE = "repro.scenario"
+SCENARIO_ROOTS: tuple[str, ...] = (
+    "repro.scenario.runner.run_scenario",
+    "repro.scenario.loader.materialize",
+    "repro.scenario.cli.run_from_args",
+)
+
+#: Calls from scenario code into these packages are the simulator
+#: boundary the unaddressable-pin check patrols.
+SIM_PACKAGE_PREFIXES: tuple[str, ...] = (
+    "repro.core",
+    "repro.datacenter",
+    "repro.emulator",
+    "repro.experiments",
+    "repro.predictors",
+    "repro.traces",
+)
+
+#: Scenario fields that are structured sections, not scalar knobs.
+NON_KNOB_FIELDS = frozenset({"events"})
+
+
+@dataclass(frozen=True)
+class KnobDecl:
+    """One ``Knob(...)`` entry, extracted statically from the schema AST.
+
+    Attribute names match :class:`repro.scenario.schema.Knob` so the
+    runtime value oracle (``validate_value``) accepts either form.
+    """
+
+    name: str
+    path: str
+    kind: str
+    default: object
+    unit: str | None
+    dim: str | None
+    lo: float | None
+    hi: float | None
+    choices: tuple[str, ...] | None
+    binds: str | None
+    override: bool
+    divisor: bool
+    group: str | None
+    required: bool
+    src_path: str
+    line: int
+
+
+def _literal(node: ast.expr) -> tuple[bool, object]:
+    """Evaluate a literal AST node; ``(False, None)`` when not literal."""
+    try:
+        return True, ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return False, None
+
+
+def _schema_tree(symbols: SymbolTable) -> tuple[str, ast.Module] | None:
+    module = symbols.project.modules.get(SCHEMA_MODULE)
+    if module is None:
+        return None
+    return module.path, module.tree
+
+
+def _assigned_value(tree: ast.Module, name: str) -> ast.expr | None:
+    """The top-level value bound to ``name`` (Assign or AnnAssign)."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                return stmt.value
+    return None
+
+
+def collect_knobs(symbols: SymbolTable) -> list[KnobDecl]:
+    """Statically extract ``SCENARIO_KNOBS`` from the schema module.
+
+    Returns ``[]`` when the project has no schema module (all four
+    config-flow passes then stay silent by design).  Non-literal knob
+    entries are skipped here and flagged by :func:`check_knobs`.
+    """
+    located = _schema_tree(symbols)
+    if located is None:
+        return []
+    src_path, tree = located
+    value = _assigned_value(tree, "SCENARIO_KNOBS")
+    if not isinstance(value, ast.Tuple):
+        return []
+    declarations: list[KnobDecl] = []
+    for element in value.elts:
+        declaration = _knob_from_call(element, src_path)
+        if declaration is not None:
+            declarations.append(declaration)
+    return declarations
+
+
+def _knob_from_call(node: ast.expr, src_path: str) -> KnobDecl | None:
+    if not isinstance(node, ast.Call):
+        return None
+    func = annotation_to_dotted(node.func)
+    if func is None or func.rsplit(".", 1)[-1] != "Knob":
+        return None
+    fields: dict[str, object] = {}
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            continue
+        ok, value = _literal(keyword.value)
+        if ok:
+            fields[keyword.arg] = value
+    name = fields.get("name")
+    path = fields.get("path")
+    kind = fields.get("kind")
+    if (
+        not isinstance(name, str)
+        or not isinstance(path, str)
+        or not isinstance(kind, str)
+    ):
+        return None
+    choices = fields.get("choices")
+    return KnobDecl(
+        name=name,
+        path=path,
+        kind=kind,
+        default=fields.get("default"),
+        unit=_opt_str(fields.get("unit")),
+        dim=_opt_str(fields.get("dim")),
+        lo=_opt_float(fields.get("lo")),
+        hi=_opt_float(fields.get("hi")),
+        choices=tuple(map(str, choices)) if isinstance(choices, tuple) else None,
+        binds=_opt_str(fields.get("binds")),
+        override=bool(fields.get("override", False)),
+        divisor=bool(fields.get("divisor", False)),
+        group=_opt_str(fields.get("group")),
+        required=bool(fields.get("required", False)),
+        src_path=src_path,
+        line=node.lineno,
+    )
+
+
+def _opt_str(value: object) -> str | None:
+    return value if isinstance(value, str) else None
+
+
+def _opt_float(value: object) -> float | None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def collect_pinned(symbols: SymbolTable) -> frozenset[str]:
+    """The schema's ``PINNED`` allowlist (``Callee.param`` tails)."""
+    located = _schema_tree(symbols)
+    if located is None:
+        return frozenset()
+    value = _assigned_value(located[1], "PINNED")
+    if isinstance(value, ast.Call) and value.args:
+        value = value.args[0]
+    if value is None:
+        return frozenset()
+    ok, literal = _literal(value)
+    if not ok or not isinstance(literal, (set, frozenset, tuple, list)):
+        return frozenset()
+    return frozenset(str(entry) for entry in literal)
+
+
+def scenario_field_lines(symbols: SymbolTable) -> dict[str, int]:
+    """``{field: line}`` of the ``Scenario`` dataclass, or ``{}``."""
+    info = symbols.classes.get(SCENARIO_CLASS)
+    if info is None:
+        return {}
+    fields: dict[str, int] = {}
+    for stmt in info.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def binds_tail(binds: str) -> str:
+    """``Callee.param`` form of a binds target (its last two parts)."""
+    parts = binds.rsplit(".", 2)
+    return ".".join(parts[-2:])
+
+
+def reachable_functions(
+    symbols: SymbolTable, graph: CallGraph, roots: tuple[str, ...]
+) -> set[str]:
+    """Qualnames reachable from ``roots`` over the call graph (BFS)."""
+    queue = [root for root in roots if root in symbols.functions]
+    seen = set(queue)
+    while queue:
+        current = queue.pop()
+        for site in graph.callees(current):
+            if site.callee in symbols.functions and site.callee not in seen:
+                seen.add(site.callee)
+                queue.append(site.callee)
+    return seen
+
+
+def _scenario_typed_names(symbols: SymbolTable, fn: FunctionInfo) -> set[str]:
+    """Names in ``fn`` that hold a ``Scenario`` value.
+
+    A name qualifies via an explicit annotation (parameter or
+    ``AnnAssign``), or via assignment from a ``.scenario`` attribute
+    read (the wrapper-field convention) or from a call to a project
+    function whose return annotation resolves to ``Scenario``."""
+    names: set[str] = set()
+    args = fn.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if _is_scenario_type(symbols, fn.module, arg.annotation):
+            names.add(arg.arg)
+    for stmt in ast.walk(fn.node):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.AnnAssign):
+            if _is_scenario_type(symbols, fn.module, stmt.annotation):
+                target = stmt.target
+                value = None
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+            continue
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.NamedExpr):
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if isinstance(value, ast.Attribute) and value.attr == "scenario":
+            names.add(target.id)
+        elif isinstance(value, ast.Call) and _returns_scenario(
+            symbols, fn.module, value
+        ):
+            names.add(target.id)
+    return names
+
+
+def _returns_scenario(
+    symbols: SymbolTable, module: str, call: ast.Call
+) -> bool:
+    """Does ``call`` target a function annotated ``-> Scenario``?"""
+    dotted = annotation_to_dotted(call.func)
+    if dotted is None:
+        return False
+    resolved = symbols.canonicalize(symbols.resolve(module, dotted))
+    target = symbols.functions.get(resolved)
+    if target is None:
+        return False
+    return _is_scenario_type(symbols, target.module, target.node.returns)
+
+
+def _is_scenario_type(
+    symbols: SymbolTable, module: str, annotation: ast.expr | None
+) -> bool:
+    dotted = annotation_to_dotted(annotation)
+    if dotted is None:
+        return False
+    return symbols.canonicalize(symbols.resolve(module, dotted)) == SCENARIO_CLASS
+
+
+def _consumed_knobs(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    roots: tuple[str, ...],
+    knob_names: frozenset[str],
+) -> tuple[set[str], set[str]]:
+    """``(consumed knob names, reachable scenario functions)``."""
+    reachable = reachable_functions(symbols, graph, roots)
+    consumed: set[str] = set()
+    for qualname in sorted(reachable):
+        fn = symbols.functions[qualname]
+        if not fn.module.startswith(SCENARIO_PACKAGE):
+            continue
+        typed = _scenario_typed_names(symbols, fn)
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute) or node.attr not in knob_names:
+                continue
+            receiver = node.value
+            if isinstance(receiver, ast.Name) and receiver.id in typed:
+                consumed.add(node.attr)
+            elif isinstance(receiver, ast.Attribute) and receiver.attr == "scenario":
+                # ``lowered.scenario.<knob>`` — the conventional
+                # wrapper-field name counts as a Scenario receiver.
+                consumed.add(node.attr)
+    return consumed, reachable
+
+
+def _check_pins(
+    symbols: SymbolTable,
+    reachable: set[str],
+    addressable: frozenset[str],
+) -> list[Violation]:
+    """Flag literal keyword pins into the sim packages that no knob
+    binds and ``PINNED`` does not bless."""
+    findings: list[Violation] = []
+    for qualname in sorted(reachable):
+        fn = symbols.functions[qualname]
+        if not fn.module.startswith(SCENARIO_PACKAGE):
+            continue
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _sim_callee(symbols, fn.module, node)
+            if callee is None:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                value = keyword.value
+                if not isinstance(value, ast.Constant):
+                    continue
+                if value.value is None or isinstance(value.value, bool):
+                    continue
+                tail = f"{callee.rsplit('.', 1)[-1]}.{keyword.arg}"
+                if tail in addressable:
+                    continue
+                findings.append(
+                    Violation(
+                        path=fn.path,
+                        line=value.lineno,
+                        col=value.col_offset,
+                        rule_id="RA017",
+                        message=(
+                            f"literal {value.value!r} pinned for "
+                            f"{tail} is not schema-addressable: no knob "
+                            f"binds it and it is not in PINNED"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _sim_callee(
+    symbols: SymbolTable, module: str, call: ast.Call
+) -> str | None:
+    """Canonical callee qualname when it targets a sim package."""
+    dotted = annotation_to_dotted(call.func)
+    if dotted is None:
+        return None
+    resolved = symbols.canonicalize(symbols.resolve(module, dotted))
+    info = symbols.functions.get(resolved) or symbols.classes.get(resolved)
+    if info is None:
+        return None
+    if info.module.startswith(SCENARIO_PACKAGE):
+        return None
+    if not info.module.startswith(SIM_PACKAGE_PREFIXES):
+        return None
+    return resolved
+
+
+def check_knobs(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = SCENARIO_ROOTS,
+) -> list[Violation]:
+    """Run the RA017 checks; empty when no scenario schema exists."""
+    knobs = collect_knobs(symbols)
+    if not knobs:
+        return []
+    findings: list[Violation] = []
+    fields = scenario_field_lines(symbols)
+    knob_names = frozenset(declaration.name for declaration in knobs)
+
+    located = _schema_tree(symbols)
+    assert located is not None  # collect_knobs already found it
+    schema_path = located[0]
+
+    for declaration in knobs:
+        if fields and declaration.name not in fields:
+            findings.append(
+                Violation(
+                    path=declaration.src_path,
+                    line=declaration.line,
+                    col=0,
+                    rule_id="RA017",
+                    message=(
+                        f"knob '{declaration.name}' has no matching "
+                        f"Scenario field"
+                    ),
+                )
+            )
+    for field_name, line in sorted(fields.items()):
+        if field_name not in knob_names and field_name not in NON_KNOB_FIELDS:
+            findings.append(
+                Violation(
+                    path=schema_path,
+                    line=line,
+                    col=0,
+                    rule_id="RA017",
+                    message=(
+                        f"Scenario field '{field_name}' has no knob "
+                        f"declaration (undocumented, unlintable tunable)"
+                    ),
+                )
+            )
+
+    consumed, reachable = _consumed_knobs(symbols, graph, roots, knob_names)
+    for declaration in knobs:
+        if declaration.name not in consumed:
+            findings.append(
+                Violation(
+                    path=declaration.src_path,
+                    line=declaration.line,
+                    col=0,
+                    rule_id="RA017",
+                    message=(
+                        f"dead knob '{declaration.name}': no function "
+                        f"reachable from the scenario roots reads "
+                        f"scenario.{declaration.name}"
+                    ),
+                )
+            )
+
+    addressable = frozenset(
+        binds_tail(declaration.binds)
+        for declaration in knobs
+        if declaration.binds is not None
+    ) | collect_pinned(symbols)
+    findings.extend(_check_pins(symbols, reachable, addressable))
+    return findings

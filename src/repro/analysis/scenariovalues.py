@@ -1,0 +1,213 @@
+"""RA018 — scenario-value checking: static analysis of config values.
+
+Evaluates concrete scenario values against the schema's unit, bound,
+dimension, and divisor declarations — the RA002/RA006 contracts lifted
+from code to configuration.  Three value sources are checked:
+
+* the schema's own ``default`` for every knob (a default that violates
+  its own declaration is a schema bug);
+* literal keyword arguments of ``Scenario(...)`` constructor calls
+  anywhere in the project (tests, experiments, fixtures), with simple
+  constant arithmetic folded into a point interval first;
+* weight groups (``group=``) at those call sites — the given/default
+  values of one group must sum to 1.0 when they are all literal.
+
+Concrete YAML/JSON *documents* go through the identical value oracle
+(:func:`repro.scenario.schema.validate_value`) via
+``repro scenario lint`` — one oracle, two front ends, so code and data
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.intervals import Interval
+from repro.analysis.knobs import SCENARIO_CLASS, KnobDecl, collect_knobs
+from repro.analysis.symbols import SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+from repro.scenario.schema import validate_value
+
+__all__ = ["check_scenario_values", "fold_constant"]
+
+#: Tolerance for weight groups that must sum to one.
+_GROUP_SUM_TOLERANCE = 1e-6
+
+
+def fold_constant(node: ast.expr) -> int | float | str | None:
+    """Constant-fold a literal expression to a point value.
+
+    Handles numeric/string constants, unary ``+``/``-``, and binary
+    ``+ - * /`` over folded operands — enough to see through idioms
+    like ``45 / 100`` or ``-0.5``.  Anything else is ``None`` (unknown,
+    never flagged).
+    """
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            return None
+        return value
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.UAdd, ast.USub)
+    ):
+        inner = fold_constant(node.operand)
+        if isinstance(inner, (int, float)):
+            return -inner if isinstance(node.op, ast.USub) else inner
+        return None
+    if isinstance(node, ast.BinOp):
+        left = fold_constant(node.left)
+        right = fold_constant(node.right)
+        if not isinstance(left, (int, float)) or not isinstance(
+            right, (int, float)
+        ):
+            return None
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Div):
+            return left / right if right != 0 else None
+    return None
+
+
+def _point(value: int | float) -> Interval:
+    return Interval.point(float(value))
+
+
+def _bounds_violations(declaration: KnobDecl, value: object) -> list[str]:
+    """The shared oracle, driven through the interval domain for
+    numeric values (a point interval met against [lo, hi])."""
+    problems = validate_value(declaration, value)
+    if (
+        not problems
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    ):
+        lo = declaration.lo if declaration.lo is not None else float("-inf")
+        hi = declaration.hi if declaration.hi is not None else float("inf")
+        if _point(value).meet(Interval(lo, hi)) is None:
+            problems.append(
+                f"{float(value):g} is outside the declared "
+                f"interval [{lo:g}, {hi:g}]"
+            )
+    return problems
+
+
+def _scenario_calls(
+    symbols: SymbolTable,
+) -> list[tuple[str, str, ast.Call]]:
+    """Every ``Scenario(...)`` constructor call: ``(module, path, node)``."""
+    calls: list[tuple[str, str, ast.Call]] = []
+    for module in symbols.project.sorted_modules():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = annotation_to_dotted(node.func)
+            if dotted is None:
+                continue
+            resolved = symbols.canonicalize(symbols.resolve(module.name, dotted))
+            if resolved == SCENARIO_CLASS:
+                calls.append((module.name, module.path, node))
+    return calls
+
+
+def _check_call(
+    declarations: dict[str, KnobDecl], path: str, call: ast.Call
+) -> list[Violation]:
+    findings: list[Violation] = []
+    literal_values: dict[str, int | float | str] = {}
+    for keyword in call.keywords:
+        if keyword.arg is None or keyword.arg not in declarations:
+            continue
+        folded = fold_constant(keyword.value)
+        if folded is None:
+            continue
+        literal_values[keyword.arg] = folded
+        declaration = declarations[keyword.arg]
+        for problem in _bounds_violations(declaration, folded):
+            findings.append(
+                Violation(
+                    path=path,
+                    line=keyword.value.lineno,
+                    col=keyword.value.col_offset,
+                    rule_id="RA018",
+                    message=f"{declaration.path}: {problem}",
+                )
+            )
+    findings.extend(_check_groups(declarations, literal_values, path, call))
+    return findings
+
+
+def _check_groups(
+    declarations: dict[str, KnobDecl],
+    literal_values: dict[str, int | float | str],
+    path: str,
+    call: ast.Call,
+) -> list[Violation]:
+    """Weight groups must sum to 1.0 across given + default values."""
+    findings: list[Violation] = []
+    given = {keyword.arg for keyword in call.keywords if keyword.arg}
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for declaration in declarations.values():
+        if declaration.group is None:
+            continue
+        if declaration.name in given:
+            value: object = literal_values.get(declaration.name)
+            if value is None:
+                return []  # a non-literal weight: sum is unknowable
+        else:
+            value = declaration.default
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return []
+        groups.setdefault(declaration.group, []).append(
+            (declaration.path, float(value))
+        )
+    for group, entries in sorted(groups.items()):
+        total = sum(weight for _, weight in entries)
+        if abs(total - 1.0) > _GROUP_SUM_TOLERANCE:
+            keys = ", ".join(key for key, _ in entries)
+            findings.append(
+                Violation(
+                    path=path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule_id="RA018",
+                    message=(
+                        f"workload mix '{group}' sums to {total:g}, "
+                        f"not 1.0 ({keys})"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_scenario_values(symbols: SymbolTable) -> list[Violation]:
+    """Run the RA018 checks; empty when no scenario schema exists."""
+    knobs = collect_knobs(symbols)
+    if not knobs:
+        return []
+    findings: list[Violation] = []
+    declarations = {declaration.name: declaration for declaration in knobs}
+
+    for declaration in knobs:
+        if declaration.default is None:
+            continue
+        for problem in _bounds_violations(declaration, declaration.default):
+            findings.append(
+                Violation(
+                    path=declaration.src_path,
+                    line=declaration.line,
+                    col=0,
+                    rule_id="RA018",
+                    message=(
+                        f"knob '{declaration.name}' default violates its "
+                        f"own declaration: {problem}"
+                    ),
+                )
+            )
+
+    for _, path, call in _scenario_calls(symbols):
+        findings.extend(_check_call(declarations, path, call))
+    return findings

@@ -1,0 +1,244 @@
+"""RA020 — scenario seed-routing: every draw derives from the seed.
+
+The scenario schema declares one master ``seed``; the determinism
+contract (`repro scenario run` twice → byte-identical JSONL) only holds
+if every stochastic call reachable from the scenario-run roots draws
+from a generator derived from it.  This pass extends the RA003/RL001
+RNG discipline to the scenario layer; within scenario-package functions
+reachable from the roots it flags:
+
+* an RNG constructor (``random.Random``, ``numpy.random.default_rng``,
+  ``numpy.random.RandomState``) called with **no arguments** — OS
+  entropy, unseeded by definition;
+* an RNG constructor whose seed argument does **not** derive from the
+  scenario's declared seed (no ``.seed`` attribute read, no
+  seed-derived local, no sanctioned ``scenario_rng``/``experiment_rng``
+  factory in the argument expression);
+* a call into the simulator that **hard-codes** a literal ``seed=`` —
+  pinning a number the document cannot address;
+* a call into a simulator function that **has** a ``seed`` parameter
+  but is invoked without one — the callee's own default would silently
+  override the scenario's declared seed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.knobs import (
+    SCENARIO_PACKAGE,
+    SCENARIO_ROOTS,
+    collect_knobs,
+    reachable_functions,
+)
+from repro.analysis.symbols import FunctionInfo, SymbolTable, annotation_to_dotted
+from repro.lint.engine import Violation
+
+__all__ = ["check_seed_routing"]
+
+#: Constructors that create a generator (the RA003 set).
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "np.random.default_rng",
+        "np.random.RandomState",
+    }
+)
+
+#: Factories whose result is seed-derived by contract.
+_SANCTIONED_FACTORIES = frozenset({"scenario_rng", "experiment_rng"})
+
+
+def _violation(fn: FunctionInfo, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        path=fn.path,
+        line=getattr(node, "lineno", fn.lineno),
+        col=getattr(node, "col_offset", 0),
+        rule_id="RA020",
+        message=message,
+    )
+
+
+def _seed_derived_locals(fn: FunctionInfo) -> set[str]:
+    """Local names whose value derives from a scenario seed.
+
+    Seeds flow through: parameters named ``seed``/``*_seed``, any
+    expression containing a ``.seed`` attribute read, a sanctioned
+    factory call, or another derived local (one forward pass per
+    binding, iterated to a fixpoint)."""
+    derived: set[str] = set()
+    args = fn.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg == "seed" or arg.arg.endswith("_seed"):
+            derived.add(arg.arg)
+    changed = True
+    while changed:
+        changed = False
+        for stmt in ast.walk(fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                target, value = stmt.target, stmt.value
+            elif isinstance(stmt, ast.NamedExpr):
+                target, value = stmt.target, stmt.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if target.id not in derived and _is_seed_derived(value, derived):
+                derived.add(target.id)
+                changed = True
+    return derived
+
+
+def _is_seed_derived(node: ast.expr, derived: set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "seed":
+            return True
+        if isinstance(sub, ast.Name) and (
+            sub.id == "seed" or sub.id in derived
+        ):
+            return True
+        if isinstance(sub, ast.Call):
+            dotted = annotation_to_dotted(sub.func)
+            if (
+                dotted is not None
+                and dotted.rsplit(".", 1)[-1] in _SANCTIONED_FACTORIES
+            ):
+                return True
+    return False
+
+
+def _callee_has_seed_param(symbols: SymbolTable, resolved: str) -> bool:
+    """Does the (project) callee accept a ``seed`` parameter?"""
+    fn = symbols.functions.get(resolved)
+    if fn is None:
+        info = symbols.classes.get(resolved)
+        if info is None:
+            return False
+        for stmt in info.node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "seed"
+            ):
+                return True
+        init = info.methods.get("__init__")
+        if init is None:
+            return False
+        fn = init
+    args = fn.node.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    return "seed" in names
+
+
+def _seed_argument(call: ast.Call) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+    return None
+
+
+def _check_function(
+    symbols: SymbolTable, fn: FunctionInfo
+) -> list[Violation]:
+    findings: list[Violation] = []
+    derived = _seed_derived_locals(fn)
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = annotation_to_dotted(node.func)
+        if dotted is None:
+            continue
+        resolved = symbols.canonicalize(symbols.resolve(fn.module, dotted))
+        if resolved in _RNG_CONSTRUCTORS or dotted in _RNG_CONSTRUCTORS:
+            seed_args = list(node.args) + [
+                keyword.value for keyword in node.keywords
+            ]
+            if not seed_args:
+                findings.append(
+                    _violation(
+                        fn,
+                        node,
+                        f"unseeded RNG constructor {dotted}() in "
+                        f"scenario-reachable code (draws from OS "
+                        f"entropy, unpinned by the scenario seed)",
+                    )
+                )
+            elif not any(
+                _is_seed_derived(argument, derived) for argument in seed_args
+            ):
+                findings.append(
+                    _violation(
+                        fn,
+                        node,
+                        f"RNG constructor {dotted}(...) seeded from an "
+                        f"expression not derived from the scenario's "
+                        f"declared seed",
+                    )
+                )
+            continue
+        target = symbols.functions.get(resolved) or symbols.classes.get(resolved)
+        if target is None or target.module.startswith(SCENARIO_PACKAGE):
+            continue
+        if not target.module.startswith("repro."):
+            continue
+        if not _callee_has_seed_param(symbols, resolved):
+            continue
+        seed_value = _seed_argument(node)
+        short = resolved.rsplit(".", 1)[-1]
+        has_star_kwargs = any(keyword.arg is None for keyword in node.keywords)
+        if seed_value is None:
+            if not has_star_kwargs:
+                findings.append(
+                    _violation(
+                        fn,
+                        node,
+                        f"call to {short}(...) omits seed=: its own "
+                        f"default would silently override the "
+                        f"scenario's declared seed",
+                    )
+                )
+        elif isinstance(seed_value, ast.Constant) and isinstance(
+            seed_value.value, (int, float)
+        ):
+            findings.append(
+                _violation(
+                    fn,
+                    seed_value,
+                    f"hard-coded seed={seed_value.value!r} passed to "
+                    f"{short}(...): the scenario's declared seed "
+                    f"cannot address it",
+                )
+            )
+        elif not _is_seed_derived(seed_value, derived):
+            findings.append(
+                _violation(
+                    fn,
+                    seed_value,
+                    f"seed= argument of {short}(...) is not derived "
+                    f"from the scenario's declared seed",
+                )
+            )
+    return findings
+
+
+def check_seed_routing(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = SCENARIO_ROOTS,
+) -> list[Violation]:
+    """Run the RA020 checks; empty when no scenario schema exists."""
+    if not collect_knobs(symbols):
+        return []
+    findings: list[Violation] = []
+    for qualname in sorted(reachable_functions(symbols, graph, roots)):
+        fn = symbols.functions[qualname]
+        if not fn.module.startswith(SCENARIO_PACKAGE):
+            continue
+        findings.extend(_check_function(symbols, fn))
+    return findings

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands cover the workflows a downstream user needs without
+Twelve subcommands cover the workflows a downstream user needs without
 writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
@@ -17,8 +17,8 @@ writing Python:
   (rules RL001-RL008, see ``docs/static_analysis.md``);
 * ``repro analyze`` — run the whole-program analyzer (phase purity,
   dimensional analysis, RNG flow, import cycles, dead experiments,
-  the dataflow/array passes, and the async-safety passes; rules
-  RA001-RA016);
+  the dataflow/array passes, the async-safety passes, and the
+  config-flow passes; rules RA001-RA020);
 * ``repro check`` — lint + analyze in one run over a single parse per
   file (the shared AST cache makes the second tool free);
 * ``repro bench`` — run experiments under performance instrumentation,
@@ -35,7 +35,12 @@ writing Python:
   server speaking the newline-JSON load-report protocol, with
   ``--soak`` (in-process load generator + one Prometheus scrape) and
   ``--offline`` (the reference run over the identical workload) whose
-  work counters must match exactly (see ``docs/service.md``).
+  work counters must match exactly (see ``docs/service.md``);
+* ``repro scenario`` — the declarative experiment DSL: ``run`` executes
+  a YAML/JSON scenario document deterministically (byte-identical JSONL
+  reruns), ``lint`` machine-checks documents against the knob schema
+  with the RA017/RA018/RA020 value oracle, ``list`` summarizes a
+  scenario directory (see ``docs/scenarios.md``).
 
 Examples
 --------
@@ -49,7 +54,10 @@ Examples
     REPRO_EVAL_DAYS=2 repro experiment table5
     repro lint src tests --format json
     repro analyze src/repro --passes RA001,RA002
+    repro analyze --explain RA017
     repro check --format sarif
+    repro scenario lint scenarios/
+    repro scenario run scenarios/syn-baseline.yaml --out run.jsonl
     REPRO_EVAL_DAYS=2 repro bench fig08 table6 --tag ci --compare BENCH_seed.json
     REPRO_EVAL_DAYS=2 repro experiments fig08 fig06 table6 --parallel 4 \\
         --compare BENCH_vec.json --fail-on config,counter,missing
@@ -94,6 +102,7 @@ EXPERIMENTS: dict[str, str] = {
     "interaction-evidence": "repro.experiments.interaction_evidence",
     "cost-comparison": "repro.experiments.cost_comparison",
     "ablation-advance": "repro.experiments.ablation_advance_booking",
+    "scenario-baseline": "repro.experiments.scenario_baseline",
 }
 
 
@@ -158,7 +167,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="run the whole-program analyzer (rules RA001-RA016)",
+        help="run the whole-program analyzer (rules RA001-RA020)",
     )
     add_analyze_arguments(analyze)
 
@@ -303,6 +312,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "in-process load-generated run, --offline for the reference)",
     )
     add_serve_arguments(serve)
+
+    from repro.scenario.cli import add_scenario_arguments
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run, lint, or list declarative scenario documents "
+        "(YAML/JSON, machine-checked against the knob schema)",
+    )
+    add_scenario_arguments(scenario)
     return parser
 
 
@@ -664,6 +682,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -679,6 +703,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "experiments": _cmd_experiments,
         "serve": _cmd_serve,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)
 

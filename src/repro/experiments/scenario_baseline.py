@@ -1,0 +1,68 @@
+"""Scenario-driven baseline — the SYN-* control run as an experiment.
+
+The scenario DSL (:mod:`repro.scenario`) and the experiment registry
+meet here: the same constant-arrival control workload the committed
+``scenarios/syn-baseline.yaml`` document describes, expressed as an
+in-code :class:`~repro.scenario.schema.Scenario` literal so the RA018
+value checker audits it like any other call site, run through the
+standard ``run_scenario`` path, and reported with the deterministic
+work counters the rerun gate compares.
+
+Measured: the scenario's scalar counters (simulation, matching, and
+data-center work), which must be byte-for-byte stable across reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reporting import render_table
+from repro.scenario.runner import run_scenario, scenario_jsonl
+from repro.scenario.schema import Scenario
+
+__all__ = ["run", "format_result", "ScenarioBaselineResult", "BASELINE"]
+
+#: The in-code twin of ``scenarios/syn-baseline.yaml``: constant
+#: arrivals, every stochastic stressor zeroed, two regions, short.
+BASELINE = Scenario(
+    scenario_id="syn-baseline",
+    label="constant-arrival control run, stressors off",
+    seed=2008,
+    duration_days=1.0,
+    warmup_days=0.25,
+    arrival_process="constant",
+    noise_std=0.0,
+    weekend_boost=0.0,
+    spike_rate_per_region_day=0.0,
+    outage_rate_per_group_day=0.0,
+    always_full_percent=0.0,
+    region_count=2,
+)
+
+
+@dataclass
+class ScenarioBaselineResult:
+    """Counters plus the emitted JSONL for downstream diffing."""
+
+    counters: dict[str, float]
+    jsonl: str
+
+
+def run() -> ScenarioBaselineResult:
+    """Run the control scenario and collect its deterministic counters."""
+    outcome = run_scenario(BASELINE)
+    return ScenarioBaselineResult(
+        counters=dict(sorted(outcome.bench.counters.items())),
+        jsonl=scenario_jsonl(outcome),
+    )
+
+
+def format_result(result: ScenarioBaselineResult) -> str:
+    rows = [
+        (name, f"{value:,.0f}") for name, value in result.counters.items()
+    ]
+    return render_table(
+        ["Counter", "Value"],
+        rows,
+        title=f"scenario {BASELINE.scenario_id}: deterministic work counters",
+    )

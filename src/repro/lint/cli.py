@@ -52,6 +52,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="print the rule table and exit",
     )
     parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print one rule's summary, defect class, and a minimal "
+        "flagged example, then exit (e.g. --explain RL003)",
+    )
+    parser.add_argument(
         "--baseline",
         metavar="FILE",
         default=None,
@@ -83,9 +90,26 @@ def _default_paths() -> list[str]:
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.explain is not None:
+        from repro.lint.explain import explain, render_explanation
+
+        rule_id = args.explain.upper()
+        summaries = dict(rule_table())
+        if rule_id not in summaries:
+            if explain(rule_id) is not None:
+                print(
+                    f"error: {rule_id} is an analyzer pass; "
+                    f"use `repro analyze --explain {rule_id}`"
+                )
+            else:
+                print(f"error: unknown rule id {args.explain!r}")
+            return 2
+        print(render_explanation(rule_id, summaries[rule_id]))
+        return 0
     if args.list_rules:
         for rule_id, summary in rule_table():
             print(f"{rule_id}  {summary}")
+        print("\nuse --explain RULE for the defect class and a minimal example")
         return 0
 
     rules: list[LintRule] | None = None

@@ -101,6 +101,10 @@ ANALYSIS_RULE_IDS: frozenset[str] = frozenset(
         "RA014",
         "RA015",
         "RA016",
+        "RA017",
+        "RA018",
+        "RA019",
+        "RA020",
     }
 )
 

@@ -1,0 +1,221 @@
+"""``--explain RULE``: defect class + minimal flagged example per rule.
+
+One table for both tools — ``repro lint --explain RL003`` and
+``repro analyze --explain RA017`` read the same registry, and the
+completeness test holds it to cover every registered lint rule and
+every analyzer pass so a new rule cannot ship unexplained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Explanation", "EXPLANATIONS", "explain", "render_explanation"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """What a rule protects against and the smallest code that trips it."""
+
+    defect_class: str
+    example: str
+
+
+EXPLANATIONS: dict[str, Explanation] = {
+    "RL001": Explanation(
+        defect_class="irreproducible runs: RNG state outside the seeded "
+        "Generator graph silently varies between invocations",
+        example="import random\n"
+        "def jitter() -> float:\n"
+        "    return random.random()  # module-level RNG, unseeded",
+    ),
+    "RL002": Explanation(
+        defect_class="wall-clock coupling: simulated time contaminated by "
+        "host time makes runs machine- and load-dependent",
+        example="import time\n"
+        "def step_cost() -> float:\n"
+        "    return time.time()  # wall clock inside simulation code",
+    ),
+    "RL003": Explanation(
+        defect_class="float-equality flakiness: == on accumulated floats "
+        "flips with summation order and optimization level",
+        example="def settled(balance: float) -> bool:\n"
+        "    return balance == 0.0  # use math.isclose / ledger helpers",
+    ),
+    "RL004": Explanation(
+        defect_class="aliased mutable default: one shared list/dict "
+        "accumulates state across unrelated calls",
+        example="def enqueue(item: int, queue: list[int] = []) -> list[int]:\n"
+        "    queue.append(item)  # same list every call\n"
+        "    return queue",
+    ),
+    "RL005": Explanation(
+        defect_class="module-global shared state: cross-run leakage through "
+        "a mutable container that outlives the simulation",
+        example="CACHE: dict[str, float] = {}  # module-level mutable in core/",
+    ),
+    "RL006": Explanation(
+        defect_class="untyped public surface: missing annotations hide "
+        "dimension/unit mistakes the analyzer would otherwise catch",
+        example="def allocate(amount):  # public, unannotated\n"
+        "    return amount * 2",
+    ),
+    "RL007": Explanation(
+        defect_class="set-order nondeterminism: iteration order reaches "
+        "output and varies with hash seeding",
+        example="def names(tags: set[str]) -> list[str]:\n"
+        "    return [t for t in tags]  # sort first",
+    ),
+    "RL008": Explanation(
+        defect_class="ad-hoc experiment seeding: a private RNG breaks the "
+        "one-seed-per-experiment reproducibility ledger",
+        example="from numpy.random import default_rng\n"
+        "def run() -> None:\n"
+        "    rng = default_rng(7)  # use experiments.common.experiment_rng",
+    ),
+    "RA001": Explanation(
+        defect_class="impure step loop: I/O, wall-clock, env, or global "
+        "mutation reachable from the tick makes steps order-dependent",
+        example="def on_tick(state: State) -> None:\n"
+        "    print(state.load)  # I/O on the step-reachable path",
+    ),
+    "RA002": Explanation(
+        defect_class="dimension confusion: Cpu/Mem/NetIn/NetOut quantities "
+        "mixed in arithmetic or passed across mismatched signatures",
+        example="def total(cpu: Cpu, mem: Mem) -> Cpu:\n"
+        "    return Cpu(cpu + mem)  # adds CPU-seconds to bytes",
+    ),
+    "RA003": Explanation(
+        defect_class="unseeded randomness reaching simulation code: results "
+        "change between runs with no config change",
+        example="def sample() -> float:\n"
+        "    rng = np.random.default_rng()  # no seed\n"
+        "    return float(rng.random())",
+    ),
+    "RA004": Explanation(
+        defect_class="runtime import cycle: import order decides whether "
+        "the program starts; refactors break distant modules",
+        example="# a.py: from b import helper\n# b.py: from a import other",
+    ),
+    "RA005": Explanation(
+        defect_class="dead experiment: a module under experiments/ not "
+        "registered in the CLI silently falls out of every sweep",
+        example="# src/repro/experiments/fig99_new.py exists\n"
+        "# but EXPERIMENTS in cli.py has no 'fig99' entry",
+    ),
+    "RA006": Explanation(
+        defect_class="interval violation: provably-negative resource "
+        "amounts, zero-able divisors, or percent/fraction mixups",
+        example="def utilization(load: float, capacity: float) -> float:\n"
+        "    return load / (capacity - capacity)  # divisor is provably 0",
+    ),
+    "RA007": Explanation(
+        defect_class="exception leak: an accidental exception type escapes "
+        "the step loop, or an over-broad handler hides real faults",
+        example="def on_tick(state: State) -> None:\n"
+        "    try:\n"
+        "        advance(state)\n"
+        "    except Exception:\n"
+        "        pass  # swallows KeyboardInterrupt-adjacent faults",
+    ),
+    "RA008": Explanation(
+        defect_class="hot-path blowup: nested unbounded loops, per-tick "
+        "collection builds, or O(n) membership in step-reachable code",
+        example="def on_tick(entities: list[int], active: list[int]) -> int:\n"
+        "    return sum(1 for e in entities if e in active)  # O(n*m)",
+    ),
+    "RA009": Explanation(
+        defect_class="array-shape/dtype mismatch: silent broadcasting or "
+        "promotion produces wrong numbers instead of errors",
+        example="a = np.zeros((3, 4))\n"
+        "b = np.zeros(3)\n"
+        "c = a + b  # shapes (3,4) and (3,) do not broadcast",
+    ),
+    "RA010": Explanation(
+        defect_class="hidden per-tick allocation: missing out=, fancy-index "
+        "copies, and ufunc temporaries dominate the vectorized step",
+        example="def step(load: np.ndarray, out: np.ndarray) -> np.ndarray:\n"
+        "    return load * 2.0  # allocates; np.multiply(load, 2.0, out=out)",
+    ),
+    "RA011": Explanation(
+        defect_class="RNG-stream divergence: reference and vectorized "
+        "engines draw different sequences, breaking bitwise equivalence",
+        example="# reference: rng.normal(size=n)\n"
+        "# vectorized: [rng.normal() for _ in range(n)]  # different stream",
+    ),
+    "RA012": Explanation(
+        defect_class="process-boundary hazard: unpicklable payloads, "
+        "duplicated RNG streams, or shared-state mutation across spawn",
+        example="def fan_out(pool: Pool, rng: Generator) -> None:\n"
+        "    pool.map(run_one, [rng] * 4)  # same stream in every worker",
+    ),
+    "RA013": Explanation(
+        defect_class="event-loop blocking: sync sleep/file/socket I/O or "
+        "CPU-heavy simulation entry points stall every connection",
+        example="async def handle(conn: Conn) -> None:\n"
+        "    time.sleep(1.0)  # blocks the loop; await asyncio.sleep",
+    ),
+    "RA014": Explanation(
+        defect_class="task lifecycle leak: fire-and-forget tasks and "
+        "unawaited coroutines die silently with their exceptions",
+        example="async def start(loop_state: State) -> None:\n"
+        "    asyncio.create_task(tick(loop_state))  # no reference kept",
+    ),
+    "RA015": Explanation(
+        defect_class="cross-task race: coroutine roots mutate shared state "
+        "without a common lock, or await inside a critical section",
+        example="async def bump(stats: dict[str, int]) -> None:\n"
+        "    stats['n'] += 1  # also mutated by another coroutine root",
+    ),
+    "RA016": Explanation(
+        defect_class="unrestartable tick state: served-loop state hiding in "
+        "modules/closures is lost on restart instead of checkpointed",
+        example="_pending: list[int] = []  # tick state outside\n"
+        "# any @checkpointable dataclass",
+    ),
+    "RA017": Explanation(
+        defect_class="dead or unaddressable config: a declared knob nobody "
+        "reads (ignored config) or a literal pin no knob can override",
+        example="# schema declares Knob(name='label', ...)\n"
+        "# but no scenario-reachable function reads scenario.label",
+    ),
+    "RA018": Explanation(
+        defect_class="out-of-contract scenario value: units, bounds, "
+        "dimensions, or mix sums violated by a literal configuration",
+        example="Scenario(scenario_id='x', seed=1,\n"
+        "         base_utilization=45.0)  # fraction knob, percent value",
+    ),
+    "RA019": Explanation(
+        defect_class="default drift: a schema default silently disagrees "
+        "with the simulator default it shadows (or a stale override)",
+        example="# schema: Knob(name='step_minutes', default=5.0,\n"
+        "#               binds='...TraceSynthesisConfig.step_minutes')\n"
+        "# simulator: step_minutes: float = 2.0  # drift, no override=True",
+    ),
+    "RA020": Explanation(
+        defect_class="seed-routing break: a stochastic draw reachable from "
+        "the scenario roots does not derive from the declared seed",
+        example="def materialize(scenario: Scenario) -> Run:\n"
+        "    rng = np.random.default_rng()  # ignores scenario.seed",
+    ),
+}
+
+
+def explain(rule_id: str) -> Explanation | None:
+    """The explanation for ``rule_id`` (case-insensitive), or ``None``."""
+    return EXPLANATIONS.get(rule_id.upper())
+
+
+def render_explanation(rule_id: str, summary: str) -> str:
+    """Human-readable ``--explain`` block for one rule."""
+    entry = EXPLANATIONS[rule_id.upper()]
+    example = "\n".join(f"    {line}" for line in entry.example.splitlines())
+    return (
+        f"{rule_id.upper()}: {summary}\n"
+        f"\n"
+        f"defect class:\n"
+        f"    {entry.defect_class}\n"
+        f"\n"
+        f"minimal flagged example:\n"
+        f"{example}"
+    )

@@ -1,0 +1,57 @@
+"""Declarative scenarios: YAML/JSON documents that fully specify a run.
+
+The schema (:mod:`repro.scenario.schema`) declares every tunable knob
+with its document path, default, unit/dimension tags, bounds, and the
+simulator default it shadows; the loader
+(:mod:`repro.scenario.loader`) validates documents and lowers them
+onto the existing experiment machinery; the runner
+(:mod:`repro.scenario.runner`) executes them under the bench probe
+with deterministic JSONL output.  Analyzer passes RA017-RA020
+machine-check the whole flow — see docs/scenarios.md.
+"""
+
+from repro.scenario.loader import (
+    MaterializedScenario,
+    ScenarioError,
+    load_document,
+    load_scenario,
+    materialize,
+    scenario_from_document,
+    validate_document,
+)
+from repro.scenario.runner import (
+    ScenarioRunResult,
+    bench_report,
+    run_scenario,
+    scenario_jsonl,
+    scenario_rng,
+)
+from repro.scenario.schema import (
+    PINNED,
+    SCENARIO_KNOBS,
+    SCHEMA_VERSION,
+    Knob,
+    Scenario,
+    validate_value,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Knob",
+    "SCENARIO_KNOBS",
+    "PINNED",
+    "Scenario",
+    "validate_value",
+    "ScenarioError",
+    "MaterializedScenario",
+    "load_document",
+    "validate_document",
+    "scenario_from_document",
+    "load_scenario",
+    "materialize",
+    "ScenarioRunResult",
+    "scenario_rng",
+    "run_scenario",
+    "scenario_jsonl",
+    "bench_report",
+]

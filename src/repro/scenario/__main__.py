@@ -1,0 +1,8 @@
+"""``python -m repro.scenario`` — standalone scenario CLI."""
+
+import sys
+
+from repro.scenario.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Command-line front end for the scenario DSL.
+
+Exposed two ways with identical behaviour:
+
+* ``repro scenario run|lint|list`` — subcommand of the main CLI;
+* ``python -m repro.scenario run|lint|list`` — standalone, for CI.
+
+``lint`` checks documents against the schema with the same findings
+language as ``repro analyze`` (RA017 dead keys, RA018 values/units,
+RA020 seed routing) and the shared exit-code contract: 0 clean,
+1 findings, 2 engine/usage errors.  ``run`` executes one document and
+writes deterministic JSONL (plus, optionally, a bench report the
+``repro bench --load A --compare B`` gate can diff).  ``list`` indexes
+a scenario library directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import LintReport
+from repro.lint.output import render_report
+from repro.scenario.loader import (
+    ScenarioError,
+    load_document,
+    load_scenario,
+    validate_document,
+)
+from repro.scenario.runner import bench_report, run_scenario, scenario_jsonl
+
+__all__ = ["add_scenario_arguments", "build_parser", "run_from_args", "main"]
+
+#: Rule summaries for rendered lint reports (SARIF rule metadata).
+_LINT_RULE_DESCRIPTIONS = {
+    "RA017": "undeclared scenario key: the simulator would ignore it",
+    "RA018": "scenario value violates its unit/bound/mix declaration",
+    "RA020": "scenario seed missing: stochastic draws would not be pinned",
+}
+
+#: File patterns `lint`/`list` pick up when given a directory.
+_DOCUMENT_PATTERNS = ("*.yaml", "*.yml", "*.json")
+
+
+def add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``run``/``lint``/``list`` subcommands on ``parser``."""
+    sub = parser.add_subparsers(dest="scenario_command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="execute one scenario document and emit JSONL results"
+    )
+    run_parser.add_argument("document", help="scenario file (.yaml/.yml/.json)")
+    run_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the JSONL results to FILE (default: stdout)",
+    )
+    run_parser.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        default=None,
+        help="also save a bench report for `repro bench --load/--compare`",
+    )
+    run_parser.add_argument(
+        "--tag", default="scenario", help="tag for the bench report"
+    )
+    run_parser.add_argument(
+        "--mem",
+        action="store_true",
+        help="record peak tracemalloc bytes (slower)",
+    )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="schema-check scenario documents (RA017/RA018/RA020 findings)",
+    )
+    lint_parser.add_argument(
+        "documents",
+        nargs="*",
+        help="scenario files or directories (default: ./scenarios)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="output format (default: human; sarif for CI annotation)",
+    )
+
+    list_parser = sub.add_parser(
+        "list", help="index a scenario library directory"
+    )
+    list_parser.add_argument(
+        "directory",
+        nargs="?",
+        default="scenarios",
+        help="library directory (default: ./scenarios)",
+    )
+
+
+def build_parser(prog: str = "repro scenario") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="declarative scenario runner: YAML/JSON documents -> "
+        "validated, seeded, diffable simulation runs",
+    )
+    add_scenario_arguments(parser)
+    return parser
+
+
+def _collect_documents(arguments: Sequence[str]) -> list[Path] | None:
+    """Expand files/directories into a sorted document list."""
+    targets = list(arguments) or ["scenarios"]
+    documents: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            for pattern in _DOCUMENT_PATTERNS:
+                documents.extend(path.glob(pattern))
+        elif path.is_file():
+            documents.append(path)
+        else:
+            print(f"error: no such file or directory: {target}")
+            return None
+    return sorted(set(documents))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        scenario = load_scenario(args.document)
+    except ScenarioError as exc:
+        print(f"error: {exc}")
+        return 2
+    run = run_scenario(scenario, mem=args.mem)
+    payload = scenario_jsonl(run)
+    if args.out is not None:
+        Path(args.out).write_text(payload, encoding="utf-8")
+    else:
+        print(payload, end="")
+    if args.bench_out is not None:
+        bench_report(run, tag=args.tag).save(args.bench_out)
+    ticks = run.bench.counters.get("sim.steps", 0.0)
+    print(
+        f"scenario {scenario.scenario_id or '<unnamed>'}: "
+        f"{len(run.materialized.games)} game(s), "
+        f"{int(ticks)} counted steps, "
+        f"{run.bench.wall_seconds:.2f}s wall"
+    )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    documents = _collect_documents(args.documents)
+    if documents is None:
+        return 2
+    report = LintReport(files_checked=len(documents))
+    if not documents:
+        report.errors.append("no scenario documents found")
+    for document in documents:
+        try:
+            doc = load_document(document)
+        except ScenarioError as exc:
+            report.errors.append(str(exc))
+            continue
+        report.violations.extend(validate_document(doc, path=str(document)))
+    report.violations.sort()
+    rendered = render_report(
+        report,
+        args.format,
+        tool_name="repro-scenario-lint",
+        rule_descriptions=_LINT_RULE_DESCRIPTIONS,
+    )
+    if rendered:
+        print(rendered)
+    return report.exit_code
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    documents = _collect_documents([args.directory])
+    if documents is None:
+        return 2
+    if not documents:
+        print(f"no scenario documents under {args.directory}")
+        return 0
+    for document in documents:
+        try:
+            scenario = load_scenario(document)
+        except ScenarioError as exc:
+            print(f"{document}: INVALID ({exc})")
+            continue
+        print(
+            f"{scenario.scenario_id:28s} seed={scenario.seed:<8d} "
+            f"days={scenario.duration_days:g}+{scenario.warmup_days:g} "
+            f"{scenario.label}"
+        )
+    return 0
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a scenario subcommand from parsed arguments."""
+    if args.scenario_command == "run":
+        return _cmd_run(args)
+    if args.scenario_command == "lint":
+        return _cmd_lint(args)
+    if args.scenario_command == "list":
+        return _cmd_list(args)
+    print(f"error: unknown scenario command {args.scenario_command!r}")
+    return 2
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point; returns the process exit code."""
+    return run_from_args(build_parser().parse_args(argv))

@@ -1,0 +1,422 @@
+"""Load, validate, and materialize scenario documents.
+
+The pipeline is ``document -> Scenario -> MaterializedScenario``:
+
+* :func:`load_document` parses YAML (when available) or JSON;
+* :func:`validate_document` checks the raw mapping against the schema
+  and returns lint findings labelled with the analyzer rule they
+  mirror — RA017 for undeclared keys, RA018 for value/unit/bound
+  violations, RA020 for a missing or non-integer seed — so
+  ``repro scenario lint`` and ``repro analyze`` speak one language;
+* :func:`scenario_from_document` applies defaults into a frozen
+  :class:`~repro.scenario.schema.Scenario`;
+* :func:`materialize` turns a scenario into the existing experiment
+  configuration (synthesized trace, Table III centers, game specs).
+
+``materialize`` reads every knob as an explicit attribute access on
+purpose: those reads are exactly what analyzer pass RA017 counts as
+consumption evidence, so a knob the loader stops reading becomes a
+finding, not silent dead config.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.ecosystem import GameSpec
+from repro.datacenter import DataCenter
+from repro.datacenter.geography import LatencyClass
+from repro.datacenter.policy import custom_policy
+from repro.datacenter.resources import Cpu, Mem
+from repro.experiments.common import make_game, standard_centers
+from repro.lint.engine import Violation
+from repro.scenario.schema import (
+    EVENT_FIELDS,
+    REQUIRED_EVENT_FIELDS,
+    Scenario,
+    knob_by_path,
+    validate_value,
+)
+from repro.traces.events import ContentRelease, MassQuit, PopulationEvent
+from repro.traces.synthesis import (
+    DEFAULT_REGIONS,
+    TraceSynthesisConfig,
+    synthesize_game_trace,
+)
+
+__all__ = [
+    "ScenarioError",
+    "MaterializedScenario",
+    "load_document",
+    "validate_document",
+    "scenario_from_document",
+    "load_scenario",
+    "materialize",
+]
+
+#: Tolerance for weight groups that must sum to one.
+_GROUP_SUM_TOLERANCE = 1e-6
+
+
+class ScenarioError(ValueError):
+    """A scenario document that cannot be loaded or fails validation."""
+
+
+def load_document(path: str | Path) -> Mapping[str, object]:
+    """Parse a scenario file (YAML via PyYAML when installed, else JSON).
+
+    Raises :class:`ScenarioError` on unreadable/unparseable input or a
+    non-mapping top level.
+    """
+    text = _read_text(Path(path))
+    suffix = Path(path).suffix.lower()
+    if suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env without PyYAML
+            raise ScenarioError(
+                f"{path}: PyYAML is not installed; use a .json document "
+                f"or install pyyaml"
+            ) from exc
+        try:
+            doc = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(f"{path}: invalid YAML: {exc}") from exc
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(doc, Mapping):
+        raise ScenarioError(
+            f"{path}: scenario document must be a mapping, "
+            f"got {type(doc).__name__}"
+        )
+    return doc
+
+
+def _read_text(path: Path) -> str:
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(f"{path}: cannot read: {exc}") from exc
+
+
+def _flatten(
+    doc: Mapping[str, object], prefix: str = ""
+) -> dict[str, object]:
+    """Dotted-path view of the nested document (``events`` kept whole)."""
+    flat: dict[str, object] = {}
+    for key, value in doc.items():
+        dotted = f"{prefix}{key}" if not prefix else f"{prefix}.{key}"
+        if dotted == "events":
+            flat[dotted] = value
+        elif isinstance(value, Mapping):
+            flat.update(_flatten(value, dotted))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def _finding(path: str, rule_id: str, message: str) -> Violation:
+    return Violation(path=path, line=1, col=0, rule_id=rule_id, message=message)
+
+
+def validate_document(
+    doc: Mapping[str, object], *, path: str = "<scenario>"
+) -> list[Violation]:
+    """Schema-check one raw document; findings, not exceptions.
+
+    Rule mapping (mirrors the code-side analyzer, see docs/scenarios.md):
+    RA017 undeclared keys, RA018 value/unit/bound/mix violations,
+    RA020 missing or non-integer seed.  RA019 (default drift) is a
+    schema-vs-code property and lives in ``repro analyze``.
+    """
+    findings: list[Violation] = []
+    knobs = knob_by_path()
+    flat = _flatten(doc)
+
+    for dotted in sorted(flat):
+        if dotted == "events":
+            continue
+        if dotted not in knobs:
+            findings.append(
+                _finding(
+                    path,
+                    "RA017",
+                    f"undeclared scenario key '{dotted}': the simulator "
+                    f"would silently ignore it (dead knob)",
+                )
+            )
+    for knob in knobs.values():
+        if knob.required and knob.path not in flat:
+            rule = "RA020" if knob.name == "seed" else "RA018"
+            reason = (
+                "every stochastic draw must route from a declared seed"
+                if knob.name == "seed"
+                else "this knob has no safe implicit default"
+            )
+            findings.append(
+                _finding(
+                    path,
+                    rule,
+                    f"missing required key '{knob.path}': {reason}",
+                )
+            )
+    for dotted, value in sorted(flat.items()):
+        knob = knobs.get(dotted)
+        if knob is None:
+            continue
+        rule = "RA020" if knob.name == "seed" else "RA018"
+        for problem in validate_value(knob, value):
+            findings.append(_finding(path, rule, f"{dotted}: {problem}"))
+
+    findings.extend(_validate_groups(flat, path))
+    events = flat.get("events")
+    if events is not None:
+        findings.extend(_validate_events(events, path))
+    return sorted(findings)
+
+
+def _validate_groups(flat: Mapping[str, object], path: str) -> list[Violation]:
+    """Each weight group (document values + defaults) must sum to 1."""
+    findings: list[Violation] = []
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for knob in knob_by_path().values():
+        if knob.group is None:
+            continue
+        value = flat.get(knob.path, knob.default)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            groups.setdefault(knob.group, []).append((knob.path, float(value)))
+    for group, entries in sorted(groups.items()):
+        total = sum(weight for _, weight in entries)
+        if math.isfinite(total) and abs(total - 1.0) > _GROUP_SUM_TOLERANCE:
+            keys = ", ".join(key for key, _ in entries)
+            findings.append(
+                _finding(
+                    path,
+                    "RA018",
+                    f"workload mix '{group}' sums to {total:g}, not 1.0 "
+                    f"({keys})",
+                )
+            )
+    return findings
+
+
+def _validate_events(events: object, path: str) -> list[Violation]:
+    findings: list[Violation] = []
+    if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+        return [
+            _finding(path, "RA018", "events: expected a list of mappings")
+        ]
+    for index, entry in enumerate(events):
+        where = f"events[{index}]"
+        if not isinstance(entry, Mapping):
+            findings.append(
+                _finding(path, "RA018", f"{where}: expected a mapping")
+            )
+            continue
+        kind = entry.get("kind")
+        if not isinstance(kind, str) or kind not in EVENT_FIELDS:
+            known = ", ".join(sorted(EVENT_FIELDS))
+            findings.append(
+                _finding(
+                    path,
+                    "RA017",
+                    f"{where}: unknown event kind {kind!r} (known: {known})",
+                )
+            )
+            continue
+        allowed = EVENT_FIELDS[kind]
+        for field in sorted(set(entry) - {"kind"} - set(allowed)):
+            findings.append(
+                _finding(
+                    path,
+                    "RA017",
+                    f"{where}: undeclared field '{field}' for {kind}",
+                )
+            )
+        for field in sorted(REQUIRED_EVENT_FIELDS[kind] - set(entry)):
+            findings.append(
+                _finding(
+                    path,
+                    "RA018",
+                    f"{where}: missing required field '{field}' for {kind}",
+                )
+            )
+        for field, value in sorted(entry.items()):
+            if field == "kind" or field not in allowed:
+                continue
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                findings.append(
+                    _finding(
+                        path,
+                        "RA018",
+                        f"{where}.{field}: expected a number, got {value!r}",
+                    )
+                )
+            elif "fraction" in field and not 0.0 <= float(value) <= 1.0:
+                findings.append(
+                    _finding(
+                        path,
+                        "RA018",
+                        f"{where}.{field}: fraction {value:g} outside [0, 1]",
+                    )
+                )
+    return findings
+
+
+def scenario_from_document(
+    doc: Mapping[str, object], *, path: str = "<scenario>"
+) -> Scenario:
+    """Validate ``doc`` and build the frozen :class:`Scenario`.
+
+    Raises :class:`ScenarioError` naming every finding when the
+    document fails validation — the loader never materializes an
+    invalid scenario.
+    """
+    findings = validate_document(doc, path=path)
+    if findings:
+        summary = "; ".join(
+            f"{finding.rule_id}: {finding.message}" for finding in findings
+        )
+        raise ScenarioError(f"{path}: {summary}")
+    flat = _flatten(doc)
+    values: dict[str, object] = {}
+    for dotted, knob in knob_by_path().items():
+        if dotted in flat:
+            raw = flat[dotted]
+            values[knob.name] = (
+                float(raw)
+                if knob.kind == "float" and isinstance(raw, int)
+                else raw
+            )
+    events = flat.get("events")
+    if events is not None:
+        assert isinstance(events, Sequence)
+        values["events"] = tuple(
+            {str(k): v for k, v in entry.items()}
+            for entry in events
+            if isinstance(entry, Mapping)
+        )
+    return Scenario(**values)  # type: ignore[arg-type]
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Parse + validate + build, straight from a file path."""
+    return scenario_from_document(load_document(path), path=str(path))
+
+
+@dataclass(frozen=True)
+class MaterializedScenario:
+    """A scenario lowered onto the existing experiment machinery."""
+
+    scenario: Scenario
+    games: tuple[GameSpec, ...]
+    centers: tuple[DataCenter, ...]
+    warmup_steps: int
+    mode: str
+    trace_config: TraceSynthesisConfig
+
+
+def _event_from_mapping(entry: Mapping[str, object]) -> PopulationEvent:
+    kind = entry.get("kind")
+    fields = {str(k): v for k, v in entry.items() if k != "kind"}
+    if kind == "mass_quit":
+        return MassQuit(**fields)  # type: ignore[arg-type]
+    if kind == "content_release":
+        return ContentRelease(**fields)  # type: ignore[arg-type]
+    raise ScenarioError(f"unknown event kind {kind!r}")
+
+
+def materialize(scenario: Scenario) -> MaterializedScenario:
+    """Lower a scenario onto trace synthesis + Table III centers.
+
+    Every knob is read here (or in the runner) as a plain attribute
+    access — the RA017 consumption contract; see the module docstring.
+    """
+    regions = DEFAULT_REGIONS[: scenario.region_count]
+    events = tuple(_event_from_mapping(entry) for entry in scenario.events)
+    amplitude = (
+        scenario.diurnal_amplitude
+        if scenario.arrival_process == "diurnal"
+        else 0.0
+    )
+    trace_config = TraceSynthesisConfig(
+        name=scenario.scenario_id or "scenario",
+        n_days=scenario.duration_days + scenario.warmup_days,
+        step_minutes=scenario.step_minutes,
+        regions=regions,
+        capacity=scenario.capacity,
+        base_utilization=scenario.base_utilization,
+        diurnal_amplitude=amplitude,
+        peak_hour=scenario.peak_hour,
+        noise_std=scenario.noise_std,
+        weekend_boost=scenario.weekend_boost,
+        always_full_fraction=scenario.always_full_percent / 100.0,
+        outage_rate_per_group_day=scenario.outage_rate_per_group_day,
+        spike_rate_per_region_day=scenario.spike_rate_per_region_day,
+        events=events,
+        seed=scenario.seed,
+    )
+    policy = custom_policy(
+        name="HP-scenario",
+        cpu_bulk=Cpu(scenario.cpu_bulk),
+        memory_bulk=Mem(scenario.memory_bulk),
+        time_bulk_minutes=scenario.time_bulk_minutes,
+    )
+    centers = tuple(standard_centers(policies=[policy]))
+    latency = LatencyClass[scenario.latency.upper()]
+
+    # The workload mix: solitary players scale O(n) (Tigers-vs-Lions),
+    # the group-based share follows the update_model knob.  Each nonzero
+    # component gets its own trace with region weights scaled by its
+    # share and a seed offset derived from the scenario seed.
+    mix: tuple[tuple[str, float, str, int], ...] = (
+        ("group", scenario.group_share, scenario.update_model, 0),
+        ("solitary", scenario.solitary_share, "O(n)", 1),
+    )
+    games: list[GameSpec] = []
+    for component, share, update, seed_offset in mix:
+        if share <= 0.0:
+            continue
+        component_regions = tuple(
+            replace(spec, weight=spec.weight * share) for spec in regions
+        )
+        component_config = replace(
+            trace_config,
+            name=f"{trace_config.name}-{component}",
+            regions=component_regions,
+            seed=scenario.seed + seed_offset,
+        )
+        trace = synthesize_game_trace(component_config)
+        games.append(
+            make_game(
+                trace,
+                name=component_config.name,
+                update=update,
+                predictor=scenario.predictor,
+                latency=latency,
+                safety_margin=scenario.safety_margin,
+            )
+        )
+    if not games:
+        raise ScenarioError(
+            "scenario workload mix is empty (all shares are zero)"
+        )
+    steps_per_day = 24.0 * 60.0 / scenario.step_minutes
+    warmup_steps = int(round(scenario.warmup_days * steps_per_day))
+    return MaterializedScenario(
+        scenario=scenario,
+        games=tuple(games),
+        centers=centers,
+        warmup_steps=warmup_steps,
+        mode=scenario.mode,
+        trace_config=trace_config,
+    )

@@ -1,0 +1,141 @@
+"""Execute scenarios and emit diffable results.
+
+``run_scenario`` lowers a :class:`~repro.scenario.schema.Scenario`
+through the loader and runs it under the standard bench probe, so one
+run yields three artifacts:
+
+* deterministic JSONL (:func:`scenario_jsonl`) — a sorted-key header
+  describing the scenario plus one line per scalar instrument; two
+  runs of the same document are byte-identical (the CI rerun gate);
+* a :class:`~repro.perf.schema.BenchReport` (:func:`bench_report`) the
+  existing ``repro bench --load A --compare B`` gate can diff;
+* the raw :class:`~repro.core.ecosystem.SimulationResult`.
+
+``scenario_rng`` is the sanctioned stochastic entry point for scenario
+code: every stream folds the stream label into the scenario's declared
+seed, which is exactly the derivation analyzer pass RA020 certifies.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.core import SimulationResult
+from repro.experiments.common import run_ecosystem
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.perf.env import capture_environment
+from repro.perf.runner import measure_callable
+from repro.perf.schema import BenchReport, ExperimentBench
+from repro.scenario.loader import MaterializedScenario, materialize
+from repro.scenario.schema import SCENARIO_KNOBS, SCHEMA_VERSION, Scenario
+
+__all__ = [
+    "ScenarioRunResult",
+    "scenario_rng",
+    "run_scenario",
+    "scenario_jsonl",
+    "bench_report",
+]
+
+
+def scenario_rng(scenario: Scenario, stream: str) -> np.random.Generator:
+    """A named random stream derived from the scenario's declared seed.
+
+    The stream label is CRC-32-folded into the seed (the
+    ``experiment_rng`` idiom), so streams are independent yet the whole
+    run is pinned by ``scenario.seed`` — the RA020 contract.
+    """
+    return np.random.default_rng(
+        (zlib.crc32(stream.encode("utf-8")) << 8) ^ scenario.seed
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    materialized: MaterializedScenario
+    bench: ExperimentBench
+    registry: MetricsRegistry
+    result: SimulationResult
+
+
+def run_scenario(scenario: Scenario, *, mem: bool = False) -> ScenarioRunResult:
+    """Materialize and run one scenario under the bench probe.
+
+    ``mem=True`` additionally records peak ``tracemalloc`` bytes (off by
+    default: the rerun-determinism gate only needs counters).
+    """
+    lowered = materialize(scenario)
+    name = scenario.scenario_id or "scenario"
+    measured = measure_callable(
+        name,
+        lambda: run_ecosystem(
+            list(lowered.games),
+            list(lowered.centers),
+            mode=lowered.mode,
+            warmup=lowered.warmup_steps,
+        ),
+        mem=mem,
+    )
+    return ScenarioRunResult(
+        scenario=scenario,
+        materialized=lowered,
+        bench=measured.bench,
+        registry=measured.registry,
+        result=measured.value,
+    )
+
+
+def scenario_jsonl(run: ScenarioRunResult) -> str:
+    """Deterministic JSONL: header line + one line per scalar instrument.
+
+    Keys are sorted and histograms are excluded (their summaries can
+    carry timing observations), so repeated runs of one document are
+    byte-identical — the property the CI scenario job asserts with a
+    plain ``cmp``.
+    """
+    scenario = run.scenario
+    knobs = {
+        knob.name: getattr(scenario, knob.name) for knob in SCENARIO_KNOBS
+    }
+    header = {
+        "kind": "scenario",
+        "schema_version": SCHEMA_VERSION,
+        "id": scenario.scenario_id,
+        "label": scenario.label,
+        "seed": scenario.seed,
+        "knobs": knobs,
+        "events": [dict(event) for event in scenario.events],
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    scalars: dict[str, float] = {}
+    for instrument in run.registry:
+        if isinstance(instrument, Histogram):
+            continue
+        scalars[instrument.name] = instrument.value
+    for name in sorted(scalars):
+        lines.append(
+            json.dumps(
+                {"kind": "metric", "name": name, "value": scalars[name]},
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def bench_report(run: ScenarioRunResult, *, tag: str = "scenario") -> BenchReport:
+    """Wrap the run as a bench report for ``repro bench --compare``."""
+    name = run.scenario.scenario_id or "scenario"
+    return BenchReport(
+        tag=tag,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        env=capture_environment(),
+        experiments={name: run.bench},
+    )

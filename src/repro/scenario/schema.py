@@ -1,0 +1,578 @@
+"""The declarative scenario schema: every tunable knob, as data.
+
+A scenario is a small YAML/JSON document (seed, duration, warmup,
+arrival process, workload mix, hosting/latency knobs) that fully
+specifies one simulation run.  This module declares the schema the
+loader consumes and the config-flow analyzer passes machine-check:
+
+* :data:`SCENARIO_KNOBS` — one :class:`Knob` per tunable, each with its
+  document path, type, default, unit/dimension tags, bounds, and the
+  dotted simulator default it shadows (``binds``);
+* :class:`Scenario` — the flat, frozen in-memory form (one field per
+  knob, plus the structured ``events`` list);
+* :data:`PINNED` — the short list of simulator parameters the loader
+  deliberately pins to constants (reviewed here, never inline).
+
+The analyzer reads this module *statically* (rules RA017-RA020 in
+``repro.analysis``): RA017 proves every knob is consumed and every
+literal the loader pins is either a ``binds`` target or ``PINNED``;
+RA018 evaluates concrete values against the unit/bound declarations;
+RA019 diffs each ``default`` against its ``binds`` target (``override``
+is the explicit marker for deliberate divergence); RA020 proves every
+stochastic call under ``repro scenario run`` routes from ``seed``.
+Keep :data:`SCENARIO_KNOBS` a literal tuple of literal ``Knob(...)``
+calls — computed entries would blind those passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Mapping, Protocol
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Knob",
+    "SCENARIO_KNOBS",
+    "PINNED",
+    "EVENT_FIELDS",
+    "REQUIRED_EVENT_FIELDS",
+    "Scenario",
+    "KnobLike",
+    "knob_by_name",
+    "knob_by_path",
+    "validate_value",
+    "scenario_defaults",
+]
+
+#: Version stamp carried in every emitted JSONL header.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One scenario tunable: document path, type, default, contracts.
+
+    Parameters
+    ----------
+    name:
+        The :class:`Scenario` field the value lands in.
+    path:
+        Dotted document path (``"workload.arrival.base_utilization"``).
+    kind:
+        Value type: ``"int"``, ``"float"``, or ``"str"``.
+    default:
+        Value used when the document omits the key.
+    unit:
+        ``"fraction"`` ([0, 1] scale) or ``"percent"`` ([0, 100] scale);
+        RA018 flags values that look like the other scale.
+    dim:
+        Resource dimension tag (``"Cpu"``/``"Mem"``) per RA002.
+    lo / hi:
+        Inclusive bounds; ``None`` leaves that side open.
+    choices:
+        Closed vocabulary for string knobs.
+    binds:
+        Dotted simulator default this knob shadows (class field,
+        function parameter, or module constant); RA019 keeps the two
+        defaults in agreement.
+    override:
+        Explicit marker that ``default`` deliberately diverges from the
+        ``binds`` target (say why in ``help``); RA019 flags stale
+        markers too.
+    divisor:
+        The simulator divides by this value, so 0 is an RA018 finding.
+    group:
+        Weight-group label; each group's values must sum to 1.0.
+    required:
+        The document must spell this key out (no silent default).
+    help:
+        One-line reference text for ``docs/scenarios.md`` and lint
+        messages.
+    """
+
+    name: str
+    path: str
+    kind: str
+    default: int | float | str
+    unit: str | None = None
+    dim: str | None = None
+    lo: float | None = None
+    hi: float | None = None
+    choices: tuple[str, ...] | None = None
+    binds: str | None = None
+    override: bool = False
+    divisor: bool = False
+    group: str | None = None
+    required: bool = False
+    help: str = ""
+
+
+#: The full schema.  Literal tuple of literal calls — see module doc.
+SCENARIO_KNOBS: tuple[Knob, ...] = (
+    Knob(
+        name="scenario_id",
+        path="id",
+        kind="str",
+        default="",
+        required=True,
+        help="unique scenario identifier (also names the trace and bench entry)",
+    ),
+    Knob(
+        name="label",
+        path="label",
+        kind="str",
+        default="",
+        help="one-line human description shown by `repro scenario list`",
+    ),
+    Knob(
+        name="seed",
+        path="seed",
+        kind="int",
+        default=42,
+        lo=0.0,
+        required=True,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.seed",
+        override=True,
+        help="master seed; every stochastic draw routes from it (RA020). "
+        "Deliberately not the TraceSynthesisConfig default: scenarios "
+        "must declare their own seed, never inherit 20080",
+    ),
+    Knob(
+        name="duration_days",
+        path="duration_days",
+        kind="float",
+        default=2.0,
+        lo=0.05,
+        hi=366.0,
+        help="evaluated simulation length in days (after warmup)",
+    ),
+    Knob(
+        name="warmup_days",
+        path="warmup_days",
+        kind="float",
+        default=1.0,
+        lo=0.0,
+        hi=366.0,
+        help="predictor warm-up prefix in days, excluded from metrics",
+    ),
+    Knob(
+        name="arrival_process",
+        path="workload.arrival.process",
+        kind="str",
+        default="diurnal",
+        choices=("diurnal", "constant"),
+        help="player-arrival shape: evening-peaked diurnal cycle, or "
+        "flat (constant keeps base_utilization, zeroing the cycle)",
+    ),
+    Knob(
+        name="base_utilization",
+        path="workload.arrival.base_utilization",
+        kind="float",
+        default=0.45,
+        unit="fraction",
+        lo=0.0,
+        hi=1.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.base_utilization",
+        help="off-peak baseline utilization of an average server group",
+    ),
+    Knob(
+        name="diurnal_amplitude",
+        path="workload.arrival.diurnal_amplitude",
+        kind="float",
+        default=0.38,
+        unit="fraction",
+        lo=0.0,
+        hi=1.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.diurnal_amplitude",
+        help="peak-hour utilization lift on top of the baseline",
+    ),
+    Knob(
+        name="peak_hour",
+        path="workload.arrival.peak_hour",
+        kind="float",
+        default=19.0,
+        lo=0.0,
+        hi=24.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.peak_hour",
+        help="local hour of the diurnal peak",
+    ),
+    Knob(
+        name="noise_std",
+        path="workload.arrival.noise_std",
+        kind="float",
+        default=0.05,
+        lo=0.0,
+        hi=0.5,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.noise_std",
+        help="stationary std of the session-flow noise (utilization units)",
+    ),
+    Knob(
+        name="weekend_boost",
+        path="workload.arrival.weekend_boost",
+        kind="float",
+        default=0.12,
+        unit="fraction",
+        lo=0.0,
+        hi=1.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.weekend_boost",
+        help="relative weekend population boost (0 disables weekend effects)",
+    ),
+    Knob(
+        name="spike_rate_per_region_day",
+        path="workload.stress.spike_rate_per_region_day",
+        kind="float",
+        default=2.0,
+        lo=0.0,
+        hi=200.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.spike_rate_per_region_day",
+        help="expected region-wide load spikes per region per day",
+    ),
+    Knob(
+        name="outage_rate_per_group_day",
+        path="workload.stress.outage_rate_per_group_day",
+        kind="float",
+        default=0.02,
+        lo=0.0,
+        hi=50.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.outage_rate_per_group_day",
+        help="expected short outages per server group per day",
+    ),
+    Knob(
+        name="always_full_percent",
+        path="workload.stress.always_full_percent",
+        kind="float",
+        default=4.0,
+        unit="percent",
+        lo=0.0,
+        hi=99.0,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.always_full_fraction",
+        override=True,
+        help="share of groups pinned at ~95% load, as a percent; the "
+        "loader converts to the fraction-scaled simulator field "
+        "(4.0 percent == 0.04), hence the override marker",
+    ),
+    Knob(
+        name="step_minutes",
+        path="workload.step_minutes",
+        kind="float",
+        default=2.0,
+        lo=0.5,
+        hi=60.0,
+        divisor=True,
+        binds="repro.traces.synthesis.TraceSynthesisConfig.step_minutes",
+        help="sampling period; divides the day, so 0 is meaningless",
+    ),
+    Knob(
+        name="capacity",
+        path="workload.capacity",
+        kind="int",
+        default=2000,
+        lo=1.0,
+        divisor=True,
+        binds="repro.traces.model.DEFAULT_SERVER_CAPACITY",
+        help="players per server group; utilization divides by it",
+    ),
+    Knob(
+        name="region_count",
+        path="workload.regions",
+        kind="int",
+        default=5,
+        lo=1.0,
+        hi=5.0,
+        help="number of geographic regions (prefix of the paper's five)",
+    ),
+    Knob(
+        name="solitary_share",
+        path="workload.mix.solitary",
+        kind="float",
+        default=0.0,
+        unit="fraction",
+        lo=0.0,
+        hi=1.0,
+        group="mix",
+        help="population share with solitary (O(n)) behaviour, per the "
+        "Tigers-vs-Lions MMORPG characterization",
+    ),
+    Knob(
+        name="group_share",
+        path="workload.mix.group",
+        kind="float",
+        default=1.0,
+        unit="fraction",
+        lo=0.0,
+        hi=1.0,
+        group="mix",
+        help="population share with group-based behaviour (the "
+        "update_model knob; RuneScape-like default)",
+    ),
+    Knob(
+        name="update_model",
+        path="game.update_model",
+        kind="str",
+        default="O(n^2)",
+        choices=("O(n)", "O(n log n)", "O(n^2)", "O(n^2 log n)", "O(n^3)"),
+        binds="repro.experiments.common.make_game.update",
+        help="interaction-complexity class of the group-based component",
+    ),
+    Knob(
+        name="predictor",
+        path="game.predictor",
+        kind="str",
+        default="Neural",
+        choices=(
+            "Neural",
+            "Average",
+            "Last value",
+            "Moving average",
+            "Sliding window",
+            "Exp. smoothing",
+        ),
+        binds="repro.experiments.common.make_game.predictor",
+        help="Table V load predictor driving provisioning",
+    ),
+    Knob(
+        name="safety_margin",
+        path="game.safety_margin",
+        kind="float",
+        default=0.0,
+        unit="fraction",
+        lo=0.0,
+        hi=1.0,
+        binds="repro.experiments.common.make_game.safety_margin",
+        help="over-allocation margin on top of the prediction",
+    ),
+    Knob(
+        name="mode",
+        path="hosting.mode",
+        kind="str",
+        default="dynamic",
+        choices=("dynamic", "static"),
+        binds="repro.experiments.common.run_ecosystem.mode",
+        help="dynamic provisioning, or static peak-sized allocation",
+    ),
+    Knob(
+        name="latency",
+        path="hosting.latency",
+        kind="str",
+        default="very_far",
+        choices=("same_location", "very_close", "close", "far", "very_far"),
+        binds="repro.experiments.common.make_game.latency",
+        help="latency tolerance class of the game (Table IV)",
+    ),
+    Knob(
+        name="time_bulk_minutes",
+        path="hosting.time_bulk_minutes",
+        kind="float",
+        default=120.0,
+        lo=2.0,
+        hi=1440.0,
+        divisor=True,
+        binds="repro.experiments.common.optimal_policy.time_bulk_minutes",
+        help="minimum lease length (the HP-opt two-hour default)",
+    ),
+    Knob(
+        name="cpu_bulk",
+        path="hosting.cpu_bulk",
+        kind="float",
+        default=0.1,
+        dim="Cpu",
+        lo=0.01,
+        hi=16.0,
+        binds="repro.datacenter.policy.custom_policy.cpu_bulk",
+        override=True,
+        help="CPU allocation grain; follows the HP-opt concretization "
+        "(0.1 units), not custom_policy's coarser 0.37 default",
+    ),
+    Knob(
+        name="memory_bulk",
+        path="hosting.memory_bulk",
+        kind="float",
+        default=1.0,
+        dim="Mem",
+        lo=0.125,
+        hi=64.0,
+        binds="repro.datacenter.policy.custom_policy.memory_bulk",
+        override=True,
+        help="memory allocation grain; follows the HP-opt concretization "
+        "(1 unit), not custom_policy's 2-unit default",
+    ),
+)
+
+#: Simulator parameters the loader pins to literals on purpose.  RA017
+#: flags any literal keyword the scenario layer passes into the
+#: simulator unless it is a ``binds`` target or listed here — growing
+#: this frozenset is the reviewed way to bless a new pin.
+PINNED: frozenset[str] = frozenset(
+    {
+        # The policy name is presentation, not behaviour.
+        "custom_policy.name",
+    }
+)
+
+#: Allowed fields per population-event kind (the ``events:`` list).
+EVENT_FIELDS: Mapping[str, frozenset[str]] = {
+    "mass_quit": frozenset(
+        {
+            "start_day",
+            "drop_fraction",
+            "drop_days",
+            "amend_day",
+            "recovery_days",
+            "recovery_level",
+        }
+    ),
+    "content_release": frozenset(
+        {"day", "surge_fraction", "ramp_days", "duration_days"}
+    ),
+}
+
+#: Fields each event kind must spell out.
+REQUIRED_EVENT_FIELDS: Mapping[str, frozenset[str]] = {
+    "mass_quit": frozenset({"start_day"}),
+    "content_release": frozenset({"day"}),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-resolved scenario: a field per knob, plus events.
+
+    Field defaults mirror :data:`SCENARIO_KNOBS` one-for-one; RA017
+    checks the name sets match and the test suite checks the defaults
+    (the schema's own default-drift guard).
+    """
+
+    scenario_id: str = ""
+    label: str = ""
+    seed: int = 42
+    duration_days: float = 2.0
+    warmup_days: float = 1.0
+    arrival_process: str = "diurnal"
+    base_utilization: float = 0.45
+    diurnal_amplitude: float = 0.38
+    peak_hour: float = 19.0
+    noise_std: float = 0.05
+    weekend_boost: float = 0.12
+    spike_rate_per_region_day: float = 2.0
+    outage_rate_per_group_day: float = 0.02
+    always_full_percent: float = 4.0
+    step_minutes: float = 2.0
+    capacity: int = 2000
+    region_count: int = 5
+    solitary_share: float = 0.0
+    group_share: float = 1.0
+    update_model: str = "O(n^2)"
+    predictor: str = "Neural"
+    safety_margin: float = 0.0
+    mode: str = "dynamic"
+    latency: str = "very_far"
+    time_bulk_minutes: float = 120.0
+    cpu_bulk: float = 0.1
+    memory_bulk: float = 1.0
+    #: Population events, as plain mappings (kind + constructor fields).
+    events: tuple[Mapping[str, object], ...] = ()
+
+
+class KnobLike(Protocol):
+    """Duck-typed knob: the runtime :class:`Knob` and the analyzer's
+    statically-extracted declaration both satisfy it, so
+    :func:`validate_value` is the single value oracle for both.
+    Members are read-only properties so any frozen dataclass with the
+    right shape structurally matches."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def path(self) -> str: ...
+
+    @property
+    def kind(self) -> str: ...
+
+    @property
+    def unit(self) -> str | None: ...
+
+    @property
+    def dim(self) -> str | None: ...
+
+    @property
+    def lo(self) -> float | None: ...
+
+    @property
+    def hi(self) -> float | None: ...
+
+    @property
+    def choices(self) -> tuple[str, ...] | None: ...
+
+    @property
+    def divisor(self) -> bool: ...
+
+
+def knob_by_name() -> dict[str, Knob]:
+    """``{field name: knob}`` for the full schema."""
+    return {knob.name: knob for knob in SCENARIO_KNOBS}
+
+
+def knob_by_path() -> dict[str, Knob]:
+    """``{document path: knob}`` for the full schema."""
+    return {knob.path: knob for knob in SCENARIO_KNOBS}
+
+
+def scenario_defaults() -> dict[str, int | float | str]:
+    """``{field name: default}`` straight from the dataclass."""
+    out: dict[str, int | float | str] = {}
+    for f in fields(Scenario):
+        if f.name == "events":
+            continue
+        assert isinstance(f.default, (int, float, str))
+        out[f.name] = f.default
+    return out
+
+
+def validate_value(knob: KnobLike, value: object) -> list[str]:
+    """Every contract one value can violate, as human-ready messages.
+
+    Shared verbatim by ``repro scenario lint`` (concrete documents) and
+    analyzer pass RA018 (literal values in code); both prefix the
+    knob's document path when reporting.
+    """
+    problems: list[str] = []
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        return [f"expected {knob.kind}, got {type(value).__name__}"]
+    if knob.kind == "str":
+        if not isinstance(value, str):
+            return [f"expected a string, got {value!r}"]
+        if knob.choices is not None and value not in knob.choices:
+            problems.append(
+                f"{value!r} is not one of {', '.join(knob.choices)}"
+            )
+        return problems
+    if isinstance(value, str):
+        return [f"expected {knob.kind}, got string {value!r}"]
+    if knob.kind == "int" and not isinstance(value, int):
+        return [f"expected an integer, got {value!r}"]
+
+    number = float(value)
+    if knob.unit == "fraction" and 1.0 < number <= 100.0:
+        problems.append(
+            f"{number:g} looks percent-scaled, but this knob is a "
+            f"fraction in [0, 1]"
+        )
+    elif knob.unit == "percent" and 0.0 < number < 1.0:
+        problems.append(
+            f"{number:g} looks fraction-scaled, but this knob is a "
+            f"percent in [0, 100]"
+        )
+    elif knob.lo is not None and number < knob.lo:
+        problems.append(f"{number:g} is below the minimum {knob.lo:g}")
+    elif knob.hi is not None and number > knob.hi:
+        problems.append(f"{number:g} is above the maximum {knob.hi:g}")
+    # Exact zero is the one value division cannot survive; a tolerance
+    # would wrongly reject small-but-valid divisors.
+    if knob.divisor and number == 0.0:  # reprolint: disable=RL003
+        problems.append("the simulator divides by this knob; 0 is invalid")
+    if knob.dim is not None and number < 0.0:
+        problems.append(
+            f"a {knob.dim} resource quantity cannot be negative"
+        )
+    return problems

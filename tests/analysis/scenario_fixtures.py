@@ -1,0 +1,110 @@
+"""Shared virtual-project fixtures for the RA017-RA020 batteries.
+
+Each battery builds a miniature project with the same layout as the
+real tree — a schema module declaring ``SCENARIO_KNOBS``, a loader in
+the scenario package, and a simulator module in ``repro.traces`` — and
+runs one pass over it.  Helpers here keep the per-test sources down to
+the single defect under test.
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.project import Project
+from repro.analysis.symbols import SymbolTable
+
+SCHEMA_PATH = "src/repro/scenario/schema.py"
+LOADER_PATH = "src/repro/scenario/loader.py"
+SIM_PATH = "src/repro/traces/synthesis.py"
+SWEEP_PATH = "src/repro/experiments/sweep.py"
+
+#: The simulator side: one dataclass field, one function parameter,
+#: and one module constant for knobs to bind.
+SIM_SOURCE = (
+    "from dataclasses import dataclass\n"
+    "\n"
+    "DEFAULT_CAPACITY = 2000\n"
+    "\n"
+    "\n"
+    "@dataclass(frozen=True)\n"
+    "class TraceSynthesisConfig:\n"
+    "    name: str = 'runescape-like'\n"
+    "    seed: int = 20080\n"
+    "    base_utilization: float = 0.45\n"
+    "    capacity: int = DEFAULT_CAPACITY\n"
+    "\n"
+    "\n"
+    "def synthesize(config, *, seed=1):\n"
+    "    return config\n"
+)
+
+
+def schema_source(knobs: str, fields: str) -> str:
+    """A schema module with the given knob tuple and Scenario body."""
+    return (
+        "SCENARIO_KNOBS = (\n"
+        f"{knobs}"
+        ")\n"
+        "\n"
+        "PINNED = frozenset({'TraceSynthesisConfig.name'})\n"
+        "\n"
+        "\n"
+        "class Scenario:\n"
+        f"{fields}"
+        "    events: tuple = ()\n"
+    )
+
+
+#: A coherent two-knob schema: seed (override) + base_utilization.
+DEFAULT_KNOBS = (
+    "    Knob(name='seed', path='seed', kind='int', default=42,\n"
+    "         required=True, override=True,\n"
+    "         binds='repro.traces.synthesis.TraceSynthesisConfig.seed'),\n"
+    "    Knob(name='base_utilization', path='workload.base_utilization',\n"
+    "         kind='float', default=0.45, unit='fraction', lo=0.0, hi=1.0,\n"
+    "         binds='repro.traces.synthesis."
+    "TraceSynthesisConfig.base_utilization'),\n"
+)
+DEFAULT_FIELDS = (
+    "    seed: int = 42\n"
+    "    base_utilization: float = 0.45\n"
+)
+
+#: A loader whose materialize consumes every default knob and routes
+#: the scenario seed into the simulator.
+DEFAULT_LOADER = (
+    "from repro.scenario.schema import Scenario\n"
+    "from repro.traces.synthesis import TraceSynthesisConfig, synthesize\n"
+    "\n"
+    "\n"
+    "def materialize(scenario: Scenario):\n"
+    "    config = TraceSynthesisConfig(\n"
+    "        seed=scenario.seed,\n"
+    "        base_utilization=scenario.base_utilization,\n"
+    "    )\n"
+    "    return synthesize(config, seed=scenario.seed)\n"
+)
+
+
+def build_project(sources: dict[str, str]) -> Project:
+    return Project.from_sources(sources)
+
+
+def build_symbols(
+    sources: dict[str, str],
+) -> tuple[SymbolTable, CallGraph]:
+    project = build_project(sources)
+    symbols = SymbolTable(project)
+    return symbols, CallGraph.build(project, symbols)
+
+
+def default_sources(
+    *,
+    knobs: str = DEFAULT_KNOBS,
+    fields: str = DEFAULT_FIELDS,
+    loader: str = DEFAULT_LOADER,
+    sim: str = SIM_SOURCE,
+) -> dict[str, str]:
+    return {
+        SCHEMA_PATH: schema_source(knobs, fields),
+        LOADER_PATH: loader,
+        SIM_PATH: sim,
+    }

@@ -28,11 +28,12 @@ def test_cli_subcommand_is_wired():
     assert repro_main(["analyze", SRC]) == 0
 
 
-def test_list_passes_prints_all_sixteen(capsys):
+def test_list_passes_prints_all_twenty(capsys):
     assert main(["--list-passes"]) == 0
     out = capsys.readouterr().out
-    for n in range(1, 17):
+    for n in range(1, 21):
         assert f"RA{n:03d}" in out
+    assert "--explain" in out
 
 
 def test_list_rules_is_an_alias_for_list_passes(capsys):
@@ -59,6 +60,39 @@ def test_async_passes_run_clean_on_the_real_tree():
         [SRC], root=REPO_ROOT, passes=["RA013", "RA014", "RA015", "RA016"]
     )
     assert report.ok, "\n" + format_human(report)
+
+
+def test_config_flow_passes_run_clean_on_the_real_tree():
+    report = analyze_paths(
+        [SRC], root=REPO_ROOT, passes=["RA017", "RA018", "RA019", "RA020"]
+    )
+    assert report.ok, "\n" + format_human(report)
+
+
+def test_explain_prints_defect_class_and_example(capsys):
+    assert main(["--explain", "RA017"]) == 0
+    out = capsys.readouterr().out
+    assert "defect class:" in out
+    assert "minimal flagged example:" in out
+
+
+def test_explain_redirects_lint_rules_to_repro_lint(capsys):
+    assert main(["--explain", "RL003"]) == 2
+    assert "repro lint --explain RL003" in capsys.readouterr().out
+
+
+def test_explain_unknown_id_is_a_usage_error(capsys):
+    assert main(["--explain", "RA999"]) == 2
+    assert "RA999" in capsys.readouterr().out
+
+
+def test_every_rule_and_pass_has_an_explanation():
+    from repro.analysis.engine import PASS_SUMMARIES
+    from repro.lint.explain import EXPLANATIONS
+    from repro.lint.rules import rule_table
+
+    registered = set(PASS_SUMMARIES) | {rule_id for rule_id, _ in rule_table()}
+    assert registered == set(EXPLANATIONS)
 
 
 def test_jobs_fanout_report_is_identical_to_serial(tmp_path):

@@ -1,0 +1,121 @@
+"""RA019 fixture battery: schema defaults vs the defaults they shadow."""
+
+from repro.analysis.defaultdrift import check_default_drift
+from repro.analysis.engine import analyze_project
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+from tests.analysis.scenario_fixtures import (
+    SCHEMA_PATH,
+    build_project,
+    build_symbols,
+    default_sources,
+)
+
+BINDS = "repro.traces.synthesis.TraceSynthesisConfig.base_utilization"
+
+
+def violations(sources):
+    symbols, _graph = build_symbols(sources)
+    return check_default_drift(symbols)
+
+
+def knob(default: float, *, override: bool = False, binds: str = BINDS) -> str:
+    return (
+        "    Knob(name='seed', path='seed', kind='int', default=42),\n"
+        f"    Knob(name='base_utilization', path='b', kind='float',\n"
+        f"         default={default!r}, override={override!r},\n"
+        f"         binds={binds!r}),\n"
+    )
+
+
+FIELDS = "    seed: int = 42\n    base_utilization: float = 0.45\n"
+
+
+def test_matching_defaults_are_clean():
+    assert violations(default_sources(knobs=knob(0.45), fields=FIELDS)) == []
+
+
+def test_drift_without_override_is_flagged():
+    found = violations(default_sources(knobs=knob(0.6), fields=FIELDS))
+    assert [(v.rule_id, v.path) for v in found] == [("RA019", SCHEMA_PATH)]
+    assert "drifts from" in found[0].message
+    assert "0.45" in found[0].message
+
+
+def test_override_marker_blesses_a_drift():
+    sources = default_sources(knobs=knob(0.6, override=True), fields=FIELDS)
+    assert violations(sources) == []
+
+
+def test_stale_override_marker_is_flagged():
+    sources = default_sources(knobs=knob(0.45, override=True), fields=FIELDS)
+    found = violations(sources)
+    assert len(found) == 1
+    assert "stale override marker" in found[0].message
+
+
+def test_missing_binds_target_is_flagged():
+    gone = "repro.traces.synthesis.TraceSynthesisConfig.vanished"
+    found = violations(default_sources(knobs=knob(0.45, binds=gone), fields=FIELDS))
+    assert len(found) == 1
+    assert "does not exist" in found[0].message
+
+
+def test_binds_target_outside_the_analysis_scope_is_skipped():
+    # A partial tree (schema without the simulator package) must not
+    # report every binding as removed — the target is out of scope.
+    sources = default_sources(knobs=knob(0.6), fields=FIELDS)
+    del sources["src/repro/traces/synthesis.py"]
+    assert violations(sources) == []
+
+
+def test_function_parameter_default_is_compared():
+    knobs = (
+        "    Knob(name='seed', path='seed', kind='int', default=9,\n"
+        "         binds='repro.traces.synthesis.synthesize.seed'),\n"
+    )
+    fields = "    seed: int = 9\n"
+    found = violations(default_sources(knobs=knobs, fields=fields))
+    # synthesize(*, seed=1) -> drift 9 != 1.
+    assert len(found) == 1 and "drifts from" in found[0].message
+
+
+def test_module_constant_default_is_compared_through_wrappers():
+    # capacity: int = DEFAULT_CAPACITY (2000) resolves transitively.
+    knobs = (
+        "    Knob(name='capacity', path='capacity', kind='int', default=2000,\n"
+        "         binds='repro.traces.synthesis.TraceSynthesisConfig"
+        ".capacity'),\n"
+    )
+    fields = "    capacity: int = 2000\n"
+    assert violations(default_sources(knobs=knobs, fields=fields)) == []
+
+
+def test_string_defaults_compare_case_insensitively():
+    knobs = (
+        "    Knob(name='name', path='name', kind='str',\n"
+        "         default='RuneScape-Like',\n"
+        "         binds='repro.traces.synthesis.TraceSynthesisConfig"
+        ".name'),\n"
+    )
+    fields = "    name: str = 'RuneScape-Like'\n"
+    assert violations(default_sources(knobs=knobs, fields=fields)) == []
+
+
+def test_pragma_suppresses_and_baseline_ratchets(tmp_path):
+    sources = default_sources(knobs=knob(0.6), fields=FIELDS)
+    report = analyze_project(build_project(sources), passes=["RA019"])
+    assert [v.rule_id for v in report.violations] == ["RA019"]
+
+    baseline = tmp_path / "ra019.json"
+    write_baseline(report, baseline)
+    rerun = analyze_project(build_project(sources), passes=["RA019"])
+    apply_baseline(rerun, load_baseline(baseline))
+    assert rerun.violations == []
+
+    # File pragma on the schema module silences the drift.
+    sources[SCHEMA_PATH] = (
+        "# reprolint: disable-file=RA019\n" + sources[SCHEMA_PATH]
+    )
+    report = analyze_project(build_project(sources), passes=["RA019"])
+    assert report.violations == []

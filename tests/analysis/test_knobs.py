@@ -1,0 +1,144 @@
+"""RA017 fixture battery: dead knobs, schema coherence, literal pins."""
+
+from repro.analysis.engine import analyze_project
+from repro.analysis.knobs import check_knobs
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+from tests.analysis.scenario_fixtures import (
+    DEFAULT_FIELDS,
+    DEFAULT_KNOBS,
+    LOADER_PATH,
+    SCHEMA_PATH,
+    build_project,
+    build_symbols,
+    default_sources,
+    schema_source,
+)
+
+
+def violations(sources):
+    symbols, graph = build_symbols(sources)
+    return check_knobs(symbols, graph)
+
+
+def test_clean_fixture_has_no_findings():
+    assert violations(default_sources()) == []
+
+
+def test_no_schema_module_means_no_findings():
+    assert violations({LOADER_PATH: "def materialize(scenario): pass\n"}) == []
+
+
+def test_dead_knob_is_flagged():
+    # base_utilization is declared but materialize never reads it.
+    loader = (
+        "from repro.scenario.schema import Scenario\n"
+        "from repro.traces.synthesis import TraceSynthesisConfig\n"
+        "def materialize(scenario: Scenario):\n"
+        "    return TraceSynthesisConfig(seed=scenario.seed)\n"
+    )
+    found = violations(default_sources(loader=loader))
+    assert [(v.rule_id, v.path) for v in found] == [("RA017", SCHEMA_PATH)]
+    assert "dead knob 'base_utilization'" in found[0].message
+
+
+def test_knob_read_through_untyped_local_counts_as_consumed():
+    # ``scenario = run.scenario`` and ``s = load(...)`` with an
+    # annotated return both type the local without an annotation.
+    loader = (
+        "from repro.scenario.schema import Scenario\n"
+        "from repro.traces.synthesis import TraceSynthesisConfig\n"
+        "def load() -> Scenario:\n"
+        "    return Scenario()\n"
+        "def materialize(scenario: Scenario):\n"
+        "    s = load()\n"
+        "    return TraceSynthesisConfig(\n"
+        "        seed=s.seed, base_utilization=s.base_utilization)\n"
+    )
+    assert violations(default_sources(loader=loader)) == []
+
+
+def test_knob_without_scenario_field_is_flagged():
+    fields = "    seed: int = 42\n"  # base_utilization field missing
+    found = violations(default_sources(fields=fields))
+    assert any(
+        "knob 'base_utilization' has no matching Scenario field" in v.message
+        for v in found
+    )
+
+
+def test_scenario_field_without_knob_is_flagged():
+    fields = DEFAULT_FIELDS + "    mystery: float = 1.0\n"
+    found = violations(default_sources(fields=fields))
+    assert [(v.rule_id, v.path) for v in found] == [("RA017", SCHEMA_PATH)]
+    assert "Scenario field 'mystery' has no knob declaration" in found[0].message
+
+
+def test_unaddressable_literal_pin_is_flagged():
+    loader = (
+        "from repro.scenario.schema import Scenario\n"
+        "from repro.traces.synthesis import TraceSynthesisConfig\n"
+        "def materialize(scenario: Scenario):\n"
+        "    return TraceSynthesisConfig(\n"
+        "        seed=scenario.seed,\n"
+        "        base_utilization=scenario.base_utilization,\n"
+        "        capacity=4000,\n"
+        "    )\n"
+    )
+    found = violations(default_sources(loader=loader))
+    assert [(v.rule_id, v.path, v.line) for v in found] == [
+        ("RA017", LOADER_PATH, 7)
+    ]
+    assert "TraceSynthesisConfig.capacity" in found[0].message
+    assert "not schema-addressable" in found[0].message
+
+
+def test_pinned_allowlist_blesses_a_literal_pin():
+    loader = (
+        "from repro.scenario.schema import Scenario\n"
+        "from repro.traces.synthesis import TraceSynthesisConfig\n"
+        "def materialize(scenario: Scenario):\n"
+        "    return TraceSynthesisConfig(\n"
+        "        name='scenario',\n"
+        "        seed=scenario.seed,\n"
+        "        base_utilization=scenario.base_utilization,\n"
+        "    )\n"
+    )
+    assert violations(default_sources(loader=loader)) == []
+
+
+def test_unreachable_reader_does_not_consume():
+    # The only reader is not reachable from the scenario roots.
+    loader = (
+        "from repro.scenario.schema import Scenario\n"
+        "from repro.traces.synthesis import TraceSynthesisConfig\n"
+        "def materialize(scenario: Scenario):\n"
+        "    return TraceSynthesisConfig(seed=scenario.seed)\n"
+        "def offline_tool(scenario: Scenario):\n"
+        "    return scenario.base_utilization\n"
+    )
+    found = violations(default_sources(loader=loader))
+    assert ["dead knob 'base_utilization'" in v.message for v in found] == [True]
+
+
+def test_pragma_suppresses_and_baseline_ratchets(tmp_path):
+    fields = DEFAULT_FIELDS + "    mystery: float = 1.0\n"
+    sources = default_sources(fields=fields)
+    report = analyze_project(build_project(sources), passes=["RA017"])
+    assert [v.rule_id for v in report.violations] == ["RA017"]
+
+    # Baseline ratchet: recorded findings are filtered out.
+    baseline = tmp_path / "ra017.json"
+    write_baseline(report, baseline)
+    rerun = analyze_project(build_project(sources), passes=["RA017"])
+    apply_baseline(rerun, load_baseline(baseline))
+    assert rerun.violations == []
+
+    # Line pragma on the offending field silences the finding.
+    sources[SCHEMA_PATH] = schema_source(
+        DEFAULT_KNOBS,
+        DEFAULT_FIELDS
+        + "    mystery: float = 1.0  # reprolint: disable=RA017\n",
+    )
+    report = analyze_project(build_project(sources), passes=["RA017"])
+    assert report.violations == []

@@ -1,0 +1,133 @@
+"""RA018 fixture battery: literal Scenario values vs the declarations."""
+
+from repro.analysis.engine import analyze_project
+from repro.analysis.scenariovalues import check_scenario_values, fold_constant
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+from tests.analysis.scenario_fixtures import (
+    SCHEMA_PATH,
+    SWEEP_PATH,
+    build_project,
+    build_symbols,
+    default_sources,
+)
+
+import ast
+
+
+def violations(sources):
+    symbols, _graph = build_symbols(sources)
+    return check_scenario_values(symbols)
+
+
+def sweep(call: str) -> str:
+    return (
+        "from repro.scenario.schema import Scenario\n"
+        "\n"
+        f"SCENARIO = Scenario({call})\n"
+    )
+
+
+def with_sweep(call: str):
+    sources = default_sources()
+    sources[SWEEP_PATH] = sweep(call)
+    return sources
+
+
+def test_clean_literal_call_has_no_findings():
+    assert violations(with_sweep("seed=7, base_utilization=0.6")) == []
+
+
+def test_percent_scaled_fraction_is_flagged():
+    found = violations(with_sweep("base_utilization=45.0"))
+    assert [(v.rule_id, v.path, v.line) for v in found] == [
+        ("RA018", SWEEP_PATH, 3)
+    ]
+    assert "looks percent-scaled" in found[0].message
+
+
+def test_out_of_interval_value_is_flagged():
+    found = violations(with_sweep("base_utilization=-0.2"))
+    assert len(found) == 1
+    assert "workload.base_utilization" in found[0].message
+
+
+def test_wrong_type_is_flagged():
+    found = violations(with_sweep("seed='forty-two'"))
+    assert [(v.rule_id, v.path) for v in found] == [("RA018", SWEEP_PATH)]
+
+
+def test_folded_arithmetic_is_seen_through():
+    # 45 / 100 folds to 0.45 — in range, clean.
+    assert violations(with_sweep("base_utilization=45 / 100")) == []
+    # 45 * 10 folds to 450 — flagged.
+    assert len(violations(with_sweep("base_utilization=45 * 10"))) == 1
+
+
+def test_non_literal_values_are_never_flagged():
+    assert violations(with_sweep("base_utilization=compute()")) == []
+
+
+def test_schema_default_violating_its_own_bounds_is_flagged():
+    knobs = (
+        "    Knob(name='seed', path='seed', kind='int', default=42),\n"
+        "    Knob(name='noise', path='noise', kind='float', default=1.5,\n"
+        "         lo=0.0, hi=0.5),\n"
+    )
+    fields = "    seed: int = 42\n    noise: float = 1.5\n"
+    # No loader consumption needed: RA018 does not do reachability.
+    sources = default_sources(knobs=knobs, fields=fields)
+    found = violations(sources)
+    assert [(v.rule_id, v.path) for v in found] == [("RA018", SCHEMA_PATH)]
+    assert "default violates its own declaration" in found[0].message
+
+
+def test_mix_group_must_sum_to_one():
+    knobs = (
+        "    Knob(name='seed', path='seed', kind='int', default=42),\n"
+        "    Knob(name='solitary', path='mix.solitary', kind='float',\n"
+        "         default=0.0, group='mix'),\n"
+        "    Knob(name='group', path='mix.group', kind='float',\n"
+        "         default=1.0, group='mix'),\n"
+    )
+    fields = (
+        "    seed: int = 42\n"
+        "    solitary: float = 0.0\n"
+        "    group: float = 1.0\n"
+    )
+    sources = default_sources(knobs=knobs, fields=fields)
+    sources[SWEEP_PATH] = sweep("solitary=0.3")  # group stays 1.0 -> 1.3
+    found = violations(sources)
+    assert [(v.rule_id, v.path) for v in found] == [("RA018", SWEEP_PATH)]
+    assert "sums to 1.3" in found[0].message
+    # Overriding both sides back to a valid split is clean.
+    sources[SWEEP_PATH] = sweep("solitary=0.3, group=0.7")
+    assert violations(sources) == []
+
+
+def test_fold_constant_handles_strings_and_unknowns():
+    assert fold_constant(ast.parse("'O(n^2)'", mode="eval").body) == "O(n^2)"
+    assert fold_constant(ast.parse("x + 1", mode="eval").body) is None
+    assert fold_constant(ast.parse("1 / 0", mode="eval").body) is None
+
+
+def test_pragma_suppresses_and_baseline_ratchets(tmp_path):
+    sources = with_sweep("base_utilization=45.0")
+    report = analyze_project(build_project(sources), passes=["RA018"])
+    assert [v.rule_id for v in report.violations] == ["RA018"]
+
+    baseline = tmp_path / "ra018.json"
+    write_baseline(report, baseline)
+    rerun = analyze_project(build_project(sources), passes=["RA018"])
+    apply_baseline(rerun, load_baseline(baseline))
+    assert rerun.violations == []
+
+    sources[SWEEP_PATH] = (
+        "from repro.scenario.schema import Scenario\n"
+        "\n"
+        "SCENARIO = Scenario(\n"
+        "    base_utilization=45.0,  # reprolint: disable=RA018\n"
+        ")\n"
+    )
+    report = analyze_project(build_project(sources), passes=["RA018"])
+    assert report.violations == []

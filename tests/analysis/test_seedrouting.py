@@ -1,0 +1,159 @@
+"""RA020 fixture battery: every stochastic draw derives from the seed."""
+
+from repro.analysis.engine import analyze_project
+from repro.analysis.seedrouting import check_seed_routing
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+
+from tests.analysis.scenario_fixtures import (
+    LOADER_PATH,
+    build_project,
+    build_symbols,
+    default_sources,
+)
+
+PREAMBLE = (
+    "from numpy.random import default_rng\n"
+    "from repro.scenario.schema import Scenario\n"
+    "from repro.traces.synthesis import TraceSynthesisConfig, synthesize\n"
+)
+
+
+def violations(sources):
+    symbols, graph = build_symbols(sources)
+    return check_seed_routing(symbols, graph)
+
+
+def loader(body: str):
+    return default_sources(loader=PREAMBLE + body)
+
+
+def test_clean_fixture_routes_every_draw_from_the_seed():
+    assert violations(default_sources()) == []
+
+
+def test_unseeded_rng_constructor_is_flagged():
+    found = violations(
+        loader(
+            "def materialize(scenario: Scenario):\n"
+            "    rng = default_rng()\n"
+            "    return rng\n"
+        )
+    )
+    assert [(v.rule_id, v.path, v.line) for v in found] == [
+        ("RA020", LOADER_PATH, 5)
+    ]
+    assert "unseeded RNG constructor" in found[0].message
+
+
+def test_rng_seeded_from_non_seed_expression_is_flagged():
+    found = violations(
+        loader(
+            "def materialize(scenario: Scenario):\n"
+            "    return default_rng(scenario.capacity * 3)\n"
+        )
+    )
+    assert len(found) == 1
+    assert "not derived from the scenario's declared seed" in found[0].message
+
+
+def test_rng_seeded_from_scenario_seed_is_clean():
+    assert (
+        violations(
+            loader(
+                "def materialize(scenario: Scenario):\n"
+                "    return default_rng(scenario.seed ^ 17)\n"
+            )
+        )
+        == []
+    )
+
+
+def test_seed_derived_local_flows_through_assignments():
+    assert (
+        violations(
+            loader(
+                "def materialize(scenario: Scenario):\n"
+                "    base = scenario.seed << 8\n"
+                "    mixed = base ^ 1234\n"
+                "    return default_rng(mixed)\n"
+            )
+        )
+        == []
+    )
+
+
+def test_omitted_seed_argument_is_flagged():
+    found = violations(
+        loader(
+            "def materialize(scenario: Scenario):\n"
+            "    config = TraceSynthesisConfig(\n"
+            "        base_utilization=scenario.base_utilization)\n"
+            "    return synthesize(config, seed=scenario.seed)\n"
+        )
+    )
+    assert len(found) == 1
+    assert "omits seed=" in found[0].message
+    assert "TraceSynthesisConfig" in found[0].message
+
+
+def test_hard_coded_seed_literal_is_flagged():
+    found = violations(
+        loader(
+            "def materialize(scenario: Scenario):\n"
+            "    config = TraceSynthesisConfig(seed=scenario.seed,\n"
+            "        base_utilization=scenario.base_utilization)\n"
+            "    return synthesize(config, seed=7)\n"
+        )
+    )
+    assert len(found) == 1
+    assert "hard-coded seed=7" in found[0].message
+
+
+def test_unreachable_function_is_not_checked():
+    # The bad constructor lives in a helper nothing reachable calls.
+    found = violations(
+        loader(
+            "def materialize(scenario: Scenario):\n"
+            "    return synthesize(\n"
+            "        TraceSynthesisConfig(seed=scenario.seed,\n"
+            "            base_utilization=scenario.base_utilization),\n"
+            "        seed=scenario.seed)\n"
+            "def offline_helper():\n"
+            "    return default_rng()\n"
+        )
+    )
+    assert found == []
+
+
+def test_no_schema_module_means_no_findings():
+    sources = {
+        LOADER_PATH: PREAMBLE.replace(
+            "from repro.scenario.schema import Scenario\n", ""
+        )
+        + "def materialize(scenario):\n"
+        "    return default_rng()\n"
+    }
+    assert violations(sources) == []
+
+
+def test_pragma_suppresses_and_baseline_ratchets(tmp_path):
+    sources = loader(
+        "def materialize(scenario: Scenario):\n"
+        "    rng = default_rng()\n"
+        "    return rng\n"
+    )
+    report = analyze_project(build_project(sources), passes=["RA020"])
+    assert [v.rule_id for v in report.violations] == ["RA020"]
+
+    baseline = tmp_path / "ra020.json"
+    write_baseline(report, baseline)
+    rerun = analyze_project(build_project(sources), passes=["RA020"])
+    apply_baseline(rerun, load_baseline(baseline))
+    assert rerun.violations == []
+
+    sources[LOADER_PATH] = sources[LOADER_PATH].replace(
+        "    rng = default_rng()\n",
+        "    rng = default_rng()  # reprolint: disable=RA020\n",
+    )
+    report = analyze_project(build_project(sources), passes=["RA020"])
+    assert report.violations == []

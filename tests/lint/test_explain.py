@@ -1,0 +1,47 @@
+"""``repro lint --explain`` and the shared explanation registry."""
+
+from repro.lint.cli import main
+from repro.lint.explain import EXPLANATIONS, explain, render_explanation
+from repro.lint.rules import rule_table
+
+
+def test_explain_prints_defect_class_and_example(capsys):
+    assert main(["--explain", "RL004"]) == 0
+    out = capsys.readouterr().out
+    assert "RL004" in out
+    assert "defect class:" in out
+    assert "minimal flagged example:" in out
+    assert "queue" in out  # the example snippet itself is shown
+
+
+def test_explain_is_case_insensitive(capsys):
+    assert main(["--explain", "rl004"]) == 0
+    capsys.readouterr()
+
+
+def test_explain_redirects_analyzer_passes_to_repro_analyze(capsys):
+    assert main(["--explain", "RA003"]) == 2
+    assert "repro analyze --explain RA003" in capsys.readouterr().out
+
+
+def test_explain_unknown_id_is_a_usage_error(capsys):
+    assert main(["--explain", "RL999"]) == 2
+    assert "RL999" in capsys.readouterr().out
+
+
+def test_list_rules_advertises_explain(capsys):
+    assert main(["--list-rules"]) == 0
+    assert "--explain" in capsys.readouterr().out
+
+
+def test_every_lint_rule_has_an_explanation():
+    for rule_id, summary in rule_table():
+        assert explain(rule_id) is not None, rule_id
+        rendered = render_explanation(rule_id, summary)
+        assert summary in rendered
+
+
+def test_explanations_have_no_orphans():
+    known = {rule_id for rule_id, _ in rule_table()}
+    known |= {rule_id for rule_id in EXPLANATIONS if rule_id.startswith("RA")}
+    assert set(EXPLANATIONS) == known

@@ -1,0 +1,119 @@
+"""The ``repro scenario`` CLI: lint catches the defect fixtures, run is
+deterministic end-to-end, and the committed library stays clean."""
+
+import json
+from pathlib import Path
+
+from repro.scenario.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LIBRARY = REPO_ROOT / "scenarios"
+
+GOOD = (
+    "id: probe\n"
+    "seed: 11\n"
+    "duration_days: 0.2\n"
+    "warmup_days: 0.05\n"
+    "workload:\n"
+    "  regions: 2\n"
+)
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_lint_clean_document(tmp_path, capsys):
+    path = write(tmp_path, "good.yaml", GOOD)
+    assert main(["lint", str(path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_catches_dead_knob_fixture(tmp_path, capsys):
+    path = write(tmp_path, "dead.yaml", GOOD + "mystery_knob: 3\n")
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "RA017" in out and "mystery_knob" in out
+
+
+def test_lint_catches_percent_fraction_fixture(tmp_path, capsys):
+    path = write(
+        tmp_path,
+        "pct.yaml",
+        GOOD + "game:\n  safety_margin: 10.0\n",
+    )
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "RA018" in out and "percent-scaled" in out
+
+
+def test_lint_catches_unseeded_fixture(tmp_path, capsys):
+    path = write(tmp_path, "unseeded.yaml", "id: probe\nduration_days: 0.2\n")
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "RA020" in out and "seed" in out
+
+
+def test_lint_reports_all_defects_per_directory(tmp_path, capsys):
+    write(tmp_path, "a.yaml", GOOD + "mystery_knob: 3\n")
+    write(tmp_path, "b.yaml", GOOD + "hosting:\n  cpu_bulk: -1.0\n")
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "a.yaml" in out and "b.yaml" in out
+
+
+def test_lint_json_format_is_machine_readable(tmp_path, capsys):
+    path = write(tmp_path, "dead.yaml", GOOD + "mystery_knob: 3\n")
+    assert main(["lint", str(path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 1
+    assert payload["violations"][0]["rule"] == "RA017"
+
+
+def test_committed_library_lints_clean(capsys):
+    assert main(["lint", str(LIBRARY)]) == 0
+    capsys.readouterr()
+
+
+def test_list_summarizes_the_library(capsys):
+    assert main(["list", str(LIBRARY)]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "syn-baseline",
+        "flash-crowd",
+        "regional-outage-failover",
+        "operator-churn",
+        "esports-spike-weekend",
+        "tigers-vs-lions-mix",
+    ):
+        assert name in out
+
+
+def test_run_writes_deterministic_jsonl(tmp_path, capsys):
+    doc = write(tmp_path, "probe.yaml", GOOD)
+    out_a = tmp_path / "a.jsonl"
+    out_b = tmp_path / "b.jsonl"
+    assert main(["run", str(doc), "--out", str(out_a)]) == 0
+    assert main(["run", str(doc), "--out", str(out_b)]) == 0
+    capsys.readouterr()
+    assert out_a.read_bytes() == out_b.read_bytes()
+    header = json.loads(out_a.read_text().splitlines()[0])
+    assert header["id"] == "probe"
+
+
+def test_run_rejects_an_invalid_document(tmp_path, capsys):
+    doc = write(tmp_path, "bad.yaml", GOOD + "mystery_knob: 3\n")
+    assert main(["run", str(doc)]) == 2
+    assert "mystery_knob" in capsys.readouterr().out
+
+
+def test_run_writes_a_bench_report(tmp_path, capsys):
+    doc = write(tmp_path, "probe.yaml", GOOD)
+    bench = tmp_path / "bench.json"
+    assert main(["run", str(doc), "--bench-out", str(bench), "--tag", "t"]) == 0
+    capsys.readouterr()
+    payload = json.loads(bench.read_text())
+    assert payload["tag"] == "t"
+    assert [e["name"] for e in payload["experiments"]] == ["probe"]

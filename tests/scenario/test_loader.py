@@ -1,0 +1,141 @@
+"""Document loading, validation findings, and materialization."""
+
+import json
+
+import pytest
+
+from repro.datacenter.geography import LatencyClass
+from repro.scenario.loader import (
+    ScenarioError,
+    load_document,
+    load_scenario,
+    materialize,
+    scenario_from_document,
+    validate_document,
+)
+from repro.scenario.schema import Scenario
+
+MINIMAL = {"id": "t", "seed": 7, "duration_days": 0.2, "warmup_days": 0.1}
+
+
+def write_yaml(tmp_path, text):
+    path = tmp_path / "doc.yaml"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_load_document_json_and_yaml_agree(tmp_path):
+    yml = write_yaml(tmp_path, "id: t\nseed: 7\nworkload:\n  capacity: 1000\n")
+    jsn = tmp_path / "doc.json"
+    jsn.write_text(
+        json.dumps({"id": "t", "seed": 7, "workload": {"capacity": 1000}}),
+        encoding="utf-8",
+    )
+    assert load_document(yml) == load_document(jsn)
+
+
+def test_non_mapping_document_is_an_error(tmp_path):
+    path = write_yaml(tmp_path, "- just\n- a\n- list\n")
+    with pytest.raises(ScenarioError):
+        load_document(path)
+
+
+def test_undeclared_key_is_an_ra017_finding():
+    found = validate_document(dict(MINIMAL, mystery_knob=3), path="d.yaml")
+    assert [v.rule_id for v in found] == ["RA017"]
+    assert "mystery_knob" in found[0].message
+
+
+def test_percent_fraction_mixup_is_an_ra018_finding():
+    doc = dict(MINIMAL)
+    doc["workload"] = {"arrival": {"base_utilization": 45.0}}
+    found = validate_document(doc, path="d.yaml")
+    assert [v.rule_id for v in found] == ["RA018"]
+    assert "percent-scaled" in found[0].message
+
+
+def test_missing_seed_is_an_ra020_finding():
+    doc = {"id": "t", "duration_days": 0.2}
+    found = validate_document(doc, path="d.yaml")
+    assert [v.rule_id for v in found] == ["RA020"]
+    assert "seed" in found[0].message
+
+
+def test_bad_mix_sum_is_flagged():
+    doc = dict(MINIMAL)
+    doc["workload"] = {"mix": {"solitary": 0.4, "group": 0.4}}
+    found = validate_document(doc, path="d.yaml")
+    assert any(v.rule_id == "RA018" and "mix" in v.message for v in found)
+
+
+def test_unknown_event_kind_and_fraction_fields_are_flagged():
+    doc = dict(MINIMAL)
+    doc["events"] = [
+        {"kind": "earthquake"},
+        {"kind": "content_release", "day": 1.0, "surge_fraction": 1.5},
+    ]
+    found = validate_document(doc, path="d.yaml")
+    rules = sorted(v.rule_id for v in found)
+    assert rules == ["RA017", "RA018"]
+
+
+def test_scenario_from_document_raises_on_findings():
+    with pytest.raises(ScenarioError) as err:
+        scenario_from_document(dict(MINIMAL, mystery=1), path="d.yaml")
+    assert "mystery" in str(err.value)
+
+
+def test_load_scenario_round_trip(tmp_path):
+    path = write_yaml(
+        tmp_path,
+        "id: t\nseed: 7\nduration_days: 0.2\nwarmup_days: 0.1\n"
+        "workload:\n  regions: 2\n  mix:\n    solitary: 0.25\n"
+        "    group: 0.75\n",
+    )
+    scenario = load_scenario(path)
+    assert scenario.scenario_id == "t"
+    assert scenario.seed == 7
+    assert scenario.region_count == 2
+    assert scenario.solitary_share == 0.25
+
+
+def test_materialize_builds_games_and_warmup():
+    scenario = Scenario(
+        scenario_id="t",
+        seed=7,
+        duration_days=0.2,
+        warmup_days=0.1,
+        region_count=2,
+        latency="far",
+    )
+    lowered = materialize(scenario)
+    assert len(lowered.games) == 1
+    assert lowered.games[0].latency_class is LatencyClass.FAR
+    # 0.1 days at 2-minute steps -> 72 warmup steps.
+    assert lowered.warmup_steps == 72
+    assert lowered.trace_config.seed == 7
+    assert len(lowered.trace_config.regions) == 2
+
+
+def test_materialize_mix_produces_one_game_per_component():
+    scenario = Scenario(
+        scenario_id="t",
+        seed=7,
+        duration_days=0.2,
+        warmup_days=0.0,
+        solitary_share=0.3,
+        group_share=0.7,
+    )
+    lowered = materialize(scenario)
+    assert len(lowered.games) == 2
+    # Component traces draw from distinct derived seeds.
+    seeds = {g.trace.name for g in lowered.games}
+    assert len(seeds) == 2
+
+
+def test_materialize_rejects_an_empty_mix():
+    scenario = Scenario(  # reprolint: disable=RA018
+        scenario_id="t", seed=7, solitary_share=0.0, group_share=0.0
+    )
+    with pytest.raises(ScenarioError):
+        materialize(scenario)

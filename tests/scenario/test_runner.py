@@ -1,0 +1,63 @@
+"""The determinism contract: one document, byte-identical reruns."""
+
+from repro.scenario.runner import (
+    bench_report,
+    run_scenario,
+    scenario_jsonl,
+    scenario_rng,
+)
+from repro.scenario.schema import Scenario
+
+SHORT = Scenario(
+    scenario_id="determinism-probe",
+    seed=20080,
+    duration_days=0.2,
+    warmup_days=0.1,
+    region_count=2,
+)
+
+
+def test_rerun_is_byte_identical_with_equal_counters():
+    first = run_scenario(SHORT)
+    second = run_scenario(SHORT)
+    assert first.bench.counters == second.bench.counters
+    assert first.bench.counters["sim.steps"] > 0
+    assert scenario_jsonl(first) == scenario_jsonl(second)
+
+
+def test_jsonl_header_carries_the_full_knob_set():
+    import json
+
+    run = run_scenario(SHORT)
+    lines = scenario_jsonl(run).splitlines()
+    header = json.loads(lines[0])
+    assert header["kind"] == "scenario"
+    assert header["id"] == "determinism-probe"
+    assert header["seed"] == 20080
+    assert header["knobs"]["region_count"] == 2
+    assert all(json.loads(line)["kind"] == "metric" for line in lines[1:])
+    assert len(lines) > 1
+
+
+def test_different_seeds_change_the_counters():
+    import dataclasses
+
+    other = dataclasses.replace(SHORT, seed=1)
+    a = run_scenario(SHORT)
+    b = run_scenario(other)
+    assert a.bench.counters != b.bench.counters
+
+
+def test_scenario_rng_streams_are_stable_and_distinct():
+    a1 = scenario_rng(SHORT, "matching").integers(0, 1 << 30, size=4)
+    a2 = scenario_rng(SHORT, "matching").integers(0, 1 << 30, size=4)
+    b = scenario_rng(SHORT, "other").integers(0, 1 << 30, size=4)
+    assert a1.tolist() == a2.tolist()
+    assert a1.tolist() != b.tolist()
+
+
+def test_bench_report_wraps_the_run_for_the_compare_gate():
+    run = run_scenario(SHORT)
+    report = bench_report(run, tag="probe")
+    assert report.tag == "probe"
+    assert "determinism-probe" in report.experiments

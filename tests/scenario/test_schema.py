@@ -1,0 +1,67 @@
+"""The knob schema: coherence with the dataclass and the value oracle."""
+
+import dataclasses
+
+from repro.scenario.schema import (
+    EVENT_FIELDS,
+    REQUIRED_EVENT_FIELDS,
+    SCENARIO_KNOBS,
+    Scenario,
+    knob_by_name,
+    knob_by_path,
+    scenario_defaults,
+    validate_value,
+)
+
+
+def test_every_knob_matches_a_scenario_field_and_default():
+    declared = scenario_defaults()
+    for knob in SCENARIO_KNOBS:
+        assert knob.name in declared, knob.name
+        assert declared[knob.name] == knob.default, knob.name
+
+
+def test_every_scenario_field_is_a_knob_or_events():
+    names = {knob.name for knob in SCENARIO_KNOBS}
+    for field in dataclasses.fields(Scenario):
+        assert field.name in names or field.name == "events", field.name
+
+
+def test_knob_paths_and_names_are_unique():
+    assert len(knob_by_name()) == len(SCENARIO_KNOBS)
+    assert len(knob_by_path()) == len(SCENARIO_KNOBS)
+
+
+def test_every_default_passes_the_oracle():
+    for knob in SCENARIO_KNOBS:
+        assert validate_value(knob, knob.default) == [], knob.name
+
+
+def test_oracle_flags_percent_scaled_fractions():
+    knob = knob_by_name()["base_utilization"]
+    problems = validate_value(knob, 45.0)
+    assert any("percent-scaled" in p for p in problems)
+
+
+def test_oracle_flags_fraction_scaled_percents():
+    knob = knob_by_name()["always_full_percent"]
+    problems = validate_value(knob, 0.04)
+    assert any("fraction-scaled" in p for p in problems)
+
+
+def test_oracle_flags_bounds_types_and_choices():
+    by_name = knob_by_name()
+    assert validate_value(by_name["peak_hour"], 25.0)
+    assert validate_value(by_name["seed"], "not-a-seed")
+    assert validate_value(by_name["predictor"], "Psychic")
+
+
+def test_oracle_flags_zero_divisor_knobs():
+    knob = knob_by_name()["step_minutes"]
+    problems = validate_value(knob, 0)
+    assert any("divides by this knob" in p for p in problems)
+
+
+def test_required_event_fields_are_declared():
+    for kind, required in REQUIRED_EVENT_FIELDS.items():
+        assert required <= EVENT_FIELDS[kind], kind
