@@ -40,7 +40,7 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
         "--passes",
         metavar="IDS",
         default=None,
-        help="comma-separated pass ids to run (default: all of RA001-RA020)",
+        help="comma-separated pass ids to run (default: all of RA001-RA021)",
     )
     parser.add_argument(
         "--format",
@@ -107,7 +107,7 @@ def build_parser(prog: str = "repro analyze") -> argparse.ArgumentParser:
         "passes (event-loop blocking, task lifecycle, cross-task "
         "sharing, tick restartability), and the config-flow passes "
         "(knob reachability, scenario values, default drift, seed "
-        "routing) (RA001-RA020)",
+        "routing), plus span instrumentation coverage (RA001-RA021)",
     )
     add_analyze_arguments(parser)
     return parser

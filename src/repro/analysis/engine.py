@@ -39,6 +39,7 @@ from repro.analysis.rngflow import check_rng_flow
 from repro.analysis.rngstream import check_rngstream
 from repro.analysis.scenariovalues import check_scenario_values
 from repro.analysis.seedrouting import check_seed_routing
+from repro.analysis.spans import check_spans
 from repro.analysis.symbols import SymbolTable
 from repro.lint.engine import (
     ANALYSIS_RULE_IDS,
@@ -90,6 +91,8 @@ PASS_SUMMARIES: dict[str, str] = {
     "simulator defaults they bind (or carry an explicit override marker)",
     "RA020": "seed routing: every stochastic draw reachable from the "
     "scenario-run roots derives from the scenario's declared seed",
+    "RA021": "instrumentation coverage: every reachable phase root opens a "
+    "span; orphan spans and `with span(...)` across await are flagged",
 }
 
 
@@ -156,6 +159,7 @@ def analyze_project(
         "RA016",
         "RA017",
         "RA020",
+        "RA021",
     }:
         graph = CallGraph.build(project, symbols)
     if "RA001" in selected and graph is not None:
@@ -220,6 +224,8 @@ def analyze_project(
         report.violations.extend(check_default_drift(symbols))
     if "RA020" in selected and graph is not None:
         report.violations.extend(check_seed_routing(symbols, graph))
+    if "RA021" in selected and graph is not None:
+        report.violations.extend(check_spans(symbols, graph))
 
     _apply_suppressions(project, report)
     report.violations.sort()

@@ -1,0 +1,238 @@
+"""RA021 — instrumentation coverage: phase roots must open spans.
+
+The tracing layer (:mod:`repro.obs.trace`) only explains a run when the
+span tree actually covers the work.  This pass proves three properties
+over the whole-program call graph:
+
+* **coverage** — every function reachable from the span roots (the
+  step-loop/purity roots plus the service tick loop, the scenario
+  runner, and the predictor-evaluation entry points) that *charges a
+  phase* (``timer.lap(...)`` / ``timer.phase(...)``) must also *open a
+  span* (``recorder.begin(...)`` or ``with span(...)``), so ``repro
+  trace diff`` can attribute every phase's wall time to a span path;
+* **no orphans** — a function outside the sanctioned observability
+  boundary that opens spans but is not reachable from any span root
+  would record spans that never parent under a phase root; flag it so
+  the root list and the instrumentation cannot drift apart silently;
+* **no spans across await** — a ``with span(...)`` block containing an
+  ``await`` would charge suspended time to the span and, worse, end it
+  on a different task step than it began; the sanctioned pattern for a
+  deliberate cross-await span is manual ``begin``/``end`` on handles
+  (see ``TickServer._tick_loop``), which this pass leaves alone.
+
+Traversal stops at the RA001 observability boundary
+(``repro.obs``/``repro.perf``): the recorder, the trace CLI, and the
+bench harness legitimately open spans on their own authority.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.purity import DEFAULT_BOUNDARY_PREFIXES, DEFAULT_ROOTS
+from repro.analysis.symbols import FunctionInfo, SymbolTable
+from repro.lint.engine import Violation
+from repro.lint.rules import ImportMap
+
+__all__ = ["SPAN_ROOTS", "check_spans"]
+
+RULE_ID = "RA021"
+
+#: Everything the step-loop purity roots cover, plus the surfaces the
+#: tracing tentpole instruments directly: the live service's tick loop
+#: and client dispatch (manual handle spans), the scenario runner, the
+#: predictor-evaluation entry points (``predict.*`` spans), and the
+#: stepper's prepare/install phases.
+SPAN_ROOTS: tuple[str, ...] = DEFAULT_ROOTS + (
+    "repro.core.stepper.TickStepper.prepare",
+    "repro.core.stepper.TickStepper.install_static",
+    "repro.core.stepper.TickStepper.step",
+    "repro.predictors.evaluation.one_step_predictions",
+    "repro.predictors.evaluation.time_predictor",
+    "repro.scenario.runner.run_scenario",
+    "repro.service.server.TickServer._tick_loop",
+    "repro.service.server.TickServer._dispatch",
+)
+
+#: Attribute calls that charge wall time to a phase (the PhaseTimer
+#: surface: ``timer.lap("emulate", t0)`` / ``with timer.phase("x")``).
+_PHASE_CHARGING_ATTRS = frozenset({"lap", "phase"})
+
+#: Attribute calls that open a span on a recorder handle.
+_SPAN_OPENING_ATTRS = frozenset({"begin"})
+
+#: Canonical names of the span context manager.
+_SPAN_CONTEXT = frozenset({"repro.obs.trace.span", "span"})
+
+
+def _is_span_call(node: ast.Call, imports: ImportMap) -> bool:
+    """True when ``node`` opens a span (``rec.begin`` or ``span(...)``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SPAN_OPENING_ATTRS:
+        return True
+    name = imports.canonical(func)
+    if name is not None and name in _SPAN_CONTEXT:
+        return True
+    return isinstance(func, ast.Name) and func.id == "span"
+
+
+def _charges_phase(fn: FunctionInfo) -> ast.Call | None:
+    """First phase-charging call in ``fn`` (skipping nested defs)."""
+    for node in _walk_own(fn.node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PHASE_CHARGING_ATTRS
+        ):
+            return node
+    return None
+
+
+def _opens_span(fn: FunctionInfo, imports: ImportMap) -> ast.Call | None:
+    """First span-opening call in ``fn`` (skipping nested defs)."""
+    for node in _walk_own(fn.node):
+        if isinstance(node, ast.Call) and _is_span_call(node, imports):
+            return node
+    return None
+
+
+def _walk_own(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.AST]:
+    """Walk ``fn``'s body without descending into nested ``def``s —
+    a nested function's spans/laps belong to *its* call-graph node."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _spans_across_await(
+    fn: FunctionInfo, imports: ImportMap
+) -> list[ast.With | ast.AsyncWith]:
+    """``with span(...)`` blocks whose body awaits — the span would end
+    on a different task step than it began."""
+    bad: list[ast.With | ast.AsyncWith] = []
+    for node in _walk_own(fn.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        opens = any(
+            isinstance(item.context_expr, ast.Call)
+            and _is_span_call(item.context_expr, imports)
+            for item in node.items
+        )
+        if not opens:
+            continue
+        body_nodes: list[ast.AST] = []
+        stack: list[ast.AST] = list(node.body)
+        while stack:
+            inner = stack.pop()
+            body_nodes.append(inner)
+            if isinstance(
+                inner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(inner))
+        if any(isinstance(inner, ast.Await) for inner in body_nodes):
+            bad.append(node)
+    return bad
+
+
+def check_spans(
+    symbols: SymbolTable,
+    graph: CallGraph,
+    *,
+    roots: tuple[str, ...] = SPAN_ROOTS,
+    boundary_prefixes: tuple[str, ...] = DEFAULT_BOUNDARY_PREFIXES,
+) -> list[Violation]:
+    """Prove instrumentation coverage over the span-root closure."""
+    import_maps: dict[str, ImportMap] = {}
+
+    def imports_for(module: str) -> ImportMap:
+        if module not in import_maps:
+            tree = symbols.project.modules[module].tree
+            import_maps[module] = ImportMap.from_tree(tree)
+        return import_maps[module]
+
+    def in_boundary(module: str) -> bool:
+        return any(
+            module == p or module.startswith(p + ".") for p in boundary_prefixes
+        )
+
+    reachable: set[str] = set()
+    queue: deque[str] = deque()
+    for root in roots:
+        if root in symbols.functions and root not in reachable:
+            reachable.add(root)
+            queue.append(root)
+    while queue:
+        qualname = queue.popleft()
+        fn = symbols.functions[qualname]
+        if in_boundary(fn.module):
+            continue  # sanctioned boundary: the tracing layer itself
+        for site in graph.callees(qualname):
+            if site.callee not in reachable and site.callee in symbols.functions:
+                reachable.add(site.callee)
+                queue.append(site.callee)
+
+    violations: list[Violation] = []
+    for qualname, fn in symbols.functions.items():
+        if in_boundary(fn.module):
+            continue
+        imports = imports_for(fn.module)
+        if qualname in reachable:
+            charging = _charges_phase(fn)
+            if charging is not None and _opens_span(fn, imports) is None:
+                violations.append(
+                    Violation(
+                        path=fn.path,
+                        line=charging.lineno,
+                        col=charging.col_offset,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"{qualname} charges a phase but opens no span: "
+                            "every phase root reachable from the step-loop/"
+                            "service/scenario roots must begin a span so "
+                            "`repro trace diff` can attribute its wall time"
+                        ),
+                    )
+                )
+        else:
+            opening = _opens_span(fn, imports)
+            if opening is not None:
+                violations.append(
+                    Violation(
+                        path=fn.path,
+                        line=opening.lineno,
+                        col=opening.col_offset,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"orphan span in {qualname}: the function opens "
+                            "a span but is not reachable from any span root "
+                            "— add the entry point to SPAN_ROOTS or drop "
+                            "the instrumentation"
+                        ),
+                    )
+                )
+        for node in _spans_across_await(fn, imports):
+            violations.append(
+                Violation(
+                    path=fn.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"`with span(...)` in {qualname} contains an await: "
+                        "the span would charge suspended time and leak "
+                        "across task steps; use manual begin()/end() "
+                        "handles for deliberate cross-await spans"
+                    ),
+                )
+            )
+    violations.sort()
+    return violations

@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Twelve subcommands cover the workflows a downstream user needs without
-writing Python:
+Thirteen subcommands cover the workflows a downstream user needs
+without writing Python:
 
 * ``repro synthesize`` — generate a RuneScape-like workload trace and
   save it (NPZ or CSV);
@@ -40,7 +40,14 @@ writing Python:
   a YAML/JSON scenario document deterministically (byte-identical JSONL
   reruns), ``lint`` machine-checks documents against the knob schema
   with the RA017/RA018/RA020 value oracle, ``list`` summarizes a
-  scenario directory (see ``docs/scenarios.md``).
+  scenario directory (see ``docs/scenarios.md``);
+* ``repro trace`` — causal span tracing: ``record`` runs an experiment
+  under the span recorder + sampling profiler (``--check`` asserts
+  exact counter equality with an untraced run and the self-overhead
+  budget), ``report`` summarizes a recording, ``diff`` attributes
+  wall-time deltas per span path, ``export`` writes Chrome
+  trace-event/Perfetto JSON or StepTracer JSONL (see
+  ``docs/observability.md``).
 
 Examples
 --------
@@ -58,6 +65,8 @@ Examples
     repro check --format sarif
     repro scenario lint scenarios/
     repro scenario run scenarios/syn-baseline.yaml --out run.jsonl
+    REPRO_EVAL_DAYS=2 repro trace record fig06 --check
+    repro trace diff trace_a.json trace_b.json --format markdown
     REPRO_EVAL_DAYS=2 repro bench fig08 table6 --tag ci --compare BENCH_seed.json
     REPRO_EVAL_DAYS=2 repro experiments fig08 fig06 table6 --parallel 4 \\
         --compare BENCH_vec.json --fail-on config,counter,missing
@@ -73,6 +82,7 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.ecosystem import SimulationResult
     from repro.obs.registry import MetricsRegistry
+    from repro.perf.schema import BenchReport
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -249,6 +259,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE", default=None,
         help="write the suite-level registry as JSONL",
     )
+    bench.add_argument(
+        "--trace-base", metavar="FILE", default=None,
+        help="baseline trace_*.json recording: with --trace-current, the "
+        "comparison links each worst-regressing phase to its span path",
+    )
+    bench.add_argument(
+        "--trace-current", metavar="FILE", default=None,
+        help="current trace_*.json recording (see --trace-base)",
+    )
 
     exps = sub.add_parser(
         "experiments",
@@ -321,6 +340,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "(YAML/JSON, machine-checked against the knob schema)",
     )
     add_scenario_arguments(scenario)
+
+    from repro.obs.tracecli import add_trace_arguments
+
+    trace = sub.add_parser(
+        "trace",
+        help="causal span tracing: record an experiment under the span "
+        "recorder + sampling profiler, report/diff recordings, export "
+        "Perfetto or JSONL",
+    )
+    add_trace_arguments(trace)
     return parser
 
 
@@ -475,6 +504,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _trace_attribution(
+    args: argparse.Namespace, baseline: "BenchReport", current: "BenchReport"
+) -> str:
+    """Span-path attribution markdown when --trace-base/-current given."""
+    if not (args.trace_base and args.trace_current):
+        return ""
+    from repro.obs.trace import TraceRecording
+    from repro.perf.compare import render_span_attribution
+
+    try:
+        base_rec = TraceRecording.load(args.trace_base)
+        cur_rec = TraceRecording.load(args.trace_current)
+    except (OSError, ValueError) as exc:
+        print(f"warning: trace attribution skipped: {exc}", file=sys.stderr)
+        return ""
+    return render_span_attribution(baseline, current, base_rec, cur_rec)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run experiments under instrumentation; write/compare BENCH json.
 
@@ -530,10 +577,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (SchemaError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        attribution = _trace_attribution(args, baseline, candidate)
         print(render_comparison(result, args.format))
+        if attribution:
+            print(attribution)
         if args.summary_out:
             Path(args.summary_out).write_text(
-                render_comparison(result, "markdown") + "\n", encoding="utf-8"
+                render_comparison(result, "markdown")
+                + (("\n" + attribution) if attribution else "")
+                + "\n",
+                encoding="utf-8",
             )
             print(f"wrote {args.summary_out}", file=sys.stderr)
         return result.exit_code
@@ -580,10 +633,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     except (SchemaError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    attribution = _trace_attribution(args, baseline, report)
     print(render_comparison(result, args.format))
+    if attribution:
+        print(attribution)
     if args.summary_out:
         Path(args.summary_out).write_text(
-            render_comparison(result, "markdown") + "\n", encoding="utf-8"
+            render_comparison(result, "markdown")
+            + (("\n" + attribution) if attribution else "")
+            + "\n",
+            encoding="utf-8",
         )
         print(f"wrote {args.summary_out}", file=sys.stderr)
     return result.exit_code
@@ -688,6 +747,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracecli import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -704,6 +769,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "serve": _cmd_serve,
         "scenario": _cmd_scenario,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

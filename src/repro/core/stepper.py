@@ -47,6 +47,7 @@ from repro.obs.ambient import record_ambient_phases
 from repro.obs.invariants import InvariantChecker
 from repro.obs.registry import Counter, Histogram, MetricsRegistry
 from repro.obs.timing import PhaseTimer
+from repro.obs.trace import current_recorder, span
 from repro.obs.tracer import StepTracer
 from repro.predictors.base import Predictor
 
@@ -279,10 +280,11 @@ class TickStepper:
         cold-start path.
         """
         t_mark = self._timer.mark() if self._timer is not None else 0.0
-        for game in self.games:
-            history = warmup.get(game.name)
-            if history:
-                self.operators[game.name].prepare(history)
+        with span("warmup"):
+            for game in self.games:
+                history = warmup.get(game.name)
+                if history:
+                    self.operators[game.name].prepare(history)
         if self._timer is not None:
             t_mark = self._timer.lap("warmup", t_mark)
         self._t_mark = t_mark
@@ -298,22 +300,23 @@ class TickStepper:
         provisioner = self.provisioner
         if not isinstance(provisioner, StaticProvisioner):
             raise RuntimeError("install_static requires mode='static'")
-        for game in self.games:
-            op = self.operators[game.name]
-            # games x regions is config-bounded (a handful each), not
-            # data-scaled: nested scan is the intended shape.
-            for region in game.regions:  # reprolint: disable=RA008
-                peak = peak_players[(game.name, region.name)]
-                assigned = game.demand_model.demand_per_group(
-                    peak, cpu_quantum=op.cpu_quantum
-                )
-                self._static_assigned[(game.name, region.name)] = assigned
-                provisioner.install(
-                    op,
-                    region.name,
-                    region.location,
-                    ResourceVector.from_array(assigned.sum(axis=0)),
-                )
+        with span("install"):
+            for game in self.games:
+                op = self.operators[game.name]
+                # games x regions is config-bounded (a handful each), not
+                # data-scaled: nested scan is the intended shape.
+                for region in game.regions:  # reprolint: disable=RA008
+                    peak = peak_players[(game.name, region.name)]
+                    assigned = game.demand_model.demand_per_group(
+                        peak, cpu_quantum=op.cpu_quantum
+                    )
+                    self._static_assigned[(game.name, region.name)] = assigned
+                    provisioner.install(
+                        op,
+                        region.name,
+                        region.location,
+                        ResourceVector.from_array(assigned.sum(axis=0)),
+                    )
         if self._timer is not None:
             self._t_mark = self._timer.lap("install", self._t_mark)
 
@@ -338,6 +341,9 @@ class TickStepper:
         provisioner = self.provisioner
         operators = self.operators
         decisions: list[TickDecision] = []
+        rec = current_recorder()
+        frec = rec if rec is not None and rec.fine else None
+        h_step = rec.begin("step") if rec is not None else None
         if tracer is not None:
             tracer.emit("step", step=t, mode=cfg_mode)
         t_mark = timer.mark() if timer is not None else 0.0
@@ -345,6 +351,7 @@ class TickStepper:
         #    on data up to t-1 (dynamic mode only).  Games are served
         #    in priority order (the Sec. V-F future-work mechanism);
         #    equal priorities keep configuration order.
+        h_phase = rec.begin("reconcile") if rec is not None else None
         any_unmatched = False
         if cfg_mode == "dynamic":
             lead = self.advance_lead_steps
@@ -352,12 +359,15 @@ class TickStepper:
                 op = operators[game.name]
                 # games x regions is config-bounded; see above.
                 for region in game.regions:  # reprolint: disable=RA008
+                    h_fine = frec.begin("predict") if frec is not None else None
                     if lead > 0:
                         desired = op.desired_allocation_ahead(
                             region.name, region.n_groups, lead, t + lead
                         )
                     else:
                         desired = op.desired_allocation(region.name, region.n_groups)
+                    if h_fine is not None:
+                        h_fine.end()
                     if tracer is not None:
                         tracer.emit(
                             "reconcile",
@@ -367,9 +377,12 @@ class TickStepper:
                             region=region.name,
                             desired=desired.values.tolist(),
                         )
+                    h_fine = frec.begin("match") if frec is not None else None
                     plan = provisioner.reconcile(
                         op, region.name, region.location, desired, t
                     )
+                    if h_fine is not None:
+                        h_fine.end()
                     if not plan.fully_matched:
                         any_unmatched = True
                     if self.collect_decisions:
@@ -399,6 +412,8 @@ class TickStepper:
                 self._c_unmatched.inc()
         if timer is not None:
             t_mark = timer.lap("reconcile", t_mark)
+        if h_phase is not None:
+            h_phase.end()
 
         # 2. Score the in-place allocation against the actual load.
         #    Under-allocation uses per-group granularity: each game
@@ -406,6 +421,7 @@ class TickStepper:
         #    the last request, and a world's shortfall cannot be
         #    absorbed by another world's idle surplus within the
         #    step (Eq. 2's per-machine min; migration unsupported).
+        h_phase = rec.begin("score") if rec is not None else None
         n_res = len(RESOURCE_TYPES)
         combined_alloc = np.zeros(n_res)
         combined_load = np.zeros(n_res)
@@ -500,14 +516,18 @@ class TickStepper:
             if upsilon < -SIGNIFICANT_UNDER_ALLOCATION_PERCENT:
                 self._c_events.inc()
             t_mark = timer.lap("score", t_mark)
+        if h_phase is not None:
+            h_phase.end()
 
         # Sanitizer sweep: ledgers vs. ground truth, every step.
         if checker is not None:
-            checker.check_step(provisioner, t)
+            with span("invariants"):
+                checker.check_step(provisioner, t)
             if timer is not None:
                 t_mark = timer.lap("invariants", t_mark)
 
         # Per-center accounting (CPU only, the contended resource).
+        h_phase = rec.begin("accounting") if rec is not None else None
         for center in self.centers:
             self._center_cpu_sum[center.name] += center.allocated[CPU]
         for k, vec in provisioner.allocation_by_center_and_region().items():
@@ -516,8 +536,11 @@ class TickStepper:
             ) + float(vec[cpu_i])
         if timer is not None:
             t_mark = timer.lap("accounting", t_mark)
+        if h_phase is not None:
+            h_phase.end()
 
         # 3. Operators observe the actual load and move on.
+        h_phase = rec.begin("observe") if rec is not None else None
         for game in self.games:
             op = operators[game.name]
             # games x regions is config-bounded; see above.
@@ -525,7 +548,11 @@ class TickStepper:
                 op.observe(region.name, loads[(game.name, region.name)])
         if timer is not None:
             t_mark = timer.lap("observe", t_mark)
+        if h_phase is not None:
+            h_phase.end()
         self._t_mark = t_mark
+        if h_step is not None:
+            h_step.end()
         return decisions
 
     # -- teardown -------------------------------------------------------------

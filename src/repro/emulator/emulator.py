@@ -27,6 +27,7 @@ from repro.emulator.world import GameWorld
 from repro.emulator.entities import EntityPopulation
 from repro.obs.ambient import ambient_metrics, record_ambient_phases
 from repro.obs.timing import PhaseTimer
+from repro.obs.trace import current_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
@@ -260,23 +261,30 @@ class GameEmulator:
         counts = np.empty((n_samples, world.n_zones), dtype=np.int64)
 
         t_mark = timer.mark() if timer is not None else 0.0
+        rec = current_recorder()
         advance_time = world.advance_time
         churn_hotspots = world.churn_hotspots
         pop_step = population.step
         tick_seconds = cfg.tick_seconds
         ticks_per_sample = cfg.ticks_per_sample
         for s in range(n_samples):
+            h_sample = rec.begin("emulate.sample") if rec is not None else None
             # Track the target population with gradual join/leave churn.
             deficit = int(targets[s]) - population.size
             if deficit > 0:
                 population.spawn(deficit)
             elif deficit < 0:
                 population.despawn(-deficit)
+            h_step = rec.begin("emulate.step") if rec is not None else None
             for _ in range(ticks_per_sample):
                 advance_time(tick_seconds)
                 churn_hotspots(churn)
                 pop_step(tick_seconds)
+            if h_step is not None:
+                h_step.end()
             counts[s] = population.zone_counts()
+            if h_sample is not None:
+                h_sample.end()
             if metrics is not None:
                 c_samples.inc()
                 c_ticks.inc(cfg.ticks_per_sample)

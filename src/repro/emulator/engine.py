@@ -53,6 +53,7 @@ import numpy as np
 from repro.emulator.entities import DEFAULT_ENTITY_SEED
 from repro.emulator.profiles import AIProfile, PROFILE_PARAMS
 from repro.emulator.world import GameWorld
+from repro.obs.trace import current_recorder
 
 __all__ = ["VectorizedPopulation"]
 
@@ -125,6 +126,13 @@ class VectorizedPopulation:
         self._centre_y = world.height / 2.0
         self._clip_lo = np.zeros((2, 1))
         self._clip_hi = np.array([[world.width], [world.height]])
+
+        # Kernel-granularity tracing: resolved once at construction and
+        # only when the installed recorder opted into fine spans (two
+        # spans per tick is real overhead; the coarse default records
+        # nothing here).  Spans never touch the RNG stream.
+        rec = current_recorder()
+        self._trace_rec = rec if rec is not None and rec.fine else None
 
         self._n = 0
         self._allocate(max(int(capacity), 16))
@@ -405,8 +413,10 @@ class VectorizedPopulation:
         tx, ty = self.v_tx, self.v_ty
         u = self.v_u
         mask = self.v_mask
+        frec = self._trace_rec
 
         # Dynamic profile switching: deviate from or revert to preference.
+        h_fine = frec.begin("engine.switch") if frec is not None else None
         rng.random(out=u)
         np.less(u, self.switch_prob, out=mask)
         # RA010 allowlist (rest of step): the guarded blocks below run
@@ -453,6 +463,9 @@ class VectorizedPopulation:
             tids = self.v_team.take(members)  # reprolint: disable=RA010 - k-sized gather
             tx[members] = cx.take(tids)  # reprolint: disable=RA010 - k-sized gather
             ty[members] = cy.take(tids)  # reprolint: disable=RA010 - k-sized gather
+        if h_fine is not None:
+            h_fine.end()
+        h_fine = frec.begin("engine.move") if frec is not None else None
 
         # Move: directed component toward target + random jitter.  The
         # reference chain runs pairwise over the (2, n) coordinate
@@ -484,6 +497,8 @@ class VectorizedPopulation:
         np.add(D, J, out=D)  # delta becomes `motion`
         np.add(self.v_P, D, out=self.v_P)
         np.clip(self.v_P, self._clip_lo, self._clip_hi, out=self.v_P)  # clamp
+        if h_fine is not None:
+            h_fine.end()
 
     def zone_counts(self) -> np.ndarray:
         """Entity count per sub-zone (delegates to the world)."""

@@ -25,6 +25,7 @@ from repro.emulator.entities import EntityPopulation
 from repro.emulator.world import GameWorld
 from repro.obs.ambient import ambient_metrics, record_ambient_phases
 from repro.obs.timing import PhaseTimer
+from repro.obs.trace import current_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
@@ -285,28 +286,38 @@ def emulate_with_interactions(
     counts = np.empty((n_samples, world.n_zones), dtype=np.int64)
     interactions = np.empty((n_samples, world.n_zones), dtype=np.int64)
     t_mark = timer.mark() if timer is not None else 0.0
+    rec = current_recorder()
     for s in range(n_samples):
+        h_sample = rec.begin("emulate.sample") if rec is not None else None
         deficit = int(targets[s]) - population.size
         if deficit > 0:
             population.spawn(deficit)
         elif deficit < 0:
             population.despawn(-deficit)
+        h_step = rec.begin("emulate.step") if rec is not None else None
         for _ in range(config.ticks_per_sample):
             world.advance_time(config.tick_seconds)
             world.churn_hotspots(churn)
             population.step(config.tick_seconds)
+        if h_step is not None:
+            h_step.end()
         counts[s] = population.zone_counts()
         if timer is not None:
             t_mark = timer.lap("emulate", t_mark)
+        h_pairs = rec.begin("emulate.pairs") if rec is not None else None
         interactions[s] = interaction_counts_per_zone(
             world, population.positions, interaction_radius, reference=reference
         )
+        if h_pairs is not None:
+            h_pairs.end()
         if metrics is not None:
             c_samples.inc()
             c_ticks.inc(config.ticks_per_sample)
             c_pairs.inc(int(interactions[s].sum()))
             if timer is not None:
                 t_mark = timer.lap("interactions", t_mark)
+        if h_sample is not None:
+            h_sample.end()
     if timer is not None:
         record_ambient_phases(timer)
     return InteractionTrace(

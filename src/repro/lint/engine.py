@@ -105,6 +105,7 @@ ANALYSIS_RULE_IDS: frozenset[str] = frozenset(
         "RA018",
         "RA019",
         "RA020",
+        "RA021",
     }
 )
 

@@ -198,6 +198,13 @@ EXPLANATIONS: dict[str, Explanation] = {
         example="def materialize(scenario: Scenario) -> Run:\n"
         "    rng = np.random.default_rng()  # ignores scenario.seed",
     ),
+    "RA021": Explanation(
+        defect_class="instrumentation gap: a reachable phase root opens no "
+        "span, a span is orphaned, or `with span(...)` crosses an await",
+        example="def step(self, t):\n"
+        "    ...\n"
+        "    t0 = timer.lap('reconcile', t0)  # phase charged, no span",
+    ),
 }
 
 

@@ -25,7 +25,13 @@ supplies the three instruments a serving stack would have:
 * :mod:`repro.obs.ambient` — an opt-in process-scoped probe the
   instrumented entry points fall back to when no registry was passed
   explicitly, so the ``repro bench`` harness can observe unmodified
-  experiment modules.
+  experiment modules;
+* :mod:`repro.obs.trace` — causal **span tracing** (Dapper-style
+  trace/span ids with ``contextvars`` propagation across asyncio tasks
+  and spawn workers) plus an always-on sampling profiler, recorded
+  into a zero-allocation ring buffer and exported as Chrome
+  trace-event/Perfetto JSON or StepTracer-compatible JSONL
+  (``repro trace record|report|diff|export``).
 
 See ``docs/observability.md`` for metric names, the trace event
 schema, and the invariant list.
@@ -46,9 +52,35 @@ from repro.obs.invariants import (
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import render_report
 from repro.obs.timing import PhaseSnapshot, PhaseTimer
+from repro.obs.trace import (
+    SamplingProfiler,
+    SpanHandle,
+    SpanRecorder,
+    TraceRecording,
+    chrome_trace,
+    current_recorder,
+    derive_trace_id,
+    diff_recordings,
+    export_context,
+    recording,
+    span,
+    steptracer_jsonl,
+)
 from repro.obs.tracer import StepTracer
 
 __all__ = [
+    "SamplingProfiler",
+    "SpanHandle",
+    "SpanRecorder",
+    "TraceRecording",
+    "chrome_trace",
+    "current_recorder",
+    "derive_trace_id",
+    "diff_recordings",
+    "export_context",
+    "recording",
+    "span",
+    "steptracer_jsonl",
     "AmbientProbe",
     "Counter",
     "Gauge",

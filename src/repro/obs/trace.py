@@ -1,0 +1,844 @@
+"""Causal span tracing + always-on sampling profiler.
+
+``repro bench`` attributes wall time to coarse phases; this module
+attributes it to *causal spans*: named, nested intervals with explicit
+parent links (the Dapper model), so a fig06 regression can point at one
+emulator kernel, one (game, region) reconcile, or one served tick
+instead of at "emulate grew".  Three pieces:
+
+:class:`SpanRecorder`
+    The hot-path sink.  Finished span events land in a **preallocated
+    numpy ring buffer** — recording a span allocates nothing in the
+    event store, and when the ring wraps the oldest events are
+    overwritten while the complete per-path aggregates (seconds,
+    count) keep accumulating, so ``report``/``diff`` totals are exact
+    over the whole run regardless of capacity.  The current span
+    travels in a :class:`contextvars.ContextVar`, which asyncio copies
+    into every task and ``asyncio.to_thread`` call — spans opened in
+    the :class:`~repro.service.server.TickServer` tick loop parent the
+    stepper spans computed on a worker thread with no plumbing.
+
+:class:`SamplingProfiler`
+    An always-on statistical profiler: a daemon thread samples the
+    target thread's stack via ``sys._current_frames()`` at a fixed
+    interval into folded-stack counters (the flamegraph format), so a
+    recording shows where time went *between* spans too.
+
+:class:`TraceRecording`
+    The serialized artifact (``trace_*.json``): span-path aggregates,
+    the ring's events, the profile, counters, and the measured
+    self-overhead.  Exports: Chrome trace-event JSON
+    (:func:`chrome_trace`, loadable in Perfetto / ``chrome://tracing``)
+    and :class:`~repro.obs.tracer.StepTracer`-compatible JSONL
+    (:func:`steptracer_jsonl`).
+
+Like :mod:`repro.obs.ambient`, the recorder stack is process-global
+observability state by design (``repro.obs`` is the sanctioned RA001
+boundary): instrumented hot paths resolve :func:`current_recorder`
+once at entry, and every span site afterwards is a single
+``is None`` pointer test when tracing is off.  Analyzer pass RA021
+holds the instrumentation to its contract: every phase root reachable
+from the step-loop/service/scenario roots must open a span, spans
+unreachable from any root are flagged as orphans, and ``with
+span(...)`` blocks spanning an ``await`` are flagged (the manual
+``begin``/``end`` API is the documented escape hatch for deliberate
+cross-await spans such as the served tick).
+
+Trace ids are **derived, never drawn from the wall clock**
+(:func:`derive_trace_id` CRC-folds a label into a seed, the
+``scenario_rng`` idiom), so traced scenario runs stay byte-identical
+across reruns.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import CodeType, FrameType, TracebackType
+from typing import IO, Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from repro.obs.tracer import StepTracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PathDelta",
+    "SamplingProfiler",
+    "SpanHandle",
+    "SpanRecorder",
+    "TraceRecording",
+    "chrome_trace",
+    "current_recorder",
+    "derive_trace_id",
+    "diff_recordings",
+    "export_context",
+    "recording",
+    "render_diff",
+    "render_report",
+    "span",
+    "steptracer_jsonl",
+]
+
+#: Bumped on any incompatible ``trace_*.json`` change.
+SCHEMA_VERSION = 1
+
+#: Path id of the virtual root every top-level span hangs from.
+_ROOT_PATH = 0
+
+#: ``(span_id, path_id)`` of the innermost open span in this task.
+#: ``(-1, _ROOT_PATH)`` means "no open span" — new spans become roots.
+_CURRENT: ContextVar[tuple[int, int]] = ContextVar(
+    "repro_trace_current", default=(-1, _ROOT_PATH)
+)
+
+
+def derive_trace_id(label: str, seed: int) -> str:
+    """A deterministic 16-hex-digit trace id from a label and a seed.
+
+    CRC-32-folds the label into the seed (the ``scenario_rng`` /
+    ``experiment_rng`` derivation idiom) — no wall clock, no process
+    state — so traced reruns of one deterministic workload carry the
+    same trace id and stay byte-identical.
+    """
+    fold = (zlib.crc32(label.encode("utf-8")) << 32) ^ (seed & 0xFFFFFFFFFFFFFFFF)
+    return f"{fold & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+class SpanHandle:
+    """One open span: returned by :meth:`SpanRecorder.begin`.
+
+    A plain mutable cell (no ring slot is held open); ``end()`` closes
+    the span on the recorder that issued it.
+    """
+
+    __slots__ = ("span_id", "path_id", "t0", "_token", "_recorder")
+
+    span_id: int
+    path_id: int
+    t0: float
+    _token: Token[tuple[int, int]]
+    _recorder: "SpanRecorder"
+
+    def end(self) -> None:
+        """Close this span (sugar for ``recorder.end(handle)``)."""
+        self._recorder.end(self)
+
+
+class SpanRecorder:
+    """Records spans into a preallocated ring + complete path aggregates.
+
+    ``capacity`` must be a power of two; once more than ``capacity``
+    spans finish, the oldest ring events are overwritten (``dropped``
+    counts them) while the per-path aggregates stay complete.  ``fine``
+    opts into kernel-granularity spans (per-tick engine kernels, the
+    per-(game, region) predict/match pair) that the default granularity
+    skips to hold the self-overhead budget.
+    """
+
+    def __init__(
+        self,
+        name: str = "trace",
+        *,
+        trace_id: str | None = None,
+        capacity: int = 1 << 15,
+        fine: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity < 2 or capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two >= 2, got {capacity}")
+        self.name = name
+        self.trace_id = trace_id if trace_id is not None else derive_trace_id(name, 0)
+        self.fine = fine
+        self.capacity = capacity
+        self.tid = 0
+        self._clock = clock
+        self._mask = capacity - 1
+        # The zero-allocation event store: preallocated parallel arrays,
+        # slot = span_id & mask.  Recording writes scalars into these —
+        # no per-event dict, list, or object is ever built.
+        self._ev_span = np.full(capacity, -1, dtype=np.int64)
+        self._ev_parent = np.full(capacity, -1, dtype=np.int64)
+        self._ev_path = np.zeros(capacity, dtype=np.int32)
+        self._ev_tid = np.zeros(capacity, dtype=np.int32)
+        self._ev_t0 = np.zeros(capacity, dtype=np.float64)
+        self._ev_dur = np.full(capacity, -1.0, dtype=np.float64)
+        # Span-name interning + the path trie (parent path -> name -> path).
+        self._names: list[str] = []
+        self._name_ids: dict[str, int] = {}
+        self._paths: list[tuple[int, int]] = [(-1, -1)]  # 0 = virtual root
+        self._children: list[dict[int, int]] = [{}]
+        self._path_names: list[str] = [""]
+        # Complete per-path aggregates — these survive ring wrap.
+        self._agg_seconds: list[float] = [0.0]
+        self._agg_counts: list[int] = [0]
+        #: Cross-trace links: (local span, remote trace id, remote span).
+        self.links: list[tuple[int, str, int]] = []
+        self.spans_started = 0
+        self.spans_finished = 0
+
+    # -- interning ---------------------------------------------------------
+
+    def _intern_name(self, name: str) -> int:
+        name_id = self._name_ids.get(name)
+        if name_id is None:
+            name_id = len(self._names)
+            self._name_ids[name] = name_id
+            self._names.append(name)
+        return name_id
+
+    def _child_path(self, parent_path: int, name: str) -> int:
+        name_id = self._intern_name(name)
+        children = self._children[parent_path]
+        path_id = children.get(name_id)
+        if path_id is None:
+            path_id = len(self._paths)
+            children[name_id] = path_id
+            self._paths.append((parent_path, name_id))
+            self._children.append({})
+            prefix = self._path_names[parent_path]
+            self._path_names.append(f"{prefix}/{name}" if prefix else name)
+            self._agg_seconds.append(0.0)
+            self._agg_counts.append(0)
+        return path_id
+
+    def path_name(self, path_id: int) -> str:
+        """The ``a/b/c`` string of a path id (``""`` for the root)."""
+        return self._path_names[path_id]
+
+    def intern_path(self, path: str) -> int:
+        """Intern a ``a/b/c`` path string; returns its path id."""
+        path_id = _ROOT_PATH
+        for part in path.split("/"):
+            if part:
+                path_id = self._child_path(path_id, part)
+        return path_id
+
+    # -- the hot path ------------------------------------------------------
+
+    def begin(self, name: str) -> SpanHandle:
+        """Open a span named ``name`` under the task's current span."""
+        parent_span, parent_path = _CURRENT.get()
+        if not 0 <= parent_path < len(self._paths):
+            # Stale context from a different recorder's lifetime (e.g. an
+            # adopt() that outlived it): start a fresh root rather than
+            # indexing a foreign path table.
+            parent_span, parent_path = -1, _ROOT_PATH
+        path_id = self._child_path(parent_path, name)
+        span_id = self.spans_started
+        self.spans_started = span_id + 1
+        handle = SpanHandle()
+        handle.span_id = span_id
+        handle.path_id = path_id
+        handle._recorder = self
+        handle._token = _CURRENT.set((span_id, path_id))
+        slot = span_id & self._mask
+        self._ev_span[slot] = span_id
+        self._ev_parent[slot] = parent_span
+        self._ev_path[slot] = path_id
+        self._ev_tid[slot] = self.tid
+        self._ev_dur[slot] = -1.0
+        # Read the clock last so interning/bookkeeping is charged to the
+        # parent, not to this span's measured duration.
+        handle.t0 = self._clock()
+        self._ev_t0[slot] = handle.t0
+        return handle
+
+    def end(self, handle: SpanHandle) -> None:
+        """Close a span; duration lands in the ring and the aggregates."""
+        duration = self._clock() - handle.t0
+        slot = handle.span_id & self._mask
+        if self._ev_span[slot] == handle.span_id:  # not overwritten by wrap
+            self._ev_dur[slot] = duration
+        self._agg_seconds[handle.path_id] += duration
+        self._agg_counts[handle.path_id] += 1
+        self.spans_finished += 1
+        try:
+            _CURRENT.reset(handle._token)
+        except ValueError:
+            # The handle crossed into a different context (e.g. ended in
+            # a task that copied the begin-side context): restore the
+            # parent explicitly instead of via the foreign token.
+            parent = self._ev_parent[slot]
+            parent_path = self._paths[handle.path_id][0]
+            _CURRENT.set((int(parent), parent_path))
+
+    def link(self, handle: SpanHandle, trace_id: str, span_id: int) -> None:
+        """Record a causal link from ``handle`` to a remote span."""
+        self.links.append((handle.span_id, trace_id, span_id))
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans whose ring events were overwritten by wrap."""
+        return max(0, self.spans_started - self.capacity)
+
+    # -- cross-boundary propagation ---------------------------------------
+
+    def adopt(self, ctx: Mapping[str, Any]) -> None:
+        """Continue a remote context: future root spans nest under it.
+
+        ``ctx`` is an :func:`export_context` dict from another process
+        (a spawn worker's parent, a wire peer).  The remote path prefix
+        is interned locally so this recorder's span paths line up with
+        the parent's; the remote span id is out of this recorder's id
+        space, so local parent links stay ``-1`` and the relationship
+        is carried by the path prefix (and by wire-level links).
+        """
+        self.trace_id = str(ctx.get("trace_id", self.trace_id))
+        path_id = self.intern_path(str(ctx.get("path", "")))
+        _CURRENT.set((-1, path_id))
+
+    # -- packaging ---------------------------------------------------------
+
+    def events(self) -> list[tuple[int, int, int, int, float, float]]:
+        """Retained ring events, oldest first.
+
+        Each item is ``(span_id, parent_id, path_id, tid, t0, dur)``;
+        still-open spans (dur < 0) are excluded.
+        """
+        out: list[tuple[int, int, int, int, float, float]] = []
+        lo = max(0, self.spans_started - self.capacity)
+        for span_id in range(lo, self.spans_started):
+            slot = span_id & self._mask
+            if self._ev_span[slot] != span_id or self._ev_dur[slot] < 0.0:
+                continue
+            out.append(
+                (
+                    span_id,
+                    int(self._ev_parent[slot]),
+                    int(self._ev_path[slot]),
+                    int(self._ev_tid[slot]),
+                    float(self._ev_t0[slot]),
+                    float(self._ev_dur[slot]),
+                )
+            )
+        return out
+
+    def merge_recording(
+        self, child: "TraceRecording", *, tid: int, offset: float = 0.0
+    ) -> None:
+        """Fold a child process's recording into this recorder.
+
+        Paths are matched by string (a child that :meth:`adopt`-ed this
+        recorder's context already carries the full prefix); aggregates
+        add, and the child's ring events are replayed into this ring
+        with fresh span ids, ``tid`` as their track, and ``offset``
+        added to their timestamps (child clocks are process-local, so
+        the caller picks the alignment).
+        """
+        path_ids: dict[int, int] = {}
+        for index, path in enumerate(child.paths):
+            if index == _ROOT_PATH:
+                continue
+            local = self.intern_path(path)
+            path_ids[index] = local
+            agg = child.span_paths.get(path)
+            if agg is not None:
+                self._agg_seconds[local] += agg["seconds"]
+                self._agg_counts[local] += int(agg["count"])
+        for event in child.events:
+            span_id = self.spans_started
+            self.spans_started = span_id + 1
+            self.spans_finished += 1
+            slot = span_id & self._mask
+            self._ev_span[slot] = span_id
+            self._ev_parent[slot] = -1  # parent ids are child-local
+            self._ev_path[slot] = path_ids.get(int(event[2]), _ROOT_PATH)
+            self._ev_tid[slot] = tid
+            self._ev_t0[slot] = float(event[4]) + offset
+            self._ev_dur[slot] = float(event[5])
+
+    def finish(
+        self,
+        *,
+        wall_seconds: float = 0.0,
+        counters: Mapping[str, float] | None = None,
+        profile: Mapping[str, Any] | None = None,
+        overhead: Mapping[str, Any] | None = None,
+    ) -> "TraceRecording":
+        """Freeze this recorder into a serializable recording."""
+        span_paths = {
+            self._path_names[path_id]: {
+                "seconds": self._agg_seconds[path_id],
+                "count": float(self._agg_counts[path_id]),
+            }
+            for path_id in range(1, len(self._paths))
+            if self._agg_counts[path_id]
+        }
+        return TraceRecording(
+            name=self.name,
+            trace_id=self.trace_id,
+            wall_seconds=wall_seconds,
+            counters=dict(counters or {}),
+            paths=list(self._path_names),
+            span_paths=span_paths,
+            events=[list(event) for event in self.events()],
+            links=[list(link) for link in self.links],
+            spans_started=self.spans_started,
+            spans_finished=self.spans_finished,
+            dropped=self.dropped,
+            profile=dict(profile) if profile is not None else None,
+            overhead=dict(overhead) if overhead is not None else None,
+        )
+
+
+#: The recorder stack (innermost last) — the ambient-probe idiom: empty
+#: in normal operation, at which point every span site below is one
+#: pointer test and the hot paths behave exactly as before this module.
+_RECORDERS: list[SpanRecorder] = []
+
+
+def current_recorder() -> SpanRecorder | None:
+    """The innermost installed recorder, or ``None``."""
+    return _RECORDERS[-1] if _RECORDERS else None
+
+
+@contextmanager
+def recording(recorder: SpanRecorder | None = None) -> Iterator[SpanRecorder]:
+    """Install a :class:`SpanRecorder` for the duration of the block."""
+    installed = recorder if recorder is not None else SpanRecorder()
+    _RECORDERS.append(installed)
+    try:
+        yield installed
+    finally:
+        _RECORDERS.remove(installed)
+
+
+class span:
+    """``with span("reconcile"):`` — a span on the current recorder.
+
+    No-op (one pointer test) when no recorder is installed.  RA021
+    flags ``await`` inside the block: a context-manager span must open
+    and close in one task.  For deliberate cross-await spans (the
+    served tick around ``asyncio.to_thread``) use ``begin``/``end``.
+    """
+
+    __slots__ = ("_name", "_handle")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._handle: SpanHandle | None = None
+
+    def __enter__(self) -> "span":
+        recorder = current_recorder()
+        if recorder is not None:
+            self._handle = recorder.begin(self._name)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        handle = self._handle
+        if handle is not None:
+            self._handle = None
+            handle.end()
+
+
+def export_context() -> dict[str, Any] | None:
+    """The current trace context as a wire/payload-safe dict.
+
+    ``None`` when no recorder is installed.  The dict travels in spawn
+    payloads and protocol messages; the receiving side calls
+    :meth:`SpanRecorder.adopt` (worker) or records a link (peer).
+    """
+    recorder = current_recorder()
+    if recorder is None:
+        return None
+    span_id, path_id = _CURRENT.get()
+    if not 0 <= path_id < len(recorder._path_names):
+        span_id, path_id = -1, _ROOT_PATH
+    return {
+        "trace_id": recorder.trace_id,
+        "span_id": int(span_id),
+        "path": recorder.path_name(path_id),
+    }
+
+
+# -- the sampling profiler -------------------------------------------------
+
+
+class SamplingProfiler:
+    """Folded-stack statistical profiler for one target thread.
+
+    A daemon thread wakes every ``interval`` seconds, grabs the target
+    thread's frame from ``sys._current_frames()``, folds it into a
+    ``module.function;module.function;...`` stack string, and counts
+    it.  Monotonic clocks only; the sampled thread is never paused, so
+    the cost is one stack walk per sample (~10 µs) off-thread.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        *,
+        max_depth: int = 48,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.max_depth = max_depth
+        self.samples = 0
+        self.stacks: dict[str, int] = {}
+        # Per-code-object label cache: folding holds the GIL, so every
+        # Path() and f-string it avoids is main-thread time given back.
+        self._labels: dict[CodeType, str] = {}
+        self._target_ident: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _fold(self, frame: FrameType, max_depth: int) -> str:
+        labels = self._labels
+        parts: list[str] = []
+        current: FrameType | None = frame
+        while current is not None and len(parts) < max_depth:
+            code = current.f_code
+            label = labels.get(code)
+            if label is None:
+                label = f"{Path(code.co_filename).stem}.{code.co_name}"
+                labels[code] = label
+            parts.append(label)
+            current = current.f_back
+        parts.reverse()
+        return ";".join(parts)
+
+    def _run(self) -> None:
+        ident = self._target_ident
+        while not self._stop.wait(self.interval):
+            if ident is None:
+                continue
+            frame = sys._current_frames().get(ident)
+            if frame is None:
+                continue
+            folded = self._fold(frame, self.max_depth)
+            self.stacks[folded] = self.stacks.get(folded, 0) + 1
+            self.samples += 1
+
+    def start(self) -> None:
+        """Begin sampling the *calling* thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-trace-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> dict[str, Any]:
+        """Stop sampling; returns the profile section for a recording."""
+        thread = self._thread
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+            self._thread = None
+        return self.result()
+
+    def result(self) -> dict[str, Any]:
+        """The profile as a recording section (interval, samples, stacks)."""
+        return {
+            "interval": self.interval,
+            "samples": self.samples,
+            "stacks": dict(
+                sorted(self.stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+            ),
+        }
+
+
+# -- the serialized artifact -----------------------------------------------
+
+
+@dataclass
+class TraceRecording:
+    """One recording: aggregates, ring events, profile, overhead verdict.
+
+    ``events`` rows are ``[span_id, parent_id, path_index, tid, t0,
+    dur]`` with ``path_index`` into ``paths``; ``span_paths`` maps the
+    path *string* to its complete ``{seconds, count}`` aggregate (ring
+    wrap drops events, never aggregates).
+    """
+
+    name: str
+    trace_id: str
+    wall_seconds: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    paths: list[str] = field(default_factory=lambda: [""])
+    span_paths: dict[str, dict[str, float]] = field(default_factory=dict)
+    events: list[list[Any]] = field(default_factory=list)
+    links: list[list[Any]] = field(default_factory=list)
+    spans_started: int = 0
+    spans_finished: int = 0
+    dropped: int = 0
+    profile: dict[str, Any] | None = None
+    overhead: dict[str, Any] | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "trace",
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "wall_seconds": self.wall_seconds,
+            "counters": self.counters,
+            "paths": self.paths,
+            "span_paths": self.span_paths,
+            "events": self.events,
+            "links": self.links,
+            "spans_started": self.spans_started,
+            "spans_finished": self.spans_finished,
+            "dropped": self.dropped,
+            "profile": self.profile,
+            "overhead": self.overhead,
+        }
+
+    @staticmethod
+    def from_dict(obj: Mapping[str, Any]) -> "TraceRecording":
+        if obj.get("kind") != "trace":
+            raise ValueError("not a trace recording (missing kind='trace')")
+        version = int(obj.get("schema_version", 0))
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema version {version} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        return TraceRecording(
+            name=str(obj.get("name", "trace")),
+            trace_id=str(obj.get("trace_id", "")),
+            wall_seconds=float(obj.get("wall_seconds", 0.0)),
+            counters={str(k): float(v) for k, v in dict(obj.get("counters", {})).items()},
+            paths=[str(p) for p in obj.get("paths", [""])],
+            span_paths={
+                str(path): {"seconds": float(agg["seconds"]), "count": float(agg["count"])}
+                for path, agg in dict(obj.get("span_paths", {})).items()
+            },
+            events=[list(event) for event in obj.get("events", [])],
+            links=[list(link) for link in obj.get("links", [])],
+            spans_started=int(obj.get("spans_started", 0)),
+            spans_finished=int(obj.get("spans_finished", 0)),
+            dropped=int(obj.get("dropped", 0)),
+            profile=dict(obj["profile"]) if obj.get("profile") is not None else None,
+            overhead=dict(obj["overhead"]) if obj.get("overhead") is not None else None,
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def load(path: str | Path) -> "TraceRecording":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: not a JSON object")
+        return TraceRecording.from_dict(raw)
+
+
+# -- exports ---------------------------------------------------------------
+
+
+def chrome_trace(rec: TraceRecording) -> dict[str, Any]:
+    """The recording as Chrome trace-event JSON (Perfetto-loadable).
+
+    Spans become complete (``"ph": "X"``) events in microseconds,
+    rebased so the earliest event starts at 0; tracks (``tid``) carry
+    worker lanes from merged recordings.  Load the saved file directly
+    in https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    t_base = min((float(e[4]) for e in rec.events), default=0.0)
+    trace_events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": f"repro {rec.name} [{rec.trace_id}]"},
+        }
+    ]
+    for event in rec.events:
+        path = rec.paths[int(event[2])]
+        trace_events.append(
+            {
+                "ph": "X",
+                "cat": "repro",
+                "name": path.rsplit("/", 1)[-1] or "span",
+                "pid": 1,
+                "tid": int(event[3]),
+                "ts": (float(event[4]) - t_base) * 1e6,
+                "dur": float(event[5]) * 1e6,
+                "args": {
+                    "path": path,
+                    "span": int(event[0]),
+                    "parent": int(event[1]),
+                },
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": rec.trace_id,
+            "name": rec.name,
+            "spans_finished": rec.spans_finished,
+            "dropped": rec.dropped,
+        },
+    }
+
+
+def steptracer_jsonl(rec: TraceRecording, sink: str | IO[str]) -> int:
+    """Write the recording as StepTracer-compatible JSONL.
+
+    One ``trace`` header line plus one ``span`` line per retained
+    event — the same one-JSON-object-per-line shape (and writer) as the
+    simulator's ``--trace`` output, so existing JSONL tooling reads
+    both streams.  Returns the number of lines written.
+    """
+    with StepTracer(sink) as tracer:
+        tracer.emit(
+            "trace",
+            trace_id=rec.trace_id,
+            name=rec.name,
+            schema_version=rec.schema_version,
+            spans_started=rec.spans_started,
+            spans_finished=rec.spans_finished,
+            dropped=rec.dropped,
+        )
+        for event in rec.events:
+            tracer.emit(
+                "span",
+                span=int(event[0]),
+                parent=int(event[1]),
+                path=rec.paths[int(event[2])],
+                tid=int(event[3]),
+                t0=float(event[4]),
+                dur=float(event[5]),
+            )
+        return tracer.events_written
+
+
+# -- report / diff ---------------------------------------------------------
+
+
+def render_report(rec: TraceRecording, *, top: int = 20) -> str:
+    """Human summary: top span paths by total seconds + top stacks."""
+    lines = [
+        f"trace {rec.name!r}  id {rec.trace_id}  "
+        f"spans {rec.spans_finished} ({rec.dropped} events dropped by ring wrap)"
+    ]
+    if rec.wall_seconds:
+        lines[0] += f"  wall {rec.wall_seconds:.3f}s"
+    ranked = sorted(
+        rec.span_paths.items(), key=lambda kv: (-kv[1]["seconds"], kv[0])
+    )
+    lines.append(f"  {'seconds':>10s}  {'count':>8s}  {'mean_us':>9s}  path")
+    for path, agg in ranked[:top]:
+        count = int(agg["count"])
+        mean_us = agg["seconds"] / count * 1e6 if count else 0.0
+        lines.append(
+            f"  {agg['seconds']:10.4f}  {count:8d}  {mean_us:9.1f}  {path}"
+        )
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more span path(s)")
+    if rec.overhead is not None:
+        fraction = float(rec.overhead.get("fraction", 0.0))
+        budget = float(rec.overhead.get("budget", 0.0))
+        verdict = "within" if fraction < budget else "OVER"
+        lines.append(
+            f"  self-overhead: {fraction * 100:.2f}% ({verdict} the "
+            f"{budget * 100:.1f}% budget)"
+        )
+    profile = rec.profile
+    if profile:
+        lines.append(
+            f"  profile: {int(profile.get('samples', 0))} samples at "
+            f"{float(profile.get('interval', 0.0)) * 1e3:.1f}ms"
+        )
+        stacks = dict(profile.get("stacks", {}))
+        total = sum(stacks.values()) or 1
+        for stack, count in list(stacks.items())[: min(top, 5)]:
+            leaf = stack.rsplit(";", 2)[-2:]
+            lines.append(
+                f"    {count / total * 100:5.1f}%  {';'.join(leaf)}"
+            )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PathDelta:
+    """One span path's wall-time movement between two recordings."""
+
+    path: str
+    base_seconds: float
+    cur_seconds: float
+    base_count: int
+    cur_count: int
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.cur_seconds - self.base_seconds
+
+
+def diff_recordings(base: TraceRecording, cur: TraceRecording) -> list[PathDelta]:
+    """Per-span-path wall-time deltas, largest absolute movement first.
+
+    The per-kernel deepening of ``compare_reports``' per-phase
+    attribution: aggregates are complete even under ring wrap, so the
+    deltas cover the whole run.
+    """
+    paths = sorted(set(base.span_paths) | set(cur.span_paths))
+    empty = {"seconds": 0.0, "count": 0.0}
+    deltas = [
+        PathDelta(
+            path=path,
+            base_seconds=float(base.span_paths.get(path, empty)["seconds"]),
+            cur_seconds=float(cur.span_paths.get(path, empty)["seconds"]),
+            base_count=int(base.span_paths.get(path, empty)["count"]),
+            cur_count=int(cur.span_paths.get(path, empty)["count"]),
+        )
+        for path in paths
+    ]
+    deltas.sort(key=lambda d: (-abs(d.delta_seconds), d.path))
+    return deltas
+
+
+def render_diff(
+    deltas: list[PathDelta], *, fmt: str = "human", top: int = 20
+) -> str:
+    """Render a span-path diff as ``human`` or ``markdown`` text."""
+    shown = deltas[:top]
+    if fmt == "markdown":
+        lines = [
+            "| Δ seconds | baseline | current | calls (b→c) | span path |",
+            "|---:|---:|---:|---|---|",
+        ]
+        for d in shown:
+            lines.append(
+                f"| {d.delta_seconds:+.4f} | {d.base_seconds:.4f} "
+                f"| {d.cur_seconds:.4f} | {d.base_count}→{d.cur_count} "
+                f"| `{d.path}` |"
+            )
+        return "\n".join(lines)
+    if fmt != "human":
+        raise ValueError(f"unknown diff format: {fmt!r}")
+    lines = [
+        f"  {'delta_s':>10s}  {'base_s':>10s}  {'cur_s':>10s}  "
+        f"{'calls':>13s}  path"
+    ]
+    for d in shown:
+        lines.append(
+            f"  {d.delta_seconds:+10.4f}  {d.base_seconds:10.4f}  "
+            f"{d.cur_seconds:10.4f}  {d.base_count:6d}→{d.cur_count:<6d}  {d.path}"
+        )
+    if len(deltas) > top:
+        lines.append(f"  ... {len(deltas) - top} more span path(s)")
+    return "\n".join(lines)

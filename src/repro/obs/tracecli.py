@@ -1,0 +1,359 @@
+"""The ``repro trace`` subcommand: record, report, diff, export.
+
+``record`` runs one registered experiment under a
+:class:`~repro.obs.trace.SpanRecorder` (plus the sampling profiler) and
+writes a ``trace_<name>.json`` recording.  ``--check`` additionally
+runs the experiment *untraced* first and asserts the tracing contract
+the CI ``trace`` job gates on:
+
+* every deterministic work counter of the traced run is **exactly
+  equal** to the untraced run (observability never changes the work);
+* the measured self-overhead — traced wall time over untraced wall
+  time — stays under ``--overhead-budget`` (default 3%).
+
+``report`` summarizes a recording (top span paths, profiler stacks,
+the overhead verdict).  ``diff`` attributes wall-time deltas between
+two recordings per span path — the per-kernel deepening of ``repro
+bench --compare``'s per-phase attribution.  ``export`` converts a
+recording to Chrome trace-event JSON (loadable at
+https://ui.perfetto.dev) or StepTracer-compatible JSONL.
+
+Like the service and scenario CLIs, this module only parses arguments
+and sequences library calls; everything testable lives in
+:mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import (
+    SamplingProfiler,
+    SpanRecorder,
+    TraceRecording,
+    chrome_trace,
+    derive_trace_id,
+    diff_recordings,
+    recording,
+    render_diff,
+    render_report,
+    steptracer_jsonl,
+)
+
+__all__ = ["add_trace_arguments", "run_from_args"]
+
+#: The CI self-overhead budget: traced wall time may exceed the
+#: untraced wall time by at most this fraction.
+DEFAULT_OVERHEAD_BUDGET = 0.03
+
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``trace`` subcommand tree to ``parser``."""
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    record = sub.add_parser(
+        "record",
+        help="run one experiment under the span recorder + profiler "
+        "and write a trace_<name>.json recording",
+    )
+    record.add_argument("experiment", help="registered experiment name (e.g. fig06)")
+    record.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="recording path (default: trace_<experiment>.json)",
+    )
+    record.add_argument(
+        "--check", action="store_true",
+        help="also run untraced first and assert exact counter equality "
+        "plus the self-overhead budget (non-zero exit on violation)",
+    )
+    record.add_argument(
+        "--overhead-budget", type=float, default=DEFAULT_OVERHEAD_BUDGET,
+        metavar="FRAC",
+        help="max traced/untraced wall-time overhead fraction for --check "
+        f"(default: {DEFAULT_OVERHEAD_BUDGET})",
+    )
+    record.add_argument(
+        "--check-runs", type=int, default=2, metavar="N",
+        help="untraced/traced run pairs for --check; overhead compares "
+        "the per-side minima, so noise spikes and first-run warmup "
+        "cannot fake a regression (default: 2)",
+    )
+    record.add_argument(
+        "--fine", action="store_true",
+        help="record kernel-granularity spans too (per-tick engine "
+        "kernels, per-region predict/match) — more detail, more overhead",
+    )
+    record.add_argument(
+        "--capacity", type=int, default=1 << 15, metavar="N",
+        help="ring-buffer capacity in events, a power of two (default: "
+        "32768; older events are dropped on wrap, aggregates never are)",
+    )
+    record.add_argument(
+        "--no-profile", action="store_true",
+        help="disable the sampling profiler",
+    )
+    record.add_argument(
+        "--profile-interval", type=float, default=0.005, metavar="SECONDS",
+        help="profiler sampling interval (default: 0.005)",
+    )
+    record.add_argument(
+        "--export-chrome", metavar="FILE", default=None,
+        help="also write the Chrome trace-event/Perfetto export to FILE",
+    )
+
+    report = sub.add_parser(
+        "report", help="summarize a recording (top span paths, profile)"
+    )
+    report.add_argument("file", help="trace_*.json recording")
+    report.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="span paths to show (default: 20)",
+    )
+
+    diff = sub.add_parser(
+        "diff",
+        help="per-span-path wall-time deltas between two recordings",
+    )
+    diff.add_argument("baseline", help="baseline trace_*.json")
+    diff.add_argument("current", help="current trace_*.json")
+    diff.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="span paths to show, largest movement first (default: 20)",
+    )
+    diff.add_argument(
+        "--format", choices=("human", "markdown"), default="human",
+        help="output format (default: human)",
+    )
+
+    export = sub.add_parser(
+        "export",
+        help="convert a recording to Chrome trace-event JSON or "
+        "StepTracer JSONL",
+    )
+    export.add_argument("file", help="trace_*.json recording")
+    export.add_argument(
+        "--format", choices=("chrome", "jsonl"), default="chrome",
+        help="export format (default: chrome — load it in "
+        "https://ui.perfetto.dev)",
+    )
+    export.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output path (default: <recording>.<chrome.json|jsonl>)",
+    )
+
+
+def _scalar_counters(registry: MetricsRegistry) -> dict[str, float]:
+    """Every non-histogram instrument value — the determinism fingerprint."""
+    return {
+        instrument.name: float(instrument.value)
+        for instrument in registry
+        if not isinstance(instrument, Histogram)
+    }
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.cli import EXPERIMENTS
+    from repro.experiments.common import clear_cache
+    from repro.perf.runner import measure_callable
+
+    name = args.experiment
+    module_path = EXPERIMENTS.get(name)
+    if module_path is None:
+        print(
+            f"error: unknown experiment {name!r} "
+            f"(see `repro bench --list`)",
+            file=sys.stderr,
+        )
+        return 2
+    module = importlib.import_module(module_path)
+
+    def traced_run() -> tuple[SpanRecorder, "dict[str, Any] | None", Any]:
+        recorder = SpanRecorder(
+            name,
+            trace_id=derive_trace_id(name, 0),
+            capacity=args.capacity,
+            fine=args.fine,
+        )
+        profiler = (
+            None if args.no_profile else SamplingProfiler(args.profile_interval)
+        )
+        clear_cache()
+        with recording(recorder):
+            if profiler is not None:
+                profiler.start()
+            try:
+                run = measure_callable(name, module.run, mem=False)
+            finally:
+                profile = profiler.stop() if profiler is not None else None
+        return recorder, profile, run
+
+    # --check alternates untraced/traced pairs and compares the per-side
+    # minima: a single A/B pair cannot separate a 3% budget from
+    # machine noise (a loaded box jitters far beyond that), but noise
+    # and first-run warmup only ever ADD time, so min-of-N converges on
+    # the true cost from above.  The runs are deterministic, so every
+    # recording is interchangeable; the last one becomes the artifact.
+    base_counters: dict[str, float] | None = None
+    base_wall = 0.0
+    traced_walls: list[float] = []
+    if args.check:
+        pairs = max(1, args.check_runs)
+        untraced_walls: list[float] = []
+        for attempt in range(pairs):
+            print(
+                f"trace: untraced reference run {attempt + 1}/{pairs} "
+                f"of {name!r}",
+                file=sys.stderr,
+            )
+            clear_cache()
+            base_run = measure_callable(name, module.run, mem=False)
+            untraced_walls.append(base_run.bench.wall_seconds)
+            base_counters = _scalar_counters(base_run.registry)
+            print(
+                f"trace: recording {name!r} ({attempt + 1}/{pairs})",
+                file=sys.stderr,
+            )
+            recorder, profile, run = traced_run()
+            traced_walls.append(run.bench.wall_seconds)
+        base_wall = min(untraced_walls)
+    else:
+        print(f"trace: recording {name!r}", file=sys.stderr)
+        recorder, profile, run = traced_run()
+        traced_walls.append(run.bench.wall_seconds)
+    traced_wall = min(traced_walls)
+    counters = _scalar_counters(run.registry)
+
+    exit_code = 0
+    overhead: dict[str, Any] | None = None
+    if args.check and base_counters is not None:
+        fraction = (
+            max(0.0, traced_wall - base_wall) / base_wall if base_wall > 0 else 0.0
+        )
+        overhead = {
+            "fraction": fraction,
+            "budget": args.overhead_budget,
+            "runs": max(1, args.check_runs),
+            "untraced_wall_seconds": base_wall,
+            "traced_wall_seconds": traced_wall,
+        }
+        drift = {
+            key
+            for key in set(base_counters) | set(counters)
+            if base_counters.get(key) != counters.get(key)
+        }
+        if drift:
+            exit_code = 1
+            for key in sorted(drift):
+                print(
+                    f"error: counter {key!r} drifted under tracing: "
+                    f"{base_counters.get(key)} -> {counters.get(key)}",
+                    file=sys.stderr,
+                )
+        else:
+            print(
+                f"trace: all {len(counters)} counters exactly equal the "
+                "untraced run",
+                file=sys.stderr,
+            )
+        if fraction >= args.overhead_budget:
+            exit_code = 1
+            print(
+                f"error: tracing self-overhead {fraction * 100:.2f}% is over "
+                f"the {args.overhead_budget * 100:.1f}% budget "
+                f"({base_wall:.3f}s -> {traced_wall:.3f}s)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"trace: self-overhead {fraction * 100:.2f}% "
+                f"(budget {args.overhead_budget * 100:.1f}%)",
+                file=sys.stderr,
+            )
+
+    rec = recorder.finish(
+        wall_seconds=run.bench.wall_seconds,
+        counters=counters,
+        profile=profile,
+        overhead=overhead,
+    )
+    out = Path(args.out) if args.out else Path(f"trace_{name}.json")
+    rec.save(out)
+    print(f"wrote {out}", file=sys.stderr)
+    if args.export_chrome:
+        _write_chrome(rec, Path(args.export_chrome))
+    print(render_report(rec))
+    return exit_code
+
+
+def _write_chrome(rec: TraceRecording, out: Path) -> None:
+    import json
+
+    out.write_text(json.dumps(chrome_trace(rec)) + "\n", encoding="utf-8")
+    print(f"wrote {out} (load it in https://ui.perfetto.dev)", file=sys.stderr)
+
+
+def _load(path: str) -> TraceRecording:
+    return TraceRecording.load(path)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        rec = _load(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(rec, top=args.top))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    try:
+        base = _load(args.baseline)
+        cur = _load(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = diff_recordings(base, cur)
+    print(
+        f"trace diff: {cur.name!r} ({cur.trace_id}) vs "
+        f"{base.name!r} ({base.trace_id})"
+    )
+    if not deltas:
+        print("  no span paths recorded on either side")
+        return 0
+    print(render_diff(deltas, fmt=args.format, top=args.top))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    try:
+        rec = _load(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "chrome":
+        out = Path(args.out) if args.out else Path(args.file).with_suffix(
+            ".chrome.json"
+        )
+        _write_chrome(rec, out)
+        return 0
+    out = Path(args.out) if args.out else Path(args.file).with_suffix(".jsonl")
+    lines = steptracer_jsonl(rec, str(out))
+    print(f"wrote {out} ({lines} lines)", file=sys.stderr)
+    return 0
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``repro trace ...`` invocation."""
+    handlers = {
+        "record": _cmd_record,
+        "report": _cmd_report,
+        "diff": _cmd_diff,
+        "export": _cmd_export,
+    }
+    return handlers[args.trace_command](args)

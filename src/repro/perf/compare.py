@@ -38,6 +38,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs.trace import PathDelta, TraceRecording, diff_recordings
 from repro.perf.schema import BenchReport, ExperimentBench
 
 __all__ = [
@@ -47,6 +48,8 @@ __all__ = [
     "ComparisonResult",
     "compare_reports",
     "render_comparison",
+    "render_span_attribution",
+    "worst_phase_shift",
 ]
 
 #: Kinds that fail the gate by default.  ``memory`` is warn-only: peak
@@ -157,8 +160,15 @@ def _fmt_bytes(value: float) -> str:
     return f"{value:.0f}B"
 
 
-def _top_phase_shift(base: ExperimentBench, cur: ExperimentBench) -> str:
-    """Attribute a time delta to the phase that moved the most."""
+def worst_phase_shift(
+    base: ExperimentBench, cur: ExperimentBench
+) -> tuple[str, float] | None:
+    """The phase whose wall time moved the most, with its delta.
+
+    ``None`` when the experiments record no phases or nothing moved —
+    the machine-readable core of the per-phase attribution string, and
+    the hook :func:`render_span_attribution` deepens to span paths.
+    """
     base_s = base.phases.seconds
     cur_s = cur.phases.seconds
     deltas = {
@@ -166,10 +176,19 @@ def _top_phase_shift(base: ExperimentBench, cur: ExperimentBench) -> str:
         for name in sorted(set(base_s) | set(cur_s))
     }
     if not deltas:
-        return ""
+        return None
     name, delta = max(deltas.items(), key=lambda kv: abs(kv[1]))
     if abs(delta) < 1e-9:
+        return None
+    return name, delta
+
+
+def _top_phase_shift(base: ExperimentBench, cur: ExperimentBench) -> str:
+    """Attribute a time delta to the phase that moved the most."""
+    shift = worst_phase_shift(base, cur)
+    if shift is None:
         return ""
+    name, delta = shift
     direction = "grew" if delta > 0 else "shrank"
     return f" (largest phase shift: {name!r} {direction} by {abs(delta):.3f}s)"
 
@@ -388,3 +407,93 @@ def render_comparison(result: ComparisonResult, fmt: str = "human") -> str:
     if fmt == "markdown":
         return _render_markdown(result)
     raise ValueError(f"unknown comparison format: {fmt!r}")
+
+
+#: Which span-path components realize each coarse timing phase.  Phases
+#: not listed match span components of the same name (warmup, install,
+#: reconcile, score, ...).
+_PHASE_SPAN_COMPONENTS: dict[str, tuple[str, ...]] = {
+    "emulate": ("emulate.sample", "emulate.step", "engine.switch", "engine.move"),
+    "interactions": ("emulate.pairs",),
+    "reconcile": ("reconcile", "predict", "match"),
+    "predictor_fit": ("predict.fit",),
+    "predictor_series": ("predict.series",),
+    "predictor_timing": ("predict.timing",),
+}
+
+
+def _phase_delta(phase: str, deltas: list[PathDelta]) -> PathDelta | None:
+    """The span-path delta that best explains a phase's movement."""
+    components = set(_PHASE_SPAN_COMPONENTS.get(phase, (phase,)))
+    candidates = [
+        d for d in deltas if components.intersection(d.path.split("/"))
+    ]
+    if not candidates:
+        return None
+    # Largest movement wins; deeper paths break ties (more specific).
+    return max(
+        candidates, key=lambda d: (abs(d.delta_seconds), d.path.count("/"))
+    )
+
+
+def render_span_attribution(
+    baseline: BenchReport,
+    current: BenchReport,
+    base_rec: TraceRecording,
+    cur_rec: TraceRecording,
+    *,
+    top: int = 5,
+) -> str:
+    """Markdown linking each worst-shifted phase to its span path.
+
+    Deepens :func:`worst_phase_shift`'s per-phase attribution with the
+    per-span-path deltas of two ``repro trace`` recordings: for every
+    experiment both reports ran, the worst-moving phase is resolved to
+    the span path that moved with it, plus the ``top`` overall span-path
+    deltas for context.  Returns ``""`` when nothing moved.
+    """
+    deltas = [
+        d
+        for d in diff_recordings(base_rec, cur_rec)
+        if abs(d.delta_seconds) >= 1e-9
+    ]
+    attributions: list[str] = []
+    for name in sorted(set(baseline.experiments) & set(current.experiments)):
+        shift = worst_phase_shift(
+            baseline.experiments[name], current.experiments[name]
+        )
+        if shift is None:
+            continue
+        phase, phase_delta = shift
+        line = (
+            f"- `{name}`: worst phase `{phase}` ({phase_delta:+.3f}s)"
+        )
+        span_delta = _phase_delta(phase, deltas)
+        if span_delta is not None:
+            line += (
+                f" → span path `{span_delta.path}` "
+                f"({span_delta.delta_seconds:+.4f}s over "
+                f"{span_delta.base_count}→{span_delta.cur_count} calls)"
+            )
+        else:
+            line += " (no recorded span path moved with it)"
+        attributions.append(line)
+    if not attributions and not deltas:
+        return ""
+    lines = ["### Trace span attribution", ""]
+    lines += attributions or ["No per-experiment phase shifts to attribute."]
+    if deltas:
+        lines += [
+            "",
+            f"Top span-path deltas (`{cur_rec.name}` vs `{base_rec.name}`):",
+            "",
+            "| Δ seconds | baseline | current | calls (b→c) | span path |",
+            "|---:|---:|---:|---|---|",
+        ]
+        for d in deltas[:top]:
+            lines.append(
+                f"| {d.delta_seconds:+.4f} | {d.base_seconds:.4f} "
+                f"| {d.cur_seconds:.4f} | {d.base_count}→{d.cur_count} "
+                f"| `{d.path}` |"
+            )
+    return "\n".join(lines)

@@ -44,6 +44,9 @@ def prometheus_name(name: str) -> str:
 def _fmt(value: float) -> str:
     # Prometheus accepts Go-style floats; repr keeps full precision
     # while integers render without a trailing .0 noise via %g-ish form.
+    # Coerce first: numpy scalars repr as ``np.float64(...)``, which no
+    # scrape parser accepts.
+    value = float(value)
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

@@ -35,10 +35,17 @@ from __future__ import annotations
 import importlib
 import multiprocessing
 from datetime import datetime, timezone
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.cli import EXPERIMENTS
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    SpanRecorder,
+    TraceRecording,
+    current_recorder,
+    export_context,
+    recording,
+)
 from repro.perf.env import capture_environment
 from repro.perf.runner import measure_callable, resolve_names
 from repro.perf.schema import BenchReport, ExperimentBench
@@ -79,24 +86,36 @@ def spawn_map(
 
 
 def _bench_worker(
-    payload: tuple[str, str, bool],
-) -> tuple[ExperimentBench, MetricsRegistry]:
+    payload: tuple[str, str, bool, "dict[str, Any] | None"],
+) -> tuple[ExperimentBench, MetricsRegistry, "dict[str, Any] | None"]:
     """Run one experiment in a worker process (RA012-checked payload).
 
-    The payload is ``(experiment_name, module_path, mem)`` — the parent
-    resolves the registry so the worker never consults shared state,
-    and the return value carries everything back.
+    The payload is ``(experiment_name, module_path, mem, trace_ctx)`` —
+    the parent resolves the registry so the worker never consults
+    shared state, and the return value carries everything back.  When
+    a trace context rides along (the parent bench ran under a
+    :class:`~repro.obs.trace.SpanRecorder`), the worker records its own
+    spans under an adopted copy of that context and returns the
+    recording dict for the parent to merge; ``None`` context means no
+    tracing and no recording — byte-for-byte the pre-trace behaviour.
     """
     from repro.experiments.common import clear_cache
 
-    name, module_path, mem = payload
+    name, module_path, mem, trace_ctx = payload
     # Same hygiene as the serial bench loop: a pool worker may run
     # several experiments, and each must start from a cold cache so its
     # counters are self-contained.
     clear_cache()
     module = importlib.import_module(module_path)
-    run = measure_callable(name, module.run, mem=mem)
-    return run.bench, run.registry
+    if trace_ctx is None:
+        run = measure_callable(name, module.run, mem=mem)
+        return run.bench, run.registry, None
+    recorder = SpanRecorder(name, trace_id=str(trace_ctx.get("trace_id", "")))
+    recorder.adopt(trace_ctx)
+    with recording(recorder):
+        run = measure_callable(name, module.run, mem=mem)
+    trace = recorder.finish(wall_seconds=run.bench.wall_seconds)
+    return run.bench, run.registry, trace.to_dict()
 
 
 def run_parallel(
@@ -120,12 +139,23 @@ def run_parallel(
     env = capture_environment()
     merged = MetricsRegistry()
     experiments: dict[str, ExperimentBench] = {}
-    payloads = [(name, EXPERIMENTS[name], mem) for name in selected]
+    # When the parent runs under a recorder, every worker inherits its
+    # context through the payload and returns a recording; each worker's
+    # spans land on their own track (tid = submission index + 1).
+    rec = current_recorder()
+    trace_ctx = export_context()
+    payloads = [(name, EXPERIMENTS[name], mem, trace_ctx) for name in selected]
     ctx = multiprocessing.get_context("spawn")
     with ctx.Pool(processes=workers) as pool:
-        for bench, registry in pool.imap(_bench_worker, payloads):
+        for index, (bench, registry, trace) in enumerate(
+            pool.imap(_bench_worker, payloads)
+        ):
             merged.merge_from(registry)
             experiments[bench.name] = bench
+            if rec is not None and trace is not None:
+                rec.merge_recording(
+                    TraceRecording.from_dict(trace), tid=index + 1
+                )
             if progress is not None:
                 progress(bench)
     report = BenchReport(

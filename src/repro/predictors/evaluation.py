@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.obs.ambient import ambient_metrics, record_ambient_phases
 from repro.obs.timing import PhaseTimer
+from repro.obs.trace import span
 from repro.predictors.base import Predictor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -109,16 +110,18 @@ def one_step_predictions(
     n_steps = arr.shape[0]
     split = int(n_steps * fit_fraction)
     t_mark = timer.mark() if timer is not None else 0.0
-    if hasattr(predictor, "fit") and split > 10:
-        predictor.fit(arr[:split])
-        if metrics is not None:
-            metrics.counter("predictors.fits").inc()
+    with span("predict.fit"):
+        if hasattr(predictor, "fit") and split > 10:
+            predictor.fit(arr[:split])
+            if metrics is not None:
+                metrics.counter("predictors.fits").inc()
     if timer is not None:
         t_mark = timer.lap("predictor_fit", t_mark)
     start = skip if skip is not None else max(split, 8)
     if start >= n_steps:
         raise ValueError("nothing left to evaluate; lower fit_fraction or skip")
-    predictions = predictor.predict_series(arr)
+    with span("predict.series"):
+        predictions = predictor.predict_series(arr)
     if metrics is not None:
         # One evaluation per trace step: the deterministic unit of
         # prediction work behind the Fig. 5 accuracy sweeps.
@@ -212,20 +215,22 @@ def time_predictor(
         arr = arr[:, None]
     split = int(arr.shape[0] * fit_fraction)
     t_mark = timer.mark() if timer is not None else 0.0
-    if hasattr(predictor, "fit") and split > 10:
-        predictor.fit(arr[:split])
-        if metrics is not None:
-            metrics.counter("predictors.fits").inc()
-    predictor.reset(arr.shape[1])
-    for t in range(min(split + 16, arr.shape[0])):
-        predictor.observe(arr[t])
+    with span("predict.fit"):
+        if hasattr(predictor, "fit") and split > 10:
+            predictor.fit(arr[:split])
+            if metrics is not None:
+                metrics.counter("predictors.fits").inc()
+        predictor.reset(arr.shape[1])
+        for t in range(min(split + 16, arr.shape[0])):
+            predictor.observe(arr[t])
     if timer is not None:
         t_mark = timer.lap("predictor_fit", t_mark)
     timings = np.empty(n_calls)
-    for i in range(n_calls):
-        t0 = time.perf_counter()
-        predictor.predict()
-        timings[i] = time.perf_counter() - t0
+    with span("predict.timing"):
+        for i in range(n_calls):
+            t0 = time.perf_counter()
+            predictor.predict()
+            timings[i] = time.perf_counter() - t0
     if metrics is not None:
         metrics.counter("predictors.evaluations").inc(n_calls)
         metrics.counter("predictors.timed_calls").inc(n_calls)

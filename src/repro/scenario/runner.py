@@ -28,6 +28,7 @@ import numpy as np
 from repro.core import SimulationResult
 from repro.experiments.common import run_ecosystem
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.trace import derive_trace_id, span
 from repro.perf.env import capture_environment
 from repro.perf.runner import measure_callable
 from repro.perf.schema import BenchReport, ExperimentBench
@@ -74,16 +75,17 @@ def run_scenario(scenario: Scenario, *, mem: bool = False) -> ScenarioRunResult:
     """
     lowered = materialize(scenario)
     name = scenario.scenario_id or "scenario"
-    measured = measure_callable(
-        name,
-        lambda: run_ecosystem(
-            list(lowered.games),
-            list(lowered.centers),
-            mode=lowered.mode,
-            warmup=lowered.warmup_steps,
-        ),
-        mem=mem,
-    )
+    with span("scenario.run"):
+        measured = measure_callable(
+            name,
+            lambda: run_ecosystem(
+                list(lowered.games),
+                list(lowered.centers),
+                mode=lowered.mode,
+                warmup=lowered.warmup_steps,
+            ),
+            mem=mem,
+        )
     return ScenarioRunResult(
         scenario=scenario,
         materialized=lowered,
@@ -111,6 +113,13 @@ def scenario_jsonl(run: ScenarioRunResult) -> str:
         "id": scenario.scenario_id,
         "label": scenario.label,
         "seed": scenario.seed,
+        # Derived from the declared seed (never the wall clock), so a
+        # rerun of the same document emits the same header byte for
+        # byte — the trace id correlates a run's JSONL with any
+        # ``repro trace`` recording of it.
+        "trace_id": derive_trace_id(
+            scenario.scenario_id or "scenario", seed=scenario.seed
+        ),
         "knobs": knobs,
         "events": [dict(event) for event in scenario.events],
     }

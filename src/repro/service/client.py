@@ -16,10 +16,12 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.obs.trace import export_context
 from repro.service.protocol import (
     GameRegistration,
     ProtocolError,
     RegionSpec,
+    TraceContext,
     decode_message,
     encode_message,
     load_message,
@@ -64,6 +66,12 @@ class ClientRunLog:
     fully_matched_decisions: int = 0
     final_counters: dict[str, float] = field(default_factory=dict)
     errors: list[str] = field(default_factory=list)
+    #: Trace context observed on server decisions (None when the server
+    #: ran untraced): the id of the server's recording, how many
+    #: decisions carried a context, and the last served-tick span seen.
+    server_trace_id: str | None = None
+    server_spans_seen: int = 0
+    last_server_span: int = -1
 
 
 class LoadClient:
@@ -110,7 +118,14 @@ class LoadClient:
         """Play the whole run; returns the collected run log."""
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
-            writer.write(encode_message(self.registration.to_wire()))
+            payload = self.registration.to_wire()
+            # A client running under a recorder announces its context in
+            # the hello so the server can link its registration span to
+            # ours; untraced clients send byte-identical hellos.
+            ctx = export_context()
+            if ctx is not None and "trace" not in payload:
+                payload["trace"] = ctx
+            writer.write(encode_message(payload))
             await writer.drain()
             welcome = await self._expect(reader, "welcome")
             total_ticks = int(welcome["total_ticks"])
@@ -150,6 +165,11 @@ class LoadClient:
                     self.log.decisions += 1
                     if message.get("fully_matched"):
                         self.log.fully_matched_decisions += 1
+                    trace = TraceContext.from_message(message)
+                    if trace is not None:
+                        self.log.server_trace_id = trace.trace_id
+                        self.log.server_spans_seen += 1
+                        self.log.last_server_span = trace.span_id
             elif mtype == "tick_end":
                 if int(message.get("tick", -1)) != tick:
                     raise ProtocolError(

@@ -26,6 +26,13 @@ All numbers that must round-trip exactly are integers (player counts)
 or floats produced by Python's ``repr`` — both survive JSON exactly,
 which is what makes the served↔offline counter-equality differential
 possible.
+
+``hello`` and ``decision`` optionally carry a ``trace`` object
+(:class:`TraceContext`: trace id, span id, span path) so a traced
+client and a traced server can causally link their spans across the
+wire.  The field is omitted entirely when no recorder is installed —
+the wire bytes of an untraced run are unchanged, so no protocol
+version bump.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RegionSpec",
+    "TraceContext",
     "GameRegistration",
     "encode_message",
     "decode_message",
@@ -101,6 +109,43 @@ class RegionSpec:
 
 
 @dataclass(frozen=True)
+class TraceContext:
+    """A propagated span context riding an optional ``trace`` field.
+
+    ``trace_id`` is the 16-hex-digit id of the sender's recording,
+    ``span_id`` the sender's span open at send time (``-1`` for none),
+    and ``path`` its ``a/b/c`` span path — enough for the receiver to
+    record a causal link (:meth:`repro.obs.trace.SpanRecorder.link`)
+    or adopt the context wholesale.
+    """
+
+    trace_id: str
+    span_id: int = -1
+    path: str = ""
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id, "path": self.path}
+
+    @staticmethod
+    def from_wire(obj: Mapping[str, Any]) -> "TraceContext":
+        return TraceContext(
+            trace_id=require_str(obj, "trace_id"),
+            span_id=int(obj.get("span_id", -1)),
+            path=str(obj.get("path", "")),
+        )
+
+    @staticmethod
+    def from_message(obj: Mapping[str, Any]) -> "TraceContext | None":
+        """The optional ``trace`` field of a message, if present."""
+        raw = obj.get("trace")
+        if raw is None:
+            return None
+        if not isinstance(raw, Mapping):
+            raise ProtocolError("'trace' must be an object")
+        return TraceContext.from_wire(raw)
+
+
+@dataclass(frozen=True)
 class GameRegistration:
     """The ``hello`` payload: one MMOG joining the served ecosystem.
 
@@ -118,6 +163,7 @@ class GameRegistration:
     latency_class: str = LatencyClass.VERY_FAR.name
     safety_margin: float = 0.0
     priority: int = 0
+    trace: TraceContext | None = None
 
     def resolved_operator_id(self) -> str:
         return self.operator_id if self.operator_id is not None else self.game
@@ -131,7 +177,7 @@ class GameRegistration:
             ) from None
 
     def to_wire(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "type": "hello",
             "version": PROTOCOL_VERSION,
             "game": self.game,
@@ -143,6 +189,9 @@ class GameRegistration:
             "safety_margin": self.safety_margin,
             "priority": self.priority,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_wire()
+        return payload
 
     @staticmethod
     def from_wire(obj: Mapping[str, Any]) -> "GameRegistration":
@@ -164,6 +213,7 @@ class GameRegistration:
             latency_class=str(obj.get("latency_class", LatencyClass.VERY_FAR.name)),
             safety_margin=float(obj.get("safety_margin", 0.0)),
             priority=int(obj.get("priority", 0)),
+            trace=TraceContext.from_message(obj),
         )
 
 

@@ -46,11 +46,13 @@ from repro.core.loadmodel import DemandModel, update_model
 from repro.datacenter.center import DataCenter
 from repro.experiments.common import PREDICTOR_FACTORIES
 from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import current_recorder
 from repro.obs.tracer import StepTracer
 from repro.perf.export import prometheus_text
 from repro.service.protocol import (
     GameRegistration,
     ProtocolError,
+    TraceContext,
     decode_message,
     encode_message,
     require_int,
@@ -269,8 +271,10 @@ class ProvisioningService:
         return self._stepper.finish()
 
 
-def _decision_wire(tick: int, decision: TickDecision) -> dict[str, Any]:
-    return {
+def _decision_wire(
+    tick: int, decision: TickDecision, trace: TraceContext | None = None
+) -> dict[str, Any]:
+    payload: dict[str, Any] = {
         "type": "decision",
         "tick": tick,
         "game": decision.game,
@@ -279,6 +283,9 @@ def _decision_wire(tick: int, decision: TickDecision) -> dict[str, Any]:
         "allocated": list(decision.allocated),
         "fully_matched": decision.fully_matched,
     }
+    if trace is not None:
+        payload["trace"] = trace.to_wire()
+    return payload
 
 
 class TickServer:
@@ -350,6 +357,7 @@ class TickServer:
     # -- the tick loop --------------------------------------------------------
 
     async def _tick_loop(self) -> None:
+        rec = current_recorder()
         async with self._cond:
             await self._cond.wait_for(
                 lambda: len(self.service.registrations) >= self.expected_games
@@ -361,14 +369,29 @@ class TickServer:
                 await self._cond.wait_for(self.service.tick_ready)
             if self.tick_seconds > 0:
                 await asyncio.sleep(self.tick_seconds)
+            # A served tick deliberately spans the to_thread hop — the
+            # context copied into the worker thread parents the stepper
+            # spans under it — so it uses the manual begin/end escape
+            # hatch rather than a `with span(...)` block (RA021 flags
+            # context-manager spans held across an await).
+            h_tick = rec.begin("service.tick") if rec is not None else None
+            ctx: TraceContext | None = None
+            if rec is not None and h_tick is not None:
+                ctx = TraceContext(
+                    trace_id=rec.trace_id,
+                    span_id=h_tick.span_id,
+                    path=rec.path_name(h_tick.path_id),
+                )
             # The tick computation is CPU-bound simulation work — run it
             # off the event loop so report parsing and metric scrapes
             # stay responsive during large ticks.
             decisions = await asyncio.to_thread(self.service.advance_tick)
             async with self._cond:
                 for decision in decisions:
-                    self._broadcast(_decision_wire(tick, decision))
+                    self._broadcast(_decision_wire(tick, decision, ctx))
                 self._broadcast({"type": "tick_end", "tick": tick})
+            if h_tick is not None:
+                h_tick.end()
         async with self._cond:
             self._broadcast(
                 {
@@ -434,7 +457,18 @@ class TickServer:
         mtype = message["type"]
         if mtype == "hello":
             registration = GameRegistration.from_wire(message)
+            rec = current_recorder()
             async with self._cond:
+                h_hello = rec.begin("service.hello") if rec is not None else None
+                if rec is not None and h_hello is not None:
+                    # A traced client sent its context along: record the
+                    # causal link from this registration to its span.
+                    if registration.trace is not None:
+                        rec.link(
+                            h_hello,
+                            registration.trace.trace_id,
+                            registration.trace.span_id,
+                        )
                 self.service.register(registration)
                 writer.write(
                     encode_message(
@@ -447,6 +481,8 @@ class TickServer:
                         }
                     )
                 )
+                if h_hello is not None:
+                    h_hello.end()
                 self._cond.notify_all()
             await writer.drain()
         elif mtype == "load":

@@ -1,0 +1,184 @@
+"""RA021 instrumentation-coverage fixtures.
+
+Positive fixtures seed (a) a reachable phase-charging function with no
+span, (b) an orphan span outside the root closure, and (c) a ``with
+span(...)`` block crossing an await; negatives prove the instrumented
+shape, the boundary, and manual begin/end handles stay silent.
+"""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.project import Project
+from repro.analysis.spans import check_spans
+from repro.analysis.symbols import SymbolTable
+
+ROOT = ("repro.core.sim.Sim.run",)
+
+
+def violations(sources, roots=ROOT, boundary=()):
+    project = Project.from_sources(sources)
+    symbols = SymbolTable(project)
+    graph = CallGraph.build(project, symbols)
+    return check_spans(symbols, graph, roots=roots, boundary_prefixes=boundary)
+
+
+def sim(body):
+    """A span root whose helper has ``body`` as its suite."""
+    return {
+        "src/repro/core/sim.py": (
+            "from repro.core.helper import helper\n"
+            "class Sim:\n"
+            "    def run(self):\n"
+            "        helper()\n"
+        ),
+        "src/repro/core/helper.py": body,
+    }
+
+
+def test_phase_without_span_is_flagged_with_location():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    t0 = 0.0\n"
+            "    t0 = timer.lap('reconcile', t0)\n"
+        )
+    )
+    assert len(found) == 1
+    v = found[0]
+    assert v.rule_id == "RA021"
+    assert v.path == "src/repro/core/helper.py"
+    assert v.line == 3
+    assert "opens no span" in v.message
+
+
+def test_phase_context_manager_without_span_is_flagged():
+    found = violations(
+        sim(
+            "def helper():\n"
+            "    with timer.phase('score'):\n"
+            "        pass\n"
+        )
+    )
+    assert found and "opens no span" in found[0].message
+
+
+def test_phase_with_span_context_manager_is_clean():
+    found = violations(
+        sim(
+            "from repro.obs.trace import span\n"
+            "def helper():\n"
+            "    with span('reconcile'):\n"
+            "        pass\n"
+            "    t0 = timer.lap('reconcile', 0.0)\n"
+        )
+    )
+    assert found == []
+
+
+def test_phase_with_manual_begin_handle_is_clean():
+    found = violations(
+        sim(
+            "from repro.obs.trace import current_recorder\n"
+            "def helper():\n"
+            "    rec = current_recorder()\n"
+            "    h = rec.begin('reconcile') if rec is not None else None\n"
+            "    t0 = timer.lap('reconcile', 0.0)\n"
+            "    if h is not None:\n"
+            "        h.end()\n"
+        )
+    )
+    assert found == []
+
+
+def test_orphan_span_is_flagged():
+    found = violations(
+        sim(
+            "from repro.obs.trace import span\n"
+            "def helper():\n"
+            "    pass\n"
+            "def unrelated():\n"
+            "    with span('dangling'):\n"
+            "        pass\n"
+        )
+    )
+    assert len(found) == 1
+    assert "orphan span" in found[0].message
+    assert "unrelated" in found[0].message
+
+
+def test_span_across_await_is_flagged():
+    found = violations(
+        sim(
+            "from repro.obs.trace import span\n"
+            "async def helper():\n"
+            "    with span('tick'):\n"
+            "        await other()\n"
+            "async def other():\n"
+            "    pass\n"
+        )
+    )
+    assert found
+    assert any("await" in v.message for v in found)
+
+
+def test_await_outside_span_block_is_clean():
+    found = violations(
+        sim(
+            "from repro.obs.trace import span\n"
+            "async def helper():\n"
+            "    with span('tick'):\n"
+            "        x = 1\n"
+            "    await other()\n"
+            "async def other():\n"
+            "    pass\n"
+        )
+    )
+    assert found == []
+
+
+def test_boundary_modules_are_exempt():
+    sources = sim(
+        "from repro.obs.sink import emit\n"
+        "def helper():\n"
+        "    t0 = timer.lap('emulate', 0.0)\n"
+        "    emit()\n"
+    )
+    # Boundary module both charges a phase and opens an orphan span —
+    # the sanctioned tracing layer is never inspected.
+    sources["src/repro/obs/sink.py"] = (
+        "def emit():\n"
+        "    t0 = timer.lap('x', 0.0)\n"
+        "def dangling():\n"
+        "    rec.begin('y')\n"
+    )
+    found = violations(sources, boundary=("repro.obs",))
+    # Only the non-boundary helper's uninstrumented lap is flagged.
+    assert len(found) == 1
+    assert found[0].path == "src/repro/core/helper.py"
+
+
+def test_nested_def_spans_do_not_count_for_outer():
+    found = violations(
+        sim(
+            "from repro.obs.trace import span\n"
+            "def helper():\n"
+            "    def inner():\n"
+            "        with span('x'):\n"
+            "            pass\n"
+            "    t0 = timer.lap('reconcile', 0.0)\n"
+            "    inner()\n"
+        )
+    )
+    # The outer function charges a phase but opens no span itself.
+    assert any("opens no span" in v.message for v in found)
+
+
+def test_real_tree_is_clean():
+    """The shipped source tree passes RA021 (the CI gate)."""
+    from pathlib import Path
+
+    from repro.analysis.engine import analyze_paths
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report = analyze_paths([src], passes=("RA021",))
+    assert report.errors == []
+    assert [v for v in report.violations if v.rule_id == "RA021"] == []

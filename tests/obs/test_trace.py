@@ -1,0 +1,322 @@
+"""Span recorder, propagation, exports, diff, and profiler tests."""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    SamplingProfiler,
+    SpanRecorder,
+    TraceRecording,
+    chrome_trace,
+    current_recorder,
+    derive_trace_id,
+    diff_recordings,
+    export_context,
+    recording,
+    render_diff,
+    render_report,
+    span,
+    steptracer_jsonl,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_context():
+    """Isolate the task-local span context between tests."""
+    from repro.obs.trace import _CURRENT, _ROOT_PATH
+
+    token = _CURRENT.set((-1, _ROOT_PATH))
+    yield
+    _CURRENT.reset(token)
+
+
+class FakeClock:
+    """A deterministic monotonic clock: each read advances one step."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def test_derive_trace_id_is_deterministic_and_seed_sensitive():
+    a = derive_trace_id("fig06", 7)
+    assert a == derive_trace_id("fig06", 7)
+    assert len(a) == 16
+    int(a, 16)  # valid hex
+    assert a != derive_trace_id("fig06", 8)
+    assert a != derive_trace_id("fig07", 7)
+
+
+def test_begin_end_builds_nested_paths():
+    rec = SpanRecorder("t", clock=FakeClock())
+    h_outer = rec.begin("step")
+    h_inner = rec.begin("reconcile")
+    h_inner.end()
+    h_outer.end()
+    recd = rec.finish()
+    assert set(recd.span_paths) == {"step", "step/reconcile"}
+    assert recd.span_paths["step"]["count"] == 1.0
+    assert recd.spans_started == 2 and recd.spans_finished == 2
+    # Parent linkage in the ring: inner's parent is outer's span id.
+    events = {e[0]: e for e in recd.events}
+    assert events[h_inner.span_id][1] == h_outer.span_id
+    assert events[h_outer.span_id][1] == -1
+
+
+def test_sibling_spans_share_one_path():
+    rec = SpanRecorder("t", clock=FakeClock())
+    root = rec.begin("step")
+    for _ in range(3):
+        rec.begin("score").end()
+    root.end()
+    recd = rec.finish()
+    assert recd.span_paths["step/score"]["count"] == 3.0
+
+
+def test_capacity_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        SpanRecorder("t", capacity=12)
+
+
+def test_ring_wrap_drops_events_but_never_aggregates():
+    rec = SpanRecorder("t", capacity=8, clock=FakeClock())
+    for _ in range(20):
+        rec.begin("x").end()
+    assert rec.dropped == 12
+    recd = rec.finish()
+    assert len(recd.events) == 8
+    # Aggregates cover all 20 spans despite the wrap.
+    assert recd.span_paths["x"]["count"] == 20.0
+    # FakeClock: every span lasts exactly one step.
+    assert recd.span_paths["x"]["seconds"] == pytest.approx(20.0)
+
+
+def test_span_context_manager_is_noop_without_recorder():
+    assert current_recorder() is None
+    with span("anything"):
+        pass  # must not raise, must not record
+    assert export_context() is None
+
+
+def test_recording_installs_and_removes():
+    rec = SpanRecorder("t", clock=FakeClock())
+    with recording(rec) as installed:
+        assert installed is rec
+        assert current_recorder() is rec
+        with span("a"):
+            with span("b"):
+                ctx = export_context()
+    assert current_recorder() is None
+    assert rec.finish().span_paths["a/b"]["count"] == 1.0
+    assert ctx["trace_id"] == rec.trace_id
+    assert ctx["path"] == "a/b"
+
+
+def test_context_propagates_into_asyncio_tasks_and_threads():
+    rec = SpanRecorder("t", clock=time.perf_counter)
+
+    async def child():
+        with span("child"):
+            await asyncio.sleep(0)
+
+    def worker():
+        with span("thread"):
+            pass
+
+    async def main():
+        h = rec.begin("tick")
+        await asyncio.gather(child(), asyncio.to_thread(worker))
+        h.end()
+
+    with recording(rec):
+        asyncio.run(main())
+    paths = set(rec.finish().span_paths)
+    # Both the task and the to_thread worker nested under the tick span.
+    assert "tick/child" in paths
+    assert "tick/thread" in paths
+
+
+def test_adopt_nests_new_roots_under_remote_path():
+    parent = SpanRecorder("parent", clock=FakeClock())
+    with recording(parent):
+        h = parent.begin("bench")
+        ctx = export_context()
+        h.end()
+    child = SpanRecorder("child", clock=FakeClock())
+    child.adopt(ctx)
+    child.begin("work").end()
+    recd = child.finish()
+    assert child.trace_id == parent.trace_id
+    assert "bench/work" in recd.span_paths
+
+
+def test_merge_recording_adds_aggregates_and_replays_events():
+    parent = SpanRecorder("parent", clock=FakeClock())
+    parent.begin("bench").end()
+    child = SpanRecorder("child", clock=FakeClock())
+    child.intern_path("bench")
+    h = child.begin("bench")  # nested: bench/bench? no — root: path "bench"
+    h.end()
+    child_rec = child.finish()
+    parent.merge_recording(child_rec, tid=3)
+    merged = parent.finish()
+    assert merged.span_paths["bench"]["count"] == 2.0
+    tids = {e[3] for e in merged.events}
+    assert 3 in tids and 0 in tids
+
+
+def test_link_is_recorded():
+    rec = SpanRecorder("t", clock=FakeClock())
+    h = rec.begin("hello")
+    rec.link(h, "deadbeefdeadbeef", 42)
+    h.end()
+    assert rec.finish().links == [[h.span_id, "deadbeefdeadbeef", 42]]
+
+
+def test_recording_roundtrips_through_json(tmp_path):
+    rec = SpanRecorder("t", clock=FakeClock())
+    with span_tree(rec):
+        pass
+    recd = rec.finish(wall_seconds=1.5, counters={"c": 2.0})
+    out = tmp_path / "trace_t.json"
+    recd.save(out)
+    loaded = TraceRecording.load(out)
+    assert loaded == recd
+
+
+def span_tree(rec):
+    """Tiny helper: a two-level span tree under ``recording(rec)``."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def _tree():
+        with recording(rec):
+            with span("a"):
+                with span("b"):
+                    yield
+
+    return _tree()
+
+
+def test_from_dict_rejects_wrong_kind_and_version():
+    with pytest.raises(ValueError):
+        TraceRecording.from_dict({"kind": "bench"})
+    with pytest.raises(ValueError):
+        TraceRecording.from_dict({"kind": "trace", "schema_version": 99})
+
+
+def test_chrome_trace_is_perfetto_shaped():
+    rec = SpanRecorder("t", clock=FakeClock())
+    with span_tree(rec):
+        pass
+    doc = chrome_trace(rec.finish())
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 2
+    for e in complete:
+        assert e["dur"] >= 0 and e["ts"] >= 0
+        assert "path" in e["args"]
+    assert {e["args"]["path"] for e in complete} == {"a", "a/b"}
+    json.dumps(doc)  # serializable
+
+
+def test_steptracer_jsonl_export(tmp_path):
+    rec = SpanRecorder("t", clock=FakeClock())
+    with span_tree(rec):
+        pass
+    out = tmp_path / "trace.jsonl"
+    lines = steptracer_jsonl(rec.finish(), str(out))
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    assert lines == len(rows) == 3  # header + two spans
+    assert rows[0]["event"] == "trace"
+    assert {r["path"] for r in rows[1:]} == {"a", "a/b"}
+
+
+def test_render_report_mentions_paths_and_overhead():
+    rec = SpanRecorder("t", clock=FakeClock())
+    with span_tree(rec):
+        pass
+    recd = rec.finish(
+        wall_seconds=2.0,
+        overhead={"fraction": 0.01, "budget": 0.03},
+        profile={"interval": 0.005, "samples": 10, "stacks": {"m.f;m.g": 10}},
+    )
+    text = render_report(recd)
+    assert "a/b" in text
+    assert "within" in text
+    assert "10 samples" in text
+
+
+def test_diff_recordings_ranks_by_absolute_delta():
+    base = TraceRecording(
+        name="b",
+        trace_id="0" * 16,
+        span_paths={
+            "step": {"seconds": 1.0, "count": 10.0},
+            "step/score": {"seconds": 0.5, "count": 10.0},
+        },
+    )
+    cur = TraceRecording(
+        name="c",
+        trace_id="1" * 16,
+        span_paths={
+            "step": {"seconds": 3.0, "count": 10.0},
+            "step/score": {"seconds": 0.4, "count": 10.0},
+            "step/new": {"seconds": 0.2, "count": 5.0},
+        },
+    )
+    deltas = diff_recordings(base, cur)
+    assert deltas[0].path == "step"
+    assert deltas[0].delta_seconds == pytest.approx(2.0)
+    # A path absent from the baseline shows base 0.
+    new = next(d for d in deltas if d.path == "step/new")
+    assert new.base_seconds == 0.0 and new.base_count == 0
+    human = render_diff(deltas)
+    md = render_diff(deltas, fmt="markdown")
+    assert "step/new" in human and "`step/new`" in md
+    with pytest.raises(ValueError):
+        render_diff(deltas, fmt="xml")
+
+
+def test_profiler_samples_busy_loop():
+    prof = SamplingProfiler(0.001)
+    prof.start()
+    deadline = time.perf_counter() + 0.15
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(100))
+    result = prof.stop()
+    assert result["samples"] > 0
+    assert result["stacks"]
+    assert total > 0
+
+
+def test_profiler_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        SamplingProfiler(0.0)
+
+
+def test_tracing_does_not_change_deterministic_work():
+    """The determinism contract the CI trace job gates on, in miniature."""
+
+    def work():
+        acc = 0
+        for i in range(1000):
+            with span("iter"):
+                acc += i * i
+        return acc
+
+    untraced = work()
+    rec = SpanRecorder("t")
+    with recording(rec):
+        traced = work()
+    assert traced == untraced
+    assert rec.finish().span_paths["iter"]["count"] == 1000.0

@@ -1,0 +1,137 @@
+"""End-to-end tests for the ``repro trace`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.obs.trace import TraceRecording
+
+
+@pytest.fixture
+def tiny(monkeypatch):
+    """Register the fast fake experiment under the name ``tiny``."""
+    monkeypatch.setitem(EXPERIMENTS, "tiny", "tests.perf.tiny_experiment")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_context():
+    from repro.obs.trace import _CURRENT, _ROOT_PATH
+
+    token = _CURRENT.set((-1, _ROOT_PATH))
+    yield
+    _CURRENT.reset(token)
+
+
+class TestTraceRecord:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["trace", "record", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_record_writes_recording_with_phase_spans(
+        self, tiny, tmp_path, capsys
+    ):
+        out = tmp_path / "trace_tiny.json"
+        chrome = tmp_path / "tiny.chrome.json"
+        code = main(
+            [
+                "trace", "record", "tiny",
+                "--out", str(out),
+                "--export-chrome", str(chrome),
+                "--no-profile",
+            ]
+        )
+        assert code == 0
+        rec = TraceRecording.load(out)
+        assert rec.name == "tiny"
+        # Every phase root the tiny workload exercises opened spans
+        # (the emulator paths are exercised by the fig06 CI gate).
+        paths = set(rec.span_paths)
+        assert "step" in paths
+        assert "step/reconcile" in paths
+        assert "step/score" in paths
+        assert "warmup" in paths
+        assert rec.spans_finished > 0 and rec.counters
+        # Chrome export is Perfetto-shaped.
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        # The human report went to stdout.
+        assert "trace 'tiny'" in capsys.readouterr().out
+
+    def test_check_asserts_counters_and_overhead(self, tiny, tmp_path, capsys):
+        out = tmp_path / "trace_tiny.json"
+        # A generous budget: two in-process runs of a sub-second
+        # experiment can jitter far beyond the CI 3% on a loaded box.
+        code = main(
+            [
+                "trace", "record", "tiny",
+                "--out", str(out),
+                "--check", "--overhead-budget", "10.0",
+                "--no-profile",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "counters exactly equal" in err
+        rec = TraceRecording.load(out)
+        assert rec.overhead is not None
+        assert rec.overhead["budget"] == 10.0
+
+
+class TestTraceReportDiffExport:
+    def _record(self, tmp_path, name):
+        out = tmp_path / f"trace_{name}.json"
+        assert (
+            main(
+                ["trace", "record", "tiny", "--out", str(out), "--no-profile"]
+            )
+            == 0
+        )
+        return out
+
+    def test_report_and_diff_and_export(self, tiny, tmp_path, capsys):
+        a = self._record(tmp_path, "a")
+        b = self._record(tmp_path, "b")
+        capsys.readouterr()
+
+        assert main(["trace", "report", str(a), "--top", "5"]) == 0
+        assert "seconds" in capsys.readouterr().out
+
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "trace diff" in out and "delta_s" in out
+
+        assert (
+            main(["trace", "diff", str(a), str(b), "--format", "markdown"])
+            == 0
+        )
+        assert "| Δ seconds |" in capsys.readouterr().out
+
+        chrome = tmp_path / "a.chrome.json"
+        assert (
+            main(
+                ["trace", "export", str(a), "--format", "chrome",
+                 "--out", str(chrome)]
+            )
+            == 0
+        )
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+        jsonl = tmp_path / "a.jsonl"
+        assert (
+            main(
+                ["trace", "export", str(a), "--format", "jsonl",
+                 "--out", str(jsonl)]
+            )
+            == 0
+        )
+        rows = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert rows[0]["event"] == "trace"
+        assert all(r["event"] == "span" for r in rows[1:])
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["trace", "report", missing]) == 2
+        assert main(["trace", "diff", missing, missing]) == 2
+        assert main(["trace", "export", missing]) == 2

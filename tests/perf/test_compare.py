@@ -254,3 +254,58 @@ class TestRendering:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError, match="format"):
             render_comparison(self._result(True), "xml")
+
+class TestSpanAttribution:
+    def _recording(self, name, seconds_by_path):
+        from repro.obs.trace import TraceRecording
+
+        return TraceRecording(
+            name=name,
+            trace_id="0" * 16,
+            span_paths={
+                path: {"seconds": seconds, "count": 10.0}
+                for path, seconds in seconds_by_path.items()
+            },
+        )
+
+    def test_worst_phase_shift_names_the_mover(self):
+        from repro.perf.compare import worst_phase_shift
+
+        base = make_experiment(wall=10.0)
+        timer = PhaseTimer()
+        timer.add("reconcile", 9.0)
+        timer.add("score", 2.0)
+        cur = make_experiment(wall=13.0, phases=timer.snapshot())
+        phase, delta = worst_phase_shift(base, cur)
+        assert phase == "reconcile"
+        assert delta == pytest.approx(3.0)
+        assert worst_phase_shift(base, base) is None
+
+    def test_render_links_phase_to_span_path(self):
+        from repro.perf.compare import render_span_attribution
+
+        base = make_report("base", [make_experiment(wall=10.0)])
+        timer = PhaseTimer()
+        timer.add("reconcile", 9.0)
+        timer.add("score", 2.0)
+        cur = make_report(
+            "cur", [make_experiment(wall=13.0, phases=timer.snapshot())]
+        )
+        base_rec = self._recording(
+            "base", {"step/reconcile": 5.5, "step/score": 2.0}
+        )
+        cur_rec = self._recording(
+            "cur", {"step/reconcile": 8.6, "step/score": 2.0}
+        )
+        text = render_span_attribution(base, cur, base_rec, cur_rec)
+        assert "### Trace span attribution" in text
+        assert "worst phase `reconcile`" in text
+        assert "`step/reconcile`" in text
+        assert "+3.1000" in text
+
+    def test_render_is_empty_when_nothing_moved(self):
+        from repro.perf.compare import render_span_attribution
+
+        report = make_report("same", [make_experiment()])
+        rec = self._recording("same", {"step": 1.0})
+        assert render_span_attribution(report, report, rec, rec) == ""

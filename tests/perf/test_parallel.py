@@ -87,3 +87,28 @@ def test_report_order_follows_submission_order(tiny_registry):
     assert [b.name for b in seen] == ["tinyA", "tinyB"]
     assert report.tag == "parallel"
     assert report.env.eval_days > 0
+
+
+def test_traced_parallel_merges_worker_spans(tiny_registry):
+    from repro.obs.trace import SpanRecorder, recording
+
+    rec = SpanRecorder("suite", trace_id="ab" * 8)
+    with recording(rec):
+        report, merged = run_parallel(
+            ["tinyA", "tinyB"], workers=2, mem=False
+        )
+    trace = rec.finish()
+    # Worker spans came back and merged under the parent recording,
+    # each worker on its own track (tid = submission index + 1).
+    assert trace.span_paths, "no worker spans merged"
+    assert "step" in trace.span_paths
+    assert trace.span_paths["step"]["count"] > 0
+    tids = {event[3] for event in trace.events}
+    assert {1, 2} <= tids
+    # Tracing changed no deterministic counter.
+    untraced_report, _ = run_parallel(["tinyA", "tinyB"], workers=2, mem=False)
+    for name in ("tinyA", "tinyB"):
+        assert (
+            report.experiments[name].counters
+            == untraced_report.experiments[name].counters
+        )

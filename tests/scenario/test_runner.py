@@ -61,3 +61,31 @@ def test_bench_report_wraps_the_run_for_the_compare_gate():
     report = bench_report(run, tag="probe")
     assert report.tag == "probe"
     assert "determinism-probe" in report.experiments
+
+
+def test_jsonl_header_trace_id_is_seed_derived():
+    from repro.obs.trace import derive_trace_id
+
+    import json
+
+    run = run_scenario(SHORT)
+    header = json.loads(scenario_jsonl(run).splitlines()[0])
+    assert header["trace_id"] == derive_trace_id("determinism-probe", 20080)
+    # Wall clock never enters: rerunning yields the same id (the
+    # byte-identical rerun gate extends over the new header key).
+    rerun = run_scenario(SHORT)
+    assert json.loads(scenario_jsonl(rerun).splitlines()[0])["trace_id"] == (
+        header["trace_id"]
+    )
+
+
+def test_traced_scenario_counters_match_untraced():
+    from repro.obs.trace import SpanRecorder, recording
+
+    untraced = run_scenario(SHORT)
+    rec = SpanRecorder("scenario")
+    with recording(rec):
+        traced = run_scenario(SHORT)
+    assert traced.bench.counters == untraced.bench.counters
+    assert scenario_jsonl(traced) == scenario_jsonl(untraced)
+    assert "scenario.run" in rec.finish().span_paths

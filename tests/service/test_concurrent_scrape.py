@@ -1,0 +1,131 @@
+"""Concurrent Prometheus scrapes against a live TickServer.
+
+Two scrape clients hitting ``/metrics`` while ticks are being served
+must each see a complete, parseable exposition whose counters only ever
+move forward — a torn write or a counter that appears to run backwards
+between scrapes would poison any dashboard rate() over the feed.  After
+the run completes, two truly simultaneous scrapes must agree exactly.
+"""
+
+import argparse
+import asyncio
+
+from repro.core.loadmodel import DemandModel, update_model
+from repro.datacenter.catalog import build_paper_datacenters
+from repro.experiments.common import PREDICTOR_FACTORIES
+from repro.obs.registry import MetricsRegistry
+from repro.service.cli import (
+    SOAK_GAME,
+    _scrape_prometheus,
+    add_serve_arguments,
+    soak_trace,
+)
+from repro.service.client import LoadClient, registration_from_trace
+from repro.service.server import ProvisioningService, TickServer
+
+WARMUP = 20
+TICKS = 6
+
+
+def parse_exposition(text):
+    """``(counters, gauges)`` dicts parsed from Prometheus text format."""
+    types = {}
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+        elif line and not line.startswith("#"):
+            name, _, value = line.rpartition(" ")
+            name = name.split("{", 1)[0].strip()
+            values[name] = float(value)
+    counters = {n: v for n, v in values.items() if types.get(n) == "counter"}
+    return counters, values
+
+
+async def _soak_with_scrapers():
+    parser = argparse.ArgumentParser()
+    add_serve_arguments(parser)
+    args = parser.parse_args([])
+
+    trace = soak_trace(11, WARMUP, TICKS)
+    registration = registration_from_trace(
+        trace, name=SOAK_GAME, update="O(n^2)", predictor="Average"
+    )
+    metrics = MetricsRegistry()
+    service = ProvisioningService(
+        build_paper_datacenters(),
+        warmup_ticks=WARMUP,
+        total_ticks=WARMUP + TICKS,
+        metrics=metrics,
+    )
+    server = TickServer(
+        service,
+        host=args.host,
+        port=0,
+        metrics_port=0,
+        expected_games=1,
+        # A small real cadence so the scrapers demonstrably land
+        # mid-tick instead of after the run has already finished.
+        tick_seconds=0.02,
+    )
+    host, port, metrics_port = await server.start()
+    client = LoadClient.from_trace(trace, registration, host=host, port=port)
+    server_task = asyncio.create_task(server.run_until_complete())
+
+    samples = ([], [])
+
+    async def scraper(index):
+        while not server_task.done():
+            try:
+                text = await _scrape_prometheus(host, metrics_port)
+            except (RuntimeError, OSError):
+                break
+            samples[index].append(parse_exposition(text))
+            await asyncio.sleep(0.003)
+
+    scrapers = [asyncio.create_task(scraper(i)) for i in range(2)]
+    try:
+        await client.run()
+        await server_task
+        # Two truly simultaneous scrapes of the settled registry.
+        final = await asyncio.gather(
+            _scrape_prometheus(host, metrics_port),
+            _scrape_prometheus(host, metrics_port),
+        )
+        await asyncio.gather(*scrapers)
+    finally:
+        for task in scrapers:
+            task.cancel()
+        server_task.cancel()
+        await server.close()
+    return samples, final
+
+
+def test_concurrent_scrapes_see_consistent_monotone_counters():
+    samples, final = asyncio.run(_soak_with_scrapers())
+
+    # Both clients got complete expositions while ticks were serving.
+    assert samples[0] and samples[1], "scrapers never landed mid-run"
+    for per_client in samples:
+        for counters, values in per_client:
+            assert counters, "scrape parsed to an empty exposition"
+            assert values
+        # Counters are monotone within each client's scrape sequence.
+        for earlier, later in zip(per_client, per_client[1:]):
+            for name, value in earlier[0].items():
+                assert later[0].get(name, value) >= value, (
+                    f"counter {name} ran backwards between scrapes"
+                )
+
+    # Simultaneous post-run scrapes agree byte for byte.
+    assert final[0] == final[1]
+    counters, _ = parse_exposition(final[0])
+    assert counters
+
+    # And every mid-run counter observation is <= its settled value.
+    for per_client in samples:
+        last, _ = parse_exposition(final[0])
+        for mid_counters, _ in per_client:
+            for name, value in mid_counters.items():
+                assert value <= last.get(name, value)

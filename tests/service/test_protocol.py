@@ -104,3 +104,25 @@ def test_require_helpers():
         require_int({"n": "3"}, "n")
     with pytest.raises(ProtocolError):
         require_int({"n": True}, "n")  # bools are not protocol integers
+
+
+def test_trace_context_round_trip_and_optionality():
+    from repro.service.protocol import TraceContext
+
+    registration = GameRegistration(game="rs", regions=(REGION,))
+    # Untraced wire bytes carry no trace key at all (backward compat).
+    assert "trace" not in registration.to_wire()
+
+    ctx = TraceContext(trace_id="ab" * 8, span_id=7, path="service.tick")
+    traced = GameRegistration(game="rs", regions=(REGION,), trace=ctx)
+    wire = traced.to_wire()
+    assert wire["trace"] == {
+        "trace_id": "ab" * 8,
+        "span_id": 7,
+        "path": "service.tick",
+    }
+    assert GameRegistration.from_wire(wire) == traced
+    assert TraceContext.from_message(wire) == ctx
+    assert TraceContext.from_message({"type": "hello"}) is None
+    with pytest.raises(ProtocolError):
+        TraceContext.from_message({"trace": "not-a-mapping"})

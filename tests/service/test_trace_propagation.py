@@ -1,0 +1,90 @@
+"""Trace context across the wire: hello carries the client's span,
+decisions carry the server's, and the server links the two.
+
+The in-process soak shares one recorder between server and client (the
+ambient-recorder idiom is process-global; cross-process propagation is
+covered by the spawn-worker tests), which still proves the wire work:
+the hello link is only recorded when the ``hello`` message actually
+carried a ``trace`` payload, and the client's run log only learns a
+trace id from ``decision`` messages.
+"""
+
+import asyncio
+
+from repro.datacenter.catalog import build_paper_datacenters
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import SpanRecorder, recording
+from repro.service.cli import SOAK_GAME, soak_trace
+from repro.service.client import LoadClient, registration_from_trace
+from repro.service.server import ProvisioningService, TickServer
+
+WARMUP = 20
+TICKS = 5
+
+
+async def _run(recorder=None):
+    trace = soak_trace(11, WARMUP, TICKS)
+    registration = registration_from_trace(
+        trace, name=SOAK_GAME, update="O(n^2)", predictor="Average"
+    )
+    metrics = MetricsRegistry()
+    service = ProvisioningService(
+        build_paper_datacenters(),
+        warmup_ticks=WARMUP,
+        total_ticks=WARMUP + TICKS,
+        metrics=metrics,
+    )
+    server = TickServer(
+        service, host="127.0.0.1", port=0, metrics_port=0, expected_games=1
+    )
+
+    async def go():
+        host, port, _ = await server.start()
+        client = LoadClient.from_trace(
+            trace, registration, host=host, port=port
+        )
+        server_task = asyncio.create_task(server.run_until_complete())
+        try:
+            log = await client.run()
+            await server_task
+        finally:
+            server_task.cancel()
+            await server.close()
+        return log
+
+    if recorder is None:
+        log = await go()
+    else:
+        with recording(recorder):
+            log = await go()
+    return service.counters(), log
+
+
+def test_trace_ids_travel_in_hello_and_decisions():
+    untraced_counters, untraced_log = asyncio.run(_run())
+    # Untraced runs carry no trace fields on the wire at all.
+    assert untraced_log.server_trace_id is None
+    assert untraced_log.server_spans_seen == 0
+    assert untraced_log.last_server_span == -1
+
+    rec = SpanRecorder("soak", trace_id="5e" * 8)
+    traced_counters, log = asyncio.run(_run(rec))
+
+    # Decisions carried the server's trace context to the client: one
+    # context per served tick, each naming a live server span.
+    assert log.server_trace_id == "5e" * 8
+    assert log.server_spans_seen == WARMUP + TICKS
+    assert log.last_server_span >= 0
+
+    # The span tree covers every served tick plus the hello, and the
+    # hello recorded a causal link — which only happens when the hello
+    # message carried a trace payload over the wire.
+    trace = rec.finish()
+    assert trace.span_paths["service.tick"]["count"] == WARMUP + TICKS
+    assert trace.span_paths["service.hello"]["count"] == 1
+    assert any(link[1] == "5e" * 8 for link in trace.links)
+    # The tick spans parent the stepper work done on the worker thread.
+    assert any(path.startswith("service.tick/") for path in trace.span_paths)
+
+    # Observability changed nothing: exact counter equality.
+    assert traced_counters == untraced_counters
